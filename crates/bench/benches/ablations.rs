@@ -1,0 +1,40 @@
+//! Ablation benches: iteration-choice policies on MAX, and the chooseIter
+//! overhead claim of §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use va_bench::Lab;
+use vao::cost::WorkMeter;
+use vao::ops::minmax::{max_vao_with, AggregateConfig};
+use vao::precision::PrecisionConstraint;
+use vao::strategy::ChoicePolicy;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(48, 1994);
+    let eps = PrecisionConstraint::new(0.01).unwrap();
+    let mut group = c.benchmark_group("ablation_strategy_max");
+    group.sample_size(10);
+    let policies: [(&str, fn() -> ChoicePolicy); 4] = [
+        ("greedy", ChoicePolicy::greedy),
+        ("round-robin", ChoicePolicy::round_robin),
+        ("widest-first", ChoicePolicy::widest_first),
+        ("random", || ChoicePolicy::random(7)),
+    ];
+    for (name, make) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, make| {
+            b.iter(|| {
+                let mut meter = WorkMeter::new();
+                let mut objs = lab.objects(&mut meter);
+                let mut config = AggregateConfig {
+                    policy: make(),
+                    ..AggregateConfig::default()
+                };
+                max_vao_with(&mut objs, eps, &mut config, &mut meter).unwrap();
+                meter.total()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

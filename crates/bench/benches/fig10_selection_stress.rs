@@ -1,0 +1,44 @@
+//! Figure 10 wall-clock bench: selection stress with Gaussian result
+//! distributions centered on the constant (σ = 0 is the pathological case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use va_bench::Lab;
+use va_workloads::{SyntheticMapping, TargetDistribution};
+use vao::cost::WorkMeter;
+use vao::ops::selection::{CmpOp, SelectionVao};
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(48, 1994);
+    let constant = 100.0;
+    let mut group = c.benchmark_group("fig10_selection_stress");
+    group.sample_size(10);
+    for std_dev in [0.0, 0.05, 1.0] {
+        let mapping = SyntheticMapping::generate(
+            &lab.converged,
+            TargetDistribution::Gaussian { mean: constant, std_dev },
+            7,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vao", format!("sigma={std_dev}")),
+            &mapping,
+            |b, mapping| {
+                b.iter(|| {
+                    let mut meter = WorkMeter::new();
+                    let vao = SelectionVao::new(CmpOp::Gt, constant).unwrap();
+                    for (i, &bond) in lab.universe.bonds().iter().enumerate() {
+                        let mut obj = mapping.wrap(i, lab.pricer.price(bond, lab.rate, &mut meter));
+                        vao.evaluate(&mut obj, &mut meter).unwrap();
+                    }
+                    meter.total()
+                });
+            },
+        );
+    }
+    group.bench_function("traditional", |b| {
+        b.iter(|| lab.traditional_execute());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

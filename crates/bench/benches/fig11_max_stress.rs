@@ -1,0 +1,42 @@
+//! Figure 11 wall-clock bench: MAX stress with lower-half Gaussian
+//! clustering of results under the maximum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use va_bench::Lab;
+use va_workloads::{SyntheticMapping, TargetDistribution};
+use vao::cost::WorkMeter;
+use vao::ops::minmax::max_vao;
+use vao::precision::PrecisionConstraint;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(48, 1994);
+    let eps = PrecisionConstraint::new(0.01).unwrap();
+    let mut group = c.benchmark_group("fig11_max_stress");
+    group.sample_size(10);
+    for std_dev in [0.0, 0.1, 1.0] {
+        let mapping = SyntheticMapping::generate(
+            &lab.converged,
+            TargetDistribution::LowerHalfGaussian { max: 100.0, std_dev },
+            7,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vao", format!("sigma={std_dev}")),
+            &mapping,
+            |b, mapping| {
+                b.iter(|| {
+                    let mut meter = WorkMeter::new();
+                    let mut objs = lab.synthetic_objects(mapping, &mut meter);
+                    max_vao(&mut objs, eps, &mut meter).unwrap();
+                    meter.total()
+                });
+            },
+        );
+    }
+    group.bench_function("traditional", |b| {
+        b.iter(|| lab.traditional_execute());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

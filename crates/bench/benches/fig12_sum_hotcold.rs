@@ -1,0 +1,62 @@
+//! Figure 12 wall-clock bench: SUM with hot-cold weights, VAO vs
+//! traditional vs the hybrid extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use va_bench::Lab;
+use va_workloads::HotColdWeights;
+use vao::cost::WorkMeter;
+use vao::ops::hybrid::{hybrid_weighted_sum, HybridConfig};
+use vao::ops::minmax::AggregateConfig;
+use vao::ops::sum::weighted_sum_vao;
+use vao::precision::PrecisionConstraint;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(48, 1994);
+    let n = lab.len();
+    let eps = PrecisionConstraint::new(n as f64 * 0.01 * (1.0 + 1e-9)).unwrap();
+    let mut group = c.benchmark_group("fig12_sum_hotcold");
+    group.sample_size(10);
+    for share in [0.1, 0.5, 0.9] {
+        let weights = HotColdWeights::paper_scheme(n, share, 5);
+        group.bench_with_input(
+            BenchmarkId::new("vao", format!("hot={share}")),
+            &weights,
+            |b, w| {
+                b.iter(|| {
+                    let mut meter = WorkMeter::new();
+                    let mut objs = lab.objects(&mut meter);
+                    weighted_sum_vao(&mut objs, w.weights(), eps, &mut meter).unwrap();
+                    meter.total()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", format!("hot={share}")),
+            &weights,
+            |b, w| {
+                b.iter(|| {
+                    let mut meter = WorkMeter::new();
+                    let mut objs = lab.objects(&mut meter);
+                    hybrid_weighted_sum(
+                        &mut objs,
+                        w.weights(),
+                        &lab.specs,
+                        eps,
+                        &HybridConfig::default(),
+                        &mut AggregateConfig::default(),
+                        &mut meter,
+                    )
+                    .unwrap();
+                    meter.total()
+                });
+            },
+        );
+    }
+    group.bench_function("traditional", |b| {
+        b.iter(|| lab.traditional_execute());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

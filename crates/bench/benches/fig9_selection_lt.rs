@@ -1,0 +1,26 @@
+//! Figure 9 wall-clock bench: selection `price < c` across selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use va_bench::experiments::run_selection_vao;
+use va_bench::Lab;
+use va_workloads::constant_for_selectivity;
+use vao::ops::selection::CmpOp;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(48, 1994);
+    let mut group = c.benchmark_group("fig9_selection_lt");
+    group.sample_size(10);
+    for s in [0.1, 0.5, 0.9] {
+        let constant = constant_for_selectivity(&lab.converged, CmpOp::Lt, s);
+        group.bench_with_input(BenchmarkId::new("vao", format!("sel={s}")), &constant, |b, &c0| {
+            b.iter(|| run_selection_vao(&lab, CmpOp::Lt, c0));
+        });
+    }
+    group.bench_function("traditional", |b| {
+        b.iter(|| lab.traditional_execute());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

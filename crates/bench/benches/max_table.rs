@@ -1,0 +1,46 @@
+//! §6.2 table wall-clock bench: MAX via Optimal, VAO and Traditional.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use va_bench::Lab;
+use vao::cost::WorkMeter;
+use vao::ops::minmax::max_vao;
+use vao::ops::oracle::oracle_max;
+use vao::precision::PrecisionConstraint;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(48, 1994);
+    let eps = PrecisionConstraint::new(0.01).unwrap();
+    let true_argmax = lab
+        .converged
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+
+    let mut group = c.benchmark_group("max_table");
+    group.sample_size(10);
+    group.bench_function("optimal", |b| {
+        b.iter(|| {
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut meter);
+            oracle_max(&mut objs, true_argmax, eps, &mut meter).unwrap();
+            meter.total()
+        });
+    });
+    group.bench_function("vao", |b| {
+        b.iter(|| {
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut meter);
+            max_vao(&mut objs, eps, &mut meter).unwrap();
+            meter.total()
+        });
+    });
+    group.bench_function("traditional", |b| {
+        b.iter(|| lab.traditional_execute());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

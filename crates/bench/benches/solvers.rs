@@ -1,0 +1,54 @@
+//! Microbenchmarks of the numerical substrate: mesh solves, tridiagonal
+//! systems, quadrature ladder levels and bisection steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bondlab::model::{BondPde, ShortRateModel};
+use bondlab::Bond;
+use va_numerics::pde::{solve_on_mesh, SolverConfig};
+use va_numerics::integrate::TrapezoidLadder;
+use va_numerics::roots::bisect;
+use va_numerics::tridiag::solve_tridiagonal;
+
+fn bench(c: &mut Criterion) {
+    let bond = Bond::new(0, 0.07, 29.5, 100.0);
+    let problem = BondPde::new(bond, ShortRateModel::default(), 0.0583);
+    let cfg = SolverConfig::default();
+
+    let mut group = c.benchmark_group("pde_solve");
+    for (nx, nt) in [(8u32, 4u32), (32, 16), (128, 64), (256, 256)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nx}x{nt}")),
+            &(nx, nt),
+            |b, &(nx, nt)| {
+                b.iter(|| solve_on_mesh(&problem, nx, nt, &cfg).unwrap().value);
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("tridiag_1k", |b| {
+        let n = 1000;
+        let sub = vec![-1.0; n];
+        let diag = vec![4.0; n];
+        let sup = vec![-1.0; n];
+        let rhs = vec![1.0; n];
+        b.iter(|| solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap());
+    });
+
+    c.bench_function("trapezoid_ladder_to_level_12", |b| {
+        b.iter(|| {
+            let mut ladder = TrapezoidLadder::new(|x: f64| x.sin() * x.exp(), 0.0, 2.0);
+            for _ in 0..12 {
+                ladder.advance();
+            }
+            ladder.estimate()
+        });
+    });
+
+    c.bench_function("bisection_to_1e-12", |b| {
+        b.iter(|| bisect(&|x: f64| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap());
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

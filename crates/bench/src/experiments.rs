@@ -1,0 +1,695 @@
+//! Drivers regenerating every table and figure of §6.
+
+use std::time::{Duration, Instant};
+
+use vao::cost::WorkMeter;
+use vao::ops::hybrid::{hybrid_weighted_sum, HybridChoice, HybridConfig};
+use vao::ops::minmax::{max_vao, max_vao_with, AggregateConfig};
+use vao::ops::oracle::oracle_max;
+use vao::ops::selection::{CmpOp, SelectionVao};
+use vao::ops::sum::{weighted_sum_vao, weighted_sum_vao_with};
+use vao::ops::traditional::{
+    traditional_max, traditional_select, traditional_weighted_sum, BlackBoxSpec,
+};
+use vao::precision::PrecisionConstraint;
+use vao::strategy::ChoicePolicy;
+
+use va_workloads::{
+    constant_for_selectivity, HotColdWeights, SyntheticMapping, TargetDistribution,
+};
+
+use crate::setup::Lab;
+
+/// The default selectivity sweep of Figures 8–9.
+pub const SELECTIVITIES: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The default σ sweep (dollars) of Figures 10–11, including the σ = 0
+/// pathological point.
+pub const STD_DEVS: [f64; 7] = [0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+/// The hot-weight shares of Figure 12.
+pub const HOT_SHARES: [f64; 6] = [0.10, 0.30, 0.50, 0.70, 0.90, 0.99];
+
+/// One point of a selectivity sweep (Figures 8–9).
+#[derive(Clone, Copy, Debug)]
+pub struct SelectivityRow {
+    /// Target selectivity.
+    pub selectivity: f64,
+    /// The derived selection constant.
+    pub constant: f64,
+    /// Tuples that satisfied the predicate.
+    pub selected: usize,
+    /// VAO work units.
+    pub vao_work: u64,
+    /// Traditional work units (query-independent).
+    pub trad_work: u64,
+    /// VAO wall time.
+    pub vao_wall: Duration,
+}
+
+impl SelectivityRow {
+    /// Traditional-over-VAO work ratio.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.trad_work as f64 / self.vao_work.max(1) as f64
+    }
+}
+
+/// Runs one selection query over fresh VAO objects, returning
+/// (selected count, work, wall).
+pub fn run_selection_vao(lab: &Lab, op: CmpOp, constant: f64) -> (usize, u64, Duration) {
+    let start = Instant::now();
+    let mut meter = WorkMeter::new();
+    let vao = SelectionVao::new(op, constant).expect("finite constant");
+    let mut selected = 0;
+    for &bond in lab.universe.bonds() {
+        let mut obj = lab.pricer.price(bond, lab.rate, &mut meter);
+        let out = vao.evaluate(&mut obj, &mut meter).expect("selection converges");
+        if out.satisfied {
+            selected += 1;
+        }
+    }
+    (selected, meter.total(), start.elapsed())
+}
+
+/// Figure 8 (`>` predicate) or Figure 9 (`<` predicate): runtimes across a
+/// selectivity sweep, VAO vs traditional.
+pub fn selection_sweep(lab: &Lab, op: CmpOp, selectivities: &[f64]) -> Vec<SelectivityRow> {
+    let trad_work = lab.traditional_work();
+    selectivities
+        .iter()
+        .map(|&s| {
+            let constant = constant_for_selectivity(&lab.converged, op, s);
+            let (selected, vao_work, vao_wall) = run_selection_vao(lab, op, constant);
+            SelectivityRow {
+                selectivity: s,
+                constant,
+                selected,
+                vao_work,
+                trad_work,
+                vao_wall,
+            }
+        })
+        .collect()
+}
+
+/// One point of a synthetic stress sweep (Figures 10–11).
+#[derive(Clone, Copy, Debug)]
+pub struct StressRow {
+    /// Distribution standard deviation (dollars).
+    pub std_dev: f64,
+    /// VAO work units.
+    pub vao_work: u64,
+    /// Traditional work units.
+    pub trad_work: u64,
+    /// VAO wall time.
+    pub vao_wall: Duration,
+}
+
+impl StressRow {
+    /// Traditional-over-VAO work ratio (< 1 means the VAO lost).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.trad_work as f64 / self.vao_work.max(1) as f64
+    }
+}
+
+/// Figure 10: selection stress. Gaussian result distributions centered on
+/// the selection constant, σ sweeping from the pathological 0 upward.
+pub fn fig10_selection_stress(lab: &Lab, std_devs: &[f64], seed: u64) -> Vec<StressRow> {
+    let constant = 100.0;
+    std_devs
+        .iter()
+        .map(|&std_dev| {
+            let mapping = SyntheticMapping::generate(
+                &lab.converged,
+                TargetDistribution::Gaussian {
+                    mean: constant,
+                    std_dev,
+                },
+                seed,
+            );
+            let trad_work: u64 = lab.synthetic_specs(&mapping).iter().map(|s| s.work).sum();
+            let start = Instant::now();
+            let mut meter = WorkMeter::new();
+            let vao = SelectionVao::new(CmpOp::Gt, constant).expect("finite constant");
+            for (i, &bond) in lab.universe.bonds().iter().enumerate() {
+                let mut obj = mapping.wrap(i, lab.pricer.price(bond, lab.rate, &mut meter));
+                vao.evaluate(&mut obj, &mut meter).expect("selection converges");
+            }
+            StressRow {
+                std_dev,
+                vao_work: meter.total(),
+                trad_work,
+                vao_wall: start.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the §6.2 MAX runtime table.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxTableRow {
+    /// Operator name: "Optimal", "VAO" or "Traditional".
+    pub operator: &'static str,
+    /// Work units.
+    pub work: u64,
+    /// Wall time.
+    pub wall: Duration,
+    /// `iterate()` calls (0 for Traditional).
+    pub iterations: u64,
+}
+
+/// The §6.2 table: Optimal vs VAO vs Traditional on the real-data MAX
+/// query, all returning bounds within ε = \$0.01.
+pub fn max_table(lab: &Lab) -> Vec<MaxTableRow> {
+    let eps = PrecisionConstraint::new(0.01).expect("valid epsilon");
+
+    // Optimal: knows the argmax a priori.
+    let true_argmax = lab
+        .converged
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite prices"))
+        .map(|(i, _)| i)
+        .expect("non-empty lab");
+    let start = Instant::now();
+    let mut meter = WorkMeter::new();
+    let mut objs = lab.objects(&mut meter);
+    let opt_res = oracle_max(&mut objs, true_argmax, eps, &mut meter).expect("oracle converges");
+    let optimal = MaxTableRow {
+        operator: "Optimal",
+        work: meter.total(),
+        wall: start.elapsed(),
+        iterations: opt_res.iterations,
+    };
+
+    // VAO.
+    let start = Instant::now();
+    let mut meter = WorkMeter::new();
+    let mut objs = lab.objects(&mut meter);
+    let vao_res = max_vao(&mut objs, eps, &mut meter).expect("max vao converges");
+    // With many bonds, the top two can sit within minWidth of each other;
+    // any tie-winner within a cent of the true maximum is a correct answer.
+    assert!(
+        (lab.converged[vao_res.argext] - lab.converged[true_argmax]).abs() <= 0.02,
+        "VAO winner {} (${}) vs oracle winner {} (${})",
+        vao_res.argext,
+        lab.converged[vao_res.argext],
+        true_argmax,
+        lab.converged[true_argmax]
+    );
+    let vao = MaxTableRow {
+        operator: "VAO",
+        work: meter.total(),
+        wall: start.elapsed(),
+        iterations: vao_res.iterations,
+    };
+
+    // Traditional.
+    let start = Instant::now();
+    let mut meter = WorkMeter::new();
+    let (trad_argmax, _) = traditional_max(&lab.specs, &mut meter).expect("non-empty");
+    assert_eq!(trad_argmax, true_argmax, "specs and converged agree on argmax");
+    let traditional = MaxTableRow {
+        operator: "Traditional",
+        work: meter.total(),
+        wall: start.elapsed(),
+        iterations: 0,
+    };
+
+    vec![optimal, vao, traditional]
+}
+
+/// Figure 11: MAX stress. Results drawn from the lower half of a Gaussian
+/// (clustered under the maximum), σ sweeping from the pathological 0.
+pub fn fig11_max_stress(lab: &Lab, std_devs: &[f64], seed: u64) -> Vec<StressRow> {
+    let eps = PrecisionConstraint::new(0.01).expect("valid epsilon");
+    std_devs
+        .iter()
+        .map(|&std_dev| {
+            let mapping = SyntheticMapping::generate(
+                &lab.converged,
+                TargetDistribution::LowerHalfGaussian {
+                    max: 100.0,
+                    std_dev,
+                },
+                seed,
+            );
+            let trad_work: u64 = lab.synthetic_specs(&mapping).iter().map(|s| s.work).sum();
+            let start = Instant::now();
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.synthetic_objects(&mapping, &mut meter);
+            max_vao(&mut objs, eps, &mut meter).expect("max vao converges");
+            StressRow {
+                std_dev,
+                vao_work: meter.total(),
+                trad_work,
+                vao_wall: start.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure-12 hot–cold sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct HotColdRow {
+    /// Fraction of total weight on the hot set.
+    pub hot_share: f64,
+    /// SUM VAO work units.
+    pub vao_work: u64,
+    /// Traditional work units.
+    pub trad_work: u64,
+    /// Hybrid operator work units (extension).
+    pub hybrid_work: u64,
+    /// Which path the hybrid chose.
+    pub hybrid_choice: HybridChoice,
+    /// VAO wall time.
+    pub vao_wall: Duration,
+}
+
+impl HotColdRow {
+    /// Traditional-over-VAO work ratio (< 1 means traditional won).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.trad_work as f64 / self.vao_work.max(1) as f64
+    }
+}
+
+/// Figure 12: SUM with hot–cold weights. Total weight = n, hot set = 10 %
+/// of bonds, ε = n·\$0.01 (the paper's 500·\$.01 = \$5), sweeping the hot
+/// set's weight share. Also runs the §6.3 hybrid extension.
+pub fn fig12_sum_hotcold(lab: &Lab, hot_shares: &[f64], seed: u64) -> Vec<HotColdRow> {
+    let n = lab.len();
+    let eps = PrecisionConstraint::new(n as f64 * 0.01 * (1.0 + 1e-9)).expect("valid epsilon");
+    hot_shares
+        .iter()
+        .map(|&hot_share| {
+            let weights = HotColdWeights::paper_scheme(n, hot_share, seed);
+
+            // Traditional runs every model regardless of weights.
+            let mut trad_meter = WorkMeter::new();
+            traditional_weighted_sum(&lab.specs, weights.weights(), &mut trad_meter)
+                .expect("weights valid");
+
+            // SUM VAO.
+            let start = Instant::now();
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut meter);
+            weighted_sum_vao(&mut objs, weights.weights(), eps, &mut meter)
+                .expect("sum vao converges");
+            let vao_wall = start.elapsed();
+
+            // Hybrid extension.
+            let mut hybrid_meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut hybrid_meter);
+            let (_, decision) = hybrid_weighted_sum(
+                &mut objs,
+                weights.weights(),
+                &lab.specs,
+                eps,
+                &HybridConfig::default(),
+                &mut AggregateConfig::default(),
+                &mut hybrid_meter,
+            )
+            .expect("hybrid converges");
+
+            HotColdRow {
+                hot_share,
+                vao_work: meter.total(),
+                trad_work: trad_meter.total(),
+                hybrid_work: hybrid_meter.total(),
+                hybrid_choice: decision.choice,
+                vao_wall,
+            }
+        })
+        .collect()
+}
+
+/// One row of the iteration-strategy ablation.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// MAX query work units.
+    pub max_work: u64,
+    /// SUM query work units (uniform weights, ε = n·\$0.01).
+    pub sum_work: u64,
+}
+
+/// Ablation: the paper's greedy strategy vs round-robin, random and
+/// widest-first, on the real-data MAX and SUM queries.
+pub fn ablation_strategies(lab: &Lab, seed: u64) -> Vec<StrategyRow> {
+    let n = lab.len();
+    let eps_max = PrecisionConstraint::new(0.01).expect("valid epsilon");
+    let eps_sum = PrecisionConstraint::new(n as f64 * 0.01 * (1.0 + 1e-9)).expect("valid epsilon");
+    let weights = vec![1.0; n];
+    let policies: [(&'static str, ChoicePolicy); 4] = [
+        ("greedy", ChoicePolicy::greedy()),
+        ("round-robin", ChoicePolicy::round_robin()),
+        ("random", ChoicePolicy::random(seed)),
+        ("widest-first", ChoicePolicy::widest_first()),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, policy)| {
+            let mut config = AggregateConfig {
+                policy: policy.clone(),
+                ..AggregateConfig::default()
+            };
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut meter);
+            max_vao_with(&mut objs, eps_max, &mut config, &mut meter).expect("max converges");
+            let max_work = meter.total();
+
+            let mut config = AggregateConfig {
+                policy,
+                ..AggregateConfig::default()
+            };
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut meter);
+            weighted_sum_vao_with(&mut objs, &weights, eps_sum, &mut config, &mut meter)
+                .expect("sum converges");
+            let sum_work = meter.total();
+
+            StrategyRow {
+                policy: name,
+                max_work,
+                sum_work,
+            }
+        })
+        .collect()
+}
+
+/// One row of the choose-iteration cost ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct ChooseCostRow {
+    /// Universe size.
+    pub n: usize,
+    /// Total work of the MAX VAO evaluation.
+    pub total_work: u64,
+    /// The `chooseIter` component alone.
+    pub choose_work: u64,
+}
+
+impl ChooseCostRow {
+    /// `chooseIter` share of total work — §5 claims this is negligible.
+    #[must_use]
+    pub fn choose_fraction(&self) -> f64 {
+        self.choose_work as f64 / self.total_work.max(1) as f64
+    }
+}
+
+/// Ablation: the cost of choosing iterations (§5's `chooseIter`) as the
+/// object-set size grows.
+pub fn ablation_choose_cost(sizes: &[usize], seed: u64) -> Vec<ChooseCostRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let lab = Lab::new(n, seed);
+            let mut meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut meter);
+            max_vao(
+                &mut objs,
+                PrecisionConstraint::new(0.01).expect("valid epsilon"),
+                &mut meter,
+            )
+            .expect("max converges");
+            let b = meter.breakdown();
+            ChooseCostRow {
+                n,
+                total_work: b.total(),
+                choose_work: b.choose_iter,
+            }
+        })
+        .collect()
+}
+
+/// One row of the choose-index ablation (scan vs heap, §5.2).
+#[derive(Clone, Copy, Debug)]
+pub struct ChooseIndexRow {
+    /// Universe size.
+    pub n: usize,
+    /// `chooseIter` work of the O(N)-scan SUM.
+    pub scan_choose: u64,
+    /// `chooseIter` work of the heap-indexed SUM.
+    pub heap_choose: u64,
+    /// Solver work of the scan version (should match the heap version).
+    pub scan_exec: u64,
+    /// Solver work of the heap version.
+    pub heap_exec: u64,
+}
+
+/// Ablation: §5.2's heap-queue iteration index vs the baseline scan, on a
+/// uniform-weight SUM run to the floor.
+pub fn ablation_choose_index(sizes: &[usize], seed: u64) -> Vec<ChooseIndexRow> {
+    use vao::ops::sum_heap::weighted_sum_vao_heap;
+    sizes
+        .iter()
+        .map(|&n| {
+            let lab = Lab::new(n, seed);
+            let weights = vec![1.0; n];
+            let eps = PrecisionConstraint::new(n as f64 * 0.01 * (1.0 + 1e-9))
+                .expect("valid epsilon");
+
+            let mut scan_meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut scan_meter);
+            weighted_sum_vao(&mut objs, &weights, eps, &mut scan_meter).expect("sum converges");
+
+            let mut heap_meter = WorkMeter::new();
+            let mut objs = lab.objects(&mut heap_meter);
+            weighted_sum_vao_heap(&mut objs, &weights, eps, &mut heap_meter)
+                .expect("sum converges");
+
+            ChooseIndexRow {
+                n,
+                scan_choose: scan_meter.breakdown().choose_iter,
+                heap_choose: heap_meter.breakdown().choose_iter,
+                scan_exec: scan_meter.breakdown().exec_iter,
+                heap_exec: heap_meter.breakdown().exec_iter,
+            }
+        })
+        .collect()
+}
+
+/// One tick of the continuous-query amortization experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct TickRow {
+    /// Tick index.
+    pub tick: usize,
+    /// The rate processed.
+    pub rate: f64,
+    /// Plain VAO work (no cross-tick caching).
+    pub vao_work: u64,
+    /// Work with the CASPER-style predicate-range cache.
+    pub cached_work: u64,
+    /// Cache hits on this tick.
+    pub cache_hits: usize,
+}
+
+/// Extension experiment: a continuous selection over a stream of rate
+/// ticks, with and without predicate result-range caching (the §2 CASPER
+/// integration). The uncached VAO pays per tick; the cache amortizes
+/// revisited rate bands toward zero.
+pub fn tick_amortization(lab: &Lab, ticks: usize, seed: u64) -> Vec<TickRow> {
+    use bondlab::RateSeries;
+    use va_stream::casper::CachedSelectionEngine;
+    use va_stream::relation::BondRelation;
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let mut cached =
+        CachedSelectionEngine::new(lab.pricer, relation, CmpOp::Gt, 100.0).expect("valid query");
+    let series = RateSeries::january_1994();
+    let stream = series.intraday_ticks(ticks, seed);
+
+    stream
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            // Uncached: fresh objects, full selection, every tick.
+            let mut meter = WorkMeter::new();
+            let vao = SelectionVao::new(CmpOp::Gt, 100.0).expect("finite constant");
+            for &bond in lab.universe.bonds() {
+                let mut obj = lab.pricer.price(bond, t.rate, &mut meter);
+                vao.evaluate(&mut obj, &mut meter).expect("selection converges");
+            }
+            let vao_work = meter.total();
+
+            let (_, stats) = cached.process_rate(t.rate).expect("cached selection");
+            TickRow {
+                tick: i,
+                rate: t.rate,
+                vao_work,
+                cached_work: stats.work,
+                cache_hits: stats.hits,
+            }
+        })
+        .collect()
+}
+
+/// Runs the traditional selection for completeness/answer checking
+/// (its work is query-independent; see [`Lab::traditional_work`]).
+pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {
+    let mut meter = WorkMeter::new();
+    traditional_select(&lab.specs, op, constant, &mut meter)
+}
+
+/// Convenience wrapper used by tests: the black-box specs of a lab.
+#[must_use]
+pub fn specs(lab: &Lab) -> &[BlackBoxSpec] {
+    &lab.specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab() -> Lab {
+        Lab::new(24, 7)
+    }
+
+    #[test]
+    fn selection_sweep_beats_traditional_everywhere() {
+        let lab = lab();
+        let rows = selection_sweep(&lab, CmpOp::Gt, &[0.1, 0.5, 0.9]);
+        for r in &rows {
+            assert!(
+                r.speedup() > 5.0,
+                "selectivity {}: speedup only {:.1}",
+                r.selectivity,
+                r.speedup()
+            );
+            let expected = (r.selectivity * lab.len() as f64).round() as usize;
+            assert_eq!(r.selected, expected, "selectivity {}", r.selectivity);
+        }
+    }
+
+    #[test]
+    fn gt_and_lt_runtimes_mirror() {
+        // §6.1: runtime for selectivity s with `>` equals runtime for 1-s
+        // with `<` because the constants coincide.
+        let lab = lab();
+        let gt = selection_sweep(&lab, CmpOp::Gt, &[0.25]);
+        let lt = selection_sweep(&lab, CmpOp::Lt, &[0.75]);
+        assert!((gt[0].constant - lt[0].constant).abs() < 1e-9);
+        assert_eq!(gt[0].vao_work, lt[0].vao_work);
+    }
+
+    #[test]
+    fn fig10_pathological_sigma_zero_is_worse_than_traditional() {
+        let lab = lab();
+        let rows = fig10_selection_stress(&lab, &[0.0, 1.0], 3);
+        assert!(
+            rows[0].speedup() < 1.0,
+            "σ=0 must lose to traditional, got speedup {:.2}",
+            rows[0].speedup()
+        );
+        assert!(
+            rows[1].speedup() > 1.0,
+            "σ=$1 must beat traditional, got {:.2}",
+            rows[1].speedup()
+        );
+        assert!(rows[1].vao_work < rows[0].vao_work);
+    }
+
+    #[test]
+    fn max_table_ordering_matches_paper() {
+        let lab = lab();
+        let rows = max_table(&lab);
+        let (opt, vao, trad) = (&rows[0], &rows[1], &rows[2]);
+        assert_eq!(opt.operator, "Optimal");
+        assert!(opt.work <= vao.work, "optimal {} vs vao {}", opt.work, vao.work);
+        assert!(
+            vao.work < trad.work / 2,
+            "vao {} must clearly beat traditional {}",
+            vao.work,
+            trad.work
+        );
+    }
+
+    #[test]
+    fn fig11_sigma_zero_forces_full_convergence() {
+        let lab = lab();
+        let rows = fig11_max_stress(&lab, &[0.0, 1.0], 3);
+        assert!(rows[0].speedup() < 1.0, "σ=0: {:.2}", rows[0].speedup());
+        assert!(rows[1].speedup() > 1.0, "σ=$1: {:.2}", rows[1].speedup());
+    }
+
+    #[test]
+    fn fig12_crossover_with_hot_share() {
+        let lab = lab();
+        let rows = fig12_sum_hotcold(&lab, &[0.10, 0.99], 5);
+        // Uniform weights (hot share = hot fraction): VAO pays overhead.
+        assert!(rows[0].speedup() < 1.0, "uniform: {:.2}", rows[0].speedup());
+        // Concentrated weights: VAO wins.
+        assert!(rows[1].speedup() > 1.0, "hot: {:.2}", rows[1].speedup());
+        // Hybrid picks the right side at both extremes and is never much
+        // worse than the best of the two.
+        assert_eq!(rows[0].hybrid_choice, HybridChoice::Traditional);
+        assert_eq!(rows[1].hybrid_choice, HybridChoice::Vao);
+        for r in &rows {
+            let best = r.vao_work.min(r.trad_work);
+            assert!(
+                r.hybrid_work <= best + best / 5,
+                "hybrid {} vs best {}",
+                r.hybrid_work,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_strategy_is_no_worse_than_ablations() {
+        let lab = lab();
+        let rows = ablation_strategies(&lab, 11);
+        let greedy = &rows[0];
+        assert_eq!(greedy.policy, "greedy");
+        for r in &rows[1..] {
+            assert!(
+                greedy.max_work <= r.max_work + r.max_work / 10,
+                "greedy MAX {} vs {} {}",
+                greedy.max_work,
+                r.policy,
+                r.max_work
+            );
+        }
+    }
+
+    #[test]
+    fn choose_cost_is_negligible() {
+        let rows = ablation_choose_cost(&[8, 16], 7);
+        for r in &rows {
+            assert!(
+                r.choose_fraction() < 0.01,
+                "n={}: chooseIter is {:.4} of total",
+                r.n,
+                r.choose_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn tick_amortization_cache_pays_off() {
+        let lab = lab();
+        let rows = tick_amortization(&lab, 8, 42);
+        assert_eq!(rows.len(), 8);
+        // First tick: cold cache costs as much as the plain VAO.
+        assert_eq!(rows[0].cache_hits, 0);
+        // Across the stream, the cached engine does strictly less work.
+        let plain: u64 = rows.iter().map(|r| r.vao_work).sum();
+        let cached: u64 = rows.iter().map(|r| r.cached_work).sum();
+        assert!(cached < plain, "cached {cached} vs plain {plain}");
+        // And hits appear once the band is revisited.
+        assert!(rows.iter().skip(1).any(|r| r.cache_hits > 0));
+    }
+
+    #[test]
+    fn traditional_answers_match_vao_selection() {
+        let lab = lab();
+        let constant = constant_for_selectivity(&lab.converged, CmpOp::Gt, 0.4);
+        let trad = traditional_selection_answer(&lab, CmpOp::Gt, constant);
+        let (count, _, _) = run_selection_vao(&lab, CmpOp::Gt, constant);
+        assert_eq!(trad.len(), count);
+        assert_eq!(specs(&lab).len(), lab.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! # va-bench — experiment drivers for every table and figure in §6
+//!
+//! Each function in [`experiments`] regenerates one of the paper's
+//! artifacts (Figures 8–12 and the §6.2 MAX runtime table) plus ablations,
+//! returning structured rows. The `harness` binary prints them and writes
+//! CSVs; the Criterion benches wrap the same drivers for wall-clock
+//! measurement.
+//!
+//! Runtimes are reported in deterministic **work units** (mesh entries
+//! computed — see `vao::cost`) as the primary metric, with wall-clock as a
+//! secondary column. The paper reports seconds on a 2.4 GHz Pentium 4;
+//! shapes, crossovers and ratios are the comparison targets, not absolute
+//! values (see EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod setup;
+
+pub use setup::Lab;

@@ -1,0 +1,145 @@
+//! The bond universe — a deterministic stand-in for the paper's 500-bond
+//! real data set.
+//!
+//! The paper evaluates on "bond data on 500 mortgage backed securities
+//! issued between January and December of 1993" (Freddie Mac Gold PC
+//! 30-year MBS). That data set is proprietary; this generator produces a
+//! universe with the same economically relevant spread: pass-through
+//! coupons across the 1993 new-issue range and 30-year terms seasoned by
+//! 0–12 months at the January 1994 pricing date. What the VAO experiments
+//! are sensitive to is the *distribution of model prices* (§6.1) — this
+//! universe yields converged prices spread over tens of dollars around
+//! par, matching the paper's reported σ ≈ \$7.78 regime.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bond::Bond;
+
+/// A generated set of bonds.
+#[derive(Clone, Debug)]
+pub struct BondUniverse {
+    bonds: Vec<Bond>,
+    seed: u64,
+}
+
+impl BondUniverse {
+    /// The paper's universe size.
+    pub const PAPER_SIZE: usize = 500;
+
+    /// Generates `n` bonds deterministically from `seed`.
+    #[must_use]
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bonds = (0..n)
+            .map(|i| {
+                // 1993 Gold PC pass-through coupons: 5.5 % – 8.5 % in
+                // half-point ladders plus idiosyncratic spread.
+                let ladder = [0.055, 0.06, 0.065, 0.07, 0.075, 0.08, 0.085];
+                let base = ladder[rng.gen_range(0..ladder.len())];
+                let coupon = base + rng.gen_range(-0.0015..0.0015);
+                // Issued Jan–Dec 1993, priced Jan 1994: 29.0–30.0 years left.
+                let years = 30.0 - rng.gen_range(0.0..1.0);
+                Bond::new(i as u32, coupon, years, 100.0)
+            })
+            .collect();
+        Self { bonds, seed }
+    }
+
+    /// The paper-scale universe (500 bonds) at the default seed.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::generate(Self::PAPER_SIZE, 1994)
+    }
+
+    /// The bonds.
+    #[must_use]
+    pub fn bonds(&self) -> &[Bond] {
+        &self.bonds
+    }
+
+    /// Number of bonds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bonds.len()
+    }
+
+    /// Whether the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bonds.is_empty()
+    }
+
+    /// The generation seed (for experiment records).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl std::ops::Index<usize> for BondUniverse {
+    type Output = Bond;
+
+    fn index(&self, i: usize) -> &Bond {
+        &self.bonds[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BondUniverse::generate(100, 7);
+        let b = BondUniverse::generate(100, 7);
+        assert_eq!(a.bonds(), b.bonds());
+        let c = BondUniverse::generate(100, 8);
+        assert_ne!(a.bonds(), c.bonds());
+    }
+
+    #[test]
+    fn paper_default_has_500_bonds() {
+        let u = BondUniverse::paper_default();
+        assert_eq!(u.len(), 500);
+        assert!(!u.is_empty());
+        assert_eq!(u.seed(), 1994);
+    }
+
+    #[test]
+    fn coupons_and_maturities_are_in_1993_ranges() {
+        let u = BondUniverse::paper_default();
+        for b in u.bonds() {
+            assert!((0.05..0.09).contains(&b.coupon), "coupon {}", b.coupon);
+            assert!(
+                (29.0..=30.0).contains(&b.years_to_maturity),
+                "maturity {}",
+                b.years_to_maturity
+            );
+            assert_eq!(b.face, 100.0);
+        }
+    }
+
+    #[test]
+    fn ids_are_positional() {
+        let u = BondUniverse::generate(10, 3);
+        for (i, b) in u.bonds().iter().enumerate() {
+            assert_eq!(b.id as usize, i);
+        }
+        assert_eq!(u[3].id, 3);
+    }
+
+    #[test]
+    fn coupon_spread_covers_the_ladder() {
+        // With 500 draws all seven coupon rungs should appear.
+        let u = BondUniverse::paper_default();
+        let mut rung_hit = [false; 7];
+        for b in u.bonds() {
+            let idx = ((b.coupon - 0.055) / 0.005).round() as usize;
+            if idx < 7 {
+                rung_hit[idx] = true;
+            }
+        }
+        assert!(rung_hit.iter().all(|&h| h), "{rung_hit:?}");
+    }
+}

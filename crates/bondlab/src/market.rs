@@ -1,0 +1,145 @@
+//! Interest-rate market data.
+//!
+//! The paper drives its continuous queries with the 10-year Constant
+//! Maturity U.S. Treasury yield for January 3–31, 1994, with new rates
+//! derived from Treasury prices arriving every 1–4 minutes. The exact
+//! series is licensed data (Global Financial Data), so this module ships a
+//! synthetic stand-in at the correct level (the 10-year CMT opened January
+//! 1994 around 5.8 %) with the same tick cadence. The experiments — like
+//! the paper's (§6: "the following experiments show processing time for one
+//! interest rate, the opening rate for Jan. 3, 1994") — are insensitive to
+//! the exact values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One interest-rate observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateTick {
+    /// Minutes since the series start.
+    pub minutes: f64,
+    /// The 10-year yield (continuous fraction, e.g. `0.0585`).
+    pub rate: f64,
+}
+
+/// A daily interest-rate series with an intra-day tick generator.
+#[derive(Clone, Debug)]
+pub struct RateSeries {
+    opens: Vec<f64>,
+}
+
+impl RateSeries {
+    /// The synthetic January-1994-like series: 20 business days of 10-year
+    /// CMT opening yields near 5.8 %.
+    #[must_use]
+    pub fn january_1994() -> Self {
+        // Level and gentle drift consistent with the published monthly
+        // averages for Jan 1994 (~5.75 %); exact daily values synthetic.
+        let opens = vec![
+            0.0583, 0.0581, 0.0579, 0.0578, 0.0577, 0.0575, 0.0574, 0.0576, 0.0578, 0.0577,
+            0.0575, 0.0573, 0.0572, 0.0574, 0.0576, 0.0578, 0.0580, 0.0582, 0.0584, 0.0586,
+        ];
+        Self { opens }
+    }
+
+    /// The opening rate for the first day — the single rate the paper's
+    /// timing experiments process.
+    #[must_use]
+    pub fn opening_rate(&self) -> f64 {
+        self.opens[0]
+    }
+
+    /// Daily opening rates.
+    #[must_use]
+    pub fn daily_opens(&self) -> &[f64] {
+        &self.opens
+    }
+
+    /// Highest and lowest openings (the paper re-ran its experiments at the
+    /// high and low rates and saw the same trends).
+    #[must_use]
+    pub fn extremes(&self) -> (f64, f64) {
+        let lo = self.opens.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.opens.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+
+    /// Generates `count` intra-day ticks starting from the opening rate:
+    /// inter-arrival times uniform in 1–4 minutes (the paper observed a
+    /// 2-minute average on real-time feeds), rate following a small
+    /// mean-reverting random walk around the open. Deterministic per seed.
+    #[must_use]
+    pub fn intraday_ticks(&self, count: usize, seed: u64) -> Vec<RateTick> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let open = self.opening_rate();
+        let mut t = 0.0;
+        let mut rate = open;
+        (0..count)
+            .map(|_| {
+                t += rng.gen_range(1.0..4.0);
+                // ~0.5bp noise with reversion to the open.
+                rate += 0.1 * (open - rate) + rng.gen_range(-0.00005..0.00005);
+                RateTick { minutes: t, rate }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_at_the_1994_level() {
+        let s = RateSeries::january_1994();
+        assert_eq!(s.daily_opens().len(), 20);
+        for &r in s.daily_opens() {
+            assert!((0.055..0.062).contains(&r), "{r}");
+        }
+        assert!((s.opening_rate() - 0.0583).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_bracket_all_days() {
+        let s = RateSeries::january_1994();
+        let (lo, hi) = s.extremes();
+        assert!(lo < hi);
+        for &r in s.daily_opens() {
+            assert!(r >= lo && r <= hi);
+        }
+    }
+
+    #[test]
+    fn ticks_are_deterministic_per_seed() {
+        let s = RateSeries::january_1994();
+        let a = s.intraday_ticks(50, 7);
+        let b = s.intraday_ticks(50, 7);
+        assert_eq!(a, b);
+        let c = s.intraday_ticks(50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tick_cadence_is_one_to_four_minutes() {
+        let s = RateSeries::january_1994();
+        let ticks = s.intraday_ticks(200, 42);
+        let mut prev = 0.0;
+        for t in &ticks {
+            let gap = t.minutes - prev;
+            assert!((1.0..4.0).contains(&gap), "gap {gap}");
+            prev = t.minutes;
+        }
+        // Average gap near the observed 2-minute cadence (uniform 1-4 -> 2.5).
+        let avg = ticks.last().unwrap().minutes / ticks.len() as f64;
+        assert!((2.0..3.0).contains(&avg), "{avg}");
+    }
+
+    #[test]
+    fn tick_rates_stay_near_the_open() {
+        let s = RateSeries::january_1994();
+        let open = s.opening_rate();
+        for t in s.intraday_ticks(500, 9) {
+            assert!((t.rate - open).abs() < 0.005, "{}", t.rate);
+        }
+    }
+}

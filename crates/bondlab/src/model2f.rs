@@ -1,0 +1,254 @@
+//! A two-factor bond model (extension).
+//!
+//! The paper's evaluation uses the single-factor Stanton model, but its
+//! motivation cites two-factor mortgage valuation (Downing, Stanton &
+//! Wallace: interest rates *and* housing prices). This module provides a
+//! stylized two-factor variant: factor `x` is the short rate (as in
+//! [`crate::model`]) and factor `y` is a mean-reverting log housing-price
+//! deviation that scales the pool's effective cash-flow rate — a crude
+//! stand-in for turnover/default effects. It exercises the
+//! [`va_numerics::pde::two_factor`] ADI machinery end to end.
+
+use va_numerics::pde::two_factor::TwoFactorPde;
+
+use crate::bond::Bond;
+use crate::model::ShortRateModel;
+
+/// Parameters of the housing factor: an OU process on the log deviation
+/// `y` from trend, `dy = −κ_y·y·dt + σ_y·dW`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HousingFactor {
+    /// Mean-reversion speed of the deviation.
+    pub kappa: f64,
+    /// Volatility of the deviation.
+    pub sigma: f64,
+    /// Cash-flow sensitivity: effective payment rate is
+    /// `payment · (1 + gamma·y)` (clamped nonnegative).
+    pub gamma: f64,
+    /// Grid for `y`.
+    pub y_min: f64,
+    /// Upper end of the `y` grid.
+    pub y_max: f64,
+}
+
+impl Default for HousingFactor {
+    fn default() -> Self {
+        Self {
+            kappa: 0.3,
+            sigma: 0.08,
+            gamma: 0.25,
+            y_min: -0.6,
+            y_max: 0.6,
+        }
+    }
+}
+
+/// One bond's two-factor pricing problem.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoFactorBondPde {
+    /// The instrument.
+    pub bond: Bond,
+    /// The rate process.
+    pub rates: ShortRateModel,
+    /// The housing factor.
+    pub housing: HousingFactor,
+    /// Current short rate.
+    pub current_rate: f64,
+    /// Current housing deviation.
+    pub current_housing: f64,
+}
+
+impl TwoFactorBondPde {
+    /// Creates the problem, validating the query point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is outside its grid.
+    #[must_use]
+    pub fn new(
+        bond: Bond,
+        rates: ShortRateModel,
+        housing: HousingFactor,
+        current_rate: f64,
+        current_housing: f64,
+    ) -> Self {
+        assert!(
+            current_rate >= rates.x_min && current_rate <= rates.x_max,
+            "rate {current_rate} outside grid"
+        );
+        assert!(
+            current_housing >= housing.y_min && current_housing <= housing.y_max,
+            "housing deviation {current_housing} outside grid"
+        );
+        Self {
+            bond,
+            rates,
+            housing,
+            current_rate,
+            current_housing,
+        }
+    }
+}
+
+impl TwoFactorPde for TwoFactorBondPde {
+    fn x_domain(&self) -> (f64, f64) {
+        (self.rates.x_min, self.rates.x_max)
+    }
+
+    fn y_domain(&self) -> (f64, f64) {
+        (self.housing.y_min, self.housing.y_max)
+    }
+
+    fn horizon(&self) -> f64 {
+        self.bond.years_to_maturity
+    }
+
+    fn diffusion_x(&self, _x: f64, _y: f64) -> f64 {
+        0.5 * self.rates.sigma * self.rates.sigma
+    }
+
+    fn diffusion_y(&self, _x: f64, _y: f64) -> f64 {
+        0.5 * self.housing.sigma * self.housing.sigma
+    }
+
+    fn drift_x(&self, x: f64, _y: f64) -> f64 {
+        self.rates.kappa * self.rates.mu - (self.rates.kappa + self.rates.q) * x
+    }
+
+    fn drift_y(&self, _x: f64, y: f64) -> f64 {
+        -self.housing.kappa * y
+    }
+
+    fn discount(&self, x: f64, _y: f64) -> f64 {
+        x.max(0.0)
+    }
+
+    fn source(&self, _x: f64, y: f64, _t: f64) -> f64 {
+        self.bond.payment_rate() * (1.0 + self.housing.gamma * y).max(0.0)
+    }
+
+    fn terminal(&self, _x: f64, _y: f64) -> f64 {
+        0.0
+    }
+
+    fn query(&self) -> (f64, f64) {
+        (self.current_rate, self.current_housing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use va_numerics::pde::two_factor::solve_adi;
+    use va_numerics::pde::{solve_on_mesh, SolverConfig};
+
+    fn bond() -> Bond {
+        Bond::new(0, 0.07, 29.5, 100.0)
+    }
+
+    #[test]
+    fn two_factor_price_is_plausible() {
+        let p = TwoFactorBondPde::new(
+            bond(),
+            ShortRateModel::default(),
+            HousingFactor::default(),
+            0.0583,
+            0.0,
+        );
+        let s = solve_adi(&p, 48, 24, 256, 1 << 32).unwrap();
+        assert!((80.0..130.0).contains(&s.value), "price {}", s.value);
+    }
+
+    #[test]
+    fn degenerate_housing_factor_recovers_one_factor_price() {
+        // gamma = 0 and sigma_y = 0: the y dimension is inert and the
+        // price must match the single-factor solver.
+        let inert = HousingFactor {
+            gamma: 0.0,
+            sigma: 0.0,
+            ..HousingFactor::default()
+        };
+        let p2 = TwoFactorBondPde::new(bond(), ShortRateModel::default(), inert, 0.0583, 0.0);
+        let two = solve_adi(&p2, 64, 8, 512, 1 << 32).unwrap().value;
+
+        let p1 = crate::model::BondPde::new(bond(), ShortRateModel::default(), 0.0583);
+        let one = solve_on_mesh(&p1, 64, 512, &SolverConfig::default()).unwrap().value;
+        assert!((two - one).abs() < 0.35, "two-factor {two} vs one-factor {one}");
+    }
+
+    #[test]
+    fn positive_housing_deviation_raises_cash_flows_and_price() {
+        let model = ShortRateModel::default();
+        let housing = HousingFactor::default();
+        let base = solve_adi(
+            &TwoFactorBondPde::new(bond(), model, housing, 0.0583, 0.0),
+            48,
+            24,
+            256,
+            1 << 32,
+        )
+        .unwrap()
+        .value;
+        let hot_market = solve_adi(
+            &TwoFactorBondPde::new(bond(), model, housing, 0.0583, 0.3),
+            48,
+            24,
+            256,
+            1 << 32,
+        )
+        .unwrap()
+        .value;
+        assert!(
+            hot_market > base + 0.5,
+            "positive deviation must lift the price: {hot_market} vs {base}"
+        );
+    }
+
+    #[test]
+    fn variable_accuracy_object_prices_two_factor_bond() {
+        use va_numerics::pde::two_factor::{TwoFactorResultObject, TwoFactorVaoConfig};
+        use vao::cost::WorkMeter;
+        use vao::interface::ResultObject;
+
+        let p = TwoFactorBondPde::new(
+            bond(),
+            ShortRateModel::default(),
+            HousingFactor::default(),
+            0.0583,
+            0.0,
+        );
+        let mut meter = WorkMeter::new();
+        let mut obj = TwoFactorResultObject::new(
+            p,
+            TwoFactorVaoConfig {
+                min_width: 0.25, // two-factor meshes are pricey; quarter-dollar test accuracy
+                initial_nx: 8,
+                initial_ny: 8,
+                initial_nt: 4,
+                ..TwoFactorVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        let mut guard = 0;
+        while !obj.converged() && !obj.capped() {
+            obj.iterate(&mut meter);
+            guard += 1;
+            assert!(guard < 30);
+        }
+        assert!(obj.converged());
+        assert!((80.0..130.0).contains(&obj.bounds().mid()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn rejects_out_of_grid_housing() {
+        let _ = TwoFactorBondPde::new(
+            bond(),
+            ShortRateModel::default(),
+            HousingFactor::default(),
+            0.0583,
+            5.0,
+        );
+    }
+}

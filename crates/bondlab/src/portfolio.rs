@@ -1,0 +1,106 @@
+//! Portfolios: weighted bond holdings for SUM/AVE queries.
+//!
+//! Query Q2 of the paper ("find the value of my bond portfolio, which is a
+//! weighted sum of bond prices") weights each price by the number of shares
+//! held. The hot–cold weight schemes of §6.3 are generated in
+//! `va-workloads`; this type just carries holdings.
+
+use crate::dataset::BondUniverse;
+
+/// Bond holdings aligned with a universe by position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Portfolio {
+    shares: Vec<f64>,
+}
+
+impl Portfolio {
+    /// Creates a portfolio from per-bond share counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite share counts.
+    #[must_use]
+    pub fn new(shares: Vec<f64>) -> Self {
+        for (i, &s) in shares.iter().enumerate() {
+            assert!(
+                s.is_finite() && s >= 0.0,
+                "share count {s} at position {i} must be finite and nonnegative"
+            );
+        }
+        Self { shares }
+    }
+
+    /// Equal-weight portfolio: one share of each bond.
+    #[must_use]
+    pub fn equal_weight(universe: &BondUniverse) -> Self {
+        Self::new(vec![1.0; universe.len()])
+    }
+
+    /// Per-bond share counts — the SUM VAO's weight vector.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Number of positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether the portfolio holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Total shares held.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.shares.iter().sum()
+    }
+
+    /// Value of the portfolio given per-bond prices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prices` is not aligned with the holdings.
+    #[must_use]
+    pub fn value(&self, prices: &[f64]) -> f64 {
+        assert_eq!(prices.len(), self.shares.len(), "misaligned price vector");
+        self.shares.iter().zip(prices).map(|(s, p)| s * p).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weight_matches_universe() {
+        let u = BondUniverse::generate(10, 1);
+        let p = Portfolio::equal_weight(&u);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.total_weight(), 10.0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn value_is_weighted_sum() {
+        let p = Portfolio::new(vec![2.0, 0.0, 3.0]);
+        assert_eq!(p.value(&[10.0, 99.0, 1.0]), 23.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn value_requires_aligned_prices() {
+        let p = Portfolio::new(vec![1.0, 2.0]);
+        let _ = p.value(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative_shares() {
+        let _ = Portfolio::new(vec![1.0, -2.0]);
+    }
+}

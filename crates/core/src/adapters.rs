@@ -1,0 +1,218 @@
+//! Generic result-object adapters.
+//!
+//! * [`Negated`] flips an object's bounds about zero — MIN runs MAX over
+//!   negated objects (§5.1 notes MIN is symmetric to MAX).
+//! * [`Shifted`] translates an object's bounds by a constant — the synthetic
+//!   workload generator of §6 maps a real bond's result object onto a target
+//!   result distribution by shifting.
+
+use crate::bounds::Bounds;
+use crate::cost::{Work, WorkMeter};
+use crate::interface::ResultObject;
+
+/// Presents an inner result object with bounds reflected about zero.
+///
+/// If the inner object bounds a value `v` by `[L, H]`, the adapter bounds
+/// `-v` by `[-H, -L]`. Iteration, costs and convergence pass straight
+/// through, so a MAX over `Negated` objects performs exactly the iterations
+/// a native MIN would.
+pub struct Negated<R: ResultObject>(pub R);
+
+impl<R: ResultObject> ResultObject for Negated<R> {
+    fn bounds(&self) -> Bounds {
+        self.0.bounds().negate()
+    }
+
+    fn min_width(&self) -> f64 {
+        self.0.min_width()
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        self.0.iterate(meter).negate()
+    }
+
+    fn est_cpu(&self) -> Work {
+        self.0.est_cpu()
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        self.0.est_bounds().negate()
+    }
+
+    fn converged(&self) -> bool {
+        self.0.converged()
+    }
+
+    fn standalone_cost(&self) -> Work {
+        self.0.standalone_cost()
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.0.cumulative_cost()
+    }
+}
+
+/// Presents an inner result object with bounds translated by a constant.
+///
+/// §6 of the paper builds stress workloads by generating target values from
+/// a chosen distribution and shifting each real bond's refinements by
+/// `target − converged_real_value`; the shifted object costs exactly what
+/// the real one costs while converging to the synthetic value.
+pub struct Shifted<R: ResultObject> {
+    inner: R,
+    delta: f64,
+}
+
+impl<R: ResultObject> Shifted<R> {
+    /// Wraps `inner`, translating all reported bounds by `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not finite.
+    #[must_use]
+    pub fn new(inner: R, delta: f64) -> Self {
+        assert!(delta.is_finite(), "shift delta must be finite");
+        Self { inner, delta }
+    }
+
+    /// The translation applied to the inner object's bounds.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Consumes the adapter, returning the inner object.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: ResultObject> ResultObject for Shifted<R> {
+    fn bounds(&self) -> Bounds {
+        self.inner.bounds().shift(self.delta)
+    }
+
+    fn min_width(&self) -> f64 {
+        self.inner.min_width()
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        self.inner.iterate(meter).shift(self.delta)
+    }
+
+    fn est_cpu(&self) -> Work {
+        self.inner.est_cpu()
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        self.inner.est_bounds().shift(self.delta)
+    }
+
+    fn converged(&self) -> bool {
+        self.inner.converged()
+    }
+
+    fn standalone_cost(&self) -> Work {
+        self.inner.standalone_cost()
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.inner.cumulative_cost()
+    }
+}
+
+/// Boxed-object passthrough so `Box<dyn ResultObject>` is itself a
+/// [`ResultObject`] — operators can then be written once over `R:
+/// ResultObject` and used with heterogeneous boxed objects.
+impl ResultObject for Box<dyn ResultObject> {
+    fn bounds(&self) -> Bounds {
+        (**self).bounds()
+    }
+
+    fn min_width(&self) -> f64 {
+        (**self).min_width()
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        (**self).iterate(meter)
+    }
+
+    fn est_cpu(&self) -> Work {
+        (**self).est_cpu()
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        (**self).est_bounds()
+    }
+
+    fn converged(&self) -> bool {
+        (**self).converged()
+    }
+
+    fn standalone_cost(&self) -> Work {
+        (**self).standalone_cost()
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        (**self).cumulative_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ScriptedObject;
+
+    #[test]
+    fn negated_flips_bounds_and_estimates() {
+        let inner = ScriptedObject::converging(&[(1.0, 3.0), (2.0, 2.001)], 5, 0.01);
+        let mut neg = Negated(inner);
+        assert_eq!(neg.bounds(), Bounds::new(-3.0, -1.0));
+        assert_eq!(neg.est_bounds(), Bounds::new(-2.001, -2.0));
+        let mut m = WorkMeter::new();
+        let b = neg.iterate(&mut m);
+        assert_eq!(b, Bounds::new(-2.001, -2.0));
+        assert!(neg.converged());
+        assert_eq!(m.breakdown().exec_iter, 5);
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let inner = ScriptedObject::converging(&[(1.0, 3.0)], 5, 0.01);
+        let twice = Negated(Negated(inner));
+        assert_eq!(twice.bounds(), Bounds::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn shifted_translates_everything_but_costs() {
+        let inner = ScriptedObject::converging(&[(100.0, 110.0), (104.0, 104.005)], 7, 0.01);
+        let mut sh = Shifted::new(inner, -4.0);
+        assert_eq!(sh.bounds(), Bounds::new(96.0, 106.0));
+        assert_eq!(sh.est_bounds(), Bounds::new(100.0, 100.005));
+        let mut m = WorkMeter::new();
+        sh.iterate(&mut m);
+        assert_eq!(sh.bounds(), Bounds::new(100.0, 100.005));
+        assert!(sh.converged());
+        // Costs are the inner object's, untouched by the shift.
+        assert_eq!(m.breakdown().exec_iter, 7);
+        assert_eq!(sh.cumulative_cost(), 7);
+        assert_eq!(sh.standalone_cost(), 7);
+    }
+
+    #[test]
+    fn boxed_dyn_object_implements_trait() {
+        let mut obj: Box<dyn ResultObject> =
+            Box::new(ScriptedObject::converging(&[(0.0, 2.0), (1.0, 1.001)], 3, 0.01));
+        let mut m = WorkMeter::new();
+        obj.iterate(&mut m);
+        assert!(obj.converged());
+        assert_eq!(obj.bounds(), Bounds::new(1.0, 1.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn shifted_rejects_nan_delta() {
+        let inner = ScriptedObject::converging(&[(0.0, 1.0)], 1, 0.01);
+        let _ = Shifted::new(inner, f64::NAN);
+    }
+}

@@ -1,0 +1,327 @@
+//! Closed real intervals `[lo, hi]` used as error bounds on function results.
+//!
+//! Every variable-accuracy function reports its (unknown) true value through
+//! a [`Bounds`] pair: the paper's `L` and `H` data members (§3.2). This
+//! module provides the small interval algebra the operators need: width,
+//! containment, overlap, intersection, shifting and negation.
+
+use crate::error::VaoError;
+
+/// A closed interval `[lo, hi]` with `lo <= hi`, both finite.
+///
+/// Invariants are established at construction and preserved by every method,
+/// so operators can rely on `width() >= 0` and finiteness throughout.
+///
+/// ```
+/// use vao::Bounds;
+/// let price = Bounds::new(98.0, 110.0);
+/// assert!(price.contains(100.0));          // predicate undecided
+/// let refined = Bounds::new(102.0, 107.0);
+/// assert!(refined.entirely_above(100.0));  // predicate true
+/// assert_eq!(price.intersect(&refined), Some(refined));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Bounds {
+    lo: f64,
+    hi: f64,
+}
+
+impl Bounds {
+    /// Creates bounds from `lo` and `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is non-finite or if `lo > hi`. Use
+    /// [`Bounds::try_new`] for fallible construction from untrusted values.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self::try_new(lo, hi).expect("invalid bounds")
+    }
+
+    /// Fallible constructor: rejects non-finite endpoints and `lo > hi`.
+    pub fn try_new(lo: f64, hi: f64) -> Result<Self, VaoError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(VaoError::NonFiniteBounds { lo, hi });
+        }
+        if lo > hi {
+            return Err(VaoError::InvertedBounds { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Creates bounds from two endpoints in either order.
+    ///
+    /// Useful when an error model produces endpoints whose relative order
+    /// depends on the signs of estimated error coefficients.
+    pub fn ordered(a: f64, b: f64) -> Result<Self, VaoError> {
+        if a <= b {
+            Self::try_new(a, b)
+        } else {
+            Self::try_new(b, a)
+        }
+    }
+
+    /// A degenerate interval `[v, v]`.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The lower endpoint (`L` in the paper).
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper endpoint (`H` in the paper).
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width `H - L`; the paper's accuracy measure.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Interval midpoint, used as the point estimate when one is required.
+    #[must_use]
+    pub fn mid(&self) -> f64 {
+        self.lo + 0.5 * (self.hi - self.lo)
+    }
+
+    /// Whether `v` lies within the closed interval.
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether the whole interval lies strictly above `v`.
+    #[must_use]
+    pub fn entirely_above(&self, v: f64) -> bool {
+        self.lo > v
+    }
+
+    /// Whether the whole interval lies strictly below `v`.
+    #[must_use]
+    pub fn entirely_below(&self, v: f64) -> bool {
+        self.hi < v
+    }
+
+    /// Length of the overlap with `other` (zero if disjoint).
+    ///
+    /// This is the quantity the MAX VAO's greedy heuristic tries to drive to
+    /// zero between the presumed maximum and every other object (§5.1).
+    #[must_use]
+    pub fn overlap(&self, other: &Bounds) -> f64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0)
+    }
+
+    /// Whether the two intervals share at least one point.
+    #[must_use]
+    pub fn overlaps(&self, other: &Bounds) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection of two intervals, or `None` if they are disjoint.
+    ///
+    /// Result objects whose refinements are each individually valid may
+    /// intersect successive bounds to enforce monotone shrinkage.
+    #[must_use]
+    pub fn intersect(&self, other: &Bounds) -> Option<Bounds> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Bounds { lo, hi })
+    }
+
+    /// Translates the interval by `delta`.
+    ///
+    /// The synthetic-workload generator of §6 shifts the bounds of a real
+    /// result object by a per-bond constant so that converged values follow a
+    /// chosen distribution.
+    #[must_use]
+    pub fn shift(&self, delta: f64) -> Bounds {
+        Bounds::new(self.lo + delta, self.hi + delta)
+    }
+
+    /// Reflects the interval about zero: `[-hi, -lo]`.
+    ///
+    /// Used by the MIN operator, which runs MAX over negated objects.
+    #[must_use]
+    pub fn negate(&self) -> Bounds {
+        Bounds {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    /// Scales both endpoints by a nonnegative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite (the weighted-sum
+    /// operator requires nonnegative weights; see §5.2).
+    #[must_use]
+    pub fn scale(&self, factor: f64) -> Bounds {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and nonnegative, got {factor}"
+        );
+        Bounds {
+            lo: self.lo * factor,
+            hi: self.hi * factor,
+        }
+    }
+
+    /// Interval addition: `[a.lo + b.lo, a.hi + b.hi]`.
+    #[must_use]
+    pub fn add(&self, other: &Bounds) -> Bounds {
+        Bounds {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+impl std::fmt::Display for Bounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_valid() {
+        let b = Bounds::new(1.0, 2.0);
+        assert_eq!(b.lo(), 1.0);
+        assert_eq!(b.hi(), 2.0);
+        assert_eq!(b.width(), 1.0);
+        assert_eq!(b.mid(), 1.5);
+    }
+
+    #[test]
+    fn construction_point() {
+        let b = Bounds::point(3.5);
+        assert_eq!(b.width(), 0.0);
+        assert!(b.contains(3.5));
+    }
+
+    #[test]
+    fn try_new_rejects_inverted() {
+        assert!(matches!(
+            Bounds::try_new(2.0, 1.0),
+            Err(VaoError::InvertedBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_nan_and_inf() {
+        assert!(Bounds::try_new(f64::NAN, 1.0).is_err());
+        assert!(Bounds::try_new(0.0, f64::INFINITY).is_err());
+        assert!(Bounds::try_new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn ordered_sorts_endpoints() {
+        let b = Bounds::ordered(5.0, 2.0).unwrap();
+        assert_eq!((b.lo(), b.hi()), (2.0, 5.0));
+        let b = Bounds::ordered(2.0, 5.0).unwrap();
+        assert_eq!((b.lo(), b.hi()), (2.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn new_panics_on_inverted() {
+        let _ = Bounds::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn contains_endpoints() {
+        let b = Bounds::new(1.0, 2.0);
+        assert!(b.contains(1.0));
+        assert!(b.contains(2.0));
+        assert!(!b.contains(0.999));
+        assert!(!b.contains(2.001));
+    }
+
+    #[test]
+    fn entirely_above_below() {
+        let b = Bounds::new(101.0, 104.0);
+        assert!(b.entirely_above(100.0));
+        assert!(!b.entirely_above(101.0)); // touching is not strictly above
+        assert!(!b.entirely_below(104.0));
+        assert!(b.entirely_below(105.0));
+    }
+
+    #[test]
+    fn overlap_amounts() {
+        // Example from the paper's Table 2 / Figure 6: o1 = [97,101],
+        // o3 = [100,106]; overlap is 101 - 100 = 1.
+        let o1 = Bounds::new(97.0, 101.0);
+        let o3 = Bounds::new(100.0, 106.0);
+        assert_eq!(o1.overlap(&o3), 1.0);
+        assert_eq!(o3.overlap(&o1), 1.0);
+        // Disjoint intervals have zero overlap.
+        let far = Bounds::new(200.0, 300.0);
+        assert_eq!(o1.overlap(&far), 0.0);
+        assert!(!o1.overlaps(&far));
+        // Containment: overlap equals the smaller width.
+        let inner = Bounds::new(98.0, 99.0);
+        assert_eq!(o1.overlap(&inner), 1.0);
+    }
+
+    #[test]
+    fn overlaps_touching() {
+        let a = Bounds::new(0.0, 1.0);
+        let b = Bounds::new(1.0, 2.0);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.overlap(&b), 0.0);
+    }
+
+    #[test]
+    fn intersect_some_and_none() {
+        let a = Bounds::new(0.0, 10.0);
+        let b = Bounds::new(5.0, 15.0);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!((i.lo(), i.hi()), (5.0, 10.0));
+        let c = Bounds::new(11.0, 12.0);
+        assert!(b.intersect(&c).is_some());
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn shift_and_negate() {
+        let b = Bounds::new(1.0, 3.0);
+        let s = b.shift(-0.5);
+        assert_eq!((s.lo(), s.hi()), (0.5, 2.5));
+        let n = b.negate();
+        assert_eq!((n.lo(), n.hi()), (-3.0, -1.0));
+        assert_eq!(n.negate(), b);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let b = Bounds::new(1.0, 3.0);
+        let s = b.scale(2.0);
+        assert_eq!((s.lo(), s.hi()), (2.0, 6.0));
+        let z = b.scale(0.0);
+        assert_eq!(z.width(), 0.0);
+        let sum = b.add(&Bounds::new(10.0, 20.0));
+        assert_eq!((sum.lo(), sum.hi()), (11.0, 23.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn scale_rejects_negative() {
+        let _ = Bounds::new(1.0, 2.0).scale(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bounds::new(1.0, 2.5).to_string(), "[1, 2.5]");
+    }
+}

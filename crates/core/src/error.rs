@@ -1,0 +1,134 @@
+//! Error type shared across the VAO crate.
+
+/// Errors surfaced by bounds construction, operators and strategies.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VaoError {
+    /// A bounds endpoint was NaN or infinite.
+    NonFiniteBounds {
+        /// Offending lower endpoint.
+        lo: f64,
+        /// Offending upper endpoint.
+        hi: f64,
+    },
+    /// Lower endpoint exceeded the upper endpoint.
+    InvertedBounds {
+        /// Offending lower endpoint.
+        lo: f64,
+        /// Offending upper endpoint.
+        hi: f64,
+    },
+    /// An aggregate operator was invoked on an empty object set.
+    EmptyInput,
+    /// The precision constraint ε is unsatisfiable because some object's
+    /// `minWidth` exceeds it (footnote 10 of the paper: MAX "returns an
+    /// error if ε is less than max(minWidth)").
+    PrecisionTooTight {
+        /// The requested output precision.
+        epsilon: f64,
+        /// The largest `minWidth` among the input objects.
+        min_width: f64,
+    },
+    /// The precision constraint must be a positive finite number.
+    InvalidPrecision {
+        /// The offending value.
+        epsilon: f64,
+    },
+    /// A weight passed to SUM/AVE was negative or non-finite (§5.2 requires
+    /// nonnegative real weights).
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        weight: f64,
+    },
+    /// The number of weights did not match the number of objects.
+    WeightCountMismatch {
+        /// Number of result objects supplied.
+        objects: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// An operator exceeded its per-evaluation iteration budget without the
+    /// underlying result objects converging — a defense against a result
+    /// object whose `iterate()` stops making progress.
+    IterationLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A selection constant was NaN or infinite.
+    NonFiniteConstant {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for VaoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VaoError::NonFiniteBounds { lo, hi } => {
+                write!(f, "bounds endpoints must be finite, got [{lo}, {hi}]")
+            }
+            VaoError::InvertedBounds { lo, hi } => {
+                write!(f, "bounds lower endpoint exceeds upper: [{lo}, {hi}]")
+            }
+            VaoError::EmptyInput => write!(f, "operator requires at least one result object"),
+            VaoError::PrecisionTooTight { epsilon, min_width } => write!(
+                f,
+                "precision constraint {epsilon} is below the largest object minWidth {min_width}"
+            ),
+            VaoError::InvalidPrecision { epsilon } => {
+                write!(f, "precision constraint must be positive and finite, got {epsilon}")
+            }
+            VaoError::InvalidWeight { index, weight } => write!(
+                f,
+                "weight {weight} at index {index} must be finite and nonnegative"
+            ),
+            VaoError::WeightCountMismatch { objects, weights } => write!(
+                f,
+                "got {weights} weights for {objects} result objects"
+            ),
+            VaoError::IterationLimitExceeded { limit } => write!(
+                f,
+                "operator exceeded its iteration budget of {limit} without converging"
+            ),
+            VaoError::NonFiniteConstant { value } => {
+                write!(f, "selection constant must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VaoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = VaoError::PrecisionTooTight {
+            epsilon: 0.001,
+            min_width: 0.01,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0.001"));
+        assert!(msg.contains("0.01"));
+
+        assert!(VaoError::EmptyInput.to_string().contains("at least one"));
+        assert!(VaoError::IterationLimitExceeded { limit: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(VaoError::WeightCountMismatch {
+            objects: 3,
+            weights: 2
+        }
+        .to_string()
+        .contains('3'));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(VaoError::EmptyInput);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The iterative UDF interface of §3.2.
+//!
+//! With the VAO interface, the first call to a UDF returns a **result
+//! object** instead of a value. The object carries:
+//!
+//! * `H` and `L` — high and low error bounds on the function value
+//!   ([`ResultObject::bounds`]);
+//! * `iterate()` — refine the bounds at the cost of more CPU
+//!   ([`ResultObject::iterate`]);
+//! * `minWidth` — the bounds width under which the answer is considered as
+//!   accurate as possible ([`ResultObject::min_width`]);
+//! * `estCPU`, `estL`, `estH` — estimates of the cost and outcome of the
+//!   *next* iteration, used by aggregate VAOs to choose among objects
+//!   ([`ResultObject::est_cpu`], [`ResultObject::est_bounds`]).
+
+use crate::bounds::Bounds;
+use crate::cost::{Work, WorkMeter};
+
+/// A refinable approximation to a real-valued function result.
+///
+/// # Contract
+///
+/// Implementations must uphold, and the operators rely on:
+///
+/// 1. **Soundness** — the true function value always lies within
+///    `bounds()`, at every refinement level.
+/// 2. **Monotone shrinkage** — `iterate()` never widens the bounds (an
+///    implementation may enforce this by intersecting successive bounds,
+///    which is sound because each refinement's bounds are individually
+///    valid).
+/// 3. **Progress** — unless `converged()`, repeated `iterate()` calls
+///    eventually drive `bounds().width()` below `min_width()`.
+/// 4. **Idempotence at convergence** — once `converged()`, `iterate()` is a
+///    no-op returning the current bounds without charging work.
+/// 5. **Estimates are advisory** — `est_cpu()`/`est_bounds()` guide strategy
+///    choices but carry no soundness obligation (§4: they come from big-O
+///    error forms that ignore higher-order terms).
+pub trait ResultObject {
+    /// Current error bounds `[L, H]` on the function value.
+    fn bounds(&self) -> Bounds;
+
+    /// The bounds width under which no more `iterate()` calls should run.
+    ///
+    /// For the paper's bond models this is \$0.01: prices are only
+    /// meaningful to the cent, so tighter bounds are useless.
+    fn min_width(&self) -> f64;
+
+    /// Refines the bounds, charging the consumed work to `meter`, and
+    /// returns the new bounds.
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds;
+
+    /// Estimated CPU cost of the next `iterate()` call (`estCPU`).
+    fn est_cpu(&self) -> Work;
+
+    /// Estimated bounds after the next `iterate()` call (`[estL, estH]`).
+    ///
+    /// When `converged()`, returns the current bounds.
+    fn est_bounds(&self) -> Bounds;
+
+    /// Whether the stopping condition `width < minWidth` has been reached.
+    fn converged(&self) -> bool {
+        self.bounds().width() < self.min_width()
+    }
+
+    /// Work a traditional ("black box") implementation would spend to
+    /// produce the current accuracy in a single call.
+    ///
+    /// §4.1 observes that for PDE solvers the final VAO iteration costs
+    /// about as much as the traditional call at the same accuracy, so this
+    /// is typically the cost of the *last* iteration alone; for integrators
+    /// and root solvers it equals the cumulative cost (§4.3–4.4). The
+    /// traditional-operator baseline replays exactly this amount of work.
+    fn standalone_cost(&self) -> Work;
+
+    /// Total solver work this object has charged across all iterations.
+    fn cumulative_cost(&self) -> Work;
+}
+
+impl<R: ResultObject + ?Sized> ResultObject for &mut R {
+    fn bounds(&self) -> Bounds {
+        (**self).bounds()
+    }
+
+    fn min_width(&self) -> f64 {
+        (**self).min_width()
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        (**self).iterate(meter)
+    }
+
+    fn est_cpu(&self) -> Work {
+        (**self).est_cpu()
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        (**self).est_bounds()
+    }
+
+    fn converged(&self) -> bool {
+        (**self).converged()
+    }
+
+    fn standalone_cost(&self) -> Work {
+        (**self).standalone_cost()
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        (**self).cumulative_cost()
+    }
+}
+
+/// A user-defined function exposed through the variable-accuracy interface.
+///
+/// `invoke` performs the *minimal* amount of compute for the function and
+/// returns a result object with initial, very coarse bounds (§3.2). The
+/// work of that initial computation is charged to `meter`.
+pub trait VariableAccuracyFn<Args: ?Sized> {
+    /// Begins evaluating the function on `args`, returning a refinable
+    /// result object.
+    fn invoke(&self, args: &Args, meter: &mut WorkMeter) -> Box<dyn ResultObject>;
+}
+
+impl<Args: ?Sized, F: VariableAccuracyFn<Args> + ?Sized> VariableAccuracyFn<Args> for &F {
+    fn invoke(&self, args: &Args, meter: &mut WorkMeter) -> Box<dyn ResultObject> {
+        (**self).invoke(args, meter)
+    }
+}
+
+/// A traditional all-or-nothing UDF: one call, one number, fixed accuracy.
+///
+/// This is the "black box" interface VAOs replace; it is retained as the
+/// baseline the experiments compare against (§3.1, §6).
+pub trait BlackBoxFn<Args: ?Sized> {
+    /// Evaluates the function to its fixed accuracy, charging its full cost.
+    fn call(&self, args: &Args, meter: &mut WorkMeter) -> f64;
+}
+
+impl<Args: ?Sized, F: BlackBoxFn<Args> + ?Sized> BlackBoxFn<Args> for &F {
+    fn call(&self, args: &Args, meter: &mut WorkMeter) -> f64 {
+        (**self).call(args, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ScriptedObject;
+
+    #[test]
+    fn converged_uses_strict_less_than() {
+        // width == min_width is NOT converged (paper: "width ... under which").
+        let obj = ScriptedObject::converging(&[(0.0, 0.01)], 1, 0.01);
+        assert!(!obj.converged());
+        let obj = ScriptedObject::converging(&[(0.0, 0.009)], 1, 0.01);
+        assert!(obj.converged());
+    }
+
+    #[test]
+    fn variable_accuracy_fn_usable_through_reference() {
+        struct Unit;
+        impl VariableAccuracyFn<f64> for Unit {
+            fn invoke(&self, args: &f64, meter: &mut WorkMeter) -> Box<dyn ResultObject> {
+                meter.charge_exec(1);
+                Box::new(ScriptedObject::converging(
+                    &[(*args - 1.0, *args + 1.0), (*args, *args)],
+                    1,
+                    0.5,
+                ))
+            }
+        }
+        fn takes_generic<F: VariableAccuracyFn<f64>>(f: F) -> Bounds {
+            let mut m = WorkMeter::new();
+            f.invoke(&5.0, &mut m).bounds()
+        }
+        let f = Unit;
+        let b = takes_generic(&f); // &F impl
+        assert_eq!((b.lo(), b.hi()), (4.0, 6.0));
+    }
+}

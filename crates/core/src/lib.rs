@@ -1,0 +1,72 @@
+//! # Variable-Accuracy Operators (VAOs)
+//!
+//! A from-scratch Rust implementation of the operator framework described in
+//! Denny & Franklin, *"Adaptive Execution of Variable-Accuracy Functions"*
+//! (UC Berkeley Technical Report UCB/EECS-2006-28, 2006).
+//!
+//! Many expensive user-defined functions (UDFs) — bond-pricing models,
+//! PDE/ODE solvers, numerical integrators, root finders — exhibit an inherent
+//! trade-off between compute time and accuracy. Traditional query processors
+//! treat UDFs as *black boxes* that must always run to full accuracy. VAOs
+//! instead expose an **iterative interface**: the first call to a UDF returns
+//! a [`ResultObject`] carrying error bounds `[L, H]` which the operator can
+//! refine by calling [`ResultObject::iterate`], at the cost of more CPU.
+//! Operators then drive each function call only as far as the *query* needs.
+//!
+//! The crate provides:
+//!
+//! * The result-object interface of §3.2 of the paper: bounds, `minWidth`,
+//!   `iterate()`, and the `estCPU` / `estL` / `estH` estimates used by
+//!   iteration strategies ([`interface`]).
+//! * A cost model mirroring §3.2's decomposition of per-iteration cost into
+//!   `exec_iter`, `get_state`, `store_state` and `choose_iter` ([`cost`]).
+//! * The operators of §5: selection ([`ops::selection`]), MIN/MAX
+//!   ([`ops::minmax`]) and weighted SUM/AVE ([`ops::sum`]), each with the
+//!   paper's greedy iteration strategy plus ablation strategies
+//!   ([`strategy`]).
+//! * Baselines used in the paper's evaluation: traditional black-box
+//!   operators ([`ops::traditional`]) and the oracle "Optimal" MAX operator
+//!   ([`ops::oracle`]), as well as the hybrid SUM operator sketched as future
+//!   work in §6.3 ([`ops::hybrid`]).
+//! * A scripted result object for deterministic testing ([`testkit`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vao::cost::WorkMeter;
+//! use vao::ops::selection::{select, CmpOp};
+//! use vao::testkit::ScriptedObject;
+//!
+//! // A result object whose bounds tighten [90,110] -> [101,104] -> [102.0,102.01].
+//! let mut obj = ScriptedObject::converging(
+//!     &[(90.0, 110.0), (101.0, 104.0), (102.0, 102.01)],
+//!     100,
+//!     0.02,
+//! );
+//! let mut meter = WorkMeter::new();
+//! // Is the value > 100?  Decided after a single refinement: bounds [101,104]
+//! // clear the constant even though they are far wider than minWidth.
+//! let out = vao::ops::selection::select(&mut obj, CmpOp::Gt, 100.0, &mut meter).unwrap();
+//! assert!(out.satisfied);
+//! assert_eq!(out.iterations, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adapters;
+pub mod bounds;
+pub mod cost;
+pub mod error;
+pub mod interface;
+pub mod ops;
+pub mod precision;
+pub mod strategy;
+pub mod testkit;
+
+pub use bounds::Bounds;
+pub use cost::{Work, WorkBreakdown, WorkMeter};
+pub use error::VaoError;
+pub use interface::{BlackBoxFn, ResultObject, VariableAccuracyFn};
+pub use precision::PrecisionConstraint;
+pub use strategy::ChoicePolicy;

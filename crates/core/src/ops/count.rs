@@ -1,0 +1,252 @@
+//! COUNT over a selection predicate, with a bounded-slack early stop.
+//!
+//! `COUNT(model(args) ⟨op⟩ c)` needs each tuple only classified, not
+//! priced — and often not even classified: if the query tolerates a count
+//! error of ±`slack`, the operator can leave up to `slack` straddling
+//! objects unresolved and report the count as an integer interval. This
+//! extends the paper's selection VAO with the aggregate-style precision
+//! trade-off of §5 (the paper's precision constraints bound *value* widths;
+//! here the constraint bounds the count's width).
+
+use crate::cost::{Work, WorkMeter};
+use crate::error::VaoError;
+use crate::interface::ResultObject;
+use crate::ops::minmax::AggregateConfig;
+use crate::ops::selection::CmpOp;
+use crate::strategy::Candidate;
+
+/// Result of a COUNT evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CountResult {
+    /// Objects proven (or resolved at `minWidth`) to satisfy the predicate.
+    pub count_lo: usize,
+    /// `count_lo` plus the objects left unresolved under the slack.
+    pub count_hi: usize,
+    /// Indices of the unresolved objects (`count_hi - count_lo` of them).
+    pub unresolved: Vec<usize>,
+    /// Total `iterate()` calls issued.
+    pub iterations: u64,
+}
+
+impl CountResult {
+    /// The exact count when no slack was consumed.
+    #[must_use]
+    pub fn exact(&self) -> Option<usize> {
+        (self.count_lo == self.count_hi).then_some(self.count_lo)
+    }
+}
+
+/// Evaluates COUNT with the default greedy configuration.
+pub fn count_vao<R: ResultObject>(
+    objs: &mut [R],
+    op: CmpOp,
+    constant: f64,
+    slack: usize,
+    meter: &mut WorkMeter,
+) -> Result<CountResult, VaoError> {
+    count_vao_with(objs, op, constant, slack, &mut AggregateConfig::default(), meter)
+}
+
+/// Evaluates COUNT with an explicit configuration.
+///
+/// Iterates until at most `slack` objects remain unable to be classified,
+/// greedily spending work where the estimated bounds shrink most per CPU
+/// cycle. `slack = 0` gives the exact count (every object classified,
+/// `minWidth`-resolution included).
+pub fn count_vao_with<R: ResultObject>(
+    objs: &mut [R],
+    op: CmpOp,
+    constant: f64,
+    slack: usize,
+    config: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+) -> Result<CountResult, VaoError> {
+    if !constant.is_finite() {
+        return Err(VaoError::NonFiniteConstant { value: constant });
+    }
+    let mut iterations = 0u64;
+
+    loop {
+        // Classify.
+        let mut count_lo = 0usize;
+        let mut unresolved = Vec::new();
+        for (i, o) in objs.iter().enumerate() {
+            match op.decide(&o.bounds(), constant) {
+                Some(true) => count_lo += 1,
+                Some(false) => {}
+                None => {
+                    if o.converged() {
+                        // minWidth resolution: value treated as equal.
+                        if op.outcome_at_equality() {
+                            count_lo += 1;
+                        }
+                    } else {
+                        unresolved.push(i);
+                    }
+                }
+            }
+        }
+        if unresolved.len() <= slack {
+            return Ok(CountResult {
+                count_lo,
+                count_hi: count_lo + unresolved.len(),
+                unresolved,
+                iterations,
+            });
+        }
+
+        // Greedy: biggest estimated width reduction per cycle, with a bonus
+        // when the estimate already clears the constant (it would decide).
+        let candidates: Vec<Candidate> = unresolved
+            .iter()
+            .map(|&i| {
+                let b = objs[i].bounds();
+                let eb = objs[i].est_bounds();
+                let mut benefit =
+                    (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+                if op.decide(&eb, constant).is_some() {
+                    benefit += b.width();
+                }
+                Candidate {
+                    index: i,
+                    benefit,
+                    est_cpu: objs[i].est_cpu(),
+                    width: b.width(),
+                }
+            })
+            .collect();
+        meter.charge_choose(candidates.len() as Work);
+        let pick = config
+            .policy
+            .pick(&candidates)
+            .expect("unresolved set is non-empty");
+        let chosen = candidates[pick].index;
+
+        if iterations >= config.iteration_limit {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: config.iteration_limit,
+            });
+        }
+        let before = objs[chosen].bounds();
+        let after = objs[chosen].iterate(meter);
+        iterations += 1;
+        if after == before && !objs[chosen].converged() {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: config.iteration_limit,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ScriptedObject;
+
+    fn converging_to(values: &[f64]) -> Vec<ScriptedObject> {
+        values
+            .iter()
+            .map(|&v| {
+                ScriptedObject::converging(
+                    &[(v - 10.0, v + 10.0), (v - 2.0, v + 2.0), (v - 0.004, v + 0.004)],
+                    10,
+                    0.01,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_count_matches_ground_truth() {
+        let values = [95.0, 105.0, 99.0, 110.0, 101.0];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let res = count_vao(&mut objs, CmpOp::Gt, 100.0, 0, &mut meter).unwrap();
+        assert_eq!(res.exact(), Some(3));
+        assert!(res.unresolved.is_empty());
+    }
+
+    #[test]
+    fn slack_trades_precision_for_work() {
+        // Three values hug the constant; allowing slack 3 lets the
+        // operator skip their expensive resolution entirely.
+        let values = [100.001, 99.999, 100.002, 150.0, 50.0];
+        let exact_work = {
+            let mut objs = converging_to(&values);
+            let mut meter = WorkMeter::new();
+            let res = count_vao(&mut objs, CmpOp::Gt, 100.0, 0, &mut meter).unwrap();
+            // The three stragglers converge to ±0.004 around ~100, still
+            // containing the constant: resolved as "equal", failing Gt.
+            // Only 150.0 passes.
+            assert_eq!(res.exact(), Some(1));
+            meter.total()
+        };
+        let slack_work = {
+            let mut objs = converging_to(&values);
+            let mut meter = WorkMeter::new();
+            let res = count_vao(&mut objs, CmpOp::Gt, 100.0, 3, &mut meter).unwrap();
+            assert!(res.count_lo <= 3 && res.count_hi >= 1);
+            assert!(res.count_hi - res.count_lo <= 3);
+            meter.total()
+        };
+        assert!(
+            slack_work * 3 < exact_work,
+            "slack {slack_work} vs exact {exact_work}"
+        );
+    }
+
+    #[test]
+    fn exact_count_resolves_straddlers_via_min_width() {
+        // Values converging to within minWidth of the constant count as
+        // equal: Gt excludes them, Ge includes them.
+        let values = [100.001, 99.999];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let res = count_vao(&mut objs, CmpOp::Gt, 100.0, 0, &mut meter).unwrap();
+        assert_eq!(res.exact(), Some(0), "both treated as == 100, Gt fails");
+
+        let mut objs = converging_to(&values);
+        let res = count_vao(&mut objs, CmpOp::Ge, 100.0, 0, &mut meter).unwrap();
+        assert_eq!(res.exact(), Some(2), "both treated as == 100, Ge passes");
+    }
+
+    #[test]
+    fn well_separated_objects_cost_little() {
+        let values = [10.0, 20.0, 300.0, 400.0];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let res = count_vao(&mut objs, CmpOp::Lt, 150.0, 0, &mut meter).unwrap();
+        assert_eq!(res.exact(), Some(2));
+        // One refinement per object at most (initial ±10 bounds straddle
+        // nothing once refined to ±2).
+        assert!(res.iterations <= 4, "{} iterations", res.iterations);
+    }
+
+    #[test]
+    fn rejects_non_finite_constant() {
+        let mut objs = converging_to(&[1.0]);
+        let mut meter = WorkMeter::new();
+        assert!(matches!(
+            count_vao(&mut objs, CmpOp::Gt, f64::NAN, 0, &mut meter),
+            Err(VaoError::NonFiniteConstant { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_counts_zero() {
+        let mut objs: Vec<ScriptedObject> = vec![];
+        let mut meter = WorkMeter::new();
+        let res = count_vao(&mut objs, CmpOp::Gt, 0.0, 0, &mut meter).unwrap();
+        assert_eq!(res.exact(), Some(0));
+    }
+
+    #[test]
+    fn stalled_object_errors() {
+        let mut objs = vec![ScriptedObject::converging(&[(90.0, 110.0)], 10, 0.01)];
+        let mut meter = WorkMeter::new();
+        assert!(matches!(
+            count_vao(&mut objs, CmpOp::Gt, 100.0, 0, &mut meter),
+            Err(VaoError::IterationLimitExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! Hybrid SUM operator — the future-work extension sketched in §6.3.
+//!
+//! Figure 12 of the paper shows the SUM VAO *losing* to the traditional
+//! operator when weights are nearly uniform (little room to shift work away
+//! from any object, so the VAO pays its intermediate-iteration overhead for
+//! nothing) and winning by >4× when weight concentrates on a small hot set.
+//! The authors "plan to develop a hybrid operator that uses the VAO
+//! algorithm only when it is cheaper than the traditional operator". This
+//! module implements that operator with a decision rule driven by the two
+//! quantities that determine which side wins:
+//!
+//! * **slack** — ε divided by the tightest achievable output width
+//!   `Σ wᵢ·minWidthᵢ`. With generous slack the VAO can leave many objects
+//!   coarse regardless of the weight profile.
+//! * **concentration** — the share of total weight carried by the heaviest
+//!   10 % of objects. High concentration lets the VAO leave the (many)
+//!   light objects coarse even when the constraint is tight.
+
+use crate::cost::WorkMeter;
+use crate::error::VaoError;
+use crate::interface::ResultObject;
+use crate::ops::minmax::AggregateConfig;
+use crate::ops::sum::{weighted_sum_vao_with, SumResult};
+use crate::ops::traditional::{traditional_weighted_sum, BlackBoxSpec};
+use crate::precision::PrecisionConstraint;
+use crate::Bounds;
+
+/// Which execution path the hybrid operator chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HybridChoice {
+    /// Adaptive iteration via the SUM VAO.
+    Vao,
+    /// One full-accuracy black-box call per object.
+    Traditional,
+}
+
+/// Tunables of the hybrid decision rule.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Choose the VAO whenever `ε / Σ wᵢ·minWidthᵢ` exceeds this.
+    pub slack_threshold: f64,
+    /// Choose the VAO whenever the top-decile weight share *exceeds the
+    /// uniform share* by more than this. (Using the excess over uniform
+    /// keeps the rule meaningful for small object sets, where the raw
+    /// top-decile share is large even for uniform weights.) Calibrated
+    /// against the Figure-12 crossover: with a 10 % hot set the rule picks
+    /// the VAO once the hot set carries more than ~45 % of the weight.
+    pub concentration_threshold: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            slack_threshold: 1.5,
+            concentration_threshold: 0.35,
+        }
+    }
+}
+
+/// The inputs to — and outcome of — the hybrid decision, surfaced so that
+/// experiments can audit the rule.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridDecision {
+    /// The chosen path.
+    pub choice: HybridChoice,
+    /// Measured top-decile weight share.
+    pub concentration: f64,
+    /// Measured precision slack.
+    pub slack: f64,
+}
+
+/// Evaluates the decision rule without executing anything.
+pub fn decide(
+    weights: &[f64],
+    min_widths: &[f64],
+    epsilon: f64,
+    config: &HybridConfig,
+) -> HybridDecision {
+    let total: f64 = weights.iter().sum();
+    let floor: f64 = weights.iter().zip(min_widths).map(|(w, m)| w * m).sum();
+    let slack = if floor > 0.0 { epsilon / floor } else { f64::INFINITY };
+
+    let (concentration, uniform_share) = if total > 0.0 && !weights.is_empty() {
+        let mut sorted: Vec<f64> = weights.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+        let top = (sorted.len().div_ceil(10)).max(1);
+        (
+            sorted.iter().take(top).sum::<f64>() / total,
+            top as f64 / sorted.len() as f64,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    let choice = if slack > config.slack_threshold
+        || concentration - uniform_share > config.concentration_threshold
+    {
+        HybridChoice::Vao
+    } else {
+        HybridChoice::Traditional
+    };
+    HybridDecision {
+        choice,
+        concentration,
+        slack,
+    }
+}
+
+/// Runs the hybrid SUM: decides, then executes the chosen path.
+///
+/// `specs` must be the calibration results for the same function calls that
+/// produced `objs` (the traditional path replays their recorded work). On
+/// the traditional path the returned bounds reflect each value's calibrated
+/// final width, mirroring what a black-box function reporting `±width/2`
+/// error would justify.
+pub fn hybrid_weighted_sum<R: ResultObject>(
+    objs: &mut [R],
+    weights: &[f64],
+    specs: &[BlackBoxSpec],
+    epsilon: PrecisionConstraint,
+    config: &HybridConfig,
+    agg: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+) -> Result<(SumResult, HybridDecision), VaoError> {
+    if objs.is_empty() {
+        return Err(VaoError::EmptyInput);
+    }
+    if objs.len() != specs.len() {
+        return Err(VaoError::WeightCountMismatch {
+            objects: objs.len(),
+            weights: specs.len(),
+        });
+    }
+    let min_widths: Vec<f64> = objs.iter().map(R::min_width).collect();
+    let decision = decide(weights, &min_widths, epsilon.epsilon(), config);
+
+    let result = match decision.choice {
+        HybridChoice::Vao => weighted_sum_vao_with(objs, weights, epsilon, agg, meter)?,
+        HybridChoice::Traditional => {
+            let value = traditional_weighted_sum(specs, weights, meter)?;
+            let half_err: f64 = specs
+                .iter()
+                .zip(weights)
+                .map(|(s, &w)| w * s.final_width * 0.5)
+                .sum();
+            SumResult {
+                bounds: Bounds::new(value - half_err, value + half_err),
+                iterations: 0,
+                stopped_at_floor: true,
+            }
+        }
+    };
+    Ok((result, decision))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ScriptedObject;
+
+    #[test]
+    fn uniform_weights_tight_epsilon_choose_traditional() {
+        let weights = vec![1.0; 100];
+        let min_widths = vec![0.01; 100];
+        // ε exactly at the floor, no concentration: traditional territory.
+        let d = decide(&weights, &min_widths, 1.0, &HybridConfig::default());
+        assert_eq!(d.choice, HybridChoice::Traditional);
+        assert!((d.concentration - 0.1).abs() < 1e-12);
+        assert!((d.slack - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_weights_choose_vao() {
+        // 10 hot objects carry 90% of the weight.
+        let mut weights = vec![45.0; 10];
+        weights.extend(vec![50.0 / 90.0; 90]);
+        let min_widths = vec![0.01; 100];
+        let floor: f64 = weights.iter().map(|w| w * 0.01).sum();
+        let d = decide(&weights, &min_widths, floor, &HybridConfig::default());
+        assert_eq!(d.choice, HybridChoice::Vao);
+        assert!(d.concentration > 0.85);
+    }
+
+    #[test]
+    fn generous_epsilon_chooses_vao_even_when_uniform() {
+        let weights = vec![1.0; 100];
+        let min_widths = vec![0.01; 100];
+        let d = decide(&weights, &min_widths, 10.0, &HybridConfig::default());
+        assert_eq!(d.choice, HybridChoice::Vao);
+        assert!(d.slack > 9.0);
+    }
+
+    #[test]
+    fn hybrid_traditional_path_charges_black_box_work() {
+        let mut objs = vec![
+            ScriptedObject::converging(&[(99.0, 101.0), (100.0, 100.005)], 10, 0.01),
+            ScriptedObject::converging(&[(49.0, 51.0), (50.0, 50.005)], 10, 0.01),
+        ];
+        let specs = vec![
+            BlackBoxSpec {
+                value: 100.0,
+                work: 77,
+                final_width: 0.005,
+            },
+            BlackBoxSpec {
+                value: 50.0,
+                work: 33,
+                final_width: 0.005,
+            },
+        ];
+        let weights = [1.0, 1.0];
+        let eps = PrecisionConstraint::new(0.02).unwrap(); // slack 1.0
+        let mut meter = WorkMeter::new();
+        let (res, dec) = hybrid_weighted_sum(
+            &mut objs,
+            &weights,
+            &specs,
+            eps,
+            &HybridConfig::default(),
+            &mut AggregateConfig::default(),
+            &mut meter,
+        )
+        .unwrap();
+        assert_eq!(dec.choice, HybridChoice::Traditional);
+        assert_eq!(meter.total(), 110);
+        assert!(res.bounds.contains(150.0));
+        assert!(res.bounds.width() <= 0.02);
+        // The VAO objects were never touched.
+        assert_eq!(objs[0].position(), 0);
+    }
+
+    #[test]
+    fn hybrid_vao_path_iterates_objects() {
+        let mut objs = vec![
+            ScriptedObject::converging(&[(90.0, 110.0), (100.0, 100.005)], 10, 0.01),
+            ScriptedObject::converging(&[(40.0, 60.0), (50.0, 50.005)], 10, 0.01),
+        ];
+        let specs = vec![
+            BlackBoxSpec {
+                value: 100.0,
+                work: 77,
+                final_width: 0.005,
+            },
+            BlackBoxSpec {
+                value: 50.0,
+                work: 33,
+                final_width: 0.005,
+            },
+        ];
+        let weights = [1.0, 1.0];
+        let eps = PrecisionConstraint::new(5.0).unwrap(); // slack 250 -> VAO
+        let mut meter = WorkMeter::new();
+        let (res, dec) = hybrid_weighted_sum(
+            &mut objs,
+            &weights,
+            &specs,
+            eps,
+            &HybridConfig::default(),
+            &mut AggregateConfig::default(),
+            &mut meter,
+        )
+        .unwrap();
+        assert_eq!(dec.choice, HybridChoice::Vao);
+        assert!(res.iterations > 0);
+        assert!(res.bounds.width() <= 5.0);
+    }
+
+    #[test]
+    fn mismatched_specs_rejected() {
+        let mut objs = vec![ScriptedObject::converging(&[(0.0, 1.0)], 1, 0.01)];
+        let mut meter = WorkMeter::new();
+        let err = hybrid_weighted_sum(
+            &mut objs,
+            &[1.0],
+            &[],
+            PrecisionConstraint::new(1.0).unwrap(),
+            &HybridConfig::default(),
+            &mut AggregateConfig::default(),
+            &mut meter,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VaoError::WeightCountMismatch { .. }));
+    }
+
+    #[test]
+    fn decide_handles_degenerate_inputs() {
+        // Zero weights: floor 0, slack infinite -> VAO (it costs nothing).
+        let d = decide(&[0.0, 0.0], &[0.01, 0.01], 1.0, &HybridConfig::default());
+        assert_eq!(d.choice, HybridChoice::Vao);
+        assert_eq!(d.concentration, 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! The Variable-Accuracy Operators of §5, their baselines, and extensions.
+//!
+//! * [`selection`] — predicate evaluation against a constant (§3.2's running
+//!   example; evaluated per result object).
+//! * [`minmax`] — the MIN/MAX aggregate VAOs with the guess-and-reduce
+//!   greedy strategy of §5.1.
+//! * [`sum`] — the weighted SUM/AVE aggregate VAO of §5.2.
+//! * [`traditional`] — the "black box" baseline operators of §3.1/§6, plus
+//!   the calibration procedure the paper uses to build them.
+//! * [`oracle`] — the theoretically optimal MAX iteration strategy of §6.2.
+//! * [`hybrid`] — the hybrid SUM operator sketched as future work in §6.3.
+//! * [`topk`] — extension: Top-K by the MAX VAO's guess-and-reduce scheme.
+//! * [`count`] — extension: predicate COUNT with a bounded-slack early
+//!   stop.
+//! * [`sum_heap`] — §5.2's heap-indexed iteration choice (`O(log N)` per
+//!   pick instead of the baseline scan's `O(N)`).
+//! * [`quantile`] — extension: MEDIAN/rank-k by two-phase separation
+//!   (k = 1 ≡ MAX, k = N ≡ MIN).
+//! * [`project`] — §3.2's precision-constrained projection of function
+//!   results into query output.
+
+pub mod count;
+pub mod hybrid;
+pub mod minmax;
+pub mod oracle;
+pub mod project;
+pub mod quantile;
+pub mod selection;
+pub mod sum;
+pub mod sum_heap;
+pub mod topk;
+pub mod traditional;
+
+/// Default cap on the total number of `iterate()` calls a single operator
+/// evaluation may issue. This exists purely as a defense against result
+/// objects that stop making progress (contract violation); the paper's
+/// workloads stay orders of magnitude below it.
+pub const DEFAULT_ITERATION_LIMIT: u64 = 10_000_000;

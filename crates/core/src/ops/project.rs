@@ -1,0 +1,136 @@
+//! Projection of function results into query output (§3.2).
+//!
+//! "All result object processing is encapsulated in VAOs, unless function
+//! results or result aggregates are in the operator output. In this case,
+//! the query also needs to specify a precision constraint, which is a
+//! maximum bounds width for the output." This operator implements that
+//! case: `SELECT model(args) FROM ...` with an output precision ε — each
+//! result object is refined until its bounds are no wider than ε (or its
+//! own `minWidth` stops it), then emitted as an interval.
+
+use crate::bounds::Bounds;
+use crate::cost::WorkMeter;
+use crate::error::VaoError;
+use crate::interface::ResultObject;
+use crate::ops::DEFAULT_ITERATION_LIMIT;
+use crate::precision::PrecisionConstraint;
+
+/// One projected output value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProjectedValue {
+    /// Bounds on the function result, width ≤ ε.
+    pub bounds: Bounds,
+    /// `iterate()` calls spent on this object.
+    pub iterations: u64,
+}
+
+/// Refines one object to the output precision and emits its bounds.
+pub fn project_one<R: ResultObject>(
+    obj: &mut R,
+    epsilon: PrecisionConstraint,
+    meter: &mut WorkMeter,
+) -> Result<ProjectedValue, VaoError> {
+    if epsilon.epsilon() < obj.min_width() {
+        return Err(VaoError::PrecisionTooTight {
+            epsilon: epsilon.epsilon(),
+            min_width: obj.min_width(),
+        });
+    }
+    let mut iterations = 0u64;
+    while obj.bounds().width() > epsilon.epsilon() && !obj.converged() {
+        if iterations >= DEFAULT_ITERATION_LIMIT {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: DEFAULT_ITERATION_LIMIT,
+            });
+        }
+        let before = obj.bounds();
+        let after = obj.iterate(meter);
+        iterations += 1;
+        if after == before && !obj.converged() {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: DEFAULT_ITERATION_LIMIT,
+            });
+        }
+    }
+    Ok(ProjectedValue {
+        bounds: obj.bounds(),
+        iterations,
+    })
+}
+
+/// Projects a whole object set to the output precision.
+pub fn project_all<R: ResultObject>(
+    objs: &mut [R],
+    epsilon: PrecisionConstraint,
+    meter: &mut WorkMeter,
+) -> Result<Vec<ProjectedValue>, VaoError> {
+    objs.iter_mut()
+        .map(|o| project_one(o, epsilon, meter))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ScriptedObject;
+
+    fn obj(v: f64) -> ScriptedObject {
+        ScriptedObject::converging(
+            &[(v - 8.0, v + 8.0), (v - 2.0, v + 2.0), (v - 0.3, v + 0.3), (v - 0.004, v + 0.004)],
+            10,
+            0.01,
+        )
+    }
+
+    #[test]
+    fn stops_at_epsilon_not_min_width() {
+        let mut o = obj(100.0);
+        let mut meter = WorkMeter::new();
+        let p = project_one(&mut o, PrecisionConstraint::new(1.0).unwrap(), &mut meter).unwrap();
+        assert!(p.bounds.width() <= 1.0);
+        assert_eq!(p.iterations, 2, "stopped at [99.7, 100.3]");
+        assert!(!o.converged(), "ε was met before minWidth");
+    }
+
+    #[test]
+    fn tight_epsilon_runs_to_convergence() {
+        let mut o = obj(100.0);
+        let mut meter = WorkMeter::new();
+        let p = project_one(&mut o, PrecisionConstraint::new(0.01).unwrap(), &mut meter).unwrap();
+        assert!(o.converged());
+        assert!(p.bounds.width() < 0.01);
+    }
+
+    #[test]
+    fn epsilon_below_min_width_is_rejected() {
+        let mut o = obj(100.0);
+        let mut meter = WorkMeter::new();
+        assert!(matches!(
+            project_one(&mut o, PrecisionConstraint::new(0.001).unwrap(), &mut meter),
+            Err(VaoError::PrecisionTooTight { .. })
+        ));
+    }
+
+    #[test]
+    fn project_all_handles_sets() {
+        let mut objs = vec![obj(90.0), obj(110.0), obj(100.0)];
+        let mut meter = WorkMeter::new();
+        let out = project_all(&mut objs, PrecisionConstraint::new(0.7).unwrap(), &mut meter)
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        for (p, v) in out.iter().zip([90.0, 110.0, 100.0]) {
+            assert!(p.bounds.width() <= 0.7);
+            assert!(p.bounds.contains(v));
+        }
+    }
+
+    #[test]
+    fn stalled_object_errors() {
+        let mut o = ScriptedObject::converging(&[(0.0, 10.0), (1.0, 9.0)], 4, 0.01);
+        let mut meter = WorkMeter::new();
+        assert!(matches!(
+            project_one(&mut o, PrecisionConstraint::new(0.5).unwrap(), &mut meter),
+            Err(VaoError::IterationLimitExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,156 @@
+//! Precision constraints on operator output.
+//!
+//! When function results (or aggregates of them) appear in a query's output,
+//! the query must specify a **precision constraint** ε — the maximum bounds
+//! width the output may have (§3.2; the idea follows Olston et al.'s
+//! precision/performance trade-off work cited there). Aggregate VAOs iterate
+//! until their output bounds are narrower than ε or every contributing
+//! object has reached its own `minWidth`.
+
+use crate::error::VaoError;
+use crate::interface::ResultObject;
+
+/// A validated maximum output-bounds width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrecisionConstraint(f64);
+
+impl PrecisionConstraint {
+    /// Creates a precision constraint, rejecting non-positive or non-finite
+    /// values.
+    pub fn new(epsilon: f64) -> Result<Self, VaoError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(VaoError::InvalidPrecision { epsilon });
+        }
+        Ok(Self(epsilon))
+    }
+
+    /// The maximum permitted output width.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.0
+    }
+
+    /// Checks ε against a set of result objects for MIN/MAX-style operators,
+    /// whose output bounds come from a *single* object: ε must be at least
+    /// the largest `minWidth` or the winning object may never get narrow
+    /// enough (footnote 10: "the current MAX implementation returns an error
+    /// if ε is less than max(minWidth)").
+    pub fn validate_single_object<R: ResultObject>(&self, objects: &[R]) -> Result<(), VaoError> {
+        let max_min_width = objects.iter().map(R::min_width).fold(0.0_f64, f64::max);
+        if self.0 < max_min_width {
+            return Err(VaoError::PrecisionTooTight {
+                epsilon: self.0,
+                min_width: max_min_width,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks ε against weighted objects for SUM/AVE: the tightest
+    /// achievable output width is `Σ wᵢ · minWidthᵢ` (every object run to
+    /// its own stopping condition), so any smaller ε is unsatisfiable.
+    pub fn validate_weighted<R: ResultObject>(
+        &self,
+        objects: &[R],
+        weights: &[f64],
+    ) -> Result<(), VaoError> {
+        if objects.len() != weights.len() {
+            return Err(VaoError::WeightCountMismatch {
+                objects: objects.len(),
+                weights: weights.len(),
+            });
+        }
+        let floor: f64 = objects
+            .iter()
+            .zip(weights)
+            .map(|(o, w)| w * o.min_width())
+            .sum();
+        if self.0 < floor {
+            return Err(VaoError::PrecisionTooTight {
+                epsilon: self.0,
+                min_width: floor,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for PrecisionConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ScriptedObject;
+
+    fn obj(min_width: f64) -> ScriptedObject {
+        ScriptedObject::converging(&[(0.0, 1.0)], 1, min_width)
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(PrecisionConstraint::new(0.0).is_err());
+        assert!(PrecisionConstraint::new(-1.0).is_err());
+        assert!(PrecisionConstraint::new(f64::NAN).is_err());
+        assert!(PrecisionConstraint::new(f64::INFINITY).is_err());
+        assert!(PrecisionConstraint::new(0.01).is_ok());
+    }
+
+    #[test]
+    fn single_object_validation_uses_max_min_width() {
+        let objs = vec![obj(0.01), obj(0.05), obj(0.02)];
+        assert!(PrecisionConstraint::new(0.05)
+            .unwrap()
+            .validate_single_object(&objs)
+            .is_ok());
+        let err = PrecisionConstraint::new(0.04)
+            .unwrap()
+            .validate_single_object(&objs)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VaoError::PrecisionTooTight {
+                epsilon: 0.04,
+                min_width: 0.05
+            }
+        );
+    }
+
+    #[test]
+    fn weighted_validation_uses_weighted_floor() {
+        let objs = vec![obj(0.01), obj(0.01)];
+        // Floor = 2*0.01 + 1*0.01... weights [2,1] -> 0.03.
+        let weights = [2.0, 1.0];
+        assert!(PrecisionConstraint::new(0.03)
+            .unwrap()
+            .validate_weighted(&objs, &weights)
+            .is_ok());
+        assert!(PrecisionConstraint::new(0.029)
+            .unwrap()
+            .validate_weighted(&objs, &weights)
+            .is_err());
+    }
+
+    #[test]
+    fn weighted_validation_checks_counts() {
+        let objs = vec![obj(0.01)];
+        let err = PrecisionConstraint::new(1.0)
+            .unwrap()
+            .validate_weighted(&objs, &[1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, VaoError::WeightCountMismatch { .. }));
+    }
+
+    #[test]
+    fn paper_sum_constraint_is_satisfiable() {
+        // §6.3: 500 bonds, minWidth $.01 each, unit-ish weights summing to
+        // 500, ε = 500 * $.01 = $5 — exactly the achievable floor.
+        let objs: Vec<_> = (0..500).map(|_| obj(0.01)).collect();
+        let weights = vec![1.0; 500];
+        let eps = PrecisionConstraint::new(5.0).unwrap();
+        assert!(eps.validate_weighted(&objs, &weights).is_ok());
+    }
+}

@@ -1,0 +1,240 @@
+//! Iteration-choice policies for aggregate VAOs.
+//!
+//! A VAO over a *set* of result objects must repeatedly decide which object
+//! to iterate next (§3.2's *iteration strategy*). The paper's operators use
+//! a **greedy** strategy — pick the iteration with the highest estimated
+//! benefit per CPU cycle — justified by the convergence of iterative
+//! solvers: later iterations of one object usually help less than earlier
+//! iterations of another. This module also ships deliberately weaker
+//! policies (round-robin, random, widest-first) used by the ablation
+//! benchmarks to quantify how much the greedy choice matters.
+
+use crate::cost::Work;
+
+/// A scored iteration choice offered to a policy.
+///
+/// `benefit` is operator-specific: estimated overlap reduction for MAX
+/// (§5.1), weighted error reduction for SUM/AVE (§5.2). `est_cpu` is the
+/// object's `estCPU`. `width` is the object's current bounds width, used by
+/// fallback and by the widest-first ablation policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// Index of the result object in the operator's input set.
+    pub index: usize,
+    /// Estimated benefit of iterating this object once.
+    pub benefit: f64,
+    /// Estimated CPU cost of that iteration.
+    pub est_cpu: Work,
+    /// Current bounds width of the object.
+    pub width: f64,
+}
+
+impl Candidate {
+    /// Benefit per unit of estimated CPU, the greedy score of §5.
+    ///
+    /// A zero cost estimate is clamped to one work unit so that essentially
+    /// free iterations rank (very) high rather than dividing by zero.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.benefit / (self.est_cpu.max(1) as f64)
+    }
+}
+
+/// How an aggregate VAO chooses its next iteration.
+#[derive(Clone, Debug)]
+pub enum ChoicePolicy {
+    /// The paper's strategy: maximize estimated benefit per CPU cycle,
+    /// falling back to the widest candidate when every estimate is zero
+    /// (pessimistic estimates must not stall the operator).
+    Greedy,
+    /// Ablation: cycle through candidates regardless of scores.
+    RoundRobin {
+        /// Rotating cursor; advanced on every pick.
+        cursor: usize,
+    },
+    /// Ablation: pick uniformly at random (xorshift; deterministic per seed).
+    Random {
+        /// Current RNG state.
+        state: u64,
+    },
+    /// Ablation: always iterate the candidate with the widest bounds,
+    /// ignoring cost and operator-specific benefit.
+    WidestFirst,
+}
+
+impl ChoicePolicy {
+    /// The paper's greedy policy.
+    #[must_use]
+    pub fn greedy() -> Self {
+        ChoicePolicy::Greedy
+    }
+
+    /// Round-robin ablation policy.
+    #[must_use]
+    pub fn round_robin() -> Self {
+        ChoicePolicy::RoundRobin { cursor: 0 }
+    }
+
+    /// Seeded random ablation policy.
+    #[must_use]
+    pub fn random(seed: u64) -> Self {
+        ChoicePolicy::Random {
+            state: seed.max(1), // xorshift must not start at zero
+        }
+    }
+
+    /// Widest-first ablation policy.
+    #[must_use]
+    pub fn widest_first() -> Self {
+        ChoicePolicy::WidestFirst
+    }
+
+    /// Picks one of `candidates`, returning its position in the slice.
+    ///
+    /// Returns `None` when the slice is empty. Deterministic for every
+    /// policy (Random is seeded).
+    pub fn pick(&mut self, candidates: &[Candidate]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            ChoicePolicy::Greedy => {
+                let best = max_by_key(candidates, Candidate::score);
+                // All-zero scores give no signal; fall back to widest bounds
+                // so the operator is guaranteed to make progress.
+                if candidates[best].score() <= 0.0 {
+                    Some(max_by_key(candidates, |c| c.width))
+                } else {
+                    Some(best)
+                }
+            }
+            ChoicePolicy::RoundRobin { cursor } => {
+                let pick = *cursor % candidates.len();
+                *cursor = cursor.wrapping_add(1);
+                Some(pick)
+            }
+            ChoicePolicy::Random { state } => {
+                // xorshift64*
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                Some((r % candidates.len() as u64) as usize)
+            }
+            ChoicePolicy::WidestFirst => Some(max_by_key(candidates, |c| c.width)),
+        }
+    }
+}
+
+/// First index maximizing `key` (ties break toward the earliest candidate,
+/// keeping every policy deterministic).
+fn max_by_key(candidates: &[Candidate], key: impl Fn(&Candidate) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_key = key(&candidates[0]);
+    for (i, c) in candidates.iter().enumerate().skip(1) {
+        let k = key(c);
+        if k > best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(index: usize, benefit: f64, est_cpu: Work, width: f64) -> Candidate {
+        Candidate {
+            index,
+            benefit,
+            est_cpu,
+            width,
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_best_benefit_per_cycle() {
+        // Table 2 scenario: equal estCPU (4), overlap reductions 1, 2, 3.
+        let cands = [cand(0, 1.0, 4, 4.0), cand(1, 2.0, 4, 8.0), cand(2, 3.0, 4, 6.0)];
+        let mut p = ChoicePolicy::greedy();
+        assert_eq!(p.pick(&cands), Some(2));
+    }
+
+    #[test]
+    fn greedy_divides_by_cost() {
+        // Lower benefit but far cheaper iteration wins.
+        let cands = [cand(0, 3.0, 100, 1.0), cand(1, 1.0, 10, 1.0)];
+        let mut p = ChoicePolicy::greedy();
+        assert_eq!(p.pick(&cands), Some(1));
+    }
+
+    #[test]
+    fn greedy_zero_cost_is_clamped_not_infinite() {
+        let c = cand(0, 2.0, 0, 1.0);
+        assert_eq!(c.score(), 2.0);
+    }
+
+    #[test]
+    fn greedy_falls_back_to_widest_on_zero_benefit() {
+        let cands = [cand(0, 0.0, 4, 1.0), cand(1, 0.0, 4, 9.0), cand(2, 0.0, 4, 3.0)];
+        let mut p = ChoicePolicy::greedy();
+        assert_eq!(p.pick(&cands), Some(1));
+    }
+
+    #[test]
+    fn greedy_ties_break_to_first() {
+        let cands = [cand(0, 2.0, 4, 1.0), cand(1, 2.0, 4, 1.0)];
+        let mut p = ChoicePolicy::greedy();
+        assert_eq!(p.pick(&cands), Some(0));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        for mut p in [
+            ChoicePolicy::greedy(),
+            ChoicePolicy::round_robin(),
+            ChoicePolicy::random(42),
+            ChoicePolicy::widest_first(),
+        ] {
+            assert_eq!(p.pick(&[]), None);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let cands = [cand(0, 1.0, 1, 1.0), cand(1, 1.0, 1, 1.0), cand(2, 1.0, 1, 1.0)];
+        let mut p = ChoicePolicy::round_robin();
+        let picks: Vec<_> = (0..6).map(|_| p.pick(&cands).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let cands = [cand(0, 1.0, 1, 1.0), cand(1, 1.0, 1, 1.0), cand(2, 1.0, 1, 1.0)];
+        let mut a = ChoicePolicy::random(7);
+        let mut b = ChoicePolicy::random(7);
+        for _ in 0..32 {
+            let pa = a.pick(&cands).unwrap();
+            assert_eq!(Some(pa), b.pick(&cands));
+            assert!(pa < cands.len());
+        }
+    }
+
+    #[test]
+    fn random_seed_zero_is_usable() {
+        let cands = [cand(0, 1.0, 1, 1.0), cand(1, 1.0, 1, 1.0)];
+        let mut p = ChoicePolicy::random(0);
+        assert!(p.pick(&cands).is_some());
+    }
+
+    #[test]
+    fn widest_first_ignores_scores() {
+        let cands = [cand(0, 100.0, 1, 1.0), cand(1, 0.0, 1000, 50.0)];
+        let mut p = ChoicePolicy::widest_first();
+        assert_eq!(p.pick(&cands), Some(1));
+    }
+}

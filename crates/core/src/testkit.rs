@@ -1,0 +1,237 @@
+//! Deterministic, scriptable result objects for testing operators.
+//!
+//! A [`ScriptedObject`] replays a predetermined sequence of bounds
+//! refinements with fixed per-step costs and (optionally imperfect)
+//! next-step estimates. This decouples operator tests from any real solver:
+//! the unit tests for the MAX VAO, for example, replay the exact objects of
+//! the paper's Table 2.
+
+use crate::bounds::Bounds;
+use crate::cost::{Work, WorkMeter};
+use crate::interface::ResultObject;
+
+/// One refinement step of a scripted result object.
+#[derive(Clone, Debug)]
+pub struct ScriptedStep {
+    /// Bounds in effect once this step is reached.
+    pub bounds: Bounds,
+    /// Work charged by the `iterate()` call that *reaches* this step
+    /// (ignored for the first step, which is established at construction).
+    pub cost: Work,
+    /// `estCPU` reported while at this step.
+    pub est_cpu: Work,
+    /// `[estL, estH]` reported while at this step.
+    pub est_bounds: Bounds,
+}
+
+/// A result object that replays a fixed refinement script.
+#[derive(Clone, Debug)]
+pub struct ScriptedObject {
+    steps: Vec<ScriptedStep>,
+    pos: usize,
+    min_width: f64,
+    cumulative: Work,
+    last_step_cost: Work,
+    /// Optional label, handy when debugging multi-object operator tests.
+    pub label: String,
+}
+
+impl ScriptedObject {
+    /// Creates a scripted object from explicit steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or `min_width` is not positive.
+    #[must_use]
+    pub fn new(steps: Vec<ScriptedStep>, min_width: f64) -> Self {
+        assert!(!steps.is_empty(), "script must contain at least one step");
+        assert!(
+            min_width > 0.0 && min_width.is_finite(),
+            "min_width must be positive and finite"
+        );
+        Self {
+            steps,
+            pos: 0,
+            min_width,
+            cumulative: 0,
+            last_step_cost: 0,
+            label: String::new(),
+        }
+    }
+
+    /// Convenience constructor: a script of bounds with uniform per-step
+    /// cost and *perfect* estimates (each step's `est` fields describe the
+    /// next step exactly; the final step estimates itself).
+    #[must_use]
+    pub fn converging(script: &[(f64, f64)], step_cost: Work, min_width: f64) -> Self {
+        assert!(!script.is_empty());
+        let bounds: Vec<Bounds> = script.iter().map(|&(lo, hi)| Bounds::new(lo, hi)).collect();
+        let steps = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let last = i + 1 == bounds.len();
+                ScriptedStep {
+                    bounds: *b,
+                    cost: step_cost,
+                    est_cpu: if last { 0 } else { step_cost },
+                    est_bounds: if last { *b } else { bounds[i + 1] },
+                }
+            })
+            .collect();
+        Self::new(steps, min_width)
+    }
+
+    /// Attaches a debugging label.
+    #[must_use]
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Index of the current step (0 before any `iterate()`).
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the script has been fully replayed.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.pos + 1 == self.steps.len()
+    }
+}
+
+impl ResultObject for ScriptedObject {
+    fn bounds(&self) -> Bounds {
+        self.steps[self.pos].bounds
+    }
+
+    fn min_width(&self) -> f64 {
+        self.min_width
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        if self.converged() || self.exhausted() {
+            return self.bounds();
+        }
+        self.pos += 1;
+        let step = &self.steps[self.pos];
+        meter.charge_get_state(1);
+        meter.charge_exec(step.cost);
+        meter.charge_store_state(1);
+        meter.count_iteration();
+        self.cumulative += step.cost;
+        self.last_step_cost = step.cost;
+        step.bounds
+    }
+
+    fn est_cpu(&self) -> Work {
+        self.steps[self.pos].est_cpu
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        self.steps[self.pos].est_bounds
+    }
+
+    fn standalone_cost(&self) -> Work {
+        // Mimic the PDE-solver economics of §4.1: a black-box call at the
+        // current accuracy costs about as much as the last iteration alone.
+        self.last_step_cost.max(1)
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converging_replays_script_and_charges_costs() {
+        let mut obj = ScriptedObject::converging(&[(0.0, 10.0), (2.0, 6.0), (3.0, 3.005)], 50, 0.01);
+        let mut m = WorkMeter::new();
+        assert_eq!(obj.bounds(), Bounds::new(0.0, 10.0));
+        assert!(!obj.converged());
+
+        let b1 = obj.iterate(&mut m);
+        assert_eq!(b1, Bounds::new(2.0, 6.0));
+        assert_eq!(m.breakdown().exec_iter, 50);
+        assert_eq!(m.breakdown().get_state, 1);
+        assert_eq!(m.breakdown().store_state, 1);
+        assert_eq!(m.iterations(), 1);
+
+        let b2 = obj.iterate(&mut m);
+        assert_eq!(b2, Bounds::new(3.0, 3.005));
+        assert!(obj.converged());
+        assert_eq!(obj.cumulative_cost(), 100);
+        assert_eq!(obj.standalone_cost(), 50);
+    }
+
+    #[test]
+    fn iterate_after_convergence_is_free_noop() {
+        let mut obj = ScriptedObject::converging(&[(0.0, 10.0), (5.0, 5.001)], 10, 0.01);
+        let mut m = WorkMeter::new();
+        obj.iterate(&mut m);
+        assert!(obj.converged());
+        let before = m.total();
+        let b = obj.iterate(&mut m);
+        assert_eq!(b, Bounds::new(5.0, 5.001));
+        assert_eq!(m.total(), before, "no work may be charged after convergence");
+        assert_eq!(m.iterations(), 1);
+    }
+
+    #[test]
+    fn perfect_estimates_point_at_next_step() {
+        let obj = ScriptedObject::converging(&[(0.0, 10.0), (2.0, 6.0)], 7, 0.01);
+        assert_eq!(obj.est_bounds(), Bounds::new(2.0, 6.0));
+        assert_eq!(obj.est_cpu(), 7);
+    }
+
+    #[test]
+    fn exhausted_script_stops_refining() {
+        // A script that never converges: iterate() must become a no-op at
+        // the end rather than panic, so operators can detect stalls.
+        let mut obj = ScriptedObject::converging(&[(0.0, 10.0), (1.0, 9.0)], 5, 0.01);
+        let mut m = WorkMeter::new();
+        obj.iterate(&mut m);
+        assert!(obj.exhausted());
+        assert!(!obj.converged());
+        let b = obj.iterate(&mut m);
+        assert_eq!(b, Bounds::new(1.0, 9.0));
+        assert_eq!(m.iterations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_script_rejected() {
+        let _ = ScriptedObject::new(vec![], 0.01);
+    }
+
+    #[test]
+    fn explicit_steps_with_imperfect_estimates() {
+        // Estimates may be wrong (contract point 5): here the estimate
+        // promises [4,5] but the script actually lands on [3,6].
+        let steps = vec![
+            ScriptedStep {
+                bounds: Bounds::new(0.0, 10.0),
+                cost: 0,
+                est_cpu: 9,
+                est_bounds: Bounds::new(4.0, 5.0),
+            },
+            ScriptedStep {
+                bounds: Bounds::new(3.0, 6.0),
+                cost: 9,
+                est_cpu: 0,
+                est_bounds: Bounds::new(3.0, 6.0),
+            },
+        ];
+        let mut obj = ScriptedObject::new(steps, 0.01);
+        let mut m = WorkMeter::new();
+        assert_eq!(obj.est_bounds(), Bounds::new(4.0, 5.0));
+        let b = obj.iterate(&mut m);
+        assert_eq!(b, Bounds::new(3.0, 6.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Property-based tests for the VAO operator invariants.
+//!
+//! Result objects are generated as *nested interval scripts* around a known
+//! true value, which makes them sound by construction (every refinement
+//! contains the truth). The operators must then never lose the truth, never
+//! disagree with ground-truth answers on well-separated inputs, and respect
+//! their precision constraints regardless of the refinement schedules.
+
+use proptest::prelude::*;
+
+use vao::cost::WorkMeter;
+use vao::interface::ResultObject;
+use vao::ops::minmax::{max_vao, max_vao_with, min_vao, AggregateConfig};
+use vao::ops::selection::{select, CmpOp};
+use vao::ops::sum::weighted_sum_vao;
+use vao::ops::traditional::calibrate;
+use vao::precision::PrecisionConstraint;
+use vao::strategy::ChoicePolicy;
+use vao::testkit::ScriptedObject;
+use vao::Bounds;
+
+const MIN_WIDTH: f64 = 0.01;
+
+/// A sound refinement script: nested intervals around `truth`, ending
+/// below `MIN_WIDTH`.
+fn nested_script(truth: f64, lo_pad: f64, hi_pad: f64, shrinks: &[f64]) -> Vec<(f64, f64)> {
+    let mut lo_d = lo_pad.max(0.5);
+    let mut hi_d = hi_pad.max(0.5);
+    let mut script = vec![(truth - lo_d, truth + hi_d)];
+    for &s in shrinks {
+        lo_d *= s;
+        hi_d *= s;
+        script.push((truth - lo_d, truth + hi_d));
+    }
+    // Force convergence on the last step.
+    let w = MIN_WIDTH * 0.4;
+    script.push((truth - w, truth + w));
+    script
+}
+
+fn script_strategy(value_range: std::ops::Range<f64>) -> impl Strategy<Value = (f64, Vec<(f64, f64)>)> {
+    (
+        value_range,
+        0.5f64..20.0,
+        0.5f64..20.0,
+        prop::collection::vec(0.3f64..0.8, 1..8),
+        1u64..200,
+    )
+        .prop_map(|(truth, lo_pad, hi_pad, shrinks, _cost)| {
+            (truth, nested_script(truth, lo_pad, hi_pad, &shrinks))
+        })
+}
+
+fn objects_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, Vec<(f64, f64)>)>> {
+    prop::collection::vec(script_strategy(50.0..150.0), 1..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bounds_intersection_is_contained_in_both(
+        a_lo in -100.0f64..100.0, a_w in 0.0f64..50.0,
+        b_lo in -100.0f64..100.0, b_w in 0.0f64..50.0,
+    ) {
+        let a = Bounds::new(a_lo, a_lo + a_w);
+        let b = Bounds::new(b_lo, b_lo + b_w);
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(i.lo() >= a.lo() && i.hi() <= a.hi());
+            prop_assert!(i.lo() >= b.lo() && i.hi() <= b.hi());
+            prop_assert!(a.overlaps(&b));
+            prop_assert!((a.overlap(&b) - i.width()).abs() < 1e-9);
+        } else {
+            prop_assert!(!a.overlaps(&b));
+            prop_assert_eq!(a.overlap(&b), 0.0);
+        }
+    }
+
+    #[test]
+    fn bounds_negate_is_involutive_and_width_preserving(
+        lo in -100.0f64..100.0, w in 0.0f64..50.0,
+    ) {
+        let b = Bounds::new(lo, lo + w);
+        prop_assert_eq!(b.negate().negate(), b);
+        prop_assert!((b.negate().width() - b.width()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scripted_object_never_loses_truth((truth, script) in script_strategy(-50.0..50.0)) {
+        let mut obj = ScriptedObject::converging(&script, 10, MIN_WIDTH);
+        let mut meter = WorkMeter::new();
+        prop_assert!(obj.bounds().contains(truth));
+        while !obj.converged() {
+            let b = obj.iterate(&mut meter);
+            prop_assert!(b.contains(truth));
+        }
+        prop_assert!(obj.bounds().width() < MIN_WIDTH);
+    }
+
+    #[test]
+    fn selection_agrees_with_ground_truth(
+        (truth, script) in script_strategy(50.0..150.0),
+        constant in 50.0f64..150.0,
+        op_idx in 0usize..4,
+    ) {
+        let op = [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le][op_idx];
+        let mut obj = ScriptedObject::converging(&script, 10, MIN_WIDTH);
+        let mut meter = WorkMeter::new();
+        let out = select(&mut obj, op, constant, &mut meter).unwrap();
+        // When the constant is well separated from the truth, the answer
+        // must match ground truth exactly.
+        if (truth - constant).abs() > MIN_WIDTH {
+            prop_assert_eq!(out.satisfied, op.eval(truth, constant),
+                "op {} truth {} constant {}", op, truth, constant);
+            prop_assert!(!out.decided_at_min_width);
+        }
+    }
+
+    #[test]
+    fn selection_never_costs_more_than_calibration(
+        (_, script) in script_strategy(50.0..150.0),
+        constant in 0.0f64..200.0,
+    ) {
+        let mut sel_meter = WorkMeter::new();
+        let mut obj = ScriptedObject::converging(&script, 10, MIN_WIDTH);
+        let _ = select(&mut obj, CmpOp::Gt, constant, &mut sel_meter).unwrap();
+
+        let mut cal_meter = WorkMeter::new();
+        let mut obj2 = ScriptedObject::converging(&script, 10, MIN_WIDTH);
+        let _ = calibrate(&mut obj2, &mut cal_meter).unwrap();
+        prop_assert!(sel_meter.total() <= cal_meter.total(),
+            "selection may stop early but never works harder than full convergence");
+    }
+
+    #[test]
+    fn max_vao_finds_the_true_maximum(objs in objects_strategy(8)) {
+        let truths: Vec<f64> = objs.iter().map(|(t, _)| *t).collect();
+        let mut scripted: Vec<ScriptedObject> = objs
+            .iter()
+            .map(|(_, s)| ScriptedObject::converging(s, 10, MIN_WIDTH))
+            .collect();
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(MIN_WIDTH).unwrap();
+        let res = max_vao(&mut scripted, eps, &mut meter).unwrap();
+
+        let best = truths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // The winner's truth must be within minWidth of the true maximum
+        // (exact argmax is unknowable for values closer than the stopping
+        // accuracy — the paper's stopping case 2).
+        prop_assert!(truths[res.argext] > best - MIN_WIDTH,
+            "winner {} vs best {}", truths[res.argext], best);
+        prop_assert!(res.bounds.contains(truths[res.argext]));
+    }
+
+    #[test]
+    fn min_vao_finds_the_true_minimum(objs in objects_strategy(8)) {
+        let truths: Vec<f64> = objs.iter().map(|(t, _)| *t).collect();
+        let mut scripted: Vec<ScriptedObject> = objs
+            .iter()
+            .map(|(_, s)| ScriptedObject::converging(s, 10, MIN_WIDTH))
+            .collect();
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(MIN_WIDTH).unwrap();
+        let res = min_vao(&mut scripted, eps, &mut meter).unwrap();
+        let best = truths.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(truths[res.argext] < best + MIN_WIDTH);
+        prop_assert!(res.bounds.contains(truths[res.argext]));
+    }
+
+    #[test]
+    fn max_answer_is_policy_independent(objs in objects_strategy(6)) {
+        let truths: Vec<f64> = objs.iter().map(|(t, _)| *t).collect();
+        let eps = PrecisionConstraint::new(MIN_WIDTH).unwrap();
+        let mut winners = Vec::new();
+        for policy in [
+            ChoicePolicy::greedy(),
+            ChoicePolicy::round_robin(),
+            ChoicePolicy::random(7),
+            ChoicePolicy::widest_first(),
+        ] {
+            let mut scripted: Vec<ScriptedObject> = objs
+                .iter()
+                .map(|(_, s)| ScriptedObject::converging(s, 10, MIN_WIDTH))
+                .collect();
+            let mut meter = WorkMeter::new();
+            let mut config = AggregateConfig { policy, iteration_limit: 100_000 };
+            let res = max_vao_with(&mut scripted, eps, &mut config, &mut meter).unwrap();
+            winners.push(truths[res.argext]);
+        }
+        // All policies must land on values within minWidth of each other.
+        let lo = winners.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = winners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(hi - lo <= MIN_WIDTH + 1e-12, "winners disagree: {:?}", winners);
+    }
+
+    #[test]
+    fn weighted_sum_bounds_contain_true_sum(
+        objs in objects_strategy(8),
+        weight_seed in 0u64..1000,
+    ) {
+        let n = objs.len();
+        // Deterministic pseudo-random nonnegative weights.
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = weight_seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695040888963407);
+                (x >> 33) as f64 / (1u64 << 31) as f64 * 5.0
+            })
+            .collect();
+        let true_sum: f64 = objs.iter().zip(&weights).map(|((t, _), w)| t * w).sum();
+        let floor: f64 = weights.iter().map(|w| w * MIN_WIDTH).sum();
+        let epsilon = (floor * 2.0).max(1e-6);
+
+        let mut scripted: Vec<ScriptedObject> = objs
+            .iter()
+            .map(|(_, s)| ScriptedObject::converging(s, 10, MIN_WIDTH))
+            .collect();
+        let mut meter = WorkMeter::new();
+        let res = weighted_sum_vao(
+            &mut scripted,
+            &weights,
+            PrecisionConstraint::new(epsilon).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
+        prop_assert!(res.bounds.contains(true_sum),
+            "bounds {} vs true sum {}", res.bounds, true_sum);
+        prop_assert!(res.bounds.width() <= epsilon + 1e-9 || res.stopped_at_floor);
+    }
+
+    #[test]
+    fn sum_with_tighter_epsilon_costs_at_least_as_much(objs in objects_strategy(6)) {
+        let n = objs.len();
+        let weights = vec![1.0; n];
+        let floor = n as f64 * MIN_WIDTH;
+
+        let run = |epsilon: f64| -> u64 {
+            let mut scripted: Vec<ScriptedObject> = objs
+                .iter()
+                .map(|(_, s)| ScriptedObject::converging(s, 10, MIN_WIDTH))
+                .collect();
+            let mut meter = WorkMeter::new();
+            weighted_sum_vao(
+                &mut scripted,
+                &weights,
+                PrecisionConstraint::new(epsilon).unwrap(),
+                &mut meter,
+            )
+            .unwrap();
+            meter.breakdown().exec_iter
+        };
+        let loose = run(floor * 100.0);
+        // Tiny headroom over the floor: summing n×minWidth in floating
+        // point can land a hair above the nominal product.
+        let tight = run(floor * 1.001);
+        prop_assert!(tight >= loose, "tight ε must not be cheaper: {tight} < {loose}");
+    }
+
+    #[test]
+    fn calibration_value_matches_truth((truth, script) in script_strategy(50.0..150.0)) {
+        let mut obj = ScriptedObject::converging(&script, 10, MIN_WIDTH);
+        let mut meter = WorkMeter::new();
+        let spec = calibrate(&mut obj, &mut meter).unwrap();
+        prop_assert!((spec.value - truth).abs() < MIN_WIDTH);
+        prop_assert!(spec.final_width < MIN_WIDTH);
+    }
+}

@@ -1,0 +1,285 @@
+//! Composite quadrature rules and the interval-halving ladder.
+
+/// Composite trapezoid rule with `n ≥ 1` equal intervals.
+///
+/// Error is `O(h²)` overall (`O(h³)` per interval, as §4.3 notes).
+pub fn composite_trapezoid(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: u32) -> f64 {
+    assert!(n >= 1, "need at least one interval");
+    let h = (b - a) / f64::from(n);
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + h * f64::from(i));
+    }
+    sum * h
+}
+
+/// Composite Simpson rule with an even `n ≥ 2` intervals. Error `O(h⁴)`.
+pub fn composite_simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: u32) -> f64 {
+    assert!(n >= 2 && n % 2 == 0, "Simpson needs an even interval count");
+    let h = (b - a) / f64::from(n);
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += w * f(a + h * f64::from(i));
+    }
+    sum * h / 3.0
+}
+
+/// The interval-halving trapezoid ladder: level `k` holds the composite
+/// trapezoid estimate with `2^k` intervals, and advancing a level evaluates
+/// only the `2^k` *new* midpoints — every previous evaluation is reused.
+///
+/// This is the refinement scheme of §4.3 ("subsequent iterations halve the
+/// existing intervals"), and both the trapezoid- and Simpson-based result
+/// objects are built on it (Simpson at level `k` is the Richardson
+/// combination `(4·Tₖ − Tₖ₋₁)/3`).
+pub struct TrapezoidLadder<F> {
+    f: F,
+    a: f64,
+    b: f64,
+    level: u32,
+    current: f64,
+    evals: u64,
+}
+
+impl<F: Fn(f64) -> f64> TrapezoidLadder<F> {
+    /// Starts the ladder at level 0 (a single interval, 2 evaluations).
+    pub fn new(f: F, a: f64, b: f64) -> Self {
+        assert!(a.is_finite() && b.is_finite() && a < b, "bad interval");
+        let current = 0.5 * (b - a) * (f(a) + f(b));
+        Self {
+            f,
+            a,
+            b,
+            level: 0,
+            current,
+            evals: 2,
+        }
+    }
+
+    /// Current level `k` (the estimate uses `2^k` intervals).
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Current trapezoid estimate `Tₖ`.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.current
+    }
+
+    /// Total function evaluations so far (`2^k + 1`).
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evals
+    }
+
+    /// Function evaluations the next [`TrapezoidLadder::advance`] will make.
+    #[must_use]
+    pub fn next_evaluations(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Advances to level `k+1`, evaluating the new midpoints, and returns
+    /// the new estimate.
+    pub fn advance(&mut self) -> f64 {
+        let n_new = 1u64 << self.level; // midpoints to add
+        let h_new = (self.b - self.a) / (2.0 * n_new as f64);
+        let mut mid_sum = 0.0;
+        for i in 0..n_new {
+            let x = self.a + h_new * (2.0 * i as f64 + 1.0);
+            mid_sum += (self.f)(x);
+        }
+        self.current = 0.5 * self.current + h_new * mid_sum;
+        self.level += 1;
+        self.evals += n_new;
+        self.current
+    }
+}
+
+/// A Romberg tableau built on the trapezoid ladder: column `m` of row `k`
+/// removes the `O(h^{2m})` error term by Richardson extrapolation, giving
+/// spectral-like convergence for smooth integrands. Column 0 is the plain
+/// trapezoid value, column 1 is Simpson, column 2 is Boole, and so on —
+/// §4.3's "the techniques discussed here apply to other rules as well",
+/// taken to its limit.
+pub struct RombergTable<F> {
+    ladder: TrapezoidLadder<F>,
+    /// The most recent tableau row `R[k][0..=k]`.
+    row: Vec<f64>,
+}
+
+impl<F: Fn(f64) -> f64> RombergTable<F> {
+    /// Starts the tableau at row 0 (a single trapezoid).
+    pub fn new(f: F, a: f64, b: f64) -> Self {
+        let ladder = TrapezoidLadder::new(f, a, b);
+        let row = vec![ladder.estimate()];
+        Self { ladder, row }
+    }
+
+    /// Current best estimate (the last entry of the deepest row).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        *self.row.last().expect("row is never empty")
+    }
+
+    /// Number of completed rows minus one (equals the ladder level).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.ladder.level()
+    }
+
+    /// Total integrand evaluations.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.ladder.evaluations()
+    }
+
+    /// Adds one row: halves the trapezoid intervals and extrapolates
+    /// across all columns. Returns the new best estimate.
+    pub fn advance(&mut self) -> f64 {
+        let t = self.ladder.advance();
+        let mut new_row = Vec::with_capacity(self.row.len() + 1);
+        new_row.push(t);
+        let mut factor = 1.0;
+        for m in 0..self.row.len() {
+            factor *= 4.0;
+            let higher = new_row[m] + (new_row[m] - self.row[m]) / (factor - 1.0);
+            new_row.push(higher);
+        }
+        self.row = new_row;
+        self.estimate()
+    }
+
+    /// Difference between the two most accurate entries of the current
+    /// row — the standard Romberg error proxy.
+    #[must_use]
+    pub fn error_estimate(&self) -> f64 {
+        match self.row.len() {
+            0 | 1 => f64::INFINITY,
+            n => (self.row[n - 1] - self.row[n - 2]).abs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_exact_for_linear() {
+        let f = |x: f64| 3.0 * x + 1.0;
+        let v = composite_trapezoid(&f, 0.0, 2.0, 1);
+        assert!((v - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_converges_quadratically() {
+        let f = |x: f64| x.sin();
+        let exact = 1.0 - (1.0f64).cos();
+        let e1 = (composite_trapezoid(&f, 0.0, 1.0, 8) - exact).abs();
+        let e2 = (composite_trapezoid(&f, 0.0, 1.0, 16) - exact).abs();
+        let ratio = e1 / e2;
+        assert!((3.5..4.5).contains(&ratio), "expected ~4, got {ratio}");
+    }
+
+    #[test]
+    fn simpson_exact_for_cubics() {
+        let f = |x: f64| x * x * x - 2.0 * x * x + 5.0;
+        // ∫₀² = 4 - 16/3 + 10 = 8.666...
+        let exact = 4.0 - 16.0 / 3.0 + 10.0;
+        let v = composite_simpson(&f, 0.0, 2.0, 2);
+        assert!((v - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_converges_quartically() {
+        let f = |x: f64| (2.0 * x).exp();
+        let exact = ((2.0f64).exp() * (2.0f64).exp() - 1.0) / 2.0; // ∫₀² e^{2x}
+        let e1 = (composite_simpson(&f, 0.0, 2.0, 8) - exact).abs();
+        let e2 = (composite_simpson(&f, 0.0, 2.0, 16) - exact).abs();
+        let ratio = e1 / e2;
+        assert!((12.0..20.0).contains(&ratio), "expected ~16, got {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn simpson_rejects_odd_n() {
+        let _ = composite_simpson(&|x| x, 0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn ladder_matches_direct_composites() {
+        let f = |x: f64| x.exp() * x.cos();
+        let mut ladder = TrapezoidLadder::new(&f, 0.0, 2.0);
+        for k in 1..=8 {
+            let v = ladder.advance();
+            let direct = composite_trapezoid(&f, 0.0, 2.0, 1 << k);
+            assert!((v - direct).abs() < 1e-12, "level {k}: {v} vs {direct}");
+        }
+        assert_eq!(ladder.level(), 8);
+        assert_eq!(ladder.evaluations(), (1 << 8) + 1);
+    }
+
+    #[test]
+    fn romberg_converges_dramatically_faster_than_trapezoid() {
+        // ∫₀¹ e^x dx = e − 1.
+        let exact = std::f64::consts::E - 1.0;
+        let mut romberg = RombergTable::new(|x: f64| x.exp(), 0.0, 1.0);
+        for _ in 0..5 {
+            romberg.advance();
+        }
+        // 33 evaluations get ~1e-12; plain trapezoid at 32 intervals is
+        // ~1e-4.
+        assert!((romberg.estimate() - exact).abs() < 1e-11, "{}", romberg.estimate());
+        assert_eq!(romberg.evaluations(), 33);
+        let trap = composite_trapezoid(&|x: f64| x.exp(), 0.0, 1.0, 32);
+        assert!((trap - exact).abs() > 1e-5);
+    }
+
+    #[test]
+    fn romberg_column_one_is_simpson() {
+        let f = |x: f64| x.sin() + x * x;
+        let mut romberg = RombergTable::new(f, 0.0, 2.0);
+        romberg.advance(); // row 1: [T1, S1]
+        let simpson = composite_simpson(&f, 0.0, 2.0, 2);
+        assert!((romberg.estimate() - simpson).abs() < 1e-12);
+    }
+
+    #[test]
+    fn romberg_error_estimate_tracks_true_error() {
+        let exact = 2.0; // ∫₀^π sin
+        let mut romberg = RombergTable::new(|x: f64| x.sin(), 0.0, std::f64::consts::PI);
+        romberg.advance();
+        for _ in 0..4 {
+            romberg.advance();
+            let err = (romberg.estimate() - exact).abs();
+            assert!(
+                err <= romberg.error_estimate() + 1e-15,
+                "true err {err} vs estimate {}",
+                romberg.error_estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn romberg_initial_error_estimate_is_infinite() {
+        let romberg = RombergTable::new(|x: f64| x, 0.0, 1.0);
+        assert!(romberg.error_estimate().is_infinite());
+        assert_eq!(romberg.depth(), 0);
+    }
+
+    #[test]
+    fn ladder_eval_accounting() {
+        let f = |x: f64| x;
+        let mut ladder = TrapezoidLadder::new(&f, 0.0, 1.0);
+        assert_eq!(ladder.evaluations(), 2);
+        assert_eq!(ladder.next_evaluations(), 1);
+        ladder.advance();
+        assert_eq!(ladder.evaluations(), 3);
+        assert_eq!(ladder.next_evaluations(), 2);
+        ladder.advance();
+        assert_eq!(ladder.evaluations(), 5);
+    }
+}

@@ -1,0 +1,407 @@
+//! Numerical integration as a variable-accuracy result object (§4.3).
+//!
+//! The object wraps the interval-halving [`TrapezoidLadder`]. At level `k`
+//! the trapezoid error is modeled as `K·h²` per the big-O form, so the
+//! observable difference between successive levels pins the error:
+//! `E(Tₖ₊₁) ≈ |Tₖ − Tₖ₊₁| / 3`, and the *next* level's error is about a
+//! quarter of that (§4.3's "one-fourth of the current error magnitude").
+//! A safety factor (default 3) covers the higher-order terms the model
+//! ignores. The Simpson variant accelerates the same ladder: its estimate
+//! is the Richardson combination `(4Tₖ₊₁ − Tₖ)/3`, with error shrinking
+//! ~16× per level.
+
+use vao::cost::{Work, WorkMeter};
+use vao::interface::ResultObject;
+use vao::Bounds;
+
+use crate::integrate::rules::TrapezoidLadder;
+
+/// Which quadrature rule drives the bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuadratureRule {
+    /// Composite trapezoid: error quarters per level.
+    Trapezoid,
+    /// Richardson-accelerated (Simpson): error shrinks ~16× per level.
+    Simpson,
+}
+
+/// Construction parameters for [`QuadratureResultObject`].
+#[derive(Clone, Copy, Debug)]
+pub struct QuadratureVaoConfig {
+    /// The rule to report estimates with.
+    pub rule: QuadratureRule,
+    /// The `minWidth` stopping threshold.
+    pub min_width: f64,
+    /// Safety factor on the difference-based error estimate.
+    pub safety: f64,
+    /// Work units charged per integrand evaluation (models an expensive
+    /// `f`; §4.3 notes the approximation "can be expensive if f itself is
+    /// expensive").
+    pub work_per_eval: Work,
+    /// Maximum ladder level (level `k` costs `2^k` evaluations to reach
+    /// from `k−1`).
+    pub max_level: u32,
+}
+
+impl Default for QuadratureVaoConfig {
+    fn default() -> Self {
+        Self {
+            rule: QuadratureRule::Trapezoid,
+            min_width: 1e-9,
+            safety: 3.0,
+            work_per_eval: 1,
+            max_level: 40,
+        }
+    }
+}
+
+/// A refinable integral estimate implementing [`ResultObject`].
+pub struct QuadratureResultObject<F: Fn(f64) -> f64> {
+    ladder: TrapezoidLadder<F>,
+    config: QuadratureVaoConfig,
+    prev_estimate: f64,
+    /// Trapezoid estimate two levels back, once available — the Simpson
+    /// error model differences successive *Simpson* values, which needs
+    /// three trapezoid levels.
+    prev_prev_estimate: Option<f64>,
+    bounds: Bounds,
+    cumulative: Work,
+    capped: bool,
+}
+
+impl<F: Fn(f64) -> f64> QuadratureResultObject<F> {
+    /// Creates the object. Construction runs levels 0 and 1 of the ladder
+    /// (three integrand evaluations) — the minimum needed for a
+    /// difference-based error estimate — charging the work to `meter`.
+    pub fn new(f: F, a: f64, b: f64, config: QuadratureVaoConfig, meter: &mut WorkMeter) -> Self {
+        assert!(
+            config.min_width > 0.0 && config.min_width.is_finite(),
+            "min_width must be positive"
+        );
+        let mut ladder = TrapezoidLadder::new(f, a, b);
+        let t0 = ladder.estimate();
+        let t1 = ladder.advance();
+        meter.charge_exec(3 * config.work_per_eval);
+        meter.charge_store_state(1);
+        let bounds = Self::bounds_for(&config, None, t0, t1);
+        Self {
+            ladder,
+            config,
+            prev_estimate: t0,
+            prev_prev_estimate: None,
+            bounds,
+            cumulative: 3 * config.work_per_eval,
+            capped: false,
+        }
+    }
+
+    /// Point estimate under the configured rule.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match self.config.rule {
+            QuadratureRule::Trapezoid => self.ladder.estimate(),
+            QuadratureRule::Simpson => {
+                (4.0 * self.ladder.estimate() - self.prev_estimate) / 3.0
+            }
+        }
+    }
+
+    /// Current ladder level.
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.ladder.level()
+    }
+
+    /// Whether the level cap stopped refinement.
+    #[must_use]
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    fn bounds_for(
+        config: &QuadratureVaoConfig,
+        t_prev_prev: Option<f64>,
+        t_prev: f64,
+        t_cur: f64,
+    ) -> Bounds {
+        let diff = t_cur - t_prev;
+        match config.rule {
+            QuadratureRule::Trapezoid => {
+                // E(t_cur) ≈ diff/3 with the sign telling which side the
+                // truth lies on; widen symmetrically by the safety factor.
+                let e = config.safety * diff.abs() / 3.0;
+                Bounds::new(t_cur - e, t_cur + e)
+            }
+            QuadratureRule::Simpson => {
+                let s_cur = (4.0 * t_cur - t_prev) / 3.0;
+                // With three trapezoid levels, difference the successive
+                // Simpson values: E(S_cur) ≈ |S_cur − S_prev|/15 (its
+                // error is O(h⁴), a 16x shrink per level). Before that,
+                // fall back to the conservative trapezoid-pair estimate.
+                let e = match t_prev_prev {
+                    Some(t_pp) => {
+                        let s_prev = (4.0 * t_prev - t_pp) / 3.0;
+                        config.safety * (s_cur - s_prev).abs() / 15.0
+                    }
+                    None => config.safety * diff.abs() / 12.0,
+                };
+                Bounds::new(s_cur - e, s_cur + e)
+            }
+        }
+    }
+
+    fn error_shrink_factor(&self) -> f64 {
+        match self.config.rule {
+            QuadratureRule::Trapezoid => 0.25,
+            QuadratureRule::Simpson => 1.0 / 16.0,
+        }
+    }
+}
+
+impl<F: Fn(f64) -> f64> ResultObject for QuadratureResultObject<F> {
+    fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    fn min_width(&self) -> f64 {
+        self.config.min_width
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        if self.ladder.level() >= self.config.max_level {
+            self.capped = true;
+            return self.bounds;
+        }
+        let new_evals = self.ladder.next_evaluations();
+        let t_prev = self.ladder.estimate();
+        let t_cur = self.ladder.advance();
+        let work = new_evals * self.config.work_per_eval;
+        meter.charge_get_state(1);
+        meter.charge_exec(work);
+        meter.charge_store_state(1);
+        meter.count_iteration();
+        self.cumulative += work;
+        self.prev_prev_estimate = Some(self.prev_estimate);
+        self.prev_estimate = t_prev;
+
+        let fresh = Self::bounds_for(&self.config, self.prev_prev_estimate, t_prev, t_cur);
+        self.bounds = self.bounds.intersect(&fresh).unwrap_or(fresh);
+        self.bounds
+    }
+
+    fn est_cpu(&self) -> Work {
+        if self.converged() || self.capped {
+            0
+        } else {
+            self.ladder.next_evaluations() * self.config.work_per_eval
+        }
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        // Next-level error ≈ current error × shrink; center on the
+        // Richardson-extrapolated prediction of the next estimate.
+        let t_prev = self.prev_estimate;
+        let t_cur = self.ladder.estimate();
+        let predicted_center = match self.config.rule {
+            QuadratureRule::Trapezoid => t_cur + (t_cur - t_prev) / 3.0,
+            QuadratureRule::Simpson => self.estimate(),
+        };
+        let half_width = 0.5 * self.bounds.width() * self.error_shrink_factor();
+        let predicted = Bounds::new(predicted_center - half_width, predicted_center + half_width);
+        predicted.intersect(&self.bounds).unwrap_or(predicted)
+    }
+
+    fn standalone_cost(&self) -> Work {
+        // §4.3: a traditional integrator at the same accuracy computes the
+        // same points, so the standalone cost equals the cumulative cost.
+        self.cumulative
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sin_object(rule: QuadratureRule, min_width: f64) -> (QuadratureResultObject<fn(f64) -> f64>, WorkMeter)
+    {
+        let mut meter = WorkMeter::new();
+        let obj = QuadratureResultObject::new(
+            (|x: f64| x.sin()) as fn(f64) -> f64,
+            0.0,
+            std::f64::consts::PI,
+            QuadratureVaoConfig {
+                rule,
+                min_width,
+                ..QuadratureVaoConfig::default()
+            },
+            &mut meter,
+        );
+        (obj, meter)
+    }
+
+    #[test]
+    fn initial_bounds_contain_exact_integral() {
+        let (obj, meter) = sin_object(QuadratureRule::Trapezoid, 1e-9);
+        assert!(obj.bounds().contains(2.0), "{}", obj.bounds());
+        assert_eq!(meter.breakdown().exec_iter, 3);
+    }
+
+    #[test]
+    fn trapezoid_converges_soundly() {
+        let (mut obj, mut meter) = sin_object(QuadratureRule::Trapezoid, 1e-9);
+        let mut guard = 0;
+        while !obj.converged() {
+            let b = obj.iterate(&mut meter);
+            assert!(b.contains(2.0), "iteration {guard}: {b}");
+            guard += 1;
+            assert!(guard < 40);
+        }
+        assert!((obj.estimate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_converges_much_faster() {
+        let (mut t, mut mt) = sin_object(QuadratureRule::Trapezoid, 1e-9);
+        let (mut s, mut ms) = sin_object(QuadratureRule::Simpson, 1e-9);
+        while !t.converged() && !t.capped() {
+            t.iterate(&mut mt);
+        }
+        while !s.converged() && !s.capped() {
+            s.iterate(&mut ms);
+        }
+        assert!(t.converged() && s.converged());
+        assert!(
+            s.cumulative_cost() * 4 < t.cumulative_cost(),
+            "simpson {} vs trapezoid {}",
+            s.cumulative_cost(),
+            t.cumulative_cost()
+        );
+        assert!((s.estimate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_iteration_work_doubles() {
+        let (mut obj, _) = sin_object(QuadratureRule::Trapezoid, 1e-12);
+        let mut prev = 0;
+        for i in 0..6 {
+            let mut m = WorkMeter::new();
+            obj.iterate(&mut m);
+            let w = m.breakdown().exec_iter;
+            if i > 0 {
+                assert_eq!(w, prev * 2, "evaluations double per level");
+            }
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn est_cpu_is_exact_for_quadrature() {
+        let (mut obj, _) = sin_object(QuadratureRule::Trapezoid, 1e-12);
+        for _ in 0..5 {
+            let est = obj.est_cpu();
+            let mut m = WorkMeter::new();
+            obj.iterate(&mut m);
+            assert_eq!(est, m.breakdown().exec_iter);
+        }
+    }
+
+    #[test]
+    fn est_bounds_shrink_by_about_a_quarter() {
+        let (mut obj, mut meter) = sin_object(QuadratureRule::Trapezoid, 1e-12);
+        obj.iterate(&mut meter);
+        obj.iterate(&mut meter);
+        let est = obj.est_bounds();
+        let cur_w = obj.bounds().width();
+        assert!(est.width() < cur_w);
+        let actual = obj.iterate(&mut meter);
+        let ratio = est.width() / actual.width().max(1e-300);
+        assert!((0.1..=10.0).contains(&ratio), "est {est} vs actual {actual}");
+    }
+
+    #[test]
+    fn work_per_eval_scales_costs() {
+        let mut meter = WorkMeter::new();
+        let mut obj = QuadratureResultObject::new(
+            |x: f64| x * x,
+            0.0,
+            1.0,
+            QuadratureVaoConfig {
+                work_per_eval: 1000,
+                min_width: 1e-6,
+                ..QuadratureVaoConfig::default()
+            },
+            &mut meter,
+        );
+        assert_eq!(meter.breakdown().exec_iter, 3000);
+        let before = meter.breakdown().exec_iter;
+        obj.iterate(&mut meter);
+        assert_eq!(meter.breakdown().exec_iter - before, 2000); // 2 midpoints
+    }
+
+    #[test]
+    fn level_cap_stalls_gracefully() {
+        let mut meter = WorkMeter::new();
+        let mut obj = QuadratureResultObject::new(
+            |x: f64| 1.0 / (1.0 + x * x),
+            0.0,
+            1.0,
+            QuadratureVaoConfig {
+                min_width: 1e-300,
+                max_level: 5,
+                ..QuadratureVaoConfig::default()
+            },
+            &mut meter,
+        );
+        for _ in 0..10 {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.capped());
+        assert_eq!(obj.level(), 5);
+        let before = meter.total();
+        obj.iterate(&mut meter);
+        assert_eq!(meter.total(), before);
+    }
+
+    #[test]
+    fn standalone_equals_cumulative_for_quadrature() {
+        let (mut obj, mut meter) = sin_object(QuadratureRule::Trapezoid, 1e-6);
+        while !obj.converged() && !obj.capped() {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.converged());
+        assert_eq!(obj.standalone_cost(), obj.cumulative_cost());
+    }
+
+    #[test]
+    fn handles_integrand_with_interior_structure() {
+        // ∫₀¹ 1/(1+25x²) dx = atan(5)/5 — the Runge function.
+        let exact = (5.0f64).atan() / 5.0;
+        let mut meter = WorkMeter::new();
+        let mut obj = QuadratureResultObject::new(
+            |x: f64| 1.0 / (1.0 + 25.0 * x * x),
+            0.0,
+            1.0,
+            QuadratureVaoConfig {
+                min_width: 1e-8,
+                ..QuadratureVaoConfig::default()
+            },
+            &mut meter,
+        );
+        while !obj.converged() && !obj.capped() {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.converged());
+        assert!((obj.estimate() - exact).abs() < 1e-8);
+        assert!(obj.bounds().contains(exact));
+    }
+}

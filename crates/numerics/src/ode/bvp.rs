@@ -1,0 +1,265 @@
+//! Finite-difference solver for linear two-point boundary-value problems.
+//!
+//! Problems of the form `w''(x) = v(x)·w(x) + u(x)` on `[a, b]` with
+//! Dirichlet conditions `w(a) = wa`, `w(b) = wb`. The standard 3-point
+//! stencil gives a tridiagonal system with `O(h²)` error.
+
+use vao::cost::Work;
+
+use crate::tridiag::{solve_tridiagonal, TridiagError};
+
+/// A linear second-order BVP `w'' = v(x)·w + u(x)`, `w(a)=wa`, `w(b)=wb`,
+/// queried at `x_query`.
+pub trait LinearBvp {
+    /// Interval `[a, b]`, `a < b`.
+    fn interval(&self) -> (f64, f64);
+    /// Coefficient `v(x)` multiplying `w`.
+    fn linear_coeff(&self, x: f64) -> f64;
+    /// Forcing term `u(x)`.
+    fn forcing(&self, x: f64) -> f64;
+    /// Boundary values `(w(a), w(b))`.
+    fn boundary(&self) -> (f64, f64);
+    /// Query point inside `[a, b]`.
+    fn x_query(&self) -> f64;
+}
+
+/// Errors from the BVP solver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BvpError {
+    /// Fewer than two intervals, or invalid geometry.
+    BadInput(String),
+    /// The tridiagonal system was singular (e.g. `v < 0` resonance).
+    Singular(TridiagError),
+}
+
+impl std::fmt::Display for BvpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BvpError::BadInput(m) => write!(f, "invalid BVP input: {m}"),
+            BvpError::Singular(e) => write!(f, "singular BVP system: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BvpError {}
+
+/// Solves the BVP on `n` intervals and returns `(w(x_query), work)`.
+///
+/// Work is one unit per grid node, matching the PDE solver's mesh-entry
+/// accounting.
+pub fn solve_bvp<B: LinearBvp>(problem: &B, n: u32) -> Result<(f64, Work), BvpError> {
+    if n < 2 {
+        return Err(BvpError::BadInput(format!("need >= 2 intervals, got {n}")));
+    }
+    let (a, b) = problem.interval();
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(BvpError::BadInput(format!("bad interval [{a}, {b}]")));
+    }
+    let xq = problem.x_query();
+    if !(xq >= a && xq <= b) {
+        return Err(BvpError::BadInput(format!("query {xq} outside [{a}, {b}]")));
+    }
+
+    let h = (b - a) / f64::from(n);
+    let m = n as usize - 1; // interior nodes
+    let (wa, wb) = problem.boundary();
+
+    let mut sub = vec![1.0; m];
+    let mut sup = vec![1.0; m];
+    let mut diag = vec![0.0; m];
+    let mut rhs = vec![0.0; m];
+    for i in 0..m {
+        let x = a + h * (i as f64 + 1.0);
+        diag[i] = -(2.0 + h * h * problem.linear_coeff(x));
+        rhs[i] = h * h * problem.forcing(x);
+    }
+    rhs[0] -= wa;
+    rhs[m - 1] -= wb;
+    sub[0] = 0.0;
+    sup[m - 1] = 0.0;
+
+    let w = solve_tridiagonal(&sub, &diag, &sup, &rhs).map_err(BvpError::Singular)?;
+
+    // Full solution vector including boundaries, then interpolate.
+    let node = |i: usize| -> f64 {
+        if i == 0 {
+            wa
+        } else if i == n as usize {
+            wb
+        } else {
+            w[i - 1]
+        }
+    };
+    let pos = ((xq - a) / h).clamp(0.0, f64::from(n));
+    let i0 = (pos.floor() as usize).min(n as usize - 1);
+    let frac = pos - i0 as f64;
+    let value = node(i0) * (1.0 - frac) + node(i0 + 1) * frac;
+    Ok((value, u64::from(n) + 1))
+}
+
+/// The beam-deflection problem of §4.2:
+/// `w'' = (S/EI)·w + (q·x/2EI)(x − l)`, `w(0) = w(l) = 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct BeamProblem {
+    /// Beam length `l`.
+    pub length: f64,
+    /// Axial stress `S`.
+    pub stress: f64,
+    /// Flexural rigidity `EI`.
+    pub rigidity: f64,
+    /// Uniform load intensity `q`.
+    pub load: f64,
+    /// Where the deflection is wanted.
+    pub x_query: f64,
+}
+
+impl BeamProblem {
+    /// A typical steel-beam instance (Burden & Faires flavour).
+    #[must_use]
+    pub fn example() -> Self {
+        Self {
+            length: 120.0,
+            stress: 1000.0,
+            rigidity: 3.0e7,
+            load: 100.0,
+            x_query: 60.0,
+        }
+    }
+
+    /// Closed-form solution, used to validate the solver:
+    /// `w(x) = c₁e^{λx} + c₂e^{−λx} − q/(2S)·x² + ql/(2S)·x − qEI/S²` with
+    /// `λ = √(S/EI)` and `c₁, c₂` fixed by the boundary conditions.
+    #[must_use]
+    pub fn exact(&self, x: f64) -> f64 {
+        let lambda = (self.stress / self.rigidity).sqrt();
+        let gamma = -self.load * self.rigidity / (self.stress * self.stress);
+        let l = self.length;
+        // c1 + c2 = -gamma ; c1 e^{λl} + c2 e^{-λl} = -gamma
+        let (ep, em) = ((lambda * l).exp(), (-lambda * l).exp());
+        let c1 = -gamma * (1.0 - em) / (ep - em);
+        let c2 = -gamma - c1;
+        let particular =
+            -self.load / (2.0 * self.stress) * x * x + self.load * l / (2.0 * self.stress) * x
+                + gamma;
+        c1 * (lambda * x).exp() + c2 * (-lambda * x).exp() + particular
+    }
+}
+
+impl LinearBvp for BeamProblem {
+    fn interval(&self) -> (f64, f64) {
+        (0.0, self.length)
+    }
+
+    fn linear_coeff(&self, _x: f64) -> f64 {
+        self.stress / self.rigidity
+    }
+
+    fn forcing(&self, x: f64) -> f64 {
+        self.load * x / (2.0 * self.rigidity) * (x - self.length)
+    }
+
+    fn boundary(&self) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
+    fn x_query(&self) -> f64 {
+        self.x_query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_solution_satisfies_boundaries_and_ode() {
+        let p = BeamProblem::example();
+        assert!(p.exact(0.0).abs() < 1e-9);
+        assert!(p.exact(p.length).abs() < 1e-9);
+        // Check the ODE residual at a few points by central differences.
+        let h = 1e-3;
+        for &x in &[20.0, 60.0, 100.0] {
+            let wxx = (p.exact(x + h) - 2.0 * p.exact(x) + p.exact(x - h)) / (h * h);
+            let rhs = p.linear_coeff(x) * p.exact(x) + p.forcing(x);
+            assert!((wxx - rhs).abs() < 1e-5, "x={x}: {wxx} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn solver_converges_to_exact_beam_deflection() {
+        let p = BeamProblem::example();
+        let exact = p.exact(p.x_query);
+        let (coarse, w1) = solve_bvp(&p, 8).unwrap();
+        let (fine, w2) = solve_bvp(&p, 256).unwrap();
+        assert!((fine - exact).abs() < (coarse - exact).abs());
+        // O(h²) with h = 120/256: absolute error lands in the 1e-4 range
+        // for this ~8.7-inch deflection.
+        assert!((fine - exact).abs() < 1e-3, "{fine} vs {exact}");
+        assert_eq!(w1, 9);
+        assert_eq!(w2, 257);
+        let (finest, _) = solve_bvp(&p, 4096).unwrap();
+        assert!((finest - exact).abs() < 1e-5, "{finest} vs {exact}");
+    }
+
+    #[test]
+    fn error_is_second_order_in_h() {
+        let p = BeamProblem::example();
+        let exact = p.exact(p.x_query);
+        let (v1, _) = solve_bvp(&p, 16).unwrap();
+        let (v2, _) = solve_bvp(&p, 32).unwrap();
+        let ratio = (v1 - exact).abs() / (v2 - exact).abs();
+        assert!((3.0..5.0).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn nonzero_boundaries_are_respected() {
+        // w'' = 0 with w(0)=1, w(2)=5: solution is linear 1 + 2x.
+        struct Line;
+        impl LinearBvp for Line {
+            fn interval(&self) -> (f64, f64) {
+                (0.0, 2.0)
+            }
+            fn linear_coeff(&self, _: f64) -> f64 {
+                0.0
+            }
+            fn forcing(&self, _: f64) -> f64 {
+                0.0
+            }
+            fn boundary(&self) -> (f64, f64) {
+                (1.0, 5.0)
+            }
+            fn x_query(&self) -> f64 {
+                0.7
+            }
+        }
+        let (v, _) = solve_bvp(&Line, 10).unwrap();
+        assert!((v - (1.0 + 2.0 * 0.7)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let p = BeamProblem::example();
+        assert!(matches!(solve_bvp(&p, 1), Err(BvpError::BadInput(_))));
+        let bad = BeamProblem {
+            x_query: -5.0,
+            ..BeamProblem::example()
+        };
+        assert!(matches!(solve_bvp(&bad, 8), Err(BvpError::BadInput(_))));
+    }
+
+    #[test]
+    fn query_at_boundary_returns_boundary_value() {
+        let p = BeamProblem {
+            x_query: 0.0,
+            ..BeamProblem::example()
+        };
+        let (v, _) = solve_bvp(&p, 8).unwrap();
+        assert_eq!(v, 0.0);
+        let p = BeamProblem {
+            x_query: 120.0,
+            ..BeamProblem::example()
+        };
+        let (v, _) = solve_bvp(&p, 8).unwrap();
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The BVP solver wrapped as a variable-accuracy result object (§4.2).
+//!
+//! "The only difference is the presence of only one dimension in the grid,
+//! which makes the extrapolation techniques slightly simpler": the error
+//! model is a single term `K·h²`, fitted from two solves at `h` and `h/2`
+//! (`K = (4/3)(F₁−F₂)/h²`), with the paper's safety factor bounding the
+//! answer. Each `iterate()` halves `h` (one new solve, twice the nodes) and
+//! re-fits `K`.
+
+use vao::cost::{Work, WorkMeter};
+use vao::interface::ResultObject;
+use vao::Bounds;
+
+use crate::ode::bvp::{solve_bvp, BvpError, LinearBvp};
+
+/// Construction parameters for [`OdeResultObject`].
+#[derive(Clone, Copy, Debug)]
+pub struct OdeVaoConfig {
+    /// Intervals of the initial (coarsest) grid.
+    pub initial_n: u32,
+    /// The `minWidth` stopping threshold.
+    pub min_width: f64,
+    /// Safety factor on the fitted coefficient (paper: 3).
+    pub safety: f64,
+    /// Hard cap on grid nodes per solve.
+    pub max_nodes: u64,
+}
+
+impl Default for OdeVaoConfig {
+    fn default() -> Self {
+        Self {
+            initial_n: 4,
+            min_width: 1e-6,
+            safety: 3.0,
+            max_nodes: 1 << 24,
+        }
+    }
+}
+
+/// A refinable BVP solution implementing [`ResultObject`].
+pub struct OdeResultObject<B: LinearBvp> {
+    problem: B,
+    config: OdeVaoConfig,
+    n: u32,
+    value: f64,
+    k: f64,
+    bounds: Bounds,
+    cumulative: Work,
+    last_solve_work: Work,
+    capped: bool,
+}
+
+impl<B: LinearBvp> OdeResultObject<B> {
+    /// Creates the object with two coarse solves (at `n` and `2n`) to fit
+    /// the error coefficient; work is charged to `meter`.
+    pub fn new(problem: B, config: OdeVaoConfig, meter: &mut WorkMeter) -> Result<Self, BvpError> {
+        assert!(
+            config.min_width > 0.0 && config.min_width.is_finite(),
+            "min_width must be positive"
+        );
+        let n = config.initial_n.max(2);
+        let (f1, w1) = solve_bvp(&problem, n)?;
+        let (f2, w2) = solve_bvp(&problem, n * 2)?;
+        meter.charge_exec(w1 + w2);
+        meter.charge_store_state(1);
+
+        let (a, b) = problem.interval();
+        let h = (b - a) / f64::from(n);
+        let k = (4.0 / 3.0) * (f1 - f2) / (h * h);
+        // Center on the *finer* solution: its modeled error is K·(h/2)².
+        let h_fine = h / 2.0;
+        let bounds = one_term_bounds(f2, k, h_fine, config.safety);
+        Ok(Self {
+            problem,
+            config,
+            n: n * 2,
+            value: f2,
+            k,
+            bounds,
+            cumulative: w1 + w2,
+            last_solve_work: w2,
+            capped: false,
+        })
+    }
+
+    /// Current grid intervals.
+    #[must_use]
+    pub fn grid(&self) -> u32 {
+        self.n
+    }
+
+    /// The fitted `K` of the `K·h²` error model.
+    #[must_use]
+    pub fn error_coefficient(&self) -> f64 {
+        self.k
+    }
+
+    /// Whether refinement stopped at the node cap.
+    #[must_use]
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    fn h(&self, n: u32) -> f64 {
+        let (a, b) = self.problem.interval();
+        (b - a) / f64::from(n)
+    }
+}
+
+/// Bounds around `value` for a one-term signed error `K·h²`.
+fn one_term_bounds(value: f64, k: f64, h: f64, safety: f64) -> Bounds {
+    let e = k * h * h;
+    Bounds::new(
+        value - safety * e.max(0.0),
+        value + safety * (-e).max(0.0),
+    )
+}
+
+impl<B: LinearBvp> ResultObject for OdeResultObject<B> {
+    fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    fn min_width(&self) -> f64 {
+        self.config.min_width
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        let new_n = self.n.saturating_mul(2);
+        if u64::from(new_n) + 1 > self.config.max_nodes || new_n >= u32::MAX / 2 {
+            self.capped = true;
+            return self.bounds;
+        }
+        let (new_value, work) = match solve_bvp(&self.problem, new_n) {
+            Ok(r) => r,
+            Err(_) => {
+                self.capped = true;
+                return self.bounds;
+            }
+        };
+        meter.charge_get_state(1);
+        meter.charge_exec(work);
+        meter.charge_store_state(1);
+        meter.count_iteration();
+        self.cumulative += work;
+        self.last_solve_work = work;
+
+        let h_old = self.h(self.n);
+        self.k = (4.0 / 3.0) * (self.value - new_value) / (h_old * h_old);
+        self.n = new_n;
+        self.value = new_value;
+        let fresh = one_term_bounds(new_value, self.k, self.h(new_n), self.config.safety);
+        self.bounds = self.bounds.intersect(&fresh).unwrap_or(fresh);
+        self.bounds
+    }
+
+    fn est_cpu(&self) -> Work {
+        if self.converged() || self.capped {
+            0
+        } else {
+            u64::from(self.n) * 2 + 1
+        }
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        let h = self.h(self.n);
+        // Halving h removes 3/4 of the modeled error from the value and
+        // quarters the residual error.
+        let predicted_value = self.value - 0.75 * self.k * h * h;
+        let predicted = one_term_bounds(predicted_value, self.k, h / 2.0, self.config.safety);
+        predicted.intersect(&self.bounds).unwrap_or(predicted)
+    }
+
+    fn standalone_cost(&self) -> Work {
+        self.last_solve_work
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::bvp::BeamProblem;
+
+    fn beam_object(min_width: f64) -> (OdeResultObject<BeamProblem>, WorkMeter) {
+        let mut meter = WorkMeter::new();
+        let obj = OdeResultObject::new(
+            BeamProblem::example(),
+            OdeVaoConfig {
+                min_width,
+                ..OdeVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        (obj, meter)
+    }
+
+    #[test]
+    fn initial_bounds_contain_exact_deflection() {
+        let (obj, meter) = beam_object(1e-6);
+        let exact = BeamProblem::example().exact(60.0);
+        assert!(obj.bounds().contains(exact), "{} vs {exact}", obj.bounds());
+        // Two solves charged: 5 + 9 nodes.
+        assert_eq!(meter.breakdown().exec_iter, 14);
+    }
+
+    #[test]
+    fn refines_to_convergence_and_stays_sound() {
+        // minWidth 1e-6: far below any useful engineering tolerance but
+        // still above the tridiagonal solver's round-off floor (the
+        // paper's footnote 4 — iterating past machine accuracy corrupts
+        // the extrapolation model).
+        let (mut obj, mut meter) = beam_object(1e-6);
+        let exact = BeamProblem::example().exact(60.0);
+        let mut guard = 0;
+        while !obj.converged() && !obj.capped() {
+            let b = obj.iterate(&mut meter);
+            assert!(
+                b.contains(exact),
+                "iteration {guard}: bounds {b} lost exact {exact}"
+            );
+            guard += 1;
+            assert!(guard < 30);
+        }
+        assert!(obj.converged(), "must converge before the node cap");
+        assert!(obj.bounds().width() < 1e-6);
+        assert!((obj.bounds().mid() - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_doubles_per_iteration() {
+        let (mut obj, _) = beam_object(1e-12);
+        let mut prev = 0u64;
+        for i in 0..5 {
+            let mut m = WorkMeter::new();
+            obj.iterate(&mut m);
+            let w = m.breakdown().exec_iter;
+            if i > 0 {
+                let ratio = w as f64 / prev as f64;
+                assert!((1.8..=2.2).contains(&ratio), "{w} vs {prev}");
+            }
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn est_cpu_matches_next_solve() {
+        let (mut obj, _) = beam_object(1e-12);
+        for _ in 0..4 {
+            let est = obj.est_cpu();
+            let mut m = WorkMeter::new();
+            obj.iterate(&mut m);
+            assert_eq!(est, m.breakdown().exec_iter);
+        }
+    }
+
+    #[test]
+    fn est_bounds_predict_roughly_quartered_error() {
+        let (mut obj, mut meter) = beam_object(1e-12);
+        obj.iterate(&mut meter);
+        let est = obj.est_bounds();
+        let actual = obj.iterate(&mut meter);
+        let ratio = est.width() / actual.width().max(1e-300);
+        assert!((0.2..=5.0).contains(&ratio), "est {est} vs actual {actual}");
+    }
+
+    #[test]
+    fn node_cap_stalls_gracefully() {
+        let mut meter = WorkMeter::new();
+        let mut obj = OdeResultObject::new(
+            BeamProblem::example(),
+            OdeVaoConfig {
+                min_width: 1e-300, // unreachable
+                max_nodes: 64,
+                ..OdeVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        for _ in 0..20 {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.capped());
+        let before = meter.total();
+        obj.iterate(&mut meter);
+        assert_eq!(meter.total(), before);
+        assert_eq!(obj.est_cpu(), 0);
+    }
+
+    #[test]
+    fn standalone_cost_tracks_last_grid() {
+        let (mut obj, mut meter) = beam_object(1e-6);
+        while !obj.converged() && !obj.capped() {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.converged());
+        assert_eq!(obj.standalone_cost(), u64::from(obj.grid()) + 1);
+        // Geometric doubling: cumulative < ~2.5x the final solve.
+        assert!(obj.cumulative_cost() < 3 * obj.standalone_cost());
+    }
+}

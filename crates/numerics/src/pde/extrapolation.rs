@@ -1,0 +1,247 @@
+//! Richardson-extrapolation error model for `O(Δt + Δx²)` solvers (§4.1).
+//!
+//! The mesh solver only gives a big-O *form* for its error. Following the
+//! paper, we approximate the error as `e(Δt, Δx) = K₁·Δt + K₂·Δx²`, estimate
+//! the constants from solutions at systematically varied step sizes
+//! (`K₁ = 2(F₁−F₂)/Δt` from halving the time step, `K₂ = (4/3)(F₁−F₃)/Δx²`
+//! from halving the space step), and bound the accurate answer `A = F − e`
+//! conservatively by inflating each term by a safety factor — the paper
+//! observed fitted constants varying by 2–3× across step sizes and uses 3.
+
+use vao::Bounds;
+
+/// Which step size a refinement should halve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// Halve Δt (double the number of time steps).
+    Time,
+    /// Halve Δx (double the number of space intervals).
+    Space,
+}
+
+/// The fitted two-term error model `e(Δt, Δx) = K₁·Δt + K₂·Δx²`.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoTermErrorModel {
+    /// Temporal error coefficient.
+    pub k1: f64,
+    /// Spatial error coefficient.
+    pub k2: f64,
+    /// Conservatism multiplier on each term (the paper's factor 3).
+    pub safety: f64,
+}
+
+impl TwoTermErrorModel {
+    /// Fits both constants from the §4.1 trio: `f1` at `(Δt, Δx)`, `f2` at
+    /// `(Δt/2, Δx)`, `f3` at `(Δt, Δx/2)`.
+    #[must_use]
+    pub fn fit(f1: f64, f2: f64, f3: f64, dt: f64, dx: f64, safety: f64) -> Self {
+        Self {
+            k1: 2.0 * (f1 - f2) / dt,
+            k2: (4.0 / 3.0) * (f1 - f3) / (dx * dx),
+            safety,
+        }
+    }
+
+    /// Re-fits only `K₁` from a time-step halving: `f_coarse` at `Δt`,
+    /// `f_fine` at `Δt/2` (same Δx).
+    pub fn refit_k1(&mut self, f_coarse: f64, f_fine: f64, dt: f64) {
+        self.k1 = 2.0 * (f_coarse - f_fine) / dt;
+    }
+
+    /// Re-fits only `K₂` from a space-step halving: `f_coarse` at `Δx`,
+    /// `f_fine` at `Δx/2` (same Δt).
+    pub fn refit_k2(&mut self, f_coarse: f64, f_fine: f64, dx: f64) {
+        self.k2 = (4.0 / 3.0) * (f_coarse - f_fine) / (dx * dx);
+    }
+
+    /// The two signed error terms `(K₁·Δt, K₂·Δx²)` at the given steps.
+    #[must_use]
+    pub fn terms(&self, dt: f64, dx: f64) -> (f64, f64) {
+        (self.k1 * dt, self.k2 * dx * dx)
+    }
+
+    /// Conservative bounds on the accurate answer around a solution
+    /// computed at `(Δt, Δx)`.
+    ///
+    /// Generalizes the paper's signed formula (`A ∈ [F − 3K₁Δt, F − 3K₂Δx²]`
+    /// for `K₁ > 0 > K₂`) to arbitrary coefficient signs: each term pushes
+    /// one side of the interval away from `F` by `safety` times itself.
+    #[must_use]
+    pub fn bounds_around(&self, value: f64, dt: f64, dx: f64) -> Bounds {
+        let (e1, e2) = self.terms(dt, dx);
+        let lo = value - self.safety * (e1.max(0.0) + e2.max(0.0));
+        let hi = value + self.safety * ((-e1).max(0.0) + (-e2).max(0.0));
+        Bounds::new(lo, hi)
+    }
+
+    /// Bounds width at the given steps: `safety · (|K₁Δt| + |K₂Δx²|)`.
+    #[must_use]
+    pub fn width(&self, dt: f64, dx: f64) -> f64 {
+        let (e1, e2) = self.terms(dt, dx);
+        self.safety * (e1.abs() + e2.abs())
+    }
+
+    /// Which halving the model predicts reduces the error most.
+    ///
+    /// Halving Δt removes `|K₁|·Δt/2`; halving Δx removes `(3/4)|K₂|·Δx²`.
+    /// Both halvings roughly double the mesh, so the comparison is on raw
+    /// error reduction, exactly as §4.1 prescribes.
+    #[must_use]
+    pub fn dominant_step(&self, dt: f64, dx: f64) -> StepKind {
+        let (e1, e2) = self.terms(dt, dx);
+        if 0.5 * e1.abs() >= 0.75 * e2.abs() {
+            StepKind::Time
+        } else {
+            StepKind::Space
+        }
+    }
+
+    /// Predicted solution value after halving `kind`: the model says the
+    /// halved term's contribution shrinks by half (time) or three quarters
+    /// (space).
+    #[must_use]
+    pub fn predicted_value(&self, value: f64, dt: f64, dx: f64, kind: StepKind) -> f64 {
+        let (e1, e2) = self.terms(dt, dx);
+        match kind {
+            StepKind::Time => value - 0.5 * e1,
+            StepKind::Space => value - 0.75 * e2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic solver value with exactly the modeled error form.
+    fn synthetic(a: f64, k1: f64, k2: f64, dt: f64, dx: f64) -> f64 {
+        a + k1 * dt + k2 * dx * dx
+    }
+
+    #[test]
+    fn fit_recovers_exact_coefficients() {
+        let (a, k1, k2) = (100.0, 4.0, -250.0);
+        let (dt, dx) = (0.5, 0.1);
+        let f1 = synthetic(a, k1, k2, dt, dx);
+        let f2 = synthetic(a, k1, k2, dt / 2.0, dx);
+        let f3 = synthetic(a, k1, k2, dt, dx / 2.0);
+        let m = TwoTermErrorModel::fit(f1, f2, f3, dt, dx, 3.0);
+        assert!((m.k1 - k1).abs() < 1e-9, "k1 {}", m.k1);
+        assert!((m.k2 - k2).abs() < 1e-9, "k2 {}", m.k2);
+    }
+
+    #[test]
+    fn bounds_contain_the_true_answer_when_model_is_exact() {
+        let (a, k1, k2) = (100.0, 4.0, -250.0);
+        let (dt, dx) = (0.5, 0.1);
+        let f1 = synthetic(a, k1, k2, dt, dx);
+        let m = TwoTermErrorModel::fit(
+            f1,
+            synthetic(a, k1, k2, dt / 2.0, dx),
+            synthetic(a, k1, k2, dt, dx / 2.0),
+            dt,
+            dx,
+            3.0,
+        );
+        let b = m.bounds_around(f1, dt, dx);
+        assert!(b.contains(a), "bounds {b} should contain {a}");
+        // Paper's signed case: K1 > 0 > K2 gives [F1-3K1Δt, F1-3K2Δx²].
+        assert!((b.lo() - (f1 - 3.0 * k1 * dt)).abs() < 1e-9);
+        assert!((b.hi() - (f1 - 3.0 * k2 * dx * dx)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_contain_truth_even_with_misfit_constants_within_safety() {
+        // The true K's are up to 3x the fitted ones: the safety factor must
+        // still cover the answer.
+        let (dt, dx) = (0.25, 0.05);
+        let m = TwoTermErrorModel {
+            k1: 2.0,
+            k2: -100.0,
+            safety: 3.0,
+        };
+        for scale in [0.5, 1.0, 2.0, 2.9] {
+            let true_err = scale * (m.k1 * dt) + scale * (m.k2 * dx * dx);
+            let value = 50.0 + true_err; // A = 50
+            let b = m.bounds_around(value, dt, dx);
+            assert!(b.contains(50.0), "scale {scale}: {b}");
+        }
+    }
+
+    #[test]
+    fn width_shrinks_with_steps() {
+        let m = TwoTermErrorModel {
+            k1: 1.0,
+            k2: 1.0,
+            safety: 3.0,
+        };
+        let w0 = m.width(0.4, 0.2);
+        let w_t = m.width(0.2, 0.2);
+        let w_x = m.width(0.4, 0.1);
+        assert!(w_t < w0 && w_x < w0);
+        // Time halving removes K1·dt/2 = 0.2·3; space removes 0.75·K2·dx².
+        assert!((w0 - w_t - 3.0 * 0.2).abs() < 1e-12);
+        assert!((w0 - w_x - 3.0 * 0.75 * 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_step_picks_larger_reduction() {
+        // Large temporal term: halve time.
+        let m = TwoTermErrorModel {
+            k1: 10.0,
+            k2: 0.1,
+            safety: 3.0,
+        };
+        assert_eq!(m.dominant_step(1.0, 0.1), StepKind::Time);
+        // Large spatial term: halve space.
+        let m = TwoTermErrorModel {
+            k1: 0.01,
+            k2: -500.0,
+            safety: 3.0,
+        };
+        assert_eq!(m.dominant_step(0.01, 0.5), StepKind::Space);
+    }
+
+    #[test]
+    fn refits_update_single_coefficients() {
+        let mut m = TwoTermErrorModel {
+            k1: 1.0,
+            k2: 1.0,
+            safety: 3.0,
+        };
+        // True K1 = 6: halving dt=0.5 moves the value by K1·dt/2 = 1.5.
+        m.refit_k1(101.5, 100.0, 0.5);
+        assert!((m.k1 - 6.0).abs() < 1e-12);
+        assert_eq!(m.k2, 1.0);
+        // True K2 = -80: halving dx=0.1 moves value by 0.75·K2·dx² = -0.6.
+        m.refit_k2(99.4, 100.0, 0.1);
+        assert!((m.k2 + 80.0).abs() < 1e-9);
+        assert!((m.k1 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_value_matches_model() {
+        let m = TwoTermErrorModel {
+            k1: 4.0,
+            k2: -100.0,
+            safety: 3.0,
+        };
+        let (dt, dx) = (0.5, 0.1);
+        let v = 102.0;
+        assert!((m.predicted_value(v, dt, dx, StepKind::Time) - (v - 1.0)).abs() < 1e-12);
+        // Space: removes 0.75·(-100)·0.01 = -0.75, so value rises by 0.75.
+        assert!((m.predicted_value(v, dt, dx, StepKind::Space) - (v + 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coefficients_give_zero_width() {
+        let m = TwoTermErrorModel {
+            k1: 0.0,
+            k2: 0.0,
+            safety: 3.0,
+        };
+        assert_eq!(m.width(1.0, 1.0), 0.0);
+        let b = m.bounds_around(42.0, 1.0, 1.0);
+        assert_eq!((b.lo(), b.hi()), (42.0, 42.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Parabolic PDE solving with variable accuracy (§4.1).
+//!
+//! The paper's motivating UDF — a bond-pricing model — is the solution of a
+//! parabolic PDE of the form
+//!
+//! ```text
+//! a(x)·F_xx + b(x)·F_x + F_t − r(x)·F + c(x,t) = 0 ,   F(x, T) given,
+//! ```
+//!
+//! evaluated at `F(x_query, 0)`. [`problem`] defines that problem shape,
+//! [`solver`] solves it by implicit finite differencing on an `n_x × n_t`
+//! mesh (error `O(Δt + Δx²)`), [`extrapolation`] turns solutions at three
+//! step-size combinations into real-valued error bounds via Richardson
+//! extrapolation, and [`vao`] wraps the whole machinery as a
+//! [`vao::ResultObject`] whose `iterate()` halves whichever step size the
+//! error model blames most.
+
+pub mod extrapolation;
+pub mod problem;
+pub mod solver;
+pub mod two_factor;
+pub mod vao;
+
+pub use extrapolation::{StepKind, TwoTermErrorModel};
+pub use problem::ParabolicPde;
+pub use solver::{solve_on_mesh, MeshSolution, SolverConfig};
+pub use two_factor::{solve_adi, TwoFactorPde, TwoFactorResultObject, TwoFactorVaoConfig};
+pub use vao::{PdeResultObject, PdeVaoConfig};

@@ -1,0 +1,655 @@
+//! Two-factor parabolic PDEs via ADI (alternating-direction implicit).
+//!
+//! The paper's bond-model citations include two-factor valuation models
+//! (Downing, Stanton & Wallace's mortgage model with an interest-rate and
+//! a housing-price factor). Those lead to PDEs of the form
+//!
+//! ```text
+//! ax·F_xx + ay·F_yy + bx·F_x + by·F_y + F_t − r·F + c = 0,   F(x,y,T) given,
+//! ```
+//!
+//! (zero cross-diffusion — independent factors), solved here with
+//! Peaceman–Rachford-style ADI: each backward time step is split into an
+//! x-implicit half-step and a y-implicit half-step, so the cost stays one
+//! tridiagonal solve per grid line and the total work per step is
+//! `2·n_x·n_y` cell updates. The error form `O(Δt + Δx² + Δy²)` feeds a
+//! three-term Richardson model, and [`TwoFactorResultObject`] halves
+//! whichever of the three steps the model blames most — §4.1's refinement
+//! rule with one more dimension.
+
+use vao::cost::{Work, WorkMeter};
+use vao::interface::ResultObject;
+use vao::Bounds;
+
+use crate::pde::solver::SolveError;
+use crate::tridiag::ThomasSolver;
+
+/// A two-factor terminal-value problem queried at `(x_query, y_query, 0)`.
+pub trait TwoFactorPde {
+    /// Domain of the first factor, `[x_min, x_max]`.
+    fn x_domain(&self) -> (f64, f64);
+    /// Domain of the second factor, `[y_min, y_max]`.
+    fn y_domain(&self) -> (f64, f64);
+    /// Terminal time `T > 0`.
+    fn horizon(&self) -> f64;
+    /// Diffusion in `x` (≥ 0).
+    fn diffusion_x(&self, x: f64, y: f64) -> f64;
+    /// Diffusion in `y` (≥ 0).
+    fn diffusion_y(&self, x: f64, y: f64) -> f64;
+    /// Drift in `x`.
+    fn drift_x(&self, x: f64, y: f64) -> f64;
+    /// Drift in `y`.
+    fn drift_y(&self, x: f64, y: f64) -> f64;
+    /// Discount rate `r(x, y)`.
+    fn discount(&self, x: f64, y: f64) -> f64;
+    /// Source term `c(x, y, t)`.
+    fn source(&self, x: f64, y: f64, t: f64) -> f64;
+    /// Terminal condition `F(x, y, T)`.
+    fn terminal(&self, x: f64, y: f64) -> f64;
+    /// Query point, inside the domain.
+    fn query(&self) -> (f64, f64);
+}
+
+/// Result of one ADI solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdiSolution {
+    /// `F(x_query, y_query, 0)` (bilinear interpolation).
+    pub value: f64,
+    /// Cell updates performed (`2·n_t·n_x·n_y` plus boundary columns).
+    pub work: Work,
+}
+
+/// Solves on an `n_x × n_y × n_t` mesh by ADI splitting.
+///
+/// Boundary treatment matches the 1-D solver: diffusion dropped and drift
+/// one-sided *into* the domain on each lateral face.
+pub fn solve_adi<P: TwoFactorPde>(
+    problem: &P,
+    n_x: u32,
+    n_y: u32,
+    n_t: u32,
+    max_cells: u64,
+) -> Result<AdiSolution, SolveError> {
+    if n_x < 2 || n_y < 2 || n_t < 1 {
+        return Err(SolveError::BadMesh {
+            cells: 2 * u64::from(n_t) * u64::from(n_x + 1) * u64::from(n_y + 1),
+            max: max_cells,
+        });
+    }
+    let cells = 2 * u64::from(n_t) * u64::from(n_x + 1) * u64::from(n_y + 1);
+    if cells > max_cells {
+        return Err(SolveError::BadMesh {
+            cells,
+            max: max_cells,
+        });
+    }
+    let (x_lo, x_hi) = problem.x_domain();
+    let (y_lo, y_hi) = problem.y_domain();
+    let horizon = problem.horizon();
+    if !(x_lo < x_hi && y_lo < y_hi && horizon > 0.0) {
+        return Err(SolveError::Problem("invalid two-factor geometry".into()));
+    }
+
+    let nx = n_x as usize + 1;
+    let ny = n_y as usize + 1;
+    let hx = (x_hi - x_lo) / f64::from(n_x);
+    let hy = (y_hi - y_lo) / f64::from(n_y);
+    let dt = horizon / f64::from(n_t);
+    let xs: Vec<f64> = (0..nx).map(|i| x_lo + hx * i as f64).collect();
+    let ys: Vec<f64> = (0..ny).map(|j| y_lo + hy * j as f64).collect();
+
+    // g[j][i] = F(x_i, y_j).
+    let mut g: Vec<Vec<f64>> = ys
+        .iter()
+        .map(|&y| xs.iter().map(|&x| problem.terminal(x, y)).collect())
+        .collect();
+
+    let mut thomas = ThomasSolver::new();
+    let mut sub = vec![0.0; nx.max(ny)];
+    let mut diag = vec![0.0; nx.max(ny)];
+    let mut sup = vec![0.0; nx.max(ny)];
+    let mut rhs = vec![0.0; nx.max(ny)];
+    let mut sol = vec![0.0; nx.max(ny)];
+
+    for k in 1..=n_t {
+        let t = horizon - dt * f64::from(k);
+
+        // Half-step 1: implicit in x, explicit-in-nothing (operator split:
+        // the y-terms act in the second half-step). Half the discount and
+        // source are applied in each half-step.
+        for j in 0..ny {
+            let y = ys[j];
+            for i in 0..nx {
+                let x = xs[i];
+                let (a, b) = (problem.diffusion_x(x, y), problem.drift_x(x, y));
+                let r = 0.5 * problem.discount(x, y);
+                if i == 0 || i == nx - 1 {
+                    let binward = if i == 0 { b.max(0.0) } else { (-b).max(0.0) };
+                    diag[i] = 1.0 + dt * r + dt * binward / hx;
+                    if i == 0 {
+                        sup[i] = -dt * binward / hx;
+                        sub[i] = 0.0;
+                    } else {
+                        sub[i] = -dt * binward / hx;
+                        sup[i] = 0.0;
+                    }
+                } else {
+                    let alpha = dt * a / (hx * hx);
+                    let beta = dt * b / (2.0 * hx);
+                    sub[i] = -(alpha - beta);
+                    diag[i] = 1.0 + 2.0 * alpha + dt * r;
+                    sup[i] = -(alpha + beta);
+                }
+                rhs[i] = g[j][i] + 0.5 * dt * problem.source(x, y, t);
+            }
+            thomas
+                .solve(&sub[..nx], &diag[..nx], &sup[..nx], &rhs[..nx], &mut sol[..nx])
+                .map_err(SolveError::Singular)?;
+            g[j][..nx].copy_from_slice(&sol[..nx]);
+        }
+
+        // Half-step 2: implicit in y.
+        for i in 0..nx {
+            let x = xs[i];
+            for j in 0..ny {
+                let y = ys[j];
+                let (a, b) = (problem.diffusion_y(x, y), problem.drift_y(x, y));
+                let r = 0.5 * problem.discount(x, y);
+                if j == 0 || j == ny - 1 {
+                    let binward = if j == 0 { b.max(0.0) } else { (-b).max(0.0) };
+                    diag[j] = 1.0 + dt * r + dt * binward / hy;
+                    if j == 0 {
+                        sup[j] = -dt * binward / hy;
+                        sub[j] = 0.0;
+                    } else {
+                        sub[j] = -dt * binward / hy;
+                        sup[j] = 0.0;
+                    }
+                } else {
+                    let alpha = dt * a / (hy * hy);
+                    let beta = dt * b / (2.0 * hy);
+                    sub[j] = -(alpha - beta);
+                    diag[j] = 1.0 + 2.0 * alpha + dt * r;
+                    sup[j] = -(alpha + beta);
+                }
+                rhs[j] = g[j][i] + 0.5 * dt * problem.source(x, y, t);
+            }
+            thomas
+                .solve(&sub[..ny], &diag[..ny], &sup[..ny], &rhs[..ny], &mut sol[..ny])
+                .map_err(SolveError::Singular)?;
+            for j in 0..ny {
+                g[j][i] = sol[j];
+            }
+        }
+    }
+
+    // Bilinear interpolation at the query point.
+    let (xq, yq) = problem.query();
+    let px = ((xq - x_lo) / hx).clamp(0.0, (nx - 1) as f64);
+    let py = ((yq - y_lo) / hy).clamp(0.0, (ny - 1) as f64);
+    let (i0, j0) = ((px.floor() as usize).min(nx - 2), (py.floor() as usize).min(ny - 2));
+    let (fx, fy) = (px - i0 as f64, py - j0 as f64);
+    let value = g[j0][i0] * (1.0 - fx) * (1.0 - fy)
+        + g[j0][i0 + 1] * fx * (1.0 - fy)
+        + g[j0 + 1][i0] * (1.0 - fx) * fy
+        + g[j0 + 1][i0 + 1] * fx * fy;
+
+    Ok(AdiSolution { value, work: cells })
+}
+
+/// Configuration for [`TwoFactorResultObject`].
+#[derive(Clone, Copy, Debug)]
+pub struct TwoFactorVaoConfig {
+    /// Initial x intervals.
+    pub initial_nx: u32,
+    /// Initial y intervals.
+    pub initial_ny: u32,
+    /// Initial time steps.
+    pub initial_nt: u32,
+    /// The `minWidth` stopping threshold.
+    pub min_width: f64,
+    /// Safety factor on fitted coefficients.
+    pub safety: f64,
+    /// Mesh-size cap per solve.
+    pub max_cells: u64,
+}
+
+impl Default for TwoFactorVaoConfig {
+    fn default() -> Self {
+        Self {
+            initial_nx: 8,
+            initial_ny: 8,
+            initial_nt: 4,
+            min_width: 0.01,
+            safety: 3.0,
+            max_cells: 1 << 30,
+        }
+    }
+}
+
+/// Which mesh dimension a refinement halves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dim {
+    Time,
+    X,
+    Y,
+}
+
+/// A refinable two-factor PDE solution implementing [`ResultObject`].
+pub struct TwoFactorResultObject<P: TwoFactorPde> {
+    problem: P,
+    config: TwoFactorVaoConfig,
+    nt: u32,
+    nx: u32,
+    ny: u32,
+    value: f64,
+    k_t: f64,
+    k_x: f64,
+    k_y: f64,
+    bounds: Bounds,
+    cumulative: Work,
+    last_work: Work,
+    capped: bool,
+}
+
+impl<P: TwoFactorPde> TwoFactorResultObject<P> {
+    /// Creates the object: four coarse solves fit the three error
+    /// coefficients (base, Δt/2, Δx/2, Δy/2), charged to `meter`.
+    pub fn new(
+        problem: P,
+        config: TwoFactorVaoConfig,
+        meter: &mut WorkMeter,
+    ) -> Result<Self, SolveError> {
+        assert!(
+            config.min_width > 0.0 && config.min_width.is_finite(),
+            "min_width must be positive"
+        );
+        let (nt, nx, ny) = (
+            config.initial_nt.max(1),
+            config.initial_nx.max(2),
+            config.initial_ny.max(2),
+        );
+        let solve = |nt: u32, nx: u32, ny: u32, meter: &mut WorkMeter| -> Result<f64, SolveError> {
+            let s = solve_adi(&problem, nx, ny, nt, config.max_cells)?;
+            meter.charge_exec(s.work);
+            Ok(s.value)
+        };
+        let f1 = solve(nt, nx, ny, meter)?;
+        let f2 = solve(nt * 2, nx, ny, meter)?;
+        let f3 = solve(nt, nx * 2, ny, meter)?;
+        let f4 = solve(nt, nx, ny * 2, meter)?;
+        meter.charge_store_state(1);
+
+        let (dt, hx, hy) = steps_of(&problem, nt, nx, ny);
+        let k_t = 2.0 * (f1 - f2) / dt;
+        let k_x = (4.0 / 3.0) * (f1 - f3) / (hx * hx);
+        let k_y = (4.0 / 3.0) * (f1 - f4) / (hy * hy);
+        let cumulative = meter.breakdown().exec_iter;
+        let mut obj = Self {
+            problem,
+            config,
+            nt,
+            nx,
+            ny,
+            value: f1,
+            k_t,
+            k_x,
+            k_y,
+            bounds: Bounds::point(f1),
+            cumulative,
+            last_work: 0,
+            capped: false,
+        };
+        obj.last_work = obj.mesh_cells(nt, nx, ny);
+        obj.bounds = obj.bounds_at(f1, nt, nx, ny);
+        Ok(obj)
+    }
+
+    /// Current mesh `(nt, nx, ny)`.
+    #[must_use]
+    pub fn mesh(&self) -> (u32, u32, u32) {
+        (self.nt, self.nx, self.ny)
+    }
+
+    /// Whether refinement hit the cell cap.
+    #[must_use]
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    fn mesh_cells(&self, nt: u32, nx: u32, ny: u32) -> Work {
+        2 * u64::from(nt) * u64::from(nx + 1) * u64::from(ny + 1)
+    }
+
+    fn terms(&self, nt: u32, nx: u32, ny: u32) -> (f64, f64, f64) {
+        let (dt, hx, hy) = steps_of(&self.problem, nt, nx, ny);
+        (self.k_t * dt, self.k_x * hx * hx, self.k_y * hy * hy)
+    }
+
+    fn bounds_at(&self, value: f64, nt: u32, nx: u32, ny: u32) -> Bounds {
+        let (et, ex, ey) = self.terms(nt, nx, ny);
+        let s = self.config.safety;
+        let lo = value - s * (et.max(0.0) + ex.max(0.0) + ey.max(0.0));
+        let hi = value + s * ((-et).max(0.0) + (-ex).max(0.0) + (-ey).max(0.0));
+        Bounds::new(lo, hi)
+    }
+
+    /// The dimension whose halving removes the most modeled error.
+    fn dominant(&self) -> Dim {
+        let (et, ex, ey) = self.terms(self.nt, self.nx, self.ny);
+        let (rt, rx, ry) = (0.5 * et.abs(), 0.75 * ex.abs(), 0.75 * ey.abs());
+        if rt >= rx && rt >= ry {
+            Dim::Time
+        } else if rx >= ry {
+            Dim::X
+        } else {
+            Dim::Y
+        }
+    }
+
+    fn next_mesh(&self) -> (u32, u32, u32, Dim) {
+        match self.dominant() {
+            Dim::Time => (self.nt.saturating_mul(2), self.nx, self.ny, Dim::Time),
+            Dim::X => (self.nt, self.nx.saturating_mul(2), self.ny, Dim::X),
+            Dim::Y => (self.nt, self.nx, self.ny.saturating_mul(2), Dim::Y),
+        }
+    }
+}
+
+fn steps_of<P: TwoFactorPde>(problem: &P, nt: u32, nx: u32, ny: u32) -> (f64, f64, f64) {
+    let (x_lo, x_hi) = problem.x_domain();
+    let (y_lo, y_hi) = problem.y_domain();
+    (
+        problem.horizon() / f64::from(nt),
+        (x_hi - x_lo) / f64::from(nx),
+        (y_hi - y_lo) / f64::from(ny),
+    )
+}
+
+impl<P: TwoFactorPde> ResultObject for TwoFactorResultObject<P> {
+    fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    fn min_width(&self) -> f64 {
+        self.config.min_width
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        let (nt, nx, ny, dim) = self.next_mesh();
+        if self.mesh_cells(nt, nx, ny) > self.config.max_cells {
+            self.capped = true;
+            return self.bounds;
+        }
+        let sol = match solve_adi(&self.problem, nx, ny, nt, self.config.max_cells) {
+            Ok(s) => s,
+            Err(_) => {
+                self.capped = true;
+                return self.bounds;
+            }
+        };
+        meter.charge_get_state(1);
+        meter.charge_exec(sol.work);
+        meter.charge_store_state(1);
+        meter.count_iteration();
+        self.cumulative += sol.work;
+        self.last_work = sol.work;
+
+        let (dt, hx, hy) = steps_of(&self.problem, self.nt, self.nx, self.ny);
+        match dim {
+            Dim::Time => self.k_t = 2.0 * (self.value - sol.value) / dt,
+            Dim::X => self.k_x = (4.0 / 3.0) * (self.value - sol.value) / (hx * hx),
+            Dim::Y => self.k_y = (4.0 / 3.0) * (self.value - sol.value) / (hy * hy),
+        }
+        self.nt = nt;
+        self.nx = nx;
+        self.ny = ny;
+        self.value = sol.value;
+        let fresh = self.bounds_at(sol.value, nt, nx, ny);
+        self.bounds = self.bounds.intersect(&fresh).unwrap_or(fresh);
+        self.bounds
+    }
+
+    fn est_cpu(&self) -> Work {
+        if self.converged() || self.capped {
+            return 0;
+        }
+        let (nt, nx, ny, _) = self.next_mesh();
+        self.mesh_cells(nt, nx, ny)
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        let (nt, nx, ny, dim) = self.next_mesh();
+        let (et, ex, ey) = self.terms(self.nt, self.nx, self.ny);
+        let removed = match dim {
+            Dim::Time => 0.5 * et,
+            Dim::X => 0.75 * ex,
+            Dim::Y => 0.75 * ey,
+        };
+        let predicted_value = self.value - removed;
+        let predicted = self.bounds_at(predicted_value, nt, nx, ny);
+        predicted.intersect(&self.bounds).unwrap_or(predicted)
+    }
+
+    fn standalone_cost(&self) -> Work {
+        self.last_work
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pure decay: no spatial structure, closed-form solution.
+    struct Decay2F;
+
+    impl TwoFactorPde for Decay2F {
+        fn x_domain(&self) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn y_domain(&self) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn horizon(&self) -> f64 {
+            10.0
+        }
+        fn diffusion_x(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn diffusion_y(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn drift_x(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn drift_y(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn discount(&self, _: f64, _: f64) -> f64 {
+            0.05
+        }
+        fn source(&self, _: f64, _: f64, _: f64) -> f64 {
+            5.0
+        }
+        fn terminal(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn query(&self) -> (f64, f64) {
+            (0.5, 0.5)
+        }
+    }
+
+    fn decay_exact() -> f64 {
+        100.0 * (1.0 - (-0.5f64).exp())
+    }
+
+    #[test]
+    fn adi_converges_on_the_decay_problem() {
+        let coarse = solve_adi(&Decay2F, 4, 4, 8, 1 << 30).unwrap();
+        let fine = solve_adi(&Decay2F, 4, 4, 512, 1 << 30).unwrap();
+        let exact = decay_exact();
+        assert!((fine.value - exact).abs() < (coarse.value - exact).abs());
+        assert!((fine.value - exact).abs() < 0.05, "{} vs {exact}", fine.value);
+    }
+
+    #[test]
+    fn adi_work_counts_cells() {
+        let s = solve_adi(&Decay2F, 4, 8, 16, 1 << 30).unwrap();
+        assert_eq!(s.work, 2 * 16 * 5 * 9);
+    }
+
+    #[test]
+    fn adi_respects_cell_cap() {
+        assert!(matches!(
+            solve_adi(&Decay2F, 64, 64, 64, 1000),
+            Err(SolveError::BadMesh { .. })
+        ));
+    }
+
+    /// Diffusive two-factor problem with genuinely 2-D structure.
+    struct Heat2F;
+
+    impl TwoFactorPde for Heat2F {
+        fn x_domain(&self) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn y_domain(&self) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn horizon(&self) -> f64 {
+            0.25
+        }
+        fn diffusion_x(&self, _: f64, _: f64) -> f64 {
+            0.05
+        }
+        fn diffusion_y(&self, _: f64, _: f64) -> f64 {
+            0.08
+        }
+        fn drift_x(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn drift_y(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn discount(&self, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn source(&self, _: f64, _: f64, _: f64) -> f64 {
+            0.0
+        }
+        fn terminal(&self, x: f64, y: f64) -> f64 {
+            (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin()
+        }
+        fn query(&self) -> (f64, f64) {
+            (0.5, 0.5)
+        }
+    }
+
+    #[test]
+    fn adi_mesh_refinement_converges_on_2d_heat() {
+        let reference = solve_adi(&Heat2F, 96, 96, 512, 1 << 32).unwrap().value;
+        let e1 = (solve_adi(&Heat2F, 8, 8, 512, 1 << 32).unwrap().value - reference).abs();
+        let e2 = (solve_adi(&Heat2F, 16, 16, 512, 1 << 32).unwrap().value - reference).abs();
+        assert!(
+            e2 < e1 / 2.5,
+            "halving both spatial steps should cut error ~4x: {e1} -> {e2}"
+        );
+    }
+
+    #[test]
+    fn vao_object_converges_on_decay() {
+        let mut meter = WorkMeter::new();
+        let mut obj = TwoFactorResultObject::new(
+            Decay2F,
+            TwoFactorVaoConfig {
+                min_width: 0.01,
+                ..TwoFactorVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        assert!(obj.bounds().contains(decay_exact()));
+        let mut guard = 0;
+        while !obj.converged() {
+            obj.iterate(&mut meter);
+            guard += 1;
+            assert!(guard < 40, "failed to converge");
+        }
+        assert!((obj.bounds().mid() - decay_exact()).abs() < 0.02);
+    }
+
+    #[test]
+    fn vao_object_refines_the_blamed_dimension() {
+        // The decay problem has zero spatial error: every refinement must
+        // halve the time step, never the spatial ones.
+        let mut meter = WorkMeter::new();
+        let mut obj = TwoFactorResultObject::new(
+            Decay2F,
+            TwoFactorVaoConfig {
+                min_width: 1e-4,
+                ..TwoFactorVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        let (_, nx0, ny0) = obj.mesh();
+        for _ in 0..5 {
+            if obj.converged() {
+                break;
+            }
+            obj.iterate(&mut meter);
+        }
+        let (nt, nx, ny) = obj.mesh();
+        assert_eq!(nx, nx0, "x mesh untouched");
+        assert_eq!(ny, ny0, "y mesh untouched");
+        assert!(nt > 4, "time mesh refined");
+    }
+
+    #[test]
+    fn vao_object_works_in_a_selection() {
+        use vao::ops::selection::{select, CmpOp};
+        let mut meter = WorkMeter::new();
+        let mut obj = TwoFactorResultObject::new(
+            Decay2F,
+            TwoFactorVaoConfig::default(),
+            &mut meter,
+        )
+        .unwrap();
+        // Exact value ≈ 39.35: the predicate "> 20" decides quickly.
+        let out = select(&mut obj, CmpOp::Gt, 20.0, &mut meter).unwrap();
+        assert!(out.satisfied);
+        assert!(out.iterations <= 3);
+    }
+
+    #[test]
+    fn cap_stalls_gracefully() {
+        let mut meter = WorkMeter::new();
+        let mut obj = TwoFactorResultObject::new(
+            Heat2F,
+            TwoFactorVaoConfig {
+                min_width: 1e-300,
+                max_cells: 20_000,
+                ..TwoFactorVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        for _ in 0..40 {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.capped());
+        let before = meter.total();
+        obj.iterate(&mut meter);
+        assert_eq!(meter.total(), before);
+    }
+}

@@ -1,0 +1,468 @@
+//! The PDE solver wrapped as a variable-accuracy result object (§4.1).
+//!
+//! Construction runs the solver at very coarse step sizes — the §4.1 trio
+//! `(Δt, Δx)`, `(Δt/2, Δx)`, `(Δt, Δx/2)` — to fit the two-term error model
+//! and produce initial bounds. Each `iterate()` then:
+//!
+//! 1. asks the error model which step size is responsible for more error
+//!    and halves it;
+//! 2. runs **one** new solve at the refined mesh (reusing a cached solution
+//!    when the trio already computed it), so per-iteration work roughly
+//!    doubles — the cost profile §4.1 analyzes;
+//! 3. re-fits the halved dimension's error coefficient from the two
+//!    solutions that differ only in that dimension;
+//! 4. re-centers the bounds on the new solution and updates `estCPU` /
+//!    `estL` / `estH` from the model's prediction for the *next* halving.
+
+use vao::cost::{Work, WorkMeter};
+use vao::interface::ResultObject;
+use vao::Bounds;
+
+use crate::pde::extrapolation::{StepKind, TwoTermErrorModel};
+use crate::pde::problem::ParabolicPde;
+use crate::pde::solver::{solve_on_mesh, SolveError, SolverConfig};
+
+/// Construction parameters for [`PdeResultObject`].
+#[derive(Clone, Copy, Debug)]
+pub struct PdeVaoConfig {
+    /// Space intervals of the initial (coarsest) mesh.
+    pub initial_nx: u32,
+    /// Time steps of the initial (coarsest) mesh.
+    pub initial_nt: u32,
+    /// The `minWidth` stopping threshold (e.g. \$0.01 for bond prices).
+    pub min_width: f64,
+    /// Safety factor on the fitted error coefficients (paper: 3).
+    pub safety: f64,
+    /// Mesh-size guard for individual solves.
+    pub solver: SolverConfig,
+}
+
+impl Default for PdeVaoConfig {
+    fn default() -> Self {
+        Self {
+            initial_nx: 8,
+            initial_nt: 4,
+            min_width: 0.01,
+            safety: 3.0,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// A refinable PDE solution implementing [`ResultObject`].
+pub struct PdeResultObject<P: ParabolicPde> {
+    problem: P,
+    config: PdeVaoConfig,
+    /// Current mesh resolution; bounds are centered on the solution here.
+    nt: u32,
+    nx: u32,
+    value: f64,
+    model: TwoTermErrorModel,
+    bounds: Bounds,
+    /// Solutions already computed, keyed by `(nt, nx)`; refinement paths
+    /// revisit at most a handful of meshes, so a linear scan suffices.
+    cache: Vec<(u32, u32, f64)>,
+    cumulative: Work,
+    last_solve_work: Work,
+    /// Set when a refinement would exceed the mesh cap; the object then
+    /// reports itself unable to improve (iterate becomes a no-op).
+    capped: bool,
+}
+
+impl<P: ParabolicPde> PdeResultObject<P> {
+    /// Creates the object, running the initial coarse trio of solves and
+    /// charging their work to `meter`.
+    pub fn new(problem: P, config: PdeVaoConfig, meter: &mut WorkMeter) -> Result<Self, SolveError> {
+        assert!(
+            config.min_width > 0.0 && config.min_width.is_finite(),
+            "min_width must be positive"
+        );
+        let (nt, nx) = (config.initial_nt.max(1), config.initial_nx.max(2));
+        let mut obj = Self {
+            problem,
+            config,
+            nt,
+            nx,
+            value: 0.0,
+            model: TwoTermErrorModel {
+                k1: 0.0,
+                k2: 0.0,
+                safety: config.safety,
+            },
+            bounds: Bounds::point(0.0),
+            cache: Vec::with_capacity(8),
+            cumulative: 0,
+            last_solve_work: 0,
+            capped: false,
+        };
+        let f1 = obj.solve(nt, nx, meter)?;
+        let f2 = obj.solve(nt * 2, nx, meter)?;
+        let f3 = obj.solve(nt, nx * 2, meter)?;
+        let (dt, dx) = obj.steps(nt, nx);
+        obj.model = TwoTermErrorModel::fit(f1, f2, f3, dt, dx, config.safety);
+        obj.value = f1;
+        obj.bounds = obj.model.bounds_around(f1, dt, dx);
+        obj.last_solve_work = obj.mesh_cells(nt, nx);
+        Ok(obj)
+    }
+
+    /// The current mesh resolution `(nt, nx)`.
+    #[must_use]
+    pub fn mesh(&self) -> (u32, u32) {
+        (self.nt, self.nx)
+    }
+
+    /// The fitted error model (exposed for experiments and diagnostics).
+    #[must_use]
+    pub fn error_model(&self) -> &TwoTermErrorModel {
+        &self.model
+    }
+
+    /// The problem being solved.
+    #[must_use]
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// Whether refinement stopped because the mesh cap was reached.
+    #[must_use]
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    fn steps(&self, nt: u32, nx: u32) -> (f64, f64) {
+        let (lo, hi) = self.problem.domain();
+        (
+            self.problem.horizon() / f64::from(nt),
+            (hi - lo) / f64::from(nx),
+        )
+    }
+
+    fn mesh_cells(&self, nt: u32, nx: u32) -> Work {
+        u64::from(nt) * (u64::from(nx) + 1)
+    }
+
+    fn cached(&self, nt: u32, nx: u32) -> Option<f64> {
+        self.cache
+            .iter()
+            .find(|&&(a, b, _)| a == nt && b == nx)
+            .map(|&(_, _, v)| v)
+    }
+
+    /// Solves at `(nt, nx)`, charging work only for cache misses.
+    fn solve(&mut self, nt: u32, nx: u32, meter: &mut WorkMeter) -> Result<f64, SolveError> {
+        if let Some(v) = self.cached(nt, nx) {
+            meter.charge_get_state(1);
+            return Ok(v);
+        }
+        let sol = solve_on_mesh(&self.problem, nx, nt, &self.config.solver)?;
+        meter.charge_exec(sol.work);
+        meter.charge_store_state(1);
+        self.cumulative += sol.work;
+        self.cache.push((nt, nx, sol.value));
+        Ok(sol.value)
+    }
+
+    /// The mesh the next refinement would use, per the error model.
+    fn next_mesh(&self) -> (u32, u32, StepKind) {
+        let (dt, dx) = self.steps(self.nt, self.nx);
+        match self.model.dominant_step(dt, dx) {
+            StepKind::Time => (self.nt.saturating_mul(2), self.nx, StepKind::Time),
+            StepKind::Space => (self.nt, self.nx.saturating_mul(2), StepKind::Space),
+        }
+    }
+
+    fn refinement_possible(&self, nt: u32, nx: u32) -> bool {
+        self.mesh_cells(nt, nx) <= self.config.solver.max_cells
+            && nt < u32::MAX / 2
+            && nx < u32::MAX / 2
+    }
+}
+
+impl<P: ParabolicPde> ResultObject for PdeResultObject<P> {
+    fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    fn min_width(&self) -> f64 {
+        self.config.min_width
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        let (new_nt, new_nx, kind) = self.next_mesh();
+        if !self.refinement_possible(new_nt, new_nx) {
+            self.capped = true;
+            return self.bounds;
+        }
+
+        let old_value = self.value;
+        let (old_dt, old_dx) = self.steps(self.nt, self.nx);
+        let new_value = match self.solve(new_nt, new_nx, meter) {
+            Ok(v) => v,
+            Err(_) => {
+                // A singular step at a finer mesh: stop refining rather
+                // than report bogus bounds.
+                self.capped = true;
+                return self.bounds;
+            }
+        };
+        meter.count_iteration();
+
+        match kind {
+            StepKind::Time => self.model.refit_k1(old_value, new_value, old_dt),
+            StepKind::Space => self.model.refit_k2(old_value, new_value, old_dx),
+        }
+        self.nt = new_nt;
+        self.nx = new_nx;
+        self.value = new_value;
+        self.last_solve_work = self.mesh_cells(new_nt, new_nx);
+
+        let (dt, dx) = self.steps(self.nt, self.nx);
+        let fresh = self.model.bounds_around(new_value, dt, dx);
+        // Successive bound sets are each individually valid; intersect to
+        // shrink monotonically. If a bad early fit made them disjoint,
+        // trust the finer solve.
+        self.bounds = self.bounds.intersect(&fresh).unwrap_or(fresh);
+        self.bounds
+    }
+
+    fn est_cpu(&self) -> Work {
+        if self.converged() || self.capped {
+            return 0;
+        }
+        let (nt, nx, _) = self.next_mesh();
+        if self.cached(nt, nx).is_some() {
+            1
+        } else {
+            self.mesh_cells(nt, nx)
+        }
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        let (dt, dx) = self.steps(self.nt, self.nx);
+        let (_, _, kind) = self.next_mesh();
+        let predicted_value = self.model.predicted_value(self.value, dt, dx, kind);
+        let (new_dt, new_dx) = match kind {
+            StepKind::Time => (dt / 2.0, dx),
+            StepKind::Space => (dt, dx / 2.0),
+        };
+        let predicted = self.model.bounds_around(predicted_value, new_dt, new_dx);
+        predicted.intersect(&self.bounds).unwrap_or(predicted)
+    }
+
+    fn standalone_cost(&self) -> Work {
+        self.last_solve_work
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pde::problem::DecayProblem;
+
+    fn decay() -> DecayProblem {
+        DecayProblem {
+            rate: 0.05,
+            coupon: 5.0,
+            terminal_value: 0.0,
+            horizon: 10.0,
+        }
+    }
+
+    fn make(config: PdeVaoConfig) -> (PdeResultObject<DecayProblem>, WorkMeter) {
+        let mut meter = WorkMeter::new();
+        let obj = PdeResultObject::new(decay(), config, &mut meter).unwrap();
+        (obj, meter)
+    }
+
+    #[test]
+    fn initial_bounds_are_coarse_and_contain_truth() {
+        let (obj, meter) = make(PdeVaoConfig::default());
+        let exact = decay().exact();
+        assert!(
+            obj.bounds().contains(exact),
+            "bounds {} vs exact {exact}",
+            obj.bounds()
+        );
+        assert!(!obj.converged());
+        // Trio of solves was charged: (4,8), (8,8), (4,16).
+        assert_eq!(meter.breakdown().exec_iter, 4 * 9 + 8 * 9 + 4 * 17);
+    }
+
+    #[test]
+    fn iteration_refines_until_convergence() {
+        let (mut obj, mut meter) = make(PdeVaoConfig::default());
+        let exact = decay().exact();
+        let mut last_width = obj.bounds().width();
+        let mut guard = 0;
+        while !obj.converged() {
+            let b = obj.iterate(&mut meter);
+            assert!(b.width() <= last_width + 1e-12, "bounds must not widen");
+            last_width = b.width();
+            guard += 1;
+            assert!(guard < 60, "failed to converge");
+        }
+        assert!(obj.bounds().width() < 0.01);
+        let mid = obj.bounds().mid();
+        assert!(
+            (mid - exact).abs() < 0.02,
+            "converged mid {mid} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn bounds_track_truth_through_refinement() {
+        // The decay problem has zero spatial error and smooth temporal
+        // error, so the fitted model is accurate and bounds stay sound.
+        let (mut obj, mut meter) = make(PdeVaoConfig::default());
+        let exact = decay().exact();
+        for _ in 0..8 {
+            if obj.converged() {
+                break;
+            }
+            let b = obj.iterate(&mut meter);
+            assert!(
+                b.contains(exact) || (b.mid() - exact).abs() < 0.01,
+                "bounds {b} lost the exact value {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_iteration_work_roughly_doubles() {
+        let (mut obj, _) = make(PdeVaoConfig::default());
+        let mut costs = Vec::new();
+        for _ in 0..6 {
+            if obj.converged() {
+                break;
+            }
+            let mut m = WorkMeter::new();
+            obj.iterate(&mut m);
+            if m.breakdown().exec_iter > 0 {
+                costs.push(m.breakdown().exec_iter);
+            }
+        }
+        assert!(costs.len() >= 3, "expected several charged iterations");
+        for w in costs.windows(2) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(
+                (1.5..=2.6).contains(&ratio),
+                "cost should ~double: {costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn est_cpu_predicts_next_iteration_cost() {
+        let (mut obj, _) = make(PdeVaoConfig::default());
+        for _ in 0..4 {
+            if obj.converged() {
+                break;
+            }
+            let est = obj.est_cpu();
+            let mut m = WorkMeter::new();
+            obj.iterate(&mut m);
+            let actual = m.breakdown().exec_iter;
+            if actual > 0 && est > 1 {
+                assert_eq!(est, actual, "estCPU must match a cache-missing solve");
+            }
+        }
+    }
+
+    #[test]
+    fn est_bounds_are_a_reasonable_preview() {
+        let (mut obj, mut meter) = make(PdeVaoConfig::default());
+        // Skip cache-hit iterations (their est is trivial), then compare.
+        for _ in 0..3 {
+            obj.iterate(&mut meter);
+        }
+        if !obj.converged() {
+            let est = obj.est_bounds();
+            let actual = obj.iterate(&mut meter);
+            // The prediction should at least narrow in the right ballpark:
+            // within a factor of 4 of the realized width.
+            if actual.width() > 0.0 && est.width() > 0.0 {
+                let ratio = est.width() / actual.width();
+                assert!(
+                    (0.2..=5.0).contains(&ratio),
+                    "est width {} vs actual {}",
+                    est.width(),
+                    actual.width()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converged_object_stops_charging() {
+        let (mut obj, mut meter) = make(PdeVaoConfig::default());
+        let mut guard = 0;
+        while !obj.converged() && guard < 60 {
+            obj.iterate(&mut meter);
+            guard += 1;
+        }
+        assert!(obj.converged());
+        let before = meter.total();
+        let b1 = obj.bounds();
+        let b2 = obj.iterate(&mut meter);
+        assert_eq!(b1, b2);
+        assert_eq!(meter.total(), before);
+        assert_eq!(obj.est_cpu(), 0);
+        assert_eq!(obj.est_bounds(), b1);
+    }
+
+    #[test]
+    fn mesh_cap_stalls_gracefully() {
+        let config = PdeVaoConfig {
+            min_width: 1e-12, // unreachable
+            solver: SolverConfig { max_cells: 2000 },
+            ..PdeVaoConfig::default()
+        };
+        let (mut obj, mut meter) = make(config);
+        for _ in 0..40 {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.capped());
+        let before = meter.total();
+        obj.iterate(&mut meter);
+        assert_eq!(meter.total(), before, "capped object charges nothing");
+    }
+
+    #[test]
+    fn standalone_cost_is_one_fine_solve() {
+        let (mut obj, mut meter) = make(PdeVaoConfig::default());
+        while !obj.converged() && !obj.capped() {
+            obj.iterate(&mut meter);
+        }
+        assert!(obj.converged());
+        let (nt, nx) = obj.mesh();
+        assert_eq!(
+            obj.standalone_cost(),
+            u64::from(nt) * (u64::from(nx) + 1)
+        );
+        // §4.1: the iterative path costs at most a small multiple of the
+        // single fine solve (geometric doubling gives ~2x, plus the trio).
+        assert!(obj.cumulative_cost() <= 4 * obj.standalone_cost());
+    }
+
+    #[test]
+    fn trio_cache_hits_make_early_iterations_cheap() {
+        // The first refinement halves a step whose half-size solution was
+        // already computed by the construction trio: it must cost ~nothing.
+        let (mut obj, _) = make(PdeVaoConfig::default());
+        let mut m = WorkMeter::new();
+        obj.iterate(&mut m);
+        assert_eq!(m.breakdown().exec_iter, 0, "first refinement is a cache hit");
+        assert_eq!(m.iterations(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Plain bracketing root solvers: bisection and false position.
+
+/// Error raised when a bracket is invalid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BracketError {
+    /// `f(a)` and `f(b)` do not have opposite signs.
+    NoSignChange {
+        /// `f` at the left end.
+        fa: f64,
+        /// `f` at the right end.
+        fb: f64,
+    },
+    /// The interval was empty or not finite.
+    BadInterval {
+        /// Left end.
+        a: f64,
+        /// Right end.
+        b: f64,
+    },
+}
+
+impl std::fmt::Display for BracketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BracketError::NoSignChange { fa, fb } =>
+
+                write!(f, "f(a)={fa} and f(b)={fb} do not bracket a root"),
+            BracketError::BadInterval { a, b } => write!(f, "bad bracket [{a}, {b}]"),
+        }
+    }
+}
+
+impl std::error::Error for BracketError {}
+
+fn check_bracket(a: f64, b: f64, fa: f64, fb: f64) -> Result<(), BracketError> {
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(BracketError::BadInterval { a, b });
+    }
+    if fa == 0.0 || fb == 0.0 {
+        return Ok(()); // endpoint root: allowed
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BracketError::NoSignChange { fa, fb });
+    }
+    Ok(())
+}
+
+/// Bisection: halves the bracket until its width is at most `tol` (or an
+/// exact zero is hit). Returns the final bracket and the number of `f`
+/// evaluations.
+pub fn bisect(
+    f: &dyn Fn(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<((f64, f64), u64), BracketError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    let mut evals = 2u64;
+    check_bracket(a, b, fa, fb)?;
+    if fa == 0.0 {
+        return Ok(((a, a), evals));
+    }
+    if fb == 0.0 {
+        return Ok(((b, b), evals));
+    }
+    for _ in 0..max_iter {
+        if b - a <= tol {
+            break;
+        }
+        let m = a + 0.5 * (b - a);
+        let fm = f(m);
+        evals += 1;
+        if fm == 0.0 {
+            return Ok(((m, m), evals));
+        }
+        if fa.signum() == fm.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Ok(((a, b), evals))
+}
+
+/// False position (regula falsi): like bisection, but splits the bracket at
+/// the secant intersection. Faster on smooth functions, though the bracket
+/// width may converge one-sidedly — the returned bracket is still a sound
+/// bound. Returns the final bracket and the evaluation count.
+pub fn false_position(
+    f: &dyn Fn(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<((f64, f64), u64), BracketError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    let mut evals = 2u64;
+    check_bracket(a, b, fa, fb)?;
+    if fa == 0.0 {
+        return Ok(((a, a), evals));
+    }
+    if fb == 0.0 {
+        return Ok(((b, b), evals));
+    }
+    for _ in 0..max_iter {
+        if b - a <= tol {
+            break;
+        }
+        let m = a - fa * (b - a) / (fb - fa);
+        // Guard against the split point collapsing onto an endpoint.
+        let m = m.clamp(a + 1e-3 * (b - a), b - 1e-3 * (b - a));
+        let fm = f(m);
+        evals += 1;
+        if fm == 0.0 {
+            return Ok(((m, m), evals));
+        }
+        if fa.signum() == fm.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+            fb = fm;
+        }
+    }
+    Ok(((a, b), evals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let f = |x: f64| x * x - 2.0;
+        let ((a, b), evals) = bisect(&f, 0.0, 2.0, 1e-10, 100).unwrap();
+        let root = std::f64::consts::SQRT_2;
+        assert!(a <= root && root <= b);
+        assert!(b - a <= 1e-10);
+        // 2 endpoint evals + ~34 halvings of a width-2 bracket.
+        assert!((30..=40).contains(&(evals as i64)));
+    }
+
+    #[test]
+    fn bisect_halves_bracket_each_iteration() {
+        let f = |x: f64| x - 0.3;
+        let ((a, b), _) = bisect(&f, 0.0, 1.0, 0.25, 100).unwrap();
+        assert!(b - a <= 0.25);
+        assert!(a <= 0.3 && 0.3 <= b);
+    }
+
+    #[test]
+    fn bisect_detects_exact_zero() {
+        let f = |x: f64| x - 0.5;
+        let ((a, b), _) = bisect(&f, 0.0, 1.0, 1e-15, 100).unwrap();
+        assert_eq!(a, 0.5);
+        assert_eq!(b, 0.5);
+    }
+
+    #[test]
+    fn bisect_rejects_non_bracketing_interval() {
+        let f = |x: f64| x * x + 1.0;
+        assert!(matches!(
+            bisect(&f, 0.0, 1.0, 1e-6, 100),
+            Err(BracketError::NoSignChange { .. })
+        ));
+        assert!(matches!(
+            bisect(&f, 1.0, 0.0, 1e-6, 100),
+            Err(BracketError::BadInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_respects_max_iter() {
+        let f = |x: f64| x - std::f64::consts::FRAC_1_PI;
+        let ((a, b), evals) = bisect(&f, 0.0, 1.0, 1e-300, 5).unwrap();
+        assert_eq!(evals, 7); // 2 endpoints + 5 midpoints
+        assert!(b - a > 0.0);
+        assert!((b - a - 1.0 / 32.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn false_position_converges_faster_on_smooth_function() {
+        let f = |x: f64| x.exp() - 2.0;
+        let root = (2.0f64).ln();
+        let ((a1, b1), e1) = false_position(&f, 0.0, 1.0, 1e-9, 200).unwrap();
+        let ((a2, b2), e2) = bisect(&f, 0.0, 1.0, 1e-9, 200).unwrap();
+        assert!(a1 <= root && root <= b1);
+        assert!(a2 <= root && root <= b2);
+        assert!(e1 <= e2, "false position {e1} evals vs bisection {e2}");
+    }
+
+    #[test]
+    fn endpoint_roots_short_circuit() {
+        let f = |x: f64| x;
+        let ((a, b), _) = bisect(&f, 0.0, 1.0, 1e-9, 100).unwrap();
+        assert_eq!((a, b), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,13 @@
+//! Root finding with variable accuracy (§4.4).
+//!
+//! Root solvers find `x` with `f(x) = 0`. The bisection method maintains a
+//! bracket `[a, b]` with `f(a)·f(b) < 0`; the bracket *is* a guaranteed
+//! error bound on the root, so it "fits nicely into our VAO interface"
+//! (§4.4): `L` and `H` are the current bracket, `iterate()` evaluates the
+//! midpoint, and `estCPU` is one function evaluation.
+
+pub mod bisection;
+pub mod vao;
+
+pub use bisection::{bisect, false_position, BracketError};
+pub use vao::{RootResultObject, RootVaoConfig};

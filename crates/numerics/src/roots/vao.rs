@@ -1,0 +1,306 @@
+//! Bisection as a variable-accuracy result object (§4.4).
+//!
+//! The bracket `[a, b]` is a *guaranteed* bound on the root (given a
+//! continuous function and a sign change), so unlike the extrapolation-
+//! based objects these bounds are sound by construction. `iterate()` runs
+//! one midpoint evaluation; `estCPU` is the cost of one evaluation; and
+//! `[estL, estH]` is a secant-informed guess at which half survives — §4.4
+//! notes that even a random guess is wrong only half the time and never off
+//! by more than a factor of 2.
+
+use vao::cost::{Work, WorkMeter};
+use vao::interface::ResultObject;
+use vao::Bounds;
+
+use crate::roots::bisection::BracketError;
+
+/// Construction parameters for [`RootResultObject`].
+#[derive(Clone, Copy, Debug)]
+pub struct RootVaoConfig {
+    /// The `minWidth` stopping threshold on the bracket.
+    pub min_width: f64,
+    /// Work units charged per function evaluation.
+    pub work_per_eval: Work,
+}
+
+impl Default for RootVaoConfig {
+    fn default() -> Self {
+        Self {
+            min_width: 1e-9,
+            work_per_eval: 1,
+        }
+    }
+}
+
+/// A refinable root bracket implementing [`ResultObject`].
+pub struct RootResultObject<F: Fn(f64) -> f64> {
+    f: F,
+    config: RootVaoConfig,
+    lo: f64,
+    hi: f64,
+    f_lo: f64,
+    f_hi: f64,
+    cumulative: Work,
+    /// Set when an exact zero was hit (bracket collapsed to a point).
+    exact: bool,
+}
+
+impl<F: Fn(f64) -> f64> RootResultObject<F> {
+    /// Creates the object, evaluating the two endpoints (charged to
+    /// `meter`) and validating the sign change.
+    pub fn new(
+        f: F,
+        a: f64,
+        b: f64,
+        config: RootVaoConfig,
+        meter: &mut WorkMeter,
+    ) -> Result<Self, BracketError> {
+        assert!(
+            config.min_width > 0.0 && config.min_width.is_finite(),
+            "min_width must be positive"
+        );
+        if !(a.is_finite() && b.is_finite() && a < b) {
+            return Err(BracketError::BadInterval { a, b });
+        }
+        let f_lo = f(a);
+        let f_hi = f(b);
+        meter.charge_exec(2 * config.work_per_eval);
+        meter.charge_store_state(1);
+        let mut obj = Self {
+            f,
+            config,
+            lo: a,
+            hi: b,
+            f_lo,
+            f_hi,
+            cumulative: 2 * config.work_per_eval,
+            exact: false,
+        };
+        if f_lo == 0.0 {
+            obj.hi = a;
+            obj.exact = true;
+            return Ok(obj);
+        }
+        if f_hi == 0.0 {
+            obj.lo = b;
+            obj.exact = true;
+            return Ok(obj);
+        }
+        if f_lo.signum() == f_hi.signum() {
+            return Err(BracketError::NoSignChange { fa: f_lo, fb: f_hi });
+        }
+        Ok(obj)
+    }
+
+    /// Secant estimate of where the root lies inside the current bracket —
+    /// the "some way of predicting" of §4.4.
+    fn secant_guess(&self) -> f64 {
+        if self.f_hi == self.f_lo {
+            return self.lo + 0.5 * (self.hi - self.lo);
+        }
+        let g = self.lo - self.f_lo * (self.hi - self.lo) / (self.f_hi - self.f_lo);
+        g.clamp(self.lo, self.hi)
+    }
+}
+
+impl<F: Fn(f64) -> f64> ResultObject for RootResultObject<F> {
+    fn bounds(&self) -> Bounds {
+        Bounds::new(self.lo, self.hi)
+    }
+
+    fn min_width(&self) -> f64 {
+        self.config.min_width
+    }
+
+    fn iterate(&mut self, meter: &mut WorkMeter) -> Bounds {
+        if self.converged() || self.exact {
+            return self.bounds();
+        }
+        let m = self.lo + 0.5 * (self.hi - self.lo);
+        let fm = (self.f)(m);
+        meter.charge_get_state(1);
+        meter.charge_exec(self.config.work_per_eval);
+        meter.charge_store_state(1);
+        meter.count_iteration();
+        self.cumulative += self.config.work_per_eval;
+
+        if fm == 0.0 {
+            self.lo = m;
+            self.hi = m;
+            self.exact = true;
+        } else if fm.signum() == self.f_lo.signum() {
+            self.lo = m;
+            self.f_lo = fm;
+        } else {
+            self.hi = m;
+            self.f_hi = fm;
+        }
+        self.bounds()
+    }
+
+    fn est_cpu(&self) -> Work {
+        if self.converged() || self.exact {
+            0
+        } else {
+            self.config.work_per_eval
+        }
+    }
+
+    fn est_bounds(&self) -> Bounds {
+        if self.converged() || self.exact {
+            return self.bounds();
+        }
+        let m = self.lo + 0.5 * (self.hi - self.lo);
+        if self.secant_guess() <= m {
+            Bounds::new(self.lo, m)
+        } else {
+            Bounds::new(m, self.hi)
+        }
+    }
+
+    fn standalone_cost(&self) -> Work {
+        // §4.4: a traditional bisection at the same accuracy performs the
+        // same evaluations — standalone equals cumulative.
+        self.cumulative
+    }
+
+    fn cumulative_cost(&self) -> Work {
+        self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt2_object(min_width: f64) -> (RootResultObject<fn(f64) -> f64>, WorkMeter) {
+        let mut meter = WorkMeter::new();
+        let obj = RootResultObject::new(
+            (|x: f64| x * x - 2.0) as fn(f64) -> f64,
+            0.0,
+            2.0,
+            RootVaoConfig {
+                min_width,
+                ..RootVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        (obj, meter)
+    }
+
+    #[test]
+    fn bracket_is_always_sound() {
+        let (mut obj, mut meter) = sqrt2_object(1e-10);
+        let root = std::f64::consts::SQRT_2;
+        while !obj.converged() {
+            let b = obj.iterate(&mut meter);
+            assert!(b.contains(root), "{b}");
+        }
+        assert!(obj.bounds().width() < 1e-10);
+    }
+
+    #[test]
+    fn each_iteration_halves_the_bracket() {
+        let (mut obj, mut meter) = sqrt2_object(1e-6);
+        let mut w = obj.bounds().width();
+        for _ in 0..10 {
+            let b = obj.iterate(&mut meter);
+            assert!((b.width() - w / 2.0).abs() < 1e-12);
+            w = b.width();
+        }
+    }
+
+    #[test]
+    fn costs_are_one_eval_per_iteration() {
+        let (mut obj, _) = sqrt2_object(1e-6);
+        assert_eq!(obj.est_cpu(), 1);
+        let mut m = WorkMeter::new();
+        obj.iterate(&mut m);
+        assert_eq!(m.breakdown().exec_iter, 1);
+        assert_eq!(obj.standalone_cost(), obj.cumulative_cost());
+    }
+
+    #[test]
+    fn est_bounds_is_one_of_the_two_halves() {
+        let (obj, _) = sqrt2_object(1e-6);
+        let est = obj.est_bounds();
+        let b = obj.bounds();
+        let m = b.mid();
+        let lower = Bounds::new(b.lo(), m);
+        let upper = Bounds::new(m, b.hi());
+        assert!(est == lower || est == upper);
+        // sqrt(2) ≈ 1.414 lies in the upper half of [0,2]; the secant guess
+        // for x²−2 on [0,2] is x=1, which is in the lower half — the guess
+        // may be wrong, but it must still be a half-bracket.
+    }
+
+    #[test]
+    fn exact_zero_collapses_bracket() {
+        let mut meter = WorkMeter::new();
+        let mut obj = RootResultObject::new(
+            |x: f64| x - 1.0,
+            0.0,
+            2.0,
+            RootVaoConfig::default(),
+            &mut meter,
+        )
+        .unwrap();
+        let b = obj.iterate(&mut meter); // midpoint is exactly the root
+        assert_eq!((b.lo(), b.hi()), (1.0, 1.0));
+        let before = meter.total();
+        obj.iterate(&mut meter);
+        assert_eq!(meter.total(), before);
+    }
+
+    #[test]
+    fn endpoint_root_at_construction() {
+        let mut meter = WorkMeter::new();
+        let obj = RootResultObject::new(
+            |x: f64| x,
+            0.0,
+            1.0,
+            RootVaoConfig::default(),
+            &mut meter,
+        )
+        .unwrap();
+        assert_eq!(obj.bounds().width(), 0.0);
+        assert_eq!(obj.est_cpu(), 0);
+    }
+
+    #[test]
+    fn rejects_invalid_brackets() {
+        let mut meter = WorkMeter::new();
+        assert!(matches!(
+            RootResultObject::new(|x: f64| x * x + 1.0, 0.0, 1.0, RootVaoConfig::default(), &mut meter),
+            Err(BracketError::NoSignChange { .. })
+        ));
+        assert!(matches!(
+            RootResultObject::new(|x: f64| x, 1.0, 0.0, RootVaoConfig::default(), &mut meter),
+            Err(BracketError::BadInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn works_inside_a_selection_vao() {
+        // End-to-end: a selection predicate over a root-finder UDF decides
+        // long before the bracket reaches minWidth.
+        use vao::ops::selection::{select, CmpOp};
+        let mut meter = WorkMeter::new();
+        let mut obj = RootResultObject::new(
+            |x: f64| x * x - 2.0,
+            0.0,
+            2.0,
+            RootVaoConfig {
+                min_width: 1e-12,
+                work_per_eval: 1,
+            },
+            &mut meter,
+        )
+        .unwrap();
+        let out = select(&mut obj, CmpOp::Gt, 1.0, &mut meter).unwrap();
+        assert!(out.satisfied); // sqrt(2) > 1
+        assert!(out.iterations <= 3, "needed only {} iterations", out.iterations);
+        assert!(obj.bounds().width() > 1e-12, "far from full accuracy");
+    }
+}

@@ -1,0 +1,217 @@
+//! Tridiagonal linear systems via the Thomas algorithm.
+//!
+//! Each implicit time step of the finite-difference PDE solver, and the
+//! whole of the ODE boundary-value solver, reduce to a system
+//! `sub[i]·x[i-1] + diag[i]·x[i] + sup[i]·x[i+1] = rhs[i]`. The Thomas
+//! algorithm solves it in `O(n)` — which is what makes one PDE "cell
+//! update" an `O(1)` unit of work.
+
+/// Error from the tridiagonal solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TridiagError {
+    /// Input slices had inconsistent or zero lengths.
+    BadShape,
+    /// Forward elimination hit a (numerically) zero pivot; the system is
+    /// singular or severely ill-conditioned.
+    ZeroPivot {
+        /// Row at which elimination failed.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for TridiagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TridiagError::BadShape => write!(f, "tridiagonal system slices have inconsistent lengths"),
+            TridiagError::ZeroPivot { row } => write!(f, "zero pivot at row {row}"),
+        }
+    }
+}
+
+impl std::error::Error for TridiagError {}
+
+/// A reusable tridiagonal solver holding its scratch buffers, so repeated
+/// time steps allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ThomasSolver {
+    c_prime: Vec<f64>,
+    d_prime: Vec<f64>,
+}
+
+impl ThomasSolver {
+    /// Creates a solver; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves the system in place: on success `x` holds the solution.
+    ///
+    /// Conventions: `sub[0]` and `sup[n-1]` are ignored (there is no
+    /// element left of row 0 or right of row n-1).
+    pub fn solve(
+        &mut self,
+        sub: &[f64],
+        diag: &[f64],
+        sup: &[f64],
+        rhs: &[f64],
+        x: &mut [f64],
+    ) -> Result<(), TridiagError> {
+        let n = diag.len();
+        if n == 0 || sub.len() != n || sup.len() != n || rhs.len() != n || x.len() != n {
+            return Err(TridiagError::BadShape);
+        }
+        self.c_prime.resize(n, 0.0);
+        self.d_prime.resize(n, 0.0);
+
+        let pivot_eps = 1e-300;
+        if diag[0].abs() < pivot_eps {
+            return Err(TridiagError::ZeroPivot { row: 0 });
+        }
+        self.c_prime[0] = sup[0] / diag[0];
+        self.d_prime[0] = rhs[0] / diag[0];
+        for i in 1..n {
+            let denom = diag[i] - sub[i] * self.c_prime[i - 1];
+            if denom.abs() < pivot_eps {
+                return Err(TridiagError::ZeroPivot { row: i });
+            }
+            self.c_prime[i] = sup[i] / denom;
+            self.d_prime[i] = (rhs[i] - sub[i] * self.d_prime[i - 1]) / denom;
+        }
+        x[n - 1] = self.d_prime[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = self.d_prime[i] - self.c_prime[i] * x[i + 1];
+        }
+        Ok(())
+    }
+}
+
+/// One-shot convenience wrapper over [`ThomasSolver::solve`].
+pub fn solve_tridiagonal(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, TridiagError> {
+    let mut x = vec![0.0; diag.len()];
+    ThomasSolver::new().solve(sub, diag, sup, rhs, &mut x)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multiply(sub: &[f64], diag: &[f64], sup: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = diag.len();
+        (0..n)
+            .map(|i| {
+                let mut v = diag[i] * x[i];
+                if i > 0 {
+                    v += sub[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += sup[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let n = 5;
+        let sub = vec![0.0; n];
+        let diag = vec![1.0; n];
+        let sup = vec![0.0; n];
+        let rhs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        assert_eq!(x, rhs);
+    }
+
+    #[test]
+    fn solves_known_laplacian_system() {
+        // -u'' = 1 on (0,1), u(0)=u(1)=0, discretized with 4 interior nodes:
+        // exact discrete solution equals continuous u(x) = x(1-x)/2 at nodes
+        // (the 3-point stencil is exact for quadratics).
+        let n = 4;
+        let h = 1.0 / (n as f64 + 1.0);
+        let sub = vec![-1.0; n];
+        let diag = vec![2.0; n];
+        let sup = vec![-1.0; n];
+        let rhs = vec![h * h; n];
+        let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        for (i, xi) in x.iter().enumerate() {
+            let xi_pos = (i as f64 + 1.0) * h;
+            let exact = xi_pos * (1.0 - xi_pos) / 2.0;
+            assert!((xi - exact).abs() < 1e-12, "node {i}: {xi} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn residual_is_tiny_for_diagonally_dominant_system() {
+        // Deterministic pseudo-random diagonally dominant system.
+        let n = 64;
+        let mut state = 0x12345678u64;
+        let mut rnd = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let sub: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
+        let sup: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
+        let diag: Vec<f64> = (0..n).map(|i| {
+            2.0 + sub[i].abs() + sup[i].abs() + rnd()
+        }).collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() * 10.0 - 5.0).collect();
+        let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        let back = multiply(&sub, &diag, &sup, &x);
+        for i in 0..n {
+            assert!((back[i] - rhs[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn single_element_system() {
+        let x = solve_tridiagonal(&[0.0], &[4.0], &[0.0], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert_eq!(
+            solve_tridiagonal(&[0.0], &[1.0, 2.0], &[0.0, 0.0], &[1.0, 1.0]).unwrap_err(),
+            TridiagError::BadShape
+        );
+        assert_eq!(
+            solve_tridiagonal(&[], &[], &[], &[]).unwrap_err(),
+            TridiagError::BadShape
+        );
+    }
+
+    #[test]
+    fn reports_zero_pivot() {
+        let err = solve_tridiagonal(&[0.0, 1.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]).unwrap_err();
+        assert_eq!(err, TridiagError::ZeroPivot { row: 0 });
+    }
+
+    #[test]
+    fn solver_buffers_are_reusable() {
+        let mut s = ThomasSolver::new();
+        let mut x = vec![0.0; 3];
+        s.solve(&[0.0, -1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0, 0.0], &[1.0, 0.0, 1.0], &mut x)
+            .unwrap();
+        let first = x.clone();
+        // Solve a smaller system afterwards with the same scratch space.
+        let mut y = vec![0.0; 2];
+        s.solve(&[0.0, 0.0], &[1.0, 1.0], &[0.0, 0.0], &[5.0, 6.0], &mut y)
+            .unwrap();
+        assert_eq!(y, vec![5.0, 6.0]);
+        // And the original system again: same answer.
+        let mut x2 = vec![0.0; 3];
+        s.solve(&[0.0, -1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0, 0.0], &[1.0, 0.0, 1.0], &mut x2)
+            .unwrap();
+        assert_eq!(first, x2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+
+use va_numerics::integrate::{
+    composite_simpson, composite_trapezoid, QuadratureResultObject, QuadratureRule,
+    QuadratureVaoConfig, TrapezoidLadder,
+};
+use va_numerics::pde::problem::DecayProblem;
+use va_numerics::pde::{solve_on_mesh, SolverConfig};
+use va_numerics::roots::{bisect, RootResultObject, RootVaoConfig};
+use va_numerics::tridiag::solve_tridiagonal;
+use vao::cost::WorkMeter;
+use vao::interface::ResultObject;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tridiagonal_solutions_satisfy_their_systems(
+        n in 2usize..40,
+        seed in 0u64..10_000,
+    ) {
+        // Deterministic diagonally dominant system from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut rnd = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let sub: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let sup: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| 1.5 + sub[i].abs() + sup[i].abs() + rnd().abs())
+            .collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() * 10.0).collect();
+        let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        for i in 0..n {
+            let mut lhs = diag[i] * x[i];
+            if i > 0 {
+                lhs += sub[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                lhs += sup[i] * x[i + 1];
+            }
+            prop_assert!((lhs - rhs[i]).abs() < 1e-8, "row {i}: {lhs} vs {}", rhs[i]);
+        }
+    }
+
+    #[test]
+    fn trapezoid_and_simpson_integrate_cubics_exactly_enough(
+        a3 in -2.0f64..2.0, a2 in -2.0f64..2.0,
+        a1 in -2.0f64..2.0, a0 in -2.0f64..2.0,
+        span in 0.5f64..3.0,
+    ) {
+        let f = move |x: f64| a3 * x * x * x + a2 * x * x + a1 * x + a0;
+        let integral = |x: f64| a3 * x.powi(4) / 4.0 + a2 * x.powi(3) / 3.0 + a1 * x * x / 2.0 + a0 * x;
+        let exact = integral(span) - integral(0.0);
+        // Simpson is exact for cubics at any even n.
+        let s = composite_simpson(&f, 0.0, span, 4);
+        prop_assert!((s - exact).abs() < 1e-9, "simpson {s} vs {exact}");
+        // Trapezoid converges at second order: n=256 is plenty here.
+        let t = composite_trapezoid(&f, 0.0, span, 256);
+        prop_assert!((t - exact).abs() < 1e-3 * (1.0 + exact.abs()), "trap {t} vs {exact}");
+    }
+
+    #[test]
+    fn ladder_always_matches_direct_composite(
+        freq in 0.5f64..5.0,
+        span in 0.5f64..3.0,
+        levels in 1u32..8,
+    ) {
+        let f = move |x: f64| (freq * x).sin() + 0.3 * x;
+        let mut ladder = TrapezoidLadder::new(f, 0.0, span);
+        for _ in 0..levels {
+            ladder.advance();
+        }
+        let direct = composite_trapezoid(&f, 0.0, span, 1 << levels);
+        prop_assert!((ladder.estimate() - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quadrature_object_bounds_contain_smooth_integrals(
+        freq in 0.5f64..4.0,
+        scale in 0.5f64..3.0,
+    ) {
+        // ∫₀^1 scale·cos(freq·x) dx = scale·sin(freq)/freq.
+        let exact = scale * freq.sin() / freq;
+        let mut meter = WorkMeter::new();
+        let mut obj = QuadratureResultObject::new(
+            move |x: f64| scale * (freq * x).cos(),
+            0.0,
+            1.0,
+            QuadratureVaoConfig {
+                rule: QuadratureRule::Trapezoid,
+                min_width: 1e-9,
+                ..QuadratureVaoConfig::default()
+            },
+            &mut meter,
+        );
+        let mut guard = 0;
+        while !obj.converged() && guard < 40 {
+            let b = obj.iterate(&mut meter);
+            prop_assert!(b.contains(exact), "bounds {b} vs exact {exact}");
+            guard += 1;
+        }
+        prop_assert!((obj.estimate() - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisection_bracket_always_contains_a_sign_change(
+        root in -5.0f64..5.0,
+        slope in 0.2f64..4.0,
+        cubic in 0.0f64..0.5,
+    ) {
+        // Strictly increasing cubic with a known root.
+        let f = move |x: f64| slope * (x - root) + cubic * (x - root).powi(3);
+        let ((lo, hi), _) = bisect(&f, root - 7.0, root + 9.0, 1e-9, 200).unwrap();
+        prop_assert!(lo <= root + 1e-9 && root - 1e-9 <= hi, "[{lo}, {hi}] vs {root}");
+        prop_assert!(hi - lo <= 1e-9 + 1e-12);
+    }
+
+    #[test]
+    fn root_object_soundness_under_any_iteration_count(
+        root in -3.0f64..3.0,
+        iterations in 0usize..30,
+    ) {
+        let f = move |x: f64| (x - root).tanh();
+        let mut meter = WorkMeter::new();
+        let mut obj = RootResultObject::new(
+            f,
+            root - 4.0,
+            root + 5.0,
+            RootVaoConfig {
+                min_width: 1e-12,
+                ..RootVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap();
+        for _ in 0..iterations {
+            obj.iterate(&mut meter);
+        }
+        prop_assert!(obj.bounds().contains(root));
+    }
+
+    #[test]
+    fn pde_decay_solver_is_monotone_in_resolution(
+        rate in 0.01f64..0.15,
+        coupon in 1.0f64..10.0,
+        horizon in 2.0f64..25.0,
+    ) {
+        let p = DecayProblem {
+            rate,
+            coupon,
+            terminal_value: 0.0,
+            horizon,
+        };
+        let exact = p.exact();
+        let cfg = SolverConfig::default();
+        let coarse = solve_on_mesh(&p, 4, 8, &cfg).unwrap().value;
+        let fine = solve_on_mesh(&p, 4, 512, &cfg).unwrap().value;
+        prop_assert!(
+            (fine - exact).abs() <= (coarse - exact).abs() + 1e-12,
+            "fine {fine} coarse {coarse} exact {exact}"
+        );
+        prop_assert!((fine - exact).abs() < 0.05 * (1.0 + exact.abs()));
+    }
+}

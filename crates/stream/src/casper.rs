@@ -1,0 +1,318 @@
+//! Predicate result-range caching across rate ticks (CASPER-style).
+//!
+//! §2 of the paper points at its companion system CASPER (Denny &
+//! Franklin, SIGMOD 2005), which caches *predicate result ranges* — ranges
+//! of the function's parameters where an expensive predicate's result is
+//! already known — and names the integration of VAOs with such caching as
+//! future work. This module implements that integration for the bond
+//! workload's one-dimensional streaming parameter:
+//!
+//! Bond prices are monotone in the interest rate (higher rates discount
+//! the fixed cash flows harder), so for a fixed bond the predicate
+//! `price(rate) > c` is true exactly on a rate interval anchored at one
+//! end of the axis. Every *decisive* VAO evaluation at a rate `r` therefore
+//! proves the predicate for all rates on one side of `r`, and subsequent
+//! ticks in that range need **zero** model work. Undecided (`minWidth`)
+//! resolutions are not cached — the equality band's extent is unknown.
+
+use bondlab::BondPricer;
+use vao::cost::WorkMeter;
+use vao::error::VaoError;
+use vao::ops::selection::{CmpOp, SelectionVao};
+
+use crate::relation::BondRelation;
+
+/// The direction in which the cached function value moves as the streamed
+/// parameter grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Monotonicity {
+    /// Function value increases with the parameter.
+    Increasing,
+    /// Function value decreases with the parameter (bond prices vs rates).
+    Decreasing,
+}
+
+/// Cached knowledge about one predicate over one monotone function: the
+/// parameter ranges where the outcome is proven.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThresholdCache {
+    /// Largest parameter proven to give `true` on the low side (or
+    /// smallest on the high side, depending on orientation).
+    true_frontier: Option<f64>,
+    /// Matching frontier for `false`.
+    false_frontier: Option<f64>,
+}
+
+/// Which side of the axis satisfies the predicate, given the function's
+/// monotonicity and the comparison direction.
+fn true_side_is_low(monotonicity: Monotonicity, op: CmpOp) -> bool {
+    let wants_large_values = matches!(op, CmpOp::Gt | CmpOp::Ge);
+    match monotonicity {
+        // Large values live at low parameters when decreasing.
+        Monotonicity::Decreasing => wants_large_values,
+        Monotonicity::Increasing => !wants_large_values,
+    }
+}
+
+impl ThresholdCache {
+    /// Returns the cached outcome at `param`, if proven.
+    #[must_use]
+    pub fn classify(&self, param: f64, low_is_true: bool) -> Option<bool> {
+        if low_is_true {
+            if let Some(t) = self.true_frontier {
+                if param <= t {
+                    return Some(true);
+                }
+            }
+            if let Some(f) = self.false_frontier {
+                if param >= f {
+                    return Some(false);
+                }
+            }
+        } else {
+            if let Some(t) = self.true_frontier {
+                if param >= t {
+                    return Some(true);
+                }
+            }
+            if let Some(f) = self.false_frontier {
+                if param <= f {
+                    return Some(false);
+                }
+            }
+        }
+        None
+    }
+
+    /// Records a decisive outcome at `param`, extending the proven range.
+    pub fn record(&mut self, param: f64, outcome: bool, low_is_true: bool) {
+        let frontier = if outcome {
+            &mut self.true_frontier
+        } else {
+            &mut self.false_frontier
+        };
+        // The true range grows toward its side's extreme; pick the frontier
+        // farthest into the unknown region.
+        let improves = |old: f64| {
+            if outcome == low_is_true {
+                param > old
+            } else {
+                param < old
+            }
+        };
+        match frontier {
+            Some(old) if !improves(*old) => {}
+            _ => *frontier = Some(param),
+        }
+    }
+}
+
+/// Per-tick outcome statistics for the cached engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTickStats {
+    /// Predicates answered from the cache.
+    pub hits: usize,
+    /// Predicates that required model execution.
+    pub misses: usize,
+    /// Work units spent on the misses.
+    pub work: u64,
+}
+
+/// A selection query over a bond relation with predicate result-range
+/// caching across ticks.
+pub struct CachedSelectionEngine {
+    pricer: BondPricer,
+    relation: BondRelation,
+    vao: SelectionVao,
+    low_is_true: bool,
+    caches: Vec<ThresholdCache>,
+}
+
+impl CachedSelectionEngine {
+    /// Builds the engine. Bond prices are decreasing in the rate, which
+    /// fixes the orientation.
+    pub fn new(
+        pricer: BondPricer,
+        relation: BondRelation,
+        op: CmpOp,
+        constant: f64,
+    ) -> Result<Self, VaoError> {
+        let vao = SelectionVao::new(op, constant)?;
+        let n = relation.len();
+        Ok(Self {
+            pricer,
+            relation,
+            vao,
+            low_is_true: true_side_is_low(Monotonicity::Decreasing, op),
+            caches: vec![ThresholdCache::default(); n],
+        })
+    }
+
+    /// Processes one rate tick: answers each bond's predicate from the
+    /// cache when proven, otherwise runs the selection VAO and extends the
+    /// proven range. Returns the satisfied bond ids and the tick stats.
+    pub fn process_rate(&mut self, rate: f64) -> Result<(Vec<u32>, CacheTickStats), VaoError> {
+        let mut stats = CacheTickStats::default();
+        let mut selected = Vec::new();
+        let mut meter = WorkMeter::new();
+        for (i, &bond) in self.relation.bonds().iter().enumerate() {
+            let outcome = match self.caches[i].classify(rate, self.low_is_true) {
+                Some(known) => {
+                    stats.hits += 1;
+                    known
+                }
+                None => {
+                    stats.misses += 1;
+                    let mut obj = self.pricer.price(bond, rate, &mut meter);
+                    let out = self.vao.evaluate(&mut obj, &mut meter)?;
+                    if !out.decided_at_min_width {
+                        self.caches[i].record(rate, out.satisfied, self.low_is_true);
+                    }
+                    out.satisfied
+                }
+            };
+            if outcome {
+                selected.push(bond.id);
+            }
+        }
+        stats.work = meter.total();
+        Ok((selected, stats))
+    }
+
+    /// Read access to the per-bond caches (for diagnostics and tests).
+    #[must_use]
+    pub fn caches(&self) -> &[ThresholdCache] {
+        &self.caches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::BondUniverse;
+
+    #[test]
+    fn orientation_table() {
+        use Monotonicity::*;
+        // Decreasing prices: "> c" holds at LOW rates.
+        assert!(true_side_is_low(Decreasing, CmpOp::Gt));
+        assert!(true_side_is_low(Decreasing, CmpOp::Ge));
+        assert!(!true_side_is_low(Decreasing, CmpOp::Lt));
+        // Increasing function: "> c" holds at HIGH parameters.
+        assert!(!true_side_is_low(Increasing, CmpOp::Gt));
+        assert!(true_side_is_low(Increasing, CmpOp::Le));
+    }
+
+    #[test]
+    fn threshold_cache_extends_frontiers() {
+        let mut c = ThresholdCache::default();
+        let low_true = true;
+        assert_eq!(c.classify(0.05, low_true), None);
+        c.record(0.05, true, low_true);
+        // Everything at or below 0.05 is now proven true.
+        assert_eq!(c.classify(0.04, low_true), Some(true));
+        assert_eq!(c.classify(0.05, low_true), Some(true));
+        assert_eq!(c.classify(0.06, low_true), None);
+        c.record(0.07, false, low_true);
+        assert_eq!(c.classify(0.08, low_true), Some(false));
+        assert_eq!(c.classify(0.06, low_true), None, "gap stays unknown");
+        // A deeper true observation extends the frontier.
+        c.record(0.06, true, low_true);
+        assert_eq!(c.classify(0.06, low_true), Some(true));
+        // A shallower one does not retract it.
+        c.record(0.02, true, low_true);
+        assert_eq!(c.classify(0.055, low_true), Some(true));
+    }
+
+    #[test]
+    fn repeated_ticks_become_free() {
+        let universe = BondUniverse::generate(6, 1994);
+        let mut engine = CachedSelectionEngine::new(
+            BondPricer::default(),
+            BondRelation::from_universe(&universe),
+            CmpOp::Gt,
+            100.0,
+        )
+        .unwrap();
+        let (first, s1) = engine.process_rate(0.0583).unwrap();
+        assert_eq!(s1.misses, 6);
+        assert!(s1.work > 0);
+        // Same rate again: all hits, no work.
+        let (second, s2) = engine.process_rate(0.0583).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s2.hits, 6);
+        assert_eq!(s2.work, 0);
+    }
+
+    #[test]
+    fn monotone_extensions_cover_new_rates() {
+        let universe = BondUniverse::generate(6, 1994);
+        let mut engine = CachedSelectionEngine::new(
+            BondPricer::default(),
+            BondRelation::from_universe(&universe),
+            CmpOp::Gt,
+            100.0,
+        )
+        .unwrap();
+        let (sel_mid, _) = engine.process_rate(0.0583).unwrap();
+        // A *lower* rate only raises prices: every cached TRUE remains
+        // provably true, so hits cover at least those bonds.
+        let (sel_low, stats) = engine.process_rate(0.0560).unwrap();
+        assert!(stats.hits >= sel_mid.len());
+        for id in &sel_mid {
+            assert!(sel_low.contains(id), "bond {id} must stay selected at lower rates");
+        }
+    }
+
+    #[test]
+    fn cached_answers_match_uncached_evaluation() {
+        let universe = BondUniverse::generate(5, 7);
+        let rates = [0.0583, 0.0560, 0.0600, 0.0583, 0.0570];
+        let mut cached = CachedSelectionEngine::new(
+            BondPricer::default(),
+            BondRelation::from_universe(&universe),
+            CmpOp::Gt,
+            100.0,
+        )
+        .unwrap();
+
+        for &rate in &rates {
+            let (from_cache, _) = cached.process_rate(rate).unwrap();
+            // Reference: a fresh uncached engine at the same rate.
+            let mut fresh = CachedSelectionEngine::new(
+                BondPricer::default(),
+                BondRelation::from_universe(&universe),
+                CmpOp::Gt,
+                100.0,
+            )
+            .unwrap();
+            let (reference, _) = fresh.process_rate(rate).unwrap();
+            assert_eq!(from_cache, reference, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn tick_stream_amortizes_toward_zero_misses() {
+        let universe = BondUniverse::generate(8, 1994);
+        let mut engine = CachedSelectionEngine::new(
+            BondPricer::default(),
+            BondRelation::from_universe(&universe),
+            CmpOp::Gt,
+            95.0,
+        )
+        .unwrap();
+        // A jittery stream revisiting a narrow band.
+        let rates = [0.0583, 0.0585, 0.0581, 0.0584, 0.0582, 0.0583, 0.0585, 0.0584];
+        let mut miss_history = Vec::new();
+        for &r in &rates {
+            let (_, stats) = engine.process_rate(r).unwrap();
+            miss_history.push(stats.misses);
+        }
+        let early: usize = miss_history[..2].iter().sum();
+        let late: usize = miss_history[6..].iter().sum();
+        assert!(
+            late < early,
+            "later ticks should mostly hit: {miss_history:?}"
+        );
+    }
+}

@@ -1,0 +1,555 @@
+//! The continuous executor.
+//!
+//! For every incoming rate tick the engine re-evaluates its query over the
+//! whole bond relation — the paper's processing model, where "traders need
+//! to run a model for each bond issue each time an input changes" (§1.2).
+//! Two execution modes implement the paper's comparison:
+//!
+//! * [`ExecutionMode::Vao`] — result objects + the §5 operators.
+//! * [`ExecutionMode::Traditional`] — every model run as a full-accuracy
+//!   black box, then a conventional operator over the values. As in §6,
+//!   the black-box cost is established by an off-the-clock calibration
+//!   pass, which *underestimates* a production system's cost ("the model
+//!   knows a priori the step sizes needed").
+
+use std::time::Instant;
+
+use bondlab::market::RateTick;
+use bondlab::BondPricer;
+use vao::cost::WorkMeter;
+use vao::error::VaoError;
+use vao::interface::{ResultObject, VariableAccuracyFn};
+use vao::ops::count::count_vao;
+use vao::ops::hybrid::{hybrid_weighted_sum, HybridConfig};
+use vao::ops::minmax::{max_vao, min_vao, AggregateConfig};
+use vao::ops::selection::SelectionVao;
+use vao::ops::sum::{ave_vao, weighted_sum_vao};
+use vao::ops::topk::topk_vao;
+use vao::ops::traditional::{
+    calibrate, traditional_max, traditional_min, traditional_select, traditional_weighted_sum,
+    BlackBoxSpec,
+};
+use vao::precision::PrecisionConstraint;
+use vao::Bounds;
+
+use crate::query::{Query, QueryOutput};
+use crate::relation::BondRelation;
+use crate::stats::TickStats;
+
+/// How the engine executes model calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Variable-accuracy operators (the paper's contribution).
+    Vao,
+    /// Black-box functions + conventional operators (the baseline).
+    Traditional,
+    /// §6.3's future-work hybrid: SUM queries pick VAO or traditional per
+    /// weight profile; every other query runs as [`ExecutionMode::Vao`].
+    Hybrid,
+}
+
+/// Errors from query evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// An operator failed (precision too tight, empty relation, …).
+    Operator(VaoError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Operator(e) => write!(f, "operator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<VaoError> for EngineError {
+    fn from(e: VaoError) -> Self {
+        EngineError::Operator(e)
+    }
+}
+
+/// A continuous query bound to a pricer, a relation and an execution mode.
+#[derive(Clone, Debug)]
+pub struct ContinuousQueryEngine {
+    pricer: BondPricer,
+    relation: BondRelation,
+    query: Query,
+    mode: ExecutionMode,
+}
+
+impl ContinuousQueryEngine {
+    /// Assembles an engine.
+    #[must_use]
+    pub fn new(
+        pricer: BondPricer,
+        relation: BondRelation,
+        query: Query,
+        mode: ExecutionMode,
+    ) -> Self {
+        Self {
+            pricer,
+            relation,
+            query,
+            mode,
+        }
+    }
+
+    /// The bound query.
+    #[must_use]
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The execution mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The logical plan this engine executes: the traditional two-module
+    /// plan (Figure 2) in [`ExecutionMode::Traditional`], the fused VAO
+    /// plan (Figures 1/3) otherwise.
+    #[must_use]
+    pub fn plan(&self) -> crate::plan::LogicalPlan {
+        let traditional = crate::plan::LogicalPlan::traditional(&self.query);
+        match self.mode {
+            ExecutionMode::Traditional => traditional,
+            ExecutionMode::Vao | ExecutionMode::Hybrid => traditional.fuse(),
+        }
+    }
+
+    /// Evaluates the query at one rate, returning the answer and what it
+    /// cost.
+    pub fn process_rate(&self, rate: f64) -> Result<(QueryOutput, TickStats), EngineError> {
+        let start = Instant::now();
+        let mut meter = WorkMeter::new();
+        let output = match self.mode {
+            ExecutionMode::Vao => self.eval_vao(rate, &mut meter)?,
+            ExecutionMode::Traditional => self.eval_traditional(rate, &mut meter)?,
+            ExecutionMode::Hybrid => self.eval_hybrid(rate, &mut meter)?,
+        };
+        let stats = TickStats {
+            rate,
+            work: meter.breakdown(),
+            wall: start.elapsed(),
+            iterations: meter.iterations(),
+        };
+        Ok((output, stats))
+    }
+
+    /// Processes a stream of ticks in arrival order.
+    pub fn run(&self, ticks: &[RateTick]) -> Result<Vec<(QueryOutput, TickStats)>, EngineError> {
+        ticks.iter().map(|t| self.process_rate(t.rate)).collect()
+    }
+
+    fn objects(&self, rate: f64, meter: &mut WorkMeter) -> Vec<Box<dyn ResultObject>> {
+        self.relation
+            .bonds()
+            .iter()
+            .map(|&bond| self.pricer.invoke(&(rate, bond), meter))
+            .collect()
+    }
+
+    fn bond_id(&self, index: usize) -> u32 {
+        self.relation.bonds()[index].id
+    }
+
+    fn eval_vao(&self, rate: f64, meter: &mut WorkMeter) -> Result<QueryOutput, EngineError> {
+        match &self.query {
+            Query::Selection { op, constant } => {
+                let vao = SelectionVao::new(*op, *constant)?;
+                let mut selected = Vec::new();
+                for (i, bond) in self.relation.bonds().iter().enumerate() {
+                    let mut obj = self.pricer.invoke(&(rate, *bond), meter);
+                    let out = vao.evaluate(&mut obj, meter)?;
+                    if out.satisfied {
+                        selected.push(self.bond_id(i));
+                    }
+                }
+                Ok(QueryOutput::Selected(selected))
+            }
+            Query::Max { epsilon } => {
+                let mut objs = self.objects(rate, meter);
+                let res = max_vao(&mut objs, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Extreme {
+                    bond_id: self.bond_id(res.argext),
+                    bounds: res.bounds,
+                    ties: res.ties.iter().map(|&i| self.bond_id(i)).collect(),
+                })
+            }
+            Query::Min { epsilon } => {
+                let mut objs = self.objects(rate, meter);
+                let res = min_vao(&mut objs, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Extreme {
+                    bond_id: self.bond_id(res.argext),
+                    bounds: res.bounds,
+                    ties: res.ties.iter().map(|&i| self.bond_id(i)).collect(),
+                })
+            }
+            Query::Sum { weights, epsilon } => {
+                let mut objs = self.objects(rate, meter);
+                let res = weighted_sum_vao(
+                    &mut objs,
+                    weights,
+                    PrecisionConstraint::new(*epsilon)?,
+                    meter,
+                )?;
+                Ok(QueryOutput::Aggregate { bounds: res.bounds })
+            }
+            Query::Ave { epsilon } => {
+                let mut objs = self.objects(rate, meter);
+                let res = ave_vao(&mut objs, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Aggregate { bounds: res.bounds })
+            }
+            Query::TopK { k, epsilon } => {
+                let mut objs = self.objects(rate, meter);
+                let res = topk_vao(&mut objs, *k, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Ranked {
+                    members: res
+                        .members
+                        .iter()
+                        .zip(&res.bounds)
+                        .map(|(&i, &b)| (self.bond_id(i), b))
+                        .collect(),
+                    ties: res.ties.iter().map(|&i| self.bond_id(i)).collect(),
+                })
+            }
+            Query::Count { op, constant, slack } => {
+                let mut objs = self.objects(rate, meter);
+                let res = count_vao(&mut objs, *op, *constant, *slack, meter)?;
+                Ok(QueryOutput::Count {
+                    lo: res.count_lo,
+                    hi: res.count_hi,
+                })
+            }
+        }
+    }
+
+    /// Hybrid mode: SUM dispatches on the §6.3 decision rule; everything
+    /// else runs adaptively.
+    fn eval_hybrid(&self, rate: f64, meter: &mut WorkMeter) -> Result<QueryOutput, EngineError> {
+        match &self.query {
+            Query::Sum { weights, epsilon } => {
+                let mut off_clock = WorkMeter::new();
+                let specs: Vec<BlackBoxSpec> = self
+                    .relation
+                    .bonds()
+                    .iter()
+                    .map(|&bond| {
+                        let mut obj = self.pricer.invoke(&(rate, bond), &mut off_clock);
+                        calibrate(&mut obj, &mut off_clock)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut objs = self.objects(rate, meter);
+                let (res, _decision) = hybrid_weighted_sum(
+                    &mut objs,
+                    weights,
+                    &specs,
+                    PrecisionConstraint::new(*epsilon)?,
+                    &HybridConfig::default(),
+                    &mut AggregateConfig::default(),
+                    meter,
+                )?;
+                Ok(QueryOutput::Aggregate { bounds: res.bounds })
+            }
+            _ => self.eval_vao(rate, meter),
+        }
+    }
+
+    /// Calibrates every bond at this rate off the clock (the paper's
+    /// favorable black-box setup) and evaluates with traditional operators.
+    fn eval_traditional(&self, rate: f64, meter: &mut WorkMeter) -> Result<QueryOutput, EngineError> {
+        let mut off_clock = WorkMeter::new();
+        let specs: Vec<BlackBoxSpec> = self
+            .relation
+            .bonds()
+            .iter()
+            .map(|&bond| {
+                let mut obj = self.pricer.invoke(&(rate, bond), &mut off_clock);
+                calibrate(&mut obj, &mut off_clock)
+            })
+            .collect::<Result<_, _>>()?;
+
+        match &self.query {
+            Query::Selection { op, constant } => {
+                let hits = traditional_select(&specs, *op, *constant, meter);
+                Ok(QueryOutput::Selected(
+                    hits.into_iter().map(|i| self.bond_id(i)).collect(),
+                ))
+            }
+            Query::Max { .. } => {
+                let (i, v) = traditional_max(&specs, meter)?;
+                Ok(QueryOutput::Extreme {
+                    bond_id: self.bond_id(i),
+                    bounds: Bounds::point(v),
+                    ties: Vec::new(),
+                })
+            }
+            Query::Min { .. } => {
+                let (i, v) = traditional_min(&specs, meter)?;
+                Ok(QueryOutput::Extreme {
+                    bond_id: self.bond_id(i),
+                    bounds: Bounds::point(v),
+                    ties: Vec::new(),
+                })
+            }
+            Query::Sum { weights, .. } => {
+                let v = traditional_weighted_sum(&specs, weights, meter)?;
+                Ok(QueryOutput::Aggregate {
+                    bounds: Bounds::point(v),
+                })
+            }
+            Query::Ave { .. } => {
+                let weights = vec![1.0 / specs.len().max(1) as f64; specs.len()];
+                let v = traditional_weighted_sum(&specs, &weights, meter)?;
+                Ok(QueryOutput::Aggregate {
+                    bounds: Bounds::point(v),
+                })
+            }
+            Query::TopK { k, .. } => {
+                if specs.is_empty() || *k == 0 || *k > specs.len() {
+                    return Err(EngineError::Operator(VaoError::EmptyInput));
+                }
+                let mut idx: Vec<usize> = (0..specs.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    specs[b]
+                        .value
+                        .partial_cmp(&specs[a].value)
+                        .expect("finite prices")
+                });
+                // Charge the black-box work for every model, as always
+                // (the other arms charge it inside the traditional
+                // operators; here the specs are read directly).
+                for s in &specs {
+                    meter.charge_exec(s.work);
+                }
+                Ok(QueryOutput::Ranked {
+                    members: idx
+                        .iter()
+                        .take(*k)
+                        .map(|&i| (self.bond_id(i), Bounds::point(specs[i].value)))
+                        .collect(),
+                    ties: Vec::new(),
+                })
+            }
+            Query::Count { op, constant, .. } => {
+                let hits = traditional_select(&specs, *op, *constant, meter);
+                Ok(QueryOutput::Count {
+                    lo: hits.len(),
+                    hi: hits.len(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::BondUniverse;
+    use vao::ops::selection::CmpOp;
+
+    fn small_engine(query: Query, mode: ExecutionMode) -> ContinuousQueryEngine {
+        let universe = BondUniverse::generate(8, 42);
+        ContinuousQueryEngine::new(
+            BondPricer::default(),
+            BondRelation::from_universe(&universe),
+            query,
+            mode,
+        )
+    }
+
+    #[test]
+    fn selection_modes_agree_on_answers() {
+        let q = Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        };
+        let (vao_out, vao_stats) = small_engine(q.clone(), ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (trad_out, trad_stats) = small_engine(q, ExecutionMode::Traditional)
+            .process_rate(0.0583)
+            .unwrap();
+        assert_eq!(vao_out, trad_out);
+        assert!(
+            vao_stats.total_work() < trad_stats.total_work(),
+            "VAO {} vs traditional {}",
+            vao_stats.total_work(),
+            trad_stats.total_work()
+        );
+    }
+
+    #[test]
+    fn max_modes_agree_on_the_winner() {
+        let q = Query::Max { epsilon: 0.01 };
+        let (vao_out, _) = small_engine(q.clone(), ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (trad_out, _) = small_engine(q, ExecutionMode::Traditional)
+            .process_rate(0.0583)
+            .unwrap();
+        let (QueryOutput::Extreme { bond_id: a, bounds: vb, .. }, QueryOutput::Extreme { bond_id: b, bounds: tb, .. }) =
+            (&vao_out, &trad_out)
+        else {
+            panic!("wrong output shapes");
+        };
+        assert_eq!(a, b);
+        // The traditional point value must lie within (or within a cent of)
+        // the VAO's bounds.
+        assert!(vb.lo() - 0.01 <= tb.mid() && tb.mid() <= vb.hi() + 0.01);
+    }
+
+    #[test]
+    fn sum_bounds_cover_traditional_value() {
+        let n = 8;
+        let q = Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: n as f64 * 0.01,
+        };
+        let (vao_out, _) = small_engine(q.clone(), ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (trad_out, _) = small_engine(q, ExecutionMode::Traditional)
+            .process_rate(0.0583)
+            .unwrap();
+        let v = trad_out.bounds().unwrap().mid();
+        let b = vao_out.bounds().unwrap();
+        assert!(
+            b.lo() - 0.1 <= v && v <= b.hi() + 0.1,
+            "sum bounds {b} vs traditional {v}"
+        );
+        assert!(b.width() <= 8.0 * 0.01 + 1e-9);
+    }
+
+    #[test]
+    fn min_is_not_max() {
+        let (min_out, _) = small_engine(Query::Min { epsilon: 0.01 }, ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (max_out, _) = small_engine(Query::Max { epsilon: 0.01 }, ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (QueryOutput::Extreme { bounds: bmin, .. }, QueryOutput::Extreme { bounds: bmax, .. }) =
+            (&min_out, &max_out)
+        else {
+            panic!("wrong output shapes");
+        };
+        assert!(bmin.hi() < bmax.lo(), "min {bmin} vs max {bmax}");
+    }
+
+    #[test]
+    fn run_processes_every_tick() {
+        let engine = small_engine(
+            Query::Selection {
+                op: CmpOp::Gt,
+                constant: 100.0,
+            },
+            ExecutionMode::Vao,
+        );
+        let ticks = vec![
+            RateTick {
+                minutes: 0.0,
+                rate: 0.0583,
+            },
+            RateTick {
+                minutes: 2.0,
+                rate: 0.0590,
+            },
+        ];
+        let results = engine.run(&ticks).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].1.rate, 0.0583);
+        assert_eq!(results[1].1.rate, 0.0590);
+    }
+
+    #[test]
+    fn engine_plans_match_their_mode() {
+        let q = Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        };
+        let trad = small_engine(q.clone(), ExecutionMode::Traditional).plan();
+        assert!(trad.has_black_box());
+        let vao = small_engine(q, ExecutionMode::Vao).plan();
+        assert!(!vao.has_black_box());
+        assert!(vao.explain().contains("VaoSelection"));
+    }
+
+    #[test]
+    fn topk_modes_agree_on_the_ranking() {
+        let q = Query::TopK {
+            k: 3,
+            epsilon: 0.01,
+        };
+        let (vao_out, vao_stats) = small_engine(q.clone(), ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (trad_out, trad_stats) = small_engine(q, ExecutionMode::Traditional)
+            .process_rate(0.0583)
+            .unwrap();
+        let (QueryOutput::Ranked { members: vm, .. }, QueryOutput::Ranked { members: tm, .. }) =
+            (&vao_out, &trad_out)
+        else {
+            panic!("wrong output shapes");
+        };
+        let vao_ids: Vec<u32> = vm.iter().map(|(id, _)| *id).collect();
+        let trad_ids: Vec<u32> = tm.iter().map(|(id, _)| *id).collect();
+        assert_eq!(vao_ids, trad_ids);
+        assert!(vao_stats.total_work() < trad_stats.total_work());
+    }
+
+    #[test]
+    fn count_modes_agree_when_exact() {
+        let q = Query::Count {
+            op: CmpOp::Gt,
+            constant: 100.0,
+            slack: 0,
+        };
+        let (vao_out, _) = small_engine(q.clone(), ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let (trad_out, _) = small_engine(q, ExecutionMode::Traditional)
+            .process_rate(0.0583)
+            .unwrap();
+        let (QueryOutput::Count { lo: vl, hi: vh }, QueryOutput::Count { lo: tl, .. }) =
+            (&vao_out, &trad_out)
+        else {
+            panic!("wrong output shapes");
+        };
+        assert_eq!(vl, vh, "slack 0 gives an exact count");
+        assert_eq!(vl, tl);
+    }
+
+    #[test]
+    fn hybrid_mode_answers_sum_like_the_others() {
+        let n = 8;
+        let q = Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: n as f64 * 0.01 * (1.0 + 1e-9),
+        };
+        let (hybrid_out, _) = small_engine(q.clone(), ExecutionMode::Hybrid)
+            .process_rate(0.0583)
+            .unwrap();
+        let (vao_out, _) = small_engine(q, ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let hb = hybrid_out.bounds().unwrap();
+        let vb = vao_out.bounds().unwrap();
+        // Both bound the same true sum: the intervals must overlap.
+        assert!(hb.overlaps(&vb), "{hb} vs {vb}");
+    }
+
+    #[test]
+    fn ave_query_produces_tight_bounds() {
+        let (out, _) = small_engine(Query::Ave { epsilon: 0.02 }, ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let b = out.bounds().unwrap();
+        assert!(b.width() <= 0.02 + 1e-12);
+        assert!((80.0..130.0).contains(&b.mid()), "average {b}");
+    }
+}

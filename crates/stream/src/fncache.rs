@@ -1,0 +1,177 @@
+//! Function-result caching for expensive UDF calls.
+//!
+//! §2 of the paper: "function caches as described in [Hellerstein &
+//! Naughton] can be used with both traditional operators and VAOs, and do
+//! not affect our discussion of function execution." This module provides
+//! that orthogonal layer: an exact-argument memo of calibrated black-box
+//! results, so a rate tick that repeats an earlier rate (market data
+//! quantizes to basis points, so repeats are common) costs nothing.
+//!
+//! Unlike the [`crate::casper`] predicate-range cache, this cache is
+//! query-independent — it memoizes function *values* — and exact-match
+//! only.
+
+use std::collections::HashMap;
+
+use bondlab::{Bond, BondPricer};
+use vao::cost::WorkMeter;
+use vao::error::VaoError;
+use vao::ops::traditional::{calibrate, BlackBoxSpec};
+
+/// A key identifying one function call: `(bond id, rate bits)`.
+///
+/// Rates are keyed by their exact bit pattern — the cache never
+/// interpolates; close-but-different rates are distinct calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CallKey {
+    bond_id: u32,
+    rate_bits: u64,
+}
+
+impl CallKey {
+    /// Builds the key for a call.
+    #[must_use]
+    pub fn new(bond_id: u32, rate: f64) -> Self {
+        Self {
+            bond_id,
+            rate_bits: rate.to_bits(),
+        }
+    }
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FnCacheStats {
+    /// Calls answered from the cache.
+    pub hits: u64,
+    /// Calls that ran the model.
+    pub misses: u64,
+}
+
+/// An exact-argument memo of calibrated black-box pricing results.
+#[derive(Debug, Default)]
+pub struct FnCache {
+    entries: HashMap<CallKey, BlackBoxSpec>,
+    stats: FnCacheStats,
+}
+
+impl FnCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the calibrated spec for `(bond, rate)`, pricing and
+    /// calibrating on a miss. Model work on misses is charged to `meter`;
+    /// hits charge one `get_state` unit.
+    pub fn get_or_price(
+        &mut self,
+        pricer: &BondPricer,
+        bond: Bond,
+        rate: f64,
+        meter: &mut WorkMeter,
+    ) -> Result<BlackBoxSpec, VaoError> {
+        let key = CallKey::new(bond.id, rate);
+        if let Some(spec) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            meter.charge_get_state(1);
+            return Ok(*spec);
+        }
+        self.stats.misses += 1;
+        let mut obj = pricer.price(bond, rate, meter);
+        let spec = calibrate(&mut obj, meter)?;
+        self.entries.insert(key, spec);
+        Ok(spec)
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> FnCacheStats {
+        self.stats
+    }
+
+    /// Drops all entries (e.g. when the model parameters change), keeping
+    /// the statistics.
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::BondUniverse;
+
+    #[test]
+    fn repeat_rates_hit_the_cache() {
+        let universe = BondUniverse::generate(3, 1);
+        let pricer = BondPricer::default();
+        let mut cache = FnCache::new();
+        let mut meter = WorkMeter::new();
+
+        for &bond in universe.bonds() {
+            cache.get_or_price(&pricer, bond, 0.0583, &mut meter).unwrap();
+        }
+        let cold_work = meter.total();
+        assert_eq!(cache.stats(), FnCacheStats { hits: 0, misses: 3 });
+        assert_eq!(cache.len(), 3);
+
+        let snap = meter.snapshot();
+        for &bond in universe.bonds() {
+            cache.get_or_price(&pricer, bond, 0.0583, &mut meter).unwrap();
+        }
+        let warm_work = meter.since(&snap).total();
+        assert_eq!(cache.stats(), FnCacheStats { hits: 3, misses: 3 });
+        assert!(warm_work * 1000 < cold_work, "warm {warm_work} vs cold {cold_work}");
+    }
+
+    #[test]
+    fn different_rates_are_distinct_calls() {
+        let universe = BondUniverse::generate(1, 1);
+        let pricer = BondPricer::default();
+        let mut cache = FnCache::new();
+        let mut meter = WorkMeter::new();
+        cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        cache.get_or_price(&pricer, universe[0], 0.0584, &mut meter).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_values_are_identical_to_fresh_ones() {
+        let universe = BondUniverse::generate(1, 1);
+        let pricer = BondPricer::default();
+        let mut cache = FnCache::new();
+        let mut meter = WorkMeter::new();
+        let first = cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        let second = cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn invalidate_clears_entries_but_keeps_stats() {
+        let universe = BondUniverse::generate(1, 1);
+        let pricer = BondPricer::default();
+        let mut cache = FnCache::new();
+        let mut meter = WorkMeter::new();
+        cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+        cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        assert_eq!(cache.stats().misses, 2, "re-priced after invalidation");
+    }
+}

@@ -1,0 +1,34 @@
+//! # va-stream — a minimal continuous-query engine substrate
+//!
+//! The paper's system (Figure 1) is a continuous-query engine: a stream of
+//! interest-rate updates joins a relation of bonds, expensive model calls
+//! price every bond at every new rate, and an operator (selection, MAX,
+//! SUM, …) evaluates the results. This crate provides that scaffolding:
+//!
+//! * [`value`] / [`tuple`] / [`schema`] — a small typed tuple layer.
+//! * [`relation`] — the bond relation (`BD` in the paper's predicate
+//!   `model(IR.rate, BD) > 100`).
+//! * [`query`] — query definitions (Q1–Q3 of §1.2) and their outputs.
+//! * [`engine`] — the continuous executor: per rate tick, it evaluates the
+//!   query under either the VAO or the traditional execution mode and
+//!   records per-tick statistics.
+//! * [`stats`] — work/time accounting per tick.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod casper;
+pub mod engine;
+pub mod fncache;
+pub mod plan;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use engine::{ContinuousQueryEngine, ExecutionMode};
+pub use query::{Query, QueryOutput};
+pub use relation::BondRelation;
+pub use stats::TickStats;

@@ -1,0 +1,308 @@
+//! Logical query plans and the VAO fusion rewrite (Figures 1–3).
+//!
+//! In a traditional plan, UDF execution and result evaluation are separate
+//! modules: tuples flow from the sources into a *function execution*
+//! module and its single-value results into a selection or aggregation
+//! operator (Figure 2). The VAO rewrite **fuses** those two nodes into one
+//! operator that controls function execution through the iterative
+//! interface (Figures 1 and 3). This module gives the engine that plan
+//! representation plus an `EXPLAIN`-style rendering, so the rewrite the
+//! paper describes architecturally is visible and testable.
+
+use vao::ops::selection::CmpOp;
+
+use crate::query::Query;
+
+/// Aggregate kinds appearing in plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    /// Highest value.
+    Max,
+    /// Lowest value.
+    Min,
+    /// Weighted sum.
+    Sum,
+    /// Average.
+    Ave,
+    /// Top-K ranking.
+    TopK(usize),
+    /// Predicate count.
+    Count,
+}
+
+impl AggKind {
+    fn name(self) -> String {
+        match self {
+            AggKind::Max => "MAX".into(),
+            AggKind::Min => "MIN".into(),
+            AggKind::Sum => "SUM".into(),
+            AggKind::Ave => "AVE".into(),
+            AggKind::TopK(k) => format!("TOP-{k}"),
+            AggKind::Count => "COUNT".into(),
+        }
+    }
+}
+
+/// A logical plan node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalPlan {
+    /// The bond relation scan joined with the rate stream: produces one
+    /// `(rate, bond)` argument pair per bond per tick.
+    ArgSource,
+    /// Black-box function execution: one full-accuracy value per pair.
+    FnExec {
+        /// Upstream node.
+        input: Box<LogicalPlan>,
+    },
+    /// A conventional selection over exact values.
+    Filter {
+        /// Upstream node.
+        input: Box<LogicalPlan>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Selection constant.
+        constant: f64,
+    },
+    /// A conventional aggregate over exact values.
+    Aggregate {
+        /// Upstream node.
+        input: Box<LogicalPlan>,
+        /// Aggregate kind.
+        kind: AggKind,
+    },
+    /// A fused VAO node: function execution *and* predicate evaluation.
+    VaoSelection {
+        /// Upstream node (argument pairs).
+        input: Box<LogicalPlan>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Selection constant.
+        constant: f64,
+    },
+    /// A fused VAO node: function execution *and* aggregation, with an
+    /// output precision constraint.
+    VaoAggregate {
+        /// Upstream node (argument pairs).
+        input: Box<LogicalPlan>,
+        /// Aggregate kind.
+        kind: AggKind,
+        /// Output precision ε.
+        epsilon: f64,
+    },
+}
+
+impl LogicalPlan {
+    /// The traditional (pre-rewrite) plan for a query: separate function
+    /// execution and evaluation modules, as in Figure 2.
+    #[must_use]
+    pub fn traditional(query: &Query) -> LogicalPlan {
+        let exec = LogicalPlan::FnExec {
+            input: Box::new(LogicalPlan::ArgSource),
+        };
+        match query {
+            Query::Selection { op, constant } => LogicalPlan::Filter {
+                input: Box::new(exec),
+                op: *op,
+                constant: *constant,
+            },
+            Query::Max { .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::Max,
+            },
+            Query::Min { .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::Min,
+            },
+            Query::Sum { .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::Sum,
+            },
+            Query::Ave { .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::Ave,
+            },
+            Query::TopK { k, .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::TopK(*k),
+            },
+            Query::Count { op, constant, .. } => LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::FnExec {
+                    input: Box::new(LogicalPlan::ArgSource),
+                }),
+                op: *op,
+                constant: *constant,
+            },
+        }
+    }
+
+    /// The VAO rewrite: fuse `FnExec` with the operator above it.
+    ///
+    /// Plans without a fusable `FnExec`+operator pair are returned
+    /// unchanged (the rewrite is a no-op on already-fused plans).
+    #[must_use]
+    pub fn fuse(self) -> LogicalPlan {
+        match self {
+            LogicalPlan::Filter { input, op, constant } => match *input {
+                LogicalPlan::FnExec { input: src } => LogicalPlan::VaoSelection {
+                    input: src,
+                    op,
+                    constant,
+                },
+                other => LogicalPlan::Filter {
+                    input: Box::new(other.fuse()),
+                    op,
+                    constant,
+                },
+            },
+            LogicalPlan::Aggregate { input, kind } => match *input {
+                LogicalPlan::FnExec { input: src } => LogicalPlan::VaoAggregate {
+                    input: src,
+                    kind,
+                    // The rewrite itself cannot invent ε; engines fill it
+                    // from the query. A conservative default mirrors the
+                    // paper's bond minWidth.
+                    epsilon: 0.01,
+                },
+                other => LogicalPlan::Aggregate {
+                    input: Box::new(other.fuse()),
+                    kind,
+                },
+            },
+            other => other,
+        }
+    }
+
+    /// Whether the plan still contains a black-box execution module.
+    #[must_use]
+    pub fn has_black_box(&self) -> bool {
+        match self {
+            LogicalPlan::ArgSource => false,
+            LogicalPlan::FnExec { .. } => true,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::VaoSelection { input, .. }
+            | LogicalPlan::VaoAggregate { input, .. } => input.has_black_box(),
+        }
+    }
+
+    /// `EXPLAIN`-style rendering, one node per line, children indented.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        out
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::ArgSource => {
+                out.push_str(&format!("{pad}ArgSource [IR.rate ⋈ BD]\n"));
+            }
+            LogicalPlan::FnExec { input } => {
+                out.push_str(&format!("{pad}FnExec [model(IR.rate, BD) → value]\n"));
+                input.render(depth + 1, out);
+            }
+            LogicalPlan::Filter { input, op, constant } => {
+                out.push_str(&format!("{pad}Filter [value {op} {constant}]\n"));
+                input.render(depth + 1, out);
+            }
+            LogicalPlan::Aggregate { input, kind } => {
+                out.push_str(&format!("{pad}Aggregate [{}]\n", kind.name()));
+                input.render(depth + 1, out);
+            }
+            LogicalPlan::VaoSelection { input, op, constant } => {
+                out.push_str(&format!(
+                    "{pad}VaoSelection [model(IR.rate, BD) {op} {constant}; iterative]\n"
+                ));
+                input.render(depth + 1, out);
+            }
+            LogicalPlan::VaoAggregate { input, kind, epsilon } => {
+                out.push_str(&format!(
+                    "{pad}VaoAggregate [{} ε={epsilon}; iterative]\n",
+                    kind.name()
+                ));
+                input.render(depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1() -> Query {
+        Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        }
+    }
+
+    #[test]
+    fn traditional_plan_separates_execution_from_evaluation() {
+        let plan = LogicalPlan::traditional(&q1());
+        assert!(plan.has_black_box());
+        let text = plan.explain();
+        assert!(text.contains("Filter"));
+        assert!(text.contains("FnExec"));
+        let filter_line = text.lines().position(|l| l.contains("Filter")).unwrap();
+        let exec_line = text.lines().position(|l| l.contains("FnExec")).unwrap();
+        assert!(filter_line < exec_line, "operator sits above the executor");
+    }
+
+    #[test]
+    fn fusion_removes_the_black_box() {
+        let fused = LogicalPlan::traditional(&q1()).fuse();
+        assert!(!fused.has_black_box());
+        assert!(matches!(fused, LogicalPlan::VaoSelection { .. }));
+        let text = fused.explain();
+        assert!(text.contains("VaoSelection"));
+        assert!(!text.contains("FnExec"));
+    }
+
+    #[test]
+    fn fusion_covers_every_query_kind() {
+        let queries = [
+            q1(),
+            Query::Max { epsilon: 0.01 },
+            Query::Min { epsilon: 0.01 },
+            Query::Sum {
+                weights: vec![1.0],
+                epsilon: 0.01,
+            },
+            Query::Ave { epsilon: 0.01 },
+            Query::TopK {
+                k: 3,
+                epsilon: 0.01,
+            },
+            Query::Count {
+                op: CmpOp::Lt,
+                constant: 95.0,
+                slack: 0,
+            },
+        ];
+        for q in &queries {
+            let fused = LogicalPlan::traditional(q).fuse();
+            assert!(!fused.has_black_box(), "query {q:?} kept a black box");
+        }
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let once = LogicalPlan::traditional(&q1()).fuse();
+        let twice = once.clone().fuse();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn aggregate_plans_name_their_kind() {
+        let plan = LogicalPlan::traditional(&Query::TopK {
+            k: 5,
+            epsilon: 0.01,
+        });
+        assert!(plan.explain().contains("TOP-5"));
+        let plan = LogicalPlan::traditional(&Query::Max { epsilon: 0.01 }).fuse();
+        assert!(plan.explain().contains("MAX"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Continuous-query definitions and outputs.
+//!
+//! The paper's example queries (§1.2):
+//!
+//! * **Q1** "Find all bonds priced above \$100" — [`Query::Selection`].
+//! * **Q2** "Find the value of my bond portfolio, which is a weighted sum
+//!   of bond prices" — [`Query::Sum`].
+//! * **Q3** "Find the best performing (i.e. highest valued) bond" —
+//!   [`Query::Max`].
+
+use vao::ops::selection::CmpOp;
+use vao::Bounds;
+
+/// A continuous query over `model(IR.rate, BD)` results.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// Q1-style: bonds whose price satisfies `price ⟨op⟩ constant`.
+    Selection {
+        /// Comparison operator.
+        op: CmpOp,
+        /// The selection constant (e.g. \$100).
+        constant: f64,
+    },
+    /// Q2-style: the weighted sum of all prices, to precision `epsilon`.
+    Sum {
+        /// Per-bond weights (shares held), aligned with the relation.
+        weights: Vec<f64>,
+        /// Output precision constraint ε.
+        epsilon: f64,
+    },
+    /// Average price, to precision `epsilon`.
+    Ave {
+        /// Output precision constraint ε.
+        epsilon: f64,
+    },
+    /// Q3-style: the highest-valued bond, its price bounded to `epsilon`.
+    Max {
+        /// Output precision constraint ε.
+        epsilon: f64,
+    },
+    /// The lowest-valued bond, its price bounded to `epsilon`.
+    Min {
+        /// Output precision constraint ε.
+        epsilon: f64,
+    },
+    /// Extension: the `k` highest-valued bonds, each bounded to `epsilon`.
+    TopK {
+        /// How many bonds to return.
+        k: usize,
+        /// Output precision constraint ε per member.
+        epsilon: f64,
+    },
+    /// Extension: how many bonds satisfy `price ⟨op⟩ constant`, with up to
+    /// `slack` bonds allowed to remain unclassified.
+    Count {
+        /// Comparison operator.
+        op: CmpOp,
+        /// The selection constant.
+        constant: f64,
+        /// Maximum number of unresolved bonds tolerated.
+        slack: usize,
+    },
+}
+
+/// The answer a query produces at one rate tick.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutput {
+    /// Bond ids satisfying a selection predicate.
+    Selected(Vec<u32>),
+    /// The extreme bond and bounds on its price.
+    Extreme {
+        /// Winning bond id.
+        bond_id: u32,
+        /// Price bounds (width ≤ ε).
+        bounds: Bounds,
+        /// Bonds indistinguishable from the winner at full model accuracy.
+        ties: Vec<u32>,
+    },
+    /// Bounds on an aggregate (sum/average).
+    Aggregate {
+        /// Aggregate bounds (width ≤ ε unless every model hit `minWidth`).
+        bounds: Bounds,
+    },
+    /// The `k` best bonds with their price bounds, best first.
+    Ranked {
+        /// `(bond id, price bounds)` pairs in descending order.
+        members: Vec<(u32, Bounds)>,
+        /// Bonds indistinguishable from the weakest member.
+        ties: Vec<u32>,
+    },
+    /// An integer-interval count.
+    Count {
+        /// Bonds proven to satisfy the predicate.
+        lo: usize,
+        /// `lo` plus the unresolved bonds.
+        hi: usize,
+    },
+}
+
+impl QueryOutput {
+    /// Convenience: the selected ids, when this is a selection output.
+    #[must_use]
+    pub fn selected(&self) -> Option<&[u32]> {
+        match self {
+            QueryOutput::Selected(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the aggregate/extreme bounds, when present.
+    #[must_use]
+    pub fn bounds(&self) -> Option<Bounds> {
+        match self {
+            QueryOutput::Extreme { bounds, .. } | QueryOutput::Aggregate { bounds } => {
+                Some(*bounds)
+            }
+            QueryOutput::Selected(_) | QueryOutput::Ranked { .. } | QueryOutput::Count { .. } => {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_accessors() {
+        let sel = QueryOutput::Selected(vec![1, 2]);
+        assert_eq!(sel.selected(), Some(&[1u32, 2][..]));
+        assert_eq!(sel.bounds(), None);
+
+        let agg = QueryOutput::Aggregate {
+            bounds: Bounds::new(1.0, 2.0),
+        };
+        assert_eq!(agg.bounds(), Some(Bounds::new(1.0, 2.0)));
+        assert_eq!(agg.selected(), None);
+
+        let ext = QueryOutput::Extreme {
+            bond_id: 3,
+            bounds: Bounds::new(5.0, 5.01),
+            ties: vec![],
+        };
+        assert_eq!(ext.bounds(), Some(Bounds::new(5.0, 5.01)));
+    }
+
+    #[test]
+    fn queries_are_comparable() {
+        let a = Query::Max { epsilon: 0.01 };
+        let b = Query::Max { epsilon: 0.01 };
+        assert_eq!(a, b);
+        assert_ne!(a, Query::Min { epsilon: 0.01 });
+    }
+}

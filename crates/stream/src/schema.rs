@@ -1,0 +1,127 @@
+//! Relation and stream schemas.
+
+use crate::tuple::Tuple;
+use crate::value::ValueType;
+
+/// A named, typed field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (unique within a schema).
+    pub name: String,
+    /// Field type.
+    pub ty: ValueType,
+}
+
+/// An ordered list of fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate field names.
+    #[must_use]
+    pub fn new(fields: &[(&str, ValueType)]) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, _) in fields {
+            assert!(seen.insert(*name), "duplicate field name {name}");
+        }
+        Self {
+            fields: fields
+                .iter()
+                .map(|(name, ty)| Field {
+                    name: (*name).to_string(),
+                    ty: *ty,
+                })
+                .collect(),
+        }
+    }
+
+    /// The fields in order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Position of a field by name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Checks a tuple against this schema (arity and field types).
+    pub fn validate(&self, tuple: &Tuple) -> Result<(), String> {
+        if tuple.arity() != self.arity() {
+            return Err(format!(
+                "arity mismatch: tuple has {}, schema has {}",
+                tuple.arity(),
+                self.arity()
+            ));
+        }
+        for (i, field) in self.fields.iter().enumerate() {
+            let got = tuple.get(i).expect("arity checked").value_type();
+            if got != field.ty {
+                return Err(format!(
+                    "field {} ({}): expected {:?}, got {got:?}",
+                    i, field.name, field.ty
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(&[
+            ("id", ValueType::Int),
+            ("coupon", ValueType::Float),
+            ("active", ValueType::Bool),
+        ])
+    }
+
+    #[test]
+    fn field_lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("coupon"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.fields()[0].name, "id");
+    }
+
+    #[test]
+    fn validates_matching_tuple() {
+        let s = schema();
+        let t = Tuple::new(vec![Value::Int(1), Value::Float(0.07), Value::Bool(true)]);
+        assert!(s.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_types() {
+        let s = schema();
+        let short = Tuple::new(vec![Value::Int(1)]);
+        assert!(s.validate(&short).unwrap_err().contains("arity"));
+        let wrong = Tuple::new(vec![Value::Float(1.0), Value::Float(0.07), Value::Bool(true)]);
+        assert!(s.validate(&wrong).unwrap_err().contains("field 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_names() {
+        let _ = Schema::new(&[("a", ValueType::Int), ("a", ValueType::Float)]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-tick execution statistics.
+
+use std::time::Duration;
+
+use vao::cost::WorkBreakdown;
+
+/// What one rate tick cost to process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TickStats {
+    /// The rate processed.
+    pub rate: f64,
+    /// Logical work, by component (§3.2's cost decomposition).
+    pub work: WorkBreakdown,
+    /// Wall-clock time for the tick.
+    pub wall: Duration,
+    /// Total `iterate()` calls across all result objects.
+    pub iterations: u64,
+}
+
+impl TickStats {
+    /// Total logical work for the tick.
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        self.work.total()
+    }
+}
+
+/// Aggregates a run of tick stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunSummary {
+    /// Ticks processed.
+    pub ticks: usize,
+    /// Summed work across ticks.
+    pub work: WorkBreakdown,
+    /// Summed wall time.
+    pub wall: Duration,
+    /// Summed iterations.
+    pub iterations: u64,
+}
+
+impl RunSummary {
+    /// Folds tick stats into a summary.
+    #[must_use]
+    pub fn from_ticks(ticks: &[TickStats]) -> Self {
+        let mut s = Self::default();
+        for t in ticks {
+            s.ticks += 1;
+            s.work += t.work;
+            s.wall += t.wall;
+            s.iterations += t.iterations;
+        }
+        s
+    }
+
+    /// Mean work per tick (zero if no ticks).
+    #[must_use]
+    pub fn mean_work(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.work.total() as f64 / self.ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(exec: u64) -> TickStats {
+        TickStats {
+            rate: 0.05,
+            work: WorkBreakdown {
+                exec_iter: exec,
+                get_state: 1,
+                store_state: 1,
+                choose_iter: 2,
+            },
+            wall: Duration::from_millis(3),
+            iterations: 5,
+        }
+    }
+
+    #[test]
+    fn totals_and_summary() {
+        let t = tick(100);
+        assert_eq!(t.total_work(), 104);
+        let s = RunSummary::from_ticks(&[tick(100), tick(200)]);
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.work.exec_iter, 300);
+        assert_eq!(s.iterations, 10);
+        assert_eq!(s.wall, Duration::from_millis(6));
+        assert!((s.mean_work() - (104.0 + 204.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = RunSummary::from_ticks(&[]);
+        assert_eq!(s.ticks, 0);
+        assert_eq!(s.mean_work(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Tuples: ordered values.
+
+use crate::value::Value;
+
+/// An ordered collection of values, positionally matched to a schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at position `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Float at position `i`, when present and numeric.
+    #[must_use]
+    pub fn float(&self, i: usize) -> Option<f64> {
+        self.get(i).and_then(Value::as_float)
+    }
+
+    /// Integer at position `i`, when present and integral.
+    #[must_use]
+    pub fn int(&self, i: usize) -> Option<i64> {
+        self.get(i).and_then(Value::as_int)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(vec![Value::Int(7), Value::Float(1.5)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.int(0), Some(7));
+        assert_eq!(t.float(1), Some(1.5));
+        assert_eq!(t.float(0), Some(7.0));
+        assert_eq!(t.int(1), None);
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Tuple = vec![Value::Bool(true), Value::from("x")].into_iter().collect();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.values()[0], Value::Bool(true));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the predicate result-range cache: against any true
+//! threshold and any observation order, the cache never contradicts ground
+//! truth and never "un-learns" a proven range.
+
+use proptest::prelude::*;
+
+use va_stream::casper::ThresholdCache;
+
+/// Ground truth for a threshold predicate: true iff `param <= threshold`
+/// (the `low_is_true` orientation) or `param >= threshold` otherwise.
+fn truth(param: f64, threshold: f64, low_is_true: bool) -> bool {
+    if low_is_true {
+        param <= threshold
+    } else {
+        param >= threshold
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_never_contradicts_ground_truth(
+        threshold in -10.0f64..10.0,
+        observations in prop::collection::vec(-12.0f64..12.0, 1..40),
+        probes in prop::collection::vec(-12.0f64..12.0, 1..40),
+        low_is_true in any::<bool>(),
+    ) {
+        let mut cache = ThresholdCache::default();
+        for &p in &observations {
+            cache.record(p, truth(p, threshold, low_is_true), low_is_true);
+        }
+        for &q in &probes {
+            if let Some(answer) = cache.classify(q, low_is_true) {
+                prop_assert_eq!(
+                    answer,
+                    truth(q, threshold, low_is_true),
+                    "threshold {} probe {}", threshold, q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proven_ranges_only_grow(
+        threshold in -10.0f64..10.0,
+        observations in prop::collection::vec(-12.0f64..12.0, 2..40),
+        low_is_true in any::<bool>(),
+    ) {
+        let mut cache = ThresholdCache::default();
+        let probe_points: Vec<f64> = (-24..=24).map(|i| i as f64 * 0.5).collect();
+        let mut known: Vec<Option<bool>> =
+            probe_points.iter().map(|_| None).collect();
+        for &p in &observations {
+            cache.record(p, truth(p, threshold, low_is_true), low_is_true);
+            for (slot, &q) in known.iter_mut().zip(&probe_points) {
+                let now = cache.classify(q, low_is_true);
+                if let Some(prev) = *slot {
+                    prop_assert_eq!(
+                        now,
+                        Some(prev),
+                        "cache forgot or flipped its answer at {}", q
+                    );
+                }
+                if now.is_some() {
+                    *slot = now;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_points_are_always_classified(
+        threshold in -10.0f64..10.0,
+        observations in prop::collection::vec(-12.0f64..12.0, 1..40),
+        low_is_true in any::<bool>(),
+    ) {
+        let mut cache = ThresholdCache::default();
+        for &p in &observations {
+            cache.record(p, truth(p, threshold, low_is_true), low_is_true);
+            prop_assert_eq!(
+                cache.classify(p, low_is_true),
+                Some(truth(p, threshold, low_is_true)),
+                "the point just observed must be classified"
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Target result distributions for the synthetic stress experiments.
+
+use rand::Rng;
+
+/// A distribution of synthetic bond-model results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TargetDistribution {
+    /// Gaussian — §6.1's selection stress: "The mean of these distributions
+    /// was set to the VAO constant, while we varied the standard deviation
+    /// to control the distance of the results to the constant."
+    Gaussian {
+        /// Distribution mean (set to the selection constant).
+        mean: f64,
+        /// Standard deviation in dollars; 0 is the pathological case.
+        std_dev: f64,
+    },
+    /// Lower-half Gaussian — §6.2's MAX stress: "we again generated bond
+    /// model results from a Gaussian distribution, but we only took prices
+    /// from the lower half", clustering results under the maximum.
+    LowerHalfGaussian {
+        /// The distribution's center, which is also the supremum of
+        /// generated values.
+        max: f64,
+        /// Standard deviation of the underlying Gaussian.
+        std_dev: f64,
+    },
+}
+
+impl TargetDistribution {
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            TargetDistribution::Gaussian { mean, std_dev } => mean + std_dev * standard_normal(rng),
+            TargetDistribution::LowerHalfGaussian { max, std_dev } => {
+                max - std_dev * standard_normal(rng).abs()
+            }
+        }
+    }
+
+    /// Draws `n` values.
+    pub fn sample_n<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A standard-normal draw via Box–Muller (keeps us on the approved `rand`
+/// crate without the `rand_distr` add-on).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_std(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        (m, v.sqrt())
+    }
+
+    #[test]
+    fn gaussian_matches_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = TargetDistribution::Gaussian {
+            mean: 100.0,
+            std_dev: 2.0,
+        };
+        let xs = d.sample_n(20_000, &mut rng);
+        let (m, s) = mean_and_std(&xs);
+        assert!((m - 100.0).abs() < 0.05, "mean {m}");
+        assert!((s - 2.0).abs() < 0.05, "std {s}");
+    }
+
+    #[test]
+    fn zero_std_is_degenerate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = TargetDistribution::Gaussian {
+            mean: 100.0,
+            std_dev: 0.0,
+        };
+        for x in d.sample_n(100, &mut rng) {
+            assert_eq!(x, 100.0);
+        }
+        let d = TargetDistribution::LowerHalfGaussian {
+            max: 100.0,
+            std_dev: 0.0,
+        };
+        for x in d.sample_n(100, &mut rng) {
+            assert_eq!(x, 100.0);
+        }
+    }
+
+    #[test]
+    fn lower_half_never_exceeds_max() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = TargetDistribution::LowerHalfGaussian {
+            max: 105.0,
+            std_dev: 1.5,
+        };
+        let xs = d.sample_n(20_000, &mut rng);
+        for &x in &xs {
+            assert!(x <= 105.0);
+        }
+        // Half-normal mean is max - σ·sqrt(2/π).
+        let (m, _) = mean_and_std(&xs);
+        let expected = 105.0 - 1.5 * (2.0 / std::f64::consts::PI).sqrt();
+        assert!((m - expected).abs() < 0.05, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = TargetDistribution::Gaussian {
+            mean: 0.0,
+            std_dev: 1.0,
+        };
+        let a = d.sample_n(10, &mut StdRng::seed_from_u64(9));
+        let b = d.sample_n(10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! The hot–cold weighting scheme for SUM queries (§6.3).
+//!
+//! "With this scheme, we set a constant total amount of weight, and
+//! partition the bonds into a hot and a cold set. ... the hot set includes
+//! 10% of the total bonds chosen randomly ... we vary the amount of total
+//! weight that is allocated to the bonds in the hot set." The paper's
+//! total weight is 500 (the bond-set cardinality), giving the precision
+//! constraint ε = 500 · \$0.01 = \$5.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A hot–cold weight assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotColdWeights {
+    weights: Vec<f64>,
+    hot: Vec<usize>,
+}
+
+impl HotColdWeights {
+    /// Generates weights for `n` bonds: a random `hot_fraction` of bonds
+    /// shares `hot_share` of `total_weight` equally; the rest share the
+    /// remainder equally.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fractions or a non-positive total.
+    #[must_use]
+    pub fn generate(
+        n: usize,
+        hot_fraction: f64,
+        hot_share: f64,
+        total_weight: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one bond");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction) && (0.0..=1.0).contains(&hot_share),
+            "fractions must lie in [0, 1]"
+        );
+        assert!(
+            total_weight.is_finite() && total_weight > 0.0,
+            "total weight must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let hot_count = ((n as f64 * hot_fraction).round() as usize).min(n);
+        let mut hot: Vec<usize> = indices[..hot_count].to_vec();
+        hot.sort_unstable();
+
+        let mut weights = vec![0.0; n];
+        let cold_count = n - hot_count;
+        let hot_each = if hot_count > 0 {
+            total_weight * hot_share / hot_count as f64
+        } else {
+            0.0
+        };
+        let cold_each = if cold_count > 0 {
+            total_weight * (1.0 - hot_share) / cold_count as f64
+        } else {
+            0.0
+        };
+        let mut is_hot = vec![false; n];
+        for &i in &hot {
+            is_hot[i] = true;
+        }
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = if is_hot[i] { hot_each } else { cold_each };
+        }
+        Self { weights, hot }
+    }
+
+    /// The paper's configuration: 10 % hot set, total weight = n.
+    #[must_use]
+    pub fn paper_scheme(n: usize, hot_share: f64, seed: u64) -> Self {
+        Self::generate(n, 0.10, hot_share, n as f64, seed)
+    }
+
+    /// The per-bond weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Indices of hot bonds (sorted).
+    #[must_use]
+    pub fn hot_indices(&self) -> &[usize] {
+        &self.hot
+    }
+
+    /// Total weight (should equal the configured total up to rounding).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_preserves_total_and_hot_count() {
+        let w = HotColdWeights::paper_scheme(500, 0.9, 3);
+        assert_eq!(w.weights().len(), 500);
+        assert_eq!(w.hot_indices().len(), 50);
+        assert!((w.total() - 500.0).abs() < 1e-9);
+        // 90% of the weight on 50 bonds: each hot bond carries 9.0.
+        for &i in w.hot_indices() {
+            assert!((w.weights()[i] - 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cold_bonds_share_the_remainder() {
+        let w = HotColdWeights::paper_scheme(500, 0.9, 3);
+        let hot: std::collections::BTreeSet<usize> = w.hot_indices().iter().copied().collect();
+        let cold_each = 500.0 * 0.1 / 450.0;
+        for i in 0..500 {
+            if !hot.contains(&i) {
+                assert!((w.weights()[i] - cold_each).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_when_hot_share_matches_fraction() {
+        // 10% of bonds with 10% of the weight: everyone gets 1.0.
+        let w = HotColdWeights::paper_scheme(100, 0.10, 5);
+        for &x in w.weights() {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extreme_hot_share_starves_cold_bonds() {
+        let w = HotColdWeights::paper_scheme(100, 1.0, 5);
+        let hot: std::collections::BTreeSet<usize> = w.hot_indices().iter().copied().collect();
+        for i in 0..100 {
+            if hot.contains(&i) {
+                assert!((w.weights()[i] - 10.0).abs() < 1e-12);
+            } else {
+                assert_eq!(w.weights()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_selection_is_random_but_deterministic() {
+        let a = HotColdWeights::paper_scheme(500, 0.5, 1);
+        let b = HotColdWeights::paper_scheme(500, 0.5, 1);
+        let c = HotColdWeights::paper_scheme(500, 0.5, 2);
+        assert_eq!(a, b);
+        assert_ne!(a.hot_indices(), c.hot_indices());
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn rejects_bad_fraction() {
+        let _ = HotColdWeights::generate(10, 1.5, 0.5, 10.0, 0);
+    }
+}

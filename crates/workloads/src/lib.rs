@@ -1,0 +1,32 @@
+//! # va-workloads — workload generators for the VAO experiments (§6)
+//!
+//! The paper evaluates VAOs on real market data and on synthetic data sets
+//! "explicitly designed to stress VAOs". This crate builds both:
+//!
+//! * [`distributions`] — the target result distributions: Gaussians
+//!   centered on a selection constant (Figure 10), lower-half Gaussians
+//!   clustering bonds below a maximum (Figure 11), and the σ = 0
+//!   pathological cases.
+//! * [`synthetic`] — the paper's *shift* technique: converge each real
+//!   bond once, generate target values, randomly map targets to bonds, and
+//!   run every experiment on shift-wrapped result objects that cost exactly
+//!   what the real bonds cost while converging to the synthetic values.
+//! * [`hotcold`] — the §6.3 hot–cold weighting scheme for SUM queries:
+//!   a random 10 % hot set carrying a configurable share of a fixed total
+//!   weight.
+//! * [`selectivity`] — selection constants hitting target selectivities
+//!   against a set of converged prices (Figures 8–9 sweep selectivity from
+//!   low to high).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod distributions;
+pub mod hotcold;
+pub mod selectivity;
+pub mod synthetic;
+
+pub use distributions::TargetDistribution;
+pub use hotcold::HotColdWeights;
+pub use selectivity::constant_for_selectivity;
+pub use synthetic::SyntheticMapping;

@@ -1,0 +1,131 @@
+//! Selection constants hitting target selectivities (§6.1).
+//!
+//! Figures 8 and 9 sweep the selection constant so the predicate passes a
+//! chosen fraction of the bonds. Given the converged model values, the
+//! constant for selectivity `s` under `value > c` is placed *between* the
+//! order statistics straddling the cut, so no bond sits exactly on the
+//! constant (the real-data experiments measure selectivity effects, not
+//! boundary effects — those are Figure 10's job).
+
+use vao::ops::selection::CmpOp;
+
+/// Returns a constant `c` such that approximately `selectivity · n` of
+/// `values` satisfy `value ⟨op⟩ c`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `selectivity` is outside `[0, 1]`.
+#[must_use]
+pub fn constant_for_selectivity(values: &[f64], op: CmpOp, selectivity: f64) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(
+        (0.0..=1.0).contains(&selectivity),
+        "selectivity {selectivity} outside [0, 1]"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    let n = sorted.len();
+    // Number of values that should satisfy the predicate.
+    let k = (selectivity * n as f64).round() as usize;
+
+    let below = |i: usize| -> f64 {
+        // A constant strictly between sorted[i-1] and sorted[i]; clamps at
+        // the extremes by stepping beyond the data range.
+        if i == 0 {
+            sorted[0] - 1.0
+        } else if i == n {
+            sorted[n - 1] + 1.0
+        } else {
+            0.5 * (sorted[i - 1] + sorted[i])
+        }
+    };
+
+    match op {
+        // value > c or >= c: the k largest pass — place c below sorted[n-k].
+        CmpOp::Gt | CmpOp::Ge => below(n - k),
+        // value < c or <= c: the k smallest pass — place c above sorted[k-1].
+        CmpOp::Lt | CmpOp::Le => below(k),
+    }
+}
+
+/// Measures the selectivity a constant actually achieves on `values`.
+#[must_use]
+pub fn measured_selectivity(values: &[f64], op: CmpOp, constant: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let hits = values.iter().filter(|&&v| op.eval(v, constant)).count();
+    hits as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<f64> {
+        // 10 distinct prices.
+        vec![90.0, 92.0, 94.0, 96.0, 98.0, 100.0, 102.0, 104.0, 106.0, 108.0]
+    }
+
+    #[test]
+    fn gt_selectivities_hit_exact_fractions() {
+        let v = values();
+        for k in 0..=10 {
+            let s = k as f64 / 10.0;
+            let c = constant_for_selectivity(&v, CmpOp::Gt, s);
+            let got = measured_selectivity(&v, CmpOp::Gt, c);
+            assert!((got - s).abs() < 1e-12, "target {s}, got {got}, c={c}");
+        }
+    }
+
+    #[test]
+    fn lt_selectivities_hit_exact_fractions() {
+        let v = values();
+        for k in 0..=10 {
+            let s = k as f64 / 10.0;
+            let c = constant_for_selectivity(&v, CmpOp::Lt, s);
+            let got = measured_selectivity(&v, CmpOp::Lt, c);
+            assert!((got - s).abs() < 1e-12, "target {s}, got {got}, c={c}");
+        }
+    }
+
+    #[test]
+    fn gt_and_lt_mirror_at_the_same_constant() {
+        // §6.1: "an experiment with any selectivity s in Figure 8 has the
+        // same constant as the selectivity 1−s in Figure 9".
+        let v = values();
+        for k in 0..=10 {
+            let s = k as f64 / 10.0;
+            let c_gt = constant_for_selectivity(&v, CmpOp::Gt, s);
+            let c_lt = constant_for_selectivity(&v, CmpOp::Lt, 1.0 - s);
+            assert!((c_gt - c_lt).abs() < 1e-12, "s={s}: {c_gt} vs {c_lt}");
+        }
+    }
+
+    #[test]
+    fn constants_avoid_data_points() {
+        let v = values();
+        for k in 1..10 {
+            let c = constant_for_selectivity(&v, CmpOp::Gt, k as f64 / 10.0);
+            assert!(!v.contains(&c), "constant {c} collides with a value");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let v = vec![108.0, 90.0, 100.0, 94.0, 104.0, 92.0, 98.0, 106.0, 96.0, 102.0];
+        let c = constant_for_selectivity(&v, CmpOp::Gt, 0.3);
+        assert!((measured_selectivity(&v, CmpOp::Gt, c) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_selectivity_empty_is_zero() {
+        assert_eq!(measured_selectivity(&[], CmpOp::Gt, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn rejects_out_of_range_selectivity() {
+        let _ = constant_for_selectivity(&[1.0], CmpOp::Gt, 1.5);
+    }
+}

@@ -1,0 +1,171 @@
+//! The shift technique for synthetic result distributions (§6).
+//!
+//! "First, we iterated over each bond in our real data set until we knew
+//! the result for each bond within \$.01. We then used a random number
+//! generator to generate a distribution of bond model results ... We then
+//! create a random one-to-one mapping between the generated bond results
+//! and the real bonds, and compute the difference between each generated
+//! result and corresponding result from the model. When executing an
+//! iteration over a synthetic bond, we run the iteration over the
+//! corresponding real bond, and then shift the resulting bounds by the
+//! computed difference."
+//!
+//! [`SyntheticMapping`] computes those per-bond deltas; wrapping a real
+//! bond's result object in [`vao::adapters::Shifted`] with its delta gives
+//! a synthetic bond whose refinements cost exactly what the real bond's
+//! do while converging to the target distribution.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use vao::adapters::Shifted;
+use vao::interface::ResultObject;
+
+use crate::distributions::TargetDistribution;
+
+/// Per-bond shift deltas mapping real converged values onto a target
+/// distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticMapping {
+    deltas: Vec<f64>,
+}
+
+impl SyntheticMapping {
+    /// Builds the mapping: samples one target per real value, randomly
+    /// assigns targets to bonds (the paper's one-to-one mapping), and
+    /// stores `delta[i] = target − real[i]`.
+    #[must_use]
+    pub fn generate(real_values: &[f64], distribution: TargetDistribution, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut targets = distribution.sample_n(real_values.len(), &mut rng);
+        targets.shuffle(&mut rng);
+        let deltas = real_values
+            .iter()
+            .zip(&targets)
+            .map(|(&real, &target)| target - real)
+            .collect();
+        Self { deltas }
+    }
+
+    /// A mapping with explicit deltas (for tests).
+    #[must_use]
+    pub fn from_deltas(deltas: Vec<f64>) -> Self {
+        Self { deltas }
+    }
+
+    /// The per-bond deltas.
+    #[must_use]
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Number of bonds covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the mapping is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Wraps bond `i`'s result object so it converges to the synthetic
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn wrap<R: ResultObject>(&self, i: usize, obj: R) -> Shifted<R> {
+        Shifted::new(obj, self.deltas[i])
+    }
+
+    /// The synthetic converged value bond `i` will reach, given its real
+    /// converged value.
+    #[must_use]
+    pub fn synthetic_value(&self, i: usize, real_value: f64) -> f64 {
+        real_value + self.deltas[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vao::cost::WorkMeter;
+    use vao::testkit::ScriptedObject;
+
+    #[test]
+    fn deltas_map_real_onto_targets() {
+        let real = vec![95.0, 105.0, 100.0];
+        let m = SyntheticMapping::generate(
+            &real,
+            TargetDistribution::Gaussian {
+                mean: 100.0,
+                std_dev: 0.0,
+            },
+            7,
+        );
+        // Degenerate target: every synthetic value is exactly 100.
+        for (i, &r) in real.iter().enumerate() {
+            assert!((m.synthetic_value(i, r) - 100.0).abs() < 1e-12);
+        }
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let real = vec![1.0, 2.0, 3.0, 4.0];
+        let d = TargetDistribution::Gaussian {
+            mean: 0.0,
+            std_dev: 5.0,
+        };
+        assert_eq!(
+            SyntheticMapping::generate(&real, d, 42),
+            SyntheticMapping::generate(&real, d, 42)
+        );
+        assert_ne!(
+            SyntheticMapping::generate(&real, d, 42),
+            SyntheticMapping::generate(&real, d, 43)
+        );
+    }
+
+    #[test]
+    fn wrapped_objects_cost_like_the_real_ones() {
+        let m = SyntheticMapping::from_deltas(vec![-3.0]);
+        let real = ScriptedObject::converging(&[(99.0, 109.0), (102.0, 102.005)], 77, 0.01);
+        let mut synth = m.wrap(0, real);
+        let mut meter = WorkMeter::new();
+        let b = synth.iterate(&mut meter);
+        // Converges to the shifted value at the real cost.
+        assert!((b.lo() - 99.0).abs() < 1e-12);
+        assert_eq!(meter.breakdown().exec_iter, 77);
+    }
+
+    #[test]
+    fn target_distribution_is_preserved_in_aggregate() {
+        // Real values spread widely; synthetic values must follow the
+        // requested Gaussian regardless.
+        let real: Vec<f64> = (0..5000).map(|i| 80.0 + (i % 40) as f64).collect();
+        let m = SyntheticMapping::generate(
+            &real,
+            TargetDistribution::Gaussian {
+                mean: 100.0,
+                std_dev: 0.5,
+            },
+            11,
+        );
+        let synth: Vec<f64> = real
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| m.synthetic_value(i, r))
+            .collect();
+        let n = synth.len() as f64;
+        let mean = synth.iter().sum::<f64>() / n;
+        let std =
+            (synth.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+        assert!((mean - 100.0).abs() < 0.05, "mean {mean}");
+        assert!((std - 0.5).abs() < 0.05, "std {std}");
+    }
+}

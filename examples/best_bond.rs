@@ -1,0 +1,90 @@
+//! Best-performing bond (the paper's Q3): a MAX aggregate over model
+//! results, comparing the VAO against the oracle-optimal strategy and the
+//! traditional black-box operator.
+//!
+//! ```sh
+//! cargo run --release --example best_bond
+//! ```
+
+use vao_repro::bondlab::{BondPricer, BondUniverse, RateSeries};
+use vao_repro::vao::cost::WorkMeter;
+use vao_repro::vao::ops::minmax::max_vao;
+use vao_repro::vao::ops::oracle::oracle_max;
+use vao_repro::vao::ops::traditional::{calibrate, traditional_max};
+use vao_repro::vao::precision::PrecisionConstraint;
+
+fn main() {
+    let universe = BondUniverse::generate(80, 1994);
+    let pricer = BondPricer::default();
+    let rate = RateSeries::january_1994().opening_rate();
+    let eps = PrecisionConstraint::new(0.01).expect("valid epsilon");
+
+    // Off-the-clock calibration: converged values for the oracle and the
+    // black-box specs for the traditional operator (§6's methodology).
+    let mut off_clock = WorkMeter::new();
+    let mut converged = Vec::new();
+    let mut specs = Vec::new();
+    for &bond in universe.bonds() {
+        let mut obj = pricer.price(bond, rate, &mut off_clock);
+        let spec = calibrate(&mut obj, &mut off_clock).expect("model converges");
+        converged.push(spec.value);
+        specs.push(spec);
+    }
+    let true_argmax = converged
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    let fresh_objects = |meter: &mut WorkMeter| {
+        universe
+            .bonds()
+            .iter()
+            .map(|&b| pricer.price(b, rate, meter))
+            .collect::<Vec<_>>()
+    };
+
+    // Optimal (knows the winner a priori).
+    let mut meter = WorkMeter::new();
+    let mut objs = fresh_objects(&mut meter);
+    let opt = oracle_max(&mut objs, true_argmax, eps, &mut meter).expect("oracle");
+    let opt_work = meter.total();
+
+    // The MAX VAO.
+    let mut meter = WorkMeter::new();
+    let mut objs = fresh_objects(&mut meter);
+    let vao = max_vao(&mut objs, eps, &mut meter).expect("max vao");
+    let vao_work = meter.total();
+
+    // Traditional black-box.
+    let mut meter = WorkMeter::new();
+    let (trad_idx, trad_value) = traditional_max(&specs, &mut meter).expect("non-empty");
+    let trad_work = meter.total();
+
+    println!("best bond over {} candidates at rate {:.4}\n", universe.len(), rate);
+    println!(
+        "  Optimal     : bond #{:<3} bounds {}  work {:>12}",
+        universe[opt.argext].id, opt.bounds, opt_work
+    );
+    println!(
+        "  MAX VAO     : bond #{:<3} bounds {}  work {:>12}",
+        universe[vao.argext].id, vao.bounds, vao_work
+    );
+    println!(
+        "  Traditional : bond #{:<3} value  ${trad_value:.2}          work {trad_work:>12}",
+        universe[trad_idx].id
+    );
+
+    assert_eq!(opt.argext, vao.argext, "both must agree on the winner");
+    assert_eq!(vao.argext, trad_idx);
+
+    println!(
+        "\n  VAO overhead over optimal : {:+.1}%",
+        (vao_work as f64 / opt_work as f64 - 1.0) * 100.0
+    );
+    println!(
+        "  VAO speedup vs traditional: {:.1}x",
+        trad_work as f64 / vao_work as f64
+    );
+}

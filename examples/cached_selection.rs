@@ -1,0 +1,50 @@
+//! Continuous selection with predicate result-range caching (the CASPER
+//! integration the paper lists as future work, §2).
+//!
+//! ```sh
+//! cargo run --release --example cached_selection
+//! ```
+//!
+//! Bond prices are monotone in the rate, so every decisive evaluation
+//! proves the predicate over a whole rate range. As ticks revisit the same
+//! band, more and more predicates are answered without touching the model.
+
+use vao_repro::bondlab::{BondPricer, BondUniverse, RateSeries};
+use vao_repro::stream::casper::CachedSelectionEngine;
+use vao_repro::stream::relation::BondRelation;
+use vao_repro::vao::ops::selection::CmpOp;
+
+fn main() {
+    let universe = BondUniverse::generate(40, 1994);
+    let relation = BondRelation::from_universe(&universe);
+    let mut engine = CachedSelectionEngine::new(
+        BondPricer::default(),
+        relation,
+        CmpOp::Gt,
+        100.0,
+    )
+    .expect("valid predicate");
+
+    let series = RateSeries::january_1994();
+    let ticks = series.intraday_ticks(12, 42);
+
+    println!(
+        "continuous query: price(rate, bond) > $100 over {} bonds\n",
+        universe.len()
+    );
+    println!("tick  rate     selected  cache-hits  misses        work");
+    let mut total_work = 0u64;
+    for (i, tick) in ticks.iter().enumerate() {
+        let (selected, stats) = engine.process_rate(tick.rate).expect("evaluates");
+        total_work += stats.work;
+        println!(
+            "{:>4}  {:.5}  {:>8}  {:>10}  {:>6}  {:>10}",
+            i, tick.rate, selected.len(), stats.hits, stats.misses, stats.work
+        );
+    }
+    println!("\ntotal work across ticks: {total_work}");
+    println!(
+        "(an uncached engine would pay the first tick's cost on every tick;\n\
+         the range cache answers revisited rate bands for free)"
+    );
+}

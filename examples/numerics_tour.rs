@@ -1,0 +1,106 @@
+//! A tour of the four solver families of §4, each exposed through the
+//! variable-accuracy interface: PDE (bond model), ODE boundary-value
+//! problem (beam deflection), numerical integration, and root finding.
+//!
+//! ```sh
+//! cargo run --release --example numerics_tour
+//! ```
+
+use vao_repro::numerics::integrate::{QuadratureResultObject, QuadratureRule, QuadratureVaoConfig};
+use vao_repro::numerics::ode::{BeamProblem, OdeResultObject, OdeVaoConfig};
+use vao_repro::numerics::pde::{PdeResultObject, PdeVaoConfig};
+use vao_repro::numerics::roots::{RootResultObject, RootVaoConfig};
+use vao_repro::vao::cost::WorkMeter;
+use vao_repro::vao::interface::ResultObject;
+
+use vao_repro::bondlab::model::{BondPde, ShortRateModel};
+use vao_repro::bondlab::Bond;
+
+fn trace(label: &str, obj: &mut dyn ResultObject, max_iters: usize) {
+    let mut meter = WorkMeter::new();
+    println!("{label}");
+    println!("  start : {} (width {:.3e})", obj.bounds(), obj.bounds().width());
+    for i in 1..=max_iters {
+        if obj.converged() {
+            break;
+        }
+        let b = obj.iterate(&mut meter);
+        println!(
+            "  it {i:2}: {} (width {:.3e}, est next cost {})",
+            b,
+            b.width(),
+            obj.est_cpu()
+        );
+    }
+    println!(
+        "  converged: {} | cumulative work {} | standalone-equivalent {}\n",
+        obj.converged(),
+        obj.cumulative_cost(),
+        obj.standalone_cost()
+    );
+}
+
+fn main() {
+    let mut meter = WorkMeter::new();
+
+    // §4.1 — PDE: the Figure-4 bond model.
+    let bond = Bond::new(0, 0.07, 29.5, 100.0);
+    let mut pde = PdeResultObject::new(
+        BondPde::new(bond, ShortRateModel::default(), 0.0583),
+        PdeVaoConfig {
+            min_width: 0.01,
+            ..PdeVaoConfig::default()
+        },
+        &mut meter,
+    )
+    .expect("PDE constructs");
+    trace("PDE solver — 7% 30-year MBS price, minWidth $0.01", &mut pde, 20);
+
+    // §4.2 — ODE BVP: beam deflection.
+    let mut ode = OdeResultObject::new(
+        BeamProblem::example(),
+        OdeVaoConfig {
+            min_width: 1e-8,
+            ..OdeVaoConfig::default()
+        },
+        &mut meter,
+    )
+    .expect("BVP constructs");
+    trace(
+        "ODE BVP — beam deflection at midspan (w'' = (S/EI)w + qx(x-l)/2EI)",
+        &mut ode,
+        20,
+    );
+    println!(
+        "  closed form: {:.10}\n",
+        BeamProblem::example().exact(60.0)
+    );
+
+    // §4.3 — numerical integration: ∫₀^π sin = 2.
+    let mut quad = QuadratureResultObject::new(
+        |x: f64| x.sin(),
+        0.0,
+        std::f64::consts::PI,
+        QuadratureVaoConfig {
+            rule: QuadratureRule::Trapezoid,
+            min_width: 1e-8,
+            ..QuadratureVaoConfig::default()
+        },
+        &mut meter,
+    );
+    trace("Numerical integration — ∫₀^π sin(x)dx (exact: 2)", &mut quad, 20);
+
+    // §4.4 — root finding: √2 by bisection.
+    let mut root = RootResultObject::new(
+        |x: f64| x * x - 2.0,
+        0.0,
+        2.0,
+        RootVaoConfig {
+            min_width: 1e-6,
+            ..RootVaoConfig::default()
+        },
+        &mut meter,
+    )
+    .expect("bracket valid");
+    trace("Root finding — x² = 2 on [0, 2] (exact: 1.41421356…)", &mut root, 25);
+}

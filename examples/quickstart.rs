@@ -1,0 +1,64 @@
+//! Quickstart: price a bond through the variable-accuracy interface and
+//! evaluate a selection predicate over it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the core idea of the paper: the first call to the model
+//! returns coarse bounds almost for free; a query that only needs to know
+//! whether the price clears \$100 stops refining orders of magnitude
+//! before full \$0.01 accuracy.
+
+use vao_repro::bondlab::{Bond, BondPricer};
+use vao_repro::vao::cost::WorkMeter;
+use vao_repro::vao::interface::ResultObject;
+use vao_repro::vao::ops::selection::{select, CmpOp};
+use vao_repro::vao::ops::traditional::calibrate;
+
+fn main() {
+    let pricer = BondPricer::default();
+    let bond = Bond::new(0, 0.075, 29.5, 100.0); // 7.5% 30-year MBS
+    let rate = 0.0583; // 10-year CMT, Jan 3 1994 open
+
+    // --- The iterative interface -----------------------------------------
+    let mut meter = WorkMeter::new();
+    let mut obj = pricer.price(bond, rate, &mut meter);
+    println!("initial bounds : {} (width {:.2})", obj.bounds(), obj.bounds().width());
+    println!("initial work   : {} mesh cells\n", meter.total());
+
+    // Watch the bounds tighten as iterations are spent.
+    for i in 1..=4 {
+        let b = obj.iterate(&mut meter);
+        println!(
+            "after iterate {i}: {} (width {:.4}, cumulative work {})",
+            b,
+            b.width(),
+            meter.total()
+        );
+    }
+
+    // --- Query-driven refinement ------------------------------------------
+    // Q1-style predicate: is this bond worth more than $100?
+    let mut sel_meter = WorkMeter::new();
+    let mut fresh = pricer.price(bond, rate, &mut sel_meter);
+    let outcome = select(&mut fresh, CmpOp::Gt, 100.0, &mut sel_meter).expect("selection");
+    println!(
+        "\npredicate price > $100: {} after {} iterations ({} work units)",
+        outcome.satisfied, outcome.iterations, sel_meter.total()
+    );
+    println!("bounds at decision   : {}", outcome.final_bounds);
+
+    // --- The black-box comparison ------------------------------------------
+    let mut cal_meter = WorkMeter::new();
+    let mut full = pricer.price(bond, rate, &mut cal_meter);
+    let spec = calibrate(&mut full, &mut cal_meter).expect("calibration");
+    println!(
+        "\nfull-accuracy price  : ${:.2} (width {:.4}) at {} work units",
+        spec.value, spec.final_width, cal_meter.total()
+    );
+    println!(
+        "query answered with {:.3}% of the full-accuracy work",
+        sel_meter.total() as f64 / cal_meter.total() as f64 * 100.0
+    );
+}

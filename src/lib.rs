@@ -1,0 +1,12 @@
+//! Umbrella crate for the VAO reproduction workspace.
+//!
+//! Re-exports the public API of all member crates so that examples and
+//! integration tests can use a single import root. Downstream users should
+//! depend on the individual crates (`vao`, `va-numerics`, `bondlab`,
+//! `va-stream`, `va-workloads`) directly.
+
+pub use bondlab;
+pub use va_numerics as numerics;
+pub use va_stream as stream;
+pub use va_workloads as workloads;
+pub use vao;

@@ -1,0 +1,57 @@
+//! Determinism guarantees: identical seeds reproduce identical answers and
+//! identical work accounting across the whole stack — the property that
+//! makes EXPERIMENTS.md's numbers reproducible on any machine.
+
+use va_bench::experiments::{fig12_sum_hotcold, max_table, selection_sweep};
+use va_bench::Lab;
+use vao_repro::bondlab::BondUniverse;
+use vao_repro::vao::ops::selection::CmpOp;
+
+#[test]
+fn universes_are_bit_identical_per_seed() {
+    let a = BondUniverse::generate(50, 123);
+    let b = BondUniverse::generate(50, 123);
+    assert_eq!(a.bonds(), b.bonds());
+}
+
+#[test]
+fn lab_calibration_is_reproducible() {
+    let a = Lab::new(10, 77);
+    let b = Lab::new(10, 77);
+    assert_eq!(a.converged, b.converged);
+    assert_eq!(a.specs, b.specs);
+    assert_eq!(a.final_meshes, b.final_meshes);
+}
+
+#[test]
+fn experiment_work_counts_are_reproducible() {
+    let lab1 = Lab::new(12, 5);
+    let lab2 = Lab::new(12, 5);
+
+    let s1 = selection_sweep(&lab1, CmpOp::Gt, &[0.3, 0.7]);
+    let s2 = selection_sweep(&lab2, CmpOp::Gt, &[0.3, 0.7]);
+    for (a, b) in s1.iter().zip(&s2) {
+        assert_eq!(a.vao_work, b.vao_work);
+        assert_eq!(a.trad_work, b.trad_work);
+        assert_eq!(a.selected, b.selected);
+    }
+
+    let m1 = max_table(&lab1);
+    let m2 = max_table(&lab2);
+    for (a, b) in m1.iter().zip(&m2) {
+        assert_eq!(a.work, b.work, "{}", a.operator);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    let h1 = fig12_sum_hotcold(&lab1, &[0.5], 9);
+    let h2 = fig12_sum_hotcold(&lab2, &[0.5], 9);
+    assert_eq!(h1[0].vao_work, h2[0].vao_work);
+    assert_eq!(h1[0].hybrid_work, h2[0].hybrid_work);
+}
+
+#[test]
+fn different_seeds_give_different_workloads() {
+    let a = Lab::new(12, 1);
+    let b = Lab::new(12, 2);
+    assert_ne!(a.converged, b.converged);
+}

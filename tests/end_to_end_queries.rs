@@ -1,0 +1,141 @@
+//! End-to-end continuous queries (Q1–Q3 of §1.2) through the stream
+//! engine, comparing the VAO and traditional execution modes on answers
+//! and cost.
+
+use vao_repro::bondlab::{BondPricer, BondUniverse, RateSeries};
+use vao_repro::stream::relation::BondRelation;
+use vao_repro::stream::{ContinuousQueryEngine, ExecutionMode, Query, QueryOutput};
+use vao_repro::vao::ops::selection::CmpOp;
+
+fn engine(n: usize, query: Query, mode: ExecutionMode) -> ContinuousQueryEngine {
+    let universe = BondUniverse::generate(n, 1994);
+    ContinuousQueryEngine::new(
+        BondPricer::default(),
+        BondRelation::from_universe(&universe),
+        query,
+        mode,
+    )
+}
+
+#[test]
+fn q1_selection_agrees_across_modes_and_saves_work() {
+    let q = Query::Selection {
+        op: CmpOp::Gt,
+        constant: 100.0,
+    };
+    let rate = RateSeries::january_1994().opening_rate();
+    let (vao_out, vao_stats) = engine(16, q.clone(), ExecutionMode::Vao)
+        .process_rate(rate)
+        .unwrap();
+    let (trad_out, trad_stats) = engine(16, q, ExecutionMode::Traditional)
+        .process_rate(rate)
+        .unwrap();
+    assert_eq!(vao_out, trad_out, "both modes must return the same bonds");
+    assert!(
+        vao_stats.total_work() * 10 < trad_stats.total_work(),
+        "VAO {} vs traditional {}",
+        vao_stats.total_work(),
+        trad_stats.total_work()
+    );
+}
+
+#[test]
+fn q2_portfolio_sum_bounds_cover_traditional_value() {
+    let n = 16;
+    let q = Query::Sum {
+        weights: vec![1.0; n],
+        epsilon: n as f64 * 0.01 * (1.0 + 1e-9),
+    };
+    let rate = RateSeries::january_1994().opening_rate();
+    let (vao_out, _) = engine(n, q.clone(), ExecutionMode::Vao)
+        .process_rate(rate)
+        .unwrap();
+    let (trad_out, _) = engine(n, q, ExecutionMode::Traditional)
+        .process_rate(rate)
+        .unwrap();
+    let vb = vao_out.bounds().unwrap();
+    let tv = trad_out.bounds().unwrap().mid();
+    // The traditional value carries up to n*$0.005 of its own error; allow
+    // that slack on each side.
+    let slack = n as f64 * 0.01;
+    assert!(
+        vb.lo() - slack <= tv && tv <= vb.hi() + slack,
+        "sum bounds {vb} vs traditional {tv}"
+    );
+}
+
+#[test]
+fn q3_max_and_min_bracket_every_bond() {
+    let rate = RateSeries::january_1994().opening_rate();
+    let (max_out, _) = engine(16, Query::Max { epsilon: 0.01 }, ExecutionMode::Vao)
+        .process_rate(rate)
+        .unwrap();
+    let (min_out, _) = engine(16, Query::Min { epsilon: 0.01 }, ExecutionMode::Vao)
+        .process_rate(rate)
+        .unwrap();
+    let (QueryOutput::Extreme { bounds: bmax, .. }, QueryOutput::Extreme { bounds: bmin, .. }) =
+        (&max_out, &min_out)
+    else {
+        panic!("wrong output shapes");
+    };
+    assert!(bmin.hi() <= bmax.hi());
+    assert!(bmax.width() <= 0.01 + 1e-12);
+    assert!(bmin.width() <= 0.01 + 1e-12);
+
+    // Every traditional price must lie within [min.lo - slack, max.hi + slack].
+    let (trad_all, _) = engine(
+        16,
+        Query::Selection {
+            op: CmpOp::Gt,
+            constant: f64::MIN_POSITIVE,
+        },
+        ExecutionMode::Traditional,
+    )
+    .process_rate(rate)
+    .unwrap();
+    assert_eq!(trad_all.selected().unwrap().len(), 16, "all prices positive");
+}
+
+#[test]
+fn answers_track_rate_moves_consistently() {
+    // A lower rate raises every price, so the count of bonds above a fixed
+    // constant must not decrease.
+    let q = |c: f64| Query::Selection {
+        op: CmpOp::Gt,
+        constant: c,
+    };
+    let e_low = engine(12, q(100.0), ExecutionMode::Vao);
+    let (out_low, _) = e_low.process_rate(0.045).unwrap();
+    let e_high = engine(12, q(100.0), ExecutionMode::Vao);
+    let (out_high, _) = e_high.process_rate(0.075).unwrap();
+    assert!(
+        out_low.selected().unwrap().len() >= out_high.selected().unwrap().len(),
+        "lower rates cannot shrink the above-par set"
+    );
+}
+
+#[test]
+fn engine_runs_a_tick_stream() {
+    let q = Query::Max { epsilon: 0.01 };
+    let e = engine(8, q, ExecutionMode::Vao);
+    let ticks = RateSeries::january_1994().intraday_ticks(4, 9);
+    let results = e.run(&ticks).unwrap();
+    assert_eq!(results.len(), 4);
+    for (tick, (out, stats)) in ticks.iter().zip(&results) {
+        assert_eq!(stats.rate, tick.rate);
+        assert!(matches!(out, QueryOutput::Extreme { .. }));
+        assert!(stats.total_work() > 0);
+    }
+}
+
+#[test]
+fn empty_relation_is_an_operator_error() {
+    let universe = BondUniverse::generate(0, 1);
+    let engine = ContinuousQueryEngine::new(
+        BondPricer::default(),
+        BondRelation::from_universe(&universe),
+        Query::Max { epsilon: 0.01 },
+        ExecutionMode::Vao,
+    );
+    assert!(engine.process_rate(0.0583).is_err());
+}

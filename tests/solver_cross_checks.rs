@@ -1,0 +1,191 @@
+//! Cross-crate solver checks: degenerate-limit agreement with closed
+//! forms, and heterogeneous result objects (PDE, quadrature, roots, ODE)
+//! flowing through the same operators.
+
+use vao_repro::bondlab::model::{BondPde, ShortRateModel};
+use vao_repro::bondlab::{Bond, BondPricer};
+use vao_repro::numerics::integrate::{QuadratureResultObject, QuadratureVaoConfig};
+use vao_repro::numerics::ode::{BeamProblem, OdeResultObject, OdeVaoConfig};
+use vao_repro::numerics::pde::{PdeResultObject, PdeVaoConfig};
+use vao_repro::numerics::roots::{RootResultObject, RootVaoConfig};
+use vao_repro::vao::cost::WorkMeter;
+use vao_repro::vao::interface::ResultObject;
+use vao_repro::vao::ops::minmax::max_vao;
+use vao_repro::vao::ops::selection::{select, CmpOp};
+use vao_repro::vao::ops::sum::sum_vao;
+use vao_repro::vao::ops::traditional::calibrate;
+use vao_repro::vao::precision::PrecisionConstraint;
+
+#[test]
+fn pde_price_matches_closed_form_in_deterministic_limit() {
+    // σ = 0, κ = 0: rates are frozen, so the PDE price must converge to
+    // flat discounting at the current rate.
+    let bond = Bond::new(0, 0.065, 20.0, 100.0);
+    let model = ShortRateModel {
+        sigma: 0.0,
+        kappa: 0.0,
+        ..ShortRateModel::default()
+    };
+    let mut meter = WorkMeter::new();
+    let mut obj = PdeResultObject::new(
+        BondPde::new(bond, model, 0.055),
+        PdeVaoConfig {
+            min_width: 0.01,
+            ..PdeVaoConfig::default()
+        },
+        &mut meter,
+    )
+    .unwrap();
+    let spec = calibrate(&mut obj, &mut meter).unwrap();
+    let exact = bond.flat_rate_value(0.055);
+    assert!(
+        (spec.value - exact).abs() < 0.05,
+        "PDE {} vs closed form {exact}",
+        spec.value
+    );
+}
+
+#[test]
+fn heterogeneous_objects_share_one_max_operator() {
+    // MAX over four completely different solver families at once: the
+    // operator only sees the ResultObject interface.
+    let mut meter = WorkMeter::new();
+
+    let quad: Box<dyn ResultObject> = Box::new(QuadratureResultObject::new(
+        // ∫₀^π 1.2·sin = 2.4
+        |x: f64| 1.2 * x.sin(),
+        0.0,
+        std::f64::consts::PI,
+        QuadratureVaoConfig {
+            min_width: 1e-6,
+            ..QuadratureVaoConfig::default()
+        },
+        &mut meter,
+    ));
+    let root: Box<dyn ResultObject> = Box::new(
+        RootResultObject::new(
+            // root at √2 ≈ 1.414
+            |x: f64| x * x - 2.0,
+            0.0,
+            2.0,
+            RootVaoConfig {
+                min_width: 1e-6,
+                ..RootVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap(),
+    );
+    let ode: Box<dyn ResultObject> = Box::new(
+        OdeResultObject::new(
+            // midspan beam deflection, a small negative number
+            BeamProblem::example(),
+            OdeVaoConfig {
+                min_width: 1e-6,
+                ..OdeVaoConfig::default()
+            },
+            &mut meter,
+        )
+        .unwrap(),
+    );
+
+    let mut objs = vec![quad, root, ode];
+    let res = max_vao(
+        &mut objs,
+        PrecisionConstraint::new(1e-6).unwrap(),
+        &mut meter,
+    )
+    .unwrap();
+    // The midspan deflection (~8.7) beats the integral (2.4) and the root
+    // (~1.41).
+    let beam_exact = BeamProblem::example().exact(60.0);
+    assert!(beam_exact > 2.4, "sanity: beam value {beam_exact}");
+    assert_eq!(res.argext, 2, "the beam deflection is the largest value");
+    assert!(res.bounds.contains(beam_exact));
+
+    // And a SUM across the same families: 2.4 + 1.41421356 + w(60).
+    let mut meter = WorkMeter::new();
+    let mut objs: Vec<Box<dyn ResultObject>> = vec![
+        Box::new(QuadratureResultObject::new(
+            |x: f64| 1.2 * x.sin(),
+            0.0,
+            std::f64::consts::PI,
+            QuadratureVaoConfig {
+                min_width: 1e-6,
+                ..QuadratureVaoConfig::default()
+            },
+            &mut meter,
+        )),
+        Box::new(
+            RootResultObject::new(|x: f64| x * x - 2.0, 0.0, 2.0, RootVaoConfig {
+                min_width: 1e-6,
+                ..RootVaoConfig::default()
+            }, &mut meter)
+            .unwrap(),
+        ),
+    ];
+    let res = sum_vao(
+        &mut objs,
+        PrecisionConstraint::new(1e-4).unwrap(),
+        &mut meter,
+    )
+    .unwrap();
+    let expected = 2.4 + std::f64::consts::SQRT_2;
+    assert!(
+        res.bounds.contains(expected),
+        "{} should contain {expected}",
+        res.bounds
+    );
+    assert!(res.bounds.width() <= 1e-4 + 1e-12);
+}
+
+#[test]
+fn selection_over_a_root_object_stops_early() {
+    let mut meter = WorkMeter::new();
+    let mut root = RootResultObject::new(
+        |x: f64| x.cos() - x, // root ≈ 0.739
+        0.0,
+        1.0,
+        RootVaoConfig {
+            min_width: 1e-12,
+            ..RootVaoConfig::default()
+        },
+        &mut meter,
+    )
+    .unwrap();
+    let out = select(&mut root, CmpOp::Lt, 0.9, &mut meter).unwrap();
+    assert!(out.satisfied);
+    assert!(
+        out.iterations <= 4,
+        "needed only a few halvings, got {}",
+        out.iterations
+    );
+}
+
+#[test]
+fn bond_pricer_bounds_always_contain_the_converged_price() {
+    // Refinement soundness end-to-end on a handful of bonds: every
+    // intermediate bound interval must contain the final converged value
+    // (within the final interval's own width).
+    let pricer = BondPricer::default();
+    for (i, coupon) in [0.055, 0.07, 0.085].iter().enumerate() {
+        let bond = Bond::new(i as u32, *coupon, 29.5, 100.0);
+        let mut meter = WorkMeter::new();
+
+        // First pass: converge to find the reference value.
+        let mut obj = pricer.price(bond, 0.0583, &mut meter);
+        let reference = calibrate(&mut obj, &mut meter).unwrap().value;
+
+        // Second pass: check every intermediate interval.
+        let mut obj = pricer.price(bond, 0.0583, &mut meter);
+        let mut guard = 0;
+        while !obj.converged() && guard < 40 {
+            let b = obj.iterate(&mut meter);
+            assert!(
+                b.lo() - 0.02 <= reference && reference <= b.hi() + 0.02,
+                "coupon {coupon}: bounds {b} vs reference {reference}"
+            );
+            guard += 1;
+        }
+    }
+}
