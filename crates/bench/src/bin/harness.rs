@@ -1,21 +1,26 @@
 //! Experiment harness: regenerates every table and figure of §6.
 //!
 //! ```text
-//! harness [--bonds N] [--seed S] [--out DIR] [fig8|fig9|fig10|fig11|fig12|max-table|ablations|all]
+//! harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
+//!         [fig8|fig9|fig10|fig11|fig12|max-table|ablations|all]
 //! ```
 //!
 //! Prints each artifact as an aligned table and writes a CSV per artifact
-//! into the output directory (default `results/`).
+//! into the output directory (default `results/`). With `--trace PATH`, the
+//! Figure-8/9 sweeps and the §6.2 MAX table additionally dump their full
+//! execution-event streams (strategy choices, per-iteration bound
+//! trajectories, est-vs-actual CPU) as JSON Lines to `PATH` — schema in
+//! `docs/OBSERVABILITY.md`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, fig10_selection_stress,
-    fig11_max_stress, fig12_sum_hotcold, max_table, selection_sweep, tick_amortization,
-    HOT_SHARES, SELECTIVITIES, STD_DEVS,
+    fig11_max_stress, fig12_sum_hotcold, max_table_traced, selection_sweep_traced,
+    tick_amortization, HOT_SHARES, SELECTIVITIES, STD_DEVS,
 };
-use va_bench::report::{fmt_speedup, fmt_work, Table};
+use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
 use vao::ops::hybrid::HybridChoice;
 use vao::ops::selection::CmpOp;
@@ -24,6 +29,7 @@ struct Args {
     bonds: usize,
     seed: u64,
     out: PathBuf,
+    trace: Option<PathBuf>,
     targets: Vec<String>,
 }
 
@@ -31,6 +37,7 @@ fn parse_args() -> Args {
     let mut bonds = 500;
     let mut seed = 1994;
     let mut out = PathBuf::from("results");
+    let mut trace = None;
     let mut targets = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -50,9 +57,12 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(it.next().expect("--out needs a path"));
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().expect("--trace needs a path")));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: harness [--bonds N] [--seed S] [--out DIR] \
+                    "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
                      [fig8|fig9|fig10|fig11|fig12|max-table|ablations|all]..."
                 );
                 std::process::exit(0);
@@ -67,6 +77,7 @@ fn parse_args() -> Args {
         bonds,
         seed,
         out,
+        trace,
         targets,
     }
 }
@@ -84,6 +95,10 @@ fn selection_table(rows: &[va_bench::experiments::SelectivityRow]) -> Table {
         "trad_work",
         "speedup",
         "vao_wall_ms",
+        "iterations",
+        "iters_per_obj",
+        "cpu_mae",
+        "cpu_mape_pct",
     ]);
     for r in rows {
         t.row(vec![
@@ -94,6 +109,10 @@ fn selection_table(rows: &[va_bench::experiments::SelectivityRow]) -> Table {
             fmt_work(r.trad_work),
             fmt_speedup(r.speedup()),
             format!("{:.1}", r.vao_wall.as_secs_f64() * 1e3),
+            r.iterations().to_string(),
+            format!("{:.2}", r.mean_iterations_per_object()),
+            format!("{:.1}", r.cpu_est.mean_abs_error),
+            format!("{:.2}", r.cpu_est.mean_abs_pct_error * 100.0),
         ]);
     }
     t
@@ -119,6 +138,10 @@ fn main() {
         "== VAO experiment harness: {} bonds, seed {} ==",
         args.bonds, args.seed
     );
+    let mut tracer = args.trace.as_deref().map(|p| {
+        println!("tracing execution events to {}", p.display());
+        TraceWriter::create(p).expect("create trace file")
+    });
     let t0 = Instant::now();
     let lab = Lab::new(args.bonds, args.seed);
     println!(
@@ -130,7 +153,7 @@ fn main() {
 
     if wants(&args, "fig8") {
         println!("-- Figure 8: selection with `>` predicate, selectivity sweep --");
-        let rows = selection_sweep(&lab, CmpOp::Gt, &SELECTIVITIES);
+        let rows = selection_sweep_traced(&lab, CmpOp::Gt, &SELECTIVITIES, tracer.as_mut());
         let t = selection_table(&rows);
         print!("{}", t.render());
         t.write_csv(&args.out.join("fig8_selection_gt.csv"))
@@ -153,7 +176,7 @@ fn main() {
 
     if wants(&args, "fig9") {
         println!("-- Figure 9: selection with `<` predicate, selectivity sweep --");
-        let rows = selection_sweep(&lab, CmpOp::Lt, &SELECTIVITIES);
+        let rows = selection_sweep_traced(&lab, CmpOp::Lt, &SELECTIVITIES, tracer.as_mut());
         let t = selection_table(&rows);
         print!("{}", t.render());
         t.write_csv(&args.out.join("fig9_selection_lt.csv"))
@@ -173,14 +196,25 @@ fn main() {
 
     if wants(&args, "max-table") {
         println!("-- §6.2 table: MAX runtimes (Optimal / VAO / Traditional) --");
-        let rows = max_table(&lab);
-        let mut t = Table::new(&["operator", "work", "wall_ms", "iterations"]);
+        let rows = max_table_traced(&lab, tracer.as_mut());
+        let mut t = Table::new(&[
+            "operator",
+            "work",
+            "wall_ms",
+            "iterations",
+            "iters_per_obj",
+            "cpu_mae",
+            "cpu_mape_pct",
+        ]);
         for r in &rows {
             t.row(vec![
                 r.operator.to_string(),
                 fmt_work(r.work),
                 format!("{:.1}", r.wall.as_secs_f64() * 1e3),
                 r.iterations.to_string(),
+                format!("{:.2}", r.mean_iterations_per_object()),
+                format!("{:.1}", r.cpu_est.mean_abs_error),
+                format!("{:.2}", r.cpu_est.mean_abs_pct_error * 100.0),
             ]);
         }
         print!("{}", t.render());
@@ -191,7 +225,8 @@ fn main() {
             overhead,
             fmt_speedup(rows[2].work as f64 / rows[1].work.max(1) as f64)
         );
-        t.write_csv(&args.out.join("max_table.csv")).expect("write csv");
+        t.write_csv(&args.out.join("max_table.csv"))
+            .expect("write csv");
         println!();
     }
 
@@ -319,6 +354,15 @@ fn main() {
         println!();
     }
 
+    if let Some(t) = tracer {
+        let lines = t.lines();
+        t.finish().expect("flush trace");
+        println!(
+            "wrote {} trace events to {}",
+            lines,
+            args.trace.as_deref().expect("trace path").display()
+        );
+    }
     println!(
         "done in {:.1}s; CSVs in {}",
         t0.elapsed().as_secs_f64(),

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use vao::cost::WorkMeter;
 use vao::ops::hybrid::{hybrid_weighted_sum, HybridChoice, HybridConfig};
-use vao::ops::minmax::{max_vao, max_vao_with, AggregateConfig};
+use vao::ops::minmax::{max_vao, max_vao_traced, max_vao_with, AggregateConfig};
 use vao::ops::oracle::oracle_max;
 use vao::ops::selection::{CmpOp, SelectionVao};
 use vao::ops::sum::{weighted_sum_vao, weighted_sum_vao_with};
@@ -13,6 +13,9 @@ use vao::ops::traditional::{
 };
 use vao::precision::PrecisionConstraint;
 use vao::strategy::ChoicePolicy;
+use vao::trace::{CpuEstimation, Recorder};
+
+use crate::report::TraceWriter;
 
 use va_workloads::{
     constant_for_selectivity, HotColdWeights, SyntheticMapping, TargetDistribution,
@@ -45,6 +48,10 @@ pub struct SelectivityRow {
     pub trad_work: u64,
     /// VAO wall time.
     pub vao_wall: Duration,
+    /// Result objects (bonds) the VAO evaluated.
+    pub objects: usize,
+    /// `estCPU` estimation error over this point's `iterate()` calls.
+    pub cpu_est: CpuEstimation,
 }
 
 impl SelectivityRow {
@@ -53,18 +60,48 @@ impl SelectivityRow {
     pub fn speedup(&self) -> f64 {
         self.trad_work as f64 / self.vao_work.max(1) as f64
     }
+
+    /// Total `iterate()` calls at this sweep point.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.cpu_est.iterations
+    }
+
+    /// Mean `iterate()` calls per result object.
+    #[must_use]
+    pub fn mean_iterations_per_object(&self) -> f64 {
+        if self.objects == 0 {
+            0.0
+        } else {
+            self.cpu_est.iterations as f64 / self.objects as f64
+        }
+    }
 }
 
 /// Runs one selection query over fresh VAO objects, returning
 /// (selected count, work, wall).
 pub fn run_selection_vao(lab: &Lab, op: CmpOp, constant: f64) -> (usize, u64, Duration) {
+    let mut rec = Recorder::new();
+    run_selection_vao_recorded(lab, op, constant, &mut rec)
+}
+
+/// [`run_selection_vao`] capturing the execution trace into `rec` (one
+/// selection operator start/end pair per bond, each bond as object 0).
+pub fn run_selection_vao_recorded(
+    lab: &Lab,
+    op: CmpOp,
+    constant: f64,
+    rec: &mut Recorder,
+) -> (usize, u64, Duration) {
     let start = Instant::now();
     let mut meter = WorkMeter::new();
     let vao = SelectionVao::new(op, constant).expect("finite constant");
     let mut selected = 0;
     for &bond in lab.universe.bonds() {
         let mut obj = lab.pricer.price(bond, lab.rate, &mut meter);
-        let out = vao.evaluate(&mut obj, &mut meter).expect("selection converges");
+        let out = vao
+            .evaluate_traced(&mut obj, &mut meter, rec)
+            .expect("selection converges");
         if out.satisfied {
             selected += 1;
         }
@@ -75,12 +112,35 @@ pub fn run_selection_vao(lab: &Lab, op: CmpOp, constant: f64) -> (usize, u64, Du
 /// Figure 8 (`>` predicate) or Figure 9 (`<` predicate): runtimes across a
 /// selectivity sweep, VAO vs traditional.
 pub fn selection_sweep(lab: &Lab, op: CmpOp, selectivities: &[f64]) -> Vec<SelectivityRow> {
+    selection_sweep_traced(lab, op, selectivities, None)
+}
+
+/// [`selection_sweep`] optionally dumping each sweep point's full event
+/// stream to a JSONL trace (run label `selection_<op>:s=<selectivity>`).
+pub fn selection_sweep_traced(
+    lab: &Lab,
+    op: CmpOp,
+    selectivities: &[f64],
+    mut trace: Option<&mut TraceWriter>,
+) -> Vec<SelectivityRow> {
     let trad_work = lab.traditional_work();
+    let op_tag = match op {
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+    };
     selectivities
         .iter()
         .map(|&s| {
             let constant = constant_for_selectivity(&lab.converged, op, s);
-            let (selected, vao_work, vao_wall) = run_selection_vao(lab, op, constant);
+            let mut rec = Recorder::new();
+            let (selected, vao_work, vao_wall) =
+                run_selection_vao_recorded(lab, op, constant, &mut rec);
+            if let Some(w) = trace.as_deref_mut() {
+                w.run(&format!("selection_{op_tag}:s={s:.2}"), rec.events())
+                    .expect("write trace");
+            }
             SelectivityRow {
                 selectivity: s,
                 constant,
@@ -88,6 +148,8 @@ pub fn selection_sweep(lab: &Lab, op: CmpOp, selectivities: &[f64]) -> Vec<Selec
                 vao_work,
                 trad_work,
                 vao_wall,
+                objects: lab.len(),
+                cpu_est: rec.cpu_estimation(),
             }
         })
         .collect()
@@ -135,7 +197,8 @@ pub fn fig10_selection_stress(lab: &Lab, std_devs: &[f64], seed: u64) -> Vec<Str
             let vao = SelectionVao::new(CmpOp::Gt, constant).expect("finite constant");
             for (i, &bond) in lab.universe.bonds().iter().enumerate() {
                 let mut obj = mapping.wrap(i, lab.pricer.price(bond, lab.rate, &mut meter));
-                vao.evaluate(&mut obj, &mut meter).expect("selection converges");
+                vao.evaluate(&mut obj, &mut meter)
+                    .expect("selection converges");
             }
             StressRow {
                 std_dev,
@@ -158,11 +221,34 @@ pub struct MaxTableRow {
     pub wall: Duration,
     /// `iterate()` calls (0 for Traditional).
     pub iterations: u64,
+    /// Result objects evaluated.
+    pub objects: usize,
+    /// `estCPU` estimation error (only the traced VAO row is non-zero;
+    /// Optimal and Traditional run untraced).
+    pub cpu_est: CpuEstimation,
+}
+
+impl MaxTableRow {
+    /// Mean `iterate()` calls per result object.
+    #[must_use]
+    pub fn mean_iterations_per_object(&self) -> f64 {
+        if self.objects == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.objects as f64
+        }
+    }
 }
 
 /// The §6.2 table: Optimal vs VAO vs Traditional on the real-data MAX
 /// query, all returning bounds within ε = \$0.01.
 pub fn max_table(lab: &Lab) -> Vec<MaxTableRow> {
+    max_table_traced(lab, None)
+}
+
+/// [`max_table`] optionally dumping the VAO row's full event stream to a
+/// JSONL trace (run label `max_table:vao`).
+pub fn max_table_traced(lab: &Lab, trace: Option<&mut TraceWriter>) -> Vec<MaxTableRow> {
     let eps = PrecisionConstraint::new(0.01).expect("valid epsilon");
 
     // Optimal: knows the argmax a priori.
@@ -182,13 +268,23 @@ pub fn max_table(lab: &Lab) -> Vec<MaxTableRow> {
         work: meter.total(),
         wall: start.elapsed(),
         iterations: opt_res.iterations,
+        objects: lab.len(),
+        cpu_est: CpuEstimation::default(),
     };
 
-    // VAO.
+    // VAO (traced: the recorder captures the full scheduling trace).
     let start = Instant::now();
     let mut meter = WorkMeter::new();
     let mut objs = lab.objects(&mut meter);
-    let vao_res = max_vao(&mut objs, eps, &mut meter).expect("max vao converges");
+    let mut rec = Recorder::new();
+    let vao_res = max_vao_traced(
+        &mut objs,
+        eps,
+        &mut AggregateConfig::default(),
+        &mut meter,
+        &mut rec,
+    )
+    .expect("max vao converges");
     // With many bonds, the top two can sit within minWidth of each other;
     // any tie-winner within a cent of the true maximum is a correct answer.
     assert!(
@@ -204,18 +300,28 @@ pub fn max_table(lab: &Lab) -> Vec<MaxTableRow> {
         work: meter.total(),
         wall: start.elapsed(),
         iterations: vao_res.iterations,
+        objects: lab.len(),
+        cpu_est: rec.cpu_estimation(),
     };
+    if let Some(w) = trace {
+        w.run("max_table:vao", rec.events()).expect("write trace");
+    }
 
     // Traditional.
     let start = Instant::now();
     let mut meter = WorkMeter::new();
     let (trad_argmax, _) = traditional_max(&lab.specs, &mut meter).expect("non-empty");
-    assert_eq!(trad_argmax, true_argmax, "specs and converged agree on argmax");
+    assert_eq!(
+        trad_argmax, true_argmax,
+        "specs and converged agree on argmax"
+    );
     let traditional = MaxTableRow {
         operator: "Traditional",
         work: meter.total(),
         wall: start.elapsed(),
         iterations: 0,
+        objects: lab.len(),
+        cpu_est: CpuEstimation::default(),
     };
 
     vec![optimal, vao, traditional]
@@ -449,8 +555,8 @@ pub fn ablation_choose_index(sizes: &[usize], seed: u64) -> Vec<ChooseIndexRow> 
         .map(|&n| {
             let lab = Lab::new(n, seed);
             let weights = vec![1.0; n];
-            let eps = PrecisionConstraint::new(n as f64 * 0.01 * (1.0 + 1e-9))
-                .expect("valid epsilon");
+            let eps =
+                PrecisionConstraint::new(n as f64 * 0.01 * (1.0 + 1e-9)).expect("valid epsilon");
 
             let mut scan_meter = WorkMeter::new();
             let mut objs = lab.objects(&mut scan_meter);
@@ -511,7 +617,8 @@ pub fn tick_amortization(lab: &Lab, ticks: usize, seed: u64) -> Vec<TickRow> {
             let vao = SelectionVao::new(CmpOp::Gt, 100.0).expect("finite constant");
             for &bond in lab.universe.bonds() {
                 let mut obj = lab.pricer.price(bond, t.rate, &mut meter);
-                vao.evaluate(&mut obj, &mut meter).expect("selection converges");
+                vao.evaluate(&mut obj, &mut meter)
+                    .expect("selection converges");
             }
             let vao_work = meter.total();
 
@@ -598,7 +705,12 @@ mod tests {
         let rows = max_table(&lab);
         let (opt, vao, trad) = (&rows[0], &rows[1], &rows[2]);
         assert_eq!(opt.operator, "Optimal");
-        assert!(opt.work <= vao.work, "optimal {} vs vao {}", opt.work, vao.work);
+        assert!(
+            opt.work <= vao.work,
+            "optimal {} vs vao {}",
+            opt.work,
+            vao.work
+        );
         assert!(
             vao.work < trad.work / 2,
             "vao {} must clearly beat traditional {}",
@@ -681,6 +793,39 @@ mod tests {
         assert!(cached < plain, "cached {cached} vs plain {plain}");
         // And hits appear once the band is revisited.
         assert!(rows.iter().skip(1).any(|r| r.cache_hits > 0));
+    }
+
+    #[test]
+    fn sweep_and_max_table_carry_trace_metrics() {
+        let lab = lab();
+        let dir = std::env::temp_dir().join("va_bench_experiments_trace_test");
+        let path = dir.join("trace.jsonl");
+        let mut w = TraceWriter::create(&path).unwrap();
+
+        let rows = selection_sweep_traced(&lab, CmpOp::Gt, &[0.5], Some(&mut w));
+        assert_eq!(rows[0].objects, lab.len());
+        assert!(rows[0].iterations() > 0, "sweep saw no iterations");
+        assert!(rows[0].mean_iterations_per_object() > 0.0);
+
+        let max_rows = max_table_traced(&lab, Some(&mut w));
+        let vao = &max_rows[1];
+        assert_eq!(vao.operator, "VAO");
+        // The recorder and the meter agree on the iteration count.
+        assert_eq!(vao.cpu_est.iterations, vao.iterations);
+        assert!(vao.mean_iterations_per_object() > 0.0);
+        // Untraced rows carry zeroed estimation stats.
+        assert_eq!(max_rows[0].cpu_est, CpuEstimation::default());
+        assert_eq!(max_rows[2].cpu_est, CpuEstimation::default());
+
+        let lines = w.lines();
+        assert!(lines > 0, "trace file stayed empty");
+        w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count() as u64, lines);
+        assert!(content.lines().all(|l| l.starts_with("{\"run\":\"")));
+        assert!(content.contains("\"run\":\"max_table:vao\""));
+        assert!(content.contains("\"run\":\"selection_gt:s=0.50\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

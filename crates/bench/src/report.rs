@@ -1,7 +1,10 @@
-//! Table formatting and CSV output for the experiment harness.
+//! Table formatting, CSV output and the JSONL trace writer for the
+//! experiment harness.
 
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::Path;
+
+use vao::trace::TraceEvent;
 
 /// A simple column-aligned text table.
 #[derive(Clone, Debug, Default)]
@@ -69,13 +72,134 @@ impl Table {
     }
 }
 
+/// Escapes a string for inclusion in a JSON string literal (hand-rolled —
+/// the harness has no serialization dependency).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value: plain decimal when finite, `null`
+/// otherwise (JSON has no Infinity/NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes execution-trace events as JSON Lines: one event per line, tagged
+/// with the run label that produced it. See `docs/OBSERVABILITY.md` for the
+/// full schema.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<std::fs::File>,
+    lines: u64,
+}
+
+impl TraceWriter {
+    /// Creates (truncating) the trace file, making parent directories.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(Self {
+            out: BufWriter::new(std::fs::File::create(path)?),
+            lines: 0,
+        })
+    }
+
+    /// Lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Writes one event as a JSONL record. `run` labels the experiment run
+    /// (e.g. `fig8_gt:s=0.10`); `seq` is the event's 0-based position in
+    /// that run's stream.
+    pub fn event(&mut self, run: &str, seq: usize, e: &TraceEvent) -> std::io::Result<()> {
+        let prefix = format!("{{\"run\":\"{}\",\"seq\":{seq},", json_escape(run));
+        let body = match e {
+            TraceEvent::OperatorStart { kind, objects } => {
+                format!("\"event\":\"operator_start\",\"operator\":\"{kind}\",\"objects\":{objects}")
+            }
+            TraceEvent::Choice(c) => format!(
+                "\"event\":\"choice\",\"object\":{},\"benefit\":{},\"est_cpu\":{},\"score\":{},\"candidates\":{}",
+                c.object,
+                json_f64(c.benefit),
+                c.est_cpu,
+                json_f64(c.score),
+                c.candidates
+            ),
+            TraceEvent::Iteration(it) => format!(
+                "\"event\":\"iteration\",\"object\":{},\"iter\":{},\"lo_before\":{},\"hi_before\":{},\"lo_after\":{},\"hi_after\":{},\"est_cpu\":{},\"actual_cpu\":{},\"cpu_error\":{}",
+                it.object,
+                it.seq,
+                json_f64(it.before.lo()),
+                json_f64(it.before.hi()),
+                json_f64(it.after.lo()),
+                json_f64(it.after.hi()),
+                it.est_cpu,
+                it.actual_cpu,
+                it.cpu_error()
+            ),
+            TraceEvent::HybridDecision(d) => format!(
+                "\"event\":\"hybrid_decision\",\"chose_vao\":{},\"slack\":{},\"concentration\":{}",
+                d.chose_vao,
+                json_f64(d.slack),
+                json_f64(d.concentration)
+            ),
+            TraceEvent::OperatorEnd(end) => format!(
+                "\"event\":\"operator_end\",\"operator\":\"{}\",\"iterations\":{},\"exec_iter\":{},\"get_state\":{},\"store_state\":{},\"choose_iter\":{}",
+                end.kind,
+                end.iterations,
+                end.work.exec_iter,
+                end.work.get_state,
+                end.work.store_state,
+                end.work.choose_iter
+            ),
+        };
+        writeln!(self.out, "{prefix}{body}}}")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Writes a whole recorded event stream under one run label.
+    pub fn run(&mut self, run: &str, events: &[TraceEvent]) -> std::io::Result<()> {
+        for (seq, e) in events.iter().enumerate() {
+            self.event(run, seq, e)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
 /// Formats a work-unit count with thousands separators.
 #[must_use]
 pub fn fmt_work(w: u64) -> String {
     let s = w.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -134,5 +258,82 @@ mod tests {
         assert_eq!(fmt_work(1000), "1,000");
         assert_eq!(fmt_work(1234567), "1,234,567");
         assert_eq!(fmt_speedup(12.345), "12.35x");
+    }
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn trace_writer_emits_one_json_object_per_event() {
+        use vao::cost::WorkBreakdown;
+        use vao::trace::{
+            ChoiceRecord, HybridDecisionRecord, IterationRecord, OperatorEndRecord, OperatorKind,
+        };
+        use vao::Bounds;
+
+        let dir = std::env::temp_dir().join("va_bench_trace_test");
+        let path = dir.join("trace.jsonl");
+        let mut w = TraceWriter::create(&path).unwrap();
+        let events = vec![
+            TraceEvent::OperatorStart {
+                kind: OperatorKind::Max,
+                objects: 2,
+            },
+            TraceEvent::Choice(ChoiceRecord {
+                object: 1,
+                benefit: 3.5,
+                est_cpu: 10,
+                score: 0.35,
+                candidates: 2,
+            }),
+            TraceEvent::Iteration(IterationRecord {
+                object: 1,
+                seq: 1,
+                before: Bounds::new(0.0, 10.0),
+                after: Bounds::new(2.0, 8.0),
+                est_cpu: 10,
+                actual_cpu: 8,
+            }),
+            TraceEvent::HybridDecision(HybridDecisionRecord {
+                chose_vao: true,
+                slack: f64::INFINITY,
+                concentration: 0.4,
+            }),
+            TraceEvent::OperatorEnd(OperatorEndRecord {
+                kind: OperatorKind::Max,
+                iterations: 1,
+                work: WorkBreakdown {
+                    exec_iter: 8,
+                    get_state: 2,
+                    store_state: 1,
+                    choose_iter: 3,
+                },
+            }),
+        ];
+        w.run("test:run", &events).unwrap();
+        assert_eq!(w.lines(), 5);
+        w.finish().unwrap();
+
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for l in &lines {
+            assert!(l.starts_with("{\"run\":\"test:run\","), "line: {l}");
+            assert!(l.ends_with('}'), "line: {l}");
+        }
+        assert!(lines[0].contains("\"event\":\"operator_start\""));
+        assert!(lines[0].contains("\"operator\":\"max\""));
+        assert!(lines[1].contains("\"candidates\":2"));
+        assert!(lines[2].contains("\"cpu_error\":2"));
+        // Infinite slack becomes JSON null, not an invalid token.
+        assert!(lines[3].contains("\"slack\":null"));
+        assert!(lines[4].contains("\"choose_iter\":3"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -36,8 +36,8 @@ impl RateSeries {
         // Level and gentle drift consistent with the published monthly
         // averages for Jan 1994 (~5.75 %); exact daily values synthetic.
         let opens = vec![
-            0.0583, 0.0581, 0.0579, 0.0578, 0.0577, 0.0575, 0.0574, 0.0576, 0.0578, 0.0577,
-            0.0575, 0.0573, 0.0572, 0.0574, 0.0576, 0.0578, 0.0580, 0.0582, 0.0584, 0.0586,
+            0.0583, 0.0581, 0.0579, 0.0578, 0.0577, 0.0575, 0.0574, 0.0576, 0.0578, 0.0577, 0.0575,
+            0.0573, 0.0572, 0.0574, 0.0576, 0.0578, 0.0580, 0.0582, 0.0584, 0.0586,
         ];
         Self { opens }
     }

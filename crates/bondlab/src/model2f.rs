@@ -172,8 +172,13 @@ mod tests {
         let two = solve_adi(&p2, 64, 8, 512, 1 << 32).unwrap().value;
 
         let p1 = crate::model::BondPde::new(bond(), ShortRateModel::default(), 0.0583);
-        let one = solve_on_mesh(&p1, 64, 512, &SolverConfig::default()).unwrap().value;
-        assert!((two - one).abs() < 0.35, "two-factor {two} vs one-factor {one}");
+        let one = solve_on_mesh(&p1, 64, 512, &SolverConfig::default())
+            .unwrap()
+            .value;
+        assert!(
+            (two - one).abs() < 0.35,
+            "two-factor {two} vs one-factor {one}"
+        );
     }
 
     #[test]

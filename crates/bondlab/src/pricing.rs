@@ -87,7 +87,11 @@ mod tests {
         assert!(!obj.converged());
         assert!(obj.bounds().width() > 0.01, "initial bounds are coarse");
         // The initial trio costs three small solves, far below one fine one.
-        assert!(meter.total() < 1000, "initial work {} too high", meter.total());
+        assert!(
+            meter.total() < 1000,
+            "initial work {} too high",
+            meter.total()
+        );
     }
 
     #[test]

@@ -201,8 +201,11 @@ mod tests {
 
     #[test]
     fn boxed_dyn_object_implements_trait() {
-        let mut obj: Box<dyn ResultObject> =
-            Box::new(ScriptedObject::converging(&[(0.0, 2.0), (1.0, 1.001)], 3, 0.01));
+        let mut obj: Box<dyn ResultObject> = Box::new(ScriptedObject::converging(
+            &[(0.0, 2.0), (1.0, 1.001)],
+            3,
+            0.01,
+        ));
         let mut m = WorkMeter::new();
         obj.iterate(&mut m);
         assert!(obj.converged());

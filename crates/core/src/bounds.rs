@@ -132,7 +132,7 @@ impl Bounds {
     pub fn intersect(&self, other: &Bounds) -> Option<Bounds> {
         let lo = self.lo.max(other.lo);
         let hi = self.hi.min(other.hi);
-        (lo <= hi).then(|| Bounds { lo, hi })
+        (lo <= hi).then_some(Bounds { lo, hi })
     }
 
     /// Translates the interval by `delta`.

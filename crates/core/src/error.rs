@@ -77,16 +77,18 @@ impl std::fmt::Display for VaoError {
                 "precision constraint {epsilon} is below the largest object minWidth {min_width}"
             ),
             VaoError::InvalidPrecision { epsilon } => {
-                write!(f, "precision constraint must be positive and finite, got {epsilon}")
+                write!(
+                    f,
+                    "precision constraint must be positive and finite, got {epsilon}"
+                )
             }
             VaoError::InvalidWeight { index, weight } => write!(
                 f,
                 "weight {weight} at index {index} must be finite and nonnegative"
             ),
-            VaoError::WeightCountMismatch { objects, weights } => write!(
-                f,
-                "got {weights} weights for {objects} result objects"
-            ),
+            VaoError::WeightCountMismatch { objects, weights } => {
+                write!(f, "got {weights} weights for {objects} result objects")
+            }
             VaoError::IterationLimitExceeded { limit } => write!(
                 f,
                 "operator exceeded its iteration budget of {limit} without converging"

@@ -63,6 +63,7 @@ pub mod ops;
 pub mod precision;
 pub mod strategy;
 pub mod testkit;
+pub mod trace;
 
 pub use bounds::Bounds;
 pub use cost::{Work, WorkBreakdown, WorkMeter};
@@ -70,3 +71,4 @@ pub use error::VaoError;
 pub use interface::{BlackBoxFn, ResultObject, VariableAccuracyFn};
 pub use precision::PrecisionConstraint;
 pub use strategy::ChoicePolicy;
+pub use trace::{ExecObserver, NoopObserver, Recorder};

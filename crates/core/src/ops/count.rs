@@ -44,7 +44,14 @@ pub fn count_vao<R: ResultObject>(
     slack: usize,
     meter: &mut WorkMeter,
 ) -> Result<CountResult, VaoError> {
-    count_vao_with(objs, op, constant, slack, &mut AggregateConfig::default(), meter)
+    count_vao_with(
+        objs,
+        op,
+        constant,
+        slack,
+        &mut AggregateConfig::default(),
+        meter,
+    )
 }
 
 /// Evaluates COUNT with an explicit configuration.
@@ -102,8 +109,7 @@ pub fn count_vao_with<R: ResultObject>(
             .map(|&i| {
                 let b = objs[i].bounds();
                 let eb = objs[i].est_bounds();
-                let mut benefit =
-                    (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+                let mut benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
                 if op.decide(&eb, constant).is_some() {
                     benefit += b.width();
                 }
@@ -148,7 +154,11 @@ mod tests {
             .iter()
             .map(|&v| {
                 ScriptedObject::converging(
-                    &[(v - 10.0, v + 10.0), (v - 2.0, v + 2.0), (v - 0.004, v + 0.004)],
+                    &[
+                        (v - 10.0, v + 10.0),
+                        (v - 2.0, v + 2.0),
+                        (v - 0.004, v + 0.004),
+                    ],
                     10,
                     0.01,
                 )

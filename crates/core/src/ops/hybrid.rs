@@ -20,9 +20,12 @@ use crate::cost::WorkMeter;
 use crate::error::VaoError;
 use crate::interface::ResultObject;
 use crate::ops::minmax::AggregateConfig;
-use crate::ops::sum::{weighted_sum_vao_with, SumResult};
+use crate::ops::sum::{weighted_sum_vao_traced, SumResult};
 use crate::ops::traditional::{traditional_weighted_sum, BlackBoxSpec};
 use crate::precision::PrecisionConstraint;
+use crate::trace::{
+    ExecObserver, HybridDecisionRecord, NoopObserver, OperatorEndRecord, OperatorKind,
+};
 use crate::Bounds;
 
 /// Which execution path the hybrid operator chose.
@@ -78,7 +81,11 @@ pub fn decide(
 ) -> HybridDecision {
     let total: f64 = weights.iter().sum();
     let floor: f64 = weights.iter().zip(min_widths).map(|(w, m)| w * m).sum();
-    let slack = if floor > 0.0 { epsilon / floor } else { f64::INFINITY };
+    let slack = if floor > 0.0 {
+        epsilon / floor
+    } else {
+        f64::INFINITY
+    };
 
     let (concentration, uniform_share) = if total > 0.0 && !weights.is_empty() {
         let mut sorted: Vec<f64> = weights.to_vec();
@@ -122,6 +129,33 @@ pub fn hybrid_weighted_sum<R: ResultObject>(
     agg: &mut AggregateConfig,
     meter: &mut WorkMeter,
 ) -> Result<(SumResult, HybridDecision), VaoError> {
+    hybrid_weighted_sum_traced(
+        objs,
+        weights,
+        specs,
+        epsilon,
+        config,
+        agg,
+        meter,
+        &mut NoopObserver,
+    )
+}
+
+/// [`hybrid_weighted_sum`] with an [`ExecObserver`] receiving the
+/// execution trace. The observer sees the hybrid operator's own start/end
+/// and its routing decision; when the VAO path is taken, the inner SUM
+/// evaluation emits its own nested start/choice/iteration/end events.
+#[allow(clippy::too_many_arguments)]
+pub fn hybrid_weighted_sum_traced<R: ResultObject, O: ExecObserver>(
+    objs: &mut [R],
+    weights: &[f64],
+    specs: &[BlackBoxSpec],
+    epsilon: PrecisionConstraint,
+    config: &HybridConfig,
+    agg: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+) -> Result<(SumResult, HybridDecision), VaoError> {
     if objs.is_empty() {
         return Err(VaoError::EmptyInput);
     }
@@ -131,11 +165,22 @@ pub fn hybrid_weighted_sum<R: ResultObject>(
             weights: specs.len(),
         });
     }
+    if observer.is_enabled() {
+        observer.on_operator_start(OperatorKind::HybridSum, objs.len());
+    }
+    let work_start = meter.snapshot();
     let min_widths: Vec<f64> = objs.iter().map(R::min_width).collect();
     let decision = decide(weights, &min_widths, epsilon.epsilon(), config);
+    if observer.is_enabled() {
+        observer.on_hybrid_decision(&HybridDecisionRecord {
+            chose_vao: decision.choice == HybridChoice::Vao,
+            slack: decision.slack,
+            concentration: decision.concentration,
+        });
+    }
 
     let result = match decision.choice {
-        HybridChoice::Vao => weighted_sum_vao_with(objs, weights, epsilon, agg, meter)?,
+        HybridChoice::Vao => weighted_sum_vao_traced(objs, weights, epsilon, agg, meter, observer)?,
         HybridChoice::Traditional => {
             let value = traditional_weighted_sum(specs, weights, meter)?;
             let half_err: f64 = specs
@@ -150,6 +195,13 @@ pub fn hybrid_weighted_sum<R: ResultObject>(
             }
         }
     };
+    if observer.is_enabled() {
+        observer.on_operator_end(&OperatorEndRecord {
+            kind: OperatorKind::HybridSum,
+            iterations: result.iterations,
+            work: meter.since(&work_start),
+        });
+    }
     Ok((result, decision))
 }
 

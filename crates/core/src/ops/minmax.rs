@@ -13,12 +13,15 @@
 
 use crate::adapters::Negated;
 use crate::bounds::Bounds;
-use crate::cost::{Work, WorkMeter};
+use crate::cost::{Work, WorkBreakdown, WorkMeter};
 use crate::error::VaoError;
 use crate::interface::ResultObject;
 use crate::ops::DEFAULT_ITERATION_LIMIT;
 use crate::precision::PrecisionConstraint;
 use crate::strategy::{Candidate, ChoicePolicy};
+use crate::trace::{
+    observe_iteration, ExecObserver, NoopObserver, OperatorEndRecord, OperatorKind,
+};
 
 /// Result of a MIN/MAX evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -98,8 +101,31 @@ pub fn min_vao_with<R: ResultObject>(
     config: &mut AggregateConfig,
     meter: &mut WorkMeter,
 ) -> Result<ExtremeResult, VaoError> {
+    min_vao_traced(objs, epsilon, config, meter, &mut NoopObserver)
+}
+
+/// [`min_vao_with`] with an [`ExecObserver`] receiving the execution trace.
+///
+/// MIN runs MAX over negated views, and trace events are emitted from
+/// inside that MAX loop: bounds in [`crate::trace::IterationRecord`]s are
+/// in the **negated** domain (the operator kind is still reported as
+/// [`OperatorKind::Min`]).
+pub fn min_vao_traced<R: ResultObject, O: ExecObserver>(
+    objs: &mut [R],
+    epsilon: PrecisionConstraint,
+    config: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+) -> Result<ExtremeResult, VaoError> {
     let mut negated: Vec<Negated<&mut R>> = objs.iter_mut().map(Negated).collect();
-    let res = max_vao_with(&mut negated, epsilon, config, meter)?;
+    let res = max_impl(
+        &mut negated,
+        epsilon,
+        config,
+        meter,
+        observer,
+        OperatorKind::Min,
+    )?;
     Ok(ExtremeResult {
         argext: res.argext,
         bounds: res.bounds.negate(),
@@ -122,11 +148,42 @@ pub fn max_vao_with<R: ResultObject>(
     config: &mut AggregateConfig,
     meter: &mut WorkMeter,
 ) -> Result<ExtremeResult, VaoError> {
+    max_vao_traced(objs, epsilon, config, meter, &mut NoopObserver)
+}
+
+/// [`max_vao_with`] with an [`ExecObserver`] receiving the execution
+/// trace: operator start/end, one [`crate::trace::ChoiceRecord`] per
+/// strategy decision in the identification phase, and one
+/// [`crate::trace::IterationRecord`] per `iterate()` call (phase-2 winner
+/// refinement included, without choice events — there is nothing left to
+/// choose).
+pub fn max_vao_traced<R: ResultObject, O: ExecObserver>(
+    objs: &mut [R],
+    epsilon: PrecisionConstraint,
+    config: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+) -> Result<ExtremeResult, VaoError> {
+    max_impl(objs, epsilon, config, meter, observer, OperatorKind::Max)
+}
+
+fn max_impl<R: ResultObject, O: ExecObserver>(
+    objs: &mut [R],
+    epsilon: PrecisionConstraint,
+    config: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+    kind: OperatorKind,
+) -> Result<ExtremeResult, VaoError> {
     if objs.is_empty() {
         return Err(VaoError::EmptyInput);
     }
     epsilon.validate_single_object(objs)?;
 
+    if observer.is_enabled() {
+        observer.on_operator_start(kind, objs.len());
+    }
+    let work_start = meter.snapshot();
     let mut iterations = 0u64;
 
     // Phase 1: identify the maximum object.
@@ -153,7 +210,7 @@ pub fn max_vao_with<R: ResultObject>(
         // still in contention.
         meter.charge_choose(candidates.len() as Work);
 
-        let Some(pick) = config.policy.pick(&candidates) else {
+        let Some(pick) = config.policy.pick_traced(&candidates, observer) else {
             // No non-converged candidates should be impossible given the
             // stopping checks above; treat as a stall.
             return Err(VaoError::IterationLimitExceeded {
@@ -167,9 +224,19 @@ pub fn max_vao_with<R: ResultObject>(
                 limit: config.iteration_limit,
             });
         }
+        let (est_cpu, snapshot) = if observer.is_enabled() {
+            (objs[chosen].est_cpu(), meter.snapshot())
+        } else {
+            (0, WorkBreakdown::default())
+        };
         let before = objs[chosen].bounds();
         let after = objs[chosen].iterate(meter);
         iterations += 1;
+        if observer.is_enabled() {
+            observe_iteration(
+                observer, chosen, iterations, before, after, est_cpu, meter, &snapshot,
+            );
+        }
         if after == before && !objs[chosen].converged() {
             return Err(VaoError::IterationLimitExceeded {
                 limit: config.iteration_limit,
@@ -186,9 +253,19 @@ pub fn max_vao_with<R: ResultObject>(
                 limit: config.iteration_limit,
             });
         }
+        let (est_cpu, snapshot) = if observer.is_enabled() {
+            (objs[winner].est_cpu(), meter.snapshot())
+        } else {
+            (0, WorkBreakdown::default())
+        };
         let before = objs[winner].bounds();
         let after = objs[winner].iterate(meter);
         iterations += 1;
+        if observer.is_enabled() {
+            observe_iteration(
+                observer, winner, iterations, before, after, est_cpu, meter, &snapshot,
+            );
+        }
         if after == before && !objs[winner].converged() {
             return Err(VaoError::IterationLimitExceeded {
                 limit: config.iteration_limit,
@@ -196,6 +273,13 @@ pub fn max_vao_with<R: ResultObject>(
         }
     }
 
+    if observer.is_enabled() {
+        observer.on_operator_end(&OperatorEndRecord {
+            kind,
+            iterations,
+            work: meter.since(&work_start),
+        });
+    }
     Ok(ExtremeResult {
         argext: winner,
         bounds: objs[winner].bounds(),
@@ -215,10 +299,12 @@ pub fn max_envelope<R: ResultObject>(objs: &[R]) -> Result<Bounds, VaoError> {
     if objs.is_empty() {
         return Err(VaoError::EmptyInput);
     }
-    let (lo, hi) = objs.iter().fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |(lo, hi), o| {
-        let b = o.bounds();
-        (lo.max(b.lo()), hi.max(b.hi()))
-    });
+    let (lo, hi) = objs
+        .iter()
+        .fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |(lo, hi), o| {
+            let b = o.bounds();
+            (lo.max(b.lo()), hi.max(b.hi()))
+        });
     Ok(Bounds::new(lo, hi))
 }
 
@@ -229,10 +315,12 @@ pub fn min_envelope<R: ResultObject>(objs: &[R]) -> Result<Bounds, VaoError> {
     if objs.is_empty() {
         return Err(VaoError::EmptyInput);
     }
-    let (lo, hi) = objs.iter().fold((f64::INFINITY, f64::INFINITY), |(lo, hi), o| {
-        let b = o.bounds();
-        (lo.min(b.lo()), hi.min(b.hi()))
-    });
+    let (lo, hi) = objs
+        .iter()
+        .fold((f64::INFINITY, f64::INFINITY), |(lo, hi), o| {
+            let b = o.bounds();
+            (lo.min(b.lo()), hi.min(b.hi()))
+        });
     Ok(Bounds::new(lo, hi))
 }
 
@@ -332,8 +420,16 @@ mod tests {
         };
         vec![
             mk((97.0, 101.0), (98.0, 99.0), &[(98.4, 98.405)]),
-            mk((95.0, 103.0), (96.0, 101.0), &[(97.0, 99.0), (98.0, 98.005)]),
-            mk((100.0, 106.0), (102.0, 104.0), &[(102.9, 103.1), (103.0, 103.005)]),
+            mk(
+                (95.0, 103.0),
+                (96.0, 101.0),
+                &[(97.0, 99.0), (98.0, 98.005)],
+            ),
+            mk(
+                (100.0, 106.0),
+                (102.0, 104.0),
+                &[(102.9, 103.1), (103.0, 103.005)],
+            ),
         ]
     }
 
@@ -381,7 +477,12 @@ mod tests {
             0.01,
         )];
         let mut meter = WorkMeter::new();
-        let res = max_vao(&mut objs, PrecisionConstraint::new(0.3).unwrap(), &mut meter).unwrap();
+        let res = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.3).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.argext, 0);
         assert!(res.bounds.width() <= 0.3);
         // Stopped at [4.9, 5.1] (width 0.2), not at full convergence.
@@ -396,7 +497,12 @@ mod tests {
             ScriptedObject::converging(&[(2.0, 3.0)], 10, 2.0),
         ];
         let mut meter = WorkMeter::new();
-        let res = max_vao(&mut objs, PrecisionConstraint::new(2.0).unwrap(), &mut meter).unwrap();
+        let res = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(2.0).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.argext, 1);
         assert_eq!(res.iterations, 0);
         assert_eq!(meter.total(), 0);
@@ -412,7 +518,12 @@ mod tests {
             ScriptedObject::converging(&[(0.0, 5.0)], 10, 0.01),
         ];
         let mut meter = WorkMeter::new();
-        let res = max_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter).unwrap();
+        let res = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         // Winner has the highest upper bound among the tied pair.
         assert_eq!(res.argext, 1);
         assert_eq!(res.ties, vec![0]);
@@ -423,8 +534,12 @@ mod tests {
     fn empty_input_rejected() {
         let mut objs: Vec<ScriptedObject> = vec![];
         let mut meter = WorkMeter::new();
-        let err =
-            max_vao(&mut objs, PrecisionConstraint::new(1.0).unwrap(), &mut meter).unwrap_err();
+        let err = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(1.0).unwrap(),
+            &mut meter,
+        )
+        .unwrap_err();
         assert_eq!(err, VaoError::EmptyInput);
     }
 
@@ -432,8 +547,12 @@ mod tests {
     fn epsilon_below_min_width_rejected() {
         let mut objs = vec![ScriptedObject::converging(&[(0.0, 1.0)], 1, 0.05)];
         let mut meter = WorkMeter::new();
-        let err =
-            max_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter).unwrap_err();
+        let err = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap_err();
         assert!(matches!(err, VaoError::PrecisionTooTight { .. }));
     }
 
@@ -446,7 +565,12 @@ mod tests {
             ScriptedObject::converging(&[(90.0, 110.0), (99.0, 101.0), (100.0, 100.005)], 10, 0.01),
         ];
         let mut meter = WorkMeter::new();
-        let res = max_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter).unwrap();
+        let res = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.argext, 1);
         assert!(res.bounds.lo() >= 100.0 - 1e-9);
     }
@@ -454,12 +578,25 @@ mod tests {
     #[test]
     fn min_vao_is_symmetric_to_max() {
         let mut objs = vec![
-            ScriptedObject::converging(&[(90.0, 110.0), (104.0, 106.0), (105.0, 105.005)], 10, 0.01),
+            ScriptedObject::converging(
+                &[(90.0, 110.0), (104.0, 106.0), (105.0, 105.005)],
+                10,
+                0.01,
+            ),
             ScriptedObject::converging(&[(85.0, 108.0), (94.0, 96.0), (95.0, 95.005)], 10, 0.01),
-            ScriptedObject::converging(&[(97.0, 112.0), (102.0, 104.0), (103.0, 103.005)], 10, 0.01),
+            ScriptedObject::converging(
+                &[(97.0, 112.0), (102.0, 104.0), (103.0, 103.005)],
+                10,
+                0.01,
+            ),
         ];
         let mut meter = WorkMeter::new();
-        let res = min_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter).unwrap();
+        let res = min_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.argext, 1);
         assert!(res.bounds.contains(95.0));
         assert!(res.bounds.lo() <= res.bounds.hi());
@@ -473,8 +610,12 @@ mod tests {
             ScriptedObject::converging(&[(95.0, 105.0)], 10, 0.01),
         ];
         let mut meter = WorkMeter::new();
-        let err =
-            max_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter).unwrap_err();
+        let err = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap_err();
         assert!(matches!(err, VaoError::IterationLimitExceeded { .. }));
     }
 
@@ -504,8 +645,12 @@ mod tests {
         let mut objs = table2_objects();
         let envelope = max_envelope(&objs).unwrap();
         let mut meter = WorkMeter::new();
-        let res = max_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = max_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert!(envelope.lo() <= res.bounds.lo() + 1e-12);
         assert!(res.bounds.hi() <= envelope.hi() + 1e-12);
     }

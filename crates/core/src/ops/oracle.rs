@@ -58,14 +58,14 @@ pub fn oracle_max<R: ResultObject>(
     };
 
     // 1. Run the known maximum to the requested precision.
-    while objs[true_argmax].bounds().width() > epsilon.epsilon() && !objs[true_argmax].converged()
-    {
+    while objs[true_argmax].bounds().width() > epsilon.epsilon() && !objs[true_argmax].converged() {
         step(&mut objs[true_argmax], meter, &mut iterations)?;
     }
     let winner_lo = objs[true_argmax].bounds().lo();
 
     // 2. Iterate every other object until it no longer overlaps.
     let mut ties = Vec::new();
+    #[allow(clippy::needless_range_loop)] // indexing sidesteps iter_mut borrow vs step()
     for i in 0..objs.len() {
         if i == true_argmax {
             continue;
@@ -108,8 +108,13 @@ mod tests {
     fn oracle_refines_winner_then_separates_others() {
         let mut o = objs();
         let mut meter = WorkMeter::new();
-        let res = oracle_max(&mut o, 1, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = oracle_max(
+            &mut o,
+            1,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.argext, 1);
         assert!(res.ties.is_empty());
         assert!(res.bounds.width() <= 0.01);
@@ -149,8 +154,13 @@ mod tests {
             ScriptedObject::converging(&[(90.0, 110.0), (99.998, 100.003)], 10, 0.01),
         ];
         let mut meter = WorkMeter::new();
-        let res = oracle_max(&mut o, 0, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = oracle_max(
+            &mut o,
+            0,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.ties, vec![1]);
     }
 
@@ -159,7 +169,12 @@ mod tests {
     fn oracle_rejects_bad_index() {
         let mut o = objs();
         let mut meter = WorkMeter::new();
-        let _ = oracle_max(&mut o, 99, PrecisionConstraint::new(0.01).unwrap(), &mut meter);
+        let _ = oracle_max(
+            &mut o,
+            99,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        );
     }
 
     #[test]
@@ -167,7 +182,12 @@ mod tests {
         let mut o: Vec<ScriptedObject> = vec![];
         let mut meter = WorkMeter::new();
         assert!(matches!(
-            oracle_max(&mut o, 0, PrecisionConstraint::new(0.01).unwrap(), &mut meter),
+            oracle_max(
+                &mut o,
+                0,
+                PrecisionConstraint::new(0.01).unwrap(),
+                &mut meter
+            ),
             Err(VaoError::EmptyInput)
         ));
     }

@@ -76,7 +76,12 @@ mod tests {
 
     fn obj(v: f64) -> ScriptedObject {
         ScriptedObject::converging(
-            &[(v - 8.0, v + 8.0), (v - 2.0, v + 2.0), (v - 0.3, v + 0.3), (v - 0.004, v + 0.004)],
+            &[
+                (v - 8.0, v + 8.0),
+                (v - 2.0, v + 2.0),
+                (v - 0.3, v + 0.3),
+                (v - 0.004, v + 0.004),
+            ],
             10,
             0.01,
         )
@@ -115,8 +120,12 @@ mod tests {
     fn project_all_handles_sets() {
         let mut objs = vec![obj(90.0), obj(110.0), obj(100.0)];
         let mut meter = WorkMeter::new();
-        let out = project_all(&mut objs, PrecisionConstraint::new(0.7).unwrap(), &mut meter)
-            .unwrap();
+        let out = project_all(
+            &mut objs,
+            PrecisionConstraint::new(0.7).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(out.len(), 3);
         for (p, v) in out.iter().zip([90.0, 110.0, 100.0]) {
             assert!(p.bounds.width() <= 0.7);

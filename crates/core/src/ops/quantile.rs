@@ -79,12 +79,7 @@ pub fn quantile_vao_with<R: ResultObject>(
         let members = top_by_hi(objs, k);
         let &theta_holder = members
             .iter()
-            .min_by(|&&a, &&b| {
-                objs[a]
-                    .bounds()
-                    .lo()
-                    .total_cmp(&objs[b].bounds().lo())
-            })
+            .min_by(|&&a, &&b| objs[a].bounds().lo().total_cmp(&objs[b].bounds().lo()))
             .expect("k >= 1");
         let theta = objs[theta_holder].bounds().lo();
         let unresolved: Vec<usize> = (0..objs.len())
@@ -248,8 +243,12 @@ mod tests {
         let values = [110.0, 90.0, 100.0, 130.0, 70.0];
         let mut objs = converging_to(&values);
         let mut meter = WorkMeter::new();
-        let res = median_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = median_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(values[res.argext], 100.0);
         assert!(res.bounds.contains(100.0));
         assert!(res.ties.is_empty());
@@ -283,13 +282,19 @@ mod tests {
         for k in 1..=values.len() {
             let mut objs = converging_to(&values);
             let mut meter = WorkMeter::new();
-            let res =
-                quantile_vao(&mut objs, k, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-                    .unwrap();
+            let res = quantile_vao(
+                &mut objs,
+                k,
+                PrecisionConstraint::new(0.01).unwrap(),
+                &mut meter,
+            )
+            .unwrap();
             assert_eq!(
-                values[res.argext], sorted[k - 1],
+                values[res.argext],
+                sorted[k - 1],
                 "rank {k}: got {}, want {}",
-                values[res.argext], sorted[k - 1]
+                values[res.argext],
+                sorted[k - 1]
             );
         }
     }
@@ -301,8 +306,12 @@ mod tests {
         let values = [10.0, 100.0, 101.0, 102.0, 200.0];
         let mut objs = converging_to(&values);
         let mut meter = WorkMeter::new();
-        let res = median_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = median_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(values[res.argext], 101.0);
         assert!(
             !objs[0].converged() && !objs[4].converged(),
@@ -315,8 +324,12 @@ mod tests {
         let values = [90.0, 100.0, 100.003, 120.0, 130.0];
         let mut objs = converging_to(&values);
         let mut meter = WorkMeter::new();
-        let res = median_vao(&mut objs, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = median_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         // Median is rank 3 from top: one of the two ~100 objects; the
         // other is indistinguishable.
         assert!((values[res.argext] - 100.0).abs() < 0.01);

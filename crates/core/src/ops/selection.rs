@@ -7,10 +7,13 @@
 //! resolved accordingly (paper, §3.2).
 
 use crate::bounds::Bounds;
-use crate::cost::WorkMeter;
+use crate::cost::{WorkBreakdown, WorkMeter};
 use crate::error::VaoError;
 use crate::interface::ResultObject;
 use crate::ops::DEFAULT_ITERATION_LIMIT;
+use crate::trace::{
+    observe_iteration, ExecObserver, NoopObserver, OperatorEndRecord, OperatorKind,
+};
 
 /// Comparison operator of a selection predicate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +132,19 @@ pub fn select<R: ResultObject>(
     SelectionVao::new(op, constant)?.evaluate(obj, meter)
 }
 
+/// [`select`] with an [`ExecObserver`] receiving the execution trace:
+/// operator start/end, plus one event per `iterate()` call carrying the
+/// bounds before/after and the `estCPU`-vs-actual CPU comparison.
+pub fn select_traced<R: ResultObject, O: ExecObserver>(
+    obj: &mut R,
+    op: CmpOp,
+    constant: f64,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+) -> Result<SelectionOutcome, VaoError> {
+    SelectionVao::new(op, constant)?.evaluate_traced(obj, meter, observer)
+}
+
 /// A reusable selection VAO: `f(args) ⟨op⟩ constant`.
 #[derive(Clone, Copy, Debug)]
 pub struct SelectionVao {
@@ -177,10 +193,32 @@ impl SelectionVao {
         obj: &mut R,
         meter: &mut WorkMeter,
     ) -> Result<SelectionOutcome, VaoError> {
+        self.evaluate_traced(obj, meter, &mut NoopObserver)
+    }
+
+    /// [`SelectionVao::evaluate`] with an [`ExecObserver`] receiving the
+    /// execution trace. The single result object is reported as object 0.
+    pub fn evaluate_traced<R: ResultObject, O: ExecObserver>(
+        &self,
+        obj: &mut R,
+        meter: &mut WorkMeter,
+        observer: &mut O,
+    ) -> Result<SelectionOutcome, VaoError> {
+        if observer.is_enabled() {
+            observer.on_operator_start(OperatorKind::Selection, 1);
+        }
+        let work_start = meter.snapshot();
         let mut iterations = 0u64;
         loop {
             let bounds = obj.bounds();
             if let Some(satisfied) = self.op.decide(&bounds, self.constant) {
+                if observer.is_enabled() {
+                    observer.on_operator_end(&OperatorEndRecord {
+                        kind: OperatorKind::Selection,
+                        iterations,
+                        work: meter.since(&work_start),
+                    });
+                }
                 return Ok(SelectionOutcome {
                     satisfied,
                     decided_at_min_width: false,
@@ -191,6 +229,13 @@ impl SelectionVao {
             if obj.converged() {
                 // Bounds still contain the constant but are as accurate as
                 // possible: treat the value as equal to the constant.
+                if observer.is_enabled() {
+                    observer.on_operator_end(&OperatorEndRecord {
+                        kind: OperatorKind::Selection,
+                        iterations,
+                        work: meter.since(&work_start),
+                    });
+                }
                 return Ok(SelectionOutcome {
                     satisfied: self.op.outcome_at_equality(),
                     decided_at_min_width: true,
@@ -203,8 +248,18 @@ impl SelectionVao {
                     limit: self.iteration_limit,
                 });
             }
+            let (est_cpu, snapshot) = if observer.is_enabled() {
+                (obj.est_cpu(), meter.snapshot())
+            } else {
+                (0, WorkBreakdown::default())
+            };
             let refined = obj.iterate(meter);
             iterations += 1;
+            if observer.is_enabled() {
+                observe_iteration(
+                    observer, 0, iterations, bounds, refined, est_cpu, meter, &snapshot,
+                );
+            }
             // Contract defense: a non-converged object whose iterate() left
             // the bounds unchanged will never decide the predicate.
             if refined == bounds && !obj.converged() {
@@ -255,7 +310,12 @@ mod tests {
         // (undecided) refined by one iteration to [102, 107]: both bounds
         // above $100, predicate true, error still far above minWidth $.01.
         let mut obj = ScriptedObject::converging(
-            &[(98.0, 110.0), (102.0, 107.0), (104.9, 105.1), (105.0, 105.005)],
+            &[
+                (98.0, 110.0),
+                (102.0, 107.0),
+                (104.9, 105.1),
+                (105.0, 105.005),
+            ],
             100,
             0.01,
         );
@@ -321,7 +381,9 @@ mod tests {
             .collect();
         let mut obj = ScriptedObject::converging(&script, 1, 0.0001);
         let mut meter = WorkMeter::new();
-        let vao = SelectionVao::new(CmpOp::Gt, 100.0).unwrap().with_iteration_limit(5);
+        let vao = SelectionVao::new(CmpOp::Gt, 100.0)
+            .unwrap()
+            .with_iteration_limit(5);
         let err = vao.evaluate(&mut obj, &mut meter).unwrap_err();
         assert_eq!(err, VaoError::IterationLimitExceeded { limit: 5 });
         assert_eq!(meter.iterations(), 5);

@@ -8,12 +8,15 @@
 //! weights this is SUM; with weights `1/N` it is AVE.
 
 use crate::bounds::Bounds;
-use crate::cost::{Work, WorkMeter};
+use crate::cost::{Work, WorkBreakdown, WorkMeter};
 use crate::error::VaoError;
 use crate::interface::ResultObject;
 use crate::ops::minmax::AggregateConfig;
 use crate::precision::PrecisionConstraint;
 use crate::strategy::Candidate;
+use crate::trace::{
+    observe_iteration, ExecObserver, NoopObserver, OperatorEndRecord, OperatorKind,
+};
 
 /// Result of a SUM/AVE evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,7 +38,13 @@ pub fn sum_vao<R: ResultObject>(
     meter: &mut WorkMeter,
 ) -> Result<SumResult, VaoError> {
     let weights = vec![1.0; objs.len()];
-    weighted_sum_vao_with(objs, &weights, epsilon, &mut AggregateConfig::default(), meter)
+    weighted_sum_vao_with(
+        objs,
+        &weights,
+        epsilon,
+        &mut AggregateConfig::default(),
+        meter,
+    )
 }
 
 /// Evaluates AVE (weights `1/N`) with the default greedy configuration.
@@ -49,7 +58,13 @@ pub fn ave_vao<R: ResultObject>(
     }
     let w = 1.0 / objs.len() as f64;
     let weights = vec![w; objs.len()];
-    weighted_sum_vao_with(objs, &weights, epsilon, &mut AggregateConfig::default(), meter)
+    weighted_sum_vao_with(
+        objs,
+        &weights,
+        epsilon,
+        &mut AggregateConfig::default(),
+        meter,
+    )
 }
 
 /// Evaluates a weighted SUM with the default greedy configuration.
@@ -82,7 +97,13 @@ pub fn weighted_sum_vao<R: ResultObject>(
     epsilon: PrecisionConstraint,
     meter: &mut WorkMeter,
 ) -> Result<SumResult, VaoError> {
-    weighted_sum_vao_with(objs, weights, epsilon, &mut AggregateConfig::default(), meter)
+    weighted_sum_vao_with(
+        objs,
+        weights,
+        epsilon,
+        &mut AggregateConfig::default(),
+        meter,
+    )
 }
 
 /// Evaluates a weighted SUM with an explicit configuration.
@@ -102,27 +123,58 @@ pub fn weighted_sum_vao_with<R: ResultObject>(
     config: &mut AggregateConfig,
     meter: &mut WorkMeter,
 ) -> Result<SumResult, VaoError> {
+    weighted_sum_vao_traced(objs, weights, epsilon, config, meter, &mut NoopObserver)
+}
+
+/// [`weighted_sum_vao_with`] with an [`ExecObserver`] receiving the
+/// execution trace: operator start/end, one
+/// [`crate::trace::ChoiceRecord`] per strategy decision and one
+/// [`crate::trace::IterationRecord`] per `iterate()` call.
+pub fn weighted_sum_vao_traced<R: ResultObject, O: ExecObserver>(
+    objs: &mut [R],
+    weights: &[f64],
+    epsilon: PrecisionConstraint,
+    config: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+) -> Result<SumResult, VaoError> {
     if objs.is_empty() {
         return Err(VaoError::EmptyInput);
     }
     for (i, &w) in weights.iter().enumerate() {
         if !w.is_finite() || w < 0.0 {
-            return Err(VaoError::InvalidWeight { index: i, weight: w });
+            return Err(VaoError::InvalidWeight {
+                index: i,
+                weight: w,
+            });
         }
     }
     epsilon.validate_weighted(objs, weights)?;
 
+    if observer.is_enabled() {
+        observer.on_operator_start(OperatorKind::Sum, objs.len());
+    }
+    let work_start = meter.snapshot();
     let mut iterations = 0u64;
     let total = |objs: &[R]| -> (f64, f64) {
-        objs.iter().zip(weights).fold((0.0, 0.0), |(lo, hi), (o, &w)| {
-            let b = o.bounds();
-            (lo + w * b.lo(), hi + w * b.hi())
-        })
+        objs.iter()
+            .zip(weights)
+            .fold((0.0, 0.0), |(lo, hi), (o, &w)| {
+                let b = o.bounds();
+                (lo + w * b.lo(), hi + w * b.hi())
+            })
     };
     let (mut lo_sum, mut hi_sum) = total(objs);
 
     loop {
         if hi_sum - lo_sum <= epsilon.epsilon() {
+            if observer.is_enabled() {
+                observer.on_operator_end(&OperatorEndRecord {
+                    kind: OperatorKind::Sum,
+                    iterations,
+                    work: meter.since(&work_start),
+                });
+            }
             return Ok(SumResult {
                 bounds: Bounds::new(lo_sum.min(hi_sum), hi_sum.max(lo_sum)),
                 iterations,
@@ -150,6 +202,13 @@ pub fn weighted_sum_vao_with<R: ResultObject>(
         }
         if candidates.is_empty() {
             // Every object at its stopping condition: the floor.
+            if observer.is_enabled() {
+                observer.on_operator_end(&OperatorEndRecord {
+                    kind: OperatorKind::Sum,
+                    iterations,
+                    work: meter.since(&work_start),
+                });
+            }
             return Ok(SumResult {
                 bounds: Bounds::new(lo_sum.min(hi_sum), hi_sum.max(lo_sum)),
                 iterations,
@@ -159,7 +218,7 @@ pub fn weighted_sum_vao_with<R: ResultObject>(
         meter.charge_choose(candidates.len() as Work);
         let pick = config
             .policy
-            .pick(&candidates)
+            .pick_traced(&candidates, observer)
             .expect("candidates is non-empty");
         let chosen = candidates[pick].index;
 
@@ -168,9 +227,19 @@ pub fn weighted_sum_vao_with<R: ResultObject>(
                 limit: config.iteration_limit,
             });
         }
+        let (est_cpu, snapshot) = if observer.is_enabled() {
+            (objs[chosen].est_cpu(), meter.snapshot())
+        } else {
+            (0, WorkBreakdown::default())
+        };
         let before = objs[chosen].bounds();
         let after = objs[chosen].iterate(meter);
         iterations += 1;
+        if observer.is_enabled() {
+            observe_iteration(
+                observer, chosen, iterations, before, after, est_cpu, meter, &snapshot,
+            );
+        }
         if after == before && !objs[chosen].converged() {
             return Err(VaoError::IterationLimitExceeded {
                 limit: config.iteration_limit,
@@ -181,7 +250,7 @@ pub fn weighted_sum_vao_with<R: ResultObject>(
         let w = weights[chosen];
         lo_sum += w * (after.lo() - before.lo());
         hi_sum += w * (after.hi() - before.hi());
-        if iterations % 1024 == 0 {
+        if iterations.is_multiple_of(1024) {
             let (l, h) = total(objs);
             lo_sum = l;
             hi_sum = h;
@@ -205,7 +274,12 @@ mod tests {
                 0.01,
             ),
             ScriptedObject::converging(
-                &[(100.0, 106.0), (102.0, 104.0), (102.9, 103.1), (103.0, 103.005)],
+                &[
+                    (100.0, 106.0),
+                    (102.0, 104.0),
+                    (102.9, 103.1),
+                    (103.0, 103.005),
+                ],
                 4,
                 0.01,
             ),
@@ -238,10 +312,18 @@ mod tests {
         let mut meter = WorkMeter::new();
         // Initial total bounds: [292, 310], width 18. ε = 8 is reachable
         // after refining without full convergence.
-        let res = sum_vao(&mut objs, PrecisionConstraint::new(8.0).unwrap(), &mut meter).unwrap();
+        let res = sum_vao(
+            &mut objs,
+            PrecisionConstraint::new(8.0).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert!(res.bounds.width() <= 8.0);
         assert!(!res.stopped_at_floor);
-        assert!(objs.iter().any(|o| !o.converged()), "ε=8 must not need full accuracy");
+        assert!(
+            objs.iter().any(|o| !o.converged()),
+            "ε=8 must not need full accuracy"
+        );
         // True sum of converged values ≈ 98.40 + 98.00 + 103.00 = 299.4.
         assert!(res.bounds.contains(299.4));
     }
@@ -252,7 +334,12 @@ mod tests {
         let mut meter = WorkMeter::new();
         // Floor = 3 * 0.01 = 0.03; converged widths are 0.005 each, so the
         // final width 0.015 meets ε = 0.03 only after full convergence.
-        let res = sum_vao(&mut objs, PrecisionConstraint::new(0.03).unwrap(), &mut meter).unwrap();
+        let res = sum_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.03).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert!(objs.iter().all(ScriptedObject::converged));
         assert!(res.bounds.width() <= 0.03);
         // 2 + 3 + 3 refinements in total.
@@ -263,8 +350,12 @@ mod tests {
     fn epsilon_below_weighted_floor_rejected() {
         let mut objs = trio();
         let mut meter = WorkMeter::new();
-        let err = sum_vao(&mut objs, PrecisionConstraint::new(0.02).unwrap(), &mut meter)
-            .unwrap_err();
+        let err = sum_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.02).unwrap(),
+            &mut meter,
+        )
+        .unwrap_err();
         assert!(matches!(err, VaoError::PrecisionTooTight { .. }));
     }
 
@@ -323,7 +414,12 @@ mod tests {
     fn ave_scales_sum_by_n() {
         let mut objs = trio();
         let mut meter = WorkMeter::new();
-        let res = ave_vao(&mut objs, PrecisionConstraint::new(0.05).unwrap(), &mut meter).unwrap();
+        let res = ave_vao(
+            &mut objs,
+            PrecisionConstraint::new(0.05).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         // Average of ≈ (98.4, 98.0, 103.0) ≈ 99.8.
         assert!(res.bounds.contains(299.4 / 3.0));
         assert!(res.bounds.width() <= 0.05);
@@ -335,7 +431,13 @@ mod tests {
         let mut meter = WorkMeter::new();
         let eps = PrecisionConstraint::new(1.0).unwrap();
         let err = weighted_sum_vao(&mut objs, &[1.0, -2.0, 1.0], eps, &mut meter).unwrap_err();
-        assert_eq!(err, VaoError::InvalidWeight { index: 1, weight: -2.0 });
+        assert_eq!(
+            err,
+            VaoError::InvalidWeight {
+                index: 1,
+                weight: -2.0
+            }
+        );
         let err = weighted_sum_vao(&mut objs, &[1.0, f64::NAN, 1.0], eps, &mut meter).unwrap_err();
         assert!(matches!(err, VaoError::InvalidWeight { index: 1, .. }));
         let err = weighted_sum_vao(&mut objs, &[1.0, 1.0], eps, &mut meter).unwrap_err();
@@ -347,17 +449,31 @@ mod tests {
         let mut objs: Vec<ScriptedObject> = vec![];
         let mut meter = WorkMeter::new();
         let eps = PrecisionConstraint::new(1.0).unwrap();
-        assert_eq!(sum_vao(&mut objs, eps, &mut meter).unwrap_err(), VaoError::EmptyInput);
-        assert_eq!(ave_vao(&mut objs, eps, &mut meter).unwrap_err(), VaoError::EmptyInput);
+        assert_eq!(
+            sum_vao(&mut objs, eps, &mut meter).unwrap_err(),
+            VaoError::EmptyInput
+        );
+        assert_eq!(
+            ave_vao(&mut objs, eps, &mut meter).unwrap_err(),
+            VaoError::EmptyInput
+        );
     }
 
     #[test]
     fn stalled_object_yields_iteration_error() {
         // Never converges, never narrows enough for ε.
-        let mut objs = vec![ScriptedObject::converging(&[(0.0, 10.0), (1.0, 9.0)], 4, 0.01)];
+        let mut objs = vec![ScriptedObject::converging(
+            &[(0.0, 10.0), (1.0, 9.0)],
+            4,
+            0.01,
+        )];
         let mut meter = WorkMeter::new();
-        let err = sum_vao(&mut objs, PrecisionConstraint::new(1.0).unwrap(), &mut meter)
-            .unwrap_err();
+        let err = sum_vao(
+            &mut objs,
+            PrecisionConstraint::new(1.0).unwrap(),
+            &mut meter,
+        )
+        .unwrap_err();
         assert!(matches!(err, VaoError::IterationLimitExceeded { .. }));
     }
 

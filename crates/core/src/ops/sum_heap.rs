@@ -78,19 +78,22 @@ pub fn weighted_sum_vao_heap<R: ResultObject>(
     }
     for (i, &w) in weights.iter().enumerate() {
         if !w.is_finite() || w < 0.0 {
-            return Err(VaoError::InvalidWeight { index: i, weight: w });
+            return Err(VaoError::InvalidWeight {
+                index: i,
+                weight: w,
+            });
         }
     }
     epsilon.validate_weighted(objs, weights)?;
 
     let n = objs.len();
-    let (mut lo_sum, mut hi_sum) = objs
-        .iter()
-        .zip(weights)
-        .fold((0.0, 0.0), |(lo, hi), (o, &w)| {
-            let b = o.bounds();
-            (lo + w * b.lo(), hi + w * b.hi())
-        });
+    let (mut lo_sum, mut hi_sum) =
+        objs.iter()
+            .zip(weights)
+            .fold((0.0, 0.0), |(lo, hi), (o, &w)| {
+                let b = o.bounds();
+                (lo + w * b.lo(), hi + w * b.hi())
+            });
 
     let mut versions = vec![0u64; n];
     let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n);
@@ -152,11 +155,14 @@ pub fn weighted_sum_vao_heap<R: ResultObject>(
         let w = weights[chosen];
         lo_sum += w * (after.lo() - before.lo());
         hi_sum += w * (after.hi() - before.hi());
-        if iterations % 1024 == 0 {
-            let (l, h) = objs.iter().zip(weights).fold((0.0, 0.0), |(lo, hi), (o, &ww)| {
-                let b = o.bounds();
-                (lo + ww * b.lo(), hi + ww * b.hi())
-            });
+        if iterations.is_multiple_of(1024) {
+            let (l, h) = objs
+                .iter()
+                .zip(weights)
+                .fold((0.0, 0.0), |(lo, hi), (o, &ww)| {
+                    let b = o.bounds();
+                    (lo + ww * b.lo(), hi + ww * b.hi())
+                });
             lo_sum = l;
             hi_sum = h;
         }
@@ -306,7 +312,11 @@ mod tests {
 
     #[test]
     fn heap_detects_stalled_objects() {
-        let mut objs = vec![ScriptedObject::converging(&[(0.0, 10.0), (1.0, 9.0)], 4, 0.01)];
+        let mut objs = vec![ScriptedObject::converging(
+            &[(0.0, 10.0), (1.0, 9.0)],
+            4,
+            0.01,
+        )];
         let mut meter = WorkMeter::new();
         assert!(matches!(
             weighted_sum_vao_heap(

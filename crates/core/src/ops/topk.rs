@@ -235,8 +235,13 @@ mod tests {
         let values = [90.0, 107.0, 95.0, 103.0, 99.0, 111.0];
         let mut objs = converging_to(&values);
         let mut meter = WorkMeter::new();
-        let res = topk_vao(&mut objs, 3, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = topk_vao(
+            &mut objs,
+            3,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.members, vec![5, 1, 3], "descending by value");
         assert!(res.ties.is_empty());
         for b in &res.bounds {
@@ -255,8 +260,13 @@ mod tests {
             ScriptedObject::converging(&[(30.0, 31.0)], 10, 2.0),
         ];
         let mut meter = WorkMeter::new();
-        let res = topk_vao(&mut objs, 2, PrecisionConstraint::new(2.0).unwrap(), &mut meter)
-            .unwrap();
+        let res = topk_vao(
+            &mut objs,
+            2,
+            PrecisionConstraint::new(2.0).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.members, vec![3, 2]);
         assert_eq!(res.iterations, 0);
     }
@@ -273,8 +283,13 @@ mod tests {
             ScriptedObject::converging(&[(85.0, 112.0), (100.0, 100.004)], 10, 0.01),
         ];
         let mut meter = WorkMeter::new();
-        let res = topk_vao(&mut objs, 3, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = topk_vao(
+            &mut objs,
+            3,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.members.len(), 3);
         assert_eq!(res.ties.len(), 1, "one indistinguishable outsider");
         let outsider = res.ties[0];
@@ -303,7 +318,12 @@ mod tests {
         let mut objs = converging_to(&[1.0, 50.0]);
         let mut meter = WorkMeter::new();
         assert!(matches!(
-            topk_vao(&mut objs, 1, PrecisionConstraint::new(0.001).unwrap(), &mut meter),
+            topk_vao(
+                &mut objs,
+                1,
+                PrecisionConstraint::new(0.001).unwrap(),
+                &mut meter
+            ),
             Err(VaoError::PrecisionTooTight { .. })
         ));
     }
@@ -314,12 +334,21 @@ mod tests {
         // objects 1 and 2.
         let mut objs = vec![
             ScriptedObject::converging(&[(60.0, 140.0), (62.0, 66.0), (64.0, 64.004)], 10, 0.01),
-            ScriptedObject::converging(&[(90.0, 120.0), (104.0, 106.0), (105.0, 105.004)], 10, 0.01),
+            ScriptedObject::converging(
+                &[(90.0, 120.0), (104.0, 106.0), (105.0, 105.004)],
+                10,
+                0.01,
+            ),
             ScriptedObject::converging(&[(85.0, 118.0), (99.0, 101.0), (100.0, 100.004)], 10, 0.01),
         ];
         let mut meter = WorkMeter::new();
-        let res = topk_vao(&mut objs, 2, PrecisionConstraint::new(0.01).unwrap(), &mut meter)
-            .unwrap();
+        let res = topk_vao(
+            &mut objs,
+            2,
+            PrecisionConstraint::new(0.01).unwrap(),
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(res.members, vec![1, 2]);
     }
 

@@ -140,7 +140,10 @@ pub fn traditional_weighted_sum(
     }
     for (i, &w) in weights.iter().enumerate() {
         if !w.is_finite() || w < 0.0 {
-            return Err(VaoError::InvalidWeight { index: i, weight: w });
+            return Err(VaoError::InvalidWeight {
+                index: i,
+                weight: w,
+            });
         }
     }
     Ok(specs

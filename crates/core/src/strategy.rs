@@ -10,6 +10,7 @@
 //! benchmarks to quantify how much the greedy choice matters.
 
 use crate::cost::Work;
+use crate::trace::{ChoiceRecord, ExecObserver};
 
 /// A scored iteration choice offered to a policy.
 ///
@@ -126,6 +127,28 @@ impl ChoicePolicy {
             ChoicePolicy::WidestFirst => Some(max_by_key(candidates, |c| c.width)),
         }
     }
+
+    /// Like [`ChoicePolicy::pick`], but reports the decision — chosen
+    /// object, benefit, `estCPU` and greedy score — to `observer`. With a
+    /// disabled observer this compiles down to a plain `pick`.
+    pub fn pick_traced<O: ExecObserver>(
+        &mut self,
+        candidates: &[Candidate],
+        observer: &mut O,
+    ) -> Option<usize> {
+        let pick = self.pick(candidates)?;
+        if observer.is_enabled() {
+            let c = &candidates[pick];
+            observer.on_choice(&ChoiceRecord {
+                object: c.index,
+                benefit: c.benefit,
+                est_cpu: c.est_cpu,
+                score: c.score(),
+                candidates: candidates.len(),
+            });
+        }
+        Some(pick)
+    }
 }
 
 /// First index maximizing `key` (ties break toward the earliest candidate,
@@ -159,7 +182,11 @@ mod tests {
     #[test]
     fn greedy_prefers_best_benefit_per_cycle() {
         // Table 2 scenario: equal estCPU (4), overlap reductions 1, 2, 3.
-        let cands = [cand(0, 1.0, 4, 4.0), cand(1, 2.0, 4, 8.0), cand(2, 3.0, 4, 6.0)];
+        let cands = [
+            cand(0, 1.0, 4, 4.0),
+            cand(1, 2.0, 4, 8.0),
+            cand(2, 3.0, 4, 6.0),
+        ];
         let mut p = ChoicePolicy::greedy();
         assert_eq!(p.pick(&cands), Some(2));
     }
@@ -180,7 +207,11 @@ mod tests {
 
     #[test]
     fn greedy_falls_back_to_widest_on_zero_benefit() {
-        let cands = [cand(0, 0.0, 4, 1.0), cand(1, 0.0, 4, 9.0), cand(2, 0.0, 4, 3.0)];
+        let cands = [
+            cand(0, 0.0, 4, 1.0),
+            cand(1, 0.0, 4, 9.0),
+            cand(2, 0.0, 4, 3.0),
+        ];
         let mut p = ChoicePolicy::greedy();
         assert_eq!(p.pick(&cands), Some(1));
     }
@@ -206,7 +237,11 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let cands = [cand(0, 1.0, 1, 1.0), cand(1, 1.0, 1, 1.0), cand(2, 1.0, 1, 1.0)];
+        let cands = [
+            cand(0, 1.0, 1, 1.0),
+            cand(1, 1.0, 1, 1.0),
+            cand(2, 1.0, 1, 1.0),
+        ];
         let mut p = ChoicePolicy::round_robin();
         let picks: Vec<_> = (0..6).map(|_| p.pick(&cands).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
@@ -214,7 +249,11 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed_and_in_range() {
-        let cands = [cand(0, 1.0, 1, 1.0), cand(1, 1.0, 1, 1.0), cand(2, 1.0, 1, 1.0)];
+        let cands = [
+            cand(0, 1.0, 1, 1.0),
+            cand(1, 1.0, 1, 1.0),
+            cand(2, 1.0, 1, 1.0),
+        ];
         let mut a = ChoicePolicy::random(7);
         let mut b = ChoicePolicy::random(7);
         for _ in 0..32 {

@@ -151,7 +151,8 @@ mod tests {
 
     #[test]
     fn converging_replays_script_and_charges_costs() {
-        let mut obj = ScriptedObject::converging(&[(0.0, 10.0), (2.0, 6.0), (3.0, 3.005)], 50, 0.01);
+        let mut obj =
+            ScriptedObject::converging(&[(0.0, 10.0), (2.0, 6.0), (3.0, 3.005)], 50, 0.01);
         let mut m = WorkMeter::new();
         assert_eq!(obj.bounds(), Bounds::new(0.0, 10.0));
         assert!(!obj.converged());
@@ -179,7 +180,11 @@ mod tests {
         let before = m.total();
         let b = obj.iterate(&mut m);
         assert_eq!(b, Bounds::new(5.0, 5.001));
-        assert_eq!(m.total(), before, "no work may be charged after convergence");
+        assert_eq!(
+            m.total(),
+            before,
+            "no work may be charged after convergence"
+        );
         assert_eq!(m.iterations(), 1);
     }
 

@@ -74,12 +74,12 @@ proptest! {
             .iter()
             .map(|&i| truths[i])
             .fold(f64::INFINITY, f64::min);
-        for i in 0..truths.len() {
+        for (i, &truth) in truths.iter().enumerate() {
             if !res.members.contains(&i) {
                 prop_assert!(
-                    truths[i] <= member_min + MIN_WIDTH,
+                    truth <= member_min + MIN_WIDTH,
                     "non-member {} ({}) above member floor {}",
-                    i, truths[i], member_min
+                    i, truth, member_min
                 );
             }
         }

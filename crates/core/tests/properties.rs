@@ -38,7 +38,9 @@ fn nested_script(truth: f64, lo_pad: f64, hi_pad: f64, shrinks: &[f64]) -> Vec<(
     script
 }
 
-fn script_strategy(value_range: std::ops::Range<f64>) -> impl Strategy<Value = (f64, Vec<(f64, f64)>)> {
+fn script_strategy(
+    value_range: std::ops::Range<f64>,
+) -> impl Strategy<Value = (f64, Vec<(f64, f64)>)> {
     (
         value_range,
         0.5f64..20.0,

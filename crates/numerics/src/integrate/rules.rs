@@ -15,7 +15,10 @@ pub fn composite_trapezoid(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: u32) -> f6
 
 /// Composite Simpson rule with an even `n ≥ 2` intervals. Error `O(h⁴)`.
 pub fn composite_simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: u32) -> f64 {
-    assert!(n >= 2 && n % 2 == 0, "Simpson needs an even interval count");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "Simpson needs an even interval count"
+    );
     let h = (b - a) / f64::from(n);
     let mut sum = f(a) + f(b);
     for i in 1..n {
@@ -232,7 +235,11 @@ mod tests {
         }
         // 33 evaluations get ~1e-12; plain trapezoid at 32 intervals is
         // ~1e-4.
-        assert!((romberg.estimate() - exact).abs() < 1e-11, "{}", romberg.estimate());
+        assert!(
+            (romberg.estimate() - exact).abs() < 1e-11,
+            "{}",
+            romberg.estimate()
+        );
         assert_eq!(romberg.evaluations(), 33);
         let trap = composite_trapezoid(&|x: f64| x.exp(), 0.0, 1.0, 32);
         assert!((trap - exact).abs() > 1e-5);

@@ -100,9 +100,7 @@ impl<F: Fn(f64) -> f64> QuadratureResultObject<F> {
     pub fn estimate(&self) -> f64 {
         match self.config.rule {
             QuadratureRule::Trapezoid => self.ladder.estimate(),
-            QuadratureRule::Simpson => {
-                (4.0 * self.ladder.estimate() - self.prev_estimate) / 3.0
-            }
+            QuadratureRule::Simpson => (4.0 * self.ladder.estimate() - self.prev_estimate) / 3.0,
         }
     }
 
@@ -232,8 +230,11 @@ impl<F: Fn(f64) -> f64> ResultObject for QuadratureResultObject<F> {
 mod tests {
     use super::*;
 
-    fn sin_object(rule: QuadratureRule, min_width: f64) -> (QuadratureResultObject<fn(f64) -> f64>, WorkMeter)
-    {
+    #[allow(clippy::type_complexity)] // test helper returning a concrete fn-pointer object
+    fn sin_object(
+        rule: QuadratureRule,
+        min_width: f64,
+    ) -> (QuadratureResultObject<fn(f64) -> f64>, WorkMeter) {
         let mut meter = WorkMeter::new();
         let obj = QuadratureResultObject::new(
             (|x: f64| x.sin()) as fn(f64) -> f64,
@@ -325,7 +326,10 @@ mod tests {
         assert!(est.width() < cur_w);
         let actual = obj.iterate(&mut meter);
         let ratio = est.width() / actual.width().max(1e-300);
-        assert!((0.1..=10.0).contains(&ratio), "est {est} vs actual {actual}");
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "est {est} vs actual {actual}"
+        );
     }
 
     #[test]

@@ -138,9 +138,9 @@ impl BeamProblem {
         let (ep, em) = ((lambda * l).exp(), (-lambda * l).exp());
         let c1 = -gamma * (1.0 - em) / (ep - em);
         let c2 = -gamma - c1;
-        let particular =
-            -self.load / (2.0 * self.stress) * x * x + self.load * l / (2.0 * self.stress) * x
-                + gamma;
+        let particular = -self.load / (2.0 * self.stress) * x * x
+            + self.load * l / (2.0 * self.stress) * x
+            + gamma;
         c1 * (lambda * x).exp() + c2 * (-lambda * x).exp() + particular
     }
 }

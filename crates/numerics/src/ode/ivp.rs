@@ -174,10 +174,7 @@ impl<P: InitialValueProblem> IvpResultObject<P> {
 /// Bounds around `value` for a signed modeled error `e` with a safety
 /// factor: the true answer is `value − e(1 ± safety-slack)`.
 fn signed_error_bounds(value: f64, e: f64, safety: f64) -> Bounds {
-    Bounds::new(
-        value - safety * e.max(0.0),
-        value + safety * (-e).max(0.0),
-    )
+    Bounds::new(value - safety * e.max(0.0), value + safety * (-e).max(0.0))
 }
 
 impl<P: InitialValueProblem> ResultObject for IvpResultObject<P> {

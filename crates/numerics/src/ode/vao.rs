@@ -110,10 +110,7 @@ impl<B: LinearBvp> OdeResultObject<B> {
 /// Bounds around `value` for a one-term signed error `K·h²`.
 fn one_term_bounds(value: f64, k: f64, h: f64, safety: f64) -> Bounds {
     let e = k * h * h;
-    Bounds::new(
-        value - safety * e.max(0.0),
-        value + safety * (-e).max(0.0),
-    )
+    Bounds::new(value - safety * e.max(0.0), value + safety * (-e).max(0.0))
 }
 
 impl<B: LinearBvp> ResultObject for OdeResultObject<B> {

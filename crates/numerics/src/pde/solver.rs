@@ -25,9 +25,7 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        Self {
-            max_cells: 1 << 28,
-        }
+        Self { max_cells: 1 << 28 }
     }
 }
 

@@ -143,7 +143,13 @@ pub fn solve_adi<P: TwoFactorPde>(
                 rhs[i] = g[j][i] + 0.5 * dt * problem.source(x, y, t);
             }
             thomas
-                .solve(&sub[..nx], &diag[..nx], &sup[..nx], &rhs[..nx], &mut sol[..nx])
+                .solve(
+                    &sub[..nx],
+                    &diag[..nx],
+                    &sup[..nx],
+                    &rhs[..nx],
+                    &mut sol[..nx],
+                )
                 .map_err(SolveError::Singular)?;
             g[j][..nx].copy_from_slice(&sol[..nx]);
         }
@@ -175,7 +181,13 @@ pub fn solve_adi<P: TwoFactorPde>(
                 rhs[j] = g[j][i] + 0.5 * dt * problem.source(x, y, t);
             }
             thomas
-                .solve(&sub[..ny], &diag[..ny], &sup[..ny], &rhs[..ny], &mut sol[..ny])
+                .solve(
+                    &sub[..ny],
+                    &diag[..ny],
+                    &sup[..ny],
+                    &rhs[..ny],
+                    &mut sol[..ny],
+                )
                 .map_err(SolveError::Singular)?;
             for j in 0..ny {
                 g[j][i] = sol[j];
@@ -187,7 +199,10 @@ pub fn solve_adi<P: TwoFactorPde>(
     let (xq, yq) = problem.query();
     let px = ((xq - x_lo) / hx).clamp(0.0, (nx - 1) as f64);
     let py = ((yq - y_lo) / hy).clamp(0.0, (ny - 1) as f64);
-    let (i0, j0) = ((px.floor() as usize).min(nx - 2), (py.floor() as usize).min(ny - 2));
+    let (i0, j0) = (
+        (px.floor() as usize).min(nx - 2),
+        (py.floor() as usize).min(ny - 2),
+    );
     let (fx, fy) = (px - i0 as f64, py - j0 as f64);
     let value = g[j0][i0] * (1.0 - fx) * (1.0 - fy)
         + g[j0][i0 + 1] * fx * (1.0 - fy)
@@ -499,7 +514,11 @@ mod tests {
         let fine = solve_adi(&Decay2F, 4, 4, 512, 1 << 30).unwrap();
         let exact = decay_exact();
         assert!((fine.value - exact).abs() < (coarse.value - exact).abs());
-        assert!((fine.value - exact).abs() < 0.05, "{} vs {exact}", fine.value);
+        assert!(
+            (fine.value - exact).abs() < 0.05,
+            "{} vs {exact}",
+            fine.value
+        );
     }
 
     #[test]
@@ -619,12 +638,8 @@ mod tests {
     fn vao_object_works_in_a_selection() {
         use vao::ops::selection::{select, CmpOp};
         let mut meter = WorkMeter::new();
-        let mut obj = TwoFactorResultObject::new(
-            Decay2F,
-            TwoFactorVaoConfig::default(),
-            &mut meter,
-        )
-        .unwrap();
+        let mut obj =
+            TwoFactorResultObject::new(Decay2F, TwoFactorVaoConfig::default(), &mut meter).unwrap();
         // Exact value ≈ 39.35: the predicate "> 20" decides quickly.
         let out = select(&mut obj, CmpOp::Gt, 20.0, &mut meter).unwrap();
         assert!(out.satisfied);

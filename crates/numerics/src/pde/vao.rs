@@ -72,7 +72,11 @@ pub struct PdeResultObject<P: ParabolicPde> {
 impl<P: ParabolicPde> PdeResultObject<P> {
     /// Creates the object, running the initial coarse trio of solves and
     /// charging their work to `meter`.
-    pub fn new(problem: P, config: PdeVaoConfig, meter: &mut WorkMeter) -> Result<Self, SolveError> {
+    pub fn new(
+        problem: P,
+        config: PdeVaoConfig,
+        meter: &mut WorkMeter,
+    ) -> Result<Self, SolveError> {
         assert!(
             config.min_width > 0.0 && config.min_width.is_finite(),
             "min_width must be positive"
@@ -446,10 +450,7 @@ mod tests {
         }
         assert!(obj.converged());
         let (nt, nx) = obj.mesh();
-        assert_eq!(
-            obj.standalone_cost(),
-            u64::from(nt) * (u64::from(nx) + 1)
-        );
+        assert_eq!(obj.standalone_cost(), u64::from(nt) * (u64::from(nx) + 1));
         // §4.1: the iterative path costs at most a small multiple of the
         // single fine solve (geometric doubling gives ~2x, plus the trio).
         assert!(obj.cumulative_cost() <= 4 * obj.standalone_cost());
@@ -462,7 +463,11 @@ mod tests {
         let (mut obj, _) = make(PdeVaoConfig::default());
         let mut m = WorkMeter::new();
         obj.iterate(&mut m);
-        assert_eq!(m.breakdown().exec_iter, 0, "first refinement is a cache hit");
+        assert_eq!(
+            m.breakdown().exec_iter,
+            0,
+            "first refinement is a cache hit"
+        );
         assert_eq!(m.iterations(), 1);
     }
 }

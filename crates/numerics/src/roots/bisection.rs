@@ -22,9 +22,9 @@ pub enum BracketError {
 impl std::fmt::Display for BracketError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BracketError::NoSignChange { fa, fb } =>
-
-                write!(f, "f(a)={fa} and f(b)={fb} do not bracket a root"),
+            BracketError::NoSignChange { fa, fb } => {
+                write!(f, "f(a)={fa} and f(b)={fb} do not bracket a root")
+            }
             BracketError::BadInterval { a, b } => write!(f, "bad bracket [{a}, {b}]"),
         }
     }

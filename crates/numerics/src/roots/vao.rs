@@ -173,6 +173,7 @@ impl<F: Fn(f64) -> f64> ResultObject for RootResultObject<F> {
 mod tests {
     use super::*;
 
+    #[allow(clippy::type_complexity)] // test helper returning a concrete fn-pointer object
     fn sqrt2_object(min_width: f64) -> (RootResultObject<fn(f64) -> f64>, WorkMeter) {
         let mut meter = WorkMeter::new();
         let obj = RootResultObject::new(
@@ -256,14 +257,8 @@ mod tests {
     #[test]
     fn endpoint_root_at_construction() {
         let mut meter = WorkMeter::new();
-        let obj = RootResultObject::new(
-            |x: f64| x,
-            0.0,
-            1.0,
-            RootVaoConfig::default(),
-            &mut meter,
-        )
-        .unwrap();
+        let obj = RootResultObject::new(|x: f64| x, 0.0, 1.0, RootVaoConfig::default(), &mut meter)
+            .unwrap();
         assert_eq!(obj.bounds().width(), 0.0);
         assert_eq!(obj.est_cpu(), 0);
     }
@@ -272,7 +267,13 @@ mod tests {
     fn rejects_invalid_brackets() {
         let mut meter = WorkMeter::new();
         assert!(matches!(
-            RootResultObject::new(|x: f64| x * x + 1.0, 0.0, 1.0, RootVaoConfig::default(), &mut meter),
+            RootResultObject::new(
+                |x: f64| x * x + 1.0,
+                0.0,
+                1.0,
+                RootVaoConfig::default(),
+                &mut meter
+            ),
             Err(BracketError::NoSignChange { .. })
         ));
         assert!(matches!(
@@ -300,7 +301,11 @@ mod tests {
         .unwrap();
         let out = select(&mut obj, CmpOp::Gt, 1.0, &mut meter).unwrap();
         assert!(out.satisfied); // sqrt(2) > 1
-        assert!(out.iterations <= 3, "needed only {} iterations", out.iterations);
+        assert!(
+            out.iterations <= 3,
+            "needed only {} iterations",
+            out.iterations
+        );
         assert!(obj.bounds().width() > 1e-12, "far from full accuracy");
     }
 }

@@ -22,7 +22,9 @@ pub enum TridiagError {
 impl std::fmt::Display for TridiagError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TridiagError::BadShape => write!(f, "tridiagonal system slices have inconsistent lengths"),
+            TridiagError::BadShape => {
+                write!(f, "tridiagonal system slices have inconsistent lengths")
+            }
             TridiagError::ZeroPivot { row } => write!(f, "zero pivot at row {row}"),
         }
     }
@@ -161,9 +163,9 @@ mod tests {
         };
         let sub: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
         let sup: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
-        let diag: Vec<f64> = (0..n).map(|i| {
-            2.0 + sub[i].abs() + sup[i].abs() + rnd()
-        }).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| 2.0 + sub[i].abs() + sup[i].abs() + rnd())
+            .collect();
         let rhs: Vec<f64> = (0..n).map(|_| rnd() * 10.0 - 5.0).collect();
         let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
         let back = multiply(&sub, &diag, &sup, &x);
@@ -192,7 +194,8 @@ mod tests {
 
     #[test]
     fn reports_zero_pivot() {
-        let err = solve_tridiagonal(&[0.0, 1.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]).unwrap_err();
+        let err =
+            solve_tridiagonal(&[0.0, 1.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]).unwrap_err();
         assert_eq!(err, TridiagError::ZeroPivot { row: 0 });
     }
 
@@ -200,8 +203,14 @@ mod tests {
     fn solver_buffers_are_reusable() {
         let mut s = ThomasSolver::new();
         let mut x = vec![0.0; 3];
-        s.solve(&[0.0, -1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0, 0.0], &[1.0, 0.0, 1.0], &mut x)
-            .unwrap();
+        s.solve(
+            &[0.0, -1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            &[-1.0, -1.0, 0.0],
+            &[1.0, 0.0, 1.0],
+            &mut x,
+        )
+        .unwrap();
         let first = x.clone();
         // Solve a smaller system afterwards with the same scratch space.
         let mut y = vec![0.0; 2];
@@ -210,8 +219,14 @@ mod tests {
         assert_eq!(y, vec![5.0, 6.0]);
         // And the original system again: same answer.
         let mut x2 = vec![0.0; 3];
-        s.solve(&[0.0, -1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0, 0.0], &[1.0, 0.0, 1.0], &mut x2)
-            .unwrap();
+        s.solve(
+            &[0.0, -1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            &[-1.0, -1.0, 0.0],
+            &[1.0, 0.0, 1.0],
+            &mut x2,
+        )
+        .unwrap();
         assert_eq!(first, x2);
     }
 }

@@ -260,7 +260,10 @@ mod tests {
         let (sel_low, stats) = engine.process_rate(0.0560).unwrap();
         assert!(stats.hits >= sel_mid.len());
         for id in &sel_mid {
-            assert!(sel_low.contains(id), "bond {id} must stay selected at lower rates");
+            assert!(
+                sel_low.contains(id),
+                "bond {id} must stay selected at lower rates"
+            );
         }
     }
 
@@ -302,7 +305,9 @@ mod tests {
         )
         .unwrap();
         // A jittery stream revisiting a narrow band.
-        let rates = [0.0583, 0.0585, 0.0581, 0.0584, 0.0582, 0.0583, 0.0585, 0.0584];
+        let rates = [
+            0.0583, 0.0585, 0.0581, 0.0584, 0.0582, 0.0583, 0.0585, 0.0584,
+        ];
         let mut miss_history = Vec::new();
         for &r in &rates {
             let (_, stats) = engine.process_rate(r).unwrap();

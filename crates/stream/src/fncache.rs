@@ -123,7 +123,9 @@ mod tests {
         let mut meter = WorkMeter::new();
 
         for &bond in universe.bonds() {
-            cache.get_or_price(&pricer, bond, 0.0583, &mut meter).unwrap();
+            cache
+                .get_or_price(&pricer, bond, 0.0583, &mut meter)
+                .unwrap();
         }
         let cold_work = meter.total();
         assert_eq!(cache.stats(), FnCacheStats { hits: 0, misses: 3 });
@@ -131,11 +133,16 @@ mod tests {
 
         let snap = meter.snapshot();
         for &bond in universe.bonds() {
-            cache.get_or_price(&pricer, bond, 0.0583, &mut meter).unwrap();
+            cache
+                .get_or_price(&pricer, bond, 0.0583, &mut meter)
+                .unwrap();
         }
         let warm_work = meter.since(&snap).total();
         assert_eq!(cache.stats(), FnCacheStats { hits: 3, misses: 3 });
-        assert!(warm_work * 1000 < cold_work, "warm {warm_work} vs cold {cold_work}");
+        assert!(
+            warm_work * 1000 < cold_work,
+            "warm {warm_work} vs cold {cold_work}"
+        );
     }
 
     #[test]
@@ -144,8 +151,12 @@ mod tests {
         let pricer = BondPricer::default();
         let mut cache = FnCache::new();
         let mut meter = WorkMeter::new();
-        cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
-        cache.get_or_price(&pricer, universe[0], 0.0584, &mut meter).unwrap();
+        cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut meter)
+            .unwrap();
+        cache
+            .get_or_price(&pricer, universe[0], 0.0584, &mut meter)
+            .unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
     }
@@ -156,8 +167,12 @@ mod tests {
         let pricer = BondPricer::default();
         let mut cache = FnCache::new();
         let mut meter = WorkMeter::new();
-        let first = cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
-        let second = cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        let first = cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut meter)
+            .unwrap();
+        let second = cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut meter)
+            .unwrap();
         assert_eq!(first, second);
     }
 
@@ -167,11 +182,15 @@ mod tests {
         let pricer = BondPricer::default();
         let mut cache = FnCache::new();
         let mut meter = WorkMeter::new();
-        cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut meter)
+            .unwrap();
         cache.invalidate();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
-        cache.get_or_price(&pricer, universe[0], 0.0583, &mut meter).unwrap();
+        cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut meter)
+            .unwrap();
         assert_eq!(cache.stats().misses, 2, "re-priced after invalidation");
     }
 }

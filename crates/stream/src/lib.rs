@@ -31,4 +31,4 @@ pub mod value;
 pub use engine::{ContinuousQueryEngine, ExecutionMode};
 pub use query::{Query, QueryOutput};
 pub use relation::BondRelation;
-pub use stats::TickStats;
+pub use stats::{IterHistogram, RunSummary, TickObserver, TickStats};

@@ -142,7 +142,11 @@ impl LogicalPlan {
     #[must_use]
     pub fn fuse(self) -> LogicalPlan {
         match self {
-            LogicalPlan::Filter { input, op, constant } => match *input {
+            LogicalPlan::Filter {
+                input,
+                op,
+                constant,
+            } => match *input {
                 LogicalPlan::FnExec { input: src } => LogicalPlan::VaoSelection {
                     input: src,
                     op,
@@ -203,7 +207,11 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}FnExec [model(IR.rate, BD) → value]\n"));
                 input.render(depth + 1, out);
             }
-            LogicalPlan::Filter { input, op, constant } => {
+            LogicalPlan::Filter {
+                input,
+                op,
+                constant,
+            } => {
                 out.push_str(&format!("{pad}Filter [value {op} {constant}]\n"));
                 input.render(depth + 1, out);
             }
@@ -211,13 +219,21 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Aggregate [{}]\n", kind.name()));
                 input.render(depth + 1, out);
             }
-            LogicalPlan::VaoSelection { input, op, constant } => {
+            LogicalPlan::VaoSelection {
+                input,
+                op,
+                constant,
+            } => {
                 out.push_str(&format!(
                     "{pad}VaoSelection [model(IR.rate, BD) {op} {constant}; iterative]\n"
                 ));
                 input.render(depth + 1, out);
             }
-            LogicalPlan::VaoAggregate { input, kind, epsilon } => {
+            LogicalPlan::VaoAggregate {
+                input,
+                kind,
+                epsilon,
+            } => {
                 out.push_str(&format!(
                     "{pad}VaoAggregate [{} ε={epsilon}; iterative]\n",
                     kind.name()

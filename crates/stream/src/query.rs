@@ -62,6 +62,25 @@ pub enum Query {
     },
 }
 
+impl Query {
+    /// Stable lowercase name of the operator this query runs, used as the
+    /// per-tick operator tag in [`crate::stats::TickStats`] and in trace
+    /// output. Matches [`vao::trace::OperatorKind::name`] for the operators
+    /// the core crate traces.
+    #[must_use]
+    pub fn operator_name(&self) -> &'static str {
+        match self {
+            Query::Selection { .. } => "selection",
+            Query::Sum { .. } => "sum",
+            Query::Ave { .. } => "ave",
+            Query::Max { .. } => "max",
+            Query::Min { .. } => "min",
+            Query::TopK { .. } => "topk",
+            Query::Count { .. } => "count",
+        }
+    }
+}
+
 /// The answer a query produces at one rate tick.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryOutput {

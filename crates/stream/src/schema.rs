@@ -115,7 +115,11 @@ mod tests {
         let s = schema();
         let short = Tuple::new(vec![Value::Int(1)]);
         assert!(s.validate(&short).unwrap_err().contains("arity"));
-        let wrong = Tuple::new(vec![Value::Float(1.0), Value::Float(0.07), Value::Bool(true)]);
+        let wrong = Tuple::new(vec![
+            Value::Float(1.0),
+            Value::Float(0.07),
+            Value::Bool(true),
+        ]);
         assert!(s.validate(&wrong).unwrap_err().contains("field 0"));
     }
 

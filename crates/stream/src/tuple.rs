@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let t: Tuple = vec![Value::Bool(true), Value::from("x")].into_iter().collect();
+        let t: Tuple = vec![Value::Bool(true), Value::from("x")]
+            .into_iter()
+            .collect();
         assert_eq!(t.arity(), 2);
         assert_eq!(t.values()[0], Value::Bool(true));
     }

@@ -64,7 +64,9 @@ mod tests {
 
     fn values() -> Vec<f64> {
         // 10 distinct prices.
-        vec![90.0, 92.0, 94.0, 96.0, 98.0, 100.0, 102.0, 104.0, 106.0, 108.0]
+        vec![
+            90.0, 92.0, 94.0, 96.0, 98.0, 100.0, 102.0, 104.0, 106.0, 108.0,
+        ]
     }
 
     #[test]
@@ -113,7 +115,9 @@ mod tests {
 
     #[test]
     fn unsorted_input_is_handled() {
-        let v = vec![108.0, 90.0, 100.0, 94.0, 104.0, 92.0, 98.0, 106.0, 96.0, 102.0];
+        let v = vec![
+            108.0, 90.0, 100.0, 94.0, 104.0, 92.0, 98.0, 106.0, 96.0, 102.0,
+        ];
         let c = constant_for_selectivity(&v, CmpOp::Gt, 0.3);
         assert!((measured_selectivity(&v, CmpOp::Gt, c) - 0.3).abs() < 1e-12);
     }

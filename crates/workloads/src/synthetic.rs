@@ -163,8 +163,7 @@ mod tests {
             .collect();
         let n = synth.len() as f64;
         let mean = synth.iter().sum::<f64>() / n;
-        let std =
-            (synth.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+        let std = (synth.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
         assert!((mean - 100.0).abs() < 0.05, "mean {mean}");
         assert!((std - 0.5).abs() < 0.05, "std {std}");
     }

@@ -62,7 +62,11 @@ fn main() {
     let (trad_idx, trad_value) = traditional_max(&specs, &mut meter).expect("non-empty");
     let trad_work = meter.total();
 
-    println!("best bond over {} candidates at rate {:.4}\n", universe.len(), rate);
+    println!(
+        "best bond over {} candidates at rate {:.4}\n",
+        universe.len(),
+        rate
+    );
     println!(
         "  Optimal     : bond #{:<3} bounds {}  work {:>12}",
         universe[opt.argext].id, opt.bounds, opt_work

@@ -17,13 +17,8 @@ use vao_repro::vao::ops::selection::CmpOp;
 fn main() {
     let universe = BondUniverse::generate(40, 1994);
     let relation = BondRelation::from_universe(&universe);
-    let mut engine = CachedSelectionEngine::new(
-        BondPricer::default(),
-        relation,
-        CmpOp::Gt,
-        100.0,
-    )
-    .expect("valid predicate");
+    let mut engine = CachedSelectionEngine::new(BondPricer::default(), relation, CmpOp::Gt, 100.0)
+        .expect("valid predicate");
 
     let series = RateSeries::january_1994();
     let ticks = series.intraday_ticks(12, 42);
@@ -39,7 +34,12 @@ fn main() {
         total_work += stats.work;
         println!(
             "{:>4}  {:.5}  {:>8}  {:>10}  {:>6}  {:>10}",
-            i, tick.rate, selected.len(), stats.hits, stats.misses, stats.work
+            i,
+            tick.rate,
+            selected.len(),
+            stats.hits,
+            stats.misses,
+            stats.work
         );
     }
     println!("\ntotal work across ticks: {total_work}");

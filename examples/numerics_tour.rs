@@ -19,7 +19,11 @@ use vao_repro::bondlab::Bond;
 fn trace(label: &str, obj: &mut dyn ResultObject, max_iters: usize) {
     let mut meter = WorkMeter::new();
     println!("{label}");
-    println!("  start : {} (width {:.3e})", obj.bounds(), obj.bounds().width());
+    println!(
+        "  start : {} (width {:.3e})",
+        obj.bounds(),
+        obj.bounds().width()
+    );
     for i in 1..=max_iters {
         if obj.converged() {
             break;
@@ -54,7 +58,11 @@ fn main() {
         &mut meter,
     )
     .expect("PDE constructs");
-    trace("PDE solver — 7% 30-year MBS price, minWidth $0.01", &mut pde, 20);
+    trace(
+        "PDE solver — 7% 30-year MBS price, minWidth $0.01",
+        &mut pde,
+        20,
+    );
 
     // §4.2 — ODE BVP: beam deflection.
     let mut ode = OdeResultObject::new(
@@ -88,7 +96,11 @@ fn main() {
         },
         &mut meter,
     );
-    trace("Numerical integration — ∫₀^π sin(x)dx (exact: 2)", &mut quad, 20);
+    trace(
+        "Numerical integration — ∫₀^π sin(x)dx (exact: 2)",
+        &mut quad,
+        20,
+    );
 
     // §4.4 — root finding: √2 by bisection.
     let mut root = RootResultObject::new(
@@ -102,5 +114,9 @@ fn main() {
         &mut meter,
     )
     .expect("bracket valid");
-    trace("Root finding — x² = 2 on [0, 2] (exact: 1.41421356…)", &mut root, 25);
+    trace(
+        "Root finding — x² = 2 on [0, 2] (exact: 1.41421356…)",
+        &mut root,
+        25,
+    );
 }

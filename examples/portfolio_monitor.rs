@@ -11,8 +11,8 @@
 //! reporting per-tick answers and work.
 
 use vao_repro::bondlab::{BondPricer, BondUniverse, RateSeries};
-use vao_repro::stream::{ContinuousQueryEngine, ExecutionMode, Query};
 use vao_repro::stream::relation::BondRelation;
+use vao_repro::stream::{ContinuousQueryEngine, ExecutionMode, Query};
 use vao_repro::workloads::HotColdWeights;
 
 fn main() {
@@ -35,8 +35,7 @@ fn main() {
     println!("processing {} rate ticks\n", ticks.len());
 
     for mode in [ExecutionMode::Vao, ExecutionMode::Traditional] {
-        let engine =
-            ContinuousQueryEngine::new(pricer, relation.clone(), query.clone(), mode);
+        let engine = ContinuousQueryEngine::new(pricer, relation.clone(), query.clone(), mode);
         println!("== {mode:?} execution ==");
         let mut total_work = 0u64;
         let results = engine.run(&ticks).expect("query evaluates");

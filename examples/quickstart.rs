@@ -24,7 +24,11 @@ fn main() {
     // --- The iterative interface -----------------------------------------
     let mut meter = WorkMeter::new();
     let mut obj = pricer.price(bond, rate, &mut meter);
-    println!("initial bounds : {} (width {:.2})", obj.bounds(), obj.bounds().width());
+    println!(
+        "initial bounds : {} (width {:.2})",
+        obj.bounds(),
+        obj.bounds().width()
+    );
     println!("initial work   : {} mesh cells\n", meter.total());
 
     // Watch the bounds tighten as iterations are spent.
@@ -45,7 +49,9 @@ fn main() {
     let outcome = select(&mut fresh, CmpOp::Gt, 100.0, &mut sel_meter).expect("selection");
     println!(
         "\npredicate price > $100: {} after {} iterations ({} work units)",
-        outcome.satisfied, outcome.iterations, sel_meter.total()
+        outcome.satisfied,
+        outcome.iterations,
+        sel_meter.total()
     );
     println!("bounds at decision   : {}", outcome.final_bounds);
 
@@ -55,7 +61,9 @@ fn main() {
     let spec = calibrate(&mut full, &mut cal_meter).expect("calibration");
     println!(
         "\nfull-accuracy price  : ${:.2} (width {:.4}) at {} work units",
-        spec.value, spec.final_width, cal_meter.total()
+        spec.value,
+        spec.final_width,
+        cal_meter.total()
     );
     println!(
         "query answered with {:.3}% of the full-accuracy work",

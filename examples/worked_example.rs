@@ -42,7 +42,12 @@ fn object(first: (f64, f64), est: (f64, f64), tail: &[(f64, f64)], label: &str) 
 fn main() {
     let mut objs = vec![
         object((97.0, 101.0), (98.0, 99.0), &[(98.4, 98.405)], "o1"),
-        object((95.0, 103.0), (96.0, 101.0), &[(97.0, 99.0), (98.0, 98.005)], "o2"),
+        object(
+            (95.0, 103.0),
+            (96.0, 101.0),
+            &[(97.0, 99.0), (98.0, 98.005)],
+            "o2",
+        ),
         object(
             (100.0, 106.0),
             (102.0, 104.0),
@@ -83,8 +88,11 @@ fn main() {
     println!("  winner     : {}", objs[res.argext].label);
     println!("  bounds     : {}", res.bounds);
     println!("  iterations : {}", res.iterations);
-    println!("  work       : {} (incl. {} chooseIter units)",
-        meter.total(), meter.breakdown().choose_iter);
+    println!(
+        "  work       : {} (incl. {} chooseIter units)",
+        meter.total(),
+        meter.breakdown().choose_iter
+    );
     println!(
         "  o1 refined to step {}, o2 to step {}, o3 to step {} — the loser\n\
          objects were never run to full accuracy (Figure 7's outcome).",

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the VAO repro workspace. Runs entirely offline: every
+# dependency is either vendored under shims/ or part of the Rust toolchain.
+#
+#   ./scripts/ci.sh
+#
+# Three stages, all mandatory:
+#   1. cargo fmt --check       -- formatting drift fails the gate
+#   2. cargo clippy -D warnings -- lints are errors, across all targets
+#   3. cargo test -q            -- the full workspace test suite
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> tier-1 gate passed"

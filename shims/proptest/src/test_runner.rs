@@ -1,0 +1,219 @@
+//! The case-generation loop: configuration, RNG, and failure reporting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (the subset of upstream's used here).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many accepted cases each property must pass.
+    pub cases: u32,
+    /// How many rejected cases ([`crate::prop_assume!`]) are tolerated
+    /// before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration overridden to run `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case is invalid for this property and should be skipped.
+    Reject(String),
+    /// The property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// A rejection with the given message.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::Reject(message.into())
+    }
+}
+
+/// The deterministic generator strategies draw from.
+///
+/// Internally xoshiro256** seeded via splitmix64, like the workspace's
+/// `rand` shim.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds the generator deterministically from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property: draws cases from a strategy and applies the body.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `body` against `config.cases` accepted draws from `strategy`.
+    ///
+    /// The RNG seed is derived from `name`, so every run of a given test
+    /// replays the same cases (there is no `proptest-regressions`
+    /// persistence and no shrinking).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `body` returns [`TestCaseError::Fail`] (reporting the
+    /// generated input) or when the reject budget is exhausted.
+    pub fn run<S, F>(&mut self, name: &str, strategy: &S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        let mut rng = TestRng::new(hasher.finish());
+
+        let mut accepted = 0u32;
+        let mut rejects = 0u32;
+        while accepted < self.config.cases {
+            let value = strategy.sample(&mut rng);
+            let rendered = format!("{value:?}");
+            match body(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "property `{name}` exceeded {} rejected cases \
+                         (last rejection: {why})",
+                        self.config.max_global_rejects,
+                    );
+                }
+                Err(TestCaseError::Fail(why)) => {
+                    panic!(
+                        "property `{name}` failed after {accepted} passing \
+                         case(s)\n  input: {rendered}\n  {why}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_accepts_passing_property() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run("always_in_range", &(0u64..10,), |(x,)| {
+            assert!(x < 10);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn runner_panics_on_failure() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run("always_fails", &(0u64..10,), |(_x,)| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected cases")]
+    fn runner_panics_when_reject_budget_exhausted() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 4,
+            max_global_rejects: 16,
+        });
+        runner.run("always_rejects", &(0u64..10,), |(_x,)| {
+            Err(TestCaseError::reject("assume failed"))
+        });
+    }
+
+    #[test]
+    fn seeds_are_per_test_name_and_stable() {
+        let mut a = {
+            let mut h = DefaultHasher::new();
+            "foo".hash(&mut h);
+            TestRng::new(h.finish())
+        };
+        let mut b = {
+            let mut h = DefaultHasher::new();
+            "foo".hash(&mut h);
+            TestRng::new(h.finish())
+        };
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

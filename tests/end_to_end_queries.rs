@@ -93,7 +93,11 @@ fn q3_max_and_min_bracket_every_bond() {
     )
     .process_rate(rate)
     .unwrap();
-    assert_eq!(trad_all.selected().unwrap().len(), 16, "all prices positive");
+    assert_eq!(
+        trad_all.selected().unwrap().len(),
+        16,
+        "all prices positive"
+    );
 }
 
 #[test]

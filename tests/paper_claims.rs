@@ -10,8 +10,7 @@ use vao_repro::vao::ops::selection::CmpOp;
 use vao_repro::vao::precision::PrecisionConstraint;
 
 use va_bench::experiments::{
-    fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold, run_selection_vao,
-    selection_sweep,
+    fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold, run_selection_vao, selection_sweep,
 };
 use va_bench::Lab;
 
@@ -117,16 +116,32 @@ fn stress_experiments_reproduce_the_paper_shapes() {
     // Figure 10: VAO loses only at sigma = 0 and wins from $0.05 up
     // (paper: "much cheaper than the traditional case at only $0.05").
     let rows = fig10_selection_stress(&lab, &[0.0, 0.05, 1.0, 5.0], 3);
-    assert!(rows[0].speedup() < 1.0, "σ=0 speedup {:.2}", rows[0].speedup());
-    assert!(rows[1].speedup() > 1.0, "σ=0.05 speedup {:.2}", rows[1].speedup());
+    assert!(
+        rows[0].speedup() < 1.0,
+        "σ=0 speedup {:.2}",
+        rows[0].speedup()
+    );
+    assert!(
+        rows[1].speedup() > 1.0,
+        "σ=0.05 speedup {:.2}",
+        rows[1].speedup()
+    );
     assert!(rows[2].speedup() > rows[1].speedup(), "improves with σ");
-    assert!(rows[3].speedup() > 5.0, "σ=$5 speedup {:.2}", rows[3].speedup());
+    assert!(
+        rows[3].speedup() > 5.0,
+        "σ=$5 speedup {:.2}",
+        rows[3].speedup()
+    );
 
     // Figure 11: same shape for MAX under lower-half clustering; paper:
     // clearly better by σ = $0.10.
     let rows = fig11_max_stress(&lab, &[0.0, 0.1, 1.0], 3);
     assert!(rows[0].speedup() < 1.0);
-    assert!(rows[1].speedup() > 1.0, "σ=0.10 speedup {:.2}", rows[1].speedup());
+    assert!(
+        rows[1].speedup() > 1.0,
+        "σ=0.10 speedup {:.2}",
+        rows[1].speedup()
+    );
     assert!(rows[2].speedup() > rows[1].speedup());
 }
 

@@ -117,10 +117,16 @@ fn heterogeneous_objects_share_one_max_operator() {
             &mut meter,
         )),
         Box::new(
-            RootResultObject::new(|x: f64| x * x - 2.0, 0.0, 2.0, RootVaoConfig {
-                min_width: 1e-6,
-                ..RootVaoConfig::default()
-            }, &mut meter)
+            RootResultObject::new(
+                |x: f64| x * x - 2.0,
+                0.0,
+                2.0,
+                RootVaoConfig {
+                    min_width: 1e-6,
+                    ..RootVaoConfig::default()
+                },
+                &mut meter,
+            )
             .unwrap(),
         ),
     ];
