@@ -17,8 +17,8 @@ use std::time::Instant;
 
 use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, fig10_selection_stress,
-    fig11_max_stress, fig12_sum_hotcold, max_table_traced, selection_sweep_traced,
-    tick_amortization, HOT_SHARES, SELECTIVITIES, STD_DEVS,
+    fig11_max_stress, fig12_sum_hotcold, max_table_traced, selection_sweep_traced, server_scaling,
+    tick_amortization, HOT_SHARES, QUERY_COUNTS, SELECTIVITIES, STD_DEVS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -63,7 +63,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|all]..."
                 );
                 std::process::exit(0);
             }
@@ -350,6 +350,41 @@ fn main() {
             fmt_speedup(plain as f64 / cached.max(1) as f64)
         );
         t.write_csv(&args.out.join("ext_tick_amortization.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "server-scaling") {
+        println!("-- Extension: va-server shared pool vs independent engines --");
+        let rows = server_scaling(&lab, &QUERY_COUNTS, tracer.as_mut());
+        let mut t = Table::new(&[
+            "mode",
+            "queries",
+            "work_units",
+            "work_per_query",
+            "partial_answers",
+        ]);
+        for r in &rows {
+            // Plain integers (no thousands separators) so the CSV stays
+            // machine-parseable.
+            t.row(vec![
+                r.mode.to_string(),
+                r.queries.to_string(),
+                r.work_units.to_string(),
+                r.work_per_query().to_string(),
+                r.partial_answers.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        for chunk in rows.chunks(3) {
+            let (ind, sh) = (&chunk[0], &chunk[1]);
+            println!(
+                "  {} queries: shared does {} of the independent work",
+                ind.queries,
+                fmt_speedup(ind.work_units as f64 / sh.work_units.max(1) as f64)
+            );
+        }
+        t.write_csv(&args.out.join("server_scaling.csv"))
             .expect("write csv");
         println!();
     }

@@ -634,6 +634,159 @@ pub fn tick_amortization(lab: &Lab, ticks: usize, seed: u64) -> Vec<TickRow> {
         .collect()
 }
 
+/// The query-count sweep of the `server-scaling` experiment.
+pub const QUERY_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One point of the server work-sharing sweep: a query count under one
+/// execution mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerScalingRow {
+    /// `"independent"`, `"shared"`, or `"shared_budgeted"`.
+    pub mode: &'static str,
+    /// Concurrent queries registered for the tick.
+    pub queries: usize,
+    /// Total deterministic work units the tick cost.
+    pub work_units: u64,
+    /// Answers that degraded to anytime `Partial` bounds.
+    pub partial_answers: u64,
+}
+
+impl ServerScalingRow {
+    /// Work amortized over the registered queries.
+    #[must_use]
+    pub fn work_per_query(&self) -> u64 {
+        self.work_units / self.queries.max(1) as u64
+    }
+}
+
+/// The multi-trader workload template, cycled to the requested count: MAX
+/// watchers at two precisions, portfolio SUMs at two tolerances, a
+/// selection/count pair on one predicate, MIN and a top-5 — the overlap
+/// profile of §1.2's many-users-one-relation scenario.
+fn server_workload(n: usize, count: usize) -> Vec<va_stream::Query> {
+    use va_stream::Query;
+    let k = 5.min(n).max(1);
+    let templates = [
+        Query::Max { epsilon: 1.0 },
+        Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: 50.0,
+        },
+        Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        },
+        Query::Min { epsilon: 1.0 },
+        Query::TopK { k, epsilon: 1.0 },
+        Query::Count {
+            op: CmpOp::Gt,
+            constant: 100.0,
+            slack: 25,
+        },
+        Query::Max { epsilon: 0.5 },
+        Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: 60.0,
+        },
+    ];
+    (0..count)
+        .map(|i| templates[i % templates.len()].clone())
+        .collect()
+}
+
+/// Compares shared-pool execution against independent per-query engines
+/// across a query-count sweep. Three modes per count: `independent` sums
+/// one [`ContinuousQueryEngine`](va_stream::ContinuousQueryEngine) tick per
+/// query, `shared` answers the same queries off one `va-server` pool, and
+/// `shared_budgeted` caps the shared tick at half its converged cost so
+/// some answers degrade to anytime bounds. With `trace`, each shared tick's
+/// scheduler events land in the JSONL stream under `server_scaling/qN`.
+pub fn server_scaling(
+    lab: &Lab,
+    counts: &[usize],
+    mut trace: Option<&mut TraceWriter>,
+) -> Vec<ServerScalingRow> {
+    use va_server::{Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+    use va_stream::{ContinuousQueryEngine, ExecutionMode};
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let n = relation.len();
+    let partials = |res: &va_server::TickResult| {
+        res.answers.iter().filter(|(_, a)| !a.is_final()).count() as u64
+    };
+
+    let mut rows = Vec::new();
+    for &count in counts {
+        let queries = server_workload(n, count);
+
+        let independent: u64 = queries
+            .iter()
+            .map(|q| {
+                let engine = ContinuousQueryEngine::new(
+                    lab.pricer,
+                    relation.clone(),
+                    q.clone(),
+                    ExecutionMode::Vao,
+                );
+                let (_, stats) = engine.process_rate(lab.rate).expect("engine tick");
+                stats.total_work()
+            })
+            .sum();
+        rows.push(ServerScalingRow {
+            mode: "independent",
+            queries: count,
+            work_units: independent,
+            partial_answers: 0,
+        });
+
+        let mut shared = Server::new(lab.pricer, relation.clone(), ServerConfig::default());
+        for q in &queries {
+            shared.subscribe(q.clone(), 1).expect("subscribe");
+        }
+        let mut rec = Recorder::new();
+        let full = shared
+            .tick_with_observer(lab.rate, &mut rec)
+            .expect("shared tick");
+        if let Some(t) = trace.as_deref_mut() {
+            t.run(&format!("server_scaling/q{count}"), rec.events())
+                .expect("write trace");
+        }
+        let shared_work = full.stats.total_work();
+        rows.push(ServerScalingRow {
+            mode: "shared",
+            queries: count,
+            work_units: shared_work,
+            partial_answers: partials(&full),
+        });
+
+        let mut capped = Server::new(
+            lab.pricer,
+            relation.clone(),
+            ServerConfig::budgeted(shared_work / 2),
+        );
+        for q in &queries {
+            capped.subscribe(q.clone(), 1).expect("subscribe");
+        }
+        let mut rec = Recorder::new();
+        let res = capped
+            .tick_with_observer(lab.rate, &mut rec)
+            .expect("budgeted tick");
+        if let Some(t) = trace.as_deref_mut() {
+            // The budgeted tick's stream ends in a budget_exhausted event.
+            t.run(&format!("server_scaling/q{count}_budgeted"), rec.events())
+                .expect("write trace");
+        }
+        rows.push(ServerScalingRow {
+            mode: "shared_budgeted",
+            queries: count,
+            work_units: res.stats.total_work(),
+            partial_answers: partials(&res),
+        });
+    }
+    rows
+}
+
 /// Runs the traditional selection for completeness/answer checking
 /// (its work is query-independent; see [`Lab::traditional_work`]).
 pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {
@@ -826,6 +979,39 @@ mod tests {
         assert!(content.contains("\"run\":\"max_table:vao\""));
         assert!(content.contains("\"run\":\"selection_gt:s=0.50\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn server_scaling_shares_work_and_degrades_under_budget() {
+        let lab = lab();
+        let rows = server_scaling(&lab, &[1, 4], None);
+        assert_eq!(rows.len(), 6);
+        for chunk in rows.chunks(3) {
+            let (ind, shared, capped) = (&chunk[0], &chunk[1], &chunk[2]);
+            assert_eq!(ind.mode, "independent");
+            assert_eq!(shared.mode, "shared");
+            assert_eq!(capped.mode, "shared_budgeted");
+            // The shared pool never does more work than the independent
+            // engines, and the half-budget tick never exceeds the shared
+            // converged cost.
+            assert!(
+                shared.work_units <= ind.work_units,
+                "q={}: shared {} vs independent {}",
+                ind.queries,
+                shared.work_units,
+                ind.work_units
+            );
+            assert_eq!(shared.partial_answers, 0);
+            assert!(capped.work_units <= shared.work_units);
+            assert!(
+                capped.partial_answers > 0,
+                "q={}: half the work must leave partial answers",
+                capped.queries
+            );
+        }
+        // Multiple queries amortize: per-query shared work at 4 queries is
+        // below the single-query cost.
+        assert!(rows[4].work_per_query() < rows[1].work_units);
     }
 
     #[test]

@@ -164,6 +164,10 @@ impl TraceWriter {
                 json_f64(d.slack),
                 json_f64(d.concentration)
             ),
+            TraceEvent::BudgetExhausted(r) => format!(
+                "\"event\":\"budget_exhausted\",\"budget\":{},\"spent\":{},\"deferred\":{}",
+                r.budget, r.spent, r.deferred
+            ),
             TraceEvent::OperatorEnd(end) => format!(
                 "\"event\":\"operator_end\",\"operator\":\"{}\",\"iterations\":{},\"exec_iter\":{},\"get_state\":{},\"store_state\":{},\"choose_iter\":{}",
                 end.kind,

@@ -1,6 +1,6 @@
 //! The Figure-4 pricing PDE, instantiated per bond.
 //!
-//! The paper's bond model (after Stanton [28]) prices a bond as `F(x, t)`
+//! The paper's bond model (after Stanton \[28\]) prices a bond as `F(x, t)`
 //! where `x` is the short interest rate and `t` runs from now (0) to
 //! maturity (`t_mat`), satisfying
 //!

@@ -2,7 +2,7 @@
 //!
 //! The baseline SUM VAO re-scans every unconverged object to pick its next
 //! iteration (`O(N)` per choice; §5.2 notes "the VAO can choose iterations
-//! in sublinear time using indexes such as heap queues, [but] we found
+//! in sublinear time using indexes such as heap queues, \[but\] we found
 //! such optimizations unnecessary in our current experiments"). This
 //! module implements that index: a lazy binary max-heap over per-object
 //! scores. Iterating an object changes *only its own* score, so each

@@ -55,6 +55,9 @@ pub enum OperatorKind {
     Sum,
     /// Hybrid SUM (§6.3).
     HybridSum,
+    /// Cross-query shared-pool scheduler (the `va-server` extension of §5's
+    /// greedy choice to every registered query at once).
+    SharedPool,
 }
 
 impl OperatorKind {
@@ -67,6 +70,7 @@ impl OperatorKind {
             OperatorKind::Min => "min",
             OperatorKind::Sum => "sum",
             OperatorKind::HybridSum => "hybrid_sum",
+            OperatorKind::SharedPool => "shared_pool",
         }
     }
 }
@@ -139,6 +143,21 @@ pub struct OperatorEndRecord {
     pub work: WorkBreakdown,
 }
 
+/// A scheduler ran out of per-tick work budget with refinement demand still
+/// outstanding and degraded to anytime (interval-valued) answers.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetExhaustedRecord {
+    /// The work-unit budget that was in force.
+    pub budget: Work,
+    /// Work already charged when the scheduler stopped. The scheduler stops
+    /// *before* an `iterate()` that would overrun the budget, so any
+    /// overshoot is bounded by the final choice-scoring charge.
+    pub spent: Work,
+    /// How many queries (or candidates, for single-query schedulers) still
+    /// wanted refinement when the budget ran out.
+    pub deferred: usize,
+}
+
 /// The §6.3 hybrid operator's routing decision.
 #[derive(Clone, Copy, Debug)]
 pub struct HybridDecisionRecord {
@@ -195,6 +214,13 @@ pub trait ExecObserver {
         let _ = decision;
     }
 
+    /// A budgeted scheduler exhausted its per-tick work budget and fell
+    /// back to anytime answers for the queries still refining.
+    #[inline]
+    fn on_budget_exhausted(&mut self, record: &BudgetExhaustedRecord) {
+        let _ = record;
+    }
+
     /// An operator evaluation finished (successfully).
     #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
@@ -228,6 +254,11 @@ impl<O: ExecObserver + ?Sized> ExecObserver for &mut O {
     #[inline]
     fn on_hybrid_decision(&mut self, decision: &HybridDecisionRecord) {
         (**self).on_hybrid_decision(decision);
+    }
+
+    #[inline]
+    fn on_budget_exhausted(&mut self, record: &BudgetExhaustedRecord) {
+        (**self).on_budget_exhausted(record);
     }
 
     #[inline]
@@ -267,6 +298,8 @@ pub enum TraceEvent {
     Iteration(IterationRecord),
     /// A hybrid routing decision.
     HybridDecision(HybridDecisionRecord),
+    /// A budgeted scheduler ran out of work budget mid-evaluation.
+    BudgetExhausted(BudgetExhaustedRecord),
     /// An operator evaluation finished.
     OperatorEnd(OperatorEndRecord),
 }
@@ -412,6 +445,10 @@ impl ExecObserver for Recorder {
 
     fn on_hybrid_decision(&mut self, decision: &HybridDecisionRecord) {
         self.events.push(TraceEvent::HybridDecision(*decision));
+    }
+
+    fn on_budget_exhausted(&mut self, record: &BudgetExhaustedRecord) {
+        self.events.push(TraceEvent::BudgetExhausted(*record));
     }
 
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
@@ -570,5 +607,35 @@ mod tests {
         assert_eq!(OperatorKind::Selection.name(), "selection");
         assert_eq!(OperatorKind::Max.to_string(), "max");
         assert_eq!(OperatorKind::HybridSum.name(), "hybrid_sum");
+        assert_eq!(OperatorKind::SharedPool.name(), "shared_pool");
+    }
+
+    #[test]
+    fn recorder_captures_budget_exhaustion() {
+        let mut rec = Recorder::new();
+        rec.on_budget_exhausted(&BudgetExhaustedRecord {
+            budget: 1000,
+            spent: 980,
+            deferred: 3,
+        });
+        // The forwarding impl routes the hook too.
+        let mut fwd = &mut rec;
+        ExecObserver::on_budget_exhausted(
+            &mut fwd,
+            &BudgetExhaustedRecord {
+                budget: 1000,
+                spent: 999,
+                deferred: 1,
+            },
+        );
+        let spent: Vec<Work> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BudgetExhausted(r) => Some(r.spent),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spent, vec![980, 999]);
     }
 }

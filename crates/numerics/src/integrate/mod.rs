@@ -5,7 +5,7 @@
 //! interval-halving *ladder* that reuses every previous function
 //! evaluation; [`adaptive`] is a classic run-to-tolerance integrator (the
 //! "traditional solver" §4.3 compares against); [`vao`] exposes the ladder
-//! through the [`vao::ResultObject`] interface, where each `iterate()`
+//! through the [`::vao::ResultObject`] interface, where each `iterate()`
 //! halves all intervals — doubling the evaluation count — and tightens the
 //! `|Tₖ − Tₖ₊₁|`-based error bound by roughly 4× (trapezoid) or 16×
 //! (Simpson).

@@ -12,7 +12,7 @@
 //! mesh (error `O(Δt + Δx²)`), [`extrapolation`] turns solutions at three
 //! step-size combinations into real-valued error bounds via Richardson
 //! extrapolation, and [`vao`] wraps the whole machinery as a
-//! [`vao::ResultObject`] whose `iterate()` halves whichever step size the
+//! [`::vao::ResultObject`] whose `iterate()` halves whichever step size the
 //! error model blames most.
 
 pub mod extrapolation;

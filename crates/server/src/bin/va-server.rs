@@ -1,0 +1,172 @@
+//! The `va-server` binary: the line-protocol server over TCP.
+//!
+//! ```text
+//! va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--smoke]
+//! ```
+//!
+//! `--budget` sets the per-tick work budget in deterministic work units
+//! (omit for unbudgeted ticks). `--smoke` runs a self-contained loopback
+//! exchange — subscribe, tick, stats, quit against an ephemeral port — and
+//! exits nonzero on any protocol failure; CI uses it as a two-second
+//! end-to-end check.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use bondlab::{BondPricer, BondUniverse};
+use va_server::{net, Server, ServerConfig};
+use va_stream::BondRelation;
+
+struct Args {
+    addr: String,
+    bonds: usize,
+    seed: u64,
+    budget: Option<u64>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:5083".to_string(),
+        bonds: 500,
+        seed: 42,
+        budget: None,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--bonds" => {
+                args.bonds = value("--bonds")?
+                    .parse()
+                    .map_err(|e| format!("--bonds: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                );
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_server(args: &Args) -> Server {
+    let universe = BondUniverse::generate(args.bonds, args.seed);
+    let relation = BondRelation::from_universe(&universe);
+    let config = ServerConfig {
+        budget: args.budget,
+        ..ServerConfig::default()
+    };
+    Server::new(BondPricer::default(), relation, config)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("va-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut server = build_server(&args);
+    if args.smoke {
+        smoke(&mut server);
+        return;
+    }
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("va-server: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "va-server listening on {} ({} bonds, budget {:?})",
+        args.addr, args.bonds, args.budget
+    );
+    if let Err(e) = net::serve(&listener, &mut server) {
+        eprintln!("va-server: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Self-contained loopback exchange: a client thread drives the full
+/// protocol against this process and every expectation is asserted.
+fn smoke(server: &mut Server) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port");
+    let addr = listener.local_addr().expect("local addr");
+
+    let client = std::thread::spawn(move || -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        let mut ask = |line: &str, expect_lines: usize| {
+            writeln!(writer, "{line}").expect("write");
+            for _ in 0..expect_lines {
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("read");
+                replies.push(reply.trim_end().to_string());
+            }
+        };
+        ask(
+            r#"{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.05},"priority":2}"#,
+            1,
+        );
+        ask(
+            r#"{"type":"SUBSCRIBE","query":{"kind":"ave","epsilon":0.1}}"#,
+            1,
+        );
+        // One tick: a RESULT per session plus the TICK_DONE trailer.
+        ask(r#"{"type":"TICK","rate":0.0583}"#, 3);
+        // A burst coalesces to the newest rate.
+        ask(r#"{"type":"TICKS","rates":[0.0584,0.0585,0.0586]}"#, 3);
+        ask(r#"{"type":"STATS"}"#, 1);
+        ask(r#"{"type":"QUIT"}"#, 1);
+        replies
+    });
+
+    let (stream, _) = listener.accept().expect("accept");
+    net::serve_connection(stream, server).expect("serve");
+    let replies = client.join().expect("client thread");
+
+    let expect = |i: usize, needle: &str| {
+        assert!(
+            replies[i].contains(needle),
+            "reply {i} missing {needle:?}: {}",
+            replies[i]
+        );
+    };
+    expect(0, "\"type\":\"SUBSCRIBED\"");
+    expect(1, "\"type\":\"SUBSCRIBED\"");
+    expect(2, "\"type\":\"RESULT\"");
+    expect(3, "\"type\":\"RESULT\"");
+    expect(4, "\"type\":\"TICK_DONE\"");
+    expect(5, "\"type\":\"RESULT\"");
+    expect(6, "\"type\":\"RESULT\"");
+    expect(7, "\"type\":\"TICK_DONE\"");
+    expect(7, "\"shed\":2");
+    expect(8, "\"type\":\"STATS\"");
+    expect(8, "\"ticks\":2");
+    expect(9, "\"type\":\"BYE\"");
+    assert_eq!(server.ticks(), 2);
+    println!("va-server smoke: {} replies ok over {addr}", replies.len());
+}

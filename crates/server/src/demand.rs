@@ -1,0 +1,625 @@
+//! Per-query refinement demand over the shared pool.
+//!
+//! Each registered query contributes a stateless *demand function*: given
+//! the pool's current bounds, which objects does it still want refined and
+//! what output-bound-width reduction does it expect from each. The benefit
+//! formulas are the §5 per-operator scores, reused unchanged — a MAX query
+//! scores overlap reduction against its educated guess, a SUM query scores
+//! weighted width reduction, COUNT/SELECT score expected classification
+//! progress. Demands are recomputed every scheduler round, mirroring the
+//! per-operator loops (which re-derive their guess/unresolved sets after
+//! every iteration), so the shared scheduler inherits their guess-revision
+//! behavior for free.
+//!
+//! The invariant the scheduler builds on: **a query's demand list is empty
+//! exactly when the pool's current bounds let it emit a
+//! [`Answer::Final`]** — the same stopping conditions as the dedicated
+//! operators, including MAX/TOP-K stopping case 2 (everything overlapping
+//! the winner converged ⇒ ties).
+
+use va_stream::{BondRelation, Query, QueryOutput};
+use vao::ops::minmax::{max_envelope, min_envelope};
+use vao::ops::selection::CmpOp;
+use vao::Bounds;
+
+use crate::answer::Answer;
+use crate::pool::SharedPool;
+
+/// One query's appetite for refining one pool object.
+#[derive(Clone, Copy, Debug)]
+pub struct Demand {
+    /// Pool object index.
+    pub object: usize,
+    /// Expected output-bound-width reduction, in the query's output units
+    /// (§5's benefit estimate). May be zero when the object's own estimate
+    /// predicts no progress; the scheduler's widest-first fallback still
+    /// guarantees progress then.
+    pub benefit: f64,
+}
+
+/// Fills `out` with the query's outstanding demands. Empty ⇔ the query can
+/// answer [`Answer::Final`] from the pool's current bounds.
+pub fn demands(query: &Query, pool: &SharedPool, out: &mut Vec<Demand>) {
+    out.clear();
+    match query {
+        Query::Selection { op, constant } => demands_classify(pool, *op, *constant, 0, out),
+        Query::Count {
+            op,
+            constant,
+            slack,
+        } => demands_classify(pool, *op, *constant, *slack, out),
+        Query::Sum { weights, epsilon } => {
+            demands_sum(pool, Weights::Per(weights), *epsilon, out);
+        }
+        Query::Ave { epsilon } => {
+            demands_sum(pool, uniform(pool.len()), *epsilon, out);
+        }
+        Query::Max { epsilon } => demands_extreme(pool, *epsilon, false, out),
+        Query::Min { epsilon } => demands_extreme(pool, *epsilon, true, out),
+        Query::TopK { k, epsilon } => demands_topk(pool, *k, *epsilon, out),
+    }
+}
+
+/// The exact output the query converged to (call only when [`demands`] is
+/// empty — the pool has reached the query's stopping condition).
+pub fn final_output(query: &Query, pool: &SharedPool, relation: &BondRelation) -> QueryOutput {
+    let id = |i: usize| relation.bonds()[i].id;
+    match query {
+        Query::Selection { op, constant } => {
+            let mut ids = Vec::new();
+            for i in 0..pool.len() {
+                if satisfied(pool, i, *op, *constant) == Some(true) {
+                    ids.push(id(i));
+                }
+            }
+            QueryOutput::Selected(ids)
+        }
+        Query::Count { op, constant, .. } => {
+            let (count_lo, unresolved) = classify(pool, *op, *constant);
+            QueryOutput::Count {
+                lo: count_lo,
+                hi: count_lo + unresolved.len(),
+            }
+        }
+        Query::Sum { weights, .. } => QueryOutput::Aggregate {
+            bounds: weighted_interval(pool, Weights::Per(weights)),
+        },
+        Query::Ave { .. } => QueryOutput::Aggregate {
+            bounds: weighted_interval(pool, uniform(pool.len())),
+        },
+        Query::Max { .. } => extreme_output(pool, relation, false),
+        Query::Min { .. } => extreme_output(pool, relation, true),
+        Query::TopK { k, .. } => {
+            let members = guess_members(pool, *k);
+            let theta_holder = boundary_member(pool, &members);
+            let theta = pool.bounds(theta_holder).lo();
+            let ties: Vec<u32> = (0..pool.len())
+                .filter(|&i| !members.contains(&i) && pool.bounds(i).hi() >= theta)
+                .map(id)
+                .collect();
+            let mut ordered = members;
+            ordered.sort_by(|&a, &b| {
+                pool.bounds(b)
+                    .hi()
+                    .partial_cmp(&pool.bounds(a).hi())
+                    .expect("finite bounds")
+            });
+            QueryOutput::Ranked {
+                members: ordered.iter().map(|&i| (id(i), pool.bounds(i))).collect(),
+                ties,
+            }
+        }
+    }
+}
+
+/// Sound anytime bounds on the query's converged answer value, from the
+/// pool's *current* bounds (the budget-exhausted degradation path).
+///
+/// * SUM/AVE — the current weighted interval `[Σ wL, Σ wH]`.
+/// * MAX/MIN — the footnote-9 envelope `[max L, max H]` / `[min L, min H]`.
+/// * TOP-K — the k-th order statistic of the L's and of the H's (at most
+///   k−1 true values can exceed the k-th largest H).
+/// * SELECT/COUNT — the result *cardinality* interval
+///   `[proven, proven + unresolved]`.
+///
+/// Every case brackets the value a budget-free run converges to, because
+/// per-object bounds are sound and shrink monotonically.
+pub fn partial_bounds(query: &Query, pool: &SharedPool) -> Bounds {
+    match query {
+        Query::Selection { op, constant } => {
+            let (count_lo, unresolved) = classify(pool, *op, *constant);
+            Bounds::new(count_lo as f64, (count_lo + unresolved.len()) as f64)
+        }
+        Query::Count { op, constant, .. } => {
+            let (count_lo, unresolved) = classify(pool, *op, *constant);
+            Bounds::new(count_lo as f64, (count_lo + unresolved.len()) as f64)
+        }
+        Query::Sum { weights, .. } => weighted_interval(pool, Weights::Per(weights)),
+        Query::Ave { .. } => weighted_interval(pool, uniform(pool.len())),
+        Query::Max { .. } => max_envelope(pool.objects()).expect("non-empty pool"),
+        Query::Min { .. } => min_envelope(pool.objects()).expect("non-empty pool"),
+        Query::TopK { k, .. } => {
+            let lo = kth_largest(pool, *k, |b| b.lo());
+            let hi = kth_largest(pool, *k, |b| b.hi());
+            Bounds::new(lo, hi)
+        }
+    }
+}
+
+/// Builds the session's answer for the tick: `Final` when the query reached
+/// its stopping condition, the anytime `Partial` otherwise.
+pub fn answer(query: &Query, pool: &SharedPool, relation: &BondRelation, done: bool) -> Answer {
+    if done {
+        Answer::Final(final_output(query, pool, relation))
+    } else {
+        Answer::Partial {
+            bounds: partial_bounds(query, pool),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- weights
+
+/// Weight source for SUM-family demands, without materializing a vector
+/// per scheduler round.
+#[derive(Clone, Copy)]
+enum Weights<'a> {
+    Uniform(f64),
+    Per(&'a [f64]),
+}
+
+impl Weights<'_> {
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            Weights::Uniform(w) => *w,
+            Weights::Per(ws) => ws[i],
+        }
+    }
+}
+
+fn uniform(n: usize) -> Weights<'static> {
+    Weights::Uniform(1.0 / n.max(1) as f64)
+}
+
+fn weighted_interval(pool: &SharedPool, w: Weights<'_>) -> Bounds {
+    let (mut lo, mut hi) = (0.0f64, 0.0f64);
+    for i in 0..pool.len() {
+        let b = pool.bounds(i);
+        let wi = w.get(i);
+        lo += wi * b.lo();
+        hi += wi * b.hi();
+    }
+    Bounds::new(lo, hi)
+}
+
+fn demands_sum(pool: &SharedPool, w: Weights<'_>, epsilon: f64, out: &mut Vec<Demand>) {
+    if weighted_interval(pool, w).width() <= epsilon {
+        return;
+    }
+    for i in 0..pool.len() {
+        let wi = w.get(i);
+        if wi == 0.0 || pool.converged(i) {
+            continue;
+        }
+        let b = pool.bounds(i);
+        let eb = pool.est_bounds(i);
+        let benefit = wi * ((eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0));
+        out.push(Demand { object: i, benefit });
+    }
+}
+
+// ---------------------------------------------------- selection and count
+
+/// Per-object predicate outcome under the selection VAO's semantics:
+/// decided from bounds, or resolved as equality at `minWidth` convergence,
+/// or still unknown (`None`).
+fn satisfied(pool: &SharedPool, i: usize, op: CmpOp, constant: f64) -> Option<bool> {
+    match op.decide(&pool.bounds(i), constant) {
+        Some(v) => Some(v),
+        None if pool.converged(i) => Some(op.outcome_at_equality()),
+        None => None,
+    }
+}
+
+/// `(proven count, unresolved non-converged objects)` — the COUNT VAO's
+/// classification pass.
+fn classify(pool: &SharedPool, op: CmpOp, constant: f64) -> (usize, Vec<usize>) {
+    let mut count_lo = 0usize;
+    let mut unresolved = Vec::new();
+    for i in 0..pool.len() {
+        match satisfied(pool, i, op, constant) {
+            Some(true) => count_lo += 1,
+            Some(false) => {}
+            None => unresolved.push(i),
+        }
+    }
+    (count_lo, unresolved)
+}
+
+fn demands_classify(
+    pool: &SharedPool,
+    op: CmpOp,
+    constant: f64,
+    slack: usize,
+    out: &mut Vec<Demand>,
+) {
+    let (_, unresolved) = classify(pool, op, constant);
+    if unresolved.len() <= slack {
+        return;
+    }
+    for &i in &unresolved {
+        let b = pool.bounds(i);
+        let eb = pool.est_bounds(i);
+        let mut benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+        if op.decide(&eb, constant).is_some() {
+            benefit += b.width();
+        }
+        out.push(Demand { object: i, benefit });
+    }
+}
+
+// ------------------------------------------------------------ max and min
+
+/// Bounds accessor that optionally negates, so MIN shares the MAX logic
+/// exactly like the core operator's `Negated` views (tie-breaks included).
+#[derive(Clone, Copy)]
+struct View<'a> {
+    pool: &'a SharedPool,
+    flip: bool,
+}
+
+impl View<'_> {
+    fn lo(&self, i: usize) -> f64 {
+        let b = self.pool.bounds(i);
+        if self.flip {
+            -b.hi()
+        } else {
+            b.lo()
+        }
+    }
+    fn hi(&self, i: usize) -> f64 {
+        let b = self.pool.bounds(i);
+        if self.flip {
+            -b.lo()
+        } else {
+            b.hi()
+        }
+    }
+    fn est_lo(&self, i: usize) -> f64 {
+        let b = self.pool.est_bounds(i);
+        if self.flip {
+            -b.hi()
+        } else {
+            b.lo()
+        }
+    }
+    fn est_hi(&self, i: usize) -> f64 {
+        let b = self.pool.est_bounds(i);
+        if self.flip {
+            -b.lo()
+        } else {
+            b.hi()
+        }
+    }
+}
+
+/// The educated guess: highest upper bound, ties to higher lower bound,
+/// then lower index (the MAX VAO's deterministic rule, §5.1).
+fn guess_extreme(v: View<'_>) -> usize {
+    let mut best = 0;
+    for i in 1..v.pool.len() {
+        if v.hi(i) > v.hi(best) || (v.hi(i) == v.hi(best) && v.lo(i) > v.lo(best)) {
+            best = i;
+        }
+    }
+    best
+}
+
+fn unresolved_against(v: View<'_>, guess: usize) -> Vec<usize> {
+    let guess_lo = v.lo(guess);
+    (0..v.pool.len())
+        .filter(|&i| i != guess && v.hi(i) >= guess_lo)
+        .collect()
+}
+
+fn demands_extreme(pool: &SharedPool, epsilon: f64, flip: bool, out: &mut Vec<Demand>) {
+    let v = View { pool, flip };
+    let guess = guess_extreme(v);
+    let unresolved = unresolved_against(v, guess);
+    let phase1_done = unresolved.is_empty()
+        || (pool.converged(guess) && unresolved.iter().all(|&i| pool.converged(i)));
+
+    if phase1_done {
+        // Phase 2 of the MAX VAO: refine the identified winner to ε.
+        let b = pool.bounds(guess);
+        if b.width() > epsilon && !pool.converged(guess) {
+            let eb = pool.est_bounds(guess);
+            let benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+            out.push(Demand {
+                object: guess,
+                benefit,
+            });
+        }
+        return;
+    }
+
+    let guess_lo = v.lo(guess);
+    if !pool.converged(guess) {
+        // Raising the guess's lower bound clears overlap with every
+        // unresolved object at once.
+        let est_raise = (v.est_lo(guess) - guess_lo).max(0.0);
+        let benefit: f64 = unresolved
+            .iter()
+            .map(|&j| (v.hi(j) - guess_lo).max(0.0).min(est_raise))
+            .sum();
+        out.push(Demand {
+            object: guess,
+            benefit,
+        });
+    }
+    for &i in &unresolved {
+        if pool.converged(i) {
+            continue;
+        }
+        let overlap = (v.hi(i) - guess_lo).max(0.0);
+        let est_drop = (v.hi(i) - v.est_hi(i)).max(0.0);
+        out.push(Demand {
+            object: i,
+            benefit: overlap.min(est_drop),
+        });
+    }
+}
+
+fn extreme_output(pool: &SharedPool, relation: &BondRelation, flip: bool) -> QueryOutput {
+    let v = View { pool, flip };
+    let guess = guess_extreme(v);
+    let unresolved = unresolved_against(v, guess);
+    QueryOutput::Extreme {
+        bond_id: relation.bonds()[guess].id,
+        bounds: pool.bounds(guess),
+        ties: unresolved.iter().map(|&i| relation.bonds()[i].id).collect(),
+    }
+}
+
+// ------------------------------------------------------------------ top-k
+
+/// The K objects with the highest upper bounds (ties to higher lower bound,
+/// then lower index) — the Top-K VAO's member guess.
+fn guess_members(pool: &SharedPool, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (ba, bb) = (pool.bounds(a), pool.bounds(b));
+        bb.hi()
+            .partial_cmp(&ba.hi())
+            .expect("finite bounds")
+            .then(bb.lo().partial_cmp(&ba.lo()).expect("finite bounds"))
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// The member holding the boundary θ (lowest lower bound; first on ties,
+/// matching the core operator's `min_by`).
+fn boundary_member(pool: &SharedPool, members: &[usize]) -> usize {
+    *members
+        .iter()
+        .min_by(|&&a, &&b| {
+            pool.bounds(a)
+                .lo()
+                .partial_cmp(&pool.bounds(b).lo())
+                .expect("finite bounds")
+        })
+        .expect("k >= 1")
+}
+
+fn demands_topk(pool: &SharedPool, k: usize, epsilon: f64, out: &mut Vec<Demand>) {
+    let members = guess_members(pool, k);
+    let theta_holder = boundary_member(pool, &members);
+    let theta = pool.bounds(theta_holder).lo();
+    let unresolved: Vec<usize> = (0..pool.len())
+        .filter(|&i| !members.contains(&i) && pool.bounds(i).hi() >= theta)
+        .collect();
+    let phase1_done = unresolved.is_empty()
+        || (pool.converged(theta_holder) && unresolved.iter().all(|&i| pool.converged(i)));
+
+    if phase1_done {
+        for &m in &members {
+            let b = pool.bounds(m);
+            if b.width() > epsilon && !pool.converged(m) {
+                let eb = pool.est_bounds(m);
+                let benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+                out.push(Demand { object: m, benefit });
+            }
+        }
+        return;
+    }
+
+    if !pool.converged(theta_holder) {
+        let est_raise = (pool.est_bounds(theta_holder).lo() - theta).max(0.0);
+        let benefit: f64 = unresolved
+            .iter()
+            .map(|&j| (pool.bounds(j).hi() - theta).max(0.0).min(est_raise))
+            .sum();
+        out.push(Demand {
+            object: theta_holder,
+            benefit,
+        });
+    }
+    for &i in &unresolved {
+        if pool.converged(i) {
+            continue;
+        }
+        let b = pool.bounds(i);
+        let overlap = (b.hi() - theta).max(0.0);
+        let est_drop = (b.hi() - pool.est_bounds(i).hi()).max(0.0);
+        out.push(Demand {
+            object: i,
+            benefit: overlap.min(est_drop),
+        });
+    }
+}
+
+/// The k-th largest of `f(bounds)` over the pool.
+fn kth_largest(pool: &SharedPool, k: usize, f: impl Fn(&Bounds) -> f64) -> f64 {
+    let mut vals: Vec<f64> = (0..pool.len()).map(|i| f(&pool.bounds(i))).collect();
+    vals.sort_by(|a, b| b.partial_cmp(a).expect("finite bounds"));
+    vals[k.min(vals.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vao::testkit::ScriptedObject;
+
+    /// The paper's Table 2 objects (see `vao::ops::minmax` tests), boxed
+    /// into a pool.
+    fn table2_pool() -> SharedPool {
+        let objs: Vec<Box<dyn vao::interface::ResultObject>> = vec![
+            Box::new(ScriptedObject::converging(
+                &[(97.0, 101.0), (98.0, 99.0), (98.4, 98.405)],
+                4,
+                0.01,
+            )),
+            Box::new(ScriptedObject::converging(
+                &[(95.0, 103.0), (96.0, 101.0), (98.0, 98.005)],
+                4,
+                0.01,
+            )),
+            Box::new(ScriptedObject::converging(
+                &[(100.0, 106.0), (102.0, 104.0), (103.0, 103.005)],
+                4,
+                0.01,
+            )),
+        ];
+        SharedPool::from_objects(objs, 0.05)
+    }
+
+    #[test]
+    fn max_demand_mirrors_table2_scores() {
+        let pool = table2_pool();
+        let mut out = Vec::new();
+        demands(&Query::Max { epsilon: 0.5 }, &pool, &mut out);
+        // §5.1's worked example: o1 benefit 1, o2 benefit 2, o3 (the guess)
+        // benefit 3 — here with the scripted est bounds.
+        let find = |i: usize| out.iter().find(|d| d.object == i).map(|d| d.benefit);
+        assert_eq!(find(2), Some(2.0 + 3.0 - 2.0)); // min(1,2)+min(3,2) = 3
+        assert!(find(0).is_some() && find(1).is_some());
+    }
+
+    #[test]
+    fn min_demand_flips_the_view() {
+        let pool = table2_pool();
+        let mut out = Vec::new();
+        demands(&Query::Min { epsilon: 0.5 }, &pool, &mut out);
+        // The MIN guess is the object with the lowest lower bound: o2 at 95.
+        assert!(
+            out.iter().any(|d| d.object == 1),
+            "min contends around the lowest-lo object"
+        );
+    }
+
+    #[test]
+    fn sum_demand_is_weighted() {
+        let pool = table2_pool();
+        let mut out = Vec::new();
+        let q = Query::Sum {
+            weights: vec![0.0, 2.0, 1.0],
+            epsilon: 0.1,
+        };
+        demands(&q, &pool, &mut out);
+        assert!(
+            !out.iter().any(|d| d.object == 0),
+            "zero-weight objects are never demanded"
+        );
+        let b1 = out.iter().find(|d| d.object == 1).unwrap().benefit;
+        // o2: est shrink (96-95)+(103-101) = 3, weight 2 -> 6.
+        assert!((b1 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_demands_mean_final_answers() {
+        let pool = table2_pool();
+        let mut out = Vec::new();
+        // ε = 8 is wider than every initial width: sum is immediately done.
+        let q = Query::Sum {
+            weights: vec![0.0, 0.0, 1.0],
+            epsilon: 8.0,
+        };
+        demands(&q, &pool, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn selection_demand_carries_decision_bonus() {
+        let pool = table2_pool();
+        let mut out = Vec::new();
+        let q = Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        };
+        demands(&q, &pool, &mut out);
+        // o3 ([100,106], est [102,104]) straddles 100 but its estimate
+        // decides; o1/o2 straddle too.
+        let d3 = out.iter().find(|d| d.object == 2).unwrap();
+        // width shrink (102-100)+(106-104)=4, bonus width 6 -> 10.
+        assert!((d3.benefit - 10.0).abs() < 1e-12);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn partial_bounds_bracket_every_query_shape() {
+        let pool = table2_pool();
+        let rel_check = |b: Bounds, lo: f64, hi: f64| {
+            assert!(
+                (b.lo() - lo).abs() < 1e-9 && (b.hi() - hi).abs() < 1e-9,
+                "{b}"
+            );
+        };
+        rel_check(
+            partial_bounds(&Query::Max { epsilon: 0.01 }, &pool),
+            100.0,
+            106.0,
+        );
+        rel_check(
+            partial_bounds(&Query::Min { epsilon: 0.01 }, &pool),
+            95.0,
+            101.0,
+        );
+        // Top-2: 2nd largest lo = 97, 2nd largest hi = 103.
+        rel_check(
+            partial_bounds(
+                &Query::TopK {
+                    k: 2,
+                    epsilon: 0.01,
+                },
+                &pool,
+            ),
+            97.0,
+            103.0,
+        );
+        // Selection > 100: none proven, all three unresolved.
+        rel_check(
+            partial_bounds(
+                &Query::Selection {
+                    op: CmpOp::Gt,
+                    constant: 100.0,
+                },
+                &pool,
+            ),
+            0.0,
+            3.0,
+        );
+        rel_check(
+            partial_bounds(
+                &Query::Sum {
+                    weights: vec![1.0; 3],
+                    epsilon: 0.1,
+                },
+                &pool,
+            ),
+            97.0 + 95.0 + 100.0,
+            101.0 + 103.0 + 106.0,
+        );
+    }
+}

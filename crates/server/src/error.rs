@@ -1,0 +1,56 @@
+//! Server-level errors.
+
+use vao::error::VaoError;
+
+/// Errors raised by the server front-end and scheduler.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerError {
+    /// An operator-level failure (invalid ε, weight mismatch, …), surfaced
+    /// at subscription validation or during a tick.
+    Vao(VaoError),
+    /// A request referenced a session id that is not registered.
+    UnknownSession(u64),
+    /// The scheduler hit its defensive iteration cap without every query
+    /// reaching its stopping condition — only possible when a result object
+    /// violates its progress contract.
+    Stalled {
+        /// The iteration cap that was in force.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Vao(e) => write!(f, "operator error: {e}"),
+            ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::Stalled { limit } => {
+                write!(f, "scheduler stalled: iteration limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<VaoError> for ServerError {
+    fn from(e: VaoError) -> Self {
+        ServerError::Vao(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServerError::UnknownSession(7).to_string().contains('7'));
+        assert!(ServerError::Stalled { limit: 10 }
+            .to_string()
+            .contains("10"));
+        let e: ServerError = VaoError::EmptyInput.into();
+        assert!(matches!(e, ServerError::Vao(VaoError::EmptyInput)));
+        assert!(e.to_string().contains("operator error"));
+    }
+}

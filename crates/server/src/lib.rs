@@ -1,0 +1,49 @@
+//! `va-server`: a multi-query shared-execution server with budgeted
+//! scheduling and anytime answers.
+//!
+//! The paper's engine (`va-stream`) runs **one** continuous query per
+//! engine: every query re-invokes the pricing model over the whole bond
+//! relation on every tick. The motivating workload (§1.2), though, is many
+//! traders asking *different* questions about the *same* relation at the
+//! *same* tick. This crate serves that workload:
+//!
+//! * **Session registry** ([`SessionRegistry`]) — register any number of
+//!   selection / aggregate / extreme / top-k / count queries, each with its
+//!   own ε and priority.
+//! * **Shared result-object pool** ([`SharedPool`]) — one
+//!   [`vao::interface::ResultObject`] per bond per tick. The model is
+//!   invoked once, and each object is refined only as far as the tightest
+//!   demand any live query places on it.
+//! * **Cross-query greedy scheduler** — §5's per-operator greedy choice
+//!   ("most estimated benefit per `estCPU`") lifted across queries:
+//!   priority-weighted benefits accumulate per object and the single
+//!   globally best iteration runs next.
+//! * **Per-tick work budget with anytime answers** — when the budget
+//!   (deterministic work units) runs out mid-tick, sessions still refining
+//!   get [`Answer::Partial`] bounds guaranteed to bracket the converged
+//!   answer, and bursty tick arrivals coalesce to the newest rate.
+//!
+//! The front-end is a newline-delimited JSON protocol over
+//! `std::net::TcpListener` (see [`net`], [`proto`] and `docs/SERVER.md`);
+//! the in-process [`Server`] API underneath is what the tests and the
+//! bench harness drive directly.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod answer;
+pub mod demand;
+pub mod error;
+pub mod json;
+pub mod net;
+pub mod pool;
+pub mod proto;
+mod sched;
+pub mod server;
+pub mod session;
+
+pub use answer::Answer;
+pub use error::ServerError;
+pub use pool::SharedPool;
+pub use server::{Server, ServerConfig, TickResult};
+pub use session::{Session, SessionId, SessionRegistry};

@@ -1,0 +1,91 @@
+//! The TCP front-end: the line protocol over `std::net`, one connection at
+//! a time (the scheduler itself is single-threaded and deterministic; see
+//! ROADMAP for the multi-threaded pool-iteration follow-up).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use crate::proto::{self, Request};
+use crate::server::Server;
+
+/// Serves connections from `listener` forever (each to completion, in
+/// accept order). Server state — sessions, tick counter, statistics —
+/// persists across connections.
+pub fn serve(listener: &TcpListener, server: &mut Server) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        serve_connection(stream?, server)?;
+    }
+    Ok(())
+}
+
+/// Serves one client connection until `QUIT` or EOF.
+pub fn serve_connection(stream: TcpStream, server: &mut Server) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match proto::parse_request(&line) {
+            Err(msg) => writeln!(writer, "{}", proto::error(&msg))?,
+            Ok(Request::Quit) => {
+                writeln!(writer, "{}", proto::bye())?;
+                return Ok(());
+            }
+            Ok(req) => handle(req, server, &mut writer)?,
+        }
+    }
+    Ok(())
+}
+
+fn handle(req: Request, server: &mut Server, writer: &mut TcpStream) -> std::io::Result<()> {
+    match req {
+        Request::Subscribe { query, priority } => {
+            let query = query.into_query(server.relation().bonds().len());
+            match server.subscribe(query, priority) {
+                Ok(id) => writeln!(writer, "{}", proto::subscribed(id)),
+                Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
+            }
+        }
+        Request::Unsubscribe { session } => {
+            match server.unsubscribe(crate::session::SessionId(session)) {
+                Ok(()) => writeln!(writer, "{}", proto::unsubscribed(session)),
+                Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
+            }
+        }
+        Request::Tick { rate } => run_tick(server, rate, writer),
+        Request::Ticks { rates } => {
+            // Load shedding: a burst of ticks coalesces to the newest rate
+            // (stale markets are never priced).
+            for rate in rates {
+                server.offer_tick(rate);
+            }
+            match server.run_queued() {
+                None => writeln!(writer, "{}", proto::error("no ticks offered")),
+                Some(Ok(res)) => write_tick(server, &res, writer),
+                Some(Err(e)) => writeln!(writer, "{}", proto::error(&e.to_string())),
+            }
+        }
+        Request::Stats => writeln!(writer, "{}", proto::stats(server)),
+        Request::Quit => unreachable!("handled by the caller"),
+    }
+}
+
+fn run_tick(server: &mut Server, rate: f64, writer: &mut TcpStream) -> std::io::Result<()> {
+    match server.tick(rate) {
+        Ok(res) => write_tick(server, &res, writer),
+        Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
+    }
+}
+
+fn write_tick(
+    server: &Server,
+    res: &crate::server::TickResult,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    for (id, answer) in &res.answers {
+        writeln!(writer, "{}", proto::result(res.tick, res.rate, *id, answer))?;
+    }
+    writeln!(writer, "{}", proto::tick_done(res, server.shed_ticks()))
+}

@@ -1,0 +1,147 @@
+//! The shared result-object pool.
+//!
+//! The paper's motivating scenario (§1.2) has many traders' queries priced
+//! off the *same* bond relation at the *same* tick — yet a per-query engine
+//! re-invokes the pricing model once per query per bond. The pool keys one
+//! [`ResultObject`] per bond per tick: the model is invoked exactly once,
+//! every registered query reads the same monotonically shrinking bounds,
+//! and each object ends up iterated only as far as the *tightest* demand
+//! any live query places on it.
+
+use bondlab::BondPricer;
+use va_stream::BondRelation;
+use vao::cost::{Work, WorkMeter};
+use vao::interface::{ResultObject, VariableAccuracyFn};
+use vao::Bounds;
+
+/// One tick's worth of shared result objects, aligned with the relation.
+pub struct SharedPool {
+    objects: Vec<Box<dyn ResultObject>>,
+    rate: f64,
+}
+
+impl std::fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPool")
+            .field("rate", &self.rate)
+            .field("objects", &self.objects.len())
+            .finish()
+    }
+}
+
+impl SharedPool {
+    /// Invokes the pricer once per bond at `rate`, charging the shared
+    /// meter. This is the work a per-query engine would repeat K times.
+    #[must_use]
+    pub fn invoke(
+        pricer: &BondPricer,
+        relation: &BondRelation,
+        rate: f64,
+        meter: &mut WorkMeter,
+    ) -> Self {
+        let objects = relation
+            .bonds()
+            .iter()
+            .map(|&bond| pricer.invoke(&(rate, bond), meter))
+            .collect();
+        Self { objects, rate }
+    }
+
+    /// Builds a pool from pre-made result objects (testing and tooling; the
+    /// server always goes through [`SharedPool::invoke`]).
+    #[must_use]
+    pub fn from_objects(objects: Vec<Box<dyn ResultObject>>, rate: f64) -> Self {
+        Self { objects, rate }
+    }
+
+    /// The rate this pool was invoked at.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Number of pooled objects (== relation size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The pooled objects (for envelope computations and ε validation).
+    #[must_use]
+    pub fn objects(&self) -> &[Box<dyn ResultObject>] {
+        &self.objects
+    }
+
+    /// Current bounds of object `i`.
+    #[must_use]
+    pub fn bounds(&self, i: usize) -> Bounds {
+        self.objects[i].bounds()
+    }
+
+    /// Estimated post-iteration bounds of object `i`.
+    #[must_use]
+    pub fn est_bounds(&self, i: usize) -> Bounds {
+        self.objects[i].est_bounds()
+    }
+
+    /// Estimated cost of the next iteration of object `i`.
+    #[must_use]
+    pub fn est_cpu(&self, i: usize) -> Work {
+        self.objects[i].est_cpu()
+    }
+
+    /// Whether object `i` has reached its stopping condition.
+    #[must_use]
+    pub fn converged(&self, i: usize) -> bool {
+        self.objects[i].converged()
+    }
+
+    /// Refines object `i` one step on the shared meter.
+    pub fn iterate(&mut self, i: usize, meter: &mut WorkMeter) -> Bounds {
+        self.objects[i].iterate(meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::BondUniverse;
+
+    #[test]
+    fn pool_invokes_once_per_bond() {
+        let universe = BondUniverse::generate(4, 7);
+        let relation = BondRelation::from_universe(&universe);
+        let pricer = BondPricer::default();
+        let mut meter = WorkMeter::new();
+        let pool = SharedPool::invoke(&pricer, &relation, 0.0583, &mut meter);
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.rate(), 0.0583);
+        assert!(meter.total() > 0, "model invocation charges the meter");
+        for i in 0..pool.len() {
+            let b = pool.bounds(i);
+            assert!(b.lo() <= b.hi());
+        }
+    }
+
+    #[test]
+    fn iterate_shrinks_on_the_shared_meter() {
+        let universe = BondUniverse::generate(2, 7);
+        let relation = BondRelation::from_universe(&universe);
+        let pricer = BondPricer::default();
+        let mut meter = WorkMeter::new();
+        let mut pool = SharedPool::invoke(&pricer, &relation, 0.0583, &mut meter);
+        let before = pool.bounds(0);
+        let spent = meter.total();
+        let after = pool.iterate(0, &mut meter);
+        assert!(after.width() <= before.width(), "monotone shrinkage");
+        assert!(meter.total() > spent, "iteration charges the shared meter");
+        assert_eq!(meter.iterations(), 1);
+    }
+}

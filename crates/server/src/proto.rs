@@ -1,0 +1,517 @@
+//! The newline-delimited JSON line protocol (see `docs/SERVER.md` for the
+//! full schema).
+//!
+//! Every request and response is one JSON object per line. Requests carry a
+//! `"type"` tag (`SUBSCRIBE`, `UNSUBSCRIBE`, `TICK`, `TICKS`, `STATS`,
+//! `QUIT`); the server answers with `SUBSCRIBED`, `UNSUBSCRIBED`, one
+//! `RESULT` per session plus a `TICK_DONE` per processed tick, `STATS`,
+//! `BYE`, or `ERROR`. Parsing is strict about shapes (a malformed request
+//! yields `ERROR` without killing the connection) and numbers ride as JSON
+//! numbers, never strings.
+
+use va_stream::{Query, QueryOutput};
+use vao::ops::selection::CmpOp;
+
+use crate::answer::Answer;
+use crate::json::{escape, Json};
+use crate::server::{Server, TickResult};
+use crate::session::SessionId;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register a query at a priority.
+    Subscribe {
+        /// The query, with SUM weights still optional.
+        query: WireQuery,
+        /// Scheduling priority (defaults to 1 on the wire).
+        priority: u32,
+    },
+    /// Remove a session.
+    Unsubscribe {
+        /// The session to remove.
+        session: u64,
+    },
+    /// Process one rate tick.
+    Tick {
+        /// The new 10-year rate.
+        rate: f64,
+    },
+    /// Offer a burst of ticks; the server coalesces to the newest.
+    Ticks {
+        /// Rates in arrival order.
+        rates: Vec<f64>,
+    },
+    /// Report run statistics.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// A query as it appears on the wire: identical to [`Query`] except SUM
+/// weights may be omitted (defaulting to all-ones once the relation size is
+/// known).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireQuery {
+    /// `{"kind":"selection","op":">","constant":c}`
+    Selection {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant compared against.
+        constant: f64,
+    },
+    /// `{"kind":"count","op":">","constant":c,"slack":s}`
+    Count {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant compared against.
+        constant: f64,
+        /// Tolerated unresolved objects.
+        slack: usize,
+    },
+    /// `{"kind":"sum","epsilon":e,"weights":[...]}` (weights optional)
+    Sum {
+        /// Optional per-bond weights.
+        weights: Option<Vec<f64>>,
+        /// Output precision.
+        epsilon: f64,
+    },
+    /// `{"kind":"ave","epsilon":e}`
+    Ave {
+        /// Output precision.
+        epsilon: f64,
+    },
+    /// `{"kind":"max","epsilon":e}`
+    Max {
+        /// Output precision.
+        epsilon: f64,
+    },
+    /// `{"kind":"min","epsilon":e}`
+    Min {
+        /// Output precision.
+        epsilon: f64,
+    },
+    /// `{"kind":"topk","k":k,"epsilon":e}`
+    TopK {
+        /// How many bonds to rank.
+        k: usize,
+        /// Output precision.
+        epsilon: f64,
+    },
+}
+
+impl WireQuery {
+    /// Resolves to an engine [`Query`], defaulting omitted SUM weights to
+    /// all-ones over a relation of `n` bonds.
+    #[must_use]
+    pub fn into_query(self, n: usize) -> Query {
+        match self {
+            WireQuery::Selection { op, constant } => Query::Selection { op, constant },
+            WireQuery::Count {
+                op,
+                constant,
+                slack,
+            } => Query::Count {
+                op,
+                constant,
+                slack,
+            },
+            WireQuery::Sum { weights, epsilon } => Query::Sum {
+                weights: weights.unwrap_or_else(|| vec![1.0; n]),
+                epsilon,
+            },
+            WireQuery::Ave { epsilon } => Query::Ave { epsilon },
+            WireQuery::Max { epsilon } => Query::Max { epsilon },
+            WireQuery::Min { epsilon } => Query::Min { epsilon },
+            WireQuery::TopK { k, epsilon } => Query::TopK { k, epsilon },
+        }
+    }
+}
+
+/// Parses one request line. Errors are human-readable strings the server
+/// echoes back in an `ERROR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line)?;
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing \"type\"")?;
+    match kind {
+        "SUBSCRIBE" => {
+            let query = parse_query(doc.get("query").ok_or("missing \"query\"")?)?;
+            let priority = match doc.get("priority") {
+                None => 1,
+                Some(p) => u32::try_from(
+                    p.as_u64()
+                        .ok_or("\"priority\" must be a nonnegative integer")?,
+                )
+                .map_err(|_| "\"priority\" out of range".to_string())?,
+            };
+            Ok(Request::Subscribe { query, priority })
+        }
+        "UNSUBSCRIBE" => Ok(Request::Unsubscribe {
+            session: doc
+                .get("session")
+                .and_then(Json::as_u64)
+                .ok_or("missing \"session\"")?,
+        }),
+        "TICK" => Ok(Request::Tick {
+            rate: finite(doc.get("rate").and_then(Json::as_f64), "rate")?,
+        }),
+        "TICKS" => {
+            let rates = doc
+                .get("rates")
+                .and_then(Json::as_array)
+                .ok_or("missing \"rates\"")?
+                .iter()
+                .map(|r| finite(r.as_f64(), "rates"))
+                .collect::<Result<Vec<f64>, String>>()?;
+            Ok(Request::Ticks { rates })
+        }
+        "STATS" => Ok(Request::Stats),
+        "QUIT" => Ok(Request::Quit),
+        other => Err(format!("unknown request type \"{other}\"")),
+    }
+}
+
+fn finite(v: Option<f64>, field: &str) -> Result<f64, String> {
+    match v {
+        Some(x) if x.is_finite() => Ok(x),
+        Some(_) => Err(format!("\"{field}\" must be finite")),
+        None => Err(format!("missing \"{field}\"")),
+    }
+}
+
+fn parse_cmp_op(doc: &Json) -> Result<CmpOp, String> {
+    match doc.get("op").and_then(Json::as_str) {
+        Some(">") => Ok(CmpOp::Gt),
+        Some(">=") => Ok(CmpOp::Ge),
+        Some("<") => Ok(CmpOp::Lt),
+        Some("<=") => Ok(CmpOp::Le),
+        Some(other) => Err(format!("unknown op \"{other}\"")),
+        None => Err("missing \"op\"".to_string()),
+    }
+}
+
+fn parse_query(doc: &Json) -> Result<WireQuery, String> {
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing query \"kind\"")?;
+    let epsilon = || finite(doc.get("epsilon").and_then(Json::as_f64), "epsilon");
+    match kind {
+        "selection" => Ok(WireQuery::Selection {
+            op: parse_cmp_op(doc)?,
+            constant: finite(doc.get("constant").and_then(Json::as_f64), "constant")?,
+        }),
+        "count" => Ok(WireQuery::Count {
+            op: parse_cmp_op(doc)?,
+            constant: finite(doc.get("constant").and_then(Json::as_f64), "constant")?,
+            slack: doc.get("slack").and_then(Json::as_u64).unwrap_or(0) as usize,
+        }),
+        "sum" => {
+            let weights = match doc.get("weights") {
+                None => None,
+                Some(w) => Some(
+                    w.as_array()
+                        .ok_or("\"weights\" must be an array")?
+                        .iter()
+                        .map(|x| x.as_f64().ok_or_else(|| "non-numeric weight".to_string()))
+                        .collect::<Result<Vec<f64>, String>>()?,
+                ),
+            };
+            Ok(WireQuery::Sum {
+                weights,
+                epsilon: epsilon()?,
+            })
+        }
+        "ave" => Ok(WireQuery::Ave {
+            epsilon: epsilon()?,
+        }),
+        "max" => Ok(WireQuery::Max {
+            epsilon: epsilon()?,
+        }),
+        "min" => Ok(WireQuery::Min {
+            epsilon: epsilon()?,
+        }),
+        "topk" => Ok(WireQuery::TopK {
+            k: doc.get("k").and_then(Json::as_u64).ok_or("missing \"k\"")? as usize,
+            epsilon: epsilon()?,
+        }),
+        other => Err(format!("unknown query kind \"{other}\"")),
+    }
+}
+
+// ------------------------------------------------------------- responses
+
+/// `SUBSCRIBED` response line.
+#[must_use]
+pub fn subscribed(id: SessionId) -> String {
+    format!("{{\"type\":\"SUBSCRIBED\",\"session\":{id}}}")
+}
+
+/// `UNSUBSCRIBED` response line.
+#[must_use]
+pub fn unsubscribed(id: u64) -> String {
+    format!("{{\"type\":\"UNSUBSCRIBED\",\"session\":{id}}}")
+}
+
+/// `ERROR` response line.
+#[must_use]
+pub fn error(message: &str) -> String {
+    format!("{{\"type\":\"ERROR\",\"message\":\"{}\"}}", escape(message))
+}
+
+/// `BYE` response line (connection closing).
+#[must_use]
+pub fn bye() -> String {
+    "{\"type\":\"BYE\"}".to_string()
+}
+
+/// One `RESULT` line for one session's answer on one tick.
+#[must_use]
+pub fn result(tick: u64, rate: f64, session: SessionId, answer: &Answer) -> String {
+    match answer {
+        Answer::Final(out) => format!(
+            "{{\"type\":\"RESULT\",\"session\":{session},\"tick\":{tick},\"rate\":{rate},\"status\":\"final\",\"output\":{}}}",
+            output_json(out)
+        ),
+        Answer::Partial { bounds } => format!(
+            "{{\"type\":\"RESULT\",\"session\":{session},\"tick\":{tick},\"rate\":{rate},\"status\":\"partial\",\"bounds\":{{\"lo\":{},\"hi\":{}}}}}",
+            bounds.lo(),
+            bounds.hi()
+        ),
+    }
+}
+
+/// `TICK_DONE` trailer after a tick's `RESULT` lines.
+#[must_use]
+pub fn tick_done(res: &TickResult, shed: u64) -> String {
+    format!(
+        "{{\"type\":\"TICK_DONE\",\"tick\":{},\"rate\":{},\"work_units\":{},\"iterations\":{},\"budget_exhausted\":{},\"shed\":{shed}}}",
+        res.tick,
+        res.rate,
+        res.stats.total_work(),
+        res.stats.iterations,
+        res.budget_exhausted
+    )
+}
+
+/// `STATS` response line summarizing the run so far.
+#[must_use]
+pub fn stats(server: &Server) -> String {
+    let summary = server.summary();
+    let sessions: Vec<String> = summary
+        .per_query
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"session\":{},\"operator\":\"{}\",\"priority\":{},\"finals\":{},\"partials\":{},\"driven_iterations\":{}}}",
+                r.session, r.operator, r.priority, r.finals, r.partials, r.driven_iterations
+            )
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"STATS\",\"ticks\":{},\"shed_ticks\":{},\"work_units\":{},\"iterations\":{},\"sessions\":[{}]}}",
+        summary.ticks,
+        server.shed_ticks(),
+        summary.work.total(),
+        summary.iterations,
+        sessions.join(",")
+    )
+}
+
+fn bounds_fields(lo: f64, hi: f64) -> String {
+    format!("\"lo\":{lo},\"hi\":{hi}")
+}
+
+fn ids_json(ids: &[u32]) -> String {
+    let items: Vec<String> = ids.iter().map(u32::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serializes a final [`QueryOutput`] to its wire shape.
+#[must_use]
+pub fn output_json(out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Selected(ids) => {
+            format!("{{\"shape\":\"selected\",\"ids\":{}}}", ids_json(ids))
+        }
+        QueryOutput::Extreme {
+            bond_id,
+            bounds,
+            ties,
+        } => format!(
+            "{{\"shape\":\"extreme\",\"bond\":{bond_id},{},\"ties\":{}}}",
+            bounds_fields(bounds.lo(), bounds.hi()),
+            ids_json(ties)
+        ),
+        QueryOutput::Aggregate { bounds } => format!(
+            "{{\"shape\":\"aggregate\",{}}}",
+            bounds_fields(bounds.lo(), bounds.hi())
+        ),
+        QueryOutput::Ranked { members, ties } => {
+            let rows: Vec<String> = members
+                .iter()
+                .map(|(id, b)| format!("{{\"bond\":{id},{}}}", bounds_fields(b.lo(), b.hi())))
+                .collect();
+            format!(
+                "{{\"shape\":\"ranked\",\"members\":[{}],\"ties\":{}}}",
+                rows.join(","),
+                ids_json(ties)
+            )
+        }
+        QueryOutput::Count { lo, hi } => {
+            format!("{{\"shape\":\"count\",\"lo\":{lo},\"hi\":{hi}}}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vao::Bounds;
+
+    #[test]
+    fn parses_every_request_type() {
+        assert_eq!(
+            parse_request(r#"{"type":"TICK","rate":0.0583}"#).unwrap(),
+            Request::Tick { rate: 0.0583 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"TICKS","rates":[0.05,0.06]}"#).unwrap(),
+            Request::Ticks {
+                rates: vec![0.05, 0.06]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"UNSUBSCRIBE","session":3}"#).unwrap(),
+            Request::Unsubscribe { session: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"STATS"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(parse_request(r#"{"type":"QUIT"}"#).unwrap(), Request::Quit);
+        let sub = parse_request(
+            r#"{"type":"SUBSCRIBE","query":{"kind":"topk","k":3,"epsilon":0.1},"priority":4}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            sub,
+            Request::Subscribe {
+                query: WireQuery::TopK { k: 3, epsilon: 0.1 },
+                priority: 4
+            }
+        );
+    }
+
+    #[test]
+    fn parses_every_query_kind() {
+        let q = |s: &str| parse_query(&Json::parse(s).unwrap()).unwrap();
+        assert_eq!(
+            q(r#"{"kind":"selection","op":">","constant":99.5}"#),
+            WireQuery::Selection {
+                op: CmpOp::Gt,
+                constant: 99.5
+            }
+        );
+        assert_eq!(
+            q(r#"{"kind":"count","op":"<=","constant":99.5,"slack":2}"#),
+            WireQuery::Count {
+                op: CmpOp::Le,
+                constant: 99.5,
+                slack: 2
+            }
+        );
+        assert_eq!(
+            q(r#"{"kind":"sum","epsilon":1.5}"#),
+            WireQuery::Sum {
+                weights: None,
+                epsilon: 1.5
+            }
+        );
+        assert_eq!(
+            q(r#"{"kind":"sum","epsilon":1.5,"weights":[1,0,2]}"#).into_query(3),
+            Query::Sum {
+                weights: vec![1.0, 0.0, 2.0],
+                epsilon: 1.5
+            }
+        );
+        assert_eq!(
+            q(r#"{"kind":"ave","epsilon":0.2}"#),
+            WireQuery::Ave { epsilon: 0.2 }
+        );
+        assert_eq!(
+            q(r#"{"kind":"max","epsilon":0.2}"#),
+            WireQuery::Max { epsilon: 0.2 }
+        );
+        assert_eq!(
+            q(r#"{"kind":"min","epsilon":0.2}"#),
+            WireQuery::Min { epsilon: 0.2 }
+        );
+    }
+
+    #[test]
+    fn default_sum_weights_are_all_ones() {
+        let q = WireQuery::Sum {
+            weights: None,
+            epsilon: 1.0,
+        };
+        assert_eq!(
+            q.into_query(4),
+            Query::Sum {
+                weights: vec![1.0; 4],
+                epsilon: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_read_as_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"type":"WARP"}"#).is_err());
+        assert!(parse_request(r#"{"type":"TICK"}"#).is_err());
+        assert!(parse_request(r#"{"type":"TICK","rate":"fast"}"#).is_err());
+        assert!(parse_request(r#"{"type":"SUBSCRIBE","query":{"kind":"sum"}}"#).is_err());
+        assert!(parse_request(
+            r#"{"type":"SUBSCRIBE","query":{"kind":"selection","op":"=","constant":1}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let lines = [
+            subscribed(SessionId(7)),
+            unsubscribed(7),
+            error("bad \"thing\"\nhappened"),
+            bye(),
+            result(
+                3,
+                0.0583,
+                SessionId(1),
+                &Answer::Partial {
+                    bounds: Bounds::new(1.0, 2.0),
+                },
+            ),
+            output_json(&QueryOutput::Extreme {
+                bond_id: 5,
+                bounds: Bounds::new(99.0, 99.5),
+                ties: vec![6, 7],
+            }),
+            output_json(&QueryOutput::Ranked {
+                members: vec![(1, Bounds::new(2.0, 3.0))],
+                ties: vec![],
+            }),
+            output_json(&QueryOutput::Selected(vec![1, 2])),
+            output_json(&QueryOutput::Count { lo: 2, hi: 4 }),
+        ];
+        for line in &lines {
+            assert!(!line.contains('\n'), "{line}");
+            let parsed = Json::parse(line);
+            assert!(parsed.is_ok(), "{line}: {parsed:?}");
+        }
+        assert!(lines[4].contains("\"status\":\"partial\""));
+    }
+}

@@ -1,0 +1,201 @@
+//! The cross-query budgeted greedy scheduler — the server's core.
+//!
+//! §5's operators make a *per-operator* greedy choice: iterate the result
+//! object with the highest estimated benefit per `estCPU`. This module
+//! lifts that choice *across queries*: every registered session recomputes
+//! its outstanding [`Demand`]s over the shared pool each round, the demands
+//! on the same object are accumulated (priority-weighted), and the single
+//! globally best iteration runs on the shared meter. An iteration that one
+//! query pays for tightens the same bounds every other query reads — work
+//! sharing falls out of the pooling rather than needing any cross-query
+//! bookkeeping.
+//!
+//! The per-tick **work budget** bounds the tick in deterministic work
+//! units. The scheduler stops *before* any `iterate()` whose `estCPU`
+//! would overrun the budget; sessions still demanding refinement then
+//! degrade to anytime [`Answer::Partial`] bounds instead of blocking the
+//! tick (§7's graceful degradation, applied to scheduling).
+
+use va_stream::BondRelation;
+use vao::cost::{Work, WorkMeter};
+use vao::strategy::{Candidate, ChoicePolicy};
+use vao::trace::{
+    BudgetExhaustedRecord, ExecObserver, IterationRecord, OperatorEndRecord, OperatorKind,
+};
+
+use crate::answer::Answer;
+use crate::demand::{self, Demand};
+use crate::error::ServerError;
+use crate::pool::SharedPool;
+use crate::session::{SessionId, SessionRegistry};
+
+/// What one scheduled tick produced.
+#[derive(Clone, Debug)]
+pub(crate) struct TickOutcome {
+    /// Per-session answers, in registration order.
+    pub answers: Vec<(SessionId, Answer)>,
+    /// Pool `iterate()` calls the scheduler issued this tick (the tick's
+    /// meter counts the same number; kept for scheduler-level assertions).
+    #[allow(dead_code)]
+    pub iterations: u64,
+    /// Whether the work budget ran out with demand still outstanding.
+    pub budget_exhausted: bool,
+}
+
+/// Runs the global greedy loop over an invoked pool until every session
+/// reaches its stopping condition or the budget runs out.
+///
+/// `meter` must be the tick's meter (already charged with the pool
+/// invocation); the budget applies to its running total, so model
+/// invocation and refinement draw from the same per-tick allowance.
+pub(crate) fn run_tick<O: ExecObserver>(
+    registry: &mut SessionRegistry,
+    pool: &mut SharedPool,
+    relation: &BondRelation,
+    budget: Option<Work>,
+    iteration_limit: u64,
+    meter: &mut WorkMeter,
+    observer: &mut O,
+) -> Result<TickOutcome, ServerError> {
+    observer.on_operator_start(OperatorKind::SharedPool, pool.len());
+    let entry = meter.snapshot();
+    let mut policy = ChoicePolicy::greedy();
+    let mut demands_buf: Vec<Vec<Demand>> =
+        registry.sessions().iter().map(|_| Vec::new()).collect();
+    let mut iterations = 0u64;
+    let mut seq = 0u64;
+    let mut budget_exhausted = false;
+
+    loop {
+        // Recompute every session's demand against the pool's current
+        // bounds — the stateless analogue of the per-operator loops
+        // re-deriving their guess/unresolved sets after each iteration.
+        let mut outstanding = 0usize;
+        for (s_idx, sess) in registry.sessions().iter().enumerate() {
+            demand::demands(&sess.query, pool, &mut demands_buf[s_idx]);
+            if !demands_buf[s_idx].is_empty() {
+                outstanding += 1;
+            }
+        }
+        if outstanding == 0 {
+            break; // every session can answer Final
+        }
+        if iterations >= iteration_limit {
+            return Err(ServerError::Stalled {
+                limit: iteration_limit,
+            });
+        }
+
+        // Accumulate priority-weighted benefits per object: the global
+        // benefit of iterating an object is the sum of what every demanding
+        // query expects from it.
+        let n = pool.len();
+        let mut weighted = vec![0.0f64; n];
+        let mut demanded = vec![false; n];
+        for (s_idx, sess) in registry.sessions().iter().enumerate() {
+            let w = f64::from(sess.priority);
+            for d in &demands_buf[s_idx] {
+                weighted[d.object] += w * d.benefit;
+                demanded[d.object] = true;
+            }
+        }
+        let candidates: Vec<Candidate> = (0..n)
+            .filter(|&i| demanded[i])
+            .map(|i| Candidate {
+                index: i,
+                benefit: weighted[i],
+                est_cpu: pool.est_cpu(i),
+                width: pool.bounds(i).width(),
+            })
+            .collect();
+        meter.charge_choose(candidates.len() as Work);
+
+        let pick = policy
+            .pick_traced(&candidates, observer)
+            .expect("outstanding demand implies candidates");
+        let chosen = candidates[pick].index;
+        let est = pool.est_cpu(chosen);
+
+        // Graceful degradation: stop before an iterate() that would
+        // overrun the budget; demands_buf stays fresh for Partial answers.
+        if let Some(b) = budget {
+            let spent = meter.total();
+            if spent + est > b {
+                if observer.is_enabled() {
+                    observer.on_budget_exhausted(&BudgetExhaustedRecord {
+                        budget: b,
+                        spent,
+                        deferred: outstanding,
+                    });
+                }
+                budget_exhausted = true;
+                break;
+            }
+        }
+
+        // Credit the iteration to the session that wanted it most (highest
+        // priority-weighted benefit on the chosen object; registration
+        // order breaks ties, and a zero-benefit fallback pick goes to its
+        // first demander).
+        let mut claimant: Option<usize> = None;
+        let mut claim_w = -1.0f64;
+        for (s_idx, sess) in registry.sessions().iter().enumerate() {
+            if let Some(d) = demands_buf[s_idx].iter().find(|d| d.object == chosen) {
+                let w = f64::from(sess.priority) * d.benefit;
+                if claimant.is_none() || w > claim_w {
+                    claimant = Some(s_idx);
+                    claim_w = w;
+                }
+            }
+        }
+        if let Some(s_idx) = claimant {
+            registry.sessions_mut()[s_idx].driven_iterations += 1;
+        }
+
+        let before = pool.bounds(chosen);
+        let snap = meter.snapshot();
+        let after = pool.iterate(chosen, meter);
+        iterations += 1;
+        seq += 1;
+        if observer.is_enabled() {
+            observer.on_iteration(&IterationRecord {
+                object: chosen,
+                seq,
+                before,
+                after,
+                est_cpu: est,
+                actual_cpu: meter.since(&snap).total(),
+            });
+        }
+        // An iterate() that moves nothing on a non-converged object would
+        // loop forever: the object broke its progress contract.
+        if after == before && !pool.converged(chosen) {
+            return Err(ServerError::Stalled {
+                limit: iteration_limit,
+            });
+        }
+    }
+
+    let mut answers = Vec::with_capacity(registry.len());
+    for (s_idx, sess) in registry.sessions_mut().iter_mut().enumerate() {
+        let done = demands_buf[s_idx].is_empty();
+        if done {
+            sess.finals += 1;
+        } else {
+            sess.partials += 1;
+        }
+        answers.push((sess.id, demand::answer(&sess.query, pool, relation, done)));
+    }
+
+    observer.on_operator_end(&OperatorEndRecord {
+        kind: OperatorKind::SharedPool,
+        iterations,
+        work: meter.since(&entry),
+    });
+
+    Ok(TickOutcome {
+        answers,
+        iterations,
+        budget_exhausted,
+    })
+}

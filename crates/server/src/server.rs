@@ -1,0 +1,500 @@
+//! The in-process server: session registry + shared pool + budgeted
+//! scheduler behind one API. The TCP front-end in [`crate::net`] is a thin
+//! line-protocol shell over this type, so everything here is testable
+//! without sockets.
+
+use std::time::Instant;
+
+use bondlab::BondPricer;
+use va_stream::{BondRelation, Query, QueryRunRow, RunSummary, TickObserver, TickStats};
+use vao::cost::{Work, WorkMeter};
+use vao::error::VaoError;
+use vao::ops::DEFAULT_ITERATION_LIMIT;
+use vao::trace::{
+    BudgetExhaustedRecord, ChoiceRecord, ExecObserver, HybridDecisionRecord, IterationRecord,
+    NoopObserver, OperatorEndRecord, OperatorKind,
+};
+use vao::PrecisionConstraint;
+
+use crate::answer::Answer;
+use crate::error::ServerError;
+use crate::pool::SharedPool;
+use crate::sched;
+use crate::session::{SessionId, SessionRegistry};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Per-tick work budget in deterministic work units (model invocation
+    /// and refinement draw from the same allowance). `None` runs every tick
+    /// to full convergence.
+    pub budget: Option<Work>,
+    /// Defensive cap on scheduler iterations per tick.
+    pub iteration_limit: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            budget: None,
+            iteration_limit: DEFAULT_ITERATION_LIMIT,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config with a per-tick work budget.
+    #[must_use]
+    pub fn budgeted(budget: Work) -> Self {
+        Self {
+            budget: Some(budget),
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything one processed tick produced.
+#[derive(Clone, Debug)]
+pub struct TickResult {
+    /// 1-based tick sequence number.
+    pub tick: u64,
+    /// The rate the pool was priced at.
+    pub rate: f64,
+    /// Per-session answers, in registration order.
+    pub answers: Vec<(SessionId, Answer)>,
+    /// Work/iteration accounting for the tick (operator `"shared_pool"`).
+    pub stats: TickStats,
+    /// Whether the budget ran out and some answers degraded to `Partial`.
+    pub budget_exhausted: bool,
+}
+
+/// A multi-query continuous-query server over one bond relation.
+///
+/// Register queries with [`Server::subscribe`], feed rate ticks with
+/// [`Server::tick`], and every registered session gets an answer per tick —
+/// exact when the scheduler converged it within budget, anytime bounds
+/// otherwise.
+#[derive(Debug)]
+pub struct Server {
+    pricer: BondPricer,
+    relation: BondRelation,
+    config: ServerConfig,
+    registry: SessionRegistry,
+    history: Vec<TickStats>,
+    ticks: u64,
+    queued: Option<f64>,
+    shed: u64,
+}
+
+impl Server {
+    /// A server over `relation`, pricing with `pricer`.
+    #[must_use]
+    pub fn new(pricer: BondPricer, relation: BondRelation, config: ServerConfig) -> Self {
+        Self {
+            pricer,
+            relation,
+            config,
+            registry: SessionRegistry::new(),
+            history: Vec::new(),
+            ticks: 0,
+            queued: None,
+            shed: 0,
+        }
+    }
+
+    /// The relation the server prices.
+    #[must_use]
+    pub fn relation(&self) -> &BondRelation {
+        &self.relation
+    }
+
+    /// The live session registry.
+    #[must_use]
+    pub fn sessions(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Registers a query. Structural validation (ε positive and finite,
+    /// weight count, k range, finite constants) happens here so a malformed
+    /// subscription fails fast; the `minWidth` floor checks run per tick
+    /// against the live pool.
+    pub fn subscribe(&mut self, query: Query, priority: u32) -> Result<SessionId, ServerError> {
+        let n = self.relation.bonds().len();
+        if n == 0 {
+            return Err(VaoError::EmptyInput.into());
+        }
+        match &query {
+            Query::Selection { constant, .. } | Query::Count { constant, .. } => {
+                if !constant.is_finite() {
+                    return Err(VaoError::NonFiniteConstant { value: *constant }.into());
+                }
+            }
+            Query::Sum { weights, epsilon } => {
+                PrecisionConstraint::new(*epsilon)?;
+                if weights.len() != n {
+                    return Err(VaoError::WeightCountMismatch {
+                        objects: n,
+                        weights: weights.len(),
+                    }
+                    .into());
+                }
+                for (index, &weight) in weights.iter().enumerate() {
+                    if !(weight.is_finite() && weight >= 0.0) {
+                        return Err(VaoError::InvalidWeight { index, weight }.into());
+                    }
+                }
+            }
+            Query::Ave { epsilon } | Query::Max { epsilon } | Query::Min { epsilon } => {
+                PrecisionConstraint::new(*epsilon)?;
+            }
+            Query::TopK { k, epsilon } => {
+                PrecisionConstraint::new(*epsilon)?;
+                if *k == 0 || *k > n {
+                    return Err(VaoError::EmptyInput.into());
+                }
+            }
+        }
+        Ok(self.registry.register(query, priority))
+    }
+
+    /// Removes a session.
+    pub fn unsubscribe(&mut self, id: SessionId) -> Result<(), ServerError> {
+        if self.registry.deregister(id) {
+            Ok(())
+        } else {
+            Err(ServerError::UnknownSession(id.0))
+        }
+    }
+
+    /// Processes one rate tick for every registered session.
+    pub fn tick(&mut self, rate: f64) -> Result<TickResult, ServerError> {
+        self.tick_with_observer(rate, &mut NoopObserver)
+    }
+
+    /// Like [`Server::tick`], additionally streaming scheduler trace events
+    /// (choices, iterations, budget exhaustion) to `observer` — this is how
+    /// the bench harness lands server runs in the JSONL trace.
+    pub fn tick_with_observer<O: ExecObserver>(
+        &mut self,
+        rate: f64,
+        observer: &mut O,
+    ) -> Result<TickResult, ServerError> {
+        if self.relation.bonds().is_empty() {
+            return Err(VaoError::EmptyInput.into());
+        }
+        let start = Instant::now();
+        let mut meter = WorkMeter::new();
+        let mut pool = SharedPool::invoke(&self.pricer, &self.relation, rate, &mut meter);
+        self.validate_against(&pool)?;
+
+        let mut tick_obs = TickObserver::new();
+        let mut fan = Fanout(&mut tick_obs, observer);
+        let outcome = sched::run_tick(
+            &mut self.registry,
+            &mut pool,
+            &self.relation,
+            self.config.budget,
+            self.config.iteration_limit,
+            &mut meter,
+            &mut fan,
+        )?;
+
+        let stats = TickStats {
+            rate,
+            work: meter.breakdown(),
+            wall: start.elapsed(),
+            iterations: meter.iterations(),
+            operator: OperatorKind::SharedPool.name(),
+            objects: tick_obs.objects(),
+            iter_histogram: tick_obs.histogram(),
+            cpu_est: tick_obs.cpu_estimation(),
+        };
+        self.history.push(stats);
+        self.ticks += 1;
+        Ok(TickResult {
+            tick: self.ticks,
+            rate,
+            answers: outcome.answers,
+            stats,
+            budget_exhausted: outcome.budget_exhausted,
+        })
+    }
+
+    /// Queues a tick for [`Server::run_queued`], coalescing: when a tick is
+    /// already waiting, the stale rate is shed (only the newest matters —
+    /// the paper's continuous queries answer against the *current* market)
+    /// and the shed counter grows.
+    pub fn offer_tick(&mut self, rate: f64) {
+        if self.queued.replace(rate).is_some() {
+            self.shed += 1;
+        }
+    }
+
+    /// Runs the queued tick, if any.
+    pub fn run_queued(&mut self) -> Option<Result<TickResult, ServerError>> {
+        let rate = self.queued.take()?;
+        Some(self.tick(rate))
+    }
+
+    /// Ticks shed by coalescing so far.
+    #[must_use]
+    pub fn shed_ticks(&self) -> u64 {
+        self.shed
+    }
+
+    /// Ticks processed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Run-level accounting: the fold of every processed tick's stats plus
+    /// one [`QueryRunRow`] per live session.
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        let rows: Vec<QueryRunRow> = self
+            .registry
+            .sessions()
+            .iter()
+            .map(|s| QueryRunRow {
+                session: s.id.0,
+                operator: s.query.operator_name(),
+                priority: s.priority,
+                finals: s.finals,
+                partials: s.partials,
+                driven_iterations: s.driven_iterations,
+            })
+            .collect();
+        RunSummary::from_ticks(&self.history).with_per_query(rows)
+    }
+
+    /// Per-tick ε floor checks against the live pool (footnote 10: ε below
+    /// the achievable `minWidth` floor is an error, not a hang).
+    fn validate_against(&self, pool: &SharedPool) -> Result<(), ServerError> {
+        for sess in self.registry.sessions() {
+            match &sess.query {
+                Query::Selection { .. } | Query::Count { .. } => {}
+                Query::Sum { weights, epsilon } => {
+                    PrecisionConstraint::new(*epsilon)?
+                        .validate_weighted(pool.objects(), weights)?;
+                }
+                Query::Ave { epsilon } => {
+                    let uniform = vec![1.0 / pool.len() as f64; pool.len()];
+                    PrecisionConstraint::new(*epsilon)?
+                        .validate_weighted(pool.objects(), &uniform)?;
+                }
+                Query::Max { epsilon } | Query::Min { epsilon } | Query::TopK { epsilon, .. } => {
+                    PrecisionConstraint::new(*epsilon)?.validate_single_object(pool.objects())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fans trace events out to the server's internal [`TickObserver`] and the
+/// caller's observer in one pass.
+struct Fanout<'a, A: ExecObserver, B: ExecObserver>(&'a mut A, &'a mut B);
+
+impl<A: ExecObserver, B: ExecObserver> ExecObserver for Fanout<'_, A, B> {
+    fn is_enabled(&self) -> bool {
+        self.0.is_enabled() || self.1.is_enabled()
+    }
+    fn on_operator_start(&mut self, kind: OperatorKind, objects: usize) {
+        if self.0.is_enabled() {
+            self.0.on_operator_start(kind, objects);
+        }
+        if self.1.is_enabled() {
+            self.1.on_operator_start(kind, objects);
+        }
+    }
+    fn on_choice(&mut self, choice: &ChoiceRecord) {
+        if self.0.is_enabled() {
+            self.0.on_choice(choice);
+        }
+        if self.1.is_enabled() {
+            self.1.on_choice(choice);
+        }
+    }
+    fn on_iteration(&mut self, iteration: &IterationRecord) {
+        if self.0.is_enabled() {
+            self.0.on_iteration(iteration);
+        }
+        if self.1.is_enabled() {
+            self.1.on_iteration(iteration);
+        }
+    }
+    fn on_hybrid_decision(&mut self, decision: &HybridDecisionRecord) {
+        if self.0.is_enabled() {
+            self.0.on_hybrid_decision(decision);
+        }
+        if self.1.is_enabled() {
+            self.1.on_hybrid_decision(decision);
+        }
+    }
+    fn on_budget_exhausted(&mut self, record: &BudgetExhaustedRecord) {
+        if self.0.is_enabled() {
+            self.0.on_budget_exhausted(record);
+        }
+        if self.1.is_enabled() {
+            self.1.on_budget_exhausted(record);
+        }
+    }
+    fn on_operator_end(&mut self, end: &OperatorEndRecord) {
+        if self.0.is_enabled() {
+            self.0.on_operator_end(end);
+        }
+        if self.1.is_enabled() {
+            self.1.on_operator_end(end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::{BondUniverse, RateSeries};
+
+    fn small_server(config: ServerConfig) -> Server {
+        let universe = BondUniverse::generate(8, 42);
+        let relation = BondRelation::from_universe(&universe);
+        Server::new(BondPricer::default(), relation, config)
+    }
+
+    #[test]
+    fn subscribe_validates_structurally() {
+        let mut srv = small_server(ServerConfig::default());
+        assert!(srv.subscribe(Query::Max { epsilon: 0.5 }, 1).is_ok());
+        assert!(matches!(
+            srv.subscribe(Query::Max { epsilon: -1.0 }, 1),
+            Err(ServerError::Vao(VaoError::InvalidPrecision { .. }))
+        ));
+        assert!(matches!(
+            srv.subscribe(
+                Query::Sum {
+                    weights: vec![1.0; 3],
+                    epsilon: 0.5
+                },
+                1
+            ),
+            Err(ServerError::Vao(VaoError::WeightCountMismatch { .. }))
+        ));
+        assert!(matches!(
+            srv.subscribe(Query::TopK { k: 0, epsilon: 0.5 }, 1),
+            Err(ServerError::Vao(VaoError::EmptyInput))
+        ));
+        assert!(matches!(
+            srv.subscribe(
+                Query::Selection {
+                    op: vao::ops::selection::CmpOp::Gt,
+                    constant: f64::NAN
+                },
+                1
+            ),
+            Err(ServerError::Vao(VaoError::NonFiniteConstant { .. }))
+        ));
+    }
+
+    #[test]
+    fn unbudgeted_tick_answers_every_session_final() {
+        let mut srv = small_server(ServerConfig::default());
+        let a = srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+        let b = srv
+            .subscribe(
+                Query::Sum {
+                    weights: vec![1.0; 8],
+                    epsilon: 1.0,
+                },
+                2,
+            )
+            .unwrap();
+        let rate = RateSeries::january_1994().opening_rate();
+        let res = srv.tick(rate).unwrap();
+        assert_eq!(res.tick, 1);
+        assert_eq!(res.answers.len(), 2);
+        assert!(!res.budget_exhausted);
+        assert_eq!(res.stats.operator, "shared_pool");
+        for (id, ans) in &res.answers {
+            assert!(ans.is_final(), "session {id} should be final");
+        }
+        assert_eq!(res.answers[0].0, a);
+        assert_eq!(res.answers[1].0, b);
+        let summary = srv.summary();
+        assert_eq!(summary.ticks, 1);
+        assert_eq!(summary.per_query.len(), 2);
+        assert!(summary.per_query.iter().all(|r| r.finals == 1));
+        // Someone must have driven the refinement work.
+        assert!(
+            summary
+                .per_query
+                .iter()
+                .map(|r| r.driven_iterations)
+                .sum::<u64>()
+                > 0
+        );
+    }
+
+    #[test]
+    fn tight_budget_degrades_to_partial_answers() {
+        let mut srv = small_server(ServerConfig::default());
+        srv.subscribe(Query::Max { epsilon: 0.05 }, 1).unwrap();
+        let rate = RateSeries::january_1994().opening_rate();
+        let full = srv.tick(rate).unwrap();
+        let full_work = full.stats.total_work();
+
+        // Re-run with a budget well below the converged cost: the answer
+        // must degrade, not error, and its bounds must bracket the final.
+        let mut tight = small_server(ServerConfig::budgeted(full_work / 3));
+        tight.subscribe(Query::Max { epsilon: 0.05 }, 1).unwrap();
+        let partial = tight.tick(rate).unwrap();
+        assert!(partial.budget_exhausted);
+        let bounds = partial.answers[0].1.partial_bounds().expect("partial");
+        let final_bounds = match full.answers[0].1.final_output().unwrap() {
+            va_stream::QueryOutput::Extreme { bounds, .. } => *bounds,
+            other => panic!("unexpected shape {other:?}"),
+        };
+        let mid = 0.5 * (final_bounds.lo() + final_bounds.hi());
+        assert!(
+            bounds.lo() <= mid && mid <= bounds.hi(),
+            "partial {bounds} must bracket converged mid {mid}"
+        );
+        assert!(partial.stats.total_work() <= full_work);
+        assert_eq!(tight.summary().per_query[0].partials, 1);
+    }
+
+    #[test]
+    fn tick_coalescing_sheds_stale_rates() {
+        let mut srv = small_server(ServerConfig::default());
+        srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+        assert!(srv.run_queued().is_none());
+        srv.offer_tick(0.0583);
+        srv.offer_tick(0.0584);
+        srv.offer_tick(0.0585);
+        assert_eq!(srv.shed_ticks(), 2);
+        let res = srv.run_queued().unwrap().unwrap();
+        assert_eq!(res.rate, 0.0585, "only the newest rate is priced");
+        assert!(srv.run_queued().is_none(), "queue drained");
+        assert_eq!(srv.ticks(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_stops_answering() {
+        let mut srv = small_server(ServerConfig::default());
+        let a = srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+        let b = srv.subscribe(Query::Min { epsilon: 0.5 }, 1).unwrap();
+        srv.unsubscribe(a).unwrap();
+        assert!(matches!(
+            srv.unsubscribe(a),
+            Err(ServerError::UnknownSession(1))
+        ));
+        let res = srv.tick(0.0583).unwrap();
+        assert_eq!(res.answers.len(), 1);
+        assert_eq!(res.answers[0].0, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! The session registry: which continuous queries are live, each with its
+//! own precision constraint ε (carried inside the [`Query`]) and a
+//! scheduling priority.
+
+use va_stream::Query;
+
+/// Identifies one registered query for its lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One registered continuous query plus its execution counters.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Server-assigned id (monotone, never reused).
+    pub id: SessionId,
+    /// The registered query; its ε rides inside the variant.
+    pub query: Query,
+    /// Scheduling priority (≥ 1). A session's estimated benefits are
+    /// multiplied by this in the global greedy score, so a priority-2 query
+    /// wins contended iterations over an equal-benefit priority-1 query.
+    pub priority: u32,
+    /// Ticks this session answered exactly (converged to its ε).
+    pub finals: u64,
+    /// Ticks the work budget degraded to anytime `Partial` answers.
+    pub partials: u64,
+    /// Pool iterations this session's demand drove: it was the
+    /// highest-weighted-benefit claimant when the scheduler iterated the
+    /// object.
+    pub driven_iterations: u64,
+}
+
+/// Registry of live sessions, in deterministic registration order.
+#[derive(Clone, Debug)]
+pub struct SessionRegistry {
+    next: u64,
+    sessions: Vec<Session>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry; ids start at 1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            next: 1,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Registers a query, returning its new session id. Priority is
+    /// clamped to ≥ 1 (a zero priority would erase the query's benefits
+    /// from the global score entirely).
+    pub fn register(&mut self, query: Query, priority: u32) -> SessionId {
+        let id = SessionId(self.next);
+        self.next += 1;
+        self.sessions.push(Session {
+            id,
+            query,
+            priority: priority.max(1),
+            finals: 0,
+            partials: 0,
+            driven_iterations: 0,
+        });
+        id
+    }
+
+    /// Removes a session. Returns `false` when the id was not registered.
+    pub fn deregister(&mut self, id: SessionId) -> bool {
+        let before = self.sessions.len();
+        self.sessions.retain(|s| s.id != id);
+        self.sessions.len() != before
+    }
+
+    /// Looks up a session by id.
+    #[must_use]
+    pub fn get(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.iter().find(|s| s.id == id)
+    }
+
+    /// Live sessions in registration order.
+    #[must_use]
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Mutable access for the scheduler's counters.
+    pub(crate) fn sessions_mut(&mut self) -> &mut [Session] {
+        &mut self.sessions
+    }
+
+    /// Number of live sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotone_and_never_reused() {
+        let mut reg = SessionRegistry::new();
+        let a = reg.register(Query::Max { epsilon: 0.1 }, 1);
+        let b = reg.register(Query::Min { epsilon: 0.1 }, 2);
+        assert_eq!(a, SessionId(1));
+        assert_eq!(b, SessionId(2));
+        assert!(reg.deregister(a));
+        assert!(!reg.deregister(a), "double deregister is a no-op");
+        let c = reg.register(Query::Max { epsilon: 0.1 }, 1);
+        assert_eq!(c, SessionId(3), "ids are never reused");
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(b).is_some());
+        assert!(reg.get(a).is_none());
+    }
+
+    #[test]
+    fn zero_priority_is_clamped() {
+        let mut reg = SessionRegistry::new();
+        let id = reg.register(Query::Max { epsilon: 0.1 }, 0);
+        assert_eq!(reg.get(id).unwrap().priority, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property: anytime `Partial { bounds }` answers always contain the
+//! fully-converged answer value.
+//!
+//! For random relations, rates and budget fractions, run the same query
+//! twice — once under a budget B (taken as a fraction of the converged
+//! cost) and once with no budget — and check the partial interval brackets
+//! the value the unbudgeted run converged to. Exercised for SUM (aggregate
+//! value) and MAX (extreme value), per the two §5 benefit families.
+
+use proptest::prelude::*;
+
+use bondlab::{BondPricer, BondUniverse};
+use va_server::{Answer, Server, ServerConfig};
+use va_stream::{BondRelation, Query, QueryOutput};
+
+fn server(bonds: usize, seed: u64, config: ServerConfig) -> Server {
+    let universe = BondUniverse::generate(bonds, seed);
+    let relation = BondRelation::from_universe(&universe);
+    Server::new(BondPricer::default(), relation, config)
+}
+
+/// Runs `query` unbudgeted and under `frac` of the converged work; returns
+/// `(converged bounds, partial bounds)` when the budgeted run degraded.
+fn run_pair(
+    bonds: usize,
+    seed: u64,
+    rate: f64,
+    frac: f64,
+    query: Query,
+) -> Option<(vao::Bounds, vao::Bounds)> {
+    let mut full = server(bonds, seed, ServerConfig::default());
+    full.subscribe(query.clone(), 1).expect("subscribe");
+    let full_res = full.tick(rate).expect("unbudgeted tick");
+    let converged = match full_res.answers[0].1.final_output().expect("final") {
+        QueryOutput::Aggregate { bounds } | QueryOutput::Extreme { bounds, .. } => *bounds,
+        other => panic!("unexpected output shape {other:?}"),
+    };
+
+    let budget = ((full_res.stats.total_work() as f64) * frac) as u64;
+    let mut capped = server(bonds, seed, ServerConfig::budgeted(budget.max(1)));
+    capped.subscribe(query, 1).expect("subscribe");
+    let capped_res = capped.tick(rate).expect("budgeted tick");
+    match &capped_res.answers[0].1 {
+        Answer::Partial { bounds } => Some((converged, *bounds)),
+        // A generous fraction can still converge; nothing to check then.
+        Answer::Final(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partial_sum_bounds_contain_the_converged_sum(
+        bonds in 3usize..10,
+        seed in 0u64..1000,
+        rate_off in 0usize..40,
+        frac in 0.05f64..0.9,
+        eps in 0.05f64..2.0,
+    ) {
+        let rate = 0.045 + rate_off as f64 * 0.001;
+        let query = Query::Sum { weights: vec![1.0; bonds], epsilon: eps };
+        if let Some((converged, partial)) = run_pair(bonds, seed, rate, frac, query) {
+            // Both intervals contain the true sum (per-bound soundness),
+            // and the converged midpoint sits within half the converged
+            // width of it — so the partial interval inflated by that half
+            // width must contain the midpoint. Nothing here assumes the
+            // budgeted and unbudgeted runs iterated the same objects.
+            let mid = 0.5 * (converged.lo() + converged.hi());
+            let slack = 0.5 * converged.width() + 1e-9;
+            prop_assert!(
+                partial.lo() - slack <= mid && mid <= partial.hi() + slack,
+                "partial {} must bracket converged sum {} (± {})",
+                partial, mid, slack
+            );
+        }
+    }
+
+    #[test]
+    fn partial_max_envelope_contains_the_converged_max(
+        bonds in 3usize..10,
+        seed in 0u64..1000,
+        rate_off in 0usize..40,
+        frac in 0.05f64..0.9,
+        eps in 0.02f64..1.0,
+    ) {
+        let rate = 0.045 + rate_off as f64 * 0.001;
+        let query = Query::Max { epsilon: eps };
+        if let Some((converged, partial)) = run_pair(bonds, seed, rate, frac, query) {
+            // The footnote-9 envelope [max L, max H] always contains the
+            // true maximum, and the converged winner's midpoint is within
+            // half its width of that true maximum.
+            let mid = 0.5 * (converged.lo() + converged.hi());
+            let slack = 0.5 * converged.width() + 1e-9;
+            prop_assert!(
+                partial.lo() - slack <= mid && mid <= partial.hi() + slack,
+                "envelope {} must bracket the converged max {} (± {})",
+                partial, mid, slack
+            );
+        }
+    }
+}

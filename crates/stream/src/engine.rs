@@ -53,12 +53,23 @@ pub enum ExecutionMode {
 pub enum EngineError {
     /// An operator failed (precision too tight, empty relation, …).
     Operator(VaoError),
+    /// A [`QueryOutput`] had a different shape than the caller required
+    /// (e.g. asking a selection output for extreme bounds).
+    OutputShape {
+        /// The shape the caller asked for (`"extreme"`, `"ranked"`, …).
+        expected: &'static str,
+        /// The shape the output actually had.
+        got: &'static str,
+    },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Operator(e) => write!(f, "operator error: {e}"),
+            EngineError::OutputShape { expected, got } => {
+                write!(f, "wrong output shape: expected {expected}, got {got}")
+            }
         }
     }
 }
@@ -449,21 +460,8 @@ mod tests {
         let (trad_out, _) = small_engine(q, ExecutionMode::Traditional)
             .process_rate(0.0583)
             .unwrap();
-        let (
-            QueryOutput::Extreme {
-                bond_id: a,
-                bounds: vb,
-                ..
-            },
-            QueryOutput::Extreme {
-                bond_id: b,
-                bounds: tb,
-                ..
-            },
-        ) = (&vao_out, &trad_out)
-        else {
-            panic!("wrong output shapes");
-        };
+        let (a, vb, _) = vao_out.as_extreme().expect("vao max output shape");
+        let (b, tb, _) = trad_out.as_extreme().expect("traditional max output shape");
         assert_eq!(a, b);
         // The traditional point value must lie within (or within a cent of)
         // the VAO's bounds.
@@ -500,11 +498,8 @@ mod tests {
         let (max_out, _) = small_engine(Query::Max { epsilon: 0.01 }, ExecutionMode::Vao)
             .process_rate(0.0583)
             .unwrap();
-        let (QueryOutput::Extreme { bounds: bmin, .. }, QueryOutput::Extreme { bounds: bmax, .. }) =
-            (&min_out, &max_out)
-        else {
-            panic!("wrong output shapes");
-        };
+        let (_, bmin, _) = min_out.as_extreme().expect("min output shape");
+        let (_, bmax, _) = max_out.as_extreme().expect("max output shape");
         assert!(bmin.hi() < bmax.lo(), "min {bmin} vs max {bmax}");
     }
 
@@ -561,11 +556,8 @@ mod tests {
         let (trad_out, trad_stats) = small_engine(q, ExecutionMode::Traditional)
             .process_rate(0.0583)
             .unwrap();
-        let (QueryOutput::Ranked { members: vm, .. }, QueryOutput::Ranked { members: tm, .. }) =
-            (&vao_out, &trad_out)
-        else {
-            panic!("wrong output shapes");
-        };
+        let (vm, _) = vao_out.as_ranked().expect("vao topk output shape");
+        let (tm, _) = trad_out.as_ranked().expect("traditional topk output shape");
         let vao_ids: Vec<u32> = vm.iter().map(|(id, _)| *id).collect();
         let trad_ids: Vec<u32> = tm.iter().map(|(id, _)| *id).collect();
         assert_eq!(vao_ids, trad_ids);
@@ -585,13 +577,34 @@ mod tests {
         let (trad_out, _) = small_engine(q, ExecutionMode::Traditional)
             .process_rate(0.0583)
             .unwrap();
-        let (QueryOutput::Count { lo: vl, hi: vh }, QueryOutput::Count { lo: tl, .. }) =
-            (&vao_out, &trad_out)
-        else {
-            panic!("wrong output shapes");
-        };
+        let (vl, vh) = vao_out.as_count().expect("vao count output shape");
+        let (tl, _) = trad_out.as_count().expect("traditional count output shape");
         assert_eq!(vl, vh, "slack 0 gives an exact count");
         assert_eq!(vl, tl);
+    }
+
+    #[test]
+    fn output_shape_mismatch_is_a_typed_error() {
+        // The exact path the old `panic!("wrong output shapes")` sites
+        // guarded: a max query answered with an Extreme output, interrogated
+        // for the wrong shape.
+        let (out, _) = small_engine(Query::Max { epsilon: 0.01 }, ExecutionMode::Vao)
+            .process_rate(0.0583)
+            .unwrap();
+        let err = out.as_ranked().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::OutputShape {
+                expected: "ranked",
+                got: "extreme",
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "wrong output shape: expected ranked, got extreme"
+        );
+        // The matching accessor still succeeds.
+        assert!(out.as_extreme().is_ok());
     }
 
     #[test]

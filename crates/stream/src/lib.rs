@@ -5,7 +5,7 @@
 //! price every bond at every new rate, and an operator (selection, MAX,
 //! SUM, …) evaluates the results. This crate provides that scaffolding:
 //!
-//! * [`value`] / [`tuple`] / [`schema`] — a small typed tuple layer.
+//! * [`value`] / [`mod@tuple`] / [`schema`] — a small typed tuple layer.
 //! * [`relation`] — the bond relation (`BD` in the paper's predicate
 //!   `model(IR.rate, BD) > 100`).
 //! * [`query`] — query definitions (Q1–Q3 of §1.2) and their outputs.
@@ -28,7 +28,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
-pub use engine::{ContinuousQueryEngine, ExecutionMode};
+pub use engine::{ContinuousQueryEngine, EngineError, ExecutionMode};
 pub use query::{Query, QueryOutput};
 pub use relation::BondRelation;
-pub use stats::{IterHistogram, RunSummary, TickObserver, TickStats};
+pub use stats::{IterHistogram, QueryRunRow, RunSummary, TickObserver, TickStats};

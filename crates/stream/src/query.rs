@@ -11,6 +11,8 @@
 use vao::ops::selection::CmpOp;
 use vao::Bounds;
 
+use crate::engine::EngineError;
+
 /// A continuous query over `model(IR.rate, BD)` results.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Query {
@@ -81,6 +83,10 @@ impl Query {
     }
 }
 
+/// Borrowed view of a [`QueryOutput::Ranked`] answer: the `(bond id,
+/// bounds)` members in rank order and the tie set.
+pub type RankedView<'a> = (&'a [(u32, Bounds)], &'a [u32]);
+
 /// The answer a query produces at one rate tick.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryOutput {
@@ -117,6 +123,79 @@ pub enum QueryOutput {
 }
 
 impl QueryOutput {
+    /// Stable lowercase name of this output's shape, used in
+    /// [`EngineError::OutputShape`] diagnostics.
+    #[must_use]
+    pub fn shape_name(&self) -> &'static str {
+        match self {
+            QueryOutput::Selected(_) => "selected",
+            QueryOutput::Extreme { .. } => "extreme",
+            QueryOutput::Aggregate { .. } => "aggregate",
+            QueryOutput::Ranked { .. } => "ranked",
+            QueryOutput::Count { .. } => "count",
+        }
+    }
+
+    /// The winning bond, its bounds and the tie set — or a typed
+    /// [`EngineError::OutputShape`] when this is not an extreme output.
+    pub fn as_extreme(&self) -> Result<(u32, Bounds, &[u32]), EngineError> {
+        match self {
+            QueryOutput::Extreme {
+                bond_id,
+                bounds,
+                ties,
+            } => Ok((*bond_id, *bounds, ties)),
+            other => Err(EngineError::OutputShape {
+                expected: "extreme",
+                got: other.shape_name(),
+            }),
+        }
+    }
+
+    /// The ranked members and tie set — or [`EngineError::OutputShape`].
+    pub fn as_ranked(&self) -> Result<RankedView<'_>, EngineError> {
+        match self {
+            QueryOutput::Ranked { members, ties } => Ok((members, ties)),
+            other => Err(EngineError::OutputShape {
+                expected: "ranked",
+                got: other.shape_name(),
+            }),
+        }
+    }
+
+    /// The `[lo, hi]` count interval — or [`EngineError::OutputShape`].
+    pub fn as_count(&self) -> Result<(usize, usize), EngineError> {
+        match self {
+            QueryOutput::Count { lo, hi } => Ok((*lo, *hi)),
+            other => Err(EngineError::OutputShape {
+                expected: "count",
+                got: other.shape_name(),
+            }),
+        }
+    }
+
+    /// The aggregate bounds — or [`EngineError::OutputShape`].
+    pub fn as_aggregate(&self) -> Result<Bounds, EngineError> {
+        match self {
+            QueryOutput::Aggregate { bounds } => Ok(*bounds),
+            other => Err(EngineError::OutputShape {
+                expected: "aggregate",
+                got: other.shape_name(),
+            }),
+        }
+    }
+
+    /// The selected ids — or [`EngineError::OutputShape`].
+    pub fn as_selected(&self) -> Result<&[u32], EngineError> {
+        match self {
+            QueryOutput::Selected(ids) => Ok(ids),
+            other => Err(EngineError::OutputShape {
+                expected: "selected",
+                got: other.shape_name(),
+            }),
+        }
+    }
+
     /// Convenience: the selected ids, when this is a selection output.
     #[must_use]
     pub fn selected(&self) -> Option<&[u32]> {

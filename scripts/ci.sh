@@ -4,10 +4,13 @@
 #
 #   ./scripts/ci.sh
 #
-# Three stages, all mandatory:
-#   1. cargo fmt --check       -- formatting drift fails the gate
+# Six stages, all mandatory:
+#   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
+#   4. cargo test -p va-server  -- the server crate's own suite, explicitly
+#   5. va-server --smoke        -- loopback TCP exchange of the line protocol
+#   6. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,5 +23,14 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
+
+echo "==> cargo test -p va-server -q"
+cargo test -p va-server -q
+
+echo "==> va-server loopback smoke (subscribe -> tick -> result -> quit)"
+cargo run -q -p va-server -- --smoke --bonds 24 --seed 42
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> tier-1 gate passed"

@@ -6,7 +6,7 @@
 //!
 //! * the [`proptest!`] macro (with optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
-//! * [`Strategy`] with `prop_map`, implemented for numeric ranges and
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, implemented for numeric ranges and
 //!   tuples up to arity 8;
 //! * [`prop::collection::vec`] with `Range`/`RangeInclusive` size ranges;
 //! * [`arbitrary::any`] (via `any::<T>()` in the prelude);

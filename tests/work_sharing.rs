@@ -1,0 +1,224 @@
+//! Cross-query work sharing: the `va-server` shared pool against
+//! independent per-query engines.
+//!
+//! Two claims, both on fixed seeds:
+//! 1. **Same answers.** For concurrent queries over the same relation, the
+//!    shared-pool server's converged answers agree with what a dedicated
+//!    [`ContinuousQueryEngine`] per query produces (exact set/winner
+//!    equality for discrete outputs; ε-respecting overlapping intervals
+//!    for aggregates, which may legitimately stop at different points
+//!    inside the precision constraint).
+//! 2. **Less work.** The shared pool invokes the pricing model once per
+//!    bond per tick instead of once per bond *per query*, so its total
+//!    deterministic work units stay below the sum of the independent runs
+//!    — the server's reason to exist (§1.2's multi-trader workload).
+
+use va_server::{Answer, Server, ServerConfig};
+use vao_repro::bondlab::{BondPricer, BondUniverse, RateSeries};
+use vao_repro::stream::relation::BondRelation;
+use vao_repro::stream::{ContinuousQueryEngine, ExecutionMode, Query, QueryOutput};
+use vao_repro::vao::ops::selection::CmpOp;
+
+fn relation(n: usize, seed: u64) -> BondRelation {
+    BondRelation::from_universe(&BondUniverse::generate(n, seed))
+}
+
+fn independent_run(n: usize, seed: u64, rate: f64, query: Query) -> (QueryOutput, u64) {
+    let engine = ContinuousQueryEngine::new(
+        BondPricer::default(),
+        relation(n, seed),
+        query,
+        ExecutionMode::Vao,
+    );
+    let (out, stats) = engine.process_rate(rate).expect("engine tick");
+    (out, stats.total_work())
+}
+
+#[test]
+fn three_concurrent_queries_match_independent_engines() {
+    let (n, seed) = (48, 1994);
+    let rate = RateSeries::january_1994().opening_rate();
+    let queries = [
+        Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        },
+        Query::Max { epsilon: 0.05 },
+        Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: 1.0,
+        },
+    ];
+
+    let mut server = Server::new(
+        BondPricer::default(),
+        relation(n, seed),
+        ServerConfig::default(),
+    );
+    for q in &queries {
+        server.subscribe(q.clone(), 1).expect("subscribe");
+    }
+    let shared = server.tick(rate).expect("shared tick");
+    assert!(!shared.budget_exhausted);
+
+    let mut independent_work = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        let (solo_out, work) = independent_run(n, seed, rate, q.clone());
+        independent_work += work;
+        let shared_out = shared.answers[i]
+            .1
+            .final_output()
+            .expect("unbudgeted answers are final");
+        match (&solo_out, shared_out) {
+            (QueryOutput::Selected(a), QueryOutput::Selected(b)) => {
+                assert_eq!(a, b, "selection sets must agree");
+            }
+            (
+                QueryOutput::Extreme {
+                    bond_id: a,
+                    bounds: ab,
+                    ..
+                },
+                QueryOutput::Extreme {
+                    bond_id: b,
+                    bounds: bb,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, b, "max winner must agree");
+                assert!(ab.width() <= 0.05 && bb.width() <= 0.05);
+                assert!(
+                    ab.lo() <= bb.hi() && bb.lo() <= ab.hi(),
+                    "winner intervals must overlap: {ab} vs {bb}"
+                );
+            }
+            (QueryOutput::Aggregate { bounds: ab }, QueryOutput::Aggregate { bounds: bb }) => {
+                assert!(ab.width() <= 1.0 && bb.width() <= 1.0);
+                assert!(
+                    ab.lo() <= bb.hi() && bb.lo() <= ab.hi(),
+                    "sum intervals must overlap: {ab} vs {bb}"
+                );
+            }
+            (solo, shared) => panic!("shape mismatch: {solo:?} vs {shared:?}"),
+        }
+    }
+
+    assert!(
+        shared.stats.total_work() <= independent_work,
+        "shared {} must not exceed the independent total {}",
+        shared.stats.total_work(),
+        independent_work
+    );
+}
+
+#[test]
+fn eight_queries_over_500_bonds_share_measurably() {
+    let (n, seed) = (500, 1994);
+    let rate = RateSeries::january_1994().opening_rate();
+    // Eight traders over one relation, with the overlap real desks have:
+    // two MAX watchers at different precisions, a portfolio SUM at two
+    // tolerances, and a selection/count pair on the same predicate. The
+    // shared pool answers all of them off one set of result objects.
+    let queries = [
+        Query::Max { epsilon: 1.0 },
+        Query::Max { epsilon: 0.5 },
+        Query::Min { epsilon: 1.0 },
+        Query::TopK { k: 5, epsilon: 1.0 },
+        Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: 50.0,
+        },
+        Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: 60.0,
+        },
+        Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        },
+        Query::Count {
+            op: CmpOp::Gt,
+            constant: 100.0,
+            slack: 25,
+        },
+    ];
+
+    let mut server = Server::new(
+        BondPricer::default(),
+        relation(n, seed),
+        ServerConfig::default(),
+    );
+    for q in &queries {
+        server.subscribe(q.clone(), 1).expect("subscribe");
+    }
+    let shared = server.tick(rate).expect("shared tick");
+    let shared_work = shared.stats.total_work();
+    assert!(shared.answers.iter().all(|(_, a)| a.is_final()));
+
+    let independent_work: u64 = queries
+        .iter()
+        .map(|q| independent_run(n, seed, rate, q.clone()).1)
+        .sum();
+
+    // The deterministic work units make this exactly reproducible: the
+    // shared pool lands around 1.7x below the independent total for this
+    // workload. Assert a 1.5x floor so incidental scheduler changes don't
+    // flake the build while real sharing regressions still fail.
+    assert!(
+        shared_work * 3 <= independent_work * 2,
+        "8-query shared pool must do measurably less work: shared {shared_work} vs independent {independent_work}"
+    );
+}
+
+#[test]
+fn budget_limited_tick_brackets_the_converged_answers() {
+    let (n, seed) = (48, 1994);
+    let rate = RateSeries::january_1994().opening_rate();
+    let queries = [
+        Query::Max { epsilon: 0.05 },
+        Query::Sum {
+            weights: vec![1.0; n],
+            epsilon: 0.5,
+        },
+    ];
+
+    let mut full = Server::new(
+        BondPricer::default(),
+        relation(n, seed),
+        ServerConfig::default(),
+    );
+    for q in &queries {
+        full.subscribe(q.clone(), 1).expect("subscribe");
+    }
+    let converged = full.tick(rate).expect("unbudgeted tick");
+
+    let budget = converged.stats.total_work() / 2;
+    let mut capped = Server::new(
+        BondPricer::default(),
+        relation(n, seed),
+        ServerConfig::budgeted(budget),
+    );
+    for q in &queries {
+        capped.subscribe(q.clone(), 1).expect("subscribe");
+    }
+    let partial = capped.tick(rate).expect("budgeted tick");
+    assert!(partial.budget_exhausted, "half the work must not converge");
+    assert!(partial.stats.total_work() <= converged.stats.total_work());
+
+    for ((_, full_ans), (_, capped_ans)) in converged.answers.iter().zip(&partial.answers) {
+        let bounds = match capped_ans {
+            Answer::Partial { bounds } => *bounds,
+            Answer::Final(_) => continue, // a cheap query may still finish
+        };
+        let final_bounds = match full_ans.final_output().expect("final") {
+            QueryOutput::Extreme { bounds, .. } | QueryOutput::Aggregate { bounds } => *bounds,
+            other => panic!("unexpected shape {other:?}"),
+        };
+        let mid = 0.5 * (final_bounds.lo() + final_bounds.hi());
+        let slack = 0.5 * final_bounds.width() + 1e-9;
+        assert!(
+            bounds.lo() - slack <= mid && mid <= bounds.hi() + slack,
+            "anytime bounds {bounds} must bracket the converged answer {mid}"
+        );
+    }
+}
