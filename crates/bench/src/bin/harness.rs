@@ -17,8 +17,9 @@ use std::time::Instant;
 
 use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, fig10_selection_stress,
-    fig11_max_stress, fig12_sum_hotcold, max_table_traced, selection_sweep_traced, server_scaling,
-    tick_amortization, HOT_SHARES, QUERY_COUNTS, SELECTIVITIES, STD_DEVS,
+    fig11_max_stress, fig12_sum_hotcold, max_table_traced, parallel_scaling,
+    selection_sweep_traced, server_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS,
+    SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -63,7 +64,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|all]..."
                 );
                 std::process::exit(0);
             }
@@ -385,6 +386,45 @@ fn main() {
             );
         }
         t.write_csv(&args.out.join("server_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "parallel-scaling") {
+        println!("-- Extension: batched scheduler worker sweep (8 queries) --");
+        let rows = parallel_scaling(&lab, &WORKER_COUNTS);
+        let baseline = rows[0];
+        let mut t = Table::new(&[
+            "workers",
+            "wall_ms",
+            "speedup",
+            "work_units",
+            "iterations",
+            "rounds",
+            "matches_serial",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.workers.to_string(),
+                format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+                format!("{:.2}", r.speedup_over(&baseline)),
+                r.work_units.to_string(),
+                r.iterations.to_string(),
+                r.rounds.to_string(),
+                r.matches_serial.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        println!(
+            "  4-worker scheduler loop: {} over serial",
+            fmt_speedup(
+                rows.iter()
+                    .find(|r| r.workers == 4)
+                    .map(|r| r.speedup_over(&baseline))
+                    .unwrap_or(1.0)
+            )
+        );
+        t.write_csv(&args.out.join("parallel_scaling.csv"))
             .expect("write csv");
         println!();
     }

@@ -787,6 +787,93 @@ pub fn server_scaling(
     rows
 }
 
+/// Worker counts swept by [`parallel_scaling`].
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One point of the batched-scheduler scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelScalingRow {
+    /// Worker threads (and per-round batch size) for the tick.
+    pub workers: usize,
+    /// Wall-clock time of the full tick.
+    pub wall: Duration,
+    /// Total deterministic work units the tick cost.
+    pub work_units: u64,
+    /// Scheduler `iterate()` calls issued.
+    pub iterations: u64,
+    /// Batched scheduling rounds the tick took.
+    pub rounds: u64,
+    /// Whether this run's answers and iteration count are identical to the
+    /// serial (`workers = 1`, batch 1) schedule. True by construction for
+    /// the first row; larger batches may legally converge along a
+    /// different (equally sound) path.
+    pub matches_serial: bool,
+}
+
+impl ParallelScalingRow {
+    /// Wall-clock speedup relative to `baseline`.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &ParallelScalingRow) -> f64 {
+        baseline.wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Sweeps the batched scheduler's worker count over the 8-query workload
+/// on the lab relation: one tick per worker count, `batch = workers`.
+///
+/// The speedup at `workers > 1` comes from *batching*: a round of B
+/// iterations recomputes every session's demand once instead of B times
+/// (the recomputation is O(queries × objects) per round and unmetered),
+/// on top of whatever `iterate()` parallelism the host's cores provide.
+/// The `workers = 1` row is asserted against a dedicated serial run so
+/// the sweep doubles as a regression check that batching is opt-in.
+pub fn parallel_scaling(lab: &Lab, worker_counts: &[usize]) -> Vec<ParallelScalingRow> {
+    use va_server::{Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let queries = server_workload(relation.len(), 8);
+
+    let run = |config: ServerConfig| {
+        let mut srv = Server::new(lab.pricer, relation.clone(), config);
+        for q in &queries {
+            srv.subscribe(q.clone(), 1).expect("subscribe");
+        }
+        let mut rec = Recorder::new();
+        let res = srv
+            .tick_with_observer(lab.rate, &mut rec)
+            .expect("scaling tick");
+        (res, rec.rounds().len() as u64)
+    };
+
+    // The historical serial schedule: one pick per round.
+    let (serial, _) = run(ServerConfig {
+        workers: 1,
+        batch: Some(1),
+        ..ServerConfig::default()
+    });
+
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let (res, rounds) = run(ServerConfig {
+                workers,
+                batch: None, // batch = workers
+                ..ServerConfig::default()
+            });
+            ParallelScalingRow {
+                workers,
+                wall: res.stats.wall,
+                work_units: res.stats.total_work(),
+                iterations: res.stats.iterations,
+                rounds,
+                matches_serial: res.answers == serial.answers
+                    && res.stats.iterations == serial.stats.iterations,
+            }
+        })
+        .collect()
+}
+
 /// Runs the traditional selection for completeness/answer checking
 /// (its work is query-independent; see [`Lab::traditional_work`]).
 pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {
@@ -1012,6 +1099,24 @@ mod tests {
         // Multiple queries amortize: per-query shared work at 4 queries is
         // below the single-query cost.
         assert!(rows[4].work_per_query() < rows[1].work_units);
+    }
+
+    #[test]
+    fn parallel_scaling_serial_row_matches_and_batches_cut_rounds() {
+        let lab = lab();
+        let rows = parallel_scaling(&lab, &[1, 4]);
+        assert_eq!(rows.len(), 2);
+        let (serial, batched) = (&rows[0], &rows[1]);
+        assert_eq!(serial.workers, 1);
+        assert!(
+            serial.matches_serial,
+            "workers=1 must reproduce the serial schedule"
+        );
+        assert_eq!(serial.iterations, serial.rounds, "serial: one pick/round");
+        // A batch of 4 runs strictly fewer scheduling rounds, and every
+        // answer still converged (no budget in this sweep).
+        assert!(batched.rounds < serial.rounds);
+        assert!(batched.iterations >= serial.iterations);
     }
 
     #[test]

@@ -168,6 +168,10 @@ impl TraceWriter {
                 "\"event\":\"budget_exhausted\",\"budget\":{},\"spent\":{},\"deferred\":{}",
                 r.budget, r.spent, r.deferred
             ),
+            TraceEvent::Round(r) => format!(
+                "\"event\":\"round\",\"round\":{},\"candidates\":{},\"selected\":{},\"admitted\":{},\"est_cpu\":{},\"work\":{}",
+                r.round, r.candidates, r.selected, r.admitted, r.est_cpu, r.work
+            ),
             TraceEvent::OperatorEnd(end) => format!(
                 "\"event\":\"operator_end\",\"operator\":\"{}\",\"iterations\":{},\"exec_iter\":{},\"get_state\":{},\"store_state\":{},\"choose_iter\":{}",
                 end.kind,

@@ -60,7 +60,7 @@ impl BondPricer {
 pub type PricingArgs = (f64, Bond);
 
 impl VariableAccuracyFn<PricingArgs> for BondPricer {
-    fn invoke(&self, args: &PricingArgs, meter: &mut WorkMeter) -> Box<dyn ResultObject> {
+    fn invoke(&self, args: &PricingArgs, meter: &mut WorkMeter) -> Box<dyn ResultObject + Send> {
         let (rate, bond) = *args;
         Box::new(self.price(bond, rate, meter))
     }

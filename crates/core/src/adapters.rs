@@ -121,10 +121,11 @@ impl<R: ResultObject> ResultObject for Shifted<R> {
     }
 }
 
-/// Boxed-object passthrough so `Box<dyn ResultObject>` is itself a
-/// [`ResultObject`] — operators can then be written once over `R:
-/// ResultObject` and used with heterogeneous boxed objects.
-impl ResultObject for Box<dyn ResultObject> {
+/// Boxed-object passthrough so `Box<dyn ResultObject>` (with or without
+/// auto-trait markers such as `Send`) is itself a [`ResultObject`] —
+/// operators can then be written once over `R: ResultObject` and used with
+/// heterogeneous boxed objects.
+impl<R: ResultObject + ?Sized> ResultObject for Box<R> {
     fn bounds(&self) -> Bounds {
         (**self).bounds()
     }

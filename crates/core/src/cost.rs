@@ -150,6 +150,12 @@ impl WorkMeter {
     }
 
     /// Merges another meter's counters into this one.
+    ///
+    /// Batched schedulers hand each worker thread a private scratch meter
+    /// (a `&mut WorkMeter` cannot be shared across threads) and merge the
+    /// scratch meters back after the batch joins. Work units are additive
+    /// counters, so the merged totals are bit-identical to what serial
+    /// execution of the same `iterate()` calls would have charged.
     pub fn absorb(&mut self, other: &WorkMeter) {
         self.breakdown += other.breakdown;
         self.iterations += other.iterations;

@@ -115,14 +115,19 @@ impl<R: ResultObject + ?Sized> ResultObject for &mut R {
 /// `invoke` performs the *minimal* amount of compute for the function and
 /// returns a result object with initial, very coarse bounds (§3.2). The
 /// work of that initial computation is charged to `meter`.
+///
+/// Result objects are `Send` so that schedulers may farm disjoint objects
+/// out to worker threads (the `va-server` batched-round scheduler does);
+/// solver state is plain owned data, so implementations satisfy the bound
+/// without ceremony.
 pub trait VariableAccuracyFn<Args: ?Sized> {
     /// Begins evaluating the function on `args`, returning a refinable
     /// result object.
-    fn invoke(&self, args: &Args, meter: &mut WorkMeter) -> Box<dyn ResultObject>;
+    fn invoke(&self, args: &Args, meter: &mut WorkMeter) -> Box<dyn ResultObject + Send>;
 }
 
 impl<Args: ?Sized, F: VariableAccuracyFn<Args> + ?Sized> VariableAccuracyFn<Args> for &F {
-    fn invoke(&self, args: &Args, meter: &mut WorkMeter) -> Box<dyn ResultObject> {
+    fn invoke(&self, args: &Args, meter: &mut WorkMeter) -> Box<dyn ResultObject + Send> {
         (**self).invoke(args, meter)
     }
 }
@@ -160,7 +165,7 @@ mod tests {
     fn variable_accuracy_fn_usable_through_reference() {
         struct Unit;
         impl VariableAccuracyFn<f64> for Unit {
-            fn invoke(&self, args: &f64, meter: &mut WorkMeter) -> Box<dyn ResultObject> {
+            fn invoke(&self, args: &f64, meter: &mut WorkMeter) -> Box<dyn ResultObject + Send> {
                 meter.charge_exec(1);
                 Box::new(ScriptedObject::converging(
                     &[(*args - 1.0, *args + 1.0), (*args, *args)],

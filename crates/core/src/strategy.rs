@@ -128,6 +128,98 @@ impl ChoicePolicy {
         }
     }
 
+    /// Picks up to `k` **distinct** candidates, returning their positions
+    /// in the slice in selection order (best first).
+    ///
+    /// This is the batched generalization of [`ChoicePolicy::pick`] used by
+    /// schedulers that run several iterations per round: `top_k(c, 1)`
+    /// selects exactly the candidate `pick(c)` would, so a batch size of
+    /// one reproduces the serial schedule bit-identically.
+    ///
+    /// Per policy:
+    /// * `Greedy` — candidates with positive greedy score, best score
+    ///   first (ties to the earlier index); remaining slots filled
+    ///   widest-first from the zero-score candidates (the same fallback
+    ///   that keeps the serial greedy loop progressing on pessimistic
+    ///   estimates).
+    /// * `RoundRobin` — the next `k` positions in rotation.
+    /// * `Random` — `k` distinct positions drawn from the seeded xorshift
+    ///   stream (deterministic per seed).
+    /// * `WidestFirst` — the `k` widest candidates.
+    pub fn top_k(&mut self, candidates: &[Candidate], k: usize) -> Vec<usize> {
+        let k = k.min(candidates.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        match self {
+            ChoicePolicy::Greedy => {
+                let mut order: Vec<usize> = (0..candidates.len()).collect();
+                // Positive scores first (descending), then zero-score
+                // candidates widest-first; index breaks every tie so the
+                // selection is deterministic and `top_k(c, 1) == pick(c)`.
+                order.sort_by(|&a, &b| {
+                    let (ca, cb) = (&candidates[a], &candidates[b]);
+                    let (sa, sb) = (ca.score(), cb.score());
+                    match (sa > 0.0, sb > 0.0) {
+                        (true, false) => std::cmp::Ordering::Less,
+                        (false, true) => std::cmp::Ordering::Greater,
+                        (true, true) => sb.total_cmp(&sa).then(a.cmp(&b)),
+                        (false, false) => cb.width.total_cmp(&ca.width).then(a.cmp(&b)),
+                    }
+                });
+                order.truncate(k);
+                order
+            }
+            ChoicePolicy::RoundRobin { .. }
+            | ChoicePolicy::Random { .. }
+            | ChoicePolicy::WidestFirst => {
+                let mut picks = Vec::with_capacity(k);
+                let mut taken = vec![false; candidates.len()];
+                while picks.len() < k {
+                    let remaining: Vec<Candidate> = candidates
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !taken[*i])
+                        .map(|(_, c)| *c)
+                        .collect();
+                    let positions: Vec<usize> =
+                        (0..candidates.len()).filter(|&i| !taken[i]).collect();
+                    let p = self
+                        .pick(&remaining)
+                        .expect("picks.len() < k <= candidates.len() leaves candidates");
+                    taken[positions[p]] = true;
+                    picks.push(positions[p]);
+                }
+                picks
+            }
+        }
+    }
+
+    /// Like [`ChoicePolicy::top_k`], reporting one [`ChoiceRecord`] per
+    /// selected candidate to `observer` (in selection order, so a batch of
+    /// one emits exactly the event stream of the serial `pick_traced`).
+    pub fn top_k_traced<O: ExecObserver>(
+        &mut self,
+        candidates: &[Candidate],
+        k: usize,
+        observer: &mut O,
+    ) -> Vec<usize> {
+        let picks = self.top_k(candidates, k);
+        if observer.is_enabled() {
+            for &p in &picks {
+                let c = &candidates[p];
+                observer.on_choice(&ChoiceRecord {
+                    object: c.index,
+                    benefit: c.benefit,
+                    est_cpu: c.est_cpu,
+                    score: c.score(),
+                    candidates: candidates.len(),
+                });
+            }
+        }
+        picks
+    }
+
     /// Like [`ChoicePolicy::pick`], but reports the decision — chosen
     /// object, benefit, `estCPU` and greedy score — to `observer`. With a
     /// disabled observer this compiles down to a plain `pick`.
@@ -275,5 +367,84 @@ mod tests {
         let cands = [cand(0, 100.0, 1, 1.0), cand(1, 0.0, 1000, 50.0)];
         let mut p = ChoicePolicy::widest_first();
         assert_eq!(p.pick(&cands), Some(1));
+    }
+
+    /// The batched scheduler's serial-equivalence hinge: for every policy,
+    /// `top_k(c, 1)` is exactly `[pick(c)]` — including greedy's
+    /// widest-first fallback when no score is positive.
+    #[test]
+    fn top_k_of_one_is_pick() {
+        let mixes = [
+            vec![
+                cand(0, 1.0, 4, 4.0),
+                cand(1, 2.0, 4, 8.0),
+                cand(2, 3.0, 4, 6.0),
+            ],
+            vec![
+                cand(0, 0.0, 4, 1.0),
+                cand(1, 0.0, 4, 9.0),
+                cand(2, 0.0, 4, 3.0),
+            ],
+            vec![cand(0, 3.0, 100, 1.0), cand(1, 1.0, 10, 1.0)],
+        ];
+        for cands in &mixes {
+            for make in [
+                ChoicePolicy::greedy,
+                ChoicePolicy::round_robin,
+                ChoicePolicy::widest_first,
+                || ChoicePolicy::random(7),
+            ] {
+                let (mut a, mut b) = (make(), make());
+                for _ in 0..4 {
+                    // Repeated calls so stateful policies stay in lockstep.
+                    assert_eq!(a.top_k(cands, 1), vec![b.pick(cands).unwrap()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_distinct_ordered_and_clamped() {
+        let cands = [
+            cand(0, 1.0, 4, 4.0),
+            cand(1, 2.0, 4, 8.0),
+            cand(2, 3.0, 4, 6.0),
+            cand(3, 0.5, 4, 2.0),
+        ];
+        let mut p = ChoicePolicy::greedy();
+        // Best-first order by score; distinct positions.
+        assert_eq!(p.top_k(&cands, 3), vec![2, 1, 0]);
+        // k past the candidate count clamps; k == 0 selects nothing.
+        assert_eq!(p.top_k(&cands, 10), vec![2, 1, 0, 3]);
+        assert!(p.top_k(&cands, 0).is_empty());
+        assert!(p.top_k(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn top_k_greedy_ranks_positive_scores_before_fallback_widths() {
+        // One positive-score candidate and two zero-benefit ones: the
+        // scoring pick leads, then the widest-first fallback order.
+        let cands = [
+            cand(0, 0.0, 4, 9.0),
+            cand(1, 2.0, 4, 1.0),
+            cand(2, 0.0, 4, 3.0),
+        ];
+        let mut p = ChoicePolicy::greedy();
+        assert_eq!(p.top_k(&cands, 3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn top_k_round_robin_is_repeated_pick_over_remaining() {
+        let cands = [
+            cand(0, 1.0, 1, 1.0),
+            cand(1, 1.0, 1, 1.0),
+            cand(2, 1.0, 1, 1.0),
+        ];
+        let mut p = ChoicePolicy::round_robin();
+        // First pick lands on 0 (cursor 0), the second applies cursor 1 to
+        // the remaining pair [1, 2] — selections stay distinct and the
+        // cursor keeps advancing across calls.
+        assert_eq!(p.top_k(&cands, 2), vec![0, 2]);
+        assert_eq!(p.top_k(&cands, 2), vec![2, 1]);
     }
 }

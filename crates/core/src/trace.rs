@@ -143,6 +143,36 @@ pub struct OperatorEndRecord {
     pub work: WorkBreakdown,
 }
 
+/// One batched scheduler round: the top-`batch` candidates on distinct
+/// result objects were selected, admitted against the work budget, and
+/// their `iterate()` calls run (possibly on several worker threads) before
+/// bounds were merged and the round's work charged.
+///
+/// Serial (unbatched) schedulers are the `batch == admitted == 1` special
+/// case; a round with `admitted < selected` was truncated by up-front
+/// budget admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// 1-based round ordinal within the operator evaluation.
+    pub round: u64,
+    /// Candidates scored this round (`chooseIter` is charged
+    /// proportionally to this, once per round).
+    pub candidates: usize,
+    /// Distinct objects the policy selected for the round (≤ the
+    /// configured batch size).
+    pub selected: usize,
+    /// Objects actually iterated after up-front budget admission
+    /// (`admitted ≤ selected`; 0 never reaches the observer — the round
+    /// degrades to a `budget_exhausted` event instead).
+    pub admitted: usize,
+    /// Summed `estCPU` of the admitted batch — the basis of the admission
+    /// decision.
+    pub est_cpu: Work,
+    /// Work actually charged to the meter during the round (choice scoring
+    /// plus every admitted `iterate()`).
+    pub work: Work,
+}
+
 /// A scheduler ran out of per-tick work budget with refinement demand still
 /// outstanding and degraded to anytime (interval-valued) answers.
 #[derive(Clone, Copy, Debug)]
@@ -214,6 +244,13 @@ pub trait ExecObserver {
         let _ = decision;
     }
 
+    /// A batched scheduler finished one round (selection, admission,
+    /// parallel iteration, merge).
+    #[inline]
+    fn on_round(&mut self, round: &RoundRecord) {
+        let _ = round;
+    }
+
     /// A budgeted scheduler exhausted its per-tick work budget and fell
     /// back to anytime answers for the queries still refining.
     #[inline]
@@ -254,6 +291,11 @@ impl<O: ExecObserver + ?Sized> ExecObserver for &mut O {
     #[inline]
     fn on_hybrid_decision(&mut self, decision: &HybridDecisionRecord) {
         (**self).on_hybrid_decision(decision);
+    }
+
+    #[inline]
+    fn on_round(&mut self, round: &RoundRecord) {
+        (**self).on_round(round);
     }
 
     #[inline]
@@ -298,6 +340,8 @@ pub enum TraceEvent {
     Iteration(IterationRecord),
     /// A hybrid routing decision.
     HybridDecision(HybridDecisionRecord),
+    /// A batched scheduler round completed.
+    Round(RoundRecord),
     /// A budgeted scheduler ran out of work budget mid-evaluation.
     BudgetExhausted(BudgetExhaustedRecord),
     /// An operator evaluation finished.
@@ -427,6 +471,18 @@ impl Recorder {
             .filter(|e| matches!(e, TraceEvent::Choice(_)))
             .count()
     }
+
+    /// The batched-round records, in order.
+    #[must_use]
+    pub fn rounds(&self) -> Vec<RoundRecord> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Round(r) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 impl ExecObserver for Recorder {
@@ -445,6 +501,10 @@ impl ExecObserver for Recorder {
 
     fn on_hybrid_decision(&mut self, decision: &HybridDecisionRecord) {
         self.events.push(TraceEvent::HybridDecision(*decision));
+    }
+
+    fn on_round(&mut self, round: &RoundRecord) {
+        self.events.push(TraceEvent::Round(*round));
     }
 
     fn on_budget_exhausted(&mut self, record: &BudgetExhaustedRecord) {

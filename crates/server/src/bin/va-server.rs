@@ -1,14 +1,18 @@
 //! The `va-server` binary: the line-protocol server over TCP.
 //!
 //! ```text
-//! va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--smoke]
+//! va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W]
+//!           [--workers N] [--smoke]
 //! ```
 //!
 //! `--budget` sets the per-tick work budget in deterministic work units
-//! (omit for unbudgeted ticks). `--smoke` runs a self-contained loopback
-//! exchange — subscribe, tick, stats, quit against an ephemeral port — and
-//! exits nonzero on any protocol failure; CI uses it as a two-second
-//! end-to-end check.
+//! (omit for unbudgeted ticks). `--workers` sets the scheduler's worker
+//! thread count *and* its per-round batch size (batched rounds recompute
+//! cross-query demand once per batch; `--workers 1` is the serial
+//! schedule). `--smoke` runs a self-contained loopback exchange —
+//! subscribe, tick, stats, quit against an ephemeral port — and exits
+//! nonzero on any protocol failure; CI uses it as a two-second end-to-end
+//! check.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -22,6 +26,7 @@ struct Args {
     bonds: usize,
     seed: u64,
     budget: Option<u64>,
+    workers: usize,
     smoke: bool,
 }
 
@@ -31,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         bonds: 500,
         seed: 42,
         budget: None,
+        workers: 1,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -55,10 +61,18 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--budget: {e}"))?,
                 );
             }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--smoke]"
+                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--workers N] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +87,7 @@ fn build_server(args: &Args) -> Server {
     let relation = BondRelation::from_universe(&universe);
     let config = ServerConfig {
         budget: args.budget,
+        workers: args.workers,
         ..ServerConfig::default()
     };
     Server::new(BondPricer::default(), relation, config)
@@ -99,8 +114,8 @@ fn main() {
         }
     };
     println!(
-        "va-server listening on {} ({} bonds, budget {:?})",
-        args.addr, args.bonds, args.budget
+        "va-server listening on {} ({} bonds, budget {:?}, workers {})",
+        args.addr, args.bonds, args.budget, args.workers
     );
     if let Err(e) = net::serve(&listener, &mut server) {
         eprintln!("va-server: {e}");

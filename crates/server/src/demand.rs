@@ -17,13 +17,32 @@
 //! operators, including MAX/TOP-K stopping case 2 (everything overlapping
 //! the winner converged ⇒ ties).
 
+use std::cmp::Ordering;
+
 use va_stream::{BondRelation, Query, QueryOutput};
 use vao::ops::minmax::{max_envelope, min_envelope};
 use vao::ops::selection::CmpOp;
 use vao::Bounds;
 
 use crate::answer::Answer;
+use crate::error::ServerError;
 use crate::pool::SharedPool;
+
+/// Descending total order on `f64` keys.
+///
+/// [`Bounds`] rejects non-finite endpoints at construction, so bound
+/// comparisons only ever see finite values — but ordering through
+/// `f64::total_cmp` instead of `partial_cmp(..).expect(..)` means that even
+/// a future pricer bug that smuggles a NaN through produces a deterministic
+/// (if arbitrary) order instead of aborting the whole server mid-tick.
+pub(crate) fn cmp_desc(a: f64, b: f64) -> Ordering {
+    b.total_cmp(&a)
+}
+
+/// Ascending total order on `f64` keys (see [`cmp_desc`]).
+pub(crate) fn cmp_asc(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
 
 /// One query's appetite for refining one pool object.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +60,11 @@ pub struct Demand {
 /// answer [`Answer::Final`] from the pool's current bounds.
 pub fn demands(query: &Query, pool: &SharedPool, out: &mut Vec<Demand>) {
     out.clear();
+    if pool.is_empty() {
+        // Nothing to refine; the answer path reports the empty relation as
+        // a typed error for the shapes that have no answer over ∅.
+        return;
+    }
     match query {
         Query::Selection { op, constant } => demands_classify(pool, *op, *constant, 0, out),
         Query::Count {
@@ -98,12 +122,7 @@ pub fn final_output(query: &Query, pool: &SharedPool, relation: &BondRelation) -
                 .map(id)
                 .collect();
             let mut ordered = members;
-            ordered.sort_by(|&a, &b| {
-                pool.bounds(b)
-                    .hi()
-                    .partial_cmp(&pool.bounds(a).hi())
-                    .expect("finite bounds")
-            });
+            ordered.sort_by(|&a, &b| cmp_desc(pool.bounds(a).hi(), pool.bounds(b).hi()));
             QueryOutput::Ranked {
                 members: ordered.iter().map(|&i| (id(i), pool.bounds(i))).collect(),
                 ties,
@@ -124,37 +143,71 @@ pub fn final_output(query: &Query, pool: &SharedPool, relation: &BondRelation) -
 ///
 /// Every case brackets the value a budget-free run converges to, because
 /// per-object bounds are sound and shrink monotonically.
-pub fn partial_bounds(query: &Query, pool: &SharedPool) -> Bounds {
+///
+/// # Errors
+///
+/// [`ServerError::EmptyRelation`] for the extreme-family queries
+/// (MAX/MIN/TOP-K) over an empty pool: there is no value to bound. The
+/// set/aggregate shapes answer `[0, 0]` over ∅ instead.
+pub fn partial_bounds(query: &Query, pool: &SharedPool) -> Result<Bounds, ServerError> {
     match query {
         Query::Selection { op, constant } => {
             let (count_lo, unresolved) = classify(pool, *op, *constant);
-            Bounds::new(count_lo as f64, (count_lo + unresolved.len()) as f64)
+            Ok(Bounds::new(
+                count_lo as f64,
+                (count_lo + unresolved.len()) as f64,
+            ))
         }
         Query::Count { op, constant, .. } => {
             let (count_lo, unresolved) = classify(pool, *op, *constant);
-            Bounds::new(count_lo as f64, (count_lo + unresolved.len()) as f64)
+            Ok(Bounds::new(
+                count_lo as f64,
+                (count_lo + unresolved.len()) as f64,
+            ))
         }
-        Query::Sum { weights, .. } => weighted_interval(pool, Weights::Per(weights)),
-        Query::Ave { .. } => weighted_interval(pool, uniform(pool.len())),
-        Query::Max { .. } => max_envelope(pool.objects()).expect("non-empty pool"),
-        Query::Min { .. } => min_envelope(pool.objects()).expect("non-empty pool"),
+        Query::Sum { weights, .. } => Ok(weighted_interval(pool, Weights::Per(weights))),
+        Query::Ave { .. } => Ok(weighted_interval(pool, uniform(pool.len()))),
+        Query::Max { .. } => max_envelope(pool.objects()).map_err(|_| ServerError::EmptyRelation),
+        Query::Min { .. } => min_envelope(pool.objects()).map_err(|_| ServerError::EmptyRelation),
         Query::TopK { k, .. } => {
+            if pool.is_empty() {
+                return Err(ServerError::EmptyRelation);
+            }
             let lo = kth_largest(pool, *k, |b| b.lo());
             let hi = kth_largest(pool, *k, |b| b.hi());
-            Bounds::new(lo, hi)
+            Ok(Bounds::new(lo, hi))
         }
     }
 }
 
 /// Builds the session's answer for the tick: `Final` when the query reached
 /// its stopping condition, the anytime `Partial` otherwise.
-pub fn answer(query: &Query, pool: &SharedPool, relation: &BondRelation, done: bool) -> Answer {
+///
+/// # Errors
+///
+/// [`ServerError::EmptyRelation`] when an extreme-family query
+/// (MAX/MIN/TOP-K) is answered over an empty pool — a typed error where
+/// the pre-batched server panicked.
+pub fn answer(
+    query: &Query,
+    pool: &SharedPool,
+    relation: &BondRelation,
+    done: bool,
+) -> Result<Answer, ServerError> {
+    if pool.is_empty()
+        && matches!(
+            query,
+            Query::Max { .. } | Query::Min { .. } | Query::TopK { .. }
+        )
+    {
+        return Err(ServerError::EmptyRelation);
+    }
     if done {
-        Answer::Final(final_output(query, pool, relation))
+        Ok(Answer::Final(final_output(query, pool, relation)))
     } else {
-        Answer::Partial {
-            bounds: partial_bounds(query, pool),
-        }
+        Ok(Answer::Partial {
+            bounds: partial_bounds(query, pool)?,
+        })
     }
 }
 
@@ -389,10 +442,8 @@ fn guess_members(pool: &SharedPool, k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..pool.len()).collect();
     idx.sort_by(|&a, &b| {
         let (ba, bb) = (pool.bounds(a), pool.bounds(b));
-        bb.hi()
-            .partial_cmp(&ba.hi())
-            .expect("finite bounds")
-            .then(bb.lo().partial_cmp(&ba.lo()).expect("finite bounds"))
+        cmp_desc(ba.hi(), bb.hi())
+            .then(cmp_desc(ba.lo(), bb.lo()))
             .then(a.cmp(&b))
     });
     idx.truncate(k);
@@ -404,17 +455,15 @@ fn guess_members(pool: &SharedPool, k: usize) -> Vec<usize> {
 fn boundary_member(pool: &SharedPool, members: &[usize]) -> usize {
     *members
         .iter()
-        .min_by(|&&a, &&b| {
-            pool.bounds(a)
-                .lo()
-                .partial_cmp(&pool.bounds(b).lo())
-                .expect("finite bounds")
-        })
+        .min_by(|&&a, &&b| cmp_asc(pool.bounds(a).lo(), pool.bounds(b).lo()))
         .expect("k >= 1")
 }
 
 fn demands_topk(pool: &SharedPool, k: usize, epsilon: f64, out: &mut Vec<Demand>) {
     let members = guess_members(pool, k);
+    if members.is_empty() {
+        return; // k == 0 (rejected at subscribe; guarded for direct callers)
+    }
     let theta_holder = boundary_member(pool, &members);
     let theta = pool.bounds(theta_holder).lo();
     let unresolved: Vec<usize> = (0..pool.len())
@@ -460,11 +509,11 @@ fn demands_topk(pool: &SharedPool, k: usize, epsilon: f64, out: &mut Vec<Demand>
     }
 }
 
-/// The k-th largest of `f(bounds)` over the pool.
+/// The k-th largest of `f(bounds)` over the (non-empty) pool.
 fn kth_largest(pool: &SharedPool, k: usize, f: impl Fn(&Bounds) -> f64) -> f64 {
     let mut vals: Vec<f64> = (0..pool.len()).map(|i| f(&pool.bounds(i))).collect();
-    vals.sort_by(|a, b| b.partial_cmp(a).expect("finite bounds"));
-    vals[k.min(vals.len()) - 1]
+    vals.sort_by(|a, b| cmp_desc(*a, *b));
+    vals[k.clamp(1, vals.len()) - 1]
 }
 
 #[cfg(test)]
@@ -475,7 +524,7 @@ mod tests {
     /// The paper's Table 2 objects (see `vao::ops::minmax` tests), boxed
     /// into a pool.
     fn table2_pool() -> SharedPool {
-        let objs: Vec<Box<dyn vao::interface::ResultObject>> = vec![
+        let objs: Vec<Box<dyn vao::interface::ResultObject + Send>> = vec![
             Box::new(ScriptedObject::converging(
                 &[(97.0, 101.0), (98.0, 99.0), (98.4, 98.405)],
                 4,
@@ -577,12 +626,12 @@ mod tests {
             );
         };
         rel_check(
-            partial_bounds(&Query::Max { epsilon: 0.01 }, &pool),
+            partial_bounds(&Query::Max { epsilon: 0.01 }, &pool).unwrap(),
             100.0,
             106.0,
         );
         rel_check(
-            partial_bounds(&Query::Min { epsilon: 0.01 }, &pool),
+            partial_bounds(&Query::Min { epsilon: 0.01 }, &pool).unwrap(),
             95.0,
             101.0,
         );
@@ -594,7 +643,8 @@ mod tests {
                     epsilon: 0.01,
                 },
                 &pool,
-            ),
+            )
+            .unwrap(),
             97.0,
             103.0,
         );
@@ -606,7 +656,8 @@ mod tests {
                     constant: 100.0,
                 },
                 &pool,
-            ),
+            )
+            .unwrap(),
             0.0,
             3.0,
         );
@@ -617,9 +668,81 @@ mod tests {
                     epsilon: 0.1,
                 },
                 &pool,
-            ),
+            )
+            .unwrap(),
             97.0 + 95.0 + 100.0,
             101.0 + 103.0 + 106.0,
         );
+    }
+
+    #[test]
+    fn empty_pool_yields_typed_errors_not_panics() {
+        let pool = SharedPool::from_objects(Vec::new(), 0.05);
+        let rel = va_stream::BondRelation::from_universe(&bondlab::BondUniverse::generate(0, 1));
+        for q in [
+            Query::Max { epsilon: 0.1 },
+            Query::Min { epsilon: 0.1 },
+            Query::TopK { k: 1, epsilon: 0.1 },
+        ] {
+            assert_eq!(
+                partial_bounds(&q, &pool).unwrap_err(),
+                ServerError::EmptyRelation,
+                "{q:?}"
+            );
+            assert_eq!(
+                answer(&q, &pool, &rel, true).unwrap_err(),
+                ServerError::EmptyRelation,
+                "{q:?}"
+            );
+            let mut out = vec![Demand {
+                object: 0,
+                benefit: 1.0,
+            }];
+            demands(&q, &pool, &mut out);
+            assert!(out.is_empty(), "empty pool demands nothing");
+        }
+        // Set/aggregate shapes legitimately answer over ∅.
+        let sel = Query::Selection {
+            op: CmpOp::Gt,
+            constant: 100.0,
+        };
+        assert_eq!(partial_bounds(&sel, &pool).unwrap(), Bounds::new(0.0, 0.0));
+        assert!(answer(&sel, &pool, &rel, true).unwrap().is_final());
+    }
+
+    mod nan_safe_orderings {
+        use super::super::{cmp_asc, cmp_desc};
+        use proptest::prelude::*;
+
+        /// Any-bits floats: includes NaNs (every payload), ±∞, subnormals
+        /// and negative zero — the values a buggy pricer could smuggle
+        /// into an ordering.
+        fn any_f64() -> impl Strategy<Value = f64> {
+            any::<u64>().prop_map(f64::from_bits)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn comparators_are_total_even_on_non_finite(a in any_f64(), b in any_f64()) {
+                // Totality: never panics, and the two orders are exact
+                // mirrors, so min_by/sort_by see a consistent ordering.
+                prop_assert_eq!(cmp_asc(a, b), cmp_desc(b, a));
+                prop_assert_eq!(cmp_asc(a, b), cmp_asc(b, a).reverse());
+                prop_assert_eq!(cmp_asc(a, a), std::cmp::Ordering::Equal);
+            }
+
+            #[test]
+            fn sorting_non_finite_keys_never_aborts(mut vals in prop::collection::vec(any_f64(), 0..32)) {
+                // The exact property the old partial_cmp().expect() lacked:
+                // a sort over arbitrary bit patterns completes and is
+                // totally ordered under the same comparator.
+                vals.sort_by(|x, y| cmp_desc(*x, *y));
+                for w in vals.windows(2) {
+                    prop_assert!(cmp_desc(w[0], w[1]) != std::cmp::Ordering::Greater);
+                }
+            }
+        }
     }
 }

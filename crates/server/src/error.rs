@@ -10,12 +10,25 @@ pub enum ServerError {
     Vao(VaoError),
     /// A request referenced a session id that is not registered.
     UnknownSession(u64),
+    /// The server's relation (or the shared pool derived from it) has no
+    /// bonds, so extreme/top-k queries have no answer to bound. Raised at
+    /// subscribe and tick time instead of panicking deep in the
+    /// demand/answer path.
+    EmptyRelation,
     /// The scheduler hit its defensive iteration cap without every query
     /// reaching its stopping condition — only possible when a result object
     /// violates its progress contract.
     Stalled {
         /// The iteration cap that was in force.
         limit: u64,
+    },
+    /// An internal scheduler invariant did not hold (e.g. outstanding
+    /// demand produced no candidates). The tick fails with this error and
+    /// the server lives on to process the next tick — invariant violations
+    /// degrade one tick instead of aborting the process.
+    Internal {
+        /// Which invariant was violated.
+        detail: &'static str,
     },
 }
 
@@ -24,8 +37,14 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Vao(e) => write!(f, "operator error: {e}"),
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::EmptyRelation => {
+                write!(f, "empty relation: no bonds to price or bound")
+            }
             ServerError::Stalled { limit } => {
                 write!(f, "scheduler stalled: iteration limit {limit} exceeded")
+            }
+            ServerError::Internal { detail } => {
+                write!(f, "internal scheduler invariant violated: {detail}")
             }
         }
     }
@@ -52,5 +71,11 @@ mod tests {
         let e: ServerError = VaoError::EmptyInput.into();
         assert!(matches!(e, ServerError::Vao(VaoError::EmptyInput)));
         assert!(e.to_string().contains("operator error"));
+        assert!(ServerError::EmptyRelation.to_string().contains("empty"));
+        assert!(ServerError::Internal {
+            detail: "demand/candidate mismatch"
+        }
+        .to_string()
+        .contains("demand/candidate mismatch"));
     }
 }

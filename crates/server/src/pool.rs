@@ -15,8 +15,12 @@ use vao::interface::{ResultObject, VariableAccuracyFn};
 use vao::Bounds;
 
 /// One tick's worth of shared result objects, aligned with the relation.
+///
+/// Objects are `Send` (the interface guarantees it) so the batched
+/// scheduler can hand disjoint objects to worker threads via
+/// [`SharedPool::disjoint_mut`].
 pub struct SharedPool {
-    objects: Vec<Box<dyn ResultObject>>,
+    objects: Vec<Box<dyn ResultObject + Send>>,
     rate: f64,
 }
 
@@ -50,7 +54,7 @@ impl SharedPool {
     /// Builds a pool from pre-made result objects (testing and tooling; the
     /// server always goes through [`SharedPool::invoke`]).
     #[must_use]
-    pub fn from_objects(objects: Vec<Box<dyn ResultObject>>, rate: f64) -> Self {
+    pub fn from_objects(objects: Vec<Box<dyn ResultObject + Send>>, rate: f64) -> Self {
         Self { objects, rate }
     }
 
@@ -74,8 +78,38 @@ impl SharedPool {
 
     /// The pooled objects (for envelope computations and ε validation).
     #[must_use]
-    pub fn objects(&self) -> &[Box<dyn ResultObject>] {
+    pub fn objects(&self) -> &[Box<dyn ResultObject + Send>] {
         &self.objects
+    }
+
+    /// Splits the pool into simultaneous `&mut` borrows of the objects at
+    /// `indices`, in that order — the aliasing story that lets a batched
+    /// scheduler iterate disjoint objects on separate worker threads while
+    /// the borrow checker still guarantees no object is handed out twice.
+    ///
+    /// `indices` must be strictly ascending and in range; the scheduler
+    /// sorts its batch (batches are distinct by construction) before
+    /// calling. Built on `split_at_mut`, so no `unsafe` is involved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is not strictly ascending or indexes out of
+    /// range — both are caller bugs, not data conditions.
+    pub fn disjoint_mut(&mut self, indices: &[usize]) -> Vec<&mut (dyn ResultObject + Send + '_)> {
+        let mut out: Vec<&mut (dyn ResultObject + Send)> = Vec::with_capacity(indices.len());
+        let mut rest: &mut [Box<dyn ResultObject + Send>] = &mut self.objects;
+        let mut consumed = 0usize; // objects already split off the front
+        for &i in indices {
+            assert!(
+                i >= consumed,
+                "disjoint_mut indices must be strictly ascending"
+            );
+            let (head, tail) = rest.split_at_mut(i - consumed + 1);
+            out.push(head[i - consumed].as_mut());
+            consumed = i + 1;
+            rest = tail;
+        }
+        out
     }
 
     /// Current bounds of object `i`.
@@ -128,6 +162,44 @@ mod tests {
             let b = pool.bounds(i);
             assert!(b.lo() <= b.hi());
         }
+    }
+
+    #[test]
+    fn disjoint_mut_hands_out_distinct_objects() {
+        let universe = BondUniverse::generate(5, 7);
+        let relation = BondRelation::from_universe(&universe);
+        let pricer = BondPricer::default();
+        let mut meter = WorkMeter::new();
+        let mut pool = SharedPool::invoke(&pricer, &relation, 0.0583, &mut meter);
+        let before: Vec<_> = [0, 2, 4].iter().map(|&i| pool.bounds(i)).collect();
+        {
+            let mut parts = pool.disjoint_mut(&[0, 2, 4]);
+            assert_eq!(parts.len(), 3);
+            let mut scratch = WorkMeter::new();
+            for obj in &mut parts {
+                obj.iterate(&mut scratch);
+            }
+            assert_eq!(scratch.iterations(), 3);
+        }
+        for (k, &i) in [0usize, 2, 4].iter().enumerate() {
+            assert!(
+                pool.bounds(i).width() <= before[k].width(),
+                "object {i} refined through the disjoint borrow"
+            );
+        }
+        // Untouched objects kept their bounds.
+        assert_eq!(pool.bounds(1), pool.bounds(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn disjoint_mut_rejects_unsorted_indices() {
+        let universe = BondUniverse::generate(3, 7);
+        let relation = BondRelation::from_universe(&universe);
+        let pricer = BondPricer::default();
+        let mut meter = WorkMeter::new();
+        let mut pool = SharedPool::invoke(&pricer, &relation, 0.0583, &mut meter);
+        let _ = pool.disjoint_mut(&[2, 0]);
     }
 
     #[test]

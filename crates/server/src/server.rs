@@ -12,7 +12,7 @@ use vao::error::VaoError;
 use vao::ops::DEFAULT_ITERATION_LIMIT;
 use vao::trace::{
     BudgetExhaustedRecord, ChoiceRecord, ExecObserver, HybridDecisionRecord, IterationRecord,
-    NoopObserver, OperatorEndRecord, OperatorKind,
+    NoopObserver, OperatorEndRecord, OperatorKind, RoundRecord,
 };
 use vao::PrecisionConstraint;
 
@@ -31,6 +31,18 @@ pub struct ServerConfig {
     pub budget: Option<Work>,
     /// Defensive cap on scheduler iterations per tick.
     pub iteration_limit: u64,
+    /// Worker threads used to execute an admitted batch. Workers never
+    /// change *what* the scheduler computes — only how an already-chosen
+    /// batch is executed — so any worker count produces bit-identical
+    /// answers for a fixed [`ServerConfig::batch`]. Clamped to ≥ 1.
+    pub workers: usize,
+    /// Objects selected per scheduling round (`None` → 1 when `workers`
+    /// is 1, else `2 × workers`: a queue deeper than the worker pool keeps
+    /// workers fed and amortizes the per-round demand recomputation
+    /// further). This *does* shape the schedule: a batch of B recomputes
+    /// demand once per B iterations. `Some(1)` reproduces the historical
+    /// serial schedule exactly.
+    pub batch: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +50,8 @@ impl Default for ServerConfig {
         Self {
             budget: None,
             iteration_limit: DEFAULT_ITERATION_LIMIT,
+            workers: 1,
+            batch: None,
         }
     }
 }
@@ -50,6 +64,28 @@ impl ServerConfig {
             budget: Some(budget),
             ..Self::default()
         }
+    }
+
+    /// Returns `self` with `workers` worker threads (batch still defaults
+    /// to the worker count unless [`ServerConfig::batch`] is set).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The effective per-round batch size: explicit `batch`, else 1 for a
+    /// single worker (the serial schedule) and `2 × workers` otherwise,
+    /// clamped to ≥ 1.
+    #[must_use]
+    pub fn effective_batch(&self) -> usize {
+        self.batch
+            .unwrap_or(if self.workers <= 1 {
+                1
+            } else {
+                self.workers * 2
+            })
+            .max(1)
     }
 }
 
@@ -127,7 +163,7 @@ impl Server {
     pub fn subscribe(&mut self, query: Query, priority: u32) -> Result<SessionId, ServerError> {
         let n = self.relation.bonds().len();
         if n == 0 {
-            return Err(VaoError::EmptyInput.into());
+            return Err(ServerError::EmptyRelation);
         }
         match &query {
             Query::Selection { constant, .. } | Query::Count { constant, .. } => {
@@ -186,7 +222,7 @@ impl Server {
         observer: &mut O,
     ) -> Result<TickResult, ServerError> {
         if self.relation.bonds().is_empty() {
-            return Err(VaoError::EmptyInput.into());
+            return Err(ServerError::EmptyRelation);
         }
         let start = Instant::now();
         let mut meter = WorkMeter::new();
@@ -201,6 +237,8 @@ impl Server {
             &self.relation,
             self.config.budget,
             self.config.iteration_limit,
+            self.config.workers,
+            self.config.effective_batch(),
             &mut meter,
             &mut fan,
         )?;
@@ -344,6 +382,14 @@ impl<A: ExecObserver, B: ExecObserver> ExecObserver for Fanout<'_, A, B> {
         }
         if self.1.is_enabled() {
             self.1.on_budget_exhausted(record);
+        }
+    }
+    fn on_round(&mut self, round: &RoundRecord) {
+        if self.0.is_enabled() {
+            self.0.on_round(round);
+        }
+        if self.1.is_enabled() {
+            self.1.on_round(round);
         }
     }
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {

@@ -167,7 +167,7 @@ impl ContinuousQueryEngine {
         ticks.iter().map(|t| self.process_rate(t.rate)).collect()
     }
 
-    fn objects(&self, rate: f64, meter: &mut WorkMeter) -> Vec<Box<dyn ResultObject>> {
+    fn objects(&self, rate: f64, meter: &mut WorkMeter) -> Vec<Box<dyn ResultObject + Send>> {
         self.relation
             .bonds()
             .iter()

@@ -4,12 +4,16 @@
 #
 #   ./scripts/ci.sh
 #
-# Six stages, all mandatory:
+# Seven stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
-#   4. cargo test -p va-server  -- the server crate's own suite, explicitly
-#   5. va-server --smoke        -- loopback TCP exchange of the line protocol
+#   4. cargo test -p va-server  -- the server crate's own suite, explicitly,
+#                                  plus the batched-scheduler determinism and
+#                                  empty-relation tests by name (golden serial
+#                                  equivalence must never be filtered out)
+#   5. va-server --smoke        -- loopback TCP exchange of the line protocol,
+#                                  serial and again with --workers 4
 #   6. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
@@ -27,8 +31,15 @@ cargo test --workspace -q
 echo "==> cargo test -p va-server -q"
 cargo test -p va-server -q
 
+echo "==> batched-scheduler determinism + empty-relation tests"
+cargo test -q -p va-server --test parallel_determinism
+cargo test -q -p va-server --lib demand::tests::empty_pool_yields_typed_errors_not_panics
+
 echo "==> va-server loopback smoke (subscribe -> tick -> result -> quit)"
 cargo run -q -p va-server -- --smoke --bonds 24 --seed 42
+
+echo "==> va-server loopback smoke with a 4-worker batched scheduler"
+cargo run -q -p va-server -- --smoke --bonds 24 --seed 42 --workers 4
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
