@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, fig10_selection_stress,
-    fig11_max_stress, fig12_sum_hotcold, max_table_traced, parallel_scaling,
+    fig11_max_stress, fig12_sum_hotcold, max_table_traced, parallel_scaling, recovery_comparison,
     selection_sweep_traced, server_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS,
     SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
 };
@@ -64,7 +64,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|recovery|all]..."
                 );
                 std::process::exit(0);
             }
@@ -425,6 +425,33 @@ fn main() {
             )
         );
         t.write_csv(&args.out.join("parallel_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "recovery") {
+        println!("-- Extension: kill-and-recover, warm restart vs cold restart --");
+        let scratch =
+            std::env::temp_dir().join(format!("va-bench-recovery-{}", std::process::id()));
+        let rows = recovery_comparison(&lab, &scratch);
+        std::fs::remove_dir_all(&scratch).ok();
+        let mut t = Table::new(&["mode", "iterations", "work_units", "ratio"]);
+        for r in &rows {
+            t.row(vec![
+                r.mode.to_string(),
+                r.iterations.to_string(),
+                r.work_units.to_string(),
+                format!("{:.4}", r.ratio),
+            ]);
+        }
+        print!("{}", t.render());
+        println!(
+            "  warm restart repeats the post-crash tick at {:.1}% of the cold cost ({} vs {} iterations)",
+            rows[1].ratio * 100.0,
+            rows[1].iterations,
+            rows[0].iterations
+        );
+        t.write_csv(&args.out.join("recovery.csv"))
             .expect("write csv");
         println!();
     }

@@ -874,6 +874,85 @@ pub fn parallel_scaling(lab: &Lab, worker_counts: &[usize]) -> Vec<ParallelScali
         .collect()
 }
 
+/// One side of the kill-and-recover comparison: the same post-crash tick
+/// executed either `cold` (a fresh server recomputing from scratch) or
+/// `warm` (a server recovered from the journal, with the pool re-admitted
+/// at its achieved accuracy).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryRow {
+    /// `"cold"` or `"warm"`.
+    pub mode: &'static str,
+    /// Scheduler `iterate()` calls the tick issued.
+    pub iterations: u64,
+    /// Total deterministic work units the tick cost.
+    pub work_units: u64,
+    /// This mode's work as a fraction of the cold restart's work
+    /// (1.0 for the cold row itself).
+    pub ratio: f64,
+}
+
+/// Simulates a crash-and-restart against `dir` and measures what recovery
+/// saves. One durable server subscribes the 8-query workload plus a
+/// tight-ε MAX (ε just above the model's minimum refinable width, so at
+/// least one object converges fully), ticks once at the lab rate, and is
+/// dropped *without* a clean shutdown — only the fsync'd journal survives,
+/// exactly as after a SIGKILL. A second server recovers from the journal
+/// and repeats the tick warm; a third starts cold in a fresh state and
+/// pays the full price. Returns the cold and warm rows, cold first.
+pub fn recovery_comparison(lab: &Lab, dir: &std::path::Path) -> Vec<RecoveryRow> {
+    use va_server::{Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let mut queries = server_workload(relation.len(), 8);
+    queries.push(va_stream::Query::Max { epsilon: 0.0101 });
+
+    let data_dir = dir.join("journal");
+    let mut doomed = Server::open_durable(
+        lab.pricer,
+        relation.clone(),
+        ServerConfig::default(),
+        &data_dir,
+    )
+    .expect("open durable server");
+    for q in &queries {
+        doomed.subscribe(q.clone(), 1).expect("subscribe");
+    }
+    doomed.tick(lab.rate).expect("pre-crash tick");
+    drop(doomed); // the "SIGKILL": no shutdown, no final snapshot
+
+    let mut recovered = Server::open_durable(
+        lab.pricer,
+        relation.clone(),
+        ServerConfig::default(),
+        &data_dir,
+    )
+    .expect("recover server");
+    let warm = recovered.tick(lab.rate).expect("warm tick");
+
+    let mut fresh = Server::new(lab.pricer, relation, ServerConfig::default());
+    for q in &queries {
+        fresh.subscribe(q.clone(), 1).expect("subscribe");
+    }
+    let cold = fresh.tick(lab.rate).expect("cold tick");
+
+    let cold_work = cold.stats.total_work().max(1);
+    vec![
+        RecoveryRow {
+            mode: "cold",
+            iterations: cold.stats.iterations,
+            work_units: cold.stats.total_work(),
+            ratio: 1.0,
+        },
+        RecoveryRow {
+            mode: "warm",
+            iterations: warm.stats.iterations,
+            work_units: warm.stats.total_work(),
+            ratio: warm.stats.total_work() as f64 / cold_work as f64,
+        },
+    ]
+}
+
 /// Runs the traditional selection for completeness/answer checking
 /// (its work is query-independent; see [`Lab::traditional_work`]).
 pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {
@@ -1099,6 +1178,27 @@ mod tests {
         // Multiple queries amortize: per-query shared work at 4 queries is
         // below the single-query cost.
         assert!(rows[4].work_per_query() < rows[1].work_units);
+    }
+
+    #[test]
+    fn recovery_comparison_warm_restart_is_strictly_cheaper() {
+        let lab = lab();
+        let dir =
+            std::env::temp_dir().join(format!("va_bench_recovery_test_{}", std::process::id()));
+        let rows = recovery_comparison(&lab, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(rows.len(), 2);
+        let (cold, warm) = (&rows[0], &rows[1]);
+        assert_eq!((cold.mode, warm.mode), ("cold", "warm"));
+        assert_eq!(cold.ratio, 1.0);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(warm.work_units < cold.work_units);
+        assert!(warm.ratio < 1.0);
     }
 
     #[test]

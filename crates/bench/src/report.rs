@@ -172,6 +172,13 @@ impl TraceWriter {
                 "\"event\":\"round\",\"round\":{},\"candidates\":{},\"selected\":{},\"admitted\":{},\"est_cpu\":{},\"work\":{}",
                 r.round, r.candidates, r.selected, r.admitted, r.est_cpu, r.work
             ),
+            TraceEvent::Recovery(r) => format!(
+                "\"event\":\"recovery\",\"snapshot_seq\":{},\"replayed_events\":{},\"truncated_bytes\":{}",
+                r.snapshot_seq
+                    .map_or_else(|| "null".to_string(), |s| s.to_string()),
+                r.replayed_events,
+                r.truncated_bytes
+            ),
             TraceEvent::OperatorEnd(end) => format!(
                 "\"event\":\"operator_end\",\"operator\":\"{}\",\"iterations\":{},\"exec_iter\":{},\"get_state\":{},\"store_state\":{},\"choose_iter\":{}",
                 end.kind,

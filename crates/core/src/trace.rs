@@ -188,6 +188,25 @@ pub struct BudgetExhaustedRecord {
     pub deferred: usize,
 }
 
+/// A server recovered persistent state from disk before resuming ticks.
+///
+/// Emitted once by the durability layer at the first observed tick after a
+/// restart, so traces of a recovered run record where its history came
+/// from — and, via `truncated_bytes`, whether a torn final journal record
+/// was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Sequence number of the snapshot recovery started from (`None` when
+    /// the whole journal was replayed from genesis).
+    pub snapshot_seq: Option<u64>,
+    /// Journal events replayed on top of the snapshot (0 after a clean
+    /// shutdown).
+    pub replayed_events: u64,
+    /// Bytes of torn final journal record truncated away (0 on a clean
+    /// open).
+    pub truncated_bytes: u64,
+}
+
 /// The §6.3 hybrid operator's routing decision.
 #[derive(Clone, Copy, Debug)]
 pub struct HybridDecisionRecord {
@@ -258,6 +277,13 @@ pub trait ExecObserver {
         let _ = record;
     }
 
+    /// A server recovered persistent state (snapshot + journal replay)
+    /// before this evaluation.
+    #[inline]
+    fn on_recovery(&mut self, record: &RecoveryRecord) {
+        let _ = record;
+    }
+
     /// An operator evaluation finished (successfully).
     #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
@@ -304,6 +330,11 @@ impl<O: ExecObserver + ?Sized> ExecObserver for &mut O {
     }
 
     #[inline]
+    fn on_recovery(&mut self, record: &RecoveryRecord) {
+        (**self).on_recovery(record);
+    }
+
+    #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
         (**self).on_operator_end(end);
     }
@@ -344,6 +375,8 @@ pub enum TraceEvent {
     Round(RoundRecord),
     /// A budgeted scheduler ran out of work budget mid-evaluation.
     BudgetExhausted(BudgetExhaustedRecord),
+    /// A server recovered persistent state before resuming.
+    Recovery(RecoveryRecord),
     /// An operator evaluation finished.
     OperatorEnd(OperatorEndRecord),
 }
@@ -511,6 +544,10 @@ impl ExecObserver for Recorder {
         self.events.push(TraceEvent::BudgetExhausted(*record));
     }
 
+    fn on_recovery(&mut self, record: &RecoveryRecord) {
+        self.events.push(TraceEvent::Recovery(*record));
+    }
+
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
         self.events.push(TraceEvent::OperatorEnd(*end));
     }
@@ -668,6 +705,25 @@ mod tests {
         assert_eq!(OperatorKind::Max.to_string(), "max");
         assert_eq!(OperatorKind::HybridSum.name(), "hybrid_sum");
         assert_eq!(OperatorKind::SharedPool.name(), "shared_pool");
+    }
+
+    #[test]
+    fn recorder_captures_recovery_events() {
+        let mut rec = Recorder::new();
+        let record = RecoveryRecord {
+            snapshot_seq: Some(3),
+            replayed_events: 7,
+            truncated_bytes: 12,
+        };
+        // Route through the forwarding impl like the server's fanout does.
+        let mut fwd = &mut rec;
+        ExecObserver::on_recovery(&mut fwd, &record);
+        assert!(matches!(
+            rec.events(),
+            [TraceEvent::Recovery(r)] if *r == record
+        ));
+        // The default hook is a no-op: a NoopObserver accepts it.
+        NoopObserver.on_recovery(&record);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The append-only write-ahead journal.
+//!
+//! One [`JournalEvent`] per line, appended,
+//! flushed and `fdatasync`'d before the corresponding in-memory state
+//! change is considered committed. On open, the journal is read back in
+//! full; a **torn final record** — a trailing chunk with no newline, or an
+//! unparseable *last* line (the classic power-cut shapes) — is truncated
+//! away and reported, while corruption anywhere earlier is a hard
+//! [`PersistError::Corrupt`]: the storage lied about previously fsync'd
+//! data, and silently skipping records would change replayed history.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::JournalEvent;
+use crate::PersistError;
+
+/// Name of the journal file inside a data dir.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// An open journal, positioned for appending.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    events: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+/// What [`Journal::open`] read back from disk.
+#[derive(Debug)]
+pub struct JournalLoad {
+    /// Every intact event, in append order.
+    pub events: Vec<JournalEvent>,
+    /// Bytes of torn final record that were truncated away (0 on a clean
+    /// file).
+    pub truncated_bytes: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal in `dir`, reading back every
+    /// intact event and truncating a torn final record.
+    pub fn open(dir: &Path) -> Result<(Journal, JournalLoad), PersistError> {
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| PersistError::io(&path, &e))?;
+        let (events, good_len) = scan(&bytes, &path)?;
+        let truncated_bytes = bytes.len() as u64 - good_len;
+        if truncated_bytes > 0 {
+            file.set_len(good_len)
+                .map_err(|e| PersistError::io(&path, &e))?;
+            file.seek(std::io::SeekFrom::End(0))
+                .map_err(|e| PersistError::io(&path, &e))?;
+            file.sync_data().map_err(|e| PersistError::io(&path, &e))?;
+        }
+        let journal = Journal {
+            file,
+            path,
+            events: events.len() as u64,
+        };
+        Ok((
+            journal,
+            JournalLoad {
+                events,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// Appends one event and makes it durable (`write` + `fdatasync`)
+    /// before returning.
+    pub fn append(&mut self, event: &JournalEvent) -> Result<(), PersistError> {
+        let mut line = event.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| PersistError::io(&self.path, &e))?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Total intact events in the journal (loaded + appended since open).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scans journal bytes into events, returning the byte length of the
+/// intact prefix. Only the *final* record may be torn; anything earlier
+/// that fails to parse is corruption.
+fn scan(bytes: &[u8], path: &Path) -> Result<(Vec<JournalEvent>, u64), PersistError> {
+    let mut events = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            // Trailing bytes with no newline: the append was cut mid-line.
+            return Ok((events, offset as u64));
+        };
+        let line_bytes = &rest[..nl];
+        let end = offset + nl + 1;
+        let parsed = std::str::from_utf8(line_bytes)
+            .map_err(|e| e.to_string())
+            .and_then(JournalEvent::parse);
+        match parsed {
+            Ok(ev) => events.push(ev),
+            Err(detail) if end == bytes.len() => {
+                // Unparseable final line (e.g. the tail of the file was
+                // zero-filled by the filesystem after a crash): torn.
+                let _ = detail;
+                return Ok((events, offset as u64));
+            }
+            Err(detail) => {
+                return Err(PersistError::corrupt(
+                    path,
+                    format!("journal event {} at byte {offset}: {detail}", events.len()),
+                ));
+            }
+        }
+        offset = end;
+    }
+    Ok((events, offset as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::JournalEvent;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("va-persist-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ev(session: u64) -> JournalEvent {
+        JournalEvent::Unsubscribe { session }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = tmp_dir("replay");
+        {
+            let (mut j, load) = Journal::open(&dir).unwrap();
+            assert!(load.events.is_empty());
+            assert_eq!(load.truncated_bytes, 0);
+            for s in 1..=5 {
+                j.append(&ev(s)).unwrap();
+            }
+            assert_eq!(j.events(), 5);
+        }
+        let (j, load) = Journal::open(&dir).unwrap();
+        assert_eq!(load.events, (1..=5).map(ev).collect::<Vec<_>>());
+        assert_eq!(load.truncated_bytes, 0);
+        assert_eq!(j.events(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_and_reported() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.append(&ev(1)).unwrap();
+            j.append(&ev(2)).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"ev\":\"unsub"); // no newline
+        fs::write(&path, &bytes).unwrap();
+
+        let (mut j, load) = Journal::open(&dir).unwrap();
+        assert_eq!(load.events.len(), 2);
+        assert_eq!(load.truncated_bytes, 12);
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len, "truncated");
+        // The journal is appendable again after truncation.
+        j.append(&ev(3)).unwrap();
+        drop(j);
+        let (_, load) = Journal::open(&dir).unwrap();
+        assert_eq!(load.events.len(), 3);
+        assert_eq!(load.truncated_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unparseable_final_complete_line_counts_as_torn() {
+        let dir = tmp_dir("torn-complete");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.append(&ev(1)).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"\0\0\0\0\n"); // zero-filled tail + newline
+        fs::write(&path, &bytes).unwrap();
+        let (_, load) = Journal::open(&dir).unwrap();
+        assert_eq!(load.events.len(), 1);
+        assert_eq!(load.truncated_bytes, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = tmp_dir("corrupt");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.append(&ev(1)).unwrap();
+            j.append(&ev(2)).unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        let broken = text.replacen("unsubscribe", "uNsUbScRiBe", 1);
+        fs::write(&path, broken).unwrap();
+        match Journal::open(&dir) {
+            Err(PersistError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("event 0"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

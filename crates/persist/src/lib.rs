@@ -1,0 +1,411 @@
+//! `va-persist`: the durability layer for `va-server`.
+//!
+//! A va-server restart used to drop every subscription and rebuild every
+//! result object from iteration zero — the single most wasteful failure
+//! mode a system built on "iterations are expensive, bounds are reusable"
+//! can have. This crate makes the server's control plane durable with two
+//! std-only pieces:
+//!
+//! * an append-only newline-JSON **write-ahead journal**
+//!   ([`journal::Journal`]) of control-plane events — `subscribe`,
+//!   `unsubscribe`, `tick`, `snapshot` markers — fsync'd before the
+//!   corresponding state change commits, and
+//! * periodic atomic **snapshots** ([`snapshot`]) capturing the session
+//!   registry (queries, priorities, the monotone `SessionId` high-water
+//!   mark), per-tick statistics history, last answers, and per-rate
+//!   **warm-start state**: each pool object's last bounds, iteration depth
+//!   and accumulated work, so a recovered server re-admits objects at
+//!   their achieved accuracy instead of re-iterating from scratch.
+//!
+//! The journal is a *redo log of outcomes*: tick events record what
+//! execution already produced, so replay is pure bookkeeping — no model
+//! invocation, no iteration — and recovered accounting is bit-identical
+//! to the uninterrupted run. Recovery ([`Store::open`]) loads the newest
+//! valid snapshot, replays the journal tail, and tolerates a torn final
+//! record by truncating it (reported via
+//! [`Recovery::truncated_bytes`] and surfaced as a `vao::trace` recovery
+//! event by the server). See `docs/PERSISTENCE.md` for the formats and
+//! semantics, field by field.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod journal;
+pub mod json;
+pub mod record;
+pub mod snapshot;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use journal::Journal;
+use record::{JournalEvent, SnapshotRecord, WarmObjectRecord};
+
+/// Errors raised by the durability layer.
+///
+/// Payloads are plain strings so the error stays `Clone + PartialEq` and
+/// embeds cleanly in `va_server::ServerError`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// An I/O operation failed.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The OS error.
+        detail: String,
+    },
+    /// Persisted data failed validation somewhere a torn final record
+    /// cannot explain.
+    Corrupt {
+        /// The file involved.
+        path: String,
+        /// What failed to parse or validate.
+        detail: String,
+    },
+}
+
+impl PersistError {
+    pub(crate) fn io(path: &Path, e: &std::io::Error) -> Self {
+        PersistError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    }
+
+    pub(crate) fn corrupt(path: &Path, detail: String) -> Self {
+        PersistError::Corrupt {
+            path: path.display().to_string(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, detail } => write!(f, "i/o error on {path}: {detail}"),
+            PersistError::Corrupt { path, detail } => {
+                write!(f, "corrupt persistent state in {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Warm-start state per rate, keyed by `f64::to_bits` of the rate so the
+/// map is exact and deterministically ordered.
+pub type WarmMap = BTreeMap<u64, Vec<WarmObjectRecord>>;
+
+/// What [`Store::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest valid snapshot, if any exists.
+    pub snapshot: Option<SnapshotRecord>,
+    /// Journal events after the snapshot's coverage, in append order.
+    pub tail: Vec<JournalEvent>,
+    /// Bytes of torn final journal record truncated away (0 on a clean
+    /// open).
+    pub truncated_bytes: u64,
+}
+
+impl Recovery {
+    /// Whether anything at all was recovered (fresh dirs recover nothing).
+    #[must_use]
+    pub fn is_fresh(&self) -> bool {
+        self.snapshot.is_none() && self.tail.is_empty()
+    }
+
+    /// Number of journal events replayed on top of the snapshot.
+    #[must_use]
+    pub fn replayed_events(&self) -> u64 {
+        self.tail.len() as u64
+    }
+
+    /// Sequence number of the snapshot recovery started from.
+    #[must_use]
+    pub fn snapshot_seq(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(|s| s.seq)
+    }
+
+    /// Folds the recovered warm-start state: the snapshot's per-rate
+    /// entries, then each replayed tick's end-of-tick state replacing the
+    /// entry for its rate. The result is identical to the map an
+    /// uninterrupted server would hold in memory — which is what makes
+    /// post-recovery ticks bit-identical to the golden run.
+    #[must_use]
+    pub fn warm_map(&self) -> WarmMap {
+        let mut map = WarmMap::new();
+        if let Some(snap) = &self.snapshot {
+            for entry in &snap.warm {
+                map.insert(entry.rate.to_bits(), entry.objects.clone());
+            }
+        }
+        for ev in &self.tail {
+            if let JournalEvent::Tick(t) = ev {
+                map.insert(t.rate.to_bits(), t.warm.clone());
+            }
+        }
+        map
+    }
+}
+
+/// An open data dir: the journal plus the snapshot directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    journal: Journal,
+    next_seq: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the data dir at `dir`, recovering
+    /// whatever state it holds: newest valid snapshot, journal tail,
+    /// torn-record report.
+    pub fn open(dir: &Path) -> Result<(Store, Recovery), PersistError> {
+        std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, &e))?;
+        let (journal, load) = Journal::open(dir)?;
+        let snapshot = snapshot::load_latest(dir)?;
+        let covered = snapshot.as_ref().map_or(0, |s| s.journal_events);
+        if covered > load.events.len() as u64 {
+            return Err(PersistError::corrupt(
+                &dir.join(journal::JOURNAL_FILE),
+                format!(
+                    "snapshot covers {covered} journal events but only {} exist",
+                    load.events.len()
+                ),
+            ));
+        }
+        let tail = load.events[covered as usize..].to_vec();
+        let next_seq = snapshot.as_ref().map_or(1, |s| s.seq + 1);
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                journal,
+                next_seq,
+            },
+            Recovery {
+                snapshot,
+                tail,
+                truncated_bytes: load.truncated_bytes,
+            },
+        ))
+    }
+
+    /// Appends one event durably (fsync'd before return).
+    pub fn append(&mut self, event: &JournalEvent) -> Result<(), PersistError> {
+        self.journal.append(event)
+    }
+
+    /// Total intact events in the journal.
+    #[must_use]
+    pub fn journal_events(&self) -> u64 {
+        self.journal.events()
+    }
+
+    /// The sequence number the next snapshot must carry.
+    #[must_use]
+    pub fn next_snapshot_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Writes `snap` atomically and advances the snapshot sequence.
+    ///
+    /// The caller appends a [`JournalEvent::SnapshotMarker`] *first* (so
+    /// `snap.journal_events` covers the marker); a clean shutdown thereby
+    /// recovers with zero journal replay.
+    pub fn write_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), PersistError> {
+        debug_assert_eq!(snap.seq, self.next_seq, "snapshot seqs are monotone");
+        snapshot::write(&self.dir, snap)?;
+        self.next_seq = snap.seq + 1;
+        Ok(())
+    }
+
+    /// The data dir this store operates in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("va-persist-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tick_event(tick: u64, rate: f64, lo: f64) -> JournalEvent {
+        JournalEvent::Tick(Box::new(record::TickRecord {
+            tick,
+            rate,
+            shed: 0,
+            budget_exhausted: false,
+            stats: record::StatsRecord {
+                rate,
+                work: vao::cost::WorkBreakdown::default(),
+                wall_nanos: 1,
+                iterations: 0,
+                operator: "shared_pool".to_string(),
+                objects: 0,
+                hist: [0; va_stream::stats::ITER_BUCKETS],
+                cpu: vao::trace::CpuEstimation::default(),
+            },
+            sessions: Vec::new(),
+            answers: Vec::new(),
+            warm: vec![record::WarmObjectRecord {
+                lo,
+                hi: lo + 1.0,
+                converged: false,
+                iters: tick,
+                cost: 10 * tick,
+            }],
+        }))
+    }
+
+    #[test]
+    fn fresh_dir_recovers_nothing() {
+        let dir = tmp_dir("fresh");
+        let (store, rec) = Store::open(&dir).unwrap();
+        assert!(rec.is_fresh());
+        assert_eq!(rec.replayed_events(), 0);
+        assert_eq!(rec.snapshot_seq(), None);
+        assert_eq!(store.journal_events(), 0);
+        assert_eq!(store.next_snapshot_seq(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_skips_covered_events_on_recovery() {
+        let dir = tmp_dir("skip");
+        {
+            let (mut store, _) = Store::open(&dir).unwrap();
+            store.append(&tick_event(1, 0.05, 10.0)).unwrap();
+            store.append(&tick_event(2, 0.06, 20.0)).unwrap();
+            store
+                .append(&JournalEvent::SnapshotMarker { seq: 1 })
+                .unwrap();
+            store
+                .write_snapshot(&SnapshotRecord {
+                    seq: 1,
+                    journal_events: store.journal_events(),
+                    next_session_id: 1,
+                    ticks: 2,
+                    shed: 0,
+                    sessions: Vec::new(),
+                    history: Vec::new(),
+                    warm: vec![record::WarmRateRecord {
+                        rate: 0.05,
+                        objects: vec![record::WarmObjectRecord {
+                            lo: 10.0,
+                            hi: 11.0,
+                            converged: false,
+                            iters: 1,
+                            cost: 10,
+                        }],
+                    }],
+                    answers: Vec::new(),
+                })
+                .unwrap();
+            store.append(&tick_event(3, 0.05, 30.0)).unwrap();
+        }
+        let (store, rec) = Store::open(&dir).unwrap();
+        assert_eq!(rec.snapshot_seq(), Some(1));
+        assert_eq!(rec.replayed_events(), 1, "only the post-snapshot tick");
+        assert_eq!(store.next_snapshot_seq(), 2);
+        // The replayed tick's warm state replaces the snapshot's for 0.05.
+        let warm = rec.warm_map();
+        assert_eq!(warm.len(), 1, "only rate 0.05 present");
+        assert_eq!(warm[&0.05f64.to_bits()][0].lo, 30.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_map_folds_snapshot_then_tail() {
+        let rec = Recovery {
+            snapshot: Some(SnapshotRecord {
+                seq: 1,
+                journal_events: 0,
+                next_session_id: 1,
+                ticks: 0,
+                shed: 0,
+                sessions: Vec::new(),
+                history: Vec::new(),
+                warm: vec![
+                    record::WarmRateRecord {
+                        rate: 0.05,
+                        objects: vec![record::WarmObjectRecord {
+                            lo: 1.0,
+                            hi: 2.0,
+                            converged: true,
+                            iters: 4,
+                            cost: 40,
+                        }],
+                    },
+                    record::WarmRateRecord {
+                        rate: 0.07,
+                        objects: Vec::new(),
+                    },
+                ],
+                answers: Vec::new(),
+            }),
+            tail: vec![tick_event(5, 0.05, 99.0)],
+            truncated_bytes: 0,
+        };
+        let warm = rec.warm_map();
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm[&0.05f64.to_bits()][0].lo, 99.0, "tail wins");
+        assert!(warm[&0.07f64.to_bits()].is_empty(), "snapshot entry kept");
+    }
+
+    #[test]
+    fn snapshot_covering_missing_events_is_corrupt() {
+        let dir = tmp_dir("missing");
+        {
+            let (mut store, _) = Store::open(&dir).unwrap();
+            store.append(&tick_event(1, 0.05, 1.0)).unwrap();
+            store
+                .append(&JournalEvent::SnapshotMarker { seq: 1 })
+                .unwrap();
+            store
+                .write_snapshot(&SnapshotRecord {
+                    seq: 1,
+                    journal_events: store.journal_events(),
+                    next_session_id: 1,
+                    ticks: 1,
+                    shed: 0,
+                    sessions: Vec::new(),
+                    history: Vec::new(),
+                    warm: Vec::new(),
+                    answers: Vec::new(),
+                })
+                .unwrap();
+        }
+        // Swap the journal for an empty one: its fsync'd history vanished.
+        fs::write(dir.join(journal::JOURNAL_FILE), b"").unwrap();
+        assert!(matches!(
+            Store::open(&dir),
+            Err(PersistError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_displays_name_the_path() {
+        let e = PersistError::Io {
+            path: "/tmp/x".to_string(),
+            detail: "denied".to_string(),
+        };
+        assert!(e.to_string().contains("/tmp/x"));
+        let e = PersistError::Corrupt {
+            path: "j".to_string(),
+            detail: "bad".to_string(),
+        };
+        assert!(e.to_string().contains("corrupt"));
+    }
+}

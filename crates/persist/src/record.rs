@@ -1,0 +1,1033 @@
+//! On-disk record types and their JSON codecs.
+//!
+//! Every record serializes to a single-line JSON object and parses back
+//! bit-identically: `f64` values are written with Rust's shortest
+//! round-tripping `Display` and read with `str::parse::<f64>`, so a
+//! recovered server sees exactly the floats the crashed server saw.
+//! `docs/PERSISTENCE.md` documents every field.
+//!
+//! The journal is a **redo log of outcomes**, not intents: a
+//! [`TickRecord`] carries the executed tick's statistics, per-session
+//! outcomes, answers, and the end-of-tick warm-start state of every pool
+//! object. Replay is therefore pure bookkeeping — no model is re-invoked
+//! and no iteration re-run — which is what makes recovered accounting
+//! bit-identical to the uninterrupted run.
+
+use va_stream::stats::{IterHistogram, TickStats, ITER_BUCKETS};
+use va_stream::{Query, QueryOutput};
+use vao::cost::WorkBreakdown;
+use vao::ops::selection::CmpOp;
+use vao::trace::CpuEstimation;
+use vao::Bounds;
+
+use crate::json::{escape, Json};
+
+/// One control-plane event in the write-ahead journal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEvent {
+    /// A session was admitted (validated) with this id.
+    Subscribe {
+        /// The id the registry assigned.
+        session: u64,
+        /// Scheduling priority (already clamped ≥ 1).
+        priority: u32,
+        /// The resolved query (SUM weights concrete).
+        query: Query,
+    },
+    /// A session was removed.
+    Unsubscribe {
+        /// The id that was deregistered.
+        session: u64,
+    },
+    /// One tick executed to completion; carries its full outcome. Boxed:
+    /// a tick record dwarfs the other variants (stats + per-object warm
+    /// state), and events travel through `Vec<JournalEvent>` on recovery.
+    Tick(Box<TickRecord>),
+    /// A snapshot with this sequence number covers every event up to and
+    /// including this marker.
+    SnapshotMarker {
+        /// Snapshot sequence number.
+        seq: u64,
+    },
+}
+
+/// The outcome of one executed tick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TickRecord {
+    /// Tick counter after this tick (1-based).
+    pub tick: u64,
+    /// The rate that was priced.
+    pub rate: f64,
+    /// Cumulative shed-tick counter after this tick.
+    pub shed: u64,
+    /// Whether the work budget ran out mid-tick.
+    pub budget_exhausted: bool,
+    /// The tick's execution statistics.
+    pub stats: StatsRecord,
+    /// Per-session outcome deltas, in registration order.
+    pub sessions: Vec<SessionTickRecord>,
+    /// Per-session answers, in registration order.
+    pub answers: Vec<AnswerEntry>,
+    /// End-of-tick state of every pool object, aligned with the relation.
+    pub warm: Vec<WarmObjectRecord>,
+}
+
+/// One session's outcome delta for one tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionTickRecord {
+    /// Session id.
+    pub session: u64,
+    /// Whether the session converged to its ε (else the answer was
+    /// partial).
+    pub is_final: bool,
+    /// Pool iterations this session's demand drove during the tick.
+    pub driven: u64,
+}
+
+/// A `(session, answer)` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnswerEntry {
+    /// Session id.
+    pub session: u64,
+    /// The answer delivered.
+    pub answer: AnswerRecord,
+}
+
+/// A persisted answer — mirrors `va_server::Answer` without depending on
+/// the server crate (the dependency points the other way).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnswerRecord {
+    /// The query converged within budget.
+    Final(QueryOutput),
+    /// The budget ran out; sound anytime bounds.
+    Partial {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+/// End-of-tick state of one pool object: everything a recovered server
+/// needs to re-admit the object at its achieved accuracy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarmObjectRecord {
+    /// Last lower bound.
+    pub lo: f64,
+    /// Last upper bound.
+    pub hi: f64,
+    /// Whether the object had reached its stopping condition.
+    pub converged: bool,
+    /// Cumulative `iterate()` calls across the object's lifetime at this
+    /// rate (accumulated across warm re-admissions).
+    pub iters: u64,
+    /// Cumulative work units the object charged (accumulated across warm
+    /// re-admissions).
+    pub cost: u64,
+}
+
+/// A persisted [`TickStats`] (the `operator` tag rides as a string and is
+/// mapped back to the known static names on load).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsRecord {
+    /// The rate processed.
+    pub rate: f64,
+    /// Logical work, by component.
+    pub work: WorkBreakdown,
+    /// Wall-clock nanoseconds (restored for bookkeeping; never compared —
+    /// wall time is not deterministic).
+    pub wall_nanos: u64,
+    /// Total `iterate()` calls.
+    pub iterations: u64,
+    /// Operator tag.
+    pub operator: String,
+    /// Traced result objects.
+    pub objects: u64,
+    /// Iterations-per-object histogram buckets.
+    pub hist: [u64; ITER_BUCKETS],
+    /// Estimated-vs-actual CPU error summary.
+    pub cpu: CpuEstimation,
+}
+
+/// A point-in-time capture of the whole server control plane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotRecord {
+    /// Snapshot sequence number (monotone per data dir).
+    pub seq: u64,
+    /// How many journal events this snapshot covers; recovery replays only
+    /// the events after this count.
+    pub journal_events: u64,
+    /// The registry's next session id (high-water mark + 1). Never
+    /// decreases, even when sessions unsubscribe.
+    pub next_session_id: u64,
+    /// Ticks processed so far.
+    pub ticks: u64,
+    /// Ticks shed by load coalescing so far.
+    pub shed: u64,
+    /// Live sessions, in registration order.
+    pub sessions: Vec<SessionSnapshot>,
+    /// Per-tick statistics history.
+    pub history: Vec<StatsRecord>,
+    /// Warm-start state per rate (rates in ascending bit order).
+    pub warm: Vec<WarmRateRecord>,
+    /// Last delivered answer per session, in registration order.
+    pub answers: Vec<AnswerEntry>,
+}
+
+/// One registered session as captured by a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSnapshot {
+    /// Session id.
+    pub session: u64,
+    /// Scheduling priority.
+    pub priority: u32,
+    /// Ticks answered exactly.
+    pub finals: u64,
+    /// Ticks degraded to partial answers.
+    pub partials: u64,
+    /// Pool iterations this session drove.
+    pub driven: u64,
+    /// The registered query.
+    pub query: Query,
+}
+
+/// The warm-start objects for one rate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmRateRecord {
+    /// The rate (exact bits round-trip through the decimal encoding).
+    pub rate: f64,
+    /// Per-object state, aligned with the relation.
+    pub objects: Vec<WarmObjectRecord>,
+}
+
+// ----------------------------------------------------------------- encode
+
+fn num(x: f64) -> String {
+    debug_assert!(x.is_finite(), "persisted floats must be finite");
+    format!("{x}")
+}
+
+fn cmp_op_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+    }
+}
+
+/// Serializes a [`Query`] to the same `{"kind":...}` object shape the wire
+/// protocol uses (SUM weights always concrete here).
+#[must_use]
+pub fn query_json(q: &Query) -> String {
+    match q {
+        Query::Selection { op, constant } => format!(
+            "{{\"kind\":\"selection\",\"op\":\"{}\",\"constant\":{}}}",
+            cmp_op_str(*op),
+            num(*constant)
+        ),
+        Query::Count {
+            op,
+            constant,
+            slack,
+        } => format!(
+            "{{\"kind\":\"count\",\"op\":\"{}\",\"constant\":{},\"slack\":{slack}}}",
+            cmp_op_str(*op),
+            num(*constant)
+        ),
+        Query::Sum { weights, epsilon } => {
+            let ws: Vec<String> = weights.iter().map(|w| num(*w)).collect();
+            format!(
+                "{{\"kind\":\"sum\",\"epsilon\":{},\"weights\":[{}]}}",
+                num(*epsilon),
+                ws.join(",")
+            )
+        }
+        Query::Ave { epsilon } => format!("{{\"kind\":\"ave\",\"epsilon\":{}}}", num(*epsilon)),
+        Query::Max { epsilon } => format!("{{\"kind\":\"max\",\"epsilon\":{}}}", num(*epsilon)),
+        Query::Min { epsilon } => format!("{{\"kind\":\"min\",\"epsilon\":{}}}", num(*epsilon)),
+        Query::TopK { k, epsilon } => format!(
+            "{{\"kind\":\"topk\",\"k\":{k},\"epsilon\":{}}}",
+            num(*epsilon)
+        ),
+    }
+}
+
+fn ids_json(ids: &[u32]) -> String {
+    let items: Vec<String> = ids.iter().map(u32::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serializes a [`QueryOutput`] using the wire protocol's `{"shape":...}`
+/// object shapes.
+#[must_use]
+pub fn output_json(out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Selected(ids) => {
+            format!("{{\"shape\":\"selected\",\"ids\":{}}}", ids_json(ids))
+        }
+        QueryOutput::Extreme {
+            bond_id,
+            bounds,
+            ties,
+        } => format!(
+            "{{\"shape\":\"extreme\",\"bond\":{bond_id},\"lo\":{},\"hi\":{},\"ties\":{}}}",
+            num(bounds.lo()),
+            num(bounds.hi()),
+            ids_json(ties)
+        ),
+        QueryOutput::Aggregate { bounds } => format!(
+            "{{\"shape\":\"aggregate\",\"lo\":{},\"hi\":{}}}",
+            num(bounds.lo()),
+            num(bounds.hi())
+        ),
+        QueryOutput::Ranked { members, ties } => {
+            let rows: Vec<String> = members
+                .iter()
+                .map(|(id, b)| {
+                    format!(
+                        "{{\"bond\":{id},\"lo\":{},\"hi\":{}}}",
+                        num(b.lo()),
+                        num(b.hi())
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"shape\":\"ranked\",\"members\":[{}],\"ties\":{}}}",
+                rows.join(","),
+                ids_json(ties)
+            )
+        }
+        QueryOutput::Count { lo, hi } => {
+            format!("{{\"shape\":\"count\",\"lo\":{lo},\"hi\":{hi}}}")
+        }
+    }
+}
+
+fn answer_json(a: &AnswerRecord) -> String {
+    match a {
+        AnswerRecord::Final(out) => {
+            format!("{{\"status\":\"final\",\"output\":{}}}", output_json(out))
+        }
+        AnswerRecord::Partial { lo, hi } => format!(
+            "{{\"status\":\"partial\",\"lo\":{},\"hi\":{}}}",
+            num(*lo),
+            num(*hi)
+        ),
+    }
+}
+
+fn answer_entries_json(entries: &[AnswerEntry]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"session\":{},\"answer\":{}}}",
+                e.session,
+                answer_json(&e.answer)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn warm_object_json(w: &WarmObjectRecord) -> String {
+    format!(
+        "{{\"lo\":{},\"hi\":{},\"converged\":{},\"iters\":{},\"cost\":{}}}",
+        num(w.lo),
+        num(w.hi),
+        w.converged,
+        w.iters,
+        w.cost
+    )
+}
+
+fn warm_objects_json(objs: &[WarmObjectRecord]) -> String {
+    let rows: Vec<String> = objs.iter().map(warm_object_json).collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn stats_json(s: &StatsRecord) -> String {
+    let hist: Vec<String> = s.hist.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"rate\":{},\"work\":{{\"exec\":{},\"get\":{},\"store\":{},\"choose\":{}}},\"wall_nanos\":{},\"iterations\":{},\"operator\":\"{}\",\"objects\":{},\"hist\":[{}],\"cpu\":{{\"iterations\":{},\"mae\":{},\"mape\":{}}}}}",
+        num(s.rate),
+        s.work.exec_iter,
+        s.work.get_state,
+        s.work.store_state,
+        s.work.choose_iter,
+        s.wall_nanos,
+        s.iterations,
+        escape(&s.operator),
+        s.objects,
+        hist.join(","),
+        s.cpu.iterations,
+        num(s.cpu.mean_abs_error),
+        num(s.cpu.mean_abs_pct_error),
+    )
+}
+
+impl JournalEvent {
+    /// Serializes the event to its single journal line (no newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            JournalEvent::Subscribe {
+                session,
+                priority,
+                query,
+            } => format!(
+                "{{\"ev\":\"subscribe\",\"session\":{session},\"priority\":{priority},\"query\":{}}}",
+                query_json(query)
+            ),
+            JournalEvent::Unsubscribe { session } => {
+                format!("{{\"ev\":\"unsubscribe\",\"session\":{session}}}")
+            }
+            JournalEvent::Tick(t) => {
+                let sessions: Vec<String> = t
+                    .sessions
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"session\":{},\"final\":{},\"driven\":{}}}",
+                            s.session, s.is_final, s.driven
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"ev\":\"tick\",\"tick\":{},\"rate\":{},\"shed\":{},\"budget_exhausted\":{},\"stats\":{},\"sessions\":[{}],\"answers\":{},\"warm\":{}}}",
+                    t.tick,
+                    num(t.rate),
+                    t.shed,
+                    t.budget_exhausted,
+                    stats_json(&t.stats),
+                    sessions.join(","),
+                    answer_entries_json(&t.answers),
+                    warm_objects_json(&t.warm),
+                )
+            }
+            JournalEvent::SnapshotMarker { seq } => {
+                format!("{{\"ev\":\"snapshot\",\"seq\":{seq}}}")
+            }
+        }
+    }
+}
+
+impl SnapshotRecord {
+    /// Serializes the snapshot to one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let sessions: Vec<String> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"session\":{},\"priority\":{},\"finals\":{},\"partials\":{},\"driven\":{},\"query\":{}}}",
+                    s.session, s.priority, s.finals, s.partials, s.driven,
+                    query_json(&s.query)
+                )
+            })
+            .collect();
+        let history: Vec<String> = self.history.iter().map(stats_json).collect();
+        let warm: Vec<String> = self
+            .warm
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"rate\":{},\"objects\":{}}}",
+                    num(w.rate),
+                    warm_objects_json(&w.objects)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"seq\":{},\"journal_events\":{},\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}}}",
+            self.seq,
+            self.journal_events,
+            self.next_session_id,
+            self.ticks,
+            self.shed,
+            sessions.join(","),
+            history.join(","),
+            warm.join(","),
+            answer_entries_json(&self.answers),
+        )
+    }
+}
+
+// ----------------------------------------------------------------- decode
+
+fn f64_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric \"{key}\""))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer \"{key}\""))
+}
+
+fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
+    doc.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing boolean \"{key}\""))
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string \"{key}\""))
+}
+
+fn arr_field<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    doc.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing array \"{key}\""))
+}
+
+fn bounds_fields(doc: &Json) -> Result<Bounds, String> {
+    Bounds::try_new(f64_field(doc, "lo")?, f64_field(doc, "hi")?).map_err(|e| e.to_string())
+}
+
+fn parse_cmp_op(doc: &Json) -> Result<CmpOp, String> {
+    match str_field(doc, "op")? {
+        ">" => Ok(CmpOp::Gt),
+        ">=" => Ok(CmpOp::Ge),
+        "<" => Ok(CmpOp::Lt),
+        "<=" => Ok(CmpOp::Le),
+        other => Err(format!("unknown op \"{other}\"")),
+    }
+}
+
+/// Parses a [`Query`] from its `{"kind":...}` object shape (SUM weights
+/// required — persisted queries are always resolved).
+pub fn parse_query(doc: &Json) -> Result<Query, String> {
+    match str_field(doc, "kind")? {
+        "selection" => Ok(Query::Selection {
+            op: parse_cmp_op(doc)?,
+            constant: f64_field(doc, "constant")?,
+        }),
+        "count" => Ok(Query::Count {
+            op: parse_cmp_op(doc)?,
+            constant: f64_field(doc, "constant")?,
+            slack: u64_field(doc, "slack")? as usize,
+        }),
+        "sum" => Ok(Query::Sum {
+            weights: arr_field(doc, "weights")?
+                .iter()
+                .map(|w| w.as_f64().ok_or_else(|| "non-numeric weight".to_string()))
+                .collect::<Result<Vec<f64>, String>>()?,
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        "ave" => Ok(Query::Ave {
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        "max" => Ok(Query::Max {
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        "min" => Ok(Query::Min {
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        "topk" => Ok(Query::TopK {
+            k: u64_field(doc, "k")? as usize,
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        other => Err(format!("unknown query kind \"{other}\"")),
+    }
+}
+
+/// Parses a [`QueryOutput`] from its `{"shape":...}` object shape.
+pub fn parse_output(doc: &Json) -> Result<QueryOutput, String> {
+    let ids = |key: &str| -> Result<Vec<u32>, String> {
+        arr_field(doc, key)?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("non-u32 entry in \"{key}\""))
+            })
+            .collect()
+    };
+    match str_field(doc, "shape")? {
+        "selected" => Ok(QueryOutput::Selected(ids("ids")?)),
+        "extreme" => Ok(QueryOutput::Extreme {
+            bond_id: u32::try_from(u64_field(doc, "bond")?).map_err(|e| e.to_string())?,
+            bounds: bounds_fields(doc)?,
+            ties: ids("ties")?,
+        }),
+        "aggregate" => Ok(QueryOutput::Aggregate {
+            bounds: bounds_fields(doc)?,
+        }),
+        "ranked" => Ok(QueryOutput::Ranked {
+            members: arr_field(doc, "members")?
+                .iter()
+                .map(|m| {
+                    Ok((
+                        u32::try_from(u64_field(m, "bond")?).map_err(|e| e.to_string())?,
+                        bounds_fields(m)?,
+                    ))
+                })
+                .collect::<Result<Vec<(u32, Bounds)>, String>>()?,
+            ties: ids("ties")?,
+        }),
+        "count" => Ok(QueryOutput::Count {
+            lo: u64_field(doc, "lo")? as usize,
+            hi: u64_field(doc, "hi")? as usize,
+        }),
+        other => Err(format!("unknown output shape \"{other}\"")),
+    }
+}
+
+fn parse_answer(doc: &Json) -> Result<AnswerRecord, String> {
+    match str_field(doc, "status")? {
+        "final" => Ok(AnswerRecord::Final(parse_output(
+            doc.get("output").ok_or("missing \"output\"")?,
+        )?)),
+        "partial" => Ok(AnswerRecord::Partial {
+            lo: f64_field(doc, "lo")?,
+            hi: f64_field(doc, "hi")?,
+        }),
+        other => Err(format!("unknown answer status \"{other}\"")),
+    }
+}
+
+fn parse_answer_entries(items: &[Json]) -> Result<Vec<AnswerEntry>, String> {
+    items
+        .iter()
+        .map(|e| {
+            Ok(AnswerEntry {
+                session: u64_field(e, "session")?,
+                answer: parse_answer(e.get("answer").ok_or("missing \"answer\"")?)?,
+            })
+        })
+        .collect()
+}
+
+fn parse_warm_object(doc: &Json) -> Result<WarmObjectRecord, String> {
+    let rec = WarmObjectRecord {
+        lo: f64_field(doc, "lo")?,
+        hi: f64_field(doc, "hi")?,
+        converged: bool_field(doc, "converged")?,
+        iters: u64_field(doc, "iters")?,
+        cost: u64_field(doc, "cost")?,
+    };
+    // Validate the interval once here so every consumer can trust it.
+    Bounds::try_new(rec.lo, rec.hi).map_err(|e| e.to_string())?;
+    Ok(rec)
+}
+
+fn parse_warm_objects(items: &[Json]) -> Result<Vec<WarmObjectRecord>, String> {
+    items.iter().map(parse_warm_object).collect()
+}
+
+fn parse_stats(doc: &Json) -> Result<StatsRecord, String> {
+    let work = doc.get("work").ok_or("missing \"work\"")?;
+    let cpu = doc.get("cpu").ok_or("missing \"cpu\"")?;
+    let hist_items = arr_field(doc, "hist")?;
+    if hist_items.len() != ITER_BUCKETS {
+        return Err(format!(
+            "\"hist\" must have {ITER_BUCKETS} buckets, got {}",
+            hist_items.len()
+        ));
+    }
+    let mut hist = [0u64; ITER_BUCKETS];
+    for (slot, item) in hist.iter_mut().zip(hist_items) {
+        *slot = item.as_u64().ok_or("non-integer histogram bucket")?;
+    }
+    Ok(StatsRecord {
+        rate: f64_field(doc, "rate")?,
+        work: WorkBreakdown {
+            exec_iter: u64_field(work, "exec")?,
+            get_state: u64_field(work, "get")?,
+            store_state: u64_field(work, "store")?,
+            choose_iter: u64_field(work, "choose")?,
+        },
+        wall_nanos: u64_field(doc, "wall_nanos")?,
+        iterations: u64_field(doc, "iterations")?,
+        operator: str_field(doc, "operator")?.to_string(),
+        objects: u64_field(doc, "objects")?,
+        hist,
+        cpu: CpuEstimation {
+            iterations: u64_field(cpu, "iterations")?,
+            mean_abs_error: f64_field(cpu, "mae")?,
+            mean_abs_pct_error: f64_field(cpu, "mape")?,
+        },
+    })
+}
+
+impl JournalEvent {
+    /// Parses one journal line.
+    pub fn parse(line: &str) -> Result<JournalEvent, String> {
+        let doc = Json::parse(line)?;
+        match str_field(&doc, "ev")? {
+            "subscribe" => Ok(JournalEvent::Subscribe {
+                session: u64_field(&doc, "session")?,
+                priority: u32::try_from(u64_field(&doc, "priority")?).map_err(|e| e.to_string())?,
+                query: parse_query(doc.get("query").ok_or("missing \"query\"")?)?,
+            }),
+            "unsubscribe" => Ok(JournalEvent::Unsubscribe {
+                session: u64_field(&doc, "session")?,
+            }),
+            "tick" => Ok(JournalEvent::Tick(Box::new(TickRecord {
+                tick: u64_field(&doc, "tick")?,
+                rate: f64_field(&doc, "rate")?,
+                shed: u64_field(&doc, "shed")?,
+                budget_exhausted: bool_field(&doc, "budget_exhausted")?,
+                stats: parse_stats(doc.get("stats").ok_or("missing \"stats\"")?)?,
+                sessions: arr_field(&doc, "sessions")?
+                    .iter()
+                    .map(|s| {
+                        Ok(SessionTickRecord {
+                            session: u64_field(s, "session")?,
+                            is_final: bool_field(s, "final")?,
+                            driven: u64_field(s, "driven")?,
+                        })
+                    })
+                    .collect::<Result<Vec<SessionTickRecord>, String>>()?,
+                answers: parse_answer_entries(arr_field(&doc, "answers")?)?,
+                warm: parse_warm_objects(arr_field(&doc, "warm")?)?,
+            }))),
+            "snapshot" => Ok(JournalEvent::SnapshotMarker {
+                seq: u64_field(&doc, "seq")?,
+            }),
+            other => Err(format!("unknown journal event \"{other}\"")),
+        }
+    }
+}
+
+impl SnapshotRecord {
+    /// Parses a snapshot document.
+    pub fn parse(text: &str) -> Result<SnapshotRecord, String> {
+        let doc = Json::parse(text)?;
+        Ok(SnapshotRecord {
+            seq: u64_field(&doc, "seq")?,
+            journal_events: u64_field(&doc, "journal_events")?,
+            next_session_id: u64_field(&doc, "next_session_id")?,
+            ticks: u64_field(&doc, "ticks")?,
+            shed: u64_field(&doc, "shed")?,
+            sessions: arr_field(&doc, "sessions")?
+                .iter()
+                .map(|s| {
+                    Ok(SessionSnapshot {
+                        session: u64_field(s, "session")?,
+                        priority: u32::try_from(u64_field(s, "priority")?)
+                            .map_err(|e| e.to_string())?,
+                        finals: u64_field(s, "finals")?,
+                        partials: u64_field(s, "partials")?,
+                        driven: u64_field(s, "driven")?,
+                        query: parse_query(s.get("query").ok_or("missing \"query\"")?)?,
+                    })
+                })
+                .collect::<Result<Vec<SessionSnapshot>, String>>()?,
+            history: arr_field(&doc, "history")?
+                .iter()
+                .map(parse_stats)
+                .collect::<Result<Vec<StatsRecord>, String>>()?,
+            warm: arr_field(&doc, "warm")?
+                .iter()
+                .map(|w| {
+                    Ok(WarmRateRecord {
+                        rate: f64_field(w, "rate")?,
+                        objects: parse_warm_objects(arr_field(w, "objects")?)?,
+                    })
+                })
+                .collect::<Result<Vec<WarmRateRecord>, String>>()?,
+            answers: parse_answer_entries(arr_field(&doc, "answers")?)?,
+        })
+    }
+}
+
+// ------------------------------------------------- TickStats conversions
+
+/// Maps a persisted operator tag back to the known static names (the
+/// in-memory [`TickStats`] carries `&'static str`). Unrecognized tags fall
+/// back to `"shared_pool"`, the only operator the server's shared scheduler
+/// reports today.
+#[must_use]
+pub fn static_operator(name: &str) -> &'static str {
+    match name {
+        "selection" => "selection",
+        "sum" => "sum",
+        "ave" => "ave",
+        "max" => "max",
+        "min" => "min",
+        "topk" => "topk",
+        "count" => "count",
+        "hybrid_sum" => "hybrid_sum",
+        _ => "shared_pool",
+    }
+}
+
+impl StatsRecord {
+    /// Captures in-memory tick statistics for persistence.
+    #[must_use]
+    pub fn from_stats(stats: &TickStats) -> Self {
+        Self {
+            rate: stats.rate,
+            work: stats.work,
+            wall_nanos: u64::try_from(stats.wall.as_nanos()).unwrap_or(u64::MAX),
+            iterations: stats.iterations,
+            operator: stats.operator.to_string(),
+            objects: stats.objects,
+            hist: *stats.iter_histogram.buckets(),
+            cpu: stats.cpu_est,
+        }
+    }
+
+    /// Restores the in-memory tick statistics.
+    #[must_use]
+    pub fn to_stats(&self) -> TickStats {
+        TickStats {
+            rate: self.rate,
+            work: self.work,
+            wall: std::time::Duration::from_nanos(self.wall_nanos),
+            iterations: self.iterations,
+            operator: static_operator(&self.operator),
+            objects: self.objects,
+            iter_histogram: IterHistogram::from_buckets(self.hist),
+            cpu_est: self.cpu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_stats() -> StatsRecord {
+        StatsRecord {
+            rate: 0.0583,
+            work: WorkBreakdown {
+                exec_iter: 921_088,
+                get_state: 48,
+                store_state: 415,
+                choose_iter: 13_937,
+            },
+            wall_nanos: 123_456_789,
+            iterations: 319,
+            operator: "shared_pool".to_string(),
+            objects: 48,
+            hist: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            cpu: CpuEstimation {
+                iterations: 319,
+                mean_abs_error: 12.5,
+                mean_abs_pct_error: 0.03,
+            },
+        }
+    }
+
+    fn sample_tick() -> TickRecord {
+        TickRecord {
+            tick: 7,
+            rate: 0.0583,
+            shed: 2,
+            budget_exhausted: true,
+            stats: sample_stats(),
+            sessions: vec![
+                SessionTickRecord {
+                    session: 1,
+                    is_final: true,
+                    driven: 100,
+                },
+                SessionTickRecord {
+                    session: 3,
+                    is_final: false,
+                    driven: 0,
+                },
+            ],
+            answers: vec![
+                AnswerEntry {
+                    session: 1,
+                    answer: AnswerRecord::Final(QueryOutput::Extreme {
+                        bond_id: 45,
+                        bounds: Bounds::new(123.318_127_050_003_1, 123.566_607_748_983_66),
+                        ties: vec![2, 9],
+                    }),
+                },
+                AnswerEntry {
+                    session: 3,
+                    answer: AnswerRecord::Partial {
+                        lo: 5132.5,
+                        hi: 5174.8,
+                    },
+                },
+            ],
+            warm: vec![
+                WarmObjectRecord {
+                    lo: 88.80101456519986,
+                    hi: 88.85679684433053,
+                    converged: true,
+                    iters: 17,
+                    cost: 40_231,
+                },
+                WarmObjectRecord {
+                    lo: 90.0,
+                    hi: 110.0,
+                    converged: false,
+                    iters: 0,
+                    cost: 512,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_journal_event_round_trips() {
+        let events = [
+            JournalEvent::Subscribe {
+                session: 4,
+                priority: 2,
+                query: Query::Sum {
+                    weights: vec![1.0, 0.25, -3.5],
+                    epsilon: 50.0,
+                },
+            },
+            JournalEvent::Subscribe {
+                session: 5,
+                priority: 1,
+                query: Query::Selection {
+                    op: CmpOp::Ge,
+                    constant: 100.0,
+                },
+            },
+            JournalEvent::Subscribe {
+                session: 6,
+                priority: 3,
+                query: Query::Count {
+                    op: CmpOp::Lt,
+                    constant: 99.5,
+                    slack: 4,
+                },
+            },
+            JournalEvent::Subscribe {
+                session: 7,
+                priority: 1,
+                query: Query::TopK { k: 5, epsilon: 1.0 },
+            },
+            JournalEvent::Subscribe {
+                session: 8,
+                priority: 1,
+                query: Query::Ave { epsilon: 0.5 },
+            },
+            JournalEvent::Subscribe {
+                session: 9,
+                priority: 1,
+                query: Query::Min { epsilon: 0.25 },
+            },
+            JournalEvent::Unsubscribe { session: 4 },
+            JournalEvent::Tick(Box::new(sample_tick())),
+            JournalEvent::SnapshotMarker { seq: 12 },
+        ];
+        for ev in &events {
+            let line = ev.to_line();
+            assert!(!line.contains('\n'), "{line}");
+            let back = JournalEvent::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(&back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_output_shape_round_trips() {
+        let outputs = [
+            QueryOutput::Selected(vec![1, 2, 37]),
+            QueryOutput::Extreme {
+                bond_id: 45,
+                bounds: Bounds::new(123.318_127_050_003_1, 123.566_607_748_983_66),
+                ties: vec![],
+            },
+            QueryOutput::Aggregate {
+                bounds: Bounds::new(5_132.538_654_318_307, 5_174.847_830_908_930_5),
+            },
+            QueryOutput::Ranked {
+                members: vec![
+                    (45, Bounds::new(123.3, 123.6)),
+                    (9, Bounds::new(88.8, 88.9)),
+                ],
+                ties: vec![3],
+            },
+            QueryOutput::Count { lo: 37, hi: 41 },
+        ];
+        for out in &outputs {
+            let text = output_json(out);
+            let back = parse_output(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, out, "{text}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = SnapshotRecord {
+            seq: 3,
+            journal_events: 41,
+            next_session_id: 9,
+            ticks: 12,
+            shed: 1,
+            sessions: vec![SessionSnapshot {
+                session: 2,
+                priority: 4,
+                finals: 10,
+                partials: 2,
+                driven: 4_021,
+                query: Query::Max { epsilon: 0.0101 },
+            }],
+            history: vec![sample_stats(), sample_stats()],
+            warm: vec![WarmRateRecord {
+                rate: 0.0583,
+                objects: sample_tick().warm,
+            }],
+            answers: vec![AnswerEntry {
+                session: 2,
+                answer: AnswerRecord::Partial { lo: 1.0, hi: 2.0 },
+            }],
+        };
+        let text = snap.to_json();
+        let back = SnapshotRecord::parse(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let rate = 0.058_300_000_000_000_01_f64;
+        let ev = JournalEvent::Tick(Box::new(TickRecord {
+            rate,
+            ..sample_tick()
+        }));
+        match JournalEvent::parse(&ev.to_line()).unwrap() {
+            JournalEvent::Tick(t) => assert_eq!(t.rate.to_bits(), rate.to_bits()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_record_restores_tick_stats() {
+        let rec = sample_stats();
+        let stats = rec.to_stats();
+        assert_eq!(stats.operator, "shared_pool");
+        assert_eq!(stats.wall, Duration::from_nanos(123_456_789));
+        assert_eq!(stats.iter_histogram.buckets(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let back = StatsRecord::from_stats(&stats);
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn unknown_operator_tags_degrade_to_shared_pool() {
+        assert_eq!(static_operator("mystery"), "shared_pool");
+        assert_eq!(static_operator("max"), "max");
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(JournalEvent::parse("not json").is_err());
+        assert!(JournalEvent::parse(r#"{"ev":"warp"}"#).is_err());
+        assert!(JournalEvent::parse(r#"{"ev":"subscribe","session":1}"#).is_err());
+        assert!(SnapshotRecord::parse(r#"{"seq":1}"#).is_err());
+        // Inverted bounds are corrupt, not a panic.
+        assert!(parse_warm_object(
+            &Json::parse(r#"{"lo":2,"hi":1,"converged":false,"iters":0,"cost":0}"#).unwrap()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Atomic snapshot files.
+//!
+//! Each snapshot is one JSON document in `snapshot-<seq>.json`, written
+//! via temp-file + `fsync` + `rename` so a crash mid-write can never leave
+//! a half-written snapshot under the real name. The two most recent
+//! snapshots are kept (the previous one survives until its successor is
+//! durable); older files are pruned best-effort.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::record::SnapshotRecord;
+use crate::PersistError;
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq}.json"))
+}
+
+/// Lists `(seq, path)` for every snapshot file in `dir`, ascending by seq.
+fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut found = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| PersistError::io(dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq) = name
+            .strip_prefix("snapshot-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((seq, entry.path()));
+    }
+    found.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// Writes `snap` atomically into `dir` and prunes all but the two newest
+/// snapshots. Returns the final path.
+pub fn write(dir: &Path, snap: &SnapshotRecord) -> Result<PathBuf, PersistError> {
+    let final_path = snapshot_path(dir, snap.seq);
+    let tmp_path = dir.join(format!("snapshot-{}.json.tmp", snap.seq));
+    {
+        let mut tmp = File::create(&tmp_path).map_err(|e| PersistError::io(&tmp_path, &e))?;
+        tmp.write_all(snap.to_json().as_bytes())
+            .and_then(|()| tmp.write_all(b"\n"))
+            .and_then(|()| tmp.sync_all())
+            .map_err(|e| PersistError::io(&tmp_path, &e))?;
+    }
+    fs::rename(&tmp_path, &final_path).map_err(|e| PersistError::io(&final_path, &e))?;
+    // Make the rename itself durable where the platform allows opening
+    // directories; failure to fsync the directory only risks losing the
+    // *newest* snapshot to a crash, which recovery already tolerates.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    if let Ok(existing) = list(dir) {
+        for (seq, path) in &existing {
+            if existing.len() >= 2 && *seq < existing[existing.len() - 2].0 {
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+    Ok(final_path)
+}
+
+/// Loads the newest parseable snapshot in `dir`, or `None` when no
+/// snapshot exists yet. An unparseable newer file is skipped in favor of
+/// an older one (the journal holds the full history, so an older snapshot
+/// only means a longer replay).
+pub fn load_latest(dir: &Path) -> Result<Option<SnapshotRecord>, PersistError> {
+    let mut found = list(dir)?;
+    found.reverse();
+    for (_, path) in found {
+        let text = fs::read_to_string(&path).map_err(|e| PersistError::io(&path, &e))?;
+        if let Ok(snap) = SnapshotRecord::parse(text.trim_end()) {
+            return Ok(Some(snap));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("va-persist-snapshot-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn snap(seq: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            seq,
+            journal_events: seq * 10,
+            next_session_id: 3,
+            ticks: seq,
+            shed: 0,
+            sessions: Vec::new(),
+            history: Vec::new(),
+            warm: Vec::new(),
+            answers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn write_then_load_latest() {
+        let dir = tmp_dir("roundtrip");
+        assert_eq!(load_latest(&dir).unwrap(), None);
+        write(&dir, &snap(1)).unwrap();
+        write(&dir, &snap(2)).unwrap();
+        assert_eq!(load_latest(&dir).unwrap(), Some(snap(2)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keeps_only_two_newest_snapshots() {
+        let dir = tmp_dir("prune");
+        for seq in 1..=5 {
+            write(&dir, &snap(seq)).unwrap();
+        }
+        let names = list(&dir).unwrap();
+        assert_eq!(
+            names.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unparseable_newest_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        write(&dir, &snap(1)).unwrap();
+        write(&dir, &snap(2)).unwrap();
+        fs::write(snapshot_path(&dir, 3), b"{garbage").unwrap();
+        assert_eq!(load_latest(&dir).unwrap(), Some(snap(2)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_ignored() {
+        let dir = tmp_dir("tmpfiles");
+        write(&dir, &snap(7)).unwrap();
+        fs::write(dir.join("snapshot-8.json.tmp"), b"half").unwrap();
+        assert_eq!(load_latest(&dir).unwrap(), Some(snap(7)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

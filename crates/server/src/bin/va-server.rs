@@ -2,17 +2,23 @@
 //!
 //! ```text
 //! va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W]
-//!           [--workers N] [--smoke]
+//!           [--workers N] [--data-dir PATH] [--smoke] [--client HOST:PORT]
 //! ```
 //!
 //! `--budget` sets the per-tick work budget in deterministic work units
 //! (omit for unbudgeted ticks). `--workers` sets the scheduler's worker
 //! thread count *and* its per-round batch size (batched rounds recompute
 //! cross-query demand once per batch; `--workers 1` is the serial
-//! schedule). `--smoke` runs a self-contained loopback exchange —
+//! schedule). `--data-dir` makes the server durable: control-plane events
+//! are journaled (fsync'd) to the dir, snapshots are written periodically,
+//! and a restart with the same dir recovers sessions, counters and
+//! warm-start state (without the flag the server is bit-identical to the
+//! in-memory one). `--smoke` runs a self-contained loopback exchange —
 //! subscribe, tick, stats, quit against an ephemeral port — and exits
 //! nonzero on any protocol failure; CI uses it as a two-second end-to-end
-//! check.
+//! check. `--client` flips the binary into a line-pipe client: stdin lines
+//! go to the server, reply lines to stdout — which is how the CI
+//! kill-and-recover smoke drives a server across a SIGKILL.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -27,7 +33,9 @@ struct Args {
     seed: u64,
     budget: Option<u64>,
     workers: usize,
+    data_dir: Option<String>,
     smoke: bool,
+    client: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,7 +45,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         budget: None,
         workers: 1,
+        data_dir: None,
         smoke: false,
+        client: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,10 +79,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--workers must be at least 1".to_string());
                 }
             }
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--smoke" => args.smoke = true,
+            "--client" => args.client = Some(value("--client")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--workers N] [--smoke]"
+                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--workers N] [--data-dir PATH] [--smoke] [--client HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -82,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn build_server(args: &Args) -> Server {
+fn build_server(args: &Args) -> Result<Server, String> {
     let universe = BondUniverse::generate(args.bonds, args.seed);
     let relation = BondRelation::from_universe(&universe);
     let config = ServerConfig {
@@ -90,7 +102,25 @@ fn build_server(args: &Args) -> Server {
         workers: args.workers,
         ..ServerConfig::default()
     };
-    Server::new(BondPricer::default(), relation, config)
+    match &args.data_dir {
+        None => Ok(Server::new(BondPricer::default(), relation, config)),
+        Some(dir) => {
+            let srv = Server::open_durable(
+                BondPricer::default(),
+                relation,
+                config,
+                std::path::Path::new(dir),
+            )
+            .map_err(|e| format!("open {dir}: {e}"))?;
+            if let Some(rec) = srv.last_recovery() {
+                eprintln!(
+                    "va-server: recovered from {dir} (snapshot {:?}, {} events replayed, {} torn bytes truncated)",
+                    rec.snapshot_seq, rec.replayed_events, rec.truncated_bytes
+                );
+            }
+            Ok(srv)
+        }
+    }
 }
 
 fn main() {
@@ -101,7 +131,17 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut server = build_server(&args);
+    if let Some(addr) = &args.client {
+        client(addr);
+        return;
+    }
+    let mut server = match build_server(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("va-server: {e}");
+            std::process::exit(1);
+        }
+    };
     if args.smoke {
         smoke(&mut server);
         return;
@@ -113,14 +153,59 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // The resolved address matters with `--addr 127.0.0.1:0` (scripted
+    // callers parse the chosen port from this line).
+    let bound = listener
+        .local_addr()
+        .map_or_else(|_| args.addr.clone(), |a| a.to_string());
     println!(
-        "va-server listening on {} ({} bonds, budget {:?}, workers {})",
-        args.addr, args.bonds, args.budget, args.workers
+        "va-server listening on {bound} ({} bonds, budget {:?}, workers {}, data dir {})",
+        args.bonds,
+        args.budget,
+        args.workers,
+        args.data_dir.as_deref().unwrap_or("none")
     );
     if let Err(e) = net::serve(&listener, &mut server) {
         eprintln!("va-server: {e}");
         std::process::exit(1);
     }
+}
+
+/// Line-pipe client mode: forwards stdin lines to the server at `addr` and
+/// prints every reply line. The reader thread drains replies until the
+/// server closes the connection or goes quiet, so scripted callers can
+/// `printf ... | va-server --client ADDR` without a protocol-aware tool.
+fn client(addr: &str) {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("va-server: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("set read timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // EOF, server death, or quiet
+                Ok(_) => print!("{line}"),
+            }
+        }
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        if writeln!(writer, "{line}").is_err() {
+            break; // server gone mid-script (e.g. the kill-recover smoke)
+        }
+    }
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let _ = reader.join();
 }
 
 /// Self-contained loopback exchange: a client thread drives the full

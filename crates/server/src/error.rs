@@ -30,6 +30,14 @@ pub enum ServerError {
         /// Which invariant was violated.
         detail: &'static str,
     },
+    /// The durability layer failed (journal append, snapshot write, or a
+    /// corrupt store at recovery). Durable servers refuse to acknowledge
+    /// state changes they could not journal, so the failed operation is
+    /// rolled back rather than silently kept in memory only.
+    Persist {
+        /// The underlying [`va_persist::PersistError`] rendered to text.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -46,6 +54,9 @@ impl std::fmt::Display for ServerError {
             ServerError::Internal { detail } => {
                 write!(f, "internal scheduler invariant violated: {detail}")
             }
+            ServerError::Persist { detail } => {
+                write!(f, "persistence error: {detail}")
+            }
         }
     }
 }
@@ -55,6 +66,14 @@ impl std::error::Error for ServerError {}
 impl From<VaoError> for ServerError {
     fn from(e: VaoError) -> Self {
         ServerError::Vao(e)
+    }
+}
+
+impl From<va_persist::PersistError> for ServerError {
+    fn from(e: va_persist::PersistError) -> Self {
+        ServerError::Persist {
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -77,5 +96,12 @@ mod tests {
         }
         .to_string()
         .contains("demand/candidate mismatch"));
+        let p: ServerError = va_persist::PersistError::Corrupt {
+            path: "j".into(),
+            detail: "bad line".into(),
+        }
+        .into();
+        assert!(p.to_string().contains("persistence error"));
+        assert!(p.to_string().contains("bad line"));
     }
 }

@@ -1,325 +1,8 @@
-//! A minimal JSON value, parser and escaper — just enough for the
-//! newline-delimited line protocol, with no dependency outside `std`.
+//! Re-export of the minimal JSON value, parser and escaper.
 //!
-//! The parser is a plain recursive-descent scanner over bytes. It accepts
-//! the full JSON grammar the protocol uses (objects, arrays, strings with
-//! escapes, numbers, booleans, null) and reports errors with a byte
-//! offset. Serialization lives with the protocol builders in
-//! [`crate::proto`]; this module only *reads*.
+//! The implementation moved to [`va_persist::json`] so the journal and
+//! snapshot codecs can share it without a dependency cycle (`va-persist`
+//! cannot depend on this crate). The module path `va_server::json` is kept
+//! for source compatibility; see the re-exported items for the API.
 
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string, unescaped.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order (duplicate keys keep the first).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parses one JSON document, requiring it to span the whole input.
-    pub fn parse(input: &str) -> Result<Json, String> {
-        let bytes = input.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Object field lookup (first match; `None` off objects too).
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, when this is a string.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, when this is a number.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The number as a nonnegative integer (rejects fractions and
-    /// negatives).
-    #[must_use]
-    pub fn as_u64(&self) -> Option<u64> {
-        let n = self.as_f64()?;
-        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
-            Some(n as u64)
-        } else {
-            None
-        }
-    }
-
-    /// The boolean payload, when this is a boolean.
-    #[must_use]
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The elements, when this is an array.
-    #[must_use]
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// Escapes `s` for embedding in a JSON string literal.
-#[must_use]
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    if *pos < bytes.len() && bytes[*pos] == b {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {}", b as char, pos))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if matches!(bytes.get(*pos), Some(b'-')) {
-        *pos += 1;
-    }
-    while matches!(
-        bytes.get(*pos),
-        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    ) {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{0008}'),
-                    Some(b'f') => out.push('\u{000c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        // Surrogate pairs are not needed by the protocol;
-                        // map lone surrogates to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("invalid escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (the input came from &str, so
-                // boundaries are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if matches!(bytes.get(*pos), Some(b']')) {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'{')?;
-    let mut fields: Vec<(String, Json)> = Vec::new();
-    skip_ws(bytes, pos);
-    if matches!(bytes.get(*pos), Some(b'}')) {
-        *pos += 1;
-        return Ok(Json::Obj(fields));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        let key = parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
-        if !fields.iter().any(|(k, _)| *k == key) {
-            fields.push((key, value));
-        }
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_protocol_shaped_documents() {
-        let doc = r#"{"type":"SUBSCRIBE","query":{"kind":"sum","epsilon":0.5,"weights":[1,2.5,-0e1]},"priority":2}"#;
-        let v = Json::parse(doc).unwrap();
-        assert_eq!(v.get("type").unwrap().as_str(), Some("SUBSCRIBE"));
-        assert_eq!(v.get("priority").unwrap().as_u64(), Some(2));
-        let q = v.get("query").unwrap();
-        assert_eq!(q.get("epsilon").unwrap().as_f64(), Some(0.5));
-        let w = q.get("weights").unwrap().as_array().unwrap();
-        assert_eq!(w.len(), 3);
-        assert_eq!(w[1].as_f64(), Some(2.5));
-        assert_eq!(w[2].as_f64(), Some(-0.0));
-    }
-
-    #[test]
-    fn parses_strings_with_escapes() {
-        let v = Json::parse(r#"{"msg":"a\"b\\c\ndA"}"#).unwrap();
-        assert_eq!(v.get("msg").unwrap().as_str(), Some("a\"b\\c\ndA"));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("{\"a\":1} extra").is_err());
-        assert!(Json::parse("nul").is_err());
-        assert!(Json::parse("\"open").is_err());
-        assert!(Json::parse("01abc").is_err());
-    }
-
-    #[test]
-    fn accessors_are_shape_checked() {
-        let v = Json::parse(r#"{"n":1.5,"b":true,"s":"x","a":[null]}"#).unwrap();
-        assert_eq!(v.get("n").unwrap().as_u64(), None, "fractional");
-        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
-        assert_eq!(v.get("s").unwrap().as_f64(), None);
-        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
-        assert_eq!(v.get("missing"), None);
-        assert_eq!(Json::Null.get("k"), None);
-    }
-
-    #[test]
-    fn escape_round_trips_through_parse() {
-        let nasty = "line1\nline2\t\"quoted\" back\\slash \u{1}";
-        let doc = format!("{{\"v\":\"{}\"}}", escape(nasty));
-        let v = Json::parse(&doc).unwrap();
-        assert_eq!(v.get("v").unwrap().as_str(), Some(nasty));
-    }
-}
+pub use va_persist::json::{escape, Json};

@@ -30,6 +30,12 @@ pub fn serve_connection(stream: TcpStream, server: &mut Server) -> std::io::Resu
         match proto::parse_request(&line) {
             Err(msg) => writeln!(writer, "{}", proto::error(&msg))?,
             Ok(Request::Quit) => {
+                // Flush durable state first so a clean shutdown recovers
+                // with zero journal replay; a flush failure is reported but
+                // still ends the connection.
+                if let Err(e) = server.shutdown() {
+                    writeln!(writer, "{}", proto::error(&e.to_string()))?;
+                }
                 writeln!(writer, "{}", proto::bye())?;
                 return Ok(());
             }
@@ -54,6 +60,12 @@ fn handle(req: Request, server: &mut Server, writer: &mut TcpStream) -> std::io:
                 Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
             }
         }
+        Request::Resume { session } => match server.resume(crate::session::SessionId(session)) {
+            Ok((sess, answer)) => {
+                writeln!(writer, "{}", proto::resumed(sess, server.ticks(), answer))
+            }
+            Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
+        },
         Request::Tick { rate } => run_tick(server, rate, writer),
         Request::Ticks { rates } => {
             // Load shedding: a burst of ticks coalesces to the newest rate

@@ -10,6 +10,7 @@
 
 use bondlab::BondPricer;
 use va_stream::BondRelation;
+use vao::adapters::{WarmStart, WarmStarted};
 use vao::cost::{Work, WorkMeter};
 use vao::interface::{ResultObject, VariableAccuracyFn};
 use vao::Bounds;
@@ -47,6 +48,39 @@ impl SharedPool {
             .bonds()
             .iter()
             .map(|&bond| pricer.invoke(&(rate, bond), meter))
+            .collect();
+        Self { objects, rate }
+    }
+
+    /// Like [`SharedPool::invoke`], but wraps every freshly invoked object
+    /// in a [`WarmStarted`] adapter seeded from `warm` — the recovered
+    /// per-object state a durable server journaled the last time it priced
+    /// this rate. Invocation charges the meter exactly as a cold invoke
+    /// does; the savings come later, when the scheduler skips objects whose
+    /// seed already satisfies the stopping condition.
+    ///
+    /// `warm` must be aligned with the relation (one entry per bond);
+    /// mismatched lengths fall back to a cold invoke, since a stale seed
+    /// set (e.g. after the universe changed) must never corrupt answers.
+    #[must_use]
+    pub fn invoke_warm(
+        pricer: &BondPricer,
+        relation: &BondRelation,
+        rate: f64,
+        warm: &[WarmStart],
+        meter: &mut WorkMeter,
+    ) -> Self {
+        if warm.len() != relation.bonds().len() {
+            return Self::invoke(pricer, relation, rate, meter);
+        }
+        let objects = relation
+            .bonds()
+            .iter()
+            .zip(warm)
+            .map(|(&bond, &seed)| {
+                let inner = pricer.invoke(&(rate, bond), meter);
+                Box::new(WarmStarted::new(inner, seed)) as Box<dyn ResultObject + Send>
+            })
             .collect();
         Self { objects, rate }
     }
@@ -136,6 +170,13 @@ impl SharedPool {
         self.objects[i].converged()
     }
 
+    /// Lifetime work charged by object `i`, including any prior-run cost a
+    /// [`WarmStarted`] seed carried across a restart.
+    #[must_use]
+    pub fn cumulative_cost(&self, i: usize) -> Work {
+        self.objects[i].cumulative_cost()
+    }
+
     /// Refines object `i` one step on the shared meter.
     pub fn iterate(&mut self, i: usize, meter: &mut WorkMeter) -> Bounds {
         self.objects[i].iterate(meter)
@@ -200,6 +241,59 @@ mod tests {
         let mut meter = WorkMeter::new();
         let mut pool = SharedPool::invoke(&pricer, &relation, 0.0583, &mut meter);
         let _ = pool.disjoint_mut(&[2, 0]);
+    }
+
+    #[test]
+    fn warm_invoke_seeds_converged_objects_for_free() {
+        let universe = BondUniverse::generate(3, 7);
+        let relation = BondRelation::from_universe(&universe);
+        let pricer = BondPricer::default();
+
+        // Converge one object cold to learn its final bounds and cost.
+        let mut meter = WorkMeter::new();
+        let mut cold = SharedPool::invoke(&pricer, &relation, 0.0583, &mut meter);
+        while !cold.converged(0) {
+            cold.iterate(0, &mut meter);
+        }
+        let final_bounds = cold.bounds(0);
+        let cold_cost = cold.cumulative_cost(0);
+
+        // Warm-invoke with that object seeded converged; others cold-ish.
+        let warm = vec![
+            WarmStart {
+                bounds: final_bounds,
+                converged: true,
+                prior_cost: cold_cost,
+            },
+            WarmStart {
+                bounds: cold.bounds(1),
+                converged: false,
+                prior_cost: 0,
+            },
+            WarmStart {
+                bounds: cold.bounds(2),
+                converged: false,
+                prior_cost: 0,
+            },
+        ];
+        let mut meter2 = WorkMeter::new();
+        let mut pool = SharedPool::invoke_warm(&pricer, &relation, 0.0583, &warm, &mut meter2);
+        assert!(pool.converged(0), "converged seed finishes the object");
+        assert_eq!(pool.bounds(0), final_bounds);
+        assert_eq!(pool.est_cpu(0), 0);
+        assert!(
+            pool.cumulative_cost(0) >= cold_cost,
+            "prior-run cost survives the restart"
+        );
+        let spent = meter2.total();
+        let b = pool.iterate(0, &mut meter2);
+        assert_eq!(b, final_bounds, "iterating a finished object is a no-op");
+        assert_eq!(meter2.total(), spent, "and charges nothing");
+
+        // A mismatched seed set must fall back to a cold invoke.
+        let mut meter3 = WorkMeter::new();
+        let fallback = SharedPool::invoke_warm(&pricer, &relation, 0.0583, &warm[..1], &mut meter3);
+        assert!(!fallback.converged(0), "stale seeds are ignored wholesale");
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //! full schema).
 //!
 //! Every request and response is one JSON object per line. Requests carry a
-//! `"type"` tag (`SUBSCRIBE`, `UNSUBSCRIBE`, `TICK`, `TICKS`, `STATS`,
-//! `QUIT`); the server answers with `SUBSCRIBED`, `UNSUBSCRIBED`, one
-//! `RESULT` per session plus a `TICK_DONE` per processed tick, `STATS`,
-//! `BYE`, or `ERROR`. Parsing is strict about shapes (a malformed request
-//! yields `ERROR` without killing the connection) and numbers ride as JSON
-//! numbers, never strings.
+//! `"type"` tag (`SUBSCRIBE`, `UNSUBSCRIBE`, `RESUME`, `TICK`, `TICKS`,
+//! `STATS`, `QUIT`); the server answers with `SUBSCRIBED`, `UNSUBSCRIBED`,
+//! `RESUMED`, one `RESULT` per session plus a `TICK_DONE` per processed
+//! tick, `STATS`, `BYE`, or `ERROR`. Parsing is strict about shapes (a
+//! malformed request yields `ERROR` without killing the connection) and
+//! numbers ride as JSON numbers, never strings.
 
 use va_stream::{Query, QueryOutput};
 use vao::ops::selection::CmpOp;
@@ -30,6 +30,13 @@ pub enum Request {
     /// Remove a session.
     Unsubscribe {
         /// The session to remove.
+        session: u64,
+    },
+    /// Re-attach to a session (typically after a reconnect or a server
+    /// restart from a data dir) and get its registration plus its most
+    /// recent answer back.
+    Resume {
+        /// The session to re-attach to.
         session: u64,
     },
     /// Process one rate tick.
@@ -155,6 +162,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .and_then(Json::as_u64)
                 .ok_or("missing \"session\"")?,
         }),
+        "RESUME" => Ok(Request::Resume {
+            session: doc
+                .get("session")
+                .and_then(Json::as_u64)
+                .ok_or("missing \"session\"")?,
+        }),
         "TICK" => Ok(Request::Tick {
             rate: finite(doc.get("rate").and_then(Json::as_f64), "rate")?,
         }),
@@ -242,6 +255,76 @@ fn parse_query(doc: &Json) -> Result<WireQuery, String> {
     }
 }
 
+// -------------------------------------------------------------- requests
+
+/// Serializes a [`WireQuery`] to the object shape [`parse_request`]
+/// accepts (omitted SUM weights stay omitted).
+#[must_use]
+pub fn query_json(q: &WireQuery) -> String {
+    let op_str = |op: &CmpOp| match op {
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+    };
+    match q {
+        WireQuery::Selection { op, constant } => format!(
+            "{{\"kind\":\"selection\",\"op\":\"{}\",\"constant\":{constant}}}",
+            op_str(op)
+        ),
+        WireQuery::Count {
+            op,
+            constant,
+            slack,
+        } => format!(
+            "{{\"kind\":\"count\",\"op\":\"{}\",\"constant\":{constant},\"slack\":{slack}}}",
+            op_str(op)
+        ),
+        WireQuery::Sum { weights, epsilon } => match weights {
+            None => format!("{{\"kind\":\"sum\",\"epsilon\":{epsilon}}}"),
+            Some(w) => {
+                let items: Vec<String> = w.iter().map(|x| format!("{x}")).collect();
+                format!(
+                    "{{\"kind\":\"sum\",\"epsilon\":{epsilon},\"weights\":[{}]}}",
+                    items.join(",")
+                )
+            }
+        },
+        WireQuery::Ave { epsilon } => format!("{{\"kind\":\"ave\",\"epsilon\":{epsilon}}}"),
+        WireQuery::Max { epsilon } => format!("{{\"kind\":\"max\",\"epsilon\":{epsilon}}}"),
+        WireQuery::Min { epsilon } => format!("{{\"kind\":\"min\",\"epsilon\":{epsilon}}}"),
+        WireQuery::TopK { k, epsilon } => {
+            format!("{{\"kind\":\"topk\",\"k\":{k},\"epsilon\":{epsilon}}}")
+        }
+    }
+}
+
+/// Serializes a [`Request`] to one protocol line that [`parse_request`]
+/// parses back to an equal value — the round-trip contract the protocol
+/// property tests pin down.
+#[must_use]
+pub fn render_request(req: &Request) -> String {
+    match req {
+        Request::Subscribe { query, priority } => format!(
+            "{{\"type\":\"SUBSCRIBE\",\"query\":{},\"priority\":{priority}}}",
+            query_json(query)
+        ),
+        Request::Unsubscribe { session } => {
+            format!("{{\"type\":\"UNSUBSCRIBE\",\"session\":{session}}}")
+        }
+        Request::Resume { session } => {
+            format!("{{\"type\":\"RESUME\",\"session\":{session}}}")
+        }
+        Request::Tick { rate } => format!("{{\"type\":\"TICK\",\"rate\":{rate}}}"),
+        Request::Ticks { rates } => {
+            let items: Vec<String> = rates.iter().map(|r| format!("{r}")).collect();
+            format!("{{\"type\":\"TICKS\",\"rates\":[{}]}}", items.join(","))
+        }
+        Request::Stats => "{\"type\":\"STATS\"}".to_string(),
+        Request::Quit => "{\"type\":\"QUIT\"}".to_string(),
+    }
+}
+
 // ------------------------------------------------------------- responses
 
 /// `SUBSCRIBED` response line.
@@ -254,6 +337,29 @@ pub fn subscribed(id: SessionId) -> String {
 #[must_use]
 pub fn unsubscribed(id: u64) -> String {
     format!("{{\"type\":\"UNSUBSCRIBED\",\"session\":{id}}}")
+}
+
+/// `RESUMED` response line: the session's registration, its lifetime
+/// counters, the server's tick counter, and — when the session has been
+/// answered at least once — its most recent answer.
+#[must_use]
+pub fn resumed(sess: &crate::session::Session, tick: u64, answer: Option<&Answer>) -> String {
+    let answer_field = match answer {
+        None => String::new(),
+        Some(Answer::Final(out)) => format!(
+            ",\"answer\":{{\"status\":\"final\",\"output\":{}}}",
+            output_json(out)
+        ),
+        Some(Answer::Partial { bounds }) => format!(
+            ",\"answer\":{{\"status\":\"partial\",\"lo\":{},\"hi\":{}}}",
+            bounds.lo(),
+            bounds.hi()
+        ),
+    };
+    format!(
+        "{{\"type\":\"RESUMED\",\"session\":{},\"operator\":\"{}\",\"priority\":{},\"finals\":{},\"partials\":{},\"tick\":{}{answer_field}}}",
+        sess.id, sess.query.operator_name(), sess.priority, sess.finals, sess.partials, tick
+    )
 }
 
 /// `ERROR` response line.
@@ -393,6 +499,10 @@ mod tests {
             Request::Stats
         );
         assert_eq!(parse_request(r#"{"type":"QUIT"}"#).unwrap(), Request::Quit);
+        assert_eq!(
+            parse_request(r#"{"type":"RESUME","session":9}"#).unwrap(),
+            Request::Resume { session: 9 }
+        );
         let sub = parse_request(
             r#"{"type":"SUBSCRIBE","query":{"kind":"topk","k":3,"epsilon":0.1},"priority":4}"#,
         )
@@ -478,6 +588,65 @@ mod tests {
             r#"{"type":"SUBSCRIBE","query":{"kind":"selection","op":"=","constant":1}}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn rendered_requests_parse_back() {
+        let reqs = [
+            Request::Subscribe {
+                query: WireQuery::Sum {
+                    weights: None,
+                    epsilon: 2.5,
+                },
+                priority: 3,
+            },
+            Request::Subscribe {
+                query: WireQuery::Count {
+                    op: CmpOp::Ge,
+                    constant: 101.25,
+                    slack: 4,
+                },
+                priority: 1,
+            },
+            Request::Unsubscribe { session: 12 },
+            Request::Resume { session: 12 },
+            Request::Tick { rate: 0.0583 },
+            Request::Ticks {
+                rates: vec![0.05, 0.0625],
+            },
+            Request::Stats,
+            Request::Quit,
+        ];
+        for req in &reqs {
+            let line = render_request(req);
+            assert_eq!(&parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn resumed_lines_carry_the_last_answer() {
+        let sess = crate::session::Session {
+            id: SessionId(4),
+            query: Query::Max { epsilon: 0.5 },
+            priority: 2,
+            finals: 7,
+            partials: 1,
+            driven_iterations: 90,
+        };
+        let none = resumed(&sess, 8, None);
+        assert!(Json::parse(&none).is_ok(), "{none}");
+        assert!(!none.contains("\"answer\""));
+        assert!(none.contains("\"operator\":\"max\""));
+        let partial = Answer::Partial {
+            bounds: Bounds::new(1.0, 2.0),
+        };
+        let line = resumed(&sess, 8, Some(&partial));
+        assert!(Json::parse(&line).is_ok(), "{line}");
+        assert!(line.contains("\"status\":\"partial\""));
+        let fin = Answer::Final(QueryOutput::Count { lo: 3, hi: 3 });
+        let line = resumed(&sess, 8, Some(&fin));
+        assert!(line.contains("\"status\":\"final\""));
+        assert!(line.contains("\"shape\":\"count\""));
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub(crate) struct TickOutcome {
     /// meter counts the same number; kept for scheduler-level assertions).
     #[allow(dead_code)]
     pub iterations: u64,
+    /// Iterations issued per pool object this tick, aligned with the pool.
+    /// The durability layer folds these into its per-rate warm-start
+    /// records; sums to `iterations`.
+    pub per_object_iterations: Vec<u64>,
     /// Whether the work budget ran out with demand still outstanding.
     pub budget_exhausted: bool,
 }
@@ -96,6 +100,7 @@ pub(crate) fn run_tick<O: ExecObserver>(
     let mut demands_buf: Vec<Vec<Demand>> =
         registry.sessions().iter().map(|_| Vec::new()).collect();
     let mut iterations = 0u64;
+    let mut per_object_iterations = vec![0u64; pool.len()];
     let mut seq = 0u64;
     let mut round = 0u64;
     let mut budget_exhausted = false;
@@ -235,6 +240,7 @@ pub(crate) fn run_tick<O: ExecObserver>(
         for (slot, &chosen) in objs.iter().enumerate() {
             let d = &done[slot];
             iterations += 1;
+            per_object_iterations[chosen] += 1;
             seq += 1;
             if observer.is_enabled() {
                 observer.on_iteration(&IterationRecord {
@@ -287,6 +293,7 @@ pub(crate) fn run_tick<O: ExecObserver>(
     Ok(TickOutcome {
         answers,
         iterations,
+        per_object_iterations,
         budget_exhausted,
     })
 }

@@ -3,24 +3,31 @@
 //! line-protocol shell over this type, so everything here is testable
 //! without sockets.
 
+use std::path::Path;
 use std::time::Instant;
 
 use bondlab::BondPricer;
+use va_persist::record::{
+    AnswerEntry, AnswerRecord, JournalEvent, SessionSnapshot, SessionTickRecord, SnapshotRecord,
+    StatsRecord, TickRecord, WarmObjectRecord, WarmRateRecord,
+};
+use va_persist::{Store, WarmMap};
 use va_stream::{BondRelation, Query, QueryRunRow, RunSummary, TickObserver, TickStats};
+use vao::adapters::WarmStart;
 use vao::cost::{Work, WorkMeter};
 use vao::error::VaoError;
 use vao::ops::DEFAULT_ITERATION_LIMIT;
 use vao::trace::{
     BudgetExhaustedRecord, ChoiceRecord, ExecObserver, HybridDecisionRecord, IterationRecord,
-    NoopObserver, OperatorEndRecord, OperatorKind, RoundRecord,
+    NoopObserver, OperatorEndRecord, OperatorKind, RecoveryRecord, RoundRecord,
 };
-use vao::PrecisionConstraint;
+use vao::{Bounds, PrecisionConstraint};
 
 use crate::answer::Answer;
 use crate::error::ServerError;
 use crate::pool::SharedPool;
 use crate::sched;
-use crate::session::{SessionId, SessionRegistry};
+use crate::session::{Session, SessionId, SessionRegistry};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -120,7 +127,26 @@ pub struct Server {
     ticks: u64,
     queued: Option<f64>,
     shed: u64,
+    durability: Option<Durability>,
+    last_answers: Vec<(SessionId, Answer)>,
+    recovery: Option<RecoveryRecord>,
+    recovery_emitted: bool,
 }
+
+/// The durable half of a server opened with [`Server::open_durable`]: the
+/// on-disk store plus the in-memory per-rate warm cache that mirrors what
+/// the journal would fold to.
+#[derive(Debug)]
+struct Durability {
+    store: Store,
+    warm: WarmMap,
+    snapshot_every: u64,
+    events_at_last_snapshot: u64,
+}
+
+/// Journal events between periodic snapshots. Small enough that recovery
+/// replay stays trivial, large enough that snapshot writes stay rare.
+const SNAPSHOT_EVERY: u64 = 64;
 
 impl Server {
     /// A server over `relation`, pricing with `pricer`.
@@ -135,7 +161,109 @@ impl Server {
             ticks: 0,
             queued: None,
             shed: 0,
+            durability: None,
+            last_answers: Vec::new(),
+            recovery: None,
+            recovery_emitted: false,
         }
+    }
+
+    /// A durable server backed by the data dir at `dir`, recovering any
+    /// state a previous incarnation journaled there.
+    ///
+    /// Recovery loads the newest valid snapshot, replays the journal tail
+    /// on top (pure bookkeeping — journal events carry executed *outcomes*,
+    /// so replay never re-prices anything), and seeds the per-rate warm
+    /// cache so the next tick at a recovered rate re-admits objects at
+    /// their achieved accuracy. A torn final journal record is truncated
+    /// and reported (see [`Server::last_recovery`]); anything worse is a
+    /// hard [`ServerError::Persist`].
+    pub fn open_durable(
+        pricer: BondPricer,
+        relation: BondRelation,
+        config: ServerConfig,
+        dir: &Path,
+    ) -> Result<Self, ServerError> {
+        let (store, recovered) = Store::open(dir)?;
+        let mut srv = Self::new(pricer, relation, config);
+
+        if let Some(snap) = &recovered.snapshot {
+            srv.registry
+                .reserve_through(SessionId(snap.next_session_id.saturating_sub(1)));
+            for s in &snap.sessions {
+                srv.registry.restore(Session {
+                    id: SessionId(s.session),
+                    query: s.query.clone(),
+                    priority: s.priority,
+                    finals: s.finals,
+                    partials: s.partials,
+                    driven_iterations: s.driven,
+                });
+            }
+            srv.ticks = snap.ticks;
+            srv.shed = snap.shed;
+            srv.history = snap.history.iter().map(StatsRecord::to_stats).collect();
+            srv.last_answers = restore_answers(&snap.answers)?;
+        }
+        for ev in &recovered.tail {
+            match ev {
+                JournalEvent::Subscribe {
+                    session,
+                    priority,
+                    query,
+                } => {
+                    srv.registry.restore(Session {
+                        id: SessionId(*session),
+                        query: query.clone(),
+                        priority: *priority,
+                        finals: 0,
+                        partials: 0,
+                        driven_iterations: 0,
+                    });
+                }
+                JournalEvent::Unsubscribe { session } => {
+                    // The id stays burned: the Subscribe replay (or the
+                    // snapshot's high-water mark) already advanced `next`.
+                    srv.registry.deregister(SessionId(*session));
+                }
+                JournalEvent::Tick(t) => {
+                    srv.ticks = t.tick;
+                    srv.shed = t.shed;
+                    srv.history.push(t.stats.to_stats());
+                    for delta in &t.sessions {
+                        if let Some(sess) = srv
+                            .registry
+                            .sessions_mut()
+                            .iter_mut()
+                            .find(|s| s.id.0 == delta.session)
+                        {
+                            if delta.is_final {
+                                sess.finals += 1;
+                            } else {
+                                sess.partials += 1;
+                            }
+                            sess.driven_iterations += delta.driven;
+                        }
+                    }
+                    srv.last_answers = restore_answers(&t.answers)?;
+                }
+                JournalEvent::SnapshotMarker { .. } => {}
+            }
+        }
+
+        let events_at_last_snapshot = recovered.snapshot.as_ref().map_or(0, |s| s.journal_events);
+        srv.recovery = Some(RecoveryRecord {
+            snapshot_seq: recovered.snapshot_seq(),
+            replayed_events: recovered.replayed_events(),
+            truncated_bytes: recovered.truncated_bytes,
+        });
+        srv.durability = Some(Durability {
+            warm: recovered.warm_map(),
+            store,
+            snapshot_every: SNAPSHOT_EVERY,
+            events_at_last_snapshot,
+        });
+        Ok(srv)
     }
 
     /// The relation the server prices.
@@ -196,16 +324,81 @@ impl Server {
                 }
             }
         }
-        Ok(self.registry.register(query, priority))
+        // Write-ahead order: the admission is journaled (and fsync'd)
+        // before the registry commits it, so a crash can lose an
+        // unacknowledged subscription but never acknowledge one it lost.
+        if let Some(d) = &mut self.durability {
+            d.store.append(&JournalEvent::Subscribe {
+                session: self.registry.next_id(),
+                priority: priority.max(1),
+                query: query.clone(),
+            })?;
+        }
+        let id = self.registry.register(query, priority);
+        self.maybe_snapshot()?;
+        Ok(id)
     }
 
     /// Removes a session.
     pub fn unsubscribe(&mut self, id: SessionId) -> Result<(), ServerError> {
-        if self.registry.deregister(id) {
-            Ok(())
-        } else {
-            Err(ServerError::UnknownSession(id.0))
+        if self.registry.get(id).is_none() {
+            return Err(ServerError::UnknownSession(id.0));
         }
+        if let Some(d) = &mut self.durability {
+            d.store
+                .append(&JournalEvent::Unsubscribe { session: id.0 })?;
+        }
+        self.registry.deregister(id);
+        self.maybe_snapshot()?;
+        Ok(())
+    }
+
+    /// The recovery report from [`Server::open_durable`], if this server
+    /// was opened durably: which snapshot seeded it, how many journal
+    /// events replayed on top, and whether a torn final record was
+    /// truncated. `None` for in-memory servers.
+    #[must_use]
+    pub fn last_recovery(&self) -> Option<RecoveryRecord> {
+        self.recovery
+    }
+
+    /// Whether this server journals to a data dir.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The answer each session received on the most recent tick (or, after
+    /// recovery, on the last journaled tick), in registration order.
+    #[must_use]
+    pub fn last_answers(&self) -> &[(SessionId, Answer)] {
+        &self.last_answers
+    }
+
+    /// Looks up a session for `RESUME`: the live session plus its most
+    /// recent answer, if it has been answered at all.
+    pub fn resume(&self, id: SessionId) -> Result<(&Session, Option<&Answer>), ServerError> {
+        let sess = self
+            .registry
+            .get(id)
+            .ok_or(ServerError::UnknownSession(id.0))?;
+        let answer = self
+            .last_answers
+            .iter()
+            .find(|(aid, _)| *aid == id)
+            .map(|(_, a)| a);
+        Ok((sess, answer))
+    }
+
+    /// Flushes durable state for a clean shutdown: appends a snapshot
+    /// marker and writes a final snapshot covering it, so the next
+    /// [`Server::open_durable`] recovers with zero journal replay. A no-op
+    /// for in-memory servers.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        if self.durability.is_some() {
+            self.write_snapshot()?;
+        }
+        Ok(())
     }
 
     /// Processes one rate tick for every registered session.
@@ -224,10 +417,44 @@ impl Server {
         if self.relation.bonds().is_empty() {
             return Err(ServerError::EmptyRelation);
         }
+        // Surface the recovery report (once) into the same trace stream the
+        // tick lands in, so a JSONL trace of a recovered run shows *why*
+        // its first tick starts warm.
+        if !self.recovery_emitted {
+            self.recovery_emitted = true;
+            if let Some(rec) = self.recovery {
+                if observer.is_enabled() {
+                    observer.on_recovery(&rec);
+                }
+            }
+        }
         let start = Instant::now();
         let mut meter = WorkMeter::new();
-        let mut pool = SharedPool::invoke(&self.pricer, &self.relation, rate, &mut meter);
+
+        // A durable server that has journaled a tick at this exact rate
+        // re-admits every object at its achieved accuracy. The warm cache
+        // is a deterministic fold of the journal, so an uninterrupted
+        // server and a crashed-and-recovered one seed identical pools —
+        // which is what makes their subsequent ticks bit-identical.
+        let warm_prior: Option<Vec<WarmObjectRecord>> = self
+            .durability
+            .as_ref()
+            .and_then(|d| d.warm.get(&rate.to_bits()).cloned());
+        let mut pool = match &warm_prior {
+            Some(objs) => {
+                let seeds = warm_seeds(objs)?;
+                SharedPool::invoke_warm(&self.pricer, &self.relation, rate, &seeds, &mut meter)
+            }
+            None => SharedPool::invoke(&self.pricer, &self.relation, rate, &mut meter),
+        };
         self.validate_against(&pool)?;
+
+        let driven_before: Vec<u64> = self
+            .registry
+            .sessions()
+            .iter()
+            .map(|s| s.driven_iterations)
+            .collect();
 
         let mut tick_obs = TickObserver::new();
         let mut fan = Fanout(&mut tick_obs, observer);
@@ -253,8 +480,60 @@ impl Server {
             iter_histogram: tick_obs.histogram(),
             cpu_est: tick_obs.cpu_estimation(),
         };
+
+        if let Some(d) = &mut self.durability {
+            // End-of-tick object state, with lifetime counters accumulated
+            // across warm re-admissions at this rate.
+            let warm_now: Vec<WarmObjectRecord> = (0..pool.len())
+                .map(|i| {
+                    let b = pool.bounds(i);
+                    WarmObjectRecord {
+                        lo: b.lo(),
+                        hi: b.hi(),
+                        converged: pool.converged(i),
+                        iters: warm_prior.as_ref().map_or(0, |p| p[i].iters)
+                            + outcome.per_object_iterations[i],
+                        cost: pool.cumulative_cost(i),
+                    }
+                })
+                .collect();
+            let sessions: Vec<SessionTickRecord> = self
+                .registry
+                .sessions()
+                .iter()
+                .zip(&driven_before)
+                .zip(&outcome.answers)
+                .map(|((s, &before), (_, ans))| SessionTickRecord {
+                    session: s.id.0,
+                    is_final: ans.is_final(),
+                    driven: s.driven_iterations - before,
+                })
+                .collect();
+            let record = TickRecord {
+                tick: self.ticks + 1,
+                rate,
+                shed: self.shed,
+                budget_exhausted: outcome.budget_exhausted,
+                stats: StatsRecord::from_stats(&stats),
+                sessions,
+                answers: outcome
+                    .answers
+                    .iter()
+                    .map(|(id, a)| AnswerEntry {
+                        session: id.0,
+                        answer: answer_record(a),
+                    })
+                    .collect(),
+                warm: warm_now.clone(),
+            };
+            d.store.append(&JournalEvent::Tick(Box::new(record)))?;
+            d.warm.insert(rate.to_bits(), warm_now);
+        }
+
         self.history.push(stats);
         self.ticks += 1;
+        self.last_answers = outcome.answers.clone();
+        self.maybe_snapshot()?;
         Ok(TickResult {
             tick: self.ticks,
             rate,
@@ -334,6 +613,115 @@ impl Server {
         }
         Ok(())
     }
+
+    /// Writes a periodic snapshot once enough journal events have
+    /// accumulated since the last one. No-op for in-memory servers.
+    fn maybe_snapshot(&mut self) -> Result<(), ServerError> {
+        let due = match &self.durability {
+            Some(d) => d.store.journal_events() - d.events_at_last_snapshot >= d.snapshot_every,
+            None => false,
+        };
+        if due {
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a snapshot marker, then writes a snapshot covering it (so
+    /// recovery from this snapshot replays nothing).
+    fn write_snapshot(&mut self) -> Result<(), ServerError> {
+        let seq = match &self.durability {
+            Some(d) => d.store.next_snapshot_seq(),
+            None => return Ok(()),
+        };
+        // Marker first: the snapshot's event count then covers the marker
+        // itself, and recovery's replay tail is empty after a clean write.
+        let snap = {
+            let d = self.durability.as_mut().expect("checked durable above");
+            d.store.append(&JournalEvent::SnapshotMarker { seq })?;
+            SnapshotRecord {
+                seq,
+                journal_events: d.store.journal_events(),
+                next_session_id: self.registry.next_id(),
+                ticks: self.ticks,
+                shed: self.shed,
+                sessions: self
+                    .registry
+                    .sessions()
+                    .iter()
+                    .map(|s| SessionSnapshot {
+                        session: s.id.0,
+                        priority: s.priority,
+                        finals: s.finals,
+                        partials: s.partials,
+                        driven: s.driven_iterations,
+                        query: s.query.clone(),
+                    })
+                    .collect(),
+                history: self.history.iter().map(StatsRecord::from_stats).collect(),
+                warm: d
+                    .warm
+                    .iter()
+                    .map(|(&bits, objects)| WarmRateRecord {
+                        rate: f64::from_bits(bits),
+                        objects: objects.clone(),
+                    })
+                    .collect(),
+                answers: self
+                    .last_answers
+                    .iter()
+                    .map(|(id, a)| AnswerEntry {
+                        session: id.0,
+                        answer: answer_record(a),
+                    })
+                    .collect(),
+            }
+        };
+        let d = self.durability.as_mut().expect("checked durable above");
+        d.store.write_snapshot(&snap)?;
+        d.events_at_last_snapshot = snap.journal_events;
+        Ok(())
+    }
+}
+
+/// Converts a delivered [`Answer`] into its persisted form.
+fn answer_record(a: &Answer) -> AnswerRecord {
+    match a {
+        Answer::Final(out) => AnswerRecord::Final(out.clone()),
+        Answer::Partial { bounds } => AnswerRecord::Partial {
+            lo: bounds.lo(),
+            hi: bounds.hi(),
+        },
+    }
+}
+
+/// Rebuilds in-memory answers from their persisted form.
+fn restore_answers(entries: &[AnswerEntry]) -> Result<Vec<(SessionId, Answer)>, ServerError> {
+    entries
+        .iter()
+        .map(|e| {
+            let answer = match &e.answer {
+                AnswerRecord::Final(out) => Answer::Final(out.clone()),
+                AnswerRecord::Partial { lo, hi } => Answer::Partial {
+                    bounds: Bounds::try_new(*lo, *hi)?,
+                },
+            };
+            Ok((SessionId(e.session), answer))
+        })
+        .collect()
+}
+
+/// Converts journaled per-object records into [`WarmStart`] seeds.
+fn warm_seeds(objs: &[WarmObjectRecord]) -> Result<Vec<WarmStart>, ServerError> {
+    objs.iter()
+        .map(|w| {
+            Ok(WarmStart {
+                bounds: Bounds::try_new(w.lo, w.hi)?,
+                converged: w.converged,
+                prior_cost: w.cost,
+            })
+        })
+        .collect()
 }
 
 /// Fans trace events out to the server's internal [`TickObserver`] and the
@@ -384,6 +772,14 @@ impl<A: ExecObserver, B: ExecObserver> ExecObserver for Fanout<'_, A, B> {
             self.1.on_budget_exhausted(record);
         }
     }
+    fn on_recovery(&mut self, record: &RecoveryRecord) {
+        if self.0.is_enabled() {
+            self.0.on_recovery(record);
+        }
+        if self.1.is_enabled() {
+            self.1.on_recovery(record);
+        }
+    }
     fn on_round(&mut self, round: &RoundRecord) {
         if self.0.is_enabled() {
             self.0.on_round(round);
@@ -411,6 +807,22 @@ mod tests {
         let universe = BondUniverse::generate(8, 42);
         let relation = BondRelation::from_universe(&universe);
         Server::new(BondPricer::default(), relation, config)
+    }
+
+    fn small_relation() -> BondRelation {
+        BondRelation::from_universe(&BondUniverse::generate(8, 42))
+    }
+
+    /// A unique scratch dir per call; removed by the caller where it
+    /// matters, otherwise left to the OS temp cleaner.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "va-server-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
     }
 
     #[test]
@@ -527,6 +939,75 @@ mod tests {
         assert_eq!(res.rate, 0.0585, "only the newest rate is priced");
         assert!(srv.run_queued().is_none(), "queue drained");
         assert_eq!(srv.ticks(), 1);
+    }
+
+    #[test]
+    fn durable_server_round_trips_through_clean_shutdown() {
+        let dir = scratch_dir("clean");
+        let rate = RateSeries::january_1994().opening_rate();
+        let (id, first) = {
+            let mut srv = Server::open_durable(
+                BondPricer::default(),
+                small_relation(),
+                ServerConfig::default(),
+                &dir,
+            )
+            .unwrap();
+            assert!(srv.is_durable());
+            let rec = srv.last_recovery().unwrap();
+            assert_eq!(rec.snapshot_seq, None, "fresh dir recovers nothing");
+            assert_eq!(rec.replayed_events, 0);
+            let id = srv.subscribe(Query::Max { epsilon: 0.5 }, 2).unwrap();
+            let res = srv.tick(rate).unwrap();
+            srv.shutdown().unwrap();
+            (id, res)
+        };
+
+        let mut srv = Server::open_durable(
+            BondPricer::default(),
+            small_relation(),
+            ServerConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        let rec = srv.last_recovery().unwrap();
+        assert!(rec.snapshot_seq.is_some(), "clean shutdown snapshotted");
+        assert_eq!(rec.replayed_events, 0, "clean shutdown replays nothing");
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(srv.ticks(), 1);
+        let (sess, answer) = srv.resume(id).unwrap();
+        assert_eq!(sess.priority, 2);
+        assert_eq!(sess.finals, 1);
+        assert_eq!(answer.unwrap(), &first.answers[0].1);
+        // The recovered high-water mark never re-issues the id.
+        let fresh = srv.subscribe(Query::Min { epsilon: 0.5 }, 1).unwrap();
+        assert!(fresh.0 > id.0);
+        // A repeat tick at the recovered rate starts from the warm cache:
+        // everything already converged, so zero refinement iterations.
+        let warm = srv.tick(rate).unwrap();
+        assert_eq!(
+            warm.answers[0].1, first.answers[0].1,
+            "warm re-admission reproduces the answer"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_data_dir_means_no_journal_and_resume_still_works() {
+        let mut srv = small_server(ServerConfig::default());
+        assert!(!srv.is_durable());
+        assert!(srv.last_recovery().is_none());
+        let id = srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+        assert!(matches!(
+            srv.resume(SessionId(99)),
+            Err(ServerError::UnknownSession(99))
+        ));
+        let (_, none_yet) = srv.resume(id).unwrap();
+        assert!(none_yet.is_none(), "no tick yet, no last answer");
+        let res = srv.tick(0.0583).unwrap();
+        let (_, ans) = srv.resume(id).unwrap();
+        assert_eq!(ans.unwrap(), &res.answers[0].1);
+        srv.shutdown().unwrap(); // no-op without a data dir
     }
 
     #[test]

@@ -75,6 +75,31 @@ impl SessionRegistry {
         id
     }
 
+    /// Re-installs a session restored from a snapshot or journal, keeping
+    /// its original id and counters. The id high-water mark advances past
+    /// the restored id so the recovered server never re-issues it — even
+    /// when the session itself was unsubscribed before the crash and only
+    /// its id survives (see [`SessionRegistry::reserve_through`]).
+    pub fn restore(&mut self, session: Session) {
+        self.next = self.next.max(session.id.0 + 1);
+        self.sessions.push(session);
+    }
+
+    /// Advances the id high-water mark so no id `<= id` is ever issued
+    /// again. Recovery calls this for journaled subscriptions whose
+    /// sessions are already gone (unsubscribed before the crash): the
+    /// session has no state to restore, but its id must stay burned.
+    pub fn reserve_through(&mut self, id: SessionId) {
+        self.next = self.next.max(id.0 + 1);
+    }
+
+    /// The next id this registry would issue (the persisted high-water
+    /// mark).
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        self.next
+    }
+
     /// Removes a session. Returns `false` when the id was not registered.
     pub fn deregister(&mut self, id: SessionId) -> bool {
         let before = self.sessions.len();
@@ -130,6 +155,26 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert!(reg.get(b).is_some());
         assert!(reg.get(a).is_none());
+    }
+
+    #[test]
+    fn restore_advances_the_id_high_water_mark() {
+        let mut reg = SessionRegistry::new();
+        reg.restore(Session {
+            id: SessionId(5),
+            query: Query::Max { epsilon: 0.1 },
+            priority: 2,
+            finals: 3,
+            partials: 1,
+            driven_iterations: 40,
+        });
+        assert_eq!(reg.next_id(), 6);
+        assert_eq!(reg.get(SessionId(5)).unwrap().finals, 3);
+        let fresh = reg.register(Query::Min { epsilon: 0.1 }, 1);
+        assert_eq!(fresh, SessionId(6), "restored ids are never re-issued");
+        // A burned id with no surviving session also stays burned.
+        reg.reserve_through(SessionId(9));
+        assert_eq!(reg.register(Query::Max { epsilon: 0.1 }, 1), SessionId(10));
     }
 
     #[test]

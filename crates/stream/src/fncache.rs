@@ -177,6 +177,64 @@ mod tests {
     }
 
     #[test]
+    fn warm_restart_with_a_cache_hit_never_double_counts_work() {
+        use vao::adapters::{WarmStart, WarmStarted};
+        use vao::interface::ResultObject;
+        use vao::Bounds;
+
+        let universe = BondUniverse::generate(1, 1);
+        let pricer = BondPricer::default();
+        let mut cache = FnCache::new();
+
+        // Cold run: the miss prices + calibrates the model on the clock.
+        let mut cold = WorkMeter::new();
+        let spec = cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut cold)
+            .unwrap();
+        let cold_work = cold.total();
+        assert!(cold_work > 0);
+
+        // "Recovered" run: the cached spec survives and the pool object is
+        // re-admitted at its achieved accuracy via a converged WarmStart
+        // seed carrying the prior run's cost.
+        let mut warm = WorkMeter::new();
+        let hit = cache
+            .get_or_price(&pricer, universe[0], 0.0583, &mut warm)
+            .unwrap();
+        assert_eq!(hit, spec, "the hit returns the identical spec");
+        let hit_work = warm.total();
+        assert_eq!(
+            warm.breakdown().get_state,
+            1,
+            "a hit charges one state read, not the model work"
+        );
+        assert!(hit_work * 1000 < cold_work);
+
+        let inner = pricer.price(universe[0], 0.0583, &mut warm);
+        let mut obj = WarmStarted::new(
+            inner,
+            WarmStart {
+                bounds: Bounds::point(spec.value),
+                converged: true,
+                prior_cost: cold_work,
+            },
+        );
+        let before = warm.total();
+        let b = obj.iterate(&mut warm);
+        assert_eq!(b, Bounds::point(spec.value));
+        assert_eq!(
+            warm.total(),
+            before,
+            "iterating the re-admitted object is free"
+        );
+        assert_eq!(warm.iterations(), 0, "no refinement iterations counted");
+        // The prior cost rides in lifetime accounting only — it is never
+        // re-charged to the live meter.
+        assert!(obj.cumulative_cost() >= cold_work);
+        assert!(warm.total() < cold_work);
+    }
+
+    #[test]
     fn invalidate_clears_entries_but_keeps_stats() {
         let universe = BondUniverse::generate(1, 1);
         let pricer = BondPricer::default();

@@ -47,6 +47,13 @@ impl IterHistogram {
         Self::default()
     }
 
+    /// Rebuilds a histogram from previously captured bucket counts (the
+    /// persistence layer round-trips histograms through snapshots).
+    #[must_use]
+    pub fn from_buckets(buckets: [u64; ITER_BUCKETS]) -> Self {
+        Self { buckets }
+    }
+
     /// Records one result object that received `iterations` calls.
     pub fn record(&mut self, iterations: u64) {
         let idx = match iterations {

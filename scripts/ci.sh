@@ -4,17 +4,21 @@
 #
 #   ./scripts/ci.sh
 #
-# Seven stages, all mandatory:
+# Eight stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
 #   4. cargo test -p va-server  -- the server crate's own suite, explicitly,
-#                                  plus the batched-scheduler determinism and
-#                                  empty-relation tests by name (golden serial
-#                                  equivalence must never be filtered out)
+#                                  plus the batched-scheduler determinism,
+#                                  crash-recovery and empty-relation tests by
+#                                  name (golden serial equivalence must never
+#                                  be filtered out)
 #   5. va-server --smoke        -- loopback TCP exchange of the line protocol,
 #                                  serial and again with --workers 4
-#   6. cargo doc -D warnings    -- rustdoc must build clean
+#   6. kill-and-recover smoke   -- start a --data-dir server, subscribe and
+#                                  tick over TCP, SIGKILL it, restart on the
+#                                  same dir, RESUME the session and tick again
+#   7. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,8 +35,9 @@ cargo test --workspace -q
 echo "==> cargo test -p va-server -q"
 cargo test -p va-server -q
 
-echo "==> batched-scheduler determinism + empty-relation tests"
+echo "==> batched-scheduler determinism + crash-recovery + empty-relation tests"
 cargo test -q -p va-server --test parallel_determinism
+cargo test -q -p va-server --test recovery
 cargo test -q -p va-server --lib demand::tests::empty_pool_yields_typed_errors_not_panics
 
 echo "==> va-server loopback smoke (subscribe -> tick -> result -> quit)"
@@ -40,6 +45,60 @@ cargo run -q -p va-server -- --smoke --bonds 24 --seed 42
 
 echo "==> va-server loopback smoke with a 4-worker batched scheduler"
 cargo run -q -p va-server -- --smoke --bonds 24 --seed 42 --workers 4
+
+echo "==> va-server kill-and-recover smoke (SIGKILL mid-stream, RESUME after restart)"
+cargo build -q -p va-server
+VA_SERVER=target/debug/va-server
+DATA_DIR=$(mktemp -d)
+SRV_LOG=$(mktemp)
+cleanup() { kill -9 "${SRV_PID:-0}" 2>/dev/null || true; rm -rf "$DATA_DIR" "$SRV_LOG"; }
+trap cleanup EXIT
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# Subscribe and tick, then let the client hang up (no QUIT: the journal,
+# not a clean shutdown, must carry the state across the kill).
+PRE=$(printf '%s\n%s\n' \
+  '{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.5},"priority":2}' \
+  '{"type":"TICK","rate":0.0583}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$PRE" | grep -q '"type":"SUBSCRIBED"' || { echo "no SUBSCRIBED: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"RESULT"'     || { echo "no RESULT: $PRE"; exit 1; }
+
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+POST=$(printf '%s\n%s\n%s\n' \
+  '{"type":"RESUME","session":1}' \
+  '{"type":"TICK","rate":0.0584}' \
+  '{"type":"QUIT"}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$POST" | grep -q '"type":"RESUMED"' || { echo "no RESUMED: $POST"; exit 1; }
+echo "$POST" | grep -q '"session":1'      || { echo "wrong session: $POST"; exit 1; }
+echo "$POST" | grep -q '"type":"RESULT"'  || { echo "no post-recovery RESULT: $POST"; exit 1; }
+grep -q "recovered from" "$SRV_LOG"       || { echo "no recovery line"; cat "$SRV_LOG"; exit 1; }
+
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+cleanup
+trap - EXIT
+echo "    kill-and-recover smoke ok (session resumed across SIGKILL)"
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
