@@ -20,7 +20,12 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (always carried as `f64`).
+    /// A nonnegative integer token (plain digits, no fraction, exponent or
+    /// sign) that fits in `u64`, kept exact. Routing these through `f64`
+    /// would silently round counters above 2^53 — the journal's cumulative
+    /// cost and work meters can legitimately grow that large.
+    Int(u64),
+    /// Any other JSON number (carried as `f64`).
     Num(f64),
     /// A string, unescaped.
     Str(String),
@@ -61,24 +66,30 @@ impl Json {
         }
     }
 
-    /// The numeric payload, when this is a number.
+    /// The numeric payload, when this is a number. Integer tokens above
+    /// 2^53 are rounded to the nearest representable `f64` — exact access
+    /// goes through [`Json::as_u64`].
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Json::Int(n) => Some(*n as f64),
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    /// The number as a nonnegative integer (rejects fractions and
-    /// negatives).
+    /// The number as a nonnegative integer. Integer tokens are exact over
+    /// the full `u64` range; a value that only exists as an `f64`
+    /// approximation (fractional, negative, exponent form, or at/above
+    /// 2^53 where `f64` can no longer represent every integer) is refused
+    /// rather than rounded.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
-        let n = self.as_f64()?;
-        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
-            Some(n as u64)
-        } else {
-            None
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < EXACT => Some(*n as u64),
+            _ => None,
         }
     }
 
@@ -169,6 +180,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Plain digit strings lex as exact integers (a digit string beyond
+    // u64::MAX falls through to the f64 path).
+    if !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::Int(n));
+        }
+    }
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("invalid number '{text}' at byte {start}"))
@@ -319,6 +337,30 @@ mod tests {
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("k"), None);
+    }
+
+    #[test]
+    fn integer_tokens_keep_exact_u64_precision() {
+        let doc = format!(
+            "{{\"max\":{},\"past53\":{},\"small\":7}}",
+            u64::MAX,
+            (1u64 << 53) + 1
+        );
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("max").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("past53").unwrap().as_u64(), Some((1 << 53) + 1));
+        assert_eq!(v.get("small").unwrap().as_u64(), Some(7));
+        // Values that only exist as f64 approximations are refused by
+        // as_u64, not rounded.
+        assert_eq!(Json::parse("9007199254740993e0").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1e300").unwrap().as_u64(), None);
+        // Small exponent-form integers are still exact through f64.
+        assert_eq!(Json::parse("1e10").unwrap().as_u64(), Some(10_000_000_000));
+        // A digit string beyond u64::MAX degrades to f64, never to a
+        // wrapped or saturated integer.
+        let over = Json::parse("18446744073709551616").unwrap(); // 2^64
+        assert_eq!(over.as_u64(), None);
+        assert_eq!(over.as_f64(), Some(18_446_744_073_709_551_616.0));
     }
 
     #[test]

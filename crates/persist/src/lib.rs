@@ -62,6 +62,18 @@ pub enum PersistError {
         /// What failed to parse or validate.
         detail: String,
     },
+    /// The data dir was written by a server with a different relation or
+    /// pricer configuration. Recovering would apply warm bounds journaled
+    /// for *other* bonds as if they were this universe's — silent answer
+    /// corruption — so the open is refused outright.
+    Mismatch {
+        /// The metadata file involved.
+        path: String,
+        /// The fingerprint this server computed.
+        expected: u64,
+        /// The fingerprint persisted in the data dir.
+        found: u64,
+    },
 }
 
 impl PersistError {
@@ -87,6 +99,17 @@ impl std::fmt::Display for PersistError {
             PersistError::Corrupt { path, detail } => {
                 write!(f, "corrupt persistent state in {path}: {detail}")
             }
+            PersistError::Mismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "fingerprint mismatch in {path}: data dir was written for \
+                 fingerprint {found:#018x} but this server computes \
+                 {expected:#018x} (different relation or pricer); refusing \
+                 to recover foreign warm state"
+            ),
         }
     }
 }
@@ -150,6 +173,44 @@ impl Recovery {
     }
 }
 
+/// Name of the fingerprint metadata file inside a data dir.
+pub const META_FILE: &str = "meta.json";
+
+/// Reads the persisted fingerprint, `None` when the file does not exist.
+fn read_meta(path: &Path) -> Result<Option<u64>, PersistError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::io(path, &e)),
+    };
+    let doc = json::Json::parse(text.trim())
+        .map_err(|e| PersistError::corrupt(path, format!("metadata: {e}")))?;
+    doc.get("fingerprint")
+        .and_then(json::Json::as_u64)
+        .map(Some)
+        .ok_or_else(|| {
+            PersistError::corrupt(path, "metadata: missing integer \"fingerprint\"".to_string())
+        })
+}
+
+/// Writes the fingerprint metadata atomically (temp file + fsync + rename).
+fn write_meta(dir: &Path, fingerprint: u64) -> Result<(), PersistError> {
+    use std::io::Write;
+    let path = dir.join(META_FILE);
+    let tmp = dir.join("meta.json.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| PersistError::io(&tmp, &e))?;
+        file.write_all(format!("{{\"fingerprint\":{fingerprint}}}\n").as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| PersistError::io(&tmp, &e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| PersistError::io(&path, &e))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 /// An open data dir: the journal plus the snapshot directory.
 #[derive(Debug)]
 pub struct Store {
@@ -162,10 +223,42 @@ impl Store {
     /// Opens (creating if needed) the data dir at `dir`, recovering
     /// whatever state it holds: newest valid snapshot, journal tail,
     /// torn-record report.
-    pub fn open(dir: &Path) -> Result<(Store, Recovery), PersistError> {
+    ///
+    /// `fingerprint` binds the data dir to the caller's relation and
+    /// pricer: a fresh dir records it in [`META_FILE`], and every later
+    /// open must present the same value. Journaled warm bounds are only
+    /// meaningful for the exact universe that produced them, so a
+    /// mismatch — the operator pointed a differently-configured server at
+    /// an old dir — refuses to open with [`PersistError::Mismatch`]
+    /// instead of silently recovering foreign state.
+    pub fn open(dir: &Path, fingerprint: u64) -> Result<(Store, Recovery), PersistError> {
         std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, &e))?;
         let (journal, load) = Journal::open(dir)?;
         let snapshot = snapshot::load_latest(dir)?;
+        let meta_path = dir.join(META_FILE);
+        match read_meta(&meta_path)? {
+            Some(found) if found != fingerprint => {
+                return Err(PersistError::Mismatch {
+                    path: meta_path.display().to_string(),
+                    expected: fingerprint,
+                    found,
+                });
+            }
+            Some(_) => {}
+            // A fresh dir (or one where a crash landed between creating
+            // the empty journal and the meta write) adopts the caller's
+            // fingerprint; state with no fingerprint to check it against
+            // is unusable.
+            None if load.events.is_empty() && snapshot.is_none() => {
+                write_meta(dir, fingerprint)?;
+            }
+            None => {
+                return Err(PersistError::corrupt(
+                    &meta_path,
+                    "metadata file missing from a non-empty data dir".to_string(),
+                ));
+            }
+        }
         let covered = snapshot.as_ref().map_or(0, |s| s.journal_events);
         if covered > load.events.len() as u64 {
             return Err(PersistError::corrupt(
@@ -240,6 +333,9 @@ mod tests {
         dir
     }
 
+    /// The fingerprint these tests open their stores with.
+    const FP: u64 = 0xFEED_FACE_CAFE_BEEF;
+
     fn tick_event(tick: u64, rate: f64, lo: f64) -> JournalEvent {
         JournalEvent::Tick(Box::new(record::TickRecord {
             tick,
@@ -271,7 +367,7 @@ mod tests {
     #[test]
     fn fresh_dir_recovers_nothing() {
         let dir = tmp_dir("fresh");
-        let (store, rec) = Store::open(&dir).unwrap();
+        let (store, rec) = Store::open(&dir, FP).unwrap();
         assert!(rec.is_fresh());
         assert_eq!(rec.replayed_events(), 0);
         assert_eq!(rec.snapshot_seq(), None);
@@ -284,7 +380,7 @@ mod tests {
     fn snapshot_skips_covered_events_on_recovery() {
         let dir = tmp_dir("skip");
         {
-            let (mut store, _) = Store::open(&dir).unwrap();
+            let (mut store, _) = Store::open(&dir, FP).unwrap();
             store.append(&tick_event(1, 0.05, 10.0)).unwrap();
             store.append(&tick_event(2, 0.06, 20.0)).unwrap();
             store
@@ -314,7 +410,7 @@ mod tests {
                 .unwrap();
             store.append(&tick_event(3, 0.05, 30.0)).unwrap();
         }
-        let (store, rec) = Store::open(&dir).unwrap();
+        let (store, rec) = Store::open(&dir, FP).unwrap();
         assert_eq!(rec.snapshot_seq(), Some(1));
         assert_eq!(rec.replayed_events(), 1, "only the post-snapshot tick");
         assert_eq!(store.next_snapshot_seq(), 2);
@@ -367,7 +463,7 @@ mod tests {
     fn snapshot_covering_missing_events_is_corrupt() {
         let dir = tmp_dir("missing");
         {
-            let (mut store, _) = Store::open(&dir).unwrap();
+            let (mut store, _) = Store::open(&dir, FP).unwrap();
             store.append(&tick_event(1, 0.05, 1.0)).unwrap();
             store
                 .append(&JournalEvent::SnapshotMarker { seq: 1 })
@@ -389,7 +485,61 @@ mod tests {
         // Swap the journal for an empty one: its fsync'd history vanished.
         fs::write(dir.join(journal::JOURNAL_FILE), b"").unwrap();
         assert!(matches!(
-            Store::open(&dir),
+            Store::open(&dir, FP),
+            Err(PersistError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_fingerprint_refuses_to_open() {
+        let dir = tmp_dir("mismatch");
+        {
+            let (mut store, _) = Store::open(&dir, FP).unwrap();
+            store.append(&tick_event(1, 0.05, 10.0)).unwrap();
+        }
+        match Store::open(&dir, FP + 1) {
+            Err(PersistError::Mismatch {
+                expected, found, ..
+            }) => {
+                assert_eq!(expected, FP + 1);
+                assert_eq!(found, FP);
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // The refusal changed nothing: the original fingerprint still opens.
+        let (_, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.replayed_events(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_is_pinned_from_the_first_open() {
+        // Even before any event is journaled, the dir belongs to the
+        // fingerprint that created it — an operator who redirects a
+        // reconfigured server at it should learn immediately, not after
+        // state has accumulated.
+        let dir = tmp_dir("pinned");
+        {
+            let _ = Store::open(&dir, FP).unwrap();
+        }
+        match Store::open(&dir, FP + 1) {
+            Err(PersistError::Mismatch { .. }) => {}
+            other => panic!("expected Mismatch even when empty, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_meta_on_a_nonempty_dir_is_corrupt() {
+        let dir = tmp_dir("nometa");
+        {
+            let (mut store, _) = Store::open(&dir, FP).unwrap();
+            store.append(&tick_event(1, 0.05, 10.0)).unwrap();
+        }
+        fs::remove_file(dir.join(META_FILE)).unwrap();
+        assert!(matches!(
+            Store::open(&dir, FP),
             Err(PersistError::Corrupt { .. })
         ));
         fs::remove_dir_all(&dir).unwrap();
@@ -407,5 +557,13 @@ mod tests {
             detail: "bad".to_string(),
         };
         assert!(e.to_string().contains("corrupt"));
+        let e = PersistError::Mismatch {
+            path: "m".to_string(),
+            expected: 1,
+            found: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("fingerprint mismatch"), "{text}");
+        assert!(text.contains("0x0000000000000002"), "{text}");
     }
 }

@@ -148,6 +148,58 @@ struct Durability {
 /// replay stays trivial, large enough that snapshot writes stay rare.
 const SNAPSHOT_EVERY: u64 = 64;
 
+/// FNV-1a accumulator for [`durability_fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn eat_f64(&mut self, v: f64) {
+        self.eat_u64(v.to_bits());
+    }
+}
+
+/// A stable fingerprint of everything that determines what journaled warm
+/// bounds *mean*: the bond universe (cardinality and every bond's fields)
+/// and the pricer configuration (short-rate model and result-object
+/// construction parameters). Persisted in the data dir on first open;
+/// recovery refuses a dir whose fingerprint disagrees, because converged
+/// bounds from a different universe that happen to overlap this one's
+/// would otherwise be served as final answers.
+fn durability_fingerprint(pricer: &BondPricer, relation: &BondRelation) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(relation.bonds().len() as u64);
+    for b in relation.bonds() {
+        h.eat_u64(u64::from(b.id));
+        h.eat_f64(b.coupon);
+        h.eat_f64(b.years_to_maturity);
+        h.eat_f64(b.face);
+    }
+    let m = &pricer.model;
+    h.eat_f64(m.sigma);
+    h.eat_f64(m.kappa);
+    h.eat_f64(m.mu);
+    h.eat_f64(m.q);
+    h.eat_f64(m.x_min);
+    h.eat_f64(m.x_max);
+    let v = &pricer.vao;
+    h.eat_u64(u64::from(v.initial_nx));
+    h.eat_u64(u64::from(v.initial_nt));
+    h.eat_f64(v.min_width);
+    h.eat_f64(v.safety);
+    h.eat_u64(v.solver.max_cells);
+    h.0
+}
+
 impl Server {
     /// A server over `relation`, pricing with `pricer`.
     #[must_use]
@@ -178,13 +230,20 @@ impl Server {
     /// their achieved accuracy. A torn final journal record is truncated
     /// and reported (see [`Server::last_recovery`]); anything worse is a
     /// hard [`ServerError::Persist`].
+    ///
+    /// The data dir is bound to the `(pricer, relation)` pair that created
+    /// it via a persisted fingerprint: opening it with a different
+    /// universe or pricer configuration is refused, since journaled warm
+    /// bounds describe *those* bonds and recovering them here would serve
+    /// another universe's prices as this one's answers.
     pub fn open_durable(
         pricer: BondPricer,
         relation: BondRelation,
         config: ServerConfig,
         dir: &Path,
     ) -> Result<Self, ServerError> {
-        let (store, recovered) = Store::open(dir)?;
+        let fingerprint = durability_fingerprint(&pricer, &relation);
+        let (store, recovered) = Store::open(dir, fingerprint)?;
         let mut srv = Self::new(pricer, relation, config);
 
         if let Some(snap) = &recovered.snapshot {
@@ -436,10 +495,15 @@ impl Server {
         // is a deterministic fold of the journal, so an uninterrupted
         // server and a crashed-and-recovered one seed identical pools —
         // which is what makes their subsequent ticks bit-identical.
+        // A prior that is not aligned with the relation (a journal record
+        // damaged in a way that still parses) is discarded wholesale, both
+        // for seeding and for the per-object accumulation below.
         let warm_prior: Option<Vec<WarmObjectRecord>> = self
             .durability
             .as_ref()
-            .and_then(|d| d.warm.get(&rate.to_bits()).cloned());
+            .and_then(|d| d.warm.get(&rate.to_bits()))
+            .filter(|p| p.len() == self.relation.bonds().len())
+            .cloned();
         let mut pool = match &warm_prior {
             Some(objs) => {
                 let seeds = warm_seeds(objs)?;
@@ -1008,6 +1072,121 @@ mod tests {
         let (_, ans) = srv.resume(id).unwrap();
         assert_eq!(ans.unwrap(), &res.answers[0].1);
         srv.shutdown().unwrap(); // no-op without a data dir
+    }
+
+    #[test]
+    fn reopening_with_a_different_universe_is_refused() {
+        let dir = scratch_dir("fingerprint");
+        let rate = RateSeries::january_1994().opening_rate();
+        {
+            let mut srv = Server::open_durable(
+                BondPricer::default(),
+                small_relation(),
+                ServerConfig::default(),
+                &dir,
+            )
+            .unwrap();
+            srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+            srv.tick(rate).unwrap();
+        }
+        // Same cardinality, different bonds: the recovered warm bounds
+        // would overlap this universe's and be served as final answers.
+        let same_size = BondRelation::from_universe(&BondUniverse::generate(8, 43));
+        match Server::open_durable(
+            BondPricer::default(),
+            same_size,
+            ServerConfig::default(),
+            &dir,
+        ) {
+            Err(ServerError::Persist { detail }) => {
+                assert!(detail.contains("fingerprint mismatch"), "{detail}");
+            }
+            other => panic!("expected Persist mismatch, got {other:?}"),
+        }
+        // A grown universe (same seed, more bonds) is refused at open
+        // instead of panicking on the first tick at a journaled rate.
+        let grown = BondRelation::from_universe(&BondUniverse::generate(12, 42));
+        assert!(Server::open_durable(
+            BondPricer::default(),
+            grown,
+            ServerConfig::default(),
+            &dir
+        )
+        .is_err());
+        // A different pricer configuration is refused too.
+        let pricer = BondPricer {
+            model: bondlab::ShortRateModel {
+                sigma: 0.03,
+                ..bondlab::ShortRateModel::default()
+            },
+            ..BondPricer::default()
+        };
+        assert!(Server::open_durable(
+            pricer,
+            small_relation(),
+            ServerConfig::default(),
+            &dir
+        )
+        .is_err());
+        // The original universe still recovers cleanly.
+        let srv = Server::open_durable(
+            BondPricer::default(),
+            small_relation(),
+            ServerConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(srv.ticks(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misaligned_warm_record_falls_back_to_a_cold_tick() {
+        // A journal record can be damaged in a way that still parses —
+        // e.g. a warm array shorter than the relation. The tick must
+        // discard the prior (seeding *and* iteration accumulation), not
+        // index past its end.
+        let dir = scratch_dir("shortwarm");
+        let relation = small_relation();
+        let pricer = BondPricer::default();
+        let rate = RateSeries::january_1994().opening_rate();
+        {
+            let fp = durability_fingerprint(&pricer, &relation);
+            let (mut store, _) = va_persist::Store::open(&dir, fp).unwrap();
+            store
+                .append(&JournalEvent::Tick(Box::new(TickRecord {
+                    tick: 1,
+                    rate,
+                    shed: 0,
+                    budget_exhausted: false,
+                    stats: StatsRecord {
+                        rate,
+                        work: vao::cost::WorkBreakdown::default(),
+                        wall_nanos: 1,
+                        iterations: 0,
+                        operator: "shared_pool".to_string(),
+                        objects: 0,
+                        hist: [0; va_stream::stats::ITER_BUCKETS],
+                        cpu: vao::trace::CpuEstimation::default(),
+                    },
+                    sessions: Vec::new(),
+                    answers: Vec::new(),
+                    warm: vec![WarmObjectRecord {
+                        lo: 0.0,
+                        hi: 1.0,
+                        converged: true,
+                        iters: 3,
+                        cost: 5,
+                    }],
+                })))
+                .unwrap();
+        }
+        let mut srv = Server::open_durable(pricer, relation, ServerConfig::default(), &dir).unwrap();
+        assert_eq!(srv.ticks(), 1, "the forged tick replayed");
+        srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+        let res = srv.tick(rate).unwrap();
+        assert!(res.answers[0].1.is_final(), "cold fallback still answers");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
