@@ -16,10 +16,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use va_bench::experiments::{
-    ablation_choose_cost, ablation_choose_index, ablation_strategies, fig10_selection_stress,
-    fig11_max_stress, fig12_sum_hotcold, max_table_traced, parallel_scaling, recovery_comparison,
-    selection_sweep_traced, server_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS,
-    SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
+    ablation_choose_cost, ablation_choose_index, ablation_strategies, compaction_growth,
+    fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold, max_table_traced,
+    parallel_scaling, recovery_comparison, selection_sweep_traced, server_scaling,
+    tick_amortization, HOT_SHARES, QUERY_COUNTS, SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -64,7 +64,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|recovery|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|recovery|compaction|all]..."
                 );
                 std::process::exit(0);
             }
@@ -452,6 +452,47 @@ fn main() {
             rows[0].iterations
         );
         t.write_csv(&args.out.join("recovery.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "compaction") {
+        println!("-- Extension: segmented journal compaction, bounded vs unbounded growth --");
+        let scratch =
+            std::env::temp_dir().join(format!("va-bench-compaction-{}", std::process::id()));
+        let rows = compaction_growth(&lab, &scratch);
+        std::fs::remove_dir_all(&scratch).ok();
+        let mut t = Table::new(&[
+            "mode",
+            "snapshot_every",
+            "ticks",
+            "journal_bytes",
+            "segments",
+            "snapshots",
+            "replayed_events",
+            "recover_wall_us",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.mode.to_string(),
+                r.snapshot_every.to_string(),
+                r.ticks.to_string(),
+                r.journal_bytes.to_string(),
+                r.segments.to_string(),
+                r.snapshots.to_string(),
+                r.replayed_events.to_string(),
+                r.recover_wall_us.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        let last = |mode: &str| rows.iter().rev().find(|r| r.mode == mode);
+        if let (Some(c), Some(u)) = (last("compacted"), last("unbounded")) {
+            println!(
+                "  after {} ticks: compacted journal {} bytes / {} events replayed vs unbounded {} bytes / {} events",
+                c.ticks, c.journal_bytes, c.replayed_events, u.journal_bytes, u.replayed_events
+            );
+        }
+        t.write_csv(&args.out.join("compaction.csv"))
             .expect("write csv");
         println!();
     }

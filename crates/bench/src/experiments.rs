@@ -953,6 +953,108 @@ pub fn recovery_comparison(lab: &Lab, dir: &std::path::Path) -> Vec<RecoveryRow>
     ]
 }
 
+/// One point of the journal-compaction growth comparison: one tick count
+/// under one snapshot cadence, measured after a simulated crash.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionRow {
+    /// `"compacted"` (frequent snapshots, bounded journal) or
+    /// `"unbounded"` (snapshots effectively disabled, journal grows
+    /// forever — the pre-compaction behaviour).
+    pub mode: &'static str,
+    /// The `snapshot_every` cadence this run used.
+    pub snapshot_every: u64,
+    /// Ticks executed before the crash.
+    pub ticks: u64,
+    /// Bytes across all `journal-*.jsonl` segments left on disk.
+    pub journal_bytes: u64,
+    /// Journal segments left on disk.
+    pub segments: u64,
+    /// Snapshot files left on disk.
+    pub snapshots: u64,
+    /// Journal events replayed by the post-crash recovery.
+    pub replayed_events: u64,
+    /// Wall-clock microseconds the post-crash `open_durable` took.
+    pub recover_wall_us: u64,
+}
+
+/// Sizes the on-disk journal state under `dir`: total segment bytes,
+/// segment count, snapshot count.
+fn journal_disk_stats(dir: &std::path::Path) -> (u64, u64, u64) {
+    let (mut bytes, mut segments, mut snapshots) = (0, 0, 0);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (0, 0, 0);
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("journal-") && name.ends_with(".jsonl") {
+            segments += 1;
+            bytes += entry.metadata().map_or(0, |m| m.len());
+        } else if name.starts_with("snapshot-") && name.ends_with(".json") {
+            snapshots += 1;
+        }
+    }
+    (bytes, segments, snapshots)
+}
+
+/// Measures journal growth and recovery cost with and without segment
+/// compaction. For each tick count, a durable server runs the 8-query
+/// workload over a cycling rate stream and is dropped without shutdown (a
+/// simulated SIGKILL); the on-disk journal is then sized and a recovery
+/// timed. The `compacted` mode snapshots every 4 journal events, so
+/// compaction keeps only the post-snapshot tail; `unbounded` never
+/// snapshots mid-run, so its single segment grows linearly with the tick
+/// count — the PR-4-era behaviour this experiment exists to retire.
+pub fn compaction_growth(lab: &Lab, dir: &std::path::Path) -> Vec<CompactionRow> {
+    use va_server::{Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+
+    const TICK_COUNTS: [u64; 4] = [10, 20, 40, 80];
+    const RATES: [f64; 3] = [0.0583, 0.0601, 0.0592];
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let queries = server_workload(relation.len(), 8);
+    let mut rows = Vec::new();
+    for (mode, snapshot_every) in [("compacted", 4), ("unbounded", u64::MAX)] {
+        for ticks in TICK_COUNTS {
+            let data_dir = dir.join(format!("{mode}-{ticks}"));
+            let config = ServerConfig {
+                snapshot_every,
+                ..ServerConfig::default()
+            };
+            let mut doomed = Server::open_durable(lab.pricer, relation.clone(), config, &data_dir)
+                .expect("open durable server");
+            for q in &queries {
+                doomed.subscribe(q.clone(), 1).expect("subscribe");
+            }
+            for i in 0..ticks {
+                doomed
+                    .tick(RATES[(i % RATES.len() as u64) as usize])
+                    .expect("tick");
+            }
+            drop(doomed); // the "SIGKILL": no shutdown, no final snapshot
+
+            let (journal_bytes, segments, snapshots) = journal_disk_stats(&data_dir);
+            let t0 = Instant::now();
+            let recovered = Server::open_durable(lab.pricer, relation.clone(), config, &data_dir)
+                .expect("recover server");
+            let recover_wall_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let replayed_events = recovered.last_recovery().map_or(0, |r| r.replayed_events);
+            rows.push(CompactionRow {
+                mode,
+                snapshot_every,
+                ticks,
+                journal_bytes,
+                segments,
+                snapshots,
+                replayed_events,
+                recover_wall_us,
+            });
+        }
+    }
+    rows
+}
+
 /// Runs the traditional selection for completeness/answer checking
 /// (its work is query-independent; see [`Lab::traditional_work`]).
 pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {
@@ -1199,6 +1301,57 @@ mod tests {
         );
         assert!(warm.work_units < cold.work_units);
         assert!(warm.ratio < 1.0);
+    }
+
+    #[test]
+    fn compaction_bounds_the_journal_where_unbounded_growth_does_not() {
+        let lab = lab();
+        let dir =
+            std::env::temp_dir().join(format!("va_bench_compaction_test_{}", std::process::id()));
+        let rows = compaction_growth(&lab, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        let compacted: Vec<_> = rows.iter().filter(|r| r.mode == "compacted").collect();
+        let unbounded: Vec<_> = rows.iter().filter(|r| r.mode == "unbounded").collect();
+        assert_eq!(compacted.len(), 4);
+        assert_eq!(unbounded.len(), 4);
+        let (c_last, u_last) = (compacted.last().unwrap(), unbounded.last().unwrap());
+
+        // Unbounded mode is the degenerate baseline: one ever-growing
+        // segment, every event replayed at recovery.
+        assert!(unbounded.iter().all(|r| r.segments == 1));
+        assert!(u_last.replayed_events > u_last.ticks, "replays everything");
+        assert!(
+            u_last.journal_bytes > unbounded[0].journal_bytes * 4,
+            "the unbounded journal grows with the tick count"
+        );
+
+        // Compaction keeps disk and replay O(snapshot_every) regardless of
+        // history length: at most two retained snapshot intervals plus the
+        // active segment, and a replay bounded by the snapshot cadence.
+        assert!(c_last.segments <= 3, "{} live segments", c_last.segments);
+        assert!(c_last.snapshots <= 2, "{} snapshots kept", c_last.snapshots);
+        assert!(
+            c_last.replayed_events < c_last.snapshot_every * 2,
+            "replay must be bounded by the snapshot cadence, got {}",
+            c_last.replayed_events
+        );
+        assert!(
+            c_last.journal_bytes < u_last.journal_bytes / 4,
+            "compacted {} bytes vs unbounded {} bytes after {} ticks",
+            c_last.journal_bytes,
+            u_last.journal_bytes,
+            c_last.ticks
+        );
+        // Flat, not merely slower growth: 8x the ticks must not cost more
+        // than a small constant factor in retained bytes.
+        assert!(
+            c_last.journal_bytes <= compacted[0].journal_bytes.max(1) * 4,
+            "compacted journal must stay flat: {} bytes at {} ticks vs {} at {}",
+            c_last.journal_bytes,
+            c_last.ticks,
+            compacted[0].journal_bytes,
+            compacted[0].ticks
+        );
     }
 
     #[test]

@@ -173,11 +173,17 @@ impl TraceWriter {
                 r.round, r.candidates, r.selected, r.admitted, r.est_cpu, r.work
             ),
             TraceEvent::Recovery(r) => format!(
-                "\"event\":\"recovery\",\"snapshot_seq\":{},\"replayed_events\":{},\"truncated_bytes\":{}",
+                "\"event\":\"recovery\",\"snapshot_seq\":{},\"replayed_events\":{},\"truncated_bytes\":{},\"skipped_snapshots\":{},\"swept_tmp_files\":{}",
                 r.snapshot_seq
                     .map_or_else(|| "null".to_string(), |s| s.to_string()),
                 r.replayed_events,
-                r.truncated_bytes
+                r.truncated_bytes,
+                r.skipped_snapshots,
+                r.swept_tmp_files
+            ),
+            TraceEvent::Compaction(c) => format!(
+                "\"event\":\"compaction\",\"snapshot_seq\":{},\"segments_deleted\":{},\"bytes_reclaimed\":{},\"live_segments\":{}",
+                c.snapshot_seq, c.segments_deleted, c.bytes_reclaimed, c.live_segments
             ),
             TraceEvent::OperatorEnd(end) => format!(
                 "\"event\":\"operator_end\",\"operator\":\"{}\",\"iterations\":{},\"exec_iter\":{},\"get_state\":{},\"store_state\":{},\"choose_iter\":{}",

@@ -205,6 +205,32 @@ pub struct RecoveryRecord {
     /// Bytes of torn final journal record truncated away (0 on a clean
     /// open).
     pub truncated_bytes: u64,
+    /// Corrupt snapshot files newer than the one recovery used that had to
+    /// be skipped (0 on a healthy dir). Non-zero means recovery fell back
+    /// to an older snapshot — a longer replay, not lost data.
+    pub skipped_snapshots: u64,
+    /// Stale temp files (crash leftovers from atomic writes) swept away
+    /// before recovery started.
+    pub swept_tmp_files: u64,
+}
+
+/// A durable server reclaimed journal segments after a snapshot became
+/// durable.
+///
+/// Emitted at the first observed tick after the compaction (snapshot
+/// writes happen between ticks), so traces record when history was
+/// physically deleted and how much disk came back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionRecord {
+    /// Sequence number of the snapshot whose durability triggered the
+    /// compaction.
+    pub snapshot_seq: u64,
+    /// Journal segments deleted.
+    pub segments_deleted: u64,
+    /// Bytes those segments held.
+    pub bytes_reclaimed: u64,
+    /// Journal segments still on disk afterwards.
+    pub live_segments: u64,
 }
 
 /// The §6.3 hybrid operator's routing decision.
@@ -284,6 +310,13 @@ pub trait ExecObserver {
         let _ = record;
     }
 
+    /// A durable server compacted its journal (deleted fully-covered
+    /// segments) after a snapshot became durable.
+    #[inline]
+    fn on_compaction(&mut self, record: &CompactionRecord) {
+        let _ = record;
+    }
+
     /// An operator evaluation finished (successfully).
     #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
@@ -335,6 +368,11 @@ impl<O: ExecObserver + ?Sized> ExecObserver for &mut O {
     }
 
     #[inline]
+    fn on_compaction(&mut self, record: &CompactionRecord) {
+        (**self).on_compaction(record);
+    }
+
+    #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
         (**self).on_operator_end(end);
     }
@@ -377,6 +415,8 @@ pub enum TraceEvent {
     BudgetExhausted(BudgetExhaustedRecord),
     /// A server recovered persistent state before resuming.
     Recovery(RecoveryRecord),
+    /// A durable server reclaimed journal segments behind a snapshot.
+    Compaction(CompactionRecord),
     /// An operator evaluation finished.
     OperatorEnd(OperatorEndRecord),
 }
@@ -548,6 +588,10 @@ impl ExecObserver for Recorder {
         self.events.push(TraceEvent::Recovery(*record));
     }
 
+    fn on_compaction(&mut self, record: &CompactionRecord) {
+        self.events.push(TraceEvent::Compaction(*record));
+    }
+
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
         self.events.push(TraceEvent::OperatorEnd(*end));
     }
@@ -714,6 +758,8 @@ mod tests {
             snapshot_seq: Some(3),
             replayed_events: 7,
             truncated_bytes: 12,
+            skipped_snapshots: 1,
+            swept_tmp_files: 2,
         };
         // Route through the forwarding impl like the server's fanout does.
         let mut fwd = &mut rec;
@@ -724,6 +770,24 @@ mod tests {
         ));
         // The default hook is a no-op: a NoopObserver accepts it.
         NoopObserver.on_recovery(&record);
+    }
+
+    #[test]
+    fn recorder_captures_compaction_events() {
+        let mut rec = Recorder::new();
+        let record = CompactionRecord {
+            snapshot_seq: 4,
+            segments_deleted: 2,
+            bytes_reclaimed: 8_192,
+            live_segments: 3,
+        };
+        let mut fwd = &mut rec;
+        ExecObserver::on_compaction(&mut fwd, &record);
+        assert!(matches!(
+            rec.events(),
+            [TraceEvent::Compaction(r)] if *r == record
+        ));
+        NoopObserver.on_compaction(&record);
     }
 
     #[test]

@@ -1,28 +1,133 @@
-//! The append-only write-ahead journal.
+//! The append-only, **segmented** write-ahead journal.
 //!
-//! One [`JournalEvent`] per line, appended,
-//! flushed and `fdatasync`'d before the corresponding in-memory state
-//! change is considered committed. On open, the journal is read back in
-//! full; a **torn final record** — a trailing chunk with no newline, or an
-//! unparseable *last* line (the classic power-cut shapes) — is truncated
-//! away and reported, while corruption anywhere earlier is a hard
-//! [`PersistError::Corrupt`]: the storage lied about previously fsync'd
-//! data, and silently skipping records would change replayed history.
+//! One [`JournalEvent`] per line, appended, flushed and `fdatasync`'d
+//! before the corresponding in-memory state change is considered
+//! committed. The journal is split into numbered segments
+//! (`journal-<n>.jsonl`, `n ≥ 1`): appends always go to the
+//! highest-numbered (*active*) segment, and the segment is rotated every
+//! time a snapshot becomes durable, so each snapshot's coverage ends at a
+//! segment boundary in the common case. Segments a retained snapshot no
+//! longer needs are deleted by [`Journal::compact`], which is what keeps
+//! recovery I/O and disk bounded by O(events-since-snapshot) instead of
+//! O(all-history).
+//!
+//! On open, only the *uncovered* part of the journal is read: the newest
+//! snapshot's [`SegmentPosition`] says where replay starts, and every
+//! segment strictly below it is never even opened. A **torn final
+//! record** in the active segment — a trailing chunk with no newline, or
+//! an unparseable *last* line (the classic power-cut shapes) — is
+//! truncated away and reported, while corruption anywhere earlier is a
+//! hard [`PersistError::Corrupt`]: the storage lied about previously
+//! fsync'd data, and silently skipping records would change replayed
+//! history.
+//!
+//! Dirs written before segmentation hold a single `journal.jsonl`; it is
+//! migrated in place (an atomic rename to `journal-1.jsonl`) on first
+//! open.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, Write};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
-use crate::record::JournalEvent;
+use crate::record::{JournalEvent, SegmentPosition};
 use crate::PersistError;
 
-/// Name of the journal file inside a data dir.
-pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// Name of the single-file journal used before segmentation. Present only
+/// in legacy data dirs; migrated to `journal-1.jsonl` on open.
+pub const LEGACY_JOURNAL_FILE: &str = "journal.jsonl";
 
-/// An open journal, positioned for appending.
+/// File name of journal segment `n`.
+#[must_use]
+pub fn segment_file(n: u64) -> String {
+    format!("journal-{n}.jsonl")
+}
+
+/// Parses a segment number out of a `journal-<n>.jsonl` file name.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("journal-")?
+        .strip_suffix(".jsonl")?
+        .parse()
+        .ok()
+}
+
+/// Lists `segment -> path` for every journal segment in `dir`.
+fn list_segments(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, PersistError> {
+    let mut found = BTreeMap::new();
+    let entries = fs::read_dir(dir).map_err(|e| PersistError::io(dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir, &e))?;
+        let name = entry.file_name();
+        let Some(n) = name.to_str().and_then(parse_segment_name) else {
+            continue;
+        };
+        found.insert(n, entry.path());
+    }
+    Ok(found)
+}
+
+/// Best-effort directory fsync, making renames/creates durable where the
+/// platform allows opening directories.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Migrates a legacy single-file `journal.jsonl` into segment 1. A dir
+/// holding *both* layouts was not produced by any version of this code
+/// and is refused as corrupt.
+fn migrate_legacy(dir: &Path) -> Result<(), PersistError> {
+    let legacy = dir.join(LEGACY_JOURNAL_FILE);
+    if !legacy.exists() {
+        return Ok(());
+    }
+    if !list_segments(dir)?.is_empty() {
+        return Err(PersistError::corrupt(
+            &legacy,
+            "both a legacy journal.jsonl and journal-<n>.jsonl segments exist".to_string(),
+        ));
+    }
+    let target = dir.join(segment_file(1));
+    fs::rename(&legacy, &target).map_err(|e| PersistError::io(&target, &e))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Where recovery starts reading the journal, derived from the newest
+/// usable snapshot.
+#[derive(Clone, Copy, Debug)]
+pub enum Coverage {
+    /// Modern snapshot: replay starts `position.bytes` into
+    /// `position.segment`; `events` is the total event count covered since
+    /// genesis. Segments below the position are never opened.
+    Position {
+        /// End of the covered prefix.
+        position: SegmentPosition,
+        /// Total events covered since genesis.
+        events: u64,
+    },
+    /// Legacy snapshot (no segment coordinates): the whole journal is read
+    /// and the first `0..n` events are skipped.
+    Events(u64),
+}
+
+impl Coverage {
+    fn events(&self) -> u64 {
+        match self {
+            Coverage::Position { events, .. } => *events,
+            Coverage::Events(n) => *n,
+        }
+    }
+}
+
+/// An open journal, positioned for appending to the active segment.
 pub struct Journal {
+    dir: PathBuf,
     file: File,
     path: PathBuf,
+    segment: u64,
+    segment_bytes: u64,
     events: u64,
 }
 
@@ -30,6 +135,8 @@ impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Journal")
             .field("path", &self.path)
+            .field("segment", &self.segment)
+            .field("segment_bytes", &self.segment_bytes)
             .field("events", &self.events)
             .finish()
     }
@@ -38,45 +145,202 @@ impl std::fmt::Debug for Journal {
 /// What [`Journal::open`] read back from disk.
 #[derive(Debug)]
 pub struct JournalLoad {
-    /// Every intact event, in append order.
+    /// Every intact event **after the coverage point**, in append order.
     pub events: Vec<JournalEvent>,
     /// Bytes of torn final record that were truncated away (0 on a clean
     /// file).
     pub truncated_bytes: u64,
 }
 
+/// What [`Journal::compact`] reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Fully-covered segments deleted.
+    pub segments_deleted: u64,
+    /// Bytes those segments held.
+    pub bytes_reclaimed: u64,
+    /// Segments remaining on disk afterwards.
+    pub live_segments: u64,
+}
+
 impl Journal {
-    /// Opens (creating if absent) the journal in `dir`, reading back every
-    /// intact event and truncating a torn final record.
-    pub fn open(dir: &Path) -> Result<(Journal, JournalLoad), PersistError> {
-        let path = dir.join(JOURNAL_FILE);
-        let mut file = OpenOptions::new()
+    /// Opens (creating if absent) the segmented journal in `dir`, reading
+    /// back every intact event past `coverage` and truncating a torn final
+    /// record in the active segment.
+    ///
+    /// Validation: the covered segment must exist and be at least
+    /// `coverage.bytes` long, segments from the coverage point to the
+    /// newest must be contiguous, and — when no positional coverage
+    /// exists — the journal must still start at segment 1 (anything else
+    /// means compacted history is gone with no snapshot to stand in for
+    /// it). A torn record anywhere but the active segment is a hard error:
+    /// rotation only happens after the previous segment ended on a clean
+    /// fsync'd line.
+    pub fn open(
+        dir: &Path,
+        coverage: Option<&Coverage>,
+    ) -> Result<(Journal, JournalLoad), PersistError> {
+        migrate_legacy(dir)?;
+        let segments = list_segments(dir)?;
+
+        if segments.is_empty() {
+            if coverage.is_some_and(|c| c.events() > 0) {
+                return Err(PersistError::corrupt(
+                    &dir.join(segment_file(1)),
+                    format!(
+                        "snapshot covers {} journal events but no journal segments exist",
+                        coverage.map_or(0, Coverage::events)
+                    ),
+                ));
+            }
+            let path = dir.join(segment_file(1));
+            let file = OpenOptions::new()
+                .read(true)
+                .append(true)
+                .create(true)
+                .open(&path)
+                .map_err(|e| PersistError::io(&path, &e))?;
+            sync_dir(dir);
+            let journal = Journal {
+                dir: dir.to_path_buf(),
+                file,
+                path,
+                segment: 1,
+                segment_bytes: 0,
+                events: 0,
+            };
+            return Ok((
+                journal,
+                JournalLoad {
+                    events: Vec::new(),
+                    truncated_bytes: 0,
+                },
+            ));
+        }
+
+        let first = *segments.keys().next().expect("non-empty");
+        let last = *segments.keys().next_back().expect("non-empty");
+
+        let (read_from, skip_bytes, base_events) = match coverage {
+            Some(Coverage::Position { position, events }) => {
+                if !segments.contains_key(&position.segment) {
+                    return Err(PersistError::corrupt(
+                        &dir.join(segment_file(position.segment)),
+                        format!(
+                            "snapshot coverage ends in segment {} but that segment is missing",
+                            position.segment
+                        ),
+                    ));
+                }
+                (position.segment, position.bytes, *events)
+            }
+            Some(Coverage::Events(_)) | None => {
+                if first > 1 {
+                    return Err(PersistError::corrupt(
+                        &dir.join(segment_file(first)),
+                        format!(
+                            "journal history before segment {first} was compacted away \
+                             but no snapshot with segment coverage exists to replace it"
+                        ),
+                    ));
+                }
+                (first, 0, 0)
+            }
+        };
+
+        for n in read_from..=last {
+            if !segments.contains_key(&n) {
+                return Err(PersistError::corrupt(
+                    &dir.join(segment_file(n)),
+                    format!("journal segment {n} is missing (segments {read_from}..={last} must be contiguous)"),
+                ));
+            }
+        }
+
+        let mut events = Vec::new();
+        let mut truncated_bytes = 0u64;
+        for n in read_from..=last {
+            let path = &segments[&n];
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)
+                .map_err(|e| PersistError::io(path, &e))?;
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)
+                .map_err(|e| PersistError::io(path, &e))?;
+            let skip = if n == read_from { skip_bytes } else { 0 };
+            if skip > bytes.len() as u64 {
+                return Err(PersistError::corrupt(
+                    path,
+                    format!(
+                        "snapshot covers {skip} bytes of segment {n} but only {} exist",
+                        bytes.len()
+                    ),
+                ));
+            }
+            let (parsed, good_len) = scan(&bytes[skip as usize..], path, skip)?;
+            let torn = bytes.len() as u64 - skip - good_len;
+            if torn > 0 {
+                if n != last {
+                    return Err(PersistError::corrupt(
+                        path,
+                        format!(
+                            "torn record in non-final segment {n}: rotation only follows \
+                             a clean fsync'd line"
+                        ),
+                    ));
+                }
+                file.set_len(skip + good_len)
+                    .and_then(|()| file.sync_data())
+                    .map_err(|e| PersistError::io(path, &e))?;
+                truncated_bytes = torn;
+            }
+            events.extend(parsed);
+        }
+
+        // Translate event-count coverage (legacy snapshots) into a tail.
+        let tail = match coverage {
+            Some(Coverage::Events(n)) => {
+                if *n > events.len() as u64 {
+                    return Err(PersistError::corrupt(
+                        &dir.join(segment_file(first)),
+                        format!(
+                            "snapshot covers {n} journal events but only {} exist",
+                            events.len()
+                        ),
+                    ));
+                }
+                events.split_off(*n as usize)
+            }
+            _ => events,
+        };
+        let total_events = match coverage {
+            Some(Coverage::Events(n)) => n + tail.len() as u64,
+            _ => base_events + tail.len() as u64,
+        };
+
+        let path = segments[&last].clone();
+        let file = OpenOptions::new()
             .read(true)
             .append(true)
-            .create(true)
             .open(&path)
             .map_err(|e| PersistError::io(&path, &e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
-            .map_err(|e| PersistError::io(&path, &e))?;
-        let (events, good_len) = scan(&bytes, &path)?;
-        let truncated_bytes = bytes.len() as u64 - good_len;
-        if truncated_bytes > 0 {
-            file.set_len(good_len)
-                .map_err(|e| PersistError::io(&path, &e))?;
-            file.seek(std::io::SeekFrom::End(0))
-                .map_err(|e| PersistError::io(&path, &e))?;
-            file.sync_data().map_err(|e| PersistError::io(&path, &e))?;
-        }
+        let segment_bytes = fs::metadata(&path)
+            .map_err(|e| PersistError::io(&path, &e))?
+            .len();
         let journal = Journal {
+            dir: dir.to_path_buf(),
             file,
             path,
-            events: events.len() as u64,
+            segment: last,
+            segment_bytes,
+            events: total_events,
         };
         Ok((
             journal,
             JournalLoad {
-                events,
+                events: tail,
                 truncated_bytes,
             },
         ))
@@ -91,17 +355,82 @@ impl Journal {
             .write_all(line.as_bytes())
             .and_then(|()| self.file.sync_data())
             .map_err(|e| PersistError::io(&self.path, &e))?;
+        self.segment_bytes += line.len() as u64;
         self.events += 1;
         Ok(())
     }
 
-    /// Total intact events in the journal (loaded + appended since open).
+    /// Starts a fresh segment; subsequent appends go there. Called after a
+    /// snapshot becomes durable so that coverage ends exactly at the old
+    /// segment's end and the old segment becomes eligible for compaction.
+    pub fn rotate(&mut self) -> Result<(), PersistError> {
+        let next = self.segment + 1;
+        let path = self.dir.join(segment_file(next));
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, &e))?;
+        sync_dir(&self.dir);
+        self.file = file;
+        self.path = path;
+        self.segment = next;
+        self.segment_bytes = 0;
+        Ok(())
+    }
+
+    /// Deletes every segment fully covered by `oldest_needed` — the
+    /// coverage position of the **oldest retained** snapshot, so the
+    /// fallback snapshot's replay window always survives on disk. The
+    /// active segment is never deleted. Deletion is best-effort and
+    /// proceeds in ascending segment order, so a crash mid-compaction
+    /// leaves a contiguous suffix (an already-valid journal, just with
+    /// some garbage still awaiting the next pass).
+    pub fn compact(&mut self, oldest_needed: SegmentPosition) -> CompactionReport {
+        let mut report = CompactionReport::default();
+        if let Ok(segments) = list_segments(&self.dir) {
+            for (n, path) in &segments {
+                if *n == self.segment {
+                    continue;
+                }
+                let len = fs::metadata(path).map_or(0, |m| m.len());
+                let fully_covered = *n < oldest_needed.segment
+                    || (*n == oldest_needed.segment && len <= oldest_needed.bytes);
+                if fully_covered && fs::remove_file(path).is_ok() {
+                    report.segments_deleted += 1;
+                    report.bytes_reclaimed += len;
+                }
+            }
+        }
+        sync_dir(&self.dir);
+        report.live_segments = list_segments(&self.dir).map_or(1, |s| s.len() as u64);
+        report
+    }
+
+    /// Total intact events since genesis (covered + loaded + appended).
     #[must_use]
     pub fn events(&self) -> u64 {
         self.events
     }
 
-    /// The journal file path.
+    /// Where the journal currently ends: the active segment and its byte
+    /// length. A snapshot taken now covers exactly this position.
+    #[must_use]
+    pub fn position(&self) -> SegmentPosition {
+        SegmentPosition {
+            segment: self.segment,
+            bytes: self.segment_bytes,
+        }
+    }
+
+    /// Number of journal segments currently on disk.
+    #[must_use]
+    pub fn live_segments(&self) -> u64 {
+        list_segments(&self.dir).map_or(1, |s| s.len() as u64)
+    }
+
+    /// The active segment's file path.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
@@ -110,8 +439,9 @@ impl Journal {
 
 /// Scans journal bytes into events, returning the byte length of the
 /// intact prefix. Only the *final* record may be torn; anything earlier
-/// that fails to parse is corruption.
-fn scan(bytes: &[u8], path: &Path) -> Result<(Vec<JournalEvent>, u64), PersistError> {
+/// that fails to parse is corruption. `base` is the byte offset the slice
+/// starts at within its file, used only for error messages.
+fn scan(bytes: &[u8], path: &Path, base: u64) -> Result<(Vec<JournalEvent>, u64), PersistError> {
     let mut events = Vec::new();
     let mut offset = 0usize;
     while offset < bytes.len() {
@@ -136,7 +466,11 @@ fn scan(bytes: &[u8], path: &Path) -> Result<(Vec<JournalEvent>, u64), PersistEr
             Err(detail) => {
                 return Err(PersistError::corrupt(
                     path,
-                    format!("journal event {} at byte {offset}: {detail}", events.len()),
+                    format!(
+                        "journal event {} at byte {}: {detail}",
+                        events.len(),
+                        base + offset as u64
+                    ),
                 ));
             }
         }
@@ -163,11 +497,15 @@ mod tests {
         JournalEvent::Unsubscribe { session }
     }
 
+    fn open_fresh(dir: &Path) -> (Journal, JournalLoad) {
+        Journal::open(dir, None).unwrap()
+    }
+
     #[test]
     fn append_then_reopen_replays_in_order() {
         let dir = tmp_dir("replay");
         {
-            let (mut j, load) = Journal::open(&dir).unwrap();
+            let (mut j, load) = open_fresh(&dir);
             assert!(load.events.is_empty());
             assert_eq!(load.truncated_bytes, 0);
             for s in 1..=5 {
@@ -175,10 +513,11 @@ mod tests {
             }
             assert_eq!(j.events(), 5);
         }
-        let (j, load) = Journal::open(&dir).unwrap();
+        let (j, load) = open_fresh(&dir);
         assert_eq!(load.events, (1..=5).map(ev).collect::<Vec<_>>());
         assert_eq!(load.truncated_bytes, 0);
         assert_eq!(j.events(), 5);
+        assert_eq!(j.position().segment, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -186,24 +525,24 @@ mod tests {
     fn torn_final_line_is_truncated_and_reported() {
         let dir = tmp_dir("torn");
         {
-            let (mut j, _) = Journal::open(&dir).unwrap();
+            let (mut j, _) = open_fresh(&dir);
             j.append(&ev(1)).unwrap();
             j.append(&ev(2)).unwrap();
         }
-        let path = dir.join(JOURNAL_FILE);
+        let path = dir.join(segment_file(1));
         let clean_len = fs::metadata(&path).unwrap().len();
         let mut bytes = fs::read(&path).unwrap();
         bytes.extend_from_slice(b"{\"ev\":\"unsub"); // no newline
         fs::write(&path, &bytes).unwrap();
 
-        let (mut j, load) = Journal::open(&dir).unwrap();
+        let (mut j, load) = open_fresh(&dir);
         assert_eq!(load.events.len(), 2);
         assert_eq!(load.truncated_bytes, 12);
         assert_eq!(fs::metadata(&path).unwrap().len(), clean_len, "truncated");
         // The journal is appendable again after truncation.
         j.append(&ev(3)).unwrap();
         drop(j);
-        let (_, load) = Journal::open(&dir).unwrap();
+        let (_, load) = open_fresh(&dir);
         assert_eq!(load.events.len(), 3);
         assert_eq!(load.truncated_bytes, 0);
         fs::remove_dir_all(&dir).unwrap();
@@ -213,14 +552,14 @@ mod tests {
     fn unparseable_final_complete_line_counts_as_torn() {
         let dir = tmp_dir("torn-complete");
         {
-            let (mut j, _) = Journal::open(&dir).unwrap();
+            let (mut j, _) = open_fresh(&dir);
             j.append(&ev(1)).unwrap();
         }
-        let path = dir.join(JOURNAL_FILE);
+        let path = dir.join(segment_file(1));
         let mut bytes = fs::read(&path).unwrap();
         bytes.extend_from_slice(b"\0\0\0\0\n"); // zero-filled tail + newline
         fs::write(&path, &bytes).unwrap();
-        let (_, load) = Journal::open(&dir).unwrap();
+        let (_, load) = open_fresh(&dir);
         assert_eq!(load.events.len(), 1);
         assert_eq!(load.truncated_bytes, 5);
         fs::remove_dir_all(&dir).unwrap();
@@ -230,20 +569,223 @@ mod tests {
     fn mid_file_corruption_is_a_hard_error() {
         let dir = tmp_dir("corrupt");
         {
-            let (mut j, _) = Journal::open(&dir).unwrap();
+            let (mut j, _) = open_fresh(&dir);
             j.append(&ev(1)).unwrap();
             j.append(&ev(2)).unwrap();
         }
-        let path = dir.join(JOURNAL_FILE);
+        let path = dir.join(segment_file(1));
         let text = fs::read_to_string(&path).unwrap();
         let broken = text.replacen("unsubscribe", "uNsUbScRiBe", 1);
         fs::write(&path, broken).unwrap();
-        match Journal::open(&dir) {
+        match Journal::open(&dir, None) {
             Err(PersistError::Corrupt { detail, .. }) => {
                 assert!(detail.contains("event 0"), "{detail}");
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_moves_appends_to_the_next_segment() {
+        let dir = tmp_dir("rotate");
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            let end_of_seg1 = j.position();
+            j.rotate().unwrap();
+            assert_eq!(
+                j.position(),
+                SegmentPosition {
+                    segment: 2,
+                    bytes: 0
+                }
+            );
+            j.append(&ev(2)).unwrap();
+            assert_eq!(j.events(), 2);
+            // The old segment is untouched by the rotation.
+            assert_eq!(
+                fs::metadata(dir.join(segment_file(1))).unwrap().len(),
+                end_of_seg1.bytes
+            );
+        }
+        // Reopen with no coverage: both segments are read in order.
+        let (j, load) = open_fresh(&dir);
+        assert_eq!(load.events, vec![ev(1), ev(2)]);
+        assert_eq!(j.position().segment, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn positional_coverage_skips_covered_segments_entirely() {
+        let dir = tmp_dir("coverage");
+        let cover;
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            j.rotate().unwrap();
+            j.append(&ev(2)).unwrap();
+            cover = j.position();
+            j.rotate().unwrap();
+            j.append(&ev(3)).unwrap();
+        }
+        // Corrupt a segment strictly below the coverage point: recovery
+        // must never even open it.
+        fs::write(dir.join(segment_file(1)), b"\0garbage\0").unwrap();
+        let coverage = Coverage::Position {
+            position: cover,
+            events: 2,
+        };
+        let (j, load) = Journal::open(&dir, Some(&coverage)).unwrap();
+        assert_eq!(load.events, vec![ev(3)]);
+        assert_eq!(j.events(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_coverage_of_a_segment_reads_only_the_tail_bytes() {
+        let dir = tmp_dir("partial");
+        let cover;
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            cover = j.position();
+            // No rotation: the snapshot's segment keeps growing (the
+            // crash-before-rotation shape).
+            j.append(&ev(2)).unwrap();
+        }
+        let coverage = Coverage::Position {
+            position: cover,
+            events: 1,
+        };
+        let (j, load) = Journal::open(&dir, Some(&coverage)).unwrap();
+        assert_eq!(load.events, vec![ev(2)]);
+        assert_eq!(j.events(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_deletes_fully_covered_segments_only() {
+        let dir = tmp_dir("compact");
+        let (mut j, _) = open_fresh(&dir);
+        j.append(&ev(1)).unwrap();
+        j.rotate().unwrap();
+        j.append(&ev(2)).unwrap();
+        let cover = j.position(); // end of segment 2
+        j.rotate().unwrap();
+        j.append(&ev(3)).unwrap();
+        let report = j.compact(cover);
+        assert_eq!(report.segments_deleted, 2);
+        assert!(report.bytes_reclaimed > 0);
+        assert_eq!(report.live_segments, 1);
+        assert!(!dir.join(segment_file(1)).exists());
+        assert!(!dir.join(segment_file(2)).exists());
+        assert!(dir.join(segment_file(3)).exists());
+        // A second pass has nothing left to do.
+        assert_eq!(j.compact(cover).segments_deleted, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_never_deletes_the_active_segment() {
+        let dir = tmp_dir("compact-active");
+        let (mut j, _) = open_fresh(&dir);
+        j.append(&ev(1)).unwrap();
+        let cover = j.position(); // covers all of segment 1 = active
+        let report = j.compact(cover);
+        assert_eq!(report.segments_deleted, 0);
+        assert!(dir.join(segment_file(1)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_journal_is_migrated_to_segment_1() {
+        let dir = tmp_dir("legacy");
+        // Fabricate a pre-segmentation dir: the line format is unchanged,
+        // only the file name moved.
+        let mut lines = String::new();
+        for s in 1..=3 {
+            lines.push_str(&ev(s).to_line());
+            lines.push('\n');
+        }
+        fs::write(dir.join(LEGACY_JOURNAL_FILE), lines).unwrap();
+        let (j, load) = open_fresh(&dir);
+        assert_eq!(load.events, (1..=3).map(ev).collect::<Vec<_>>());
+        assert_eq!(j.events(), 3);
+        assert!(!dir.join(LEGACY_JOURNAL_FILE).exists());
+        assert!(dir.join(segment_file(1)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_legacy_and_segmented_layouts_are_corrupt() {
+        let dir = tmp_dir("mixed");
+        fs::write(dir.join(LEGACY_JOURNAL_FILE), b"").unwrap();
+        fs::write(dir.join(segment_file(1)), b"").unwrap();
+        assert!(matches!(
+            Journal::open(&dir, None),
+            Err(PersistError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_middle_segment_is_corrupt() {
+        let dir = tmp_dir("gap");
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            j.rotate().unwrap();
+            j.append(&ev(2)).unwrap();
+            j.rotate().unwrap();
+            j.append(&ev(3)).unwrap();
+        }
+        fs::remove_file(dir.join(segment_file(2))).unwrap();
+        match Journal::open(&dir, None) {
+            Err(PersistError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("contiguous"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compacted_history_without_positional_coverage_is_corrupt() {
+        let dir = tmp_dir("orphan");
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            j.rotate().unwrap();
+            j.append(&ev(2)).unwrap();
+        }
+        fs::remove_file(dir.join(segment_file(1))).unwrap();
+        // Without a snapshot that says where segment 2 starts, the
+        // missing prefix is unexplained history.
+        assert!(matches!(
+            Journal::open(&dir, None),
+            Err(PersistError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_record_in_a_non_final_segment_is_corrupt() {
+        let dir = tmp_dir("torn-mid");
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            j.rotate().unwrap();
+            j.append(&ev(2)).unwrap();
+        }
+        let seg1 = dir.join(segment_file(1));
+        let mut bytes = fs::read(&seg1).unwrap();
+        bytes.extend_from_slice(b"{\"ev\":"); // no newline, but not the last segment
+        fs::write(&seg1, &bytes).unwrap();
+        assert!(matches!(
+            Journal::open(&dir, None),
+            Err(PersistError::Corrupt { .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

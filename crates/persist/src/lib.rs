@@ -38,8 +38,9 @@ pub mod snapshot;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use journal::Journal;
-use record::{JournalEvent, SnapshotRecord, WarmObjectRecord};
+pub use journal::CompactionReport;
+use journal::{Coverage, Journal};
+use record::{JournalEvent, SegmentPosition, SnapshotRecord, WarmObjectRecord};
 
 /// Errors raised by the durability layer.
 ///
@@ -130,6 +131,15 @@ pub struct Recovery {
     /// Bytes of torn final journal record truncated away (0 on a clean
     /// open).
     pub truncated_bytes: u64,
+    /// Paths of snapshot files newer than the one recovery used that
+    /// could not be read or parsed. Empty on a healthy dir; non-empty
+    /// means the newest snapshot was lost to corruption and recovery fell
+    /// back to an older one (a longer replay, not lost data). The files
+    /// are removed at the next snapshot prune.
+    pub skipped_snapshots: Vec<String>,
+    /// Stale `*.tmp` files (crash leftovers from atomic writes) swept
+    /// away before recovery started.
+    pub swept_tmp_files: u64,
 }
 
 impl Recovery {
@@ -149,6 +159,12 @@ impl Recovery {
     #[must_use]
     pub fn snapshot_seq(&self) -> Option<u64> {
         self.snapshot.as_ref().map(|s| s.seq)
+    }
+
+    /// Number of corrupt newer snapshots recovery had to skip.
+    #[must_use]
+    pub fn skipped_snapshot_count(&self) -> u64 {
+        self.skipped_snapshots.len() as u64
     }
 
     /// Folds the recovered warm-start state: the snapshot's per-rate
@@ -189,7 +205,10 @@ fn read_meta(path: &Path) -> Result<Option<u64>, PersistError> {
         .and_then(json::Json::as_u64)
         .map(Some)
         .ok_or_else(|| {
-            PersistError::corrupt(path, "metadata: missing integer \"fingerprint\"".to_string())
+            PersistError::corrupt(
+                path,
+                "metadata: missing integer \"fingerprint\"".to_string(),
+            )
         })
 }
 
@@ -211,12 +230,39 @@ fn write_meta(dir: &Path, fingerprint: u64) -> Result<(), PersistError> {
     Ok(())
 }
 
-/// An open data dir: the journal plus the snapshot directory.
+/// Sweeps stale `*.tmp` files left behind by a crash between temp-create
+/// and rename. Only the two names this crate itself writes are touched
+/// (`meta.json.tmp`, `snapshot-*.json.tmp`); anything else in the dir is
+/// not ours to delete.
+fn sweep_tmp(dir: &Path) -> Result<u64, PersistError> {
+    let mut swept = 0u64;
+    let entries = std::fs::read_dir(dir).map_err(|e| PersistError::io(dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = name == "meta.json.tmp"
+            || (name.starts_with("snapshot-") && name.ends_with(".json.tmp"));
+        if stale && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// An open data dir: the segmented journal plus the snapshot directory.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
     journal: Journal,
     next_seq: u64,
+    /// Unparseable snapshot files recorded at open; removed at the next
+    /// prune instead of counting toward the two snapshots kept.
+    bad_snapshots: Vec<PathBuf>,
+    /// Coverage of the newest durable snapshot. After the *next* snapshot
+    /// is written this becomes the oldest retained snapshot's coverage —
+    /// the compaction floor: every journal segment it fully covers can go.
+    newest_coverage: Option<SegmentPosition>,
 }
 
 impl Store {
@@ -233,9 +279,21 @@ impl Store {
     /// instead of silently recovering foreign state.
     pub fn open(dir: &Path, fingerprint: u64) -> Result<(Store, Recovery), PersistError> {
         std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, &e))?;
-        let (journal, load) = Journal::open(dir)?;
-        let snapshot = snapshot::load_latest(dir)?;
+        let swept_tmp_files = sweep_tmp(dir)?;
+        let snapshots = snapshot::load(dir)?;
+        let coverage = snapshots.newest.as_ref().map(|s| match s.coverage {
+            Some(position) => Coverage::Position {
+                position,
+                events: s.journal_events,
+            },
+            // Legacy snapshot (pre-segmentation): coverage is an event
+            // count from the front of the whole journal.
+            None => Coverage::Events(s.journal_events),
+        });
+        let (journal, load) = Journal::open(dir, coverage.as_ref())?;
         let meta_path = dir.join(META_FILE);
+        let fresh =
+            snapshots.newest.is_none() && snapshots.skipped.is_empty() && journal.events() == 0;
         match read_meta(&meta_path)? {
             Some(found) if found != fingerprint => {
                 return Err(PersistError::Mismatch {
@@ -249,7 +307,7 @@ impl Store {
             // the empty journal and the meta write) adopts the caller's
             // fingerprint; state with no fingerprint to check it against
             // is unusable.
-            None if load.events.is_empty() && snapshot.is_none() => {
+            None if fresh => {
                 write_meta(dir, fingerprint)?;
             }
             None => {
@@ -259,28 +317,30 @@ impl Store {
                 ));
             }
         }
-        let covered = snapshot.as_ref().map_or(0, |s| s.journal_events);
-        if covered > load.events.len() as u64 {
-            return Err(PersistError::corrupt(
-                &dir.join(journal::JOURNAL_FILE),
-                format!(
-                    "snapshot covers {covered} journal events but only {} exist",
-                    load.events.len()
-                ),
-            ));
-        }
-        let tail = load.events[covered as usize..].to_vec();
-        let next_seq = snapshot.as_ref().map_or(1, |s| s.seq + 1);
+        // The next snapshot seq must clear every seq still on disk —
+        // including an unparseable newest — or the write would collide
+        // with the corpse.
+        let next_seq = snapshots.max_seq.map_or(1, |seq| seq + 1);
+        let newest_coverage = snapshots.newest.as_ref().and_then(|s| s.coverage);
+        let skipped_snapshots = snapshots
+            .skipped
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect();
         Ok((
             Store {
                 dir: dir.to_path_buf(),
                 journal,
                 next_seq,
+                bad_snapshots: snapshots.skipped,
+                newest_coverage,
             },
             Recovery {
-                snapshot,
-                tail,
+                snapshot: snapshots.newest,
+                tail: load.events,
                 truncated_bytes: load.truncated_bytes,
+                skipped_snapshots,
+                swept_tmp_files,
             },
         ))
     }
@@ -302,16 +362,60 @@ impl Store {
         self.next_seq
     }
 
-    /// Writes `snap` atomically and advances the snapshot sequence.
+    /// Where the journal currently ends (active segment + byte length).
+    /// A snapshot built right now covers exactly this position; the caller
+    /// stores it in [`SnapshotRecord::coverage`].
+    #[must_use]
+    pub fn journal_position(&self) -> SegmentPosition {
+        self.journal.position()
+    }
+
+    /// Writes `snap` atomically, advances the snapshot sequence, prunes
+    /// superseded/corrupt snapshot files, rotates the journal onto a fresh
+    /// segment, and compacts segments no retained snapshot needs.
     ///
     /// The caller appends a [`JournalEvent::SnapshotMarker`] *first* (so
     /// `snap.journal_events` covers the marker); a clean shutdown thereby
     /// recovers with zero journal replay.
-    pub fn write_snapshot(&mut self, snap: &SnapshotRecord) -> Result<(), PersistError> {
-        debug_assert_eq!(snap.seq, self.next_seq, "snapshot seqs are monotone");
+    ///
+    /// Ordering is the crash-safety argument: the snapshot is durable
+    /// (rename + dir fsync) *before* anything is deleted, and the
+    /// compaction floor is the **previous** snapshot's coverage — the
+    /// oldest of the two snapshots kept — so even if this snapshot later
+    /// turns out corrupt, the fallback snapshot plus the surviving
+    /// segments still replay the full history. A crash anywhere in the
+    /// middle leaves extra files, never missing ones.
+    pub fn write_snapshot(
+        &mut self,
+        snap: &SnapshotRecord,
+    ) -> Result<CompactionReport, PersistError> {
+        if snap.seq != self.next_seq {
+            return Err(PersistError::corrupt(
+                &self.dir.join(format!("snapshot-{}.json", snap.seq)),
+                format!(
+                    "snapshot seq {} but the store expects {} (snapshot seqs are monotone)",
+                    snap.seq, self.next_seq
+                ),
+            ));
+        }
         snapshot::write(&self.dir, snap)?;
         self.next_seq = snap.seq + 1;
-        Ok(())
+        snapshot::prune(&self.dir, &self.bad_snapshots);
+        self.bad_snapshots.clear();
+        self.journal.rotate()?;
+        // Compact up to the *previous* snapshot's coverage. When there is
+        // no previous positional coverage (first snapshot ever, or the
+        // previous one was a legacy record), nothing is deleted — the
+        // whole journal stays until two coverage-bearing snapshots exist.
+        let report = match self.newest_coverage {
+            Some(oldest_retained) => self.journal.compact(oldest_retained),
+            None => CompactionReport {
+                live_segments: self.journal.live_segments(),
+                ..CompactionReport::default()
+            },
+        };
+        self.newest_coverage = snap.coverage;
+        Ok(report)
     }
 
     /// The data dir this store operates in.
@@ -390,6 +494,7 @@ mod tests {
                 .write_snapshot(&SnapshotRecord {
                     seq: 1,
                     journal_events: store.journal_events(),
+                    coverage: Some(store.journal_position()),
                     next_session_id: 1,
                     ticks: 2,
                     shed: 0,
@@ -427,6 +532,7 @@ mod tests {
             snapshot: Some(SnapshotRecord {
                 seq: 1,
                 journal_events: 0,
+                coverage: None,
                 next_session_id: 1,
                 ticks: 0,
                 shed: 0,
@@ -452,11 +558,29 @@ mod tests {
             }),
             tail: vec![tick_event(5, 0.05, 99.0)],
             truncated_bytes: 0,
+            skipped_snapshots: Vec::new(),
+            swept_tmp_files: 0,
         };
         let warm = rec.warm_map();
         assert_eq!(warm.len(), 2);
         assert_eq!(warm[&0.05f64.to_bits()][0].lo, 99.0, "tail wins");
         assert!(warm[&0.07f64.to_bits()].is_empty(), "snapshot entry kept");
+    }
+
+    /// A minimal snapshot carrying the store's current coverage.
+    fn plain_snapshot(store: &Store, ticks: u64) -> SnapshotRecord {
+        SnapshotRecord {
+            seq: store.next_snapshot_seq(),
+            journal_events: store.journal_events(),
+            coverage: Some(store.journal_position()),
+            next_session_id: 1,
+            ticks,
+            shed: 0,
+            sessions: Vec::new(),
+            history: Vec::new(),
+            warm: Vec::new(),
+            answers: Vec::new(),
+        }
     }
 
     #[test]
@@ -468,26 +592,187 @@ mod tests {
             store
                 .append(&JournalEvent::SnapshotMarker { seq: 1 })
                 .unwrap();
-            store
-                .write_snapshot(&SnapshotRecord {
-                    seq: 1,
-                    journal_events: store.journal_events(),
-                    next_session_id: 1,
-                    ticks: 1,
-                    shed: 0,
-                    sessions: Vec::new(),
-                    history: Vec::new(),
-                    warm: Vec::new(),
-                    answers: Vec::new(),
-                })
-                .unwrap();
+            let snap = plain_snapshot(&store, 1);
+            store.write_snapshot(&snap).unwrap();
         }
-        // Swap the journal for an empty one: its fsync'd history vanished.
-        fs::write(dir.join(journal::JOURNAL_FILE), b"").unwrap();
+        // Empty out the covered segment: its fsync'd history vanished.
+        fs::write(dir.join(journal::segment_file(1)), b"").unwrap();
         assert!(matches!(
             Store::open(&dir, FP),
             Err(PersistError::Corrupt { .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_snapshot_seq_is_corrupt_in_release_builds_too() {
+        let dir = tmp_dir("seq");
+        let (mut store, _) = Store::open(&dir, FP).unwrap();
+        let mut snap = plain_snapshot(&store, 0);
+        snap.seq = 7; // store expects 1
+        match store.write_snapshot(&snap) {
+            Err(PersistError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("monotone"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Nothing was written.
+        assert!(!dir.join("snapshot-7.json").exists());
+        assert_eq!(store.next_snapshot_seq(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_at_open() {
+        let dir = tmp_dir("sweep");
+        {
+            let _ = Store::open(&dir, FP).unwrap();
+        }
+        fs::write(dir.join("meta.json.tmp"), b"{half").unwrap();
+        fs::write(dir.join("snapshot-3.json.tmp"), b"{half").unwrap();
+        // A foreign file is not ours to delete.
+        fs::write(dir.join("notes.tmp"), b"keep me").unwrap();
+        let (_, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.swept_tmp_files, 2);
+        assert!(!dir.join("meta.json.tmp").exists());
+        assert!(!dir.join("snapshot-3.json.tmp").exists());
+        assert!(dir.join("notes.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_is_surfaced_and_never_collides() {
+        let dir = tmp_dir("skipped");
+        {
+            let (mut store, _) = Store::open(&dir, FP).unwrap();
+            store.append(&tick_event(1, 0.05, 1.0)).unwrap();
+            store
+                .append(&JournalEvent::SnapshotMarker { seq: 1 })
+                .unwrap();
+            let snap = plain_snapshot(&store, 1);
+            store.write_snapshot(&snap).unwrap();
+            store.append(&tick_event(2, 0.06, 2.0)).unwrap();
+        }
+        // A corrupt snapshot newer than the good one.
+        fs::write(dir.join("snapshot-2.json"), b"{garbage").unwrap();
+        let (mut store, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.snapshot_seq(), Some(1), "fell back to the older one");
+        assert_eq!(rec.skipped_snapshot_count(), 1);
+        assert!(
+            rec.skipped_snapshots[0].contains("snapshot-2.json"),
+            "{:?}",
+            rec.skipped_snapshots
+        );
+        // next_seq cleared the corpse's seq: the next write must not
+        // collide with the still-on-disk corrupt file.
+        assert_eq!(store.next_snapshot_seq(), 3);
+        store
+            .append(&JournalEvent::SnapshotMarker { seq: 3 })
+            .unwrap();
+        let snap = plain_snapshot(&store, 2);
+        store.write_snapshot(&snap).unwrap();
+        // The prune removed the corpse rather than counting it toward the
+        // two kept.
+        assert!(!dir.join("snapshot-2.json").exists());
+        assert!(dir.join("snapshot-1.json").exists());
+        assert!(dir.join("snapshot-3.json").exists());
+        let (_, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.snapshot_seq(), Some(3));
+        assert_eq!(rec.skipped_snapshot_count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_bounds_the_journal_to_recent_segments() {
+        let dir = tmp_dir("bounded");
+        let (mut store, _) = Store::open(&dir, FP).unwrap();
+        let mut reclaimed = 0u64;
+        for round in 1..=6u64 {
+            for i in 0..4u64 {
+                store
+                    .append(&tick_event(round * 10 + i, 0.05, i as f64))
+                    .unwrap();
+            }
+            store
+                .append(&JournalEvent::SnapshotMarker { seq: round })
+                .unwrap();
+            let snap = plain_snapshot(&store, round * 4);
+            let report = store.write_snapshot(&snap).unwrap();
+            reclaimed += report.bytes_reclaimed;
+            // Two retained snapshots -> at most their two replay windows
+            // plus the fresh active segment survive on disk.
+            assert!(
+                report.live_segments <= 3,
+                "round {round}: {} live segments",
+                report.live_segments
+            );
+        }
+        assert!(reclaimed > 0, "compaction reclaimed nothing");
+        // Recovery replays only the tail, not all 30 events.
+        let (_, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.snapshot_seq(), Some(6));
+        assert_eq!(rec.replayed_events(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_file_dir_migrates_and_recovers() {
+        let dir = tmp_dir("legacy-store");
+        fs::create_dir_all(&dir).unwrap();
+        // Fabricate a pre-segmentation dir: journal.jsonl + a snapshot
+        // with no coverage fields + meta.json.
+        let mut lines = String::new();
+        for ev in [
+            tick_event(1, 0.05, 1.0),
+            JournalEvent::SnapshotMarker { seq: 1 },
+            tick_event(2, 0.06, 2.0),
+        ] {
+            lines.push_str(&ev.to_line());
+            lines.push('\n');
+        }
+        fs::write(dir.join(journal::LEGACY_JOURNAL_FILE), lines).unwrap();
+        let legacy_snap = SnapshotRecord {
+            seq: 1,
+            journal_events: 2,
+            coverage: None,
+            next_session_id: 1,
+            ticks: 1,
+            shed: 0,
+            sessions: Vec::new(),
+            history: Vec::new(),
+            warm: Vec::new(),
+            answers: Vec::new(),
+        };
+        fs::write(dir.join("snapshot-1.json"), legacy_snap.to_json()).unwrap();
+        fs::write(dir.join(META_FILE), format!("{{\"fingerprint\":{FP}}}\n")).unwrap();
+
+        let (mut store, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.snapshot_seq(), Some(1));
+        assert_eq!(rec.replayed_events(), 1, "only the post-snapshot tick");
+        assert_eq!(rec.warm_map()[&0.06f64.to_bits()][0].lo, 2.0);
+        assert!(!dir.join(journal::LEGACY_JOURNAL_FILE).exists());
+        assert!(dir.join(journal::segment_file(1)).exists());
+        // The dir now participates in segmentation: snapshots carry
+        // coverage and compaction kicks in once two of them exist.
+        store
+            .append(&JournalEvent::SnapshotMarker { seq: 2 })
+            .unwrap();
+        let snap = plain_snapshot(&store, 2);
+        let report = store.write_snapshot(&snap).unwrap();
+        assert_eq!(
+            report.segments_deleted, 0,
+            "legacy snapshot has no coverage floor yet"
+        );
+        store.append(&tick_event(3, 0.05, 3.0)).unwrap();
+        store
+            .append(&JournalEvent::SnapshotMarker { seq: 3 })
+            .unwrap();
+        let snap = plain_snapshot(&store, 3);
+        let report = store.write_snapshot(&snap).unwrap();
+        assert!(report.segments_deleted > 0, "now the old segments can go");
+        let (_, rec) = Store::open(&dir, FP).unwrap();
+        assert_eq!(rec.snapshot_seq(), Some(3));
+        assert_eq!(rec.replayed_events(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

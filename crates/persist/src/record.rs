@@ -149,6 +149,18 @@ pub struct StatsRecord {
     pub cpu: CpuEstimation,
 }
 
+/// Where in the segmented journal a snapshot's coverage ends: the last
+/// covered byte lives `bytes` into `journal-<segment>.jsonl`. Segments
+/// strictly below `segment` are fully covered and eligible for compaction
+/// once no retained snapshot needs them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentPosition {
+    /// Journal segment number the coverage ends in.
+    pub segment: u64,
+    /// Byte length of that segment's covered prefix.
+    pub bytes: u64,
+}
+
 /// A point-in-time capture of the whole server control plane.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SnapshotRecord {
@@ -157,6 +169,11 @@ pub struct SnapshotRecord {
     /// How many journal events this snapshot covers; recovery replays only
     /// the events after this count.
     pub journal_events: u64,
+    /// Where the coverage ends in the segmented journal. `None` on
+    /// snapshots written before journal segmentation existed (a legacy dir);
+    /// recovery then falls back to skipping `journal_events` events from
+    /// the front of the whole journal.
+    pub coverage: Option<SegmentPosition>,
     /// The registry's next session id (high-water mark + 1). Never
     /// decreases, even when sessions unsubscribe.
     pub next_session_id: u64,
@@ -440,10 +457,16 @@ impl SnapshotRecord {
                 )
             })
             .collect();
+        // Coverage rides as two extra fields so legacy parsers (and legacy
+        // files, which simply omit them) stay compatible.
+        let coverage = self.coverage.map_or(String::new(), |p| {
+            format!("\"segment\":{},\"segment_bytes\":{},", p.segment, p.bytes)
+        });
         format!(
-            "{{\"seq\":{},\"journal_events\":{},\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}}}",
+            "{{\"seq\":{},\"journal_events\":{},{}\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}}}",
             self.seq,
             self.journal_events,
+            coverage,
             self.next_session_id,
             self.ticks,
             self.shed,
@@ -701,9 +724,23 @@ impl SnapshotRecord {
     /// Parses a snapshot document.
     pub fn parse(text: &str) -> Result<SnapshotRecord, String> {
         let doc = Json::parse(text)?;
+        let coverage = match (doc.get("segment"), doc.get("segment_bytes")) {
+            (Some(seg), Some(bytes)) => Some(SegmentPosition {
+                segment: seg.as_u64().ok_or("non-integer \"segment\"")?,
+                bytes: bytes.as_u64().ok_or("non-integer \"segment_bytes\"")?,
+            }),
+            // Legacy snapshot: written before journal segmentation.
+            (None, None) => None,
+            _ => {
+                return Err(
+                    "coverage needs both \"segment\" and \"segment_bytes\" or neither".to_string(),
+                )
+            }
+        };
         Ok(SnapshotRecord {
             seq: u64_field(&doc, "seq")?,
             journal_events: u64_field(&doc, "journal_events")?,
+            coverage,
             next_session_id: u64_field(&doc, "next_session_id")?,
             ticks: u64_field(&doc, "ticks")?,
             shed: u64_field(&doc, "shed")?,
@@ -962,6 +999,10 @@ mod tests {
         let snap = SnapshotRecord {
             seq: 3,
             journal_events: 41,
+            coverage: Some(SegmentPosition {
+                segment: 4,
+                bytes: 1_234,
+            }),
             next_session_id: 9,
             ticks: 12,
             shed: 1,
@@ -986,6 +1027,34 @@ mod tests {
         let text = snap.to_json();
         let back = SnapshotRecord::parse(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn legacy_snapshot_without_coverage_round_trips_as_none() {
+        let snap = SnapshotRecord {
+            seq: 1,
+            journal_events: 7,
+            coverage: None,
+            next_session_id: 1,
+            ticks: 0,
+            shed: 0,
+            sessions: Vec::new(),
+            history: Vec::new(),
+            warm: Vec::new(),
+            answers: Vec::new(),
+        };
+        let text = snap.to_json();
+        assert!(!text.contains("segment"), "{text}");
+        assert_eq!(SnapshotRecord::parse(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn half_specified_coverage_is_rejected() {
+        let err = SnapshotRecord::parse(
+            r#"{"seq":1,"journal_events":0,"segment":2,"next_session_id":1,"ticks":0,"shed":0,"sessions":[],"history":[],"warm":[],"answers":[]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("segment_bytes"), "{err}");
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //!
 //! Each snapshot is one JSON document in `snapshot-<seq>.json`, written
 //! via temp-file + `fsync` + `rename` so a crash mid-write can never leave
-//! a half-written snapshot under the real name. The two most recent
-//! snapshots are kept (the previous one survives until its successor is
-//! durable); older files are pruned best-effort.
+//! a half-written snapshot under the real name. [`load`] picks the newest
+//! parseable snapshot and **reports** every newer file it had to skip —
+//! a skipped snapshot is evidence of corruption the operator should see,
+//! and its on-disk seq must keep counting toward the next seq or a later
+//! snapshot would collide with the corpse. [`prune`] keeps the two most
+//! recent usable snapshots (the previous survives until its successor is
+//! durable) and removes unparseable files outright instead of letting
+//! them count toward the two kept.
 
 use std::fs::{self, File};
 use std::io::Write;
@@ -38,8 +43,9 @@ fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
     Ok(found)
 }
 
-/// Writes `snap` atomically into `dir` and prunes all but the two newest
-/// snapshots. Returns the final path.
+/// Writes `snap` atomically into `dir`. Returns the final path. Pruning is
+/// a separate step ([`prune`]) so the caller controls the ordering of
+/// durability, pruning, and journal compaction.
 pub fn write(dir: &Path, snap: &SnapshotRecord) -> Result<PathBuf, PersistError> {
     let final_path = snapshot_path(dir, snap.seq);
     let tmp_path = dir.join(format!("snapshot-{}.json.tmp", snap.seq));
@@ -57,30 +63,68 @@ pub fn write(dir: &Path, snap: &SnapshotRecord) -> Result<PathBuf, PersistError>
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
+    Ok(final_path)
+}
+
+/// What [`load`] found in a data dir.
+#[derive(Debug)]
+pub struct SnapshotLoad {
+    /// The newest parseable snapshot, if any.
+    pub newest: Option<SnapshotRecord>,
+    /// Files newer than `newest` that could not be read or parsed; they
+    /// are surfaced in the recovery report and removed by the next
+    /// [`prune`].
+    pub skipped: Vec<PathBuf>,
+    /// The highest seq present **on disk** (parseable or not). The next
+    /// snapshot seq must clear this, or a fresh write could collide with a
+    /// corrupt corpse of the same name.
+    pub max_seq: Option<u64>,
+}
+
+/// Loads the newest parseable snapshot in `dir`, recording every newer
+/// file it had to skip. An unparseable newer file is skipped in favor of
+/// an older one (the journal still holds that span of history, so an
+/// older snapshot only means a longer replay).
+pub fn load(dir: &Path) -> Result<SnapshotLoad, PersistError> {
+    let mut found = list(dir)?;
+    let max_seq = found.last().map(|&(seq, _)| seq);
+    found.reverse();
+    let mut skipped = Vec::new();
+    let mut newest = None;
+    for (_, path) in found {
+        let parsed = fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| SnapshotRecord::parse(text.trim_end()));
+        match parsed {
+            Ok(snap) => {
+                newest = Some(snap);
+                break;
+            }
+            Err(_) => skipped.push(path),
+        }
+    }
+    Ok(SnapshotLoad {
+        newest,
+        skipped,
+        max_seq,
+    })
+}
+
+/// Removes `known_bad` files (unparseable snapshots recorded at open) and
+/// then keeps only the two newest remaining snapshots. Best-effort: a
+/// deletion failure leaves a stale file behind, which the next prune will
+/// retry.
+pub fn prune(dir: &Path, known_bad: &[PathBuf]) {
+    for path in known_bad {
+        let _ = fs::remove_file(path);
+    }
     if let Ok(existing) = list(dir) {
-        for (seq, path) in &existing {
-            if existing.len() >= 2 && *seq < existing[existing.len() - 2].0 {
+        if existing.len() > 2 {
+            for (_, path) in &existing[..existing.len() - 2] {
                 let _ = fs::remove_file(path);
             }
         }
     }
-    Ok(final_path)
-}
-
-/// Loads the newest parseable snapshot in `dir`, or `None` when no
-/// snapshot exists yet. An unparseable newer file is skipped in favor of
-/// an older one (the journal holds the full history, so an older snapshot
-/// only means a longer replay).
-pub fn load_latest(dir: &Path) -> Result<Option<SnapshotRecord>, PersistError> {
-    let mut found = list(dir)?;
-    found.reverse();
-    for (_, path) in found {
-        let text = fs::read_to_string(&path).map_err(|e| PersistError::io(&path, &e))?;
-        if let Ok(snap) = SnapshotRecord::parse(text.trim_end()) {
-            return Ok(Some(snap));
-        }
-    }
-    Ok(None)
 }
 
 #[cfg(test)]
@@ -99,6 +143,10 @@ mod tests {
         SnapshotRecord {
             seq,
             journal_events: seq * 10,
+            coverage: Some(crate::record::SegmentPosition {
+                segment: seq,
+                bytes: seq * 100,
+            }),
             next_session_id: 3,
             ticks: seq,
             shed: 0,
@@ -110,20 +158,26 @@ mod tests {
     }
 
     #[test]
-    fn write_then_load_latest() {
+    fn write_then_load_newest() {
         let dir = tmp_dir("roundtrip");
-        assert_eq!(load_latest(&dir).unwrap(), None);
+        let load0 = load(&dir).unwrap();
+        assert_eq!(load0.newest, None);
+        assert_eq!(load0.max_seq, None);
         write(&dir, &snap(1)).unwrap();
         write(&dir, &snap(2)).unwrap();
-        assert_eq!(load_latest(&dir).unwrap(), Some(snap(2)));
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.newest, Some(snap(2)));
+        assert!(loaded.skipped.is_empty());
+        assert_eq!(loaded.max_seq, Some(2));
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn keeps_only_two_newest_snapshots() {
+    fn prune_keeps_only_two_newest_snapshots() {
         let dir = tmp_dir("prune");
         for seq in 1..=5 {
             write(&dir, &snap(seq)).unwrap();
+            prune(&dir, &[]);
         }
         let names = list(&dir).unwrap();
         assert_eq!(
@@ -134,12 +188,26 @@ mod tests {
     }
 
     #[test]
-    fn unparseable_newest_falls_back_to_older() {
+    fn unparseable_newest_is_skipped_and_reported() {
         let dir = tmp_dir("fallback");
         write(&dir, &snap(1)).unwrap();
         write(&dir, &snap(2)).unwrap();
-        fs::write(snapshot_path(&dir, 3), b"{garbage").unwrap();
-        assert_eq!(load_latest(&dir).unwrap(), Some(snap(2)));
+        let corpse = snapshot_path(&dir, 3);
+        fs::write(&corpse, b"{garbage").unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.newest, Some(snap(2)));
+        assert_eq!(loaded.skipped, vec![corpse.clone()]);
+        // The corpse's seq still counts: a new snapshot must not collide
+        // with the file still on disk.
+        assert_eq!(loaded.max_seq, Some(3));
+        // Pruning removes the corpse instead of counting it toward the
+        // two kept.
+        prune(&dir, &loaded.skipped);
+        let names = list(&dir).unwrap();
+        assert_eq!(
+            names.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -148,7 +216,9 @@ mod tests {
         let dir = tmp_dir("tmpfiles");
         write(&dir, &snap(7)).unwrap();
         fs::write(dir.join("snapshot-8.json.tmp"), b"half").unwrap();
-        assert_eq!(load_latest(&dir).unwrap(), Some(snap(7)));
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.newest, Some(snap(7)));
+        assert!(loaded.skipped.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -45,5 +45,7 @@ pub mod session;
 pub use answer::Answer;
 pub use error::ServerError;
 pub use pool::SharedPool;
-pub use server::{Server, ServerConfig, TickResult};
+pub use server::{
+    durability_fingerprint, Server, ServerConfig, TickResult, DEFAULT_SNAPSHOT_EVERY,
+};
 pub use session::{Session, SessionId, SessionRegistry};

@@ -18,8 +18,8 @@ use vao::cost::{Work, WorkMeter};
 use vao::error::VaoError;
 use vao::ops::DEFAULT_ITERATION_LIMIT;
 use vao::trace::{
-    BudgetExhaustedRecord, ChoiceRecord, ExecObserver, HybridDecisionRecord, IterationRecord,
-    NoopObserver, OperatorEndRecord, OperatorKind, RecoveryRecord, RoundRecord,
+    BudgetExhaustedRecord, ChoiceRecord, CompactionRecord, ExecObserver, HybridDecisionRecord,
+    IterationRecord, NoopObserver, OperatorEndRecord, OperatorKind, RecoveryRecord, RoundRecord,
 };
 use vao::{Bounds, PrecisionConstraint};
 
@@ -50,7 +50,19 @@ pub struct ServerConfig {
     /// demand once per B iterations. `Some(1)` reproduces the historical
     /// serial schedule exactly.
     pub batch: Option<usize>,
+    /// Journal events between periodic snapshots on a durable server
+    /// (clamped to ≥ 1; ignored without a data dir). This is also the
+    /// recovery/disk bound: the journal tail replayed at open and the
+    /// segments kept on disk are both O(`snapshot_every`), so lowering it
+    /// trades more frequent snapshot writes for faster restarts and a
+    /// smaller data dir.
+    pub snapshot_every: u64,
 }
+
+/// Default for [`ServerConfig::snapshot_every`]: small enough that
+/// recovery replay stays trivial, large enough that snapshot writes stay
+/// rare.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -59,6 +71,7 @@ impl Default for ServerConfig {
             iteration_limit: DEFAULT_ITERATION_LIMIT,
             workers: 1,
             batch: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -131,6 +144,11 @@ pub struct Server {
     last_answers: Vec<(SessionId, Answer)>,
     recovery: Option<RecoveryRecord>,
     recovery_emitted: bool,
+    /// Compactions that happened since the last observed tick. Snapshot
+    /// writes (and thus compactions) happen between ticks, outside any
+    /// observer scope, so they are queued here and emitted into the next
+    /// tick's trace stream.
+    pending_compactions: Vec<CompactionRecord>,
 }
 
 /// The durable half of a server opened with [`Server::open_durable`]: the
@@ -143,10 +161,6 @@ struct Durability {
     snapshot_every: u64,
     events_at_last_snapshot: u64,
 }
-
-/// Journal events between periodic snapshots. Small enough that recovery
-/// replay stays trivial, large enough that snapshot writes stay rare.
-const SNAPSHOT_EVERY: u64 = 64;
 
 /// FNV-1a accumulator for [`durability_fingerprint`].
 struct Fnv(u64);
@@ -175,7 +189,8 @@ impl Fnv {
 /// recovery refuses a dir whose fingerprint disagrees, because converged
 /// bounds from a different universe that happen to overlap this one's
 /// would otherwise be served as final answers.
-fn durability_fingerprint(pricer: &BondPricer, relation: &BondRelation) -> u64 {
+#[must_use]
+pub fn durability_fingerprint(pricer: &BondPricer, relation: &BondRelation) -> u64 {
     let mut h = Fnv::new();
     h.eat_u64(relation.bonds().len() as u64);
     for b in relation.bonds() {
@@ -217,6 +232,7 @@ impl Server {
             last_answers: Vec::new(),
             recovery: None,
             recovery_emitted: false,
+            pending_compactions: Vec::new(),
         }
     }
 
@@ -315,11 +331,13 @@ impl Server {
             snapshot_seq: recovered.snapshot_seq(),
             replayed_events: recovered.replayed_events(),
             truncated_bytes: recovered.truncated_bytes,
+            skipped_snapshots: recovered.skipped_snapshot_count(),
+            swept_tmp_files: recovered.swept_tmp_files,
         });
         srv.durability = Some(Durability {
             warm: recovered.warm_map(),
             store,
-            snapshot_every: SNAPSHOT_EVERY,
+            snapshot_every: config.snapshot_every.max(1),
             events_at_last_snapshot,
         });
         Ok(srv)
@@ -485,6 +503,14 @@ impl Server {
                 if observer.is_enabled() {
                     observer.on_recovery(&rec);
                 }
+            }
+        }
+        // Compactions queued by between-tick snapshot writes land in the
+        // next tick's trace; drained unconditionally so an untraced run
+        // does not accumulate them forever.
+        for c in self.pending_compactions.drain(..) {
+            if observer.is_enabled() {
+                observer.on_compaction(&c);
             }
         }
         let start = Instant::now();
@@ -706,6 +732,9 @@ impl Server {
             SnapshotRecord {
                 seq,
                 journal_events: d.store.journal_events(),
+                // Coverage ends exactly where the journal does right now
+                // (the marker just appended is the last covered byte).
+                coverage: Some(d.store.journal_position()),
                 next_session_id: self.registry.next_id(),
                 ticks: self.ticks,
                 shed: self.shed,
@@ -742,8 +771,16 @@ impl Server {
             }
         };
         let d = self.durability.as_mut().expect("checked durable above");
-        d.store.write_snapshot(&snap)?;
+        let report = d.store.write_snapshot(&snap)?;
         d.events_at_last_snapshot = snap.journal_events;
+        if report.segments_deleted > 0 {
+            self.pending_compactions.push(CompactionRecord {
+                snapshot_seq: seq,
+                segments_deleted: report.segments_deleted,
+                bytes_reclaimed: report.bytes_reclaimed,
+                live_segments: report.live_segments,
+            });
+        }
         Ok(())
     }
 }
@@ -842,6 +879,14 @@ impl<A: ExecObserver, B: ExecObserver> ExecObserver for Fanout<'_, A, B> {
         }
         if self.1.is_enabled() {
             self.1.on_recovery(record);
+        }
+    }
+    fn on_compaction(&mut self, record: &CompactionRecord) {
+        if self.0.is_enabled() {
+            self.0.on_compaction(record);
+        }
+        if self.1.is_enabled() {
+            self.1.on_compaction(record);
         }
     }
     fn on_round(&mut self, round: &RoundRecord) {
@@ -1106,13 +1151,10 @@ mod tests {
         // A grown universe (same seed, more bonds) is refused at open
         // instead of panicking on the first tick at a journaled rate.
         let grown = BondRelation::from_universe(&BondUniverse::generate(12, 42));
-        assert!(Server::open_durable(
-            BondPricer::default(),
-            grown,
-            ServerConfig::default(),
-            &dir
-        )
-        .is_err());
+        assert!(
+            Server::open_durable(BondPricer::default(), grown, ServerConfig::default(), &dir)
+                .is_err()
+        );
         // A different pricer configuration is refused too.
         let pricer = BondPricer {
             model: bondlab::ShortRateModel {
@@ -1121,13 +1163,9 @@ mod tests {
             },
             ..BondPricer::default()
         };
-        assert!(Server::open_durable(
-            pricer,
-            small_relation(),
-            ServerConfig::default(),
-            &dir
-        )
-        .is_err());
+        assert!(
+            Server::open_durable(pricer, small_relation(), ServerConfig::default(), &dir).is_err()
+        );
         // The original universe still recovers cleanly.
         let srv = Server::open_durable(
             BondPricer::default(),
@@ -1181,7 +1219,8 @@ mod tests {
                 })))
                 .unwrap();
         }
-        let mut srv = Server::open_durable(pricer, relation, ServerConfig::default(), &dir).unwrap();
+        let mut srv =
+            Server::open_durable(pricer, relation, ServerConfig::default(), &dir).unwrap();
         assert_eq!(srv.ticks(), 1, "the forged tick replayed");
         srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
         let res = srv.tick(rate).unwrap();

@@ -368,8 +368,9 @@ fn torn_final_journal_record_is_truncated_and_reported() {
     srv.tick(RATE).expect("tick");
     drop(srv); // crash
 
-    // Simulate the torn write: a half-flushed record with no newline.
-    let journal = dir.join("journal.jsonl");
+    // Simulate the torn write: a half-flushed record with no newline,
+    // appended to the active (highest-numbered) journal segment.
+    let journal = dir.join("journal-1.jsonl");
     let mut f = std::fs::OpenOptions::new()
         .append(true)
         .open(&journal)

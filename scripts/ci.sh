@@ -18,7 +18,11 @@
 #   6. kill-and-recover smoke   -- start a --data-dir server, subscribe and
 #                                  tick over TCP, SIGKILL it, restart on the
 #                                  same dir, RESUME the session and tick again
-#   7. cargo doc -D warnings    -- rustdoc must build clean
+#   7. compaction smoke         -- long run with --snapshot-every 4, SIGKILL,
+#                                  assert the data dir holds only the tail
+#                                  segments and two snapshots, then restart
+#                                  and RESUME as in stage 6
+#   8. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,6 +42,7 @@ cargo test -p va-server -q
 echo "==> batched-scheduler determinism + crash-recovery + empty-relation tests"
 cargo test -q -p va-server --test parallel_determinism
 cargo test -q -p va-server --test recovery
+cargo test -q -p va-server --test compaction
 cargo test -q -p va-server --lib demand::tests::empty_pool_yields_typed_errors_not_panics
 
 echo "==> va-server loopback smoke (subscribe -> tick -> result -> quit)"
@@ -99,6 +104,63 @@ wait "$SRV_PID" 2>/dev/null || true
 cleanup
 trap - EXIT
 echo "    kill-and-recover smoke ok (session resumed across SIGKILL)"
+
+echo "==> va-server compaction smoke (--snapshot-every 4, bounded dir across SIGKILL)"
+DATA_DIR=$(mktemp -d)
+SRV_LOG=$(mktemp)
+trap cleanup EXIT
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" --snapshot-every 4 >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# Subscribe and run well past 20x the snapshot cadence in journal events,
+# then hang up without QUIT: the dir must already be compacted when the
+# SIGKILL lands.
+LONG=$( { printf '%s\n' '{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.5},"priority":2}';
+          for i in $(seq 1 12); do printf '{"type":"TICK","rate":0.058%d}\n' $((i % 10)); done; } \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$LONG" | grep -q '"type":"SUBSCRIBED"' || { echo "no SUBSCRIBED: $LONG"; exit 1; }
+echo "$LONG" | grep -q '"type":"RESULT"'     || { echo "no RESULT: $LONG"; exit 1; }
+
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+
+SEGMENTS=$(find "$DATA_DIR" -name 'journal-*.jsonl' | wc -l)
+SNAPSHOTS=$(find "$DATA_DIR" -name 'snapshot-*.json' | wc -l)
+[ "$SEGMENTS" -le 3 ] || { echo "journal not compacted: $SEGMENTS segments"; ls "$DATA_DIR"; exit 1; }
+[ "$SNAPSHOTS" -le 2 ] || { echo "snapshots not pruned: $SNAPSHOTS files"; ls "$DATA_DIR"; exit 1; }
+[ ! -e "$DATA_DIR/journal.jsonl" ] || { echo "legacy journal.jsonl present"; ls "$DATA_DIR"; exit 1; }
+[ ! -e "$DATA_DIR/journal-1.jsonl" ] || { echo "segment 1 never compacted away"; ls "$DATA_DIR"; exit 1; }
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" --snapshot-every 4 >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+POST=$(printf '%s\n%s\n%s\n' \
+  '{"type":"RESUME","session":1}' \
+  '{"type":"TICK","rate":0.0584}' \
+  '{"type":"QUIT"}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$POST" | grep -q '"type":"RESUMED"' || { echo "no RESUMED: $POST"; exit 1; }
+echo "$POST" | grep -q '"type":"RESULT"'  || { echo "no post-recovery RESULT: $POST"; exit 1; }
+grep -q "recovered from" "$SRV_LOG"       || { echo "no recovery line"; cat "$SRV_LOG"; exit 1; }
+
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+cleanup
+trap - EXIT
+echo "    compaction smoke ok (bounded data dir, session resumed across SIGKILL)"
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
