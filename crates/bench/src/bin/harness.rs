@@ -16,10 +16,11 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use va_bench::experiments::{
-    ablation_choose_cost, ablation_choose_index, ablation_strategies, compaction_growth,
-    fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold, max_table_traced,
-    parallel_scaling, recovery_comparison, selection_sweep_traced, server_scaling,
-    tick_amortization, HOT_SHARES, QUERY_COUNTS, SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
+    ablation_choose_cost, ablation_choose_index, ablation_strategies, batch_scaling,
+    compaction_growth, fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold,
+    max_table_traced, parallel_scaling, recovery_comparison, selection_sweep_traced,
+    server_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES,
+    STD_DEVS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -64,7 +65,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|recovery|compaction|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|batch-scaling|recovery|compaction|all]..."
                 );
                 std::process::exit(0);
             }
@@ -425,6 +426,49 @@ fn main() {
             )
         );
         t.write_csv(&args.out.join("parallel_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "batch-scaling") {
+        println!("-- Extension: SoA batched solver vs scalar executor (8 queries) --");
+        let rows = batch_scaling(&lab, &ROUND_BATCHES);
+        let mut t = Table::new(&[
+            "round_batch",
+            "scalar_wall_ms",
+            "batched_wall_ms",
+            "work_units",
+            "iterations",
+            "scalar_tput",
+            "batched_tput",
+            "speedup",
+            "identical",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.round_batch.to_string(),
+                format!("{:.1}", r.scalar_wall.as_secs_f64() * 1e3),
+                format!("{:.1}", r.batched_wall.as_secs_f64() * 1e3),
+                r.work_units.to_string(),
+                r.iterations.to_string(),
+                format!("{:.0}", r.scalar_throughput()),
+                format!("{:.0}", r.batched_throughput()),
+                format!("{:.2}", r.speedup()),
+                r.identical.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+            .expect("at least one batch size");
+        println!(
+            "  lane-parallel sweeps: {} work-unit throughput at batch {} (answers identical: {})",
+            fmt_speedup(best.speedup()),
+            best.round_batch,
+            rows.iter().all(|r| r.identical)
+        );
+        t.write_csv(&args.out.join("batch_scaling.csv"))
             .expect("write csv");
         println!();
     }

@@ -874,6 +874,104 @@ pub fn parallel_scaling(lab: &Lab, worker_counts: &[usize]) -> Vec<ParallelScali
         .collect()
 }
 
+/// Round-batch sizes swept by [`batch_scaling`].
+pub const ROUND_BATCHES: [usize; 3] = [16, 64, 256];
+
+/// One point of the SoA-solver throughput sweep: the same tick executed
+/// with and without the lane-parallel batched Thomas solver, at a fixed
+/// round batch and a single worker.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchScalingRow {
+    /// Objects admitted per scheduling round (`ServerConfig::batch`); both
+    /// executions use the same value, so they run the *same schedule* and
+    /// differ only in how each round's solves execute.
+    pub round_batch: usize,
+    /// Wall-clock time of the scalar-executor tick.
+    pub scalar_wall: Duration,
+    /// Wall-clock time of the batched-solver tick.
+    pub batched_wall: Duration,
+    /// Deterministic work units of the tick (identical across executors by
+    /// construction; asserted via `identical`).
+    pub work_units: u64,
+    /// Scheduler `iterate()` calls issued (likewise identical).
+    pub iterations: u64,
+    /// Whether the two executions produced bit-identical answers, work
+    /// breakdowns, and iteration counts. Unlike `parallel_scaling`'s
+    /// `matches_serial`, this must *always* be true: the batched solver
+    /// replays the scalar arithmetic per lane exactly.
+    pub identical: bool,
+}
+
+impl BatchScalingRow {
+    /// Work-unit throughput (units per wall-second) of the scalar run.
+    #[must_use]
+    pub fn scalar_throughput(&self) -> f64 {
+        self.work_units as f64 / self.scalar_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Work-unit throughput (units per wall-second) of the batched run.
+    #[must_use]
+    pub fn batched_throughput(&self) -> f64 {
+        self.work_units as f64 / self.batched_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Throughput gain of the batched solver over the scalar executor.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.batched_throughput() / self.scalar_throughput().max(1e-9)
+    }
+}
+
+/// Measures what the struct-of-arrays solver is worth on the 8-query
+/// workload: for each round batch B, one tick runs every admitted round as
+/// per-object scalar solves (`batch_solver: false`) and one groups
+/// same-shape refinements into lane-parallel sweeps (`batch_solver:
+/// true`). Both use a single worker, so the comparison isolates the
+/// kernel: same schedule, same work units, same answers — only the
+/// arithmetic layout (and hence the wall clock) differs.
+pub fn batch_scaling(lab: &Lab, round_batches: &[usize]) -> Vec<BatchScalingRow> {
+    use va_server::{Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let queries = server_workload(relation.len(), 8);
+
+    let run = |round_batch: usize, batch_solver: bool| {
+        let mut srv = Server::new(
+            lab.pricer,
+            relation.clone(),
+            ServerConfig {
+                workers: 1,
+                batch: Some(round_batch),
+                batch_solver,
+                ..ServerConfig::default()
+            },
+        );
+        for q in &queries {
+            srv.subscribe(q.clone(), 1).expect("subscribe");
+        }
+        srv.tick(lab.rate).expect("batch-scaling tick")
+    };
+
+    round_batches
+        .iter()
+        .map(|&round_batch| {
+            let scalar = run(round_batch, false);
+            let batched = run(round_batch, true);
+            BatchScalingRow {
+                round_batch,
+                scalar_wall: scalar.stats.wall,
+                batched_wall: batched.stats.wall,
+                work_units: batched.stats.total_work(),
+                iterations: batched.stats.iterations,
+                identical: scalar.answers == batched.answers
+                    && scalar.stats.work == batched.stats.work
+                    && scalar.stats.iterations == batched.stats.iterations,
+            }
+        })
+        .collect()
+}
+
 /// One side of the kill-and-recover comparison: the same post-crash tick
 /// executed either `cold` (a fresh server recomputing from scratch) or
 /// `warm` (a server recovered from the journal, with the pool re-admitted

@@ -9,6 +9,7 @@
 //!   process converged to — the recovery path's way of re-admitting objects
 //!   at their achieved accuracy instead of re-iterating from scratch.
 
+use crate::batch::{BatchLane, GridShape};
 use crate::bounds::Bounds;
 use crate::cost::{Work, WorkMeter};
 use crate::interface::ResultObject;
@@ -71,6 +72,17 @@ impl<R: ResultObject> ResultObject for Negated<R> {
 
     fn cumulative_cost(&self) -> Work {
         self.0.cumulative_cost()
+    }
+
+    // Lane batching passes through: the lane protocol runs in the inner
+    // object's frame, and dispatchers read post-commit bounds through the
+    // adapter (which negates), so batched and scalar execution agree.
+    fn batch_shape(&self) -> Option<GridShape> {
+        self.0.batch_shape()
+    }
+
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        self.0.as_batch_lane()
     }
 }
 
@@ -140,6 +152,14 @@ impl<R: ResultObject> ResultObject for Shifted<R> {
 
     fn cumulative_cost(&self) -> Work {
         self.inner.cumulative_cost()
+    }
+
+    fn batch_shape(&self) -> Option<GridShape> {
+        self.inner.batch_shape()
+    }
+
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        self.inner.as_batch_lane()
     }
 }
 
@@ -250,6 +270,25 @@ impl<R: ResultObject> ResultObject for WarmStarted<R> {
     fn cumulative_cost(&self) -> Work {
         self.inner.cumulative_cost() + self.prior_cost
     }
+
+    // A converged seed makes iterate() a free no-op, so the object must
+    // never join a batch; a non-converged seed passes iteration straight
+    // through to the inner solver, and its lane view with it.
+    fn batch_shape(&self) -> Option<GridShape> {
+        if self.seed_converged {
+            None
+        } else {
+            self.inner.batch_shape()
+        }
+    }
+
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        if self.seed_converged {
+            None
+        } else {
+            self.inner.as_batch_lane()
+        }
+    }
 }
 
 /// Boxed-object passthrough so `Box<dyn ResultObject>` (with or without
@@ -287,6 +326,14 @@ impl<R: ResultObject + ?Sized> ResultObject for Box<R> {
 
     fn cumulative_cost(&self) -> Work {
         (**self).cumulative_cost()
+    }
+
+    fn batch_shape(&self) -> Option<GridShape> {
+        (**self).batch_shape()
+    }
+
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        (**self).as_batch_lane()
     }
 }
 

@@ -13,6 +13,7 @@
 //!   *next* iteration, used by aggregate VAOs to choose among objects
 //!   ([`ResultObject::est_cpu`], [`ResultObject::est_bounds`]).
 
+use crate::batch::{BatchLane, GridShape};
 use crate::bounds::Bounds;
 use crate::cost::{Work, WorkMeter};
 
@@ -74,6 +75,25 @@ pub trait ResultObject {
 
     /// Total solver work this object has charged across all iterations.
     fn cumulative_cost(&self) -> Work;
+
+    /// The grid shape of the next iteration's fresh solve, when that
+    /// iteration could instead run as one lane of a shape-grouped batched
+    /// solve (see [`crate::batch`]). `None` — the default — means the next
+    /// step must run through plain [`iterate`](ResultObject::iterate)
+    /// (non-mesh objects, cache hits, converged or capped objects).
+    ///
+    /// Whenever this returns `Some`,
+    /// [`as_batch_lane`](ResultObject::as_batch_lane) must return `Some`
+    /// and the lane's [`BatchLane::lane_shape`] must agree.
+    fn batch_shape(&self) -> Option<GridShape> {
+        None
+    }
+
+    /// The object's lane view for a batched dispatcher, or `None` for
+    /// scalar-only objects (the default).
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        None
+    }
 }
 
 impl<R: ResultObject + ?Sized> ResultObject for &mut R {
@@ -107,6 +127,14 @@ impl<R: ResultObject + ?Sized> ResultObject for &mut R {
 
     fn cumulative_cost(&self) -> Work {
         (**self).cumulative_cost()
+    }
+
+    fn batch_shape(&self) -> Option<GridShape> {
+        (**self).batch_shape()
+    }
+
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        (**self).as_batch_lane()
     }
 }
 

@@ -55,6 +55,7 @@
 #![deny(unsafe_code)]
 
 pub mod adapters;
+pub mod batch;
 pub mod bounds;
 pub mod cost;
 pub mod error;
@@ -65,6 +66,7 @@ pub mod strategy;
 pub mod testkit;
 pub mod trace;
 
+pub use batch::{BatchLane, GridShape, LaneFailure};
 pub use bounds::Bounds;
 pub use cost::{Work, WorkBreakdown, WorkMeter};
 pub use error::VaoError;

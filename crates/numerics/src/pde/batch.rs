@@ -1,0 +1,252 @@
+//! Lockstep batched execution of shape-grouped PDE refinements.
+//!
+//! One `iterate()` of a [`PdeResultObject`] is one fresh mesh solve: `nt`
+//! backward time steps, each a tridiagonal solve over `nx + 1` mesh
+//! columns. When K objects' next solves share a [`GridShape`], this module
+//! advances all K in lockstep: their bands, states and right-hand sides
+//! live as interleaved lanes in struct-of-arrays planes, and every time
+//! step runs **one** lane-parallel [`BatchThomasSolver`] sweep instead of K
+//! scalar ones.
+//!
+//! Per lane, the arithmetic is exactly the scalar
+//! [`solve_on_mesh`](crate::pde::solver::solve_on_mesh) sequence in the
+//! same order, so committed values, bounds and meter charges are
+//! bit-identical to K independent `iterate()` calls. A lane whose
+//! elimination goes singular is isolated: the sweep keeps computing through
+//! its (garbage, but IEEE-safe) entries, the first failure is recorded, and
+//! the lane's [`BatchLane::lane_commit`] receives the failure so the object
+//! degrades exactly as its scalar path would — sibling lanes never notice.
+//!
+//! [`PdeResultObject`]: crate::pde::vao::PdeResultObject
+
+use vao::batch::{BatchLane, GridShape, LaneFailure};
+use vao::cost::WorkMeter;
+use vao::Bounds;
+
+use crate::tridiag::{BatchThomasSolver, TridiagBatch, TridiagError};
+
+/// Advances every lane through one full refinement solve (`shape.nt` time
+/// steps in lockstep), committing each lane's result on its own meter, and
+/// returns the per-lane post-commit bounds in lane order.
+///
+/// Every lane must currently report `lane_shape() == Some(shape)`; the
+/// caller (e.g. the server's round scheduler) is responsible for grouping.
+/// Failed lanes are committed with their [`LaneFailure`] instead of a
+/// value, exactly once, at the step where the scalar solver would have
+/// aborted.
+///
+/// # Panics
+///
+/// Panics if `lanes` and `meters` have different lengths.
+pub fn step_batch(
+    shape: GridShape,
+    lanes: &mut [&mut dyn BatchLane],
+    meters: &mut [WorkMeter],
+) -> Vec<Bounds> {
+    assert_eq!(lanes.len(), meters.len(), "one meter per lane");
+    let k = lanes.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    debug_assert!(
+        lanes.iter().all(|l| l.lane_shape() == Some(shape)),
+        "every lane must agree on the group shape"
+    );
+
+    let rows = shape.rows();
+    let mut batch = TridiagBatch::new(rows, k);
+    let mut state = vec![0.0; rows * k];
+    let mut next = vec![0.0; rows * k];
+    let mut status: Vec<Result<(), TridiagError>> = vec![Ok(()); k];
+    let mut failures: Vec<Option<LaneFailure>> = vec![None; k];
+    let mut solver = BatchThomasSolver::new();
+
+    {
+        let (sub, diag, sup, _) = batch.planes_mut();
+        for (idx, lane) in lanes.iter().enumerate() {
+            lane.lane_init(shape, sub, diag, sup, &mut state, k, idx);
+        }
+    }
+    for step in 1..=shape.nt {
+        {
+            let rhs = batch.rhs_mut();
+            for (idx, lane) in lanes.iter().enumerate() {
+                lane.lane_rhs(shape, step, &state, rhs, k, idx);
+            }
+        }
+        solver
+            .solve(&batch, &mut next, &mut status)
+            .expect("stepper sized the planes");
+        for (idx, s) in status.iter().enumerate() {
+            if let Err(TridiagError::ZeroPivot { row }) = *s {
+                failures[idx].get_or_insert(LaneFailure { step, row });
+            }
+        }
+        std::mem::swap(&mut state, &mut next);
+    }
+
+    lanes
+        .iter_mut()
+        .zip(meters.iter_mut())
+        .enumerate()
+        .map(|(idx, (lane, meter))| lane.lane_commit(shape, &state, k, idx, failures[idx], meter))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pde::problem::DecayProblem;
+    use crate::pde::vao::{PdeResultObject, PdeVaoConfig};
+    use vao::interface::ResultObject;
+
+    fn problems() -> Vec<DecayProblem> {
+        (0..6)
+            .map(|i| DecayProblem {
+                rate: 0.03 + 0.01 * f64::from(i),
+                coupon: 4.0 + f64::from(i),
+                terminal_value: 100.0,
+                horizon: 5.0 + 2.5 * f64::from(i),
+            })
+            .collect()
+    }
+
+    /// Builds the objects and drains the trio's cache-hit refinements so
+    /// the next iterate() on each is a fresh, batchable solve.
+    fn fresh_objects() -> Vec<PdeResultObject<DecayProblem>> {
+        let mut meter = WorkMeter::new();
+        problems()
+            .into_iter()
+            .map(|p| {
+                let mut obj = PdeResultObject::new(p, PdeVaoConfig::default(), &mut meter).unwrap();
+                while !obj.converged() && obj.batch_shape().is_none() {
+                    obj.iterate(&mut meter);
+                }
+                assert!(obj.batch_shape().is_some(), "object must become batchable");
+                obj
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_solve_is_bit_identical_to_scalar_iterates() {
+        let mut scalar = fresh_objects();
+        let mut batched = fresh_objects();
+
+        // All decay problems share the mesh schedule, hence the shape.
+        let shape = batched[0].batch_shape().unwrap();
+        for obj in &batched {
+            assert_eq!(obj.batch_shape(), Some(shape));
+        }
+
+        let mut scalar_meters: Vec<WorkMeter> = scalar.iter().map(|_| WorkMeter::new()).collect();
+        let scalar_bounds: Vec<Bounds> = scalar
+            .iter_mut()
+            .zip(scalar_meters.iter_mut())
+            .map(|(obj, m)| obj.iterate(m))
+            .collect();
+
+        let mut meters: Vec<WorkMeter> = batched.iter().map(|_| WorkMeter::new()).collect();
+        let mut lanes: Vec<&mut dyn BatchLane> = batched
+            .iter_mut()
+            .map(|o| o as &mut dyn BatchLane)
+            .collect();
+        let batch_bounds = step_batch(shape, &mut lanes, &mut meters);
+        drop(lanes);
+
+        for i in 0..scalar.len() {
+            assert_eq!(
+                scalar_bounds[i].lo().to_bits(),
+                batch_bounds[i].lo().to_bits(),
+                "lane {i} lower bound"
+            );
+            assert_eq!(
+                scalar_bounds[i].hi().to_bits(),
+                batch_bounds[i].hi().to_bits(),
+                "lane {i} upper bound"
+            );
+            assert_eq!(scalar[i].mesh(), batched[i].mesh());
+            assert_eq!(scalar[i].est_cpu(), batched[i].est_cpu());
+            assert_eq!(
+                scalar_meters[i].breakdown(),
+                meters[i].breakdown(),
+                "lane {i} charges its own meter exactly like scalar"
+            );
+            assert_eq!(scalar_meters[i].iterations(), meters[i].iterations());
+        }
+    }
+
+    #[test]
+    fn batched_refinement_to_convergence_matches_scalar() {
+        // Drive one batched and one scalar population all the way down and
+        // compare the final converged bounds bitwise.
+        let mut scalar = fresh_objects();
+        let mut meter = WorkMeter::new();
+        for obj in &mut scalar {
+            let mut guard = 0;
+            while !obj.converged() {
+                obj.iterate(&mut meter);
+                guard += 1;
+                assert!(guard < 64, "scalar object failed to converge");
+            }
+        }
+
+        let mut batched = fresh_objects();
+        let mut guard = 0;
+        loop {
+            // Group by shape each round, batch the groups, scalar-step the
+            // stragglers — a miniature of the server's dispatch.
+            let mut by_shape: Vec<(GridShape, Vec<usize>)> = Vec::new();
+            for (i, obj) in batched.iter().enumerate() {
+                if let Some(s) = obj.batch_shape() {
+                    match by_shape.iter_mut().find(|(g, _)| *g == s) {
+                        Some((_, v)) => v.push(i),
+                        None => by_shape.push((s, vec![i])),
+                    }
+                }
+            }
+            if by_shape.is_empty() {
+                for obj in &mut batched {
+                    if !obj.converged() {
+                        obj.iterate(&mut meter);
+                    }
+                }
+                if batched.iter().all(|o| o.converged()) {
+                    break;
+                }
+            }
+            for (shape, idxs) in by_shape {
+                let mut meters: Vec<WorkMeter> = idxs.iter().map(|_| WorkMeter::new()).collect();
+                let mut taken: Vec<&mut PdeResultObject<DecayProblem>> = Vec::new();
+                let mut rest = batched.as_mut_slice();
+                let mut consumed = 0;
+                for &i in &idxs {
+                    let (head, tail) = rest.split_at_mut(i - consumed + 1);
+                    taken.push(&mut head[i - consumed]);
+                    consumed = i + 1;
+                    rest = tail;
+                }
+                let mut lanes: Vec<&mut dyn BatchLane> =
+                    taken.into_iter().map(|o| o as &mut dyn BatchLane).collect();
+                step_batch(shape, &mut lanes, &mut meters);
+            }
+            guard += 1;
+            assert!(guard < 64, "batched population failed to converge");
+        }
+
+        for (s, b) in scalar.iter().zip(&batched) {
+            assert_eq!(s.bounds().lo().to_bits(), b.bounds().lo().to_bits());
+            assert_eq!(s.bounds().hi().to_bits(), b.bounds().hi().to_bits());
+            assert_eq!(s.mesh(), b.mesh());
+            assert_eq!(s.cumulative_cost(), b.cumulative_cost());
+        }
+    }
+
+    #[test]
+    fn empty_group_is_a_no_op() {
+        let mut lanes: Vec<&mut dyn BatchLane> = Vec::new();
+        let mut meters: Vec<WorkMeter> = Vec::new();
+        let out = step_batch(GridShape { nt: 4, nx: 8 }, &mut lanes, &mut meters);
+        assert!(out.is_empty());
+    }
+}

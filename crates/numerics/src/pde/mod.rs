@@ -13,14 +13,18 @@
 //! step-size combinations into real-valued error bounds via Richardson
 //! extrapolation, and [`vao`] wraps the whole machinery as a
 //! [`::vao::ResultObject`] whose `iterate()` halves whichever step size the
-//! error model blames most.
+//! error model blames most. [`batch`] advances many such objects whose next
+//! refinements share a grid shape in lockstep, as lanes of one
+//! struct-of-arrays sweep, bit-identically to their scalar iterations.
 
+pub mod batch;
 pub mod extrapolation;
 pub mod problem;
 pub mod solver;
 pub mod two_factor;
 pub mod vao;
 
+pub use batch::step_batch;
 pub use extrapolation::{StepKind, TwoTermErrorModel};
 pub use problem::ParabolicPde;
 pub use solver::{solve_on_mesh, MeshSolution, SolverConfig};

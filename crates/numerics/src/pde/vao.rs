@@ -14,6 +14,7 @@
 //! 4. re-centers the bounds on the new solution and updates `estCPU` /
 //!    `estL` / `estH` from the model's prediction for the *next* halving.
 
+use vao::batch::{BatchLane, GridShape, LaneFailure};
 use vao::cost::{Work, WorkMeter};
 use vao::interface::ResultObject;
 use vao::Bounds;
@@ -181,6 +182,18 @@ impl<P: ParabolicPde> PdeResultObject<P> {
             && nt < u32::MAX / 2
             && nx < u32::MAX / 2
     }
+
+    /// Mesh geometry shared by the lane protocol and the scalar solver:
+    /// space step `h` and the lower domain edge. Grid coordinates are
+    /// recomputed as `x_lo + h·i` — the identical expression
+    /// `solve_on_mesh` evaluates, so lane and scalar solves see
+    /// bit-identical coefficients.
+    fn geometry(&self, shape: GridShape) -> (f64, f64, f64) {
+        let (x_lo, x_hi) = self.problem.domain();
+        let h = (x_hi - x_lo) / f64::from(shape.nx);
+        let dt = self.problem.horizon() / f64::from(shape.nt);
+        (x_lo, h, dt)
+    }
 }
 
 impl<P: ParabolicPde> ResultObject for PdeResultObject<P> {
@@ -266,6 +279,154 @@ impl<P: ParabolicPde> ResultObject for PdeResultObject<P> {
 
     fn cumulative_cost(&self) -> Work {
         self.cumulative
+    }
+
+    fn batch_shape(&self) -> Option<GridShape> {
+        self.lane_shape()
+    }
+
+    fn as_batch_lane(&mut self) -> Option<&mut dyn BatchLane> {
+        Some(self)
+    }
+}
+
+impl<P: ParabolicPde> BatchLane for PdeResultObject<P> {
+    fn lane_shape(&self) -> Option<GridShape> {
+        if self.converged() || self.capped {
+            return None;
+        }
+        let (nt, nx, _) = self.next_mesh();
+        if !self.refinement_possible(nt, nx) || self.cached(nt, nx).is_some() {
+            return None;
+        }
+        Some(GridShape { nt, nx })
+    }
+
+    fn lane_init(
+        &self,
+        shape: GridShape,
+        sub: &mut [f64],
+        diag: &mut [f64],
+        sup: &mut [f64],
+        state: &mut [f64],
+        stride: usize,
+        offset: usize,
+    ) {
+        // The band setup of `solve_on_mesh`, written strided. The planes
+        // may hold another group's leftovers, so the convention entries the
+        // scalar path leaves at their vec![0.0] initialization (`sub[0]`,
+        // `sup[n-1]`) are written explicitly here.
+        let n = shape.rows();
+        let (x_lo, h, dt) = self.geometry(shape);
+        let at = |i: usize| i * stride + offset;
+        let x_at = |i: usize| x_lo + h * i as f64;
+        for i in 1..n - 1 {
+            let x = x_at(i);
+            let a = self.problem.diffusion(x);
+            let b = self.problem.drift(x);
+            let r = self.problem.discount(x);
+            let alpha = dt * a / (h * h);
+            let beta = dt * b / (2.0 * h);
+            sub[at(i)] = -(alpha - beta);
+            diag[at(i)] = 1.0 + 2.0 * alpha + dt * r;
+            sup[at(i)] = -(alpha + beta);
+        }
+        {
+            // Lower boundary: no diffusion; inward (positive) drift
+            // one-sided.
+            let b = self.problem.drift(x_at(0)).max(0.0);
+            let r = self.problem.discount(x_at(0));
+            sub[at(0)] = 0.0;
+            diag[at(0)] = 1.0 + dt * r + dt * b / h;
+            sup[at(0)] = -dt * b / h;
+            // Upper boundary: no diffusion; inward (negative) drift
+            // one-sided.
+            let b = (-self.problem.drift(x_at(n - 1))).max(0.0);
+            let r = self.problem.discount(x_at(n - 1));
+            sub[at(n - 1)] = -dt * b / h;
+            diag[at(n - 1)] = 1.0 + dt * r + dt * b / h;
+            sup[at(n - 1)] = 0.0;
+        }
+        for i in 0..n {
+            state[at(i)] = self.problem.terminal(x_at(i));
+        }
+    }
+
+    fn lane_rhs(
+        &self,
+        shape: GridShape,
+        step: u32,
+        state: &[f64],
+        rhs: &mut [f64],
+        stride: usize,
+        offset: usize,
+    ) {
+        let n = shape.rows();
+        let (x_lo, h, dt) = self.geometry(shape);
+        let t = self.problem.horizon() - dt * f64::from(step);
+        // `x_lo + h·i` is the identical expression behind the scalar
+        // solver's precomputed `xs[i]`, so sources are evaluated at
+        // bit-identical coordinates.
+        for i in 0..n {
+            let at = i * stride + offset;
+            rhs[at] = state[at] + dt * self.problem.source(x_lo + h * i as f64, t);
+        }
+    }
+
+    fn lane_commit(
+        &mut self,
+        shape: GridShape,
+        state: &[f64],
+        stride: usize,
+        offset: usize,
+        failure: Option<LaneFailure>,
+        meter: &mut WorkMeter,
+    ) -> Bounds {
+        if self.converged() || self.capped {
+            return self.bounds;
+        }
+        if failure.is_some() {
+            // The scalar path's singular-solve handling: stop refining
+            // rather than report bogus bounds, charging nothing.
+            self.capped = true;
+            return self.bounds;
+        }
+        let (nt, nx) = (shape.nt, shape.nx);
+
+        // Interpolation at the query point, as in `solve_on_mesh`.
+        let n = shape.rows();
+        let (x_lo, h, _) = self.geometry(shape);
+        let xq = self.problem.x_query();
+        let pos = ((xq - x_lo) / h).clamp(0.0, (n - 1) as f64);
+        let i0 = (pos.floor() as usize).min(n - 2);
+        let frac = pos - i0 as f64;
+        let new_value =
+            state[i0 * stride + offset] * (1.0 - frac) + state[(i0 + 1) * stride + offset] * frac;
+
+        // The post-solve bookkeeping of `iterate()`, charge for charge.
+        let cells = self.mesh_cells(nt, nx);
+        meter.charge_exec(cells);
+        meter.charge_store_state(1);
+        self.cumulative += cells;
+        self.cache.push((nt, nx, new_value));
+        meter.count_iteration();
+
+        let old_value = self.value;
+        let (old_dt, old_dx) = self.steps(self.nt, self.nx);
+        if nt != self.nt {
+            self.model.refit_k1(old_value, new_value, old_dt);
+        } else {
+            self.model.refit_k2(old_value, new_value, old_dx);
+        }
+        self.nt = nt;
+        self.nx = nx;
+        self.value = new_value;
+        self.last_solve_work = cells;
+
+        let (dt, dx) = self.steps(nt, nx);
+        let fresh = self.model.bounds_around(new_value, dt, dx);
+        self.bounds = self.bounds.intersect(&fresh).unwrap_or(fresh);
+        self.bounds
     }
 }
 

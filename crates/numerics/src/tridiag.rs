@@ -88,6 +88,213 @@ impl ThomasSolver {
     }
 }
 
+/// Struct-of-arrays coefficient planes for `lanes` independent tridiagonal
+/// systems of the same row count.
+///
+/// Layout: the entry for row `i` of lane `l` lives at `i * lanes + l`, so
+/// the per-row inner loop over lanes walks contiguous, cache-line-friendly
+/// memory that auto-vectorizes. More importantly, the Thomas recurrence is
+/// serial in `i` but *independent across lanes*: interleaving K lanes lets
+/// the per-row divisions — the latency chain that dominates the scalar
+/// solver — pipeline across lanes instead of stalling back-to-back.
+#[derive(Clone, Debug)]
+pub struct TridiagBatch {
+    rows: usize,
+    lanes: usize,
+    sub: Vec<f64>,
+    diag: Vec<f64>,
+    sup: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+impl TridiagBatch {
+    /// Allocates zeroed planes for `lanes` systems of `rows` rows each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `lanes` is zero.
+    #[must_use]
+    pub fn new(rows: usize, lanes: usize) -> Self {
+        assert!(rows > 0 && lanes > 0, "batch must have rows and lanes");
+        Self {
+            rows,
+            lanes,
+            sub: vec![0.0; rows * lanes],
+            diag: vec![0.0; rows * lanes],
+            sup: vec![0.0; rows * lanes],
+            rhs: vec![0.0; rows * lanes],
+        }
+    }
+
+    /// Rows per lane system.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mutable views of all four planes (`sub`, `diag`, `sup`, `rhs`) for
+    /// strided per-lane filling.
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        (&mut self.sub, &mut self.diag, &mut self.sup, &mut self.rhs)
+    }
+
+    /// Mutable view of the right-hand-side plane alone (refilled every
+    /// time step while the bands stay fixed).
+    pub fn rhs_mut(&mut self) -> &mut [f64] {
+        &mut self.rhs
+    }
+
+    /// Copies one lane's scalar system into the planes (tests and one-off
+    /// callers; hot paths fill the planes strided in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or any slice length differs from
+    /// [`TridiagBatch::rows`].
+    pub fn set_lane(&mut self, lane: usize, sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let n = self.rows;
+        assert!(
+            sub.len() == n && diag.len() == n && sup.len() == n && rhs.len() == n,
+            "lane slices must have {n} rows"
+        );
+        for i in 0..n {
+            let at = i * self.lanes + lane;
+            self.sub[at] = sub[i];
+            self.diag[at] = diag[i];
+            self.sup[at] = sup[i];
+            self.rhs[at] = rhs[i];
+        }
+    }
+}
+
+/// A reusable lane-parallel Thomas solver over [`TridiagBatch`] planes.
+///
+/// Per lane it performs exactly the floating-point operations of
+/// [`ThomasSolver::solve`] in exactly the same order — lanes are
+/// interleaved in memory, never combined arithmetically, and IEEE
+/// division/multiplication round identically whether issued scalar or
+/// SIMD — so results are **bit-identical** to solving each lane
+/// independently.
+#[derive(Clone, Debug, Default)]
+pub struct BatchThomasSolver {
+    c_prime: Vec<f64>,
+    d_prime: Vec<f64>,
+    /// First failing row per lane as an `f64` (∞ = no failure): keeping the
+    /// pivot bookkeeping in the same element type as the arithmetic lets
+    /// the hot loop stay branch-free and vectorizable.
+    first_bad: Vec<f64>,
+}
+
+impl BatchThomasSolver {
+    /// Creates a solver; scratch planes grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves every lane of `batch`: on return `x` (a `rows × lanes`
+    /// plane) holds each successful lane's solution and `status` (one
+    /// entry per lane) each lane's outcome.
+    ///
+    /// A lane whose elimination hits a numerically zero pivot gets
+    /// `Err(ZeroPivot)` naming the same first failing row the scalar
+    /// solver would report; its `x` entries are unspecified garbage, while
+    /// sibling lanes are completely unaffected (the sweep keeps computing
+    /// through the dead lane — IEEE arithmetic never traps — and only the
+    /// status stops its garbage from escaping). The outer `Result` is
+    /// `Err(BadShape)` only when `x` or `status` are sized wrong.
+    pub fn solve(
+        &mut self,
+        batch: &TridiagBatch,
+        x: &mut [f64],
+        status: &mut [Result<(), TridiagError>],
+    ) -> Result<(), TridiagError> {
+        let n = batch.rows;
+        let l = batch.lanes;
+        if x.len() != n * l || status.len() != l {
+            return Err(TridiagError::BadShape);
+        }
+        self.c_prime.resize(n * l, 0.0);
+        self.d_prime.resize(n * l, 0.0);
+        self.first_bad.resize(l, f64::INFINITY);
+
+        let pivot_eps = 1e-300;
+        let (sub, diag, sup, rhs) = (&batch.sub, &batch.diag, &batch.sup, &batch.rhs);
+        let c = &mut self.c_prime[..n * l];
+        let d = &mut self.d_prime[..n * l];
+        let bad = &mut self.first_bad[..l];
+
+        // Row 0: `sub[0]` is ignored, exactly as in the scalar solver.
+        {
+            let (diag, sup, rhs) = (&diag[..l], &sup[..l], &rhs[..l]);
+            for lane in 0..l {
+                let denom = diag[lane];
+                bad[lane] = if denom.abs() < pivot_eps {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                c[lane] = sup[lane] / denom;
+                d[lane] = rhs[lane] / denom;
+            }
+        }
+        // Forward elimination, one row across all lanes at a time. The
+        // pivot check is a branch-free min against the row index so the
+        // loop carries no per-lane control flow.
+        for i in 1..n {
+            let row = i * l;
+            let fi = i as f64;
+            let (sub, diag, sup, rhs) = (
+                &sub[row..row + l],
+                &diag[row..row + l],
+                &sup[row..row + l],
+                &rhs[row..row + l],
+            );
+            let (c_prev, c_row) = c[row - l..row + l].split_at_mut(l);
+            let (d_prev, d_row) = d[row - l..row + l].split_at_mut(l);
+            for lane in 0..l {
+                let denom = diag[lane] - sub[lane] * c_prev[lane];
+                let cand = if denom.abs() < pivot_eps {
+                    fi
+                } else {
+                    f64::INFINITY
+                };
+                bad[lane] = bad[lane].min(cand);
+                c_row[lane] = sup[lane] / denom;
+                d_row[lane] = (rhs[lane] - sub[lane] * d_prev[lane]) / denom;
+            }
+        }
+        // Back substitution.
+        let last = (n - 1) * l;
+        x[last..last + l].copy_from_slice(&d[last..last + l]);
+        for i in (0..n - 1).rev() {
+            let row = i * l;
+            let (x_row, x_next) = x[row..row + 2 * l].split_at_mut(l);
+            let (c_row, d_row) = (&c[row..row + l], &d[row..row + l]);
+            for lane in 0..l {
+                x_row[lane] = d_row[lane] - c_row[lane] * x_next[lane];
+            }
+        }
+        for lane in 0..l {
+            status[lane] = if bad[lane].is_finite() {
+                Err(TridiagError::ZeroPivot {
+                    row: bad[lane] as usize,
+                })
+            } else {
+                Ok(())
+            };
+        }
+        Ok(())
+    }
+}
+
 /// One-shot convenience wrapper over [`ThomasSolver::solve`].
 pub fn solve_tridiagonal(
     sub: &[f64],
@@ -197,6 +404,155 @@ mod tests {
         let err =
             solve_tridiagonal(&[0.0, 1.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]).unwrap_err();
         assert_eq!(err, TridiagError::ZeroPivot { row: 0 });
+    }
+
+    /// Deterministic pseudo-random stream for batch-vs-scalar comparisons.
+    fn rng(mut state: u64) -> impl FnMut() -> f64 {
+        move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn batched_solve_is_bit_identical_to_scalar_lanes() {
+        let mut rnd = rng(0xDEC0DE);
+        for &(rows, lanes) in &[(1usize, 1usize), (3, 2), (9, 7), (17, 64), (33, 5)] {
+            let mut batch = TridiagBatch::new(rows, lanes);
+            let mut systems = Vec::new();
+            for lane in 0..lanes {
+                let sub: Vec<f64> = (0..rows).map(|_| rnd() - 0.5).collect();
+                let sup: Vec<f64> = (0..rows).map(|_| rnd() - 0.5).collect();
+                let diag: Vec<f64> = (0..rows)
+                    .map(|i| 1.5 + sub[i].abs() + sup[i].abs() + rnd())
+                    .collect();
+                let rhs: Vec<f64> = (0..rows).map(|_| rnd() * 10.0 - 5.0).collect();
+                batch.set_lane(lane, &sub, &diag, &sup, &rhs);
+                systems.push((sub, diag, sup, rhs));
+            }
+            let mut x = vec![0.0; rows * lanes];
+            let mut status = vec![Ok(()); lanes];
+            BatchThomasSolver::new()
+                .solve(&batch, &mut x, &mut status)
+                .unwrap();
+            let mut scalar = ThomasSolver::new();
+            for (lane, (sub, diag, sup, rhs)) in systems.iter().enumerate() {
+                let mut expect = vec![0.0; rows];
+                scalar.solve(sub, diag, sup, rhs, &mut expect).unwrap();
+                assert_eq!(status[lane], Ok(()));
+                for i in 0..rows {
+                    assert_eq!(
+                        x[i * lanes + lane].to_bits(),
+                        expect[i].to_bits(),
+                        "{rows}x{lanes}: lane {lane} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pivot_degrades_only_its_own_lane() {
+        let rows = 6;
+        let lanes = 3;
+        let mut batch = TridiagBatch::new(rows, lanes);
+        let good_sub = vec![-1.0; rows];
+        let good_diag = vec![3.0; rows];
+        let good_sup = vec![-1.0; rows];
+        let rhs: Vec<f64> = (0..rows).map(|i| i as f64 + 1.0).collect();
+        batch.set_lane(0, &good_sub, &good_diag, &good_sup, &rhs);
+        // Lane 1 is singular partway through elimination: diag[2] equals
+        // sub[2]·c'[1] by construction, so the pivot at row 2 cancels.
+        let mut bad_diag = good_diag.clone();
+        bad_diag[2] = 1.0 / (3.0 - 1.0 / 3.0); // == sub[2]·c'[1], exactly
+        batch.set_lane(1, &good_sub, &bad_diag, &good_sup, &rhs);
+        batch.set_lane(2, &good_sub, &good_diag, &good_sup, &rhs);
+
+        let mut x = vec![0.0; rows * lanes];
+        let mut status = vec![Ok(()); lanes];
+        BatchThomasSolver::new()
+            .solve(&batch, &mut x, &mut status)
+            .unwrap();
+
+        // The scalar solver agrees on the failing lane's first bad row.
+        let scalar_err = ThomasSolver::new()
+            .solve(&good_sub, &bad_diag, &good_sup, &rhs, &mut vec![0.0; rows])
+            .unwrap_err();
+        assert_eq!(status[1], Err(scalar_err));
+        assert!(matches!(status[1], Err(TridiagError::ZeroPivot { row: 2 })));
+
+        // Sibling lanes are bit-identical to their scalar solves.
+        let mut expect = vec![0.0; rows];
+        ThomasSolver::new()
+            .solve(&good_sub, &good_diag, &good_sup, &rhs, &mut expect)
+            .unwrap();
+        for &lane in &[0usize, 2] {
+            assert_eq!(status[lane], Ok(()));
+            for i in 0..rows {
+                assert_eq!(x[i * lanes + lane].to_bits(), expect[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pivot_at_row_zero_is_reported() {
+        let mut batch = TridiagBatch::new(2, 2);
+        batch.set_lane(0, &[0.0, 1.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]);
+        batch.set_lane(1, &[0.0, 0.0], &[1.0, 1.0], &[0.0, 0.0], &[7.0, 8.0]);
+        let mut x = vec![0.0; 4];
+        let mut status = vec![Ok(()); 2];
+        BatchThomasSolver::new()
+            .solve(&batch, &mut x, &mut status)
+            .unwrap();
+        assert_eq!(status[0], Err(TridiagError::ZeroPivot { row: 0 }));
+        assert_eq!(status[1], Ok(()));
+        assert_eq!((x[1], x[3]), (7.0, 8.0));
+    }
+
+    #[test]
+    fn batch_solver_rejects_misshapen_outputs() {
+        let batch = TridiagBatch::new(3, 2);
+        let mut solver = BatchThomasSolver::new();
+        assert_eq!(
+            solver.solve(&batch, &mut [0.0; 5], &mut [Ok(()); 2]),
+            Err(TridiagError::BadShape)
+        );
+        assert_eq!(
+            solver.solve(&batch, &mut [0.0; 6], &mut [Ok(()); 1]),
+            Err(TridiagError::BadShape)
+        );
+    }
+
+    #[test]
+    fn batch_solver_scratch_is_reusable_across_sizes() {
+        let mut solver = BatchThomasSolver::new();
+        // Large solve first so stale scratch could shadow the small one.
+        let mut rnd = rng(0xBEEF);
+        let rows = 12;
+        let lanes = 8;
+        let mut big = TridiagBatch::new(rows, lanes);
+        for lane in 0..lanes {
+            let sub: Vec<f64> = (0..rows).map(|_| rnd() - 0.5).collect();
+            let sup: Vec<f64> = (0..rows).map(|_| rnd() - 0.5).collect();
+            let diag: Vec<f64> = (0..rows)
+                .map(|i| 2.0 + sub[i].abs() + sup[i].abs())
+                .collect();
+            let rhs: Vec<f64> = (0..rows).map(|_| rnd()).collect();
+            big.set_lane(lane, &sub, &diag, &sup, &rhs);
+        }
+        let mut x = vec![0.0; rows * lanes];
+        let mut status = vec![Ok(()); lanes];
+        solver.solve(&big, &mut x, &mut status).unwrap();
+
+        let mut small = TridiagBatch::new(2, 1);
+        small.set_lane(0, &[0.0, 0.0], &[2.0, 4.0], &[0.0, 0.0], &[2.0, 8.0]);
+        let mut y = vec![0.0; 2];
+        let mut st = vec![Ok(()); 1];
+        solver.solve(&small, &mut y, &mut st).unwrap();
+        assert_eq!(st[0], Ok(()));
+        assert_eq!(y, vec![1.0, 2.0]);
     }
 
     #[test]

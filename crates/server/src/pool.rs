@@ -11,6 +11,7 @@
 use bondlab::BondPricer;
 use va_stream::BondRelation;
 use vao::adapters::{WarmStart, WarmStarted};
+use vao::batch::GridShape;
 use vao::cost::{Work, WorkMeter};
 use vao::interface::{ResultObject, VariableAccuracyFn};
 use vao::Bounds;
@@ -162,6 +163,16 @@ impl SharedPool {
     #[must_use]
     pub fn est_cpu(&self, i: usize) -> Work {
         self.objects[i].est_cpu()
+    }
+
+    /// The grid shape of object `i`'s next refinement, when that
+    /// refinement can run as one lane of a batched solve (`None` for
+    /// converged, capped, or cache-served steps — and for object families
+    /// that never batch). The scheduler probes this before splitting
+    /// borrows so it can group same-shape objects into one SoA sweep.
+    #[must_use]
+    pub fn batch_shape(&self, i: usize) -> Option<GridShape> {
+        self.objects[i].batch_shape()
     }
 
     /// Whether object `i` has reached its stopping condition.

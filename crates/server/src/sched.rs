@@ -29,7 +29,9 @@
 //! degrade to anytime [`Answer::Partial`] bounds instead of blocking the
 //! tick (§7's graceful degradation, applied to scheduling).
 
+use va_numerics::pde::step_batch;
 use va_stream::BondRelation;
+use vao::batch::{BatchLane, GridShape};
 use vao::cost::{Work, WorkBreakdown, WorkMeter};
 use vao::interface::ResultObject;
 use vao::strategy::{Candidate, ChoicePolicy};
@@ -79,7 +81,10 @@ struct IterDone {
 /// `batch` is the number of distinct objects selected per round and is
 /// what determines the schedule; `workers` is the number of threads used
 /// to execute an admitted batch and never affects results. Both are
-/// clamped to at least 1.
+/// clamped to at least 1. `batch_solver` routes admitted objects whose
+/// next refinements share a grid shape through one lane-parallel SoA
+/// solve ([`run_batch_lanes`]); per-lane arithmetic is bit-identical to
+/// the scalar path, so this too never affects results.
 #[allow(clippy::too_many_arguments)] // one call site; the knobs are the API
 pub(crate) fn run_tick<O: ExecObserver>(
     registry: &mut SessionRegistry,
@@ -89,6 +94,7 @@ pub(crate) fn run_tick<O: ExecObserver>(
     iteration_limit: u64,
     workers: usize,
     batch: usize,
+    batch_solver: bool,
     meter: &mut WorkMeter,
     observer: &mut O,
 ) -> Result<TickOutcome, ServerError> {
@@ -216,9 +222,15 @@ pub(crate) fn run_tick<O: ExecObserver>(
             }
         }
 
-        // Execute the batch. Inline when there is nothing to fan out;
-        // otherwise on scoped worker threads over disjoint `&mut` borrows.
-        let done: Vec<IterDone> = if workers <= 1 || objs.len() == 1 {
+        // Execute the batch. With the batched solver on, group the
+        // admitted objects by the grid shape of their next refinement and
+        // run each group as lanes of one SoA sweep (bit-identical to the
+        // scalar iterates, so this is purely a throughput choice).
+        // Otherwise: inline when there is nothing to fan out, scoped
+        // worker threads over disjoint `&mut` borrows when there is.
+        let done: Vec<IterDone> = if batch_solver && objs.len() > 1 {
+            run_batch_lanes(pool, &objs, workers, meter)?
+        } else if workers <= 1 || objs.len() == 1 {
             let mut done = Vec::with_capacity(objs.len());
             for &chosen in &objs {
                 let before = pool.bounds(chosen);
@@ -365,6 +377,196 @@ fn run_batch_threaded(
         .map(|d| {
             d.ok_or(ServerError::Internal {
                 detail: "worker batch lost an object result",
+            })
+        })
+        .collect()
+}
+
+/// One schedulable piece of an admitted round under the batched solver:
+/// either a group of same-shape objects advanced as lanes of one SoA
+/// sweep, or a single object stepped through plain `iterate()`.
+///
+/// `slots` / `slot` index back into the round's pick order.
+enum ExecUnit<'p> {
+    Lanes {
+        shape: GridShape,
+        slots: Vec<usize>,
+        objs: Vec<&'p mut (dyn ResultObject + Send)>,
+    },
+    Scalar {
+        slot: usize,
+        obj: &'p mut (dyn ResultObject + Send),
+    },
+}
+
+/// Executes one unit, charging `scratch`, and returns per-object results
+/// tagged with their pick-order slots.
+///
+/// For a lane group, each lane commits on its own fresh meter (so the
+/// per-object `IterDone::work` is exactly what the scalar path would have
+/// charged) and the lane meters are then absorbed into `scratch`. The
+/// post-iteration bounds are re-read through the pool object — not taken
+/// from the lane commit — because adapters (negation, shifts) transform
+/// bounds *outside* the lane protocol's inner frame.
+fn exec_unit(unit: ExecUnit<'_>, scratch: &mut WorkMeter) -> Vec<(usize, IterDone)> {
+    match unit {
+        ExecUnit::Scalar { slot, obj } => {
+            let before = obj.bounds();
+            let snap = scratch.snapshot();
+            let after = obj.iterate(scratch);
+            vec![(
+                slot,
+                IterDone {
+                    before,
+                    after,
+                    work: scratch.since(&snap),
+                },
+            )]
+        }
+        ExecUnit::Lanes {
+            shape,
+            slots,
+            mut objs,
+        } => {
+            let befores: Vec<Bounds> = objs.iter().map(|o| o.bounds()).collect();
+            let mut meters: Vec<WorkMeter> = objs.iter().map(|_| WorkMeter::new()).collect();
+            {
+                let mut lanes: Vec<&mut dyn BatchLane> = objs
+                    .iter_mut()
+                    .map(|o| {
+                        o.as_batch_lane()
+                            .expect("batch_shape() == Some promises a lane")
+                    })
+                    .collect();
+                step_batch(shape, &mut lanes, &mut meters);
+            }
+            slots
+                .into_iter()
+                .zip(&objs)
+                .zip(befores)
+                .zip(meters)
+                .map(|(((slot, obj), before), m)| {
+                    scratch.absorb(&m);
+                    (
+                        slot,
+                        IterDone {
+                            before,
+                            after: obj.bounds(),
+                            work: m.breakdown(),
+                        },
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Executes an admitted round with the batched SoA solver: objects whose
+/// next refinements share a [`GridShape`] advance in lockstep as lanes of
+/// one lane-parallel Thomas sweep per time step; everything else (shapeless
+/// objects, singleton groups) falls back to scalar `iterate()`.
+///
+/// Returns per-object results in pick order, exactly like the scalar
+/// paths: per-lane arithmetic, meter charges and failure handling are
+/// bit-identical to K independent iterations, so callers cannot observe
+/// which route ran beyond wall-clock time. A lane that goes singular is
+/// committed failed (capped) without touching its siblings — the same
+/// degradation the scalar solver produces.
+fn run_batch_lanes(
+    pool: &mut SharedPool,
+    objs: &[usize],
+    workers: usize,
+    meter: &mut WorkMeter,
+) -> Result<Vec<IterDone>, ServerError> {
+    // Probe shapes through the shared-borrow API *before* splitting the
+    // pool into disjoint `&mut` borrows (disjoint_mut wants strictly
+    // ascending indices; remember pick-order slots to map results back).
+    let mut order: Vec<usize> = (0..objs.len()).collect();
+    order.sort_by_key(|&slot| objs[slot]);
+    let sorted_objs: Vec<usize> = order.iter().map(|&slot| objs[slot]).collect();
+    let shapes: Vec<Option<GridShape>> = sorted_objs.iter().map(|&i| pool.batch_shape(i)).collect();
+    let parts = pool.disjoint_mut(&sorted_objs);
+
+    // Group same-shape objects; shapeless ones go scalar immediately.
+    let mut groups: Vec<(GridShape, Vec<usize>, Vec<&mut (dyn ResultObject + Send)>)> = Vec::new();
+    let mut scalars: Vec<(usize, &mut (dyn ResultObject + Send))> = Vec::new();
+    for ((slot, obj), shape) in order.iter().copied().zip(parts).zip(&shapes) {
+        match shape {
+            Some(s) => match groups.iter_mut().find(|(g, _, _)| g == s) {
+                Some((_, slots, members)) => {
+                    slots.push(slot);
+                    members.push(obj);
+                }
+                None => groups.push((*s, vec![slot], vec![obj])),
+            },
+            None => scalars.push((slot, obj)),
+        }
+    }
+    // A singleton group gains nothing from the SoA layout — demote it.
+    let mut units: Vec<ExecUnit<'_>> = Vec::new();
+    for (shape, slots, members) in groups {
+        if slots.len() >= 2 {
+            units.push(ExecUnit::Lanes {
+                shape,
+                slots,
+                objs: members,
+            });
+        } else {
+            for (slot, obj) in slots.into_iter().zip(members) {
+                scalars.push((slot, obj));
+            }
+        }
+    }
+    units.extend(
+        scalars
+            .into_iter()
+            .map(|(slot, obj)| ExecUnit::Scalar { slot, obj }),
+    );
+
+    let mut done: Vec<Option<IterDone>> = (0..objs.len()).map(|_| None).collect();
+    if workers <= 1 || units.len() == 1 {
+        for unit in units {
+            for (slot, d) in exec_unit(unit, meter) {
+                done[slot] = Some(d);
+            }
+        }
+    } else {
+        // Fan the units out over scoped threads, run_batch_threaded-style:
+        // scratch meters merge by addition, results re-sort by slot, so
+        // the outcome is bit-identical to inline execution.
+        let threads = workers.min(units.len());
+        let chunk = units.len().div_ceil(threads);
+        let mut units = units;
+        let joined: Vec<_> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            while !units.is_empty() {
+                let take = chunk.min(units.len());
+                let mine: Vec<_> = units.drain(..take).collect();
+                handles.push(s.spawn(move || {
+                    let mut scratch = WorkMeter::new();
+                    let mut out = Vec::new();
+                    for unit in mine {
+                        out.extend(exec_unit(unit, &mut scratch));
+                    }
+                    (out, scratch)
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        for j in joined {
+            let (out, scratch) = j.map_err(|_| ServerError::Internal {
+                detail: "worker thread panicked during batched solve",
+            })?;
+            meter.absorb(&scratch);
+            for (slot, d) in out {
+                done[slot] = Some(d);
+            }
+        }
+    }
+    done.into_iter()
+        .map(|d| {
+            d.ok_or(ServerError::Internal {
+                detail: "batched round lost an object result",
             })
         })
         .collect()

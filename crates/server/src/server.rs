@@ -50,6 +50,13 @@ pub struct ServerConfig {
     /// demand once per B iterations. `Some(1)` reproduces the historical
     /// serial schedule exactly.
     pub batch: Option<usize>,
+    /// Whether an admitted round routes same-grid-shape refinements
+    /// through one lane-parallel struct-of-arrays solve instead of
+    /// per-object scalar solves (default `true`). Per-lane arithmetic is
+    /// bit-identical to the scalar path — same answers, same meter
+    /// charges, same traces — so this is purely a throughput knob;
+    /// `false` retains the scalar executor as a benchmark baseline.
+    pub batch_solver: bool,
     /// Journal events between periodic snapshots on a durable server
     /// (clamped to ≥ 1; ignored without a data dir). This is also the
     /// recovery/disk bound: the journal tail replayed at open and the
@@ -71,6 +78,7 @@ impl Default for ServerConfig {
             iteration_limit: DEFAULT_ITERATION_LIMIT,
             workers: 1,
             batch: None,
+            batch_solver: true,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         }
     }
@@ -556,6 +564,7 @@ impl Server {
             self.config.iteration_limit,
             self.config.workers,
             self.config.effective_batch(),
+            self.config.batch_solver,
             &mut meter,
             &mut fan,
         )?;

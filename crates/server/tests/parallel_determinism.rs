@@ -156,6 +156,47 @@ fn worker_count_never_changes_results() {
     }
 }
 
+/// The SoA lane solver is purely a throughput choice: with the same round
+/// batch, `batch_solver: true` (shape-grouped lockstep sweeps) and
+/// `batch_solver: false` (per-object scalar solves) produce bit-identical
+/// answers, work accounting, and event traces.
+#[test]
+fn batched_solver_matches_scalar_answers() {
+    let cfg = |batch_solver: bool| ServerConfig {
+        batch: Some(8),
+        batch_solver,
+        ..ServerConfig::default()
+    };
+    let mut lanes = server(24, cfg(true));
+    let mut scalar = server(24, cfg(false));
+    let mut rec_l = Recorder::new();
+    let mut rec_s = Recorder::new();
+    let res_l = lanes.tick_with_observer(RATE, &mut rec_l).expect("tick");
+    let res_s = scalar.tick_with_observer(RATE, &mut rec_s).expect("tick");
+
+    assert_eq!(res_l.answers, res_s.answers, "answers are solver-invariant");
+    assert_eq!(res_l.stats.work, res_s.stats.work);
+    assert_eq!(res_l.stats.iterations, res_s.stats.iterations);
+    assert_eq!(res_l.budget_exhausted, res_s.budget_exhausted);
+    assert_eq!(rec_l.events().len(), rec_s.events().len());
+    for (a, b) in rec_l.events().iter().zip(rec_s.events()) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    // And the lane solver composes with threaded execution: a 4-worker
+    // batched run matches the single-worker batched run exactly.
+    let mut fanned = server(
+        24,
+        ServerConfig {
+            workers: 4,
+            ..cfg(true)
+        },
+    );
+    let res_f = fanned.tick(RATE).expect("tick");
+    assert_eq!(res_l.answers, res_f.answers);
+    assert_eq!(res_l.stats.work, res_f.stats.work);
+}
+
 /// Budgeted parallel ticks degrade soundly: every Partial interval from a
 /// `workers = 4` run brackets the Final value the unbudgeted run (any
 /// worker count — they agree) converged to.

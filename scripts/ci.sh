@@ -4,7 +4,7 @@
 #
 #   ./scripts/ci.sh
 #
-# Eight stages, all mandatory:
+# Nine stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
@@ -22,7 +22,11 @@
 #                                  assert the data dir holds only the tail
 #                                  segments and two snapshots, then restart
 #                                  and RESUME as in stage 6
-#   8. cargo doc -D warnings    -- rustdoc must build clean
+#   8. batched-solver smoke     -- the SoA lane solver must produce answers
+#                                  bit-identical to the scalar executor on a
+#                                  small universe (numerics kernel identity +
+#                                  server dispatch identity, by name)
+#   9. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -161,6 +165,11 @@ wait "$SRV_PID" 2>/dev/null || true
 cleanup
 trap - EXIT
 echo "    compaction smoke ok (bounded data dir, session resumed across SIGKILL)"
+
+echo "==> batched SoA solver == scalar executor smoke"
+cargo test -q -p va-numerics --lib tridiag::tests::batched_solve_is_bit_identical_to_scalar_lanes
+cargo test -q -p va-numerics --lib pde::batch::tests::lockstep_solve_is_bit_identical_to_scalar_iterates
+cargo test -q -p va-server --test parallel_determinism batched_solver_matches_scalar_answers
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
