@@ -19,8 +19,8 @@ use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, batch_scaling,
     compaction_growth, fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold,
     max_table_traced, parallel_scaling, recovery_comparison, selection_sweep_traced,
-    server_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES,
-    STD_DEVS, WORKER_COUNTS,
+    server_scaling, sketch_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES,
+    SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -65,7 +65,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|batch-scaling|recovery|compaction|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|batch-scaling|sketch-scaling|recovery|compaction|all]..."
                 );
                 std::process::exit(0);
             }
@@ -469,6 +469,44 @@ fn main() {
             rows.iter().all(|r| r.identical)
         );
         t.write_csv(&args.out.join("batch_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "sketch-scaling") {
+        println!("-- Extension: sketch-guided PERCENTILE vs full-relation exact quantile --");
+        let rows = sketch_scaling(&lab, 0.5);
+        let mut t = Table::new(&[
+            "phi",
+            "epsilon",
+            "lo",
+            "hi",
+            "exact",
+            "contained",
+            "sketch_work",
+            "exact_work",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                format!("{:.2}", r.phi),
+                format!("{:.2}", r.epsilon),
+                format!("{:.4}", r.lo),
+                format!("{:.4}", r.hi),
+                format!("{:.4}", r.exact),
+                r.contained.to_string(),
+                r.sketch_work.to_string(),
+                r.exact_work.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        let first = rows.first().expect("at least one phi");
+        println!(
+            "  one shared sketch tick served {} subscriptions at {} of a single exact pass (all bounds contain exact: {})",
+            rows.len(),
+            fmt_speedup(first.work_ratio()),
+            rows.iter().all(|r| r.contained)
+        );
+        t.write_csv(&args.out.join("sketch_scaling.csv"))
             .expect("write csv");
         println!();
     }

@@ -1153,6 +1153,109 @@ pub fn compaction_growth(lab: &Lab, dir: &std::path::Path) -> Vec<CompactionRow>
     rows
 }
 
+/// The φ targets of the sketch-scaling workload: 8 concurrent PERCENTILE
+/// subscriptions spanning the rank range, including the median.
+pub const SKETCH_PHIS: [f64; 8] = [0.05, 0.10, 0.25, 0.40, 0.50, 0.60, 0.75, 0.90];
+
+/// One PERCENTILE subscription of the sketch-scaling comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchScalingRow {
+    /// The subscription's quantile target.
+    pub phi: f64,
+    /// The subscription's precision constraint.
+    pub epsilon: f64,
+    /// Reported lower bound of the converged answer interval.
+    pub lo: f64,
+    /// Reported upper bound of the converged answer interval.
+    pub hi: f64,
+    /// The exact rank-`⌈φN⌉` value, from the lab's calibrated prices.
+    pub exact: f64,
+    /// Whether `[lo, hi]` contains `exact` (up to the calibration width
+    /// the reference values themselves carry).
+    pub contained: bool,
+    /// Total work units of the one shared sketch-guided tick that served
+    /// all [`SKETCH_PHIS`] subscriptions — identical on every row.
+    pub sketch_work: u64,
+    /// Work units of one full-relation exact pass (converge every object,
+    /// then sort) — the query-independent baseline a traditional quantile
+    /// operator pays, identical on every row.
+    pub exact_work: u64,
+}
+
+impl SketchScalingRow {
+    /// How many times cheaper the shared sketch-guided tick is than a
+    /// single full-relation exact pass.
+    #[must_use]
+    pub fn work_ratio(&self) -> f64 {
+        self.exact_work as f64 / self.sketch_work.max(1) as f64
+    }
+}
+
+/// Compares sketch-guided PERCENTILE execution against the full-relation
+/// exact quantile baseline. One shared server subscribes all
+/// [`SKETCH_PHIS`] at `epsilon` and ticks once: the per-round
+/// [`IntervalQuantileSketch`](va_sketch::IntervalQuantileSketch) band
+/// restricts demand to rank-boundary straddlers, so off-band objects are
+/// never refined to ε. The baseline is the traditional operator's
+/// query-independent cost — converge all N objects, then sort — which any
+/// exact quantile over opaque variable-accuracy functions must pay at
+/// least once regardless of how many queries share it. Containment is
+/// checked against the lab's calibrated prices, slackened by the widest
+/// calibration interval (the reference values are only known that well).
+pub fn sketch_scaling(lab: &Lab, epsilon: f64) -> Vec<SketchScalingRow> {
+    use va_server::{Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+    use vao::ops::percentile::rank_from_top;
+
+    let relation = BondRelation::from_universe(&lab.universe);
+    let mut srv = Server::new(lab.pricer, relation, ServerConfig::default());
+    let ids: Vec<_> = SKETCH_PHIS
+        .iter()
+        .map(|&phi| {
+            srv.subscribe(va_stream::Query::Percentile { phi, epsilon }, 1)
+                .expect("subscribe percentile")
+        })
+        .collect();
+    let res = srv.tick(lab.rate).expect("shared sketch tick");
+    let sketch_work = res.stats.total_work();
+    let exact_work = lab.traditional_work();
+
+    let mut sorted = lab.converged.clone();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let slack = lab
+        .specs
+        .iter()
+        .map(|s| s.final_width)
+        .fold(0.0f64, f64::max);
+
+    SKETCH_PHIS
+        .iter()
+        .zip(&ids)
+        .map(|(&phi, id)| {
+            let out = res
+                .answers
+                .iter()
+                .find(|(s, _)| s == id)
+                .and_then(|(_, a)| a.final_output())
+                .expect("unbudgeted tick converges");
+            let va_stream::QueryOutput::Aggregate { bounds } = out else {
+                panic!("percentile answers Aggregate, got {out:?}");
+            };
+            let exact = sorted[rank_from_top(phi, sorted.len()) - 1];
+            SketchScalingRow {
+                phi,
+                epsilon,
+                lo: bounds.lo(),
+                hi: bounds.hi(),
+                exact,
+                contained: bounds.lo() - slack <= exact && exact <= bounds.hi() + slack,
+                sketch_work,
+                exact_work,
+            }
+        })
+        .collect()
+}
+
 /// Runs the traditional selection for completeness/answer checking
 /// (its work is query-independent; see [`Lab::traditional_work`]).
 pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {
@@ -1468,6 +1571,34 @@ mod tests {
         // answer still converged (no budget in this sweep).
         assert!(batched.rounds < serial.rounds);
         assert!(batched.iterations >= serial.iterations);
+    }
+
+    #[test]
+    fn sketch_scaling_prunes_work_and_keeps_containment() {
+        let lab = lab();
+        let rows = sketch_scaling(&lab, 0.5);
+        assert_eq!(rows.len(), SKETCH_PHIS.len());
+        for r in &rows {
+            assert!(
+                r.contained,
+                "φ={}: [{}, {}] must contain the exact value {}",
+                r.phi, r.lo, r.hi, r.exact
+            );
+            assert!(r.hi - r.lo <= r.epsilon + 1e-9, "φ={}: width over ε", r.phi);
+            assert!(
+                r.work_ratio() >= 1.5,
+                "φ={}: sketch tick {} vs exact pass {} is only {:.2}x",
+                r.phi,
+                r.sketch_work,
+                r.exact_work,
+                r.work_ratio()
+            );
+        }
+        // One shared tick serves all eight subscriptions: every row reports
+        // the same sketch cost.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].sketch_work == w[1].sketch_work));
     }
 
     #[test]

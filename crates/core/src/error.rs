@@ -60,6 +60,11 @@ pub enum VaoError {
         /// The offending value.
         value: f64,
     },
+    /// A quantile fraction was NaN, infinite or outside `[0, 1]`.
+    InvalidQuantile {
+        /// The offending value.
+        phi: f64,
+    },
 }
 
 impl std::fmt::Display for VaoError {
@@ -95,6 +100,12 @@ impl std::fmt::Display for VaoError {
             ),
             VaoError::NonFiniteConstant { value } => {
                 write!(f, "selection constant must be finite, got {value}")
+            }
+            VaoError::InvalidQuantile { phi } => {
+                write!(
+                    f,
+                    "quantile fraction must be a finite value in [0, 1], got {phi}"
+                )
             }
         }
     }

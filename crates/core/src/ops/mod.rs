@@ -16,13 +16,19 @@
 //!   pick instead of the baseline scan's `O(N)`).
 //! * [`quantile`] — extension: MEDIAN/rank-k by two-phase separation
 //!   (k = 1 ≡ MAX, k = N ≡ MIN).
+//! * [`percentile`] — extension: φ-quantile *value* bounds with
+//!   sketch-guided demand pruning (va-sketch rank bands).
+//! * [`heavy`] — extension: top-k ε-cell heavy hitters with
+//!   SpaceSaving/count-min demand pruning.
 //! * [`project`] — §3.2's precision-constrained projection of function
 //!   results into query output.
 
 pub mod count;
+pub mod heavy;
 pub mod hybrid;
 pub mod minmax;
 pub mod oracle;
+pub mod percentile;
 pub mod project;
 pub mod quantile;
 pub mod selection;

@@ -1,0 +1,335 @@
+//! Sketch-guided PERCENTILE (extension): value bounds on the φ-quantile.
+//!
+//! Unlike [`quantile`](crate::ops::quantile), which *identifies* the rank-`k`
+//! object by exact separation, this operator answers the **value** question —
+//! "what is the φ-quantile of the relation?" — with an interval of width ≤ ε,
+//! and uses an [`IntervalQuantileSketch`] to decide which objects are worth
+//! iterating:
+//!
+//! * The exact output bounds are the order statistics of the endpoint
+//!   multisets: `[k-th largest lo, k-th largest hi]` (rank `k` from the top
+//!   is `⌈(1 − φ)·N⌉`). Order statistics are monotone in every coordinate, so
+//!   this interval contains the φ-quantile of *any* point selection
+//!   `v_i ∈ [lo_i, hi_i]` — in particular the true one.
+//! * The demand set is the objects whose bounds straddle the sketch's rank
+//!   band, a superset of the exact `[k-th lo, k-th hi]` band (each sketch
+//!   bucket envelopes the exact value it absorbed). Objects entirely clear of
+//!   the band can never move the k-th order statistic, so they are pruned
+//!   without ever being iterated — the sketch-guided generalization of
+//!   Top-K's two-phase separation.
+//!
+//! If every straddler converges before the output width reaches ε, the
+//! operator stops at the `minWidth` floor and reports the (still sound)
+//! wider interval, mirroring SUM's behavior under an unsatisfiable ε.
+
+pub use va_sketch::rank_from_top;
+use va_sketch::IntervalQuantileSketch;
+
+use crate::bounds::Bounds;
+use crate::cost::{Work, WorkMeter};
+use crate::error::VaoError;
+use crate::interface::ResultObject;
+use crate::ops::minmax::AggregateConfig;
+use crate::precision::PrecisionConstraint;
+use crate::strategy::Candidate;
+
+/// Relative-error parameter of the guiding sketch. Shared with the server's
+/// demand functions so offline and online evaluation prune identically.
+pub const SKETCH_ALPHA: f64 = 0.01;
+
+/// Bucket budget of the guiding sketch (per endpoint sketch).
+pub const SKETCH_BUDGET: usize = 96;
+
+/// Outcome of a PERCENTILE evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PercentileResult {
+    /// Sound bounds on the φ-quantile value: `[k-th largest lo, k-th
+    /// largest hi]` at termination.
+    pub bounds: Bounds,
+    /// The evaluated rank from the top, `⌈(1 − φ)·N⌉` clamped to `1..=N`.
+    pub rank: usize,
+    /// Total `iterate()` calls issued.
+    pub iterations: u64,
+    /// Distinct objects that were iterated at least once — the pruning
+    /// numerator (`refined / N` is the touched fraction).
+    pub refined: usize,
+}
+
+/// Evaluates the φ-quantile value to width ≤ ε with the default (greedy)
+/// configuration.
+///
+/// `phi = 0.5` is the MEDIAN value, `phi → 1` the MAX, `phi → 0` the MIN.
+pub fn percentile_vao<R: ResultObject>(
+    objs: &mut [R],
+    phi: f64,
+    epsilon: PrecisionConstraint,
+    meter: &mut WorkMeter,
+) -> Result<PercentileResult, VaoError> {
+    percentile_vao_with(objs, phi, epsilon, &mut AggregateConfig::default(), meter)
+}
+
+/// Evaluates the φ-quantile value with an explicit configuration.
+pub fn percentile_vao_with<R: ResultObject>(
+    objs: &mut [R],
+    phi: f64,
+    epsilon: PrecisionConstraint,
+    config: &mut AggregateConfig,
+    meter: &mut WorkMeter,
+) -> Result<PercentileResult, VaoError> {
+    if objs.is_empty() {
+        return Err(VaoError::EmptyInput);
+    }
+    if !phi.is_finite() || !(0.0..=1.0).contains(&phi) {
+        return Err(VaoError::InvalidQuantile { phi });
+    }
+    epsilon.validate_single_object(objs)?;
+    let n = objs.len();
+    let k = rank_from_top(phi, n);
+
+    let mut iterations = 0u64;
+    let step = |objs: &mut [R], idx: usize, iterations: &mut u64, meter: &mut WorkMeter| {
+        if *iterations >= config.iteration_limit {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: config.iteration_limit,
+            });
+        }
+        let before = objs[idx].bounds();
+        let after = objs[idx].iterate(meter);
+        *iterations += 1;
+        if after == before && !objs[idx].converged() {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: config.iteration_limit,
+            });
+        }
+        Ok(())
+    };
+
+    let mut sketch = IntervalQuantileSketch::new(SKETCH_ALPHA, SKETCH_BUDGET);
+    let mut touched = vec![false; n];
+    let mut scratch = Vec::with_capacity(n);
+    let bounds = loop {
+        let out_lo = kth_largest(objs.iter().map(|o| o.bounds().lo()), k, &mut scratch);
+        let out_hi = kth_largest(objs.iter().map(|o| o.bounds().hi()), k, &mut scratch);
+        if out_hi - out_lo <= epsilon.epsilon() {
+            break Bounds::new(out_lo, out_hi);
+        }
+
+        // Rebuild the guiding sketch from the live bounds and pull the rank
+        // band — a provable superset of the exact [out_lo, out_hi] band.
+        sketch.clear();
+        for o in objs.iter() {
+            let b = o.bounds();
+            sketch.insert(b.lo(), b.hi());
+        }
+        let (band_lo, band_hi) = sketch
+            .rank_band_from_top(k as u64)
+            .expect("rank validated against non-empty input");
+
+        let mut candidates = Vec::new();
+        for (i, o) in objs.iter().enumerate() {
+            if o.converged() {
+                continue;
+            }
+            let b = o.bounds();
+            // Only band straddlers can move the k-th order statistic.
+            if b.hi() < band_lo || b.lo() > band_hi {
+                continue;
+            }
+            let overlap = b.hi().min(band_hi) - b.lo().max(band_lo);
+            let est = o.est_bounds();
+            let shrink = (est.lo() - b.lo()).max(0.0) + (b.hi() - est.hi()).max(0.0);
+            candidates.push(Candidate {
+                index: i,
+                benefit: overlap.max(0.0).min(shrink),
+                est_cpu: o.est_cpu(),
+                width: b.width(),
+            });
+        }
+        if candidates.is_empty() {
+            // Every straddler is at its minWidth floor: ε is unsatisfiable,
+            // report the tightest sound interval (SUM's floor behavior).
+            break Bounds::new(out_lo, out_hi);
+        }
+        meter.charge_choose(candidates.len() as Work);
+        let Some(pick) = config.policy.pick(&candidates) else {
+            return Err(VaoError::IterationLimitExceeded {
+                limit: config.iteration_limit,
+            });
+        };
+        let idx = candidates[pick].index;
+        step(objs, idx, &mut iterations, meter)?;
+        touched[idx] = true;
+    };
+
+    Ok(PercentileResult {
+        bounds,
+        rank: k,
+        iterations,
+        refined: touched.iter().filter(|&&t| t).count(),
+    })
+}
+
+/// The `k`-th largest (1-based) of `vals`, using `scratch` to avoid
+/// reallocating across rounds.
+fn kth_largest(vals: impl Iterator<Item = f64>, k: usize, scratch: &mut Vec<f64>) -> f64 {
+    scratch.clear();
+    scratch.extend(vals);
+    scratch.sort_by(|a, b| b.total_cmp(a));
+    scratch[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::quantile::quantile_vao;
+    use crate::testkit::ScriptedObject;
+
+    fn converging_to(values: &[f64]) -> Vec<ScriptedObject> {
+        values
+            .iter()
+            .map(|&v| {
+                ScriptedObject::converging(
+                    &[
+                        (v - 9.0, v + 9.0),
+                        (v - 3.0, v + 3.0),
+                        (v - 1.0, v + 1.0),
+                        (v - 0.004, v + 0.004),
+                    ],
+                    10,
+                    0.01,
+                )
+            })
+            .collect()
+    }
+
+    fn exact_kth(values: &[f64], k: usize) -> f64 {
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| b.total_cmp(a));
+        v[k - 1]
+    }
+
+    #[test]
+    fn median_value_is_bracketed_to_epsilon() {
+        let values = [110.0, 90.0, 100.0, 130.0, 70.0];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(0.05).unwrap();
+        let res = percentile_vao(&mut objs, 0.5, eps, &mut meter).unwrap();
+        assert_eq!(res.rank, 3);
+        assert!(res.bounds.contains(100.0), "median 100 in {:?}", res.bounds);
+        assert!(res.bounds.width() <= 0.05);
+    }
+
+    #[test]
+    fn extreme_quantiles_bracket_max_and_min() {
+        let values = [95.0, 105.0, 99.0, 101.0];
+        let eps = PrecisionConstraint::new(0.05).unwrap();
+        let mut meter = WorkMeter::new();
+
+        let mut a = converging_to(&values);
+        let hi = percentile_vao(&mut a, 1.0, eps, &mut meter).unwrap();
+        assert!(hi.bounds.contains(105.0));
+
+        let mut b = converging_to(&values);
+        let lo = percentile_vao(&mut b, 0.0, eps, &mut meter).unwrap();
+        assert!(lo.bounds.contains(95.0));
+    }
+
+    #[test]
+    fn bounds_always_contain_the_exact_order_statistic() {
+        let values = [50.0, 80.0, 20.0, 110.0, 140.0, 65.0, 71.0, 98.0];
+        let eps = PrecisionConstraint::new(0.05).unwrap();
+        for phi in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let mut objs = converging_to(&values);
+            let mut meter = WorkMeter::new();
+            let res = percentile_vao(&mut objs, phi, eps, &mut meter).unwrap();
+            let exact = exact_kth(&values, res.rank);
+            assert!(
+                res.bounds.contains(exact),
+                "phi={phi}: exact {exact} outside {:?}",
+                res.bounds
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_separation_at_equal_rank() {
+        let values = [10.0, 100.0, 100.5, 101.0, 200.0, 55.0, 71.5];
+        let eps = PrecisionConstraint::new(0.05).unwrap();
+
+        let mut a = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let sk = percentile_vao(&mut a, 0.5, eps, &mut meter).unwrap();
+
+        let mut b = converging_to(&values);
+        let ex = quantile_vao(&mut b, sk.rank, eps, &mut meter).unwrap();
+        // Both brackets contain the true median, so they must overlap.
+        assert!(
+            sk.bounds.overlaps(&ex.bounds),
+            "sketch {:?} vs exact {:?}",
+            sk.bounds,
+            ex.bounds
+        );
+    }
+
+    #[test]
+    fn tail_objects_are_never_iterated() {
+        // The 10 and 200 outliers never straddle the median band: the
+        // sketch-guided demand set must leave them completely untouched.
+        let values = [10.0, 100.0, 100.5, 101.0, 200.0];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(0.05).unwrap();
+        let res = percentile_vao(&mut objs, 0.5, eps, &mut meter).unwrap();
+        assert!(res.bounds.contains(100.5));
+        assert!(res.refined <= 3, "only the middle cluster may be refined");
+        assert!(
+            objs[0].bounds().width() > 17.0 && objs[4].bounds().width() > 17.0,
+            "tails must keep their initial ±9 bounds"
+        );
+    }
+
+    #[test]
+    fn epsilon_below_min_width_is_rejected_upfront() {
+        // Footnote 10: ε below an object's minWidth is unsatisfiable for a
+        // single-object output — same typed error as MAX/MIN/quantile.
+        let values = [100.0, 100.001, 100.002];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(0.009).unwrap();
+        assert!(matches!(
+            percentile_vao(&mut objs, 0.5, eps, &mut meter),
+            Err(VaoError::PrecisionTooTight { .. })
+        ));
+    }
+
+    #[test]
+    fn indistinguishable_values_still_terminate_with_sound_bounds() {
+        // Values closer together than ε: every straddler converges and the
+        // operator must terminate with a containing interval, not spin.
+        let values = [100.0, 100.001, 100.002];
+        let mut objs = converging_to(&values);
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(0.012).unwrap();
+        let res = percentile_vao(&mut objs, 0.5, eps, &mut meter).unwrap();
+        assert!(res.bounds.contains(100.001));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let mut meter = WorkMeter::new();
+        let eps = PrecisionConstraint::new(0.05).unwrap();
+        let mut empty: Vec<ScriptedObject> = Vec::new();
+        assert!(matches!(
+            percentile_vao(&mut empty, 0.5, eps, &mut meter),
+            Err(VaoError::EmptyInput)
+        ));
+        let mut objs = converging_to(&[1.0, 2.0]);
+        for phi in [f64::NAN, -0.1, 1.5] {
+            assert!(matches!(
+                percentile_vao(&mut objs, phi, eps, &mut meter),
+                Err(VaoError::InvalidQuantile { .. })
+            ));
+        }
+    }
+}

@@ -16,6 +16,7 @@
 use va_stream::stats::{IterHistogram, TickStats, ITER_BUCKETS};
 use va_stream::{Query, QueryOutput};
 use vao::cost::WorkBreakdown;
+use vao::ops::heavy::HeavyCell;
 use vao::ops::selection::CmpOp;
 use vao::trace::CpuEstimation;
 use vao::Bounds;
@@ -267,6 +268,18 @@ pub fn query_json(q: &Query) -> String {
             "{{\"kind\":\"topk\",\"k\":{k},\"epsilon\":{}}}",
             num(*epsilon)
         ),
+        Query::Median { epsilon } => {
+            format!("{{\"kind\":\"median\",\"epsilon\":{}}}", num(*epsilon))
+        }
+        Query::Percentile { phi, epsilon } => format!(
+            "{{\"kind\":\"percentile\",\"phi\":{},\"epsilon\":{}}}",
+            num(*phi),
+            num(*epsilon)
+        ),
+        Query::HeavyHitters { k, epsilon } => format!(
+            "{{\"kind\":\"heavyhitters\",\"k\":{k},\"epsilon\":{}}}",
+            num(*epsilon)
+        ),
     }
 }
 
@@ -317,6 +330,18 @@ pub fn output_json(out: &QueryOutput) -> String {
         }
         QueryOutput::Count { lo, hi } => {
             format!("{{\"shape\":\"count\",\"lo\":{lo},\"hi\":{hi}}}")
+        }
+        QueryOutput::Heavy { cells, ties } => {
+            let rows: Vec<String> = cells
+                .iter()
+                .map(|c| format!("{{\"cell\":{},\"count\":{}}}", c.cell, c.count))
+                .collect();
+            let tie_items: Vec<String> = ties.iter().map(i64::to_string).collect();
+            format!(
+                "{{\"shape\":\"heavy\",\"cells\":[{}],\"ties\":[{}]}}",
+                rows.join(","),
+                tie_items.join(",")
+            )
         }
     }
 }
@@ -557,7 +582,30 @@ pub fn parse_query(doc: &Json) -> Result<Query, String> {
             k: u64_field(doc, "k")? as usize,
             epsilon: f64_field(doc, "epsilon")?,
         }),
+        "median" => Ok(Query::Median {
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        "percentile" => Ok(Query::Percentile {
+            phi: f64_field(doc, "phi")?,
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
+        "heavyhitters" => Ok(Query::HeavyHitters {
+            k: u64_field(doc, "k")? as usize,
+            epsilon: f64_field(doc, "epsilon")?,
+        }),
         other => Err(format!("unknown query kind \"{other}\"")),
+    }
+}
+
+/// A signed integer token. `Int` is exact; negative integers arrive as
+/// `Num` and are accepted while `f64` still represents them exactly
+/// (|n| < 2^53 — far beyond any realistic price cell).
+fn i64_of(v: &Json) -> Option<i64> {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    match v {
+        Json::Int(n) => i64::try_from(*n).ok(),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < EXACT => Some(*n as i64),
+        _ => None,
     }
 }
 
@@ -598,6 +646,24 @@ pub fn parse_output(doc: &Json) -> Result<QueryOutput, String> {
         "count" => Ok(QueryOutput::Count {
             lo: u64_field(doc, "lo")? as usize,
             hi: u64_field(doc, "hi")? as usize,
+        }),
+        "heavy" => Ok(QueryOutput::Heavy {
+            cells: arr_field(doc, "cells")?
+                .iter()
+                .map(|c| {
+                    Ok(HeavyCell {
+                        cell: c
+                            .get("cell")
+                            .and_then(i64_of)
+                            .ok_or_else(|| "non-i64 \"cell\"".to_string())?,
+                        count: u64_field(c, "count")?,
+                    })
+                })
+                .collect::<Result<Vec<HeavyCell>, String>>()?,
+            ties: arr_field(doc, "ties")?
+                .iter()
+                .map(|t| i64_of(t).ok_or_else(|| "non-i64 entry in \"ties\"".to_string()))
+                .collect::<Result<Vec<i64>, String>>()?,
         }),
         other => Err(format!("unknown output shape \"{other}\"")),
     }
@@ -793,6 +859,9 @@ pub fn static_operator(name: &str) -> &'static str {
         "topk" => "topk",
         "count" => "count",
         "hybrid_sum" => "hybrid_sum",
+        "median" => "median",
+        "percentile" => "percentile",
+        "heavyhitters" => "heavyhitters",
         _ => "shared_pool",
     }
 }

@@ -18,9 +18,13 @@
 //! the winner converged ⇒ ties).
 
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 
+use va_sketch::{CountMin, IntervalQuantileSketch, SpaceSaving};
 use va_stream::{BondRelation, Query, QueryOutput};
+use vao::ops::heavy::{cell_of, HeavyCell, COUNTMIN_DEPTH, COUNTMIN_WIDTH, SPAN_PROBE_CAP};
 use vao::ops::minmax::{max_envelope, min_envelope};
+use vao::ops::percentile::{rank_from_top, SKETCH_ALPHA, SKETCH_BUDGET};
 use vao::ops::selection::CmpOp;
 use vao::Bounds;
 
@@ -56,9 +60,55 @@ pub struct Demand {
     pub benefit: f64,
 }
 
+/// Reusable sketch summaries for the sketch-guided demand functions
+/// (PERCENTILE, HEAVYHITTERS). One per session; the scheduler keeps them
+/// across rounds so the rebuild each round reuses allocations. The
+/// summaries are *derived* state — rebuilt from the pool's live bounds on
+/// every call — so they are never journaled: a recovered session simply
+/// rebuilds them on its first tick.
+#[derive(Clone, Debug, Default)]
+pub struct SketchState {
+    quantile: Option<IntervalQuantileSketch>,
+    heavy: Option<HeavySummaries>,
+}
+
+/// The HEAVYHITTERS frequency summaries over price cells.
+#[derive(Clone, Debug)]
+struct HeavySummaries {
+    resolved: SpaceSaving,
+    cm_resolved: CountMin,
+    cm_pending: CountMin,
+}
+
+impl HeavySummaries {
+    fn new(k: usize) -> Self {
+        Self {
+            resolved: SpaceSaving::new((4 * k).max(64)),
+            cm_resolved: CountMin::new(COUNTMIN_WIDTH, COUNTMIN_DEPTH),
+            cm_pending: CountMin::new(COUNTMIN_WIDTH, COUNTMIN_DEPTH),
+        }
+    }
+}
+
 /// Fills `out` with the query's outstanding demands. Empty ⇔ the query can
 /// answer [`Answer::Final`] from the pool's current bounds.
+///
+/// Stateless convenience over [`demands_stateful`]: sketch-guided queries
+/// build fresh summaries per call. The scheduler uses the stateful entry
+/// point to reuse per-session summary allocations across rounds; both
+/// produce identical demands.
 pub fn demands(query: &Query, pool: &SharedPool, out: &mut Vec<Demand>) {
+    demands_stateful(query, pool, &mut SketchState::default(), out);
+}
+
+/// [`demands`] with caller-owned sketch state (one [`SketchState`] per
+/// session; only PERCENTILE/HEAVYHITTERS touch it).
+pub fn demands_stateful(
+    query: &Query,
+    pool: &SharedPool,
+    state: &mut SketchState,
+    out: &mut Vec<Demand>,
+) {
     out.clear();
     if pool.is_empty() {
         // Nothing to refine; the answer path reports the empty relation as
@@ -78,9 +128,14 @@ pub fn demands(query: &Query, pool: &SharedPool, out: &mut Vec<Demand>) {
         Query::Ave { epsilon } => {
             demands_sum(pool, uniform(pool.len()), *epsilon, out);
         }
-        Query::Max { epsilon } => demands_extreme(pool, *epsilon, false, out),
-        Query::Min { epsilon } => demands_extreme(pool, *epsilon, true, out),
-        Query::TopK { k, epsilon } => demands_topk(pool, *k, *epsilon, out),
+        Query::Max { epsilon } => demands_rank(pool, 1, *epsilon, false, out),
+        Query::Min { epsilon } => demands_rank(pool, 1, *epsilon, true, out),
+        Query::TopK { k, epsilon } => demands_rank(pool, *k, *epsilon, false, out),
+        Query::Median { epsilon } => demands_median(pool, *epsilon, out),
+        Query::Percentile { phi, epsilon } => {
+            demands_percentile(pool, *phi, *epsilon, state, out);
+        }
+        Query::HeavyHitters { k, epsilon } => demands_heavy(pool, *k, *epsilon, state, out),
     }
 }
 
@@ -114,8 +169,9 @@ pub fn final_output(query: &Query, pool: &SharedPool, relation: &BondRelation) -
         Query::Max { .. } => extreme_output(pool, relation, false),
         Query::Min { .. } => extreme_output(pool, relation, true),
         Query::TopK { k, .. } => {
-            let members = guess_members(pool, *k);
-            let theta_holder = boundary_member(pool, &members);
+            let v = View { pool, flip: false };
+            let members = member_guess(v, *k);
+            let theta_holder = boundary_member(v, &members);
             let theta = pool.bounds(theta_holder).lo();
             let ties: Vec<u32> = (0..pool.len())
                 .filter(|&i| !members.contains(&i) && pool.bounds(i).hi() >= theta)
@@ -128,6 +184,89 @@ pub fn final_output(query: &Query, pool: &SharedPool, relation: &BondRelation) -
                 ties,
             }
         }
+        Query::Median { .. } => {
+            // Mirror the core quantile operator's two separations: the
+            // winner is the boundary member; ties are the converged outer
+            // straddlers plus the members still overlapping the winner.
+            let v = View { pool, flip: false };
+            let members = member_guess(v, pool.len().div_ceil(2));
+            let winner = boundary_member(v, &members);
+            let theta = pool.bounds(winner).lo();
+            let winner_hi = pool.bounds(winner).hi();
+            let mut ties: Vec<u32> = (0..pool.len())
+                .filter(|&i| !members.contains(&i) && pool.bounds(i).hi() >= theta)
+                .map(id)
+                .collect();
+            ties.extend(
+                members
+                    .iter()
+                    .filter(|&&i| i != winner && pool.bounds(i).lo() <= winner_hi)
+                    .map(|&i| id(i)),
+            );
+            ties.sort_unstable();
+            ties.dedup();
+            QueryOutput::Extreme {
+                bond_id: id(winner),
+                bounds: pool.bounds(winner),
+                ties,
+            }
+        }
+        Query::Percentile { phi, .. } => {
+            let k = rank_from_top(*phi, pool.len());
+            QueryOutput::Aggregate {
+                bounds: Bounds::new(
+                    kth_largest(pool, k, |b| b.lo()),
+                    kth_largest(pool, k, |b| b.hi()),
+                ),
+            }
+        }
+        Query::HeavyHitters { k, epsilon } => {
+            let (cells, ties) = heavy_cells(pool, *k, *epsilon);
+            QueryOutput::Heavy { cells, ties }
+        }
+    }
+}
+
+/// Exact top-`k` ε-cell ranking over the pool's *resolved* objects — the
+/// final counting pass the sketches only ever steer towards, never decide.
+fn heavy_cells(pool: &SharedPool, k: usize, width: f64) -> (Vec<HeavyCell>, Vec<i64>) {
+    let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
+    for i in 0..pool.len() {
+        if let Some(c) = resolved_cell(pool, i, width) {
+            *counts.entry(c).or_default() += 1;
+        }
+    }
+    let mut ranked: Vec<HeavyCell> = counts
+        .into_iter()
+        .map(|(cell, count)| HeavyCell { cell, count })
+        .collect();
+    ranked.sort_by(|a, b| b.count.cmp(&a.count).then(a.cell.cmp(&b.cell)));
+    let take = k.min(ranked.len());
+    if take == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let boundary = ranked[take - 1].count;
+    let ties: Vec<i64> = ranked[take..]
+        .iter()
+        .take_while(|c| c.count == boundary)
+        .map(|c| c.cell)
+        .collect();
+    ranked.truncate(take);
+    (ranked, ties)
+}
+
+/// The ε-cell an object definitively occupies: whole bounds inside one
+/// cell, or converged (deterministic midpoint assignment at the `minWidth`
+/// floor — the caveat shared with the core operator).
+fn resolved_cell(pool: &SharedPool, i: usize, width: f64) -> Option<i64> {
+    let b = pool.bounds(i);
+    let (c_lo, c_hi) = (cell_of(b.lo(), width), cell_of(b.hi(), width));
+    if c_lo == c_hi {
+        Some(c_lo)
+    } else if pool.converged(i) {
+        Some(cell_of(b.mid(), width))
+    } else {
+        None
     }
 }
 
@@ -169,15 +308,43 @@ pub fn partial_bounds(query: &Query, pool: &SharedPool) -> Result<Bounds, Server
         Query::Ave { .. } => Ok(weighted_interval(pool, uniform(pool.len()))),
         Query::Max { .. } => max_envelope(pool.objects()).map_err(|_| ServerError::EmptyRelation),
         Query::Min { .. } => min_envelope(pool.objects()).map_err(|_| ServerError::EmptyRelation),
-        Query::TopK { k, .. } => {
-            if pool.is_empty() {
-                return Err(ServerError::EmptyRelation);
+        Query::TopK { k, .. } => rank_bounds(pool, *k),
+        Query::Median { .. } => rank_bounds(pool, pool.len().div_ceil(2)),
+        Query::Percentile { phi, .. } => rank_bounds(pool, rank_from_top(*phi, pool.len())),
+        Query::HeavyHitters { k, epsilon } => {
+            // The k-th resolved count can only grow; `u` still-unresolved
+            // objects can raise it by at most `u`.
+            let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
+            let mut unresolved = 0u64;
+            for i in 0..pool.len() {
+                match resolved_cell(pool, i, *epsilon) {
+                    Some(c) => *counts.entry(c).or_default() += 1,
+                    None => unresolved += 1,
+                }
             }
-            let lo = kth_largest(pool, *k, |b| b.lo());
-            let hi = kth_largest(pool, *k, |b| b.hi());
-            Ok(Bounds::new(lo, hi))
+            let mut ranked: Vec<u64> = counts.into_values().collect();
+            ranked.sort_unstable_by(|a, b| b.cmp(a));
+            let kth = k
+                .checked_sub(1)
+                .and_then(|i| ranked.get(i).copied())
+                .unwrap_or(0);
+            Ok(Bounds::new(kth as f64, (kth + unresolved) as f64))
         }
     }
+}
+
+/// The rank-`k` order-statistic bracket `[k-th largest L, k-th largest H]`
+/// shared by TOP-K, MEDIAN and PERCENTILE partial answers: at most `k − 1`
+/// true values can exceed the `k`-th largest `H`, and at least `k` reach
+/// the `k`-th largest `L`.
+fn rank_bounds(pool: &SharedPool, k: usize) -> Result<Bounds, ServerError> {
+    if pool.is_empty() {
+        return Err(ServerError::EmptyRelation);
+    }
+    Ok(Bounds::new(
+        kth_largest(pool, k, |b| b.lo()),
+        kth_largest(pool, k, |b| b.hi()),
+    ))
 }
 
 /// Builds the session's answer for the tick: `Final` when the query reached
@@ -197,7 +364,11 @@ pub fn answer(
     if pool.is_empty()
         && matches!(
             query,
-            Query::Max { .. } | Query::Min { .. } | Query::TopK { .. }
+            Query::Max { .. }
+                | Query::Min { .. }
+                | Query::TopK { .. }
+                | Query::Median { .. }
+                | Query::Percentile { .. }
         )
     {
         return Err(ServerError::EmptyRelation);
@@ -356,94 +527,14 @@ impl View<'_> {
     }
 }
 
-/// The educated guess: highest upper bound, ties to higher lower bound,
-/// then lower index (the MAX VAO's deterministic rule, §5.1).
-fn guess_extreme(v: View<'_>) -> usize {
-    let mut best = 0;
-    for i in 1..v.pool.len() {
-        if v.hi(i) > v.hi(best) || (v.hi(i) == v.hi(best) && v.lo(i) > v.lo(best)) {
-            best = i;
-        }
-    }
-    best
-}
-
-fn unresolved_against(v: View<'_>, guess: usize) -> Vec<usize> {
-    let guess_lo = v.lo(guess);
-    (0..v.pool.len())
-        .filter(|&i| i != guess && v.hi(i) >= guess_lo)
-        .collect()
-}
-
-fn demands_extreme(pool: &SharedPool, epsilon: f64, flip: bool, out: &mut Vec<Demand>) {
-    let v = View { pool, flip };
-    let guess = guess_extreme(v);
-    let unresolved = unresolved_against(v, guess);
-    let phase1_done = unresolved.is_empty()
-        || (pool.converged(guess) && unresolved.iter().all(|&i| pool.converged(i)));
-
-    if phase1_done {
-        // Phase 2 of the MAX VAO: refine the identified winner to ε.
-        let b = pool.bounds(guess);
-        if b.width() > epsilon && !pool.converged(guess) {
-            let eb = pool.est_bounds(guess);
-            let benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
-            out.push(Demand {
-                object: guess,
-                benefit,
-            });
-        }
-        return;
-    }
-
-    let guess_lo = v.lo(guess);
-    if !pool.converged(guess) {
-        // Raising the guess's lower bound clears overlap with every
-        // unresolved object at once.
-        let est_raise = (v.est_lo(guess) - guess_lo).max(0.0);
-        let benefit: f64 = unresolved
-            .iter()
-            .map(|&j| (v.hi(j) - guess_lo).max(0.0).min(est_raise))
-            .sum();
-        out.push(Demand {
-            object: guess,
-            benefit,
-        });
-    }
-    for &i in &unresolved {
-        if pool.converged(i) {
-            continue;
-        }
-        let overlap = (v.hi(i) - guess_lo).max(0.0);
-        let est_drop = (v.hi(i) - v.est_hi(i)).max(0.0);
-        out.push(Demand {
-            object: i,
-            benefit: overlap.min(est_drop),
-        });
-    }
-}
-
-fn extreme_output(pool: &SharedPool, relation: &BondRelation, flip: bool) -> QueryOutput {
-    let v = View { pool, flip };
-    let guess = guess_extreme(v);
-    let unresolved = unresolved_against(v, guess);
-    QueryOutput::Extreme {
-        bond_id: relation.bonds()[guess].id,
-        bounds: pool.bounds(guess),
-        ties: unresolved.iter().map(|&i| relation.bonds()[i].id).collect(),
-    }
-}
-
-// ------------------------------------------------------------------ top-k
-
-/// The K objects with the highest upper bounds (ties to higher lower bound,
-/// then lower index) — the Top-K VAO's member guess.
-fn guess_members(pool: &SharedPool, k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..pool.len()).collect();
+/// The K objects with the highest (view) upper bounds — ties to higher
+/// lower bound, then lower index, the extreme-family VAOs' deterministic
+/// member-guess rule (§5.1). `k = 1` is exactly the MAX/MIN educated guess.
+fn member_guess(v: View<'_>, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..v.pool.len()).collect();
     idx.sort_by(|&a, &b| {
-        let (ba, bb) = (pool.bounds(a), pool.bounds(b));
-        cmp_desc(ba.hi(), bb.hi())
-            .then(cmp_desc(ba.lo(), bb.lo()))
+        cmp_desc(v.hi(a), v.hi(b))
+            .then(cmp_desc(v.lo(a), v.lo(b)))
             .then(a.cmp(&b))
     });
     idx.truncate(k);
@@ -452,59 +543,247 @@ fn guess_members(pool: &SharedPool, k: usize) -> Vec<usize> {
 
 /// The member holding the boundary θ (lowest lower bound; first on ties,
 /// matching the core operator's `min_by`).
-fn boundary_member(pool: &SharedPool, members: &[usize]) -> usize {
+fn boundary_member(v: View<'_>, members: &[usize]) -> usize {
     *members
         .iter()
-        .min_by(|&&a, &&b| cmp_asc(pool.bounds(a).lo(), pool.bounds(b).lo()))
+        .min_by(|&&a, &&b| cmp_asc(v.lo(a), v.lo(b)))
         .expect("k >= 1")
 }
 
-fn demands_topk(pool: &SharedPool, k: usize, epsilon: f64, out: &mut Vec<Demand>) {
-    let members = guess_members(pool, k);
-    if members.is_empty() {
-        return; // k == 0 (rejected at subscribe; guarded for direct callers)
-    }
-    let theta_holder = boundary_member(pool, &members);
-    let theta = pool.bounds(theta_holder).lo();
-    let unresolved: Vec<usize> = (0..pool.len())
-        .filter(|&i| !members.contains(&i) && pool.bounds(i).hi() >= theta)
-        .collect();
-    let phase1_done = unresolved.is_empty()
-        || (pool.converged(theta_holder) && unresolved.iter().all(|&i| pool.converged(i)));
+/// Non-members whose upper bound still reaches past θ — the objects that
+/// could yet displace a guessed member.
+fn straddlers(v: View<'_>, members: &[usize], theta_holder: usize) -> Vec<usize> {
+    let theta = v.lo(theta_holder);
+    (0..v.pool.len())
+        .filter(|&i| !members.contains(&i) && v.hi(i) >= theta)
+        .collect()
+}
 
-    if phase1_done {
-        for &m in &members {
-            let b = pool.bounds(m);
-            if b.width() > epsilon && !pool.converged(m) {
-                let eb = pool.est_bounds(m);
-                let benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
-                out.push(Demand { object: m, benefit });
-            }
-        }
-        return;
-    }
+/// Stopping case for the separation phase: nothing straddles θ, or all the
+/// contenders (and θ's holder) are converged — the ties outcome.
+fn separation_done(pool: &SharedPool, theta_holder: usize, straddlers: &[usize]) -> bool {
+    straddlers.is_empty()
+        || (pool.converged(theta_holder) && straddlers.iter().all(|&i| pool.converged(i)))
+}
 
+/// §5.1's separation-phase scores: raising θ clears overlap with every
+/// straddler at once; dropping a straddler's upper bound clears its own.
+fn score_separation(v: View<'_>, theta_holder: usize, straddlers: &[usize], out: &mut Vec<Demand>) {
+    let pool = v.pool;
+    let theta = v.lo(theta_holder);
     if !pool.converged(theta_holder) {
-        let est_raise = (pool.est_bounds(theta_holder).lo() - theta).max(0.0);
-        let benefit: f64 = unresolved
+        let est_raise = (v.est_lo(theta_holder) - theta).max(0.0);
+        let benefit: f64 = straddlers
             .iter()
-            .map(|&j| (pool.bounds(j).hi() - theta).max(0.0).min(est_raise))
+            .map(|&j| (v.hi(j) - theta).max(0.0).min(est_raise))
             .sum();
         out.push(Demand {
             object: theta_holder,
             benefit,
         });
     }
-    for &i in &unresolved {
+    for &i in straddlers {
+        if pool.converged(i) {
+            continue;
+        }
+        let overlap = (v.hi(i) - theta).max(0.0);
+        let est_drop = (v.hi(i) - v.est_hi(i)).max(0.0);
+        out.push(Demand {
+            object: i,
+            benefit: overlap.min(est_drop),
+        });
+    }
+}
+
+/// ε-refinement of an identified member (phase 2 of the extreme VAOs):
+/// demand while wider than ε, scored by the estimated two-sided shrink.
+/// Benefit is computed on pool bounds — it is flip-invariant.
+fn refine_to_epsilon(pool: &SharedPool, i: usize, epsilon: f64, out: &mut Vec<Demand>) {
+    let b = pool.bounds(i);
+    if b.width() > epsilon && !pool.converged(i) {
+        let eb = pool.est_bounds(i);
+        let benefit = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+        out.push(Demand { object: i, benefit });
+    }
+}
+
+/// The unified extreme-family demand function: MAX (`k=1`), MIN (`k=1`,
+/// flipped view) and TOP-K are one separation + refinement pipeline over
+/// the same boundary-candidate selection.
+fn demands_rank(pool: &SharedPool, k: usize, epsilon: f64, flip: bool, out: &mut Vec<Demand>) {
+    let v = View { pool, flip };
+    let members = member_guess(v, k);
+    if members.is_empty() {
+        return; // k == 0 (rejected at subscribe; guarded for direct callers)
+    }
+    let theta_holder = boundary_member(v, &members);
+    let unresolved = straddlers(v, &members, theta_holder);
+    if separation_done(pool, theta_holder, &unresolved) {
+        for &m in &members {
+            refine_to_epsilon(pool, m, epsilon, out);
+        }
+        return;
+    }
+    score_separation(v, theta_holder, &unresolved, out);
+}
+
+fn extreme_output(pool: &SharedPool, relation: &BondRelation, flip: bool) -> QueryOutput {
+    let v = View { pool, flip };
+    let members = member_guess(v, 1);
+    let guess = members[0];
+    let unresolved = straddlers(v, &members, guess);
+    QueryOutput::Extreme {
+        bond_id: relation.bonds()[guess].id,
+        bounds: pool.bounds(guess),
+        ties: unresolved.iter().map(|&i| relation.bonds()[i].id).collect(),
+    }
+}
+
+// ----------------------------------------------------------------- median
+
+/// MEDIAN's three phases, mirroring the core quantile operator: separate
+/// the top ⌈N/2⌉, then find their minimum (the median holder) through the
+/// flipped view, then refine it to ε.
+fn demands_median(pool: &SharedPool, epsilon: f64, out: &mut Vec<Demand>) {
+    let v = View { pool, flip: false };
+    let members = member_guess(v, pool.len().div_ceil(2));
+    let theta_holder = boundary_member(v, &members);
+    let outer = straddlers(v, &members, theta_holder);
+    if !separation_done(pool, theta_holder, &outer) {
+        score_separation(v, theta_holder, &outer, out);
+        return;
+    }
+    // Inner MIN among the members. The min-lo member is exactly the flipped
+    // view's educated guess, i.e. θ's holder from the outer phase.
+    let vmin = View { pool, flip: true };
+    let winner = theta_holder;
+    let inner: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|&j| j != winner && vmin.hi(j) >= vmin.lo(winner))
+        .collect();
+    if !separation_done(pool, winner, &inner) {
+        score_separation(vmin, winner, &inner, out);
+        return;
+    }
+    refine_to_epsilon(pool, winner, epsilon, out);
+}
+
+// ------------------------------------------------- percentile (sketch-led)
+
+/// PERCENTILE's sketch-guided demand: the output bounds are the rank-k
+/// order statistics of the pool's lower and upper bounds; only objects
+/// straddling the sketch's rank-k band can move them, so everything else
+/// is pruned from the demand set without touching its bounds.
+fn demands_percentile(
+    pool: &SharedPool,
+    phi: f64,
+    epsilon: f64,
+    state: &mut SketchState,
+    out: &mut Vec<Demand>,
+) {
+    let k = rank_from_top(phi, pool.len());
+    let out_lo = kth_largest(pool, k, |b| b.lo());
+    let out_hi = kth_largest(pool, k, |b| b.hi());
+    if out_hi - out_lo <= epsilon {
+        return;
+    }
+    let sketch = state
+        .quantile
+        .get_or_insert_with(|| IntervalQuantileSketch::new(SKETCH_ALPHA, SKETCH_BUDGET));
+    sketch.clear();
+    for i in 0..pool.len() {
+        let b = pool.bounds(i);
+        sketch.insert(b.lo(), b.hi());
+    }
+    // The band contains the exact [k-th largest lo, k-th largest hi], so
+    // the straddler set below is a superset of the objects that determine
+    // the output bounds — pruning by it is sound. A `None` band cannot
+    // happen for 1 ≤ k ≤ N; fall back to no pruning if it ever did.
+    let (band_lo, band_hi) = sketch
+        .rank_band_from_top(k as u64)
+        .unwrap_or((f64::MIN, f64::MAX));
+    for i in 0..pool.len() {
         if pool.converged(i) {
             continue;
         }
         let b = pool.bounds(i);
-        let overlap = (b.hi() - theta).max(0.0);
-        let est_drop = (b.hi() - pool.est_bounds(i).hi()).max(0.0);
+        if b.hi() < band_lo || b.lo() > band_hi {
+            continue; // sketch-pruned: cannot move the rank-k band
+        }
+        let eb = pool.est_bounds(i);
+        let shrink = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+        let overlap = b.hi().min(band_hi) - b.lo().max(band_lo);
         out.push(Demand {
             object: i,
-            benefit: overlap.min(est_drop),
+            benefit: overlap.max(0.0).min(shrink),
+        });
+    }
+}
+
+// ---------------------------------------------- heavy hitters (sketch-led)
+
+/// HEAVYHITTERS' sketch-guided demand. Resolved objects feed a SpaceSaving
+/// summary (for the admission threshold) and a count-min of settled cells;
+/// unresolved objects charge every cell they might land in into a second
+/// count-min. An object is *contended* — and demanded — only if some cell
+/// it overlaps could still reach the k-th heaviest count. Both sketches
+/// only ever overestimate, so pruning errs toward keeping objects.
+fn demands_heavy(
+    pool: &SharedPool,
+    k: usize,
+    width: f64,
+    state: &mut SketchState,
+    out: &mut Vec<Demand>,
+) {
+    let s = state.heavy.get_or_insert_with(|| HeavySummaries::new(k));
+    s.resolved.clear();
+    s.cm_resolved.clear();
+    s.cm_pending.clear();
+    let mut unresolved: Vec<usize> = Vec::new();
+    for i in 0..pool.len() {
+        match resolved_cell(pool, i, width) {
+            Some(c) => {
+                s.resolved.offer(c, 1);
+                s.cm_resolved.add(c, 1);
+            }
+            None => {
+                unresolved.push(i);
+                let b = pool.bounds(i);
+                let (c_lo, c_hi) = (cell_of(b.lo(), width), cell_of(b.hi(), width));
+                if c_hi.saturating_sub(c_lo) <= SPAN_PROBE_CAP {
+                    for c in c_lo..=c_hi {
+                        s.cm_pending.add(c, 1);
+                    }
+                }
+            }
+        }
+    }
+    if unresolved.is_empty() {
+        return;
+    }
+    // Counts only grow as objects resolve, so the SpaceSaving guarantee on
+    // the current k-th count lower-bounds the final one.
+    let threshold = s.resolved.kth_guaranteed(k).max(1);
+    for &i in &unresolved {
+        let b = pool.bounds(i);
+        let (c_lo, c_hi) = (cell_of(b.lo(), width), cell_of(b.hi(), width));
+        let contended = c_hi.saturating_sub(c_lo) > SPAN_PROBE_CAP
+            || (c_lo..=c_hi)
+                .any(|c| s.cm_resolved.estimate(c) + s.cm_pending.estimate(c) >= threshold);
+        if !contended {
+            continue; // sketch-pruned: cannot join or displace a top-k cell
+        }
+        let eb = pool.est_bounds(i);
+        let shrink = (eb.lo() - b.lo()).max(0.0) + (b.hi() - eb.hi()).max(0.0);
+        let resolve_bonus = if cell_of(eb.lo(), width) == cell_of(eb.hi(), width) {
+            b.width()
+        } else {
+            0.0
+        };
+        out.push(Demand {
+            object: i,
+            benefit: shrink + resolve_bonus,
         });
     }
 }
@@ -708,6 +987,88 @@ mod tests {
         };
         assert_eq!(partial_bounds(&sel, &pool).unwrap(), Bounds::new(0.0, 0.0));
         assert!(answer(&sel, &pool, &rel, true).unwrap().is_final());
+    }
+
+    #[test]
+    fn median_demand_walks_the_outer_separation_first() {
+        let pool = table2_pool();
+        let mut out = Vec::new();
+        demands(&Query::Median { epsilon: 0.5 }, &pool, &mut out);
+        // n = 3 ⇒ members are the top-2 by hi: o3 (106) and o1 (101);
+        // θ's holder is o1 (lo 97) and o2 (hi 103 ≥ 97) straddles. The
+        // median demand must target exactly that separation pair.
+        let objs: Vec<usize> = out.iter().map(|d| d.object).collect();
+        assert!(objs.contains(&0), "θ's holder is demanded");
+        assert!(objs.contains(&1), "the straddler is demanded");
+        assert!(!objs.contains(&2), "o3 is clear of the boundary");
+    }
+
+    #[test]
+    fn percentile_demand_prunes_objects_outside_the_sketch_band() {
+        let objs: Vec<Box<dyn vao::interface::ResultObject + Send>> =
+            [10.0, 20.0, 30.0, 40.0, 50.0]
+                .iter()
+                .map(|&v| {
+                    Box::new(ScriptedObject::converging(
+                        &[(v - 1.0, v + 1.0), (v - 0.005, v + 0.005)],
+                        4,
+                        0.01,
+                    )) as Box<dyn vao::interface::ResultObject + Send>
+                })
+                .collect();
+        let pool = SharedPool::from_objects(objs, 0.05);
+        let mut out = Vec::new();
+        let q = Query::Percentile {
+            phi: 0.5,
+            epsilon: 0.5,
+        };
+        demands(&q, &pool, &mut out);
+        // Rank 3-from-top sits at ~30; the rank band is [29, 31] plus at
+        // most one sketch bucket each side — far from every other object.
+        assert_eq!(out.len(), 1, "only the band straddler is demanded: {out:?}");
+        assert_eq!(out[0].object, 2);
+        // And the answer path brackets the median-of-values.
+        let b = partial_bounds(&q, &pool).unwrap();
+        assert!(b.lo() <= 30.0 && 30.0 <= b.hi(), "{b}");
+    }
+
+    #[test]
+    fn heavy_demand_prunes_uncontended_objects_to_an_exact_final() {
+        let mut objs: Vec<Box<dyn vao::interface::ResultObject + Send>> = (0..4)
+            .map(|_| {
+                Box::new(ScriptedObject::converging(&[(100.1, 100.2)], 4, 0.01))
+                    as Box<dyn vao::interface::ResultObject + Send>
+            })
+            .collect();
+        // A wide straggler far from the heavy cell: its possible cells can
+        // never reach the guaranteed top-1 count of 4.
+        objs.push(Box::new(ScriptedObject::converging(
+            &[(200.0, 203.0), (201.0, 201.005)],
+            4,
+            0.01,
+        )));
+        let pool = SharedPool::from_objects(objs, 0.05);
+        let q = Query::HeavyHitters { k: 1, epsilon: 1.0 };
+        let mut out = Vec::new();
+        demands(&q, &pool, &mut out);
+        assert!(
+            out.is_empty(),
+            "the straggler cannot contend with the resolved cell: {out:?}"
+        );
+        let rel = va_stream::BondRelation::from_universe(&bondlab::BondUniverse::generate(5, 1));
+        match final_output(&q, &pool, &rel) {
+            QueryOutput::Heavy { cells, ties } => {
+                assert_eq!(cells.len(), 1);
+                assert_eq!(cells[0].cell, 100);
+                assert_eq!(cells[0].count, 4);
+                assert!(ties.is_empty());
+            }
+            other => panic!("expected Heavy, got {other:?}"),
+        }
+        // Partial bounds on the k-th cell count: 4 resolved now, at most
+        // one more from the straggler.
+        let b = partial_bounds(&q, &pool).unwrap();
+        assert_eq!((b.lo(), b.hi()), (4.0, 5.0));
     }
 
     mod nan_safe_orderings {

@@ -105,6 +105,25 @@ pub enum WireQuery {
         /// Output precision.
         epsilon: f64,
     },
+    /// `{"kind":"median","epsilon":e}`
+    Median {
+        /// Output precision.
+        epsilon: f64,
+    },
+    /// `{"kind":"percentile","phi":p,"epsilon":e}`
+    Percentile {
+        /// Quantile fraction in `[0, 1]`.
+        phi: f64,
+        /// Output precision.
+        epsilon: f64,
+    },
+    /// `{"kind":"heavyhitters","k":k,"epsilon":e}`
+    HeavyHitters {
+        /// How many cells to report.
+        k: usize,
+        /// Price-cell width.
+        epsilon: f64,
+    },
 }
 
 impl WireQuery {
@@ -131,6 +150,9 @@ impl WireQuery {
             WireQuery::Max { epsilon } => Query::Max { epsilon },
             WireQuery::Min { epsilon } => Query::Min { epsilon },
             WireQuery::TopK { k, epsilon } => Query::TopK { k, epsilon },
+            WireQuery::Median { epsilon } => Query::Median { epsilon },
+            WireQuery::Percentile { phi, epsilon } => Query::Percentile { phi, epsilon },
+            WireQuery::HeavyHitters { k, epsilon } => Query::HeavyHitters { k, epsilon },
         }
     }
 }
@@ -251,6 +273,17 @@ fn parse_query(doc: &Json) -> Result<WireQuery, String> {
             k: doc.get("k").and_then(Json::as_u64).ok_or("missing \"k\"")? as usize,
             epsilon: epsilon()?,
         }),
+        "median" => Ok(WireQuery::Median {
+            epsilon: epsilon()?,
+        }),
+        "percentile" => Ok(WireQuery::Percentile {
+            phi: finite(doc.get("phi").and_then(Json::as_f64), "phi")?,
+            epsilon: epsilon()?,
+        }),
+        "heavyhitters" => Ok(WireQuery::HeavyHitters {
+            k: doc.get("k").and_then(Json::as_u64).ok_or("missing \"k\"")? as usize,
+            epsilon: epsilon()?,
+        }),
         other => Err(format!("unknown query kind \"{other}\"")),
     }
 }
@@ -295,6 +328,15 @@ pub fn query_json(q: &WireQuery) -> String {
         WireQuery::Min { epsilon } => format!("{{\"kind\":\"min\",\"epsilon\":{epsilon}}}"),
         WireQuery::TopK { k, epsilon } => {
             format!("{{\"kind\":\"topk\",\"k\":{k},\"epsilon\":{epsilon}}}")
+        }
+        WireQuery::Median { epsilon } => {
+            format!("{{\"kind\":\"median\",\"epsilon\":{epsilon}}}")
+        }
+        WireQuery::Percentile { phi, epsilon } => {
+            format!("{{\"kind\":\"percentile\",\"phi\":{phi},\"epsilon\":{epsilon}}}")
+        }
+        WireQuery::HeavyHitters { k, epsilon } => {
+            format!("{{\"kind\":\"heavyhitters\",\"k\":{k},\"epsilon\":{epsilon}}}")
         }
     }
 }
@@ -470,6 +512,18 @@ pub fn output_json(out: &QueryOutput) -> String {
         QueryOutput::Count { lo, hi } => {
             format!("{{\"shape\":\"count\",\"lo\":{lo},\"hi\":{hi}}}")
         }
+        QueryOutput::Heavy { cells, ties } => {
+            let rows: Vec<String> = cells
+                .iter()
+                .map(|c| format!("{{\"cell\":{},\"count\":{}}}", c.cell, c.count))
+                .collect();
+            let tie_items: Vec<String> = ties.iter().map(i64::to_string).collect();
+            format!(
+                "{{\"shape\":\"heavy\",\"cells\":[{}],\"ties\":[{}]}}",
+                rows.join(","),
+                tie_items.join(",")
+            )
+        }
     }
 }
 
@@ -560,6 +614,21 @@ mod tests {
             q(r#"{"kind":"min","epsilon":0.2}"#),
             WireQuery::Min { epsilon: 0.2 }
         );
+        assert_eq!(
+            q(r#"{"kind":"median","epsilon":0.2}"#),
+            WireQuery::Median { epsilon: 0.2 }
+        );
+        assert_eq!(
+            q(r#"{"kind":"percentile","phi":0.9,"epsilon":0.2}"#),
+            WireQuery::Percentile {
+                phi: 0.9,
+                epsilon: 0.2
+            }
+        );
+        assert_eq!(
+            q(r#"{"kind":"heavyhitters","k":4,"epsilon":0.5}"#),
+            WireQuery::HeavyHitters { k: 4, epsilon: 0.5 }
+        );
     }
 
     #[test]
@@ -606,6 +675,21 @@ mod tests {
                     constant: 101.25,
                     slack: 4,
                 },
+                priority: 1,
+            },
+            Request::Subscribe {
+                query: WireQuery::Median { epsilon: 0.05 },
+                priority: 1,
+            },
+            Request::Subscribe {
+                query: WireQuery::Percentile {
+                    phi: 0.95,
+                    epsilon: 0.25,
+                },
+                priority: 2,
+            },
+            Request::Subscribe {
+                query: WireQuery::HeavyHitters { k: 3, epsilon: 0.5 },
                 priority: 1,
             },
             Request::Unsubscribe { session: 12 },
@@ -675,6 +759,10 @@ mod tests {
             }),
             output_json(&QueryOutput::Selected(vec![1, 2])),
             output_json(&QueryOutput::Count { lo: 2, hi: 4 }),
+            output_json(&QueryOutput::Heavy {
+                cells: vec![vao::ops::heavy::HeavyCell { cell: -3, count: 7 }],
+                ties: vec![-2, 5],
+            }),
         ];
         for line in &lines {
             assert!(!line.contains('\n'), "{line}");

@@ -105,6 +105,13 @@ pub(crate) fn run_tick<O: ExecObserver>(
     let mut policy = ChoicePolicy::greedy();
     let mut demands_buf: Vec<Vec<Demand>> =
         registry.sessions().iter().map(|_| Vec::new()).collect();
+    // Per-session sketch summaries (PERCENTILE/HEAVYHITTERS). Derived state:
+    // rebuilt from the pool every round, kept only to reuse allocations.
+    let mut sketch_states: Vec<demand::SketchState> = registry
+        .sessions()
+        .iter()
+        .map(|_| demand::SketchState::default())
+        .collect();
     let mut iterations = 0u64;
     let mut per_object_iterations = vec![0u64; pool.len()];
     let mut seq = 0u64;
@@ -119,7 +126,12 @@ pub(crate) fn run_tick<O: ExecObserver>(
         // iteration, which is the main saving over the serial schedule.
         let mut outstanding = 0usize;
         for (s_idx, sess) in registry.sessions().iter().enumerate() {
-            demand::demands(&sess.query, pool, &mut demands_buf[s_idx]);
+            demand::demands_stateful(
+                &sess.query,
+                pool,
+                &mut sketch_states[s_idx],
+                &mut demands_buf[s_idx],
+            );
             if !demands_buf[s_idx].is_empty() {
                 outstanding += 1;
             }

@@ -408,6 +408,23 @@ impl Server {
                     return Err(VaoError::EmptyInput.into());
                 }
             }
+            Query::Median { epsilon } => {
+                PrecisionConstraint::new(*epsilon)?;
+            }
+            Query::Percentile { phi, epsilon } => {
+                PrecisionConstraint::new(*epsilon)?;
+                if !phi.is_finite() || !(0.0..=1.0).contains(phi) {
+                    return Err(VaoError::InvalidQuantile { phi: *phi }.into());
+                }
+            }
+            Query::HeavyHitters { k, epsilon } => {
+                // ε is the cell width here, but the same positivity and
+                // finiteness rules apply.
+                PrecisionConstraint::new(*epsilon)?;
+                if *k == 0 {
+                    return Err(VaoError::EmptyInput.into());
+                }
+            }
         }
         // Write-ahead order: the admission is journaled (and fsync'd)
         // before the registry commits it, so a crash can lose an
@@ -705,9 +722,17 @@ impl Server {
                     PrecisionConstraint::new(*epsilon)?
                         .validate_weighted(pool.objects(), &uniform)?;
                 }
-                Query::Max { epsilon } | Query::Min { epsilon } | Query::TopK { epsilon, .. } => {
+                Query::Max { epsilon }
+                | Query::Min { epsilon }
+                | Query::TopK { epsilon, .. }
+                | Query::Median { epsilon }
+                | Query::Percentile { epsilon, .. } => {
                     PrecisionConstraint::new(*epsilon)?.validate_single_object(pool.objects())?;
                 }
+                // HEAVYHITTERS' ε is a cell width, not an output precision:
+                // objects converge at the minWidth floor and resolve to
+                // their midpoint cell, so no floor check applies.
+                Query::HeavyHitters { .. } => {}
             }
         }
         Ok(())

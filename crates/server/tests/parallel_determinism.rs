@@ -81,6 +81,12 @@ fn digest(out: &QueryOutput) -> String {
             members.first().map(|m| m.0).unwrap_or(0),
             ties.len()
         ),
+        QueryOutput::Heavy { cells, ties } => format!(
+            "heavy n={} first={} ties={}",
+            cells.len(),
+            cells.first().map(|c| c.cell).unwrap_or(0),
+            ties.len()
+        ),
     }
 }
 
@@ -227,8 +233,9 @@ fn parallel_partials_bracket_serial_finals() {
             // it must bracket the converged member count.
             QueryOutput::Selected(ids) => vao::Bounds::new(ids.len() as f64, ids.len() as f64),
             // A TopK partial bounds the k-th value, which the Ranked output
-            // doesn't expose directly — nothing to compare against here.
-            QueryOutput::Ranked { .. } => continue,
+            // doesn't expose directly — nothing to compare against here;
+            // likewise a Heavy partial bounds the k-th cell count.
+            QueryOutput::Ranked { .. } | QueryOutput::Heavy { .. } => continue,
         };
         let mid = 0.5 * (converged.lo() + converged.hi());
         let slack = 0.5 * converged.width() + 1e-9;

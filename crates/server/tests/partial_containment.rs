@@ -5,7 +5,8 @@
 //! twice — once under a budget B (taken as a fraction of the converged
 //! cost) and once with no budget — and check the partial interval brackets
 //! the value the unbudgeted run converged to. Exercised for SUM (aggregate
-//! value) and MAX (extreme value), per the two §5 benefit families.
+//! value) and MAX (extreme value), per the two §5 benefit families, plus
+//! PERCENTILE (rank-k order statistic) from the sketch-guided family.
 
 use proptest::prelude::*;
 
@@ -95,6 +96,31 @@ proptest! {
             prop_assert!(
                 partial.lo() - slack <= mid && mid <= partial.hi() + slack,
                 "envelope {} must bracket the converged max {} (± {})",
+                partial, mid, slack
+            );
+        }
+    }
+
+    #[test]
+    fn partial_percentile_bounds_contain_the_converged_quantile(
+        bonds in 3usize..10,
+        seed in 0u64..1000,
+        rate_off in 0usize..40,
+        frac in 0.05f64..0.9,
+        eps in 0.02f64..1.0,
+        phi in 0.05f64..0.95,
+    ) {
+        let rate = 0.045 + rate_off as f64 * 0.001;
+        let query = Query::Percentile { phi, epsilon: eps };
+        if let Some((converged, partial)) = run_pair(bonds, seed, rate, frac, query) {
+            // The rank-k bracket [k-th largest L, k-th largest H] always
+            // contains the true rank-k value; the converged interval's
+            // midpoint is within half its width of that value.
+            let mid = 0.5 * (converged.lo() + converged.hi());
+            let slack = 0.5 * converged.width() + 1e-9;
+            prop_assert!(
+                partial.lo() - slack <= mid && mid <= partial.hi() + slack,
+                "rank bracket {} must contain the converged quantile {} (± {})",
                 partial, mid, slack
             );
         }

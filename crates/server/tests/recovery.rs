@@ -65,6 +65,15 @@ fn workload(n: usize) -> Vec<Query> {
             constant: 100.0,
             slack: 25,
         },
+        // The sketch-guided family: their summaries are derived state
+        // (rebuilt from the pool each round, never journaled), so recovery
+        // must reproduce their ticks bit-for-bit with no sketch records.
+        Query::Median { epsilon: 1.0 },
+        Query::Percentile {
+            phi: 0.9,
+            epsilon: 1.0,
+        },
+        Query::HeavyHitters { k: 3, epsilon: 0.5 },
     ]
 }
 
@@ -328,6 +337,12 @@ fn digest(out: &QueryOutput) -> String {
             "ranked n={} first={} ties={}",
             members.len(),
             members.first().map(|m| m.0).unwrap_or(0),
+            ties.len()
+        ),
+        QueryOutput::Heavy { cells, ties } => format!(
+            "heavy n={} first={} ties={}",
+            cells.len(),
+            cells.first().map(|c| c.cell).unwrap_or(0),
             ties.len()
         ),
     }

@@ -1,0 +1,166 @@
+//! End-to-end behavior of the sketch-guided query family (MEDIAN,
+//! PERCENTILE, HEAVYHITTERS) on the shared-execution server.
+//!
+//! The cross-check the satellite pins down: PERCENTILE at φ = 0.5 and
+//! MEDIAN address the *same* order statistic (rank ⌈N/2⌉ from the top), so
+//! at equal ε their converged answers must bracket the same value — one
+//! arrives through sketch-guided band pruning, the other through exact
+//! two-sided separation, and disagreement means one of them is unsound.
+
+use bondlab::{BondPricer, BondUniverse};
+use va_server::{Server, ServerConfig};
+use va_stream::{BondRelation, Query, QueryOutput};
+
+const SEED: u64 = 1994;
+const RATE: f64 = 0.0583;
+
+fn server(bonds: usize) -> Server {
+    let universe = BondUniverse::generate(bonds, SEED);
+    let relation = BondRelation::from_universe(&universe);
+    Server::new(BondPricer::default(), relation, ServerConfig::default())
+}
+
+#[test]
+fn percentile_at_phi_half_agrees_with_median_at_equal_epsilon() {
+    let eps = 0.25;
+    let mut srv = server(48);
+    let median = srv.subscribe(Query::Median { epsilon: eps }, 1).unwrap();
+    let pctl = srv
+        .subscribe(
+            Query::Percentile {
+                phi: 0.5,
+                epsilon: eps,
+            },
+            1,
+        )
+        .unwrap();
+    let res = srv.tick(RATE).expect("tick");
+
+    let output = |id| {
+        res.answers
+            .iter()
+            .find(|(s, _)| *s == id)
+            .and_then(|(_, a)| a.final_output())
+            .expect("final answer")
+    };
+    let QueryOutput::Extreme { bounds: mb, .. } = output(median) else {
+        panic!("median answers Extreme");
+    };
+    let QueryOutput::Aggregate { bounds: pb } = output(pctl) else {
+        panic!("percentile answers Aggregate");
+    };
+    // Equal rank ⇒ both intervals bracket the rank-⌈N/2⌉ value: they meet
+    // the same ε and must overlap.
+    assert!(mb.width() <= eps + 1e-9, "median width {}", mb.width());
+    assert!(pb.width() <= eps + 1e-9, "percentile width {}", pb.width());
+    assert!(
+        mb.lo() <= pb.hi() && pb.lo() <= mb.hi(),
+        "median {mb} and percentile {pb} must bracket the same order statistic"
+    );
+}
+
+#[test]
+fn percentile_extremes_meet_max_and_min() {
+    // φ = 1 is the maximum, φ = 0 the minimum: the sketch-guided operator
+    // must agree with the dedicated extreme operators at the rank ends.
+    let eps = 0.5;
+    let mut srv = server(24);
+    let hi = srv
+        .subscribe(
+            Query::Percentile {
+                phi: 1.0,
+                epsilon: eps,
+            },
+            1,
+        )
+        .unwrap();
+    let max = srv.subscribe(Query::Max { epsilon: eps }, 1).unwrap();
+    let res = srv.tick(RATE).expect("tick");
+    let find = |id| {
+        res.answers
+            .iter()
+            .find(|(s, _)| *s == id)
+            .and_then(|(_, a)| a.final_output())
+            .expect("final")
+    };
+    let QueryOutput::Aggregate { bounds: pb } = find(hi) else {
+        panic!("percentile answers Aggregate");
+    };
+    let QueryOutput::Extreme { bounds: xb, .. } = find(max) else {
+        panic!("max answers Extreme");
+    };
+    assert!(
+        pb.lo() <= xb.hi() && xb.lo() <= pb.hi(),
+        "P100 {pb} and MAX {xb} must bracket the same value"
+    );
+}
+
+#[test]
+fn heavyhitters_reports_descending_exact_cell_counts() {
+    let mut srv = server(48);
+    let k = 3;
+    let id = srv
+        .subscribe(Query::HeavyHitters { k, epsilon: 2.0 }, 1)
+        .unwrap();
+    let res = srv.tick(RATE).expect("tick");
+    let out = res
+        .answers
+        .iter()
+        .find(|(s, _)| *s == id)
+        .and_then(|(_, a)| a.final_output())
+        .expect("final answer");
+    let QueryOutput::Heavy { cells, ties } = out else {
+        panic!("heavyhitters answers Heavy, got {out:?}");
+    };
+    assert!(!cells.is_empty() && cells.len() <= k);
+    for w in cells.windows(2) {
+        assert!(
+            w[0].count > w[1].count || (w[0].count == w[1].count && w[0].cell < w[1].cell),
+            "cells must rank by descending count, ties by cell: {cells:?}"
+        );
+    }
+    let total: u64 = cells.iter().map(|c| c.count).sum();
+    assert!(
+        total <= 48,
+        "counts are object counts, at most the relation"
+    );
+    // Ties, if any, run at exactly the boundary count.
+    if let Some(last) = cells.last() {
+        assert!(ties.iter().all(|t| !cells.iter().any(|c| c.cell == *t)));
+        let _ = last;
+    }
+}
+
+#[test]
+fn invalid_sketch_subscriptions_are_rejected_up_front() {
+    let mut srv = server(8);
+    assert!(srv
+        .subscribe(
+            Query::Percentile {
+                phi: 1.5,
+                epsilon: 0.5
+            },
+            1
+        )
+        .is_err());
+    assert!(srv
+        .subscribe(
+            Query::Percentile {
+                phi: f64::NAN,
+                epsilon: 0.5
+            },
+            1
+        )
+        .is_err());
+    assert!(srv
+        .subscribe(Query::HeavyHitters { k: 0, epsilon: 0.5 }, 1)
+        .is_err());
+    assert!(srv
+        .subscribe(
+            Query::Median {
+                epsilon: f64::INFINITY
+            },
+            1
+        )
+        .is_err());
+}

@@ -1,0 +1,100 @@
+//! Property tests pinning the sketches' containment guarantees: for random
+//! workloads, every reported quantile/frequency bound contains the exact
+//! sorted-reference (or counted-reference) answer.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use va_sketch::{CountMin, IntervalQuantileSketch, QuantileSketch, SpaceSaving};
+
+/// Exact k-th largest (1-based) of a finite slice.
+fn exact_kth_from_top(vals: &[f64], k: usize) -> f64 {
+    let mut v = vals.to_vec();
+    v.sort_by(|a, b| b.total_cmp(a));
+    v[k - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn point_sketch_rank_bounds_contain_the_sorted_reference(
+        vals in prop::collection::vec(-1000.0..1000.0f64, 1..200),
+        rank_seed in any::<u64>(),
+        budget in 4usize..64,
+    ) {
+        let mut s = QuantileSketch::new(0.01, budget);
+        for &v in &vals {
+            s.insert(v);
+        }
+        let k = (rank_seed as usize % vals.len()) + 1;
+        let (lo, hi) = s.rank_from_top(k as u64).expect("in-range rank");
+        let exact = exact_kth_from_top(&vals, k);
+        prop_assert!(
+            lo <= exact && exact <= hi,
+            "k={k}: exact {exact} outside [{lo}, {hi}] (collapses={})",
+            s.collapses()
+        );
+    }
+
+    #[test]
+    fn interval_band_contains_every_point_selection(
+        obs in prop::collection::vec((-500.0..500.0f64, 0.0..40.0f64, 0.0..1.0f64), 1..150),
+        rank_seed in any::<u64>(),
+    ) {
+        let mut s = IntervalQuantileSketch::new(0.01, 48);
+        let mut los = Vec::new();
+        let mut his = Vec::new();
+        let mut picks = Vec::new();
+        for &(lo, width, t) in &obs {
+            let hi = lo + width;
+            s.insert(lo, hi);
+            los.push(lo);
+            his.push(hi);
+            // An arbitrary point selection inside each interval.
+            picks.push(lo + t * width);
+        }
+        let k = (rank_seed as usize % obs.len()) + 1;
+        let (b_lo, b_hi) = s.rank_band_from_top(k as u64).expect("in-range rank");
+        for sel in [&los, &his, &picks] {
+            let exact = exact_kth_from_top(sel, k);
+            prop_assert!(
+                b_lo <= exact && exact <= b_hi,
+                "k={k}: exact {exact} outside band [{b_lo}, {b_hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_bounds_contain_the_counted_reference(
+        keys in prop::collection::vec(-20i64..20, 1..300),
+        capacity in 2usize..12,
+    ) {
+        let mut ss = SpaceSaving::new(capacity);
+        let mut cm = CountMin::new(64, 4);
+        let mut truth: HashMap<i64, u64> = HashMap::new();
+        for &k in &keys {
+            ss.offer(k, 1);
+            cm.add(k, 1);
+            *truth.entry(k).or_default() += 1;
+        }
+        for (&k, &f) in &truth {
+            prop_assert!(cm.estimate(k) >= f, "count-min under {k}");
+            prop_assert!(ss.estimate(k) >= f, "spacesaving under {k}");
+        }
+        for c in ss.counters() {
+            let f = truth.get(&c.key).copied().unwrap_or(0);
+            prop_assert!(c.count - c.err <= f, "lower bound broken for {}", c.key);
+        }
+        let mut freqs: Vec<u64> = truth.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        for k in 1..=freqs.len().min(capacity) {
+            prop_assert!(
+                ss.kth_guaranteed(k) <= freqs[k - 1],
+                "k={k} guaranteed {} exceeds true {}",
+                ss.kth_guaranteed(k),
+                freqs[k - 1]
+            );
+        }
+    }
+}

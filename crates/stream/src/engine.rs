@@ -21,8 +21,11 @@ use vao::cost::WorkMeter;
 use vao::error::VaoError;
 use vao::interface::{ResultObject, VariableAccuracyFn};
 use vao::ops::count::count_vao;
+use vao::ops::heavy::{cell_of, heavy_hitters_vao, HeavyCell};
 use vao::ops::hybrid::{hybrid_weighted_sum_traced, HybridConfig};
 use vao::ops::minmax::{max_vao_traced, min_vao_traced, AggregateConfig};
+use vao::ops::percentile::{percentile_vao, rank_from_top};
+use vao::ops::quantile::median_vao;
 use vao::ops::selection::SelectionVao;
 use vao::ops::sum::weighted_sum_vao_traced;
 use vao::ops::topk::topk_vao;
@@ -333,6 +336,30 @@ impl ContinuousQueryEngine {
                     hi: res.count_hi,
                 })
             }
+            Query::Median { epsilon } => {
+                let mut objs = self.objects(rate, seeds, meter);
+                let res = median_vao(&mut objs, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Extreme {
+                    bond_id: self.bond_id(res.argext),
+                    bounds: res.bounds,
+                    ties: res.ties.iter().map(|&i| self.bond_id(i)).collect(),
+                })
+            }
+            Query::Percentile { phi, epsilon } => {
+                let mut objs = self.objects(rate, seeds, meter);
+                let res =
+                    percentile_vao(&mut objs, *phi, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Aggregate { bounds: res.bounds })
+            }
+            Query::HeavyHitters { k, epsilon } => {
+                let mut objs = self.objects(rate, seeds, meter);
+                let res =
+                    heavy_hitters_vao(&mut objs, *k, PrecisionConstraint::new(*epsilon)?, meter)?;
+                Ok(QueryOutput::Heavy {
+                    cells: res.cells,
+                    ties: res.ties,
+                })
+            }
         }
     }
 
@@ -459,6 +486,60 @@ impl ContinuousQueryEngine {
                 Ok(QueryOutput::Count {
                     lo: hits.len(),
                     hi: hits.len(),
+                })
+            }
+            Query::Median { .. } | Query::Percentile { .. } => {
+                if specs.is_empty() {
+                    return Err(EngineError::Operator(VaoError::EmptyInput));
+                }
+                let k = match &self.query {
+                    Query::Percentile { phi, .. } => rank_from_top(*phi, specs.len()),
+                    _ => specs.len().div_ceil(2),
+                };
+                let mut idx: Vec<usize> = (0..specs.len()).collect();
+                idx.sort_by(|&a, &b| specs[b].value.total_cmp(&specs[a].value));
+                for s in &specs {
+                    meter.charge_exec(s.work);
+                }
+                let winner = idx[k - 1];
+                let point = Bounds::point(specs[winner].value);
+                match &self.query {
+                    Query::Percentile { .. } => Ok(QueryOutput::Aggregate { bounds: point }),
+                    _ => Ok(QueryOutput::Extreme {
+                        bond_id: self.bond_id(winner),
+                        bounds: point,
+                        ties: Vec::new(),
+                    }),
+                }
+            }
+            Query::HeavyHitters { k, epsilon } => {
+                if specs.is_empty() || *k == 0 {
+                    return Err(EngineError::Operator(VaoError::EmptyInput));
+                }
+                for s in &specs {
+                    meter.charge_exec(s.work);
+                }
+                let mut counts: std::collections::BTreeMap<i64, u64> =
+                    std::collections::BTreeMap::new();
+                for s in &specs {
+                    *counts.entry(cell_of(s.value, *epsilon)).or_default() += 1;
+                }
+                let mut ranked: Vec<HeavyCell> = counts
+                    .into_iter()
+                    .map(|(cell, count)| HeavyCell { cell, count })
+                    .collect();
+                ranked.sort_by(|a, b| b.count.cmp(&a.count).then(a.cell.cmp(&b.cell)));
+                let take = (*k).min(ranked.len());
+                let boundary = ranked[take - 1].count;
+                let ties: Vec<i64> = ranked[take..]
+                    .iter()
+                    .take_while(|c| c.count == boundary)
+                    .map(|c| c.cell)
+                    .collect();
+                ranked.truncate(take);
+                Ok(QueryOutput::Heavy {
+                    cells: ranked,
+                    ties,
                 })
             }
         }

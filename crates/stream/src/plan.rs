@@ -14,7 +14,7 @@ use vao::ops::selection::CmpOp;
 use crate::query::Query;
 
 /// Aggregate kinds appearing in plans.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum AggKind {
     /// Highest value.
     Max,
@@ -28,6 +28,12 @@ pub enum AggKind {
     TopK(usize),
     /// Predicate count.
     Count,
+    /// Median (rank ⌈N/2⌉).
+    Median,
+    /// φ-quantile value.
+    Percentile(f64),
+    /// Top-K ε-cell heavy hitters.
+    HeavyHitters(usize),
 }
 
 impl AggKind {
@@ -39,6 +45,9 @@ impl AggKind {
             AggKind::Ave => "AVE".into(),
             AggKind::TopK(k) => format!("TOP-{k}"),
             AggKind::Count => "COUNT".into(),
+            AggKind::Median => "MEDIAN".into(),
+            AggKind::Percentile(phi) => format!("P{:.0}", phi * 100.0),
+            AggKind::HeavyHitters(k) => format!("HEAVY-{k}"),
         }
     }
 }
@@ -131,6 +140,18 @@ impl LogicalPlan {
                 }),
                 op: *op,
                 constant: *constant,
+            },
+            Query::Median { .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::Median,
+            },
+            Query::Percentile { phi, .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::Percentile(*phi),
+            },
+            Query::HeavyHitters { k, .. } => LogicalPlan::Aggregate {
+                input: Box::new(exec),
+                kind: AggKind::HeavyHitters(*k),
             },
         }
     }

@@ -8,6 +8,7 @@
 //! * **Q3** "Find the best performing (i.e. highest valued) bond" —
 //!   [`Query::Max`].
 
+use vao::ops::heavy::HeavyCell;
 use vao::ops::selection::CmpOp;
 use vao::Bounds;
 
@@ -62,6 +63,28 @@ pub enum Query {
         /// Maximum number of unresolved bonds tolerated.
         slack: usize,
     },
+    /// Extension: the median bond (rank `⌈N/2⌉` from the top) by exact
+    /// two-phase separation, its price bounded to `epsilon`.
+    Median {
+        /// Output precision constraint ε.
+        epsilon: f64,
+    },
+    /// Extension: bounds on the φ-quantile *value*, sketch-guided
+    /// (`phi = 0.5` cross-checks [`Query::Median`]).
+    Percentile {
+        /// Quantile fraction in `[0, 1]` (`0.99` is the p99 price).
+        phi: f64,
+        /// Output precision constraint ε.
+        epsilon: f64,
+    },
+    /// Extension: the `k` most-populated price cells of width `epsilon`,
+    /// pruned by SpaceSaving/count-min summaries.
+    HeavyHitters {
+        /// How many cells to return.
+        k: usize,
+        /// Price cell width ε.
+        epsilon: f64,
+    },
 }
 
 impl Query {
@@ -79,6 +102,9 @@ impl Query {
             Query::Min { .. } => "min",
             Query::TopK { .. } => "topk",
             Query::Count { .. } => "count",
+            Query::Median { .. } => "median",
+            Query::Percentile { .. } => "percentile",
+            Query::HeavyHitters { .. } => "heavyhitters",
         }
     }
 }
@@ -120,6 +146,13 @@ pub enum QueryOutput {
         /// `lo` plus the unresolved bonds.
         hi: usize,
     },
+    /// The heaviest price cells and their populations.
+    Heavy {
+        /// The top cells by resolved-object count, heaviest first.
+        cells: Vec<HeavyCell>,
+        /// Non-member cells indistinguishable from the weakest member.
+        ties: Vec<i64>,
+    },
 }
 
 impl QueryOutput {
@@ -133,6 +166,7 @@ impl QueryOutput {
             QueryOutput::Aggregate { .. } => "aggregate",
             QueryOutput::Ranked { .. } => "ranked",
             QueryOutput::Count { .. } => "count",
+            QueryOutput::Heavy { .. } => "heavy",
         }
     }
 
@@ -185,6 +219,17 @@ impl QueryOutput {
         }
     }
 
+    /// The heavy cells and tie set — or [`EngineError::OutputShape`].
+    pub fn as_heavy(&self) -> Result<(&[HeavyCell], &[i64]), EngineError> {
+        match self {
+            QueryOutput::Heavy { cells, ties } => Ok((cells, ties)),
+            other => Err(EngineError::OutputShape {
+                expected: "heavy",
+                got: other.shape_name(),
+            }),
+        }
+    }
+
     /// The selected ids — or [`EngineError::OutputShape`].
     pub fn as_selected(&self) -> Result<&[u32], EngineError> {
         match self {
@@ -212,9 +257,10 @@ impl QueryOutput {
             QueryOutput::Extreme { bounds, .. } | QueryOutput::Aggregate { bounds } => {
                 Some(*bounds)
             }
-            QueryOutput::Selected(_) | QueryOutput::Ranked { .. } | QueryOutput::Count { .. } => {
-                None
-            }
+            QueryOutput::Selected(_)
+            | QueryOutput::Ranked { .. }
+            | QueryOutput::Count { .. }
+            | QueryOutput::Heavy { .. } => None,
         }
     }
 }

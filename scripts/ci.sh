@@ -4,7 +4,7 @@
 #
 #   ./scripts/ci.sh
 #
-# Nine stages, all mandatory:
+# Ten stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
@@ -18,15 +18,20 @@
 #   6. kill-and-recover smoke   -- start a --data-dir server, subscribe and
 #                                  tick over TCP, SIGKILL it, restart on the
 #                                  same dir, RESUME the session and tick again
-#   7. compaction smoke         -- long run with --snapshot-every 4, SIGKILL,
+#   7. sketch-query smoke       -- SUBSCRIBE PERCENTILE and HEAVYHITTERS over
+#                                  TCP, tick, SIGKILL, restart on the same
+#                                  dir, RESUME both sessions and tick again
+#                                  (the sketch summaries are derived state and
+#                                  must rebuild from the journal alone)
+#   8. compaction smoke         -- long run with --snapshot-every 4, SIGKILL,
 #                                  assert the data dir holds only the tail
 #                                  segments and two snapshots, then restart
 #                                  and RESUME as in stage 6
-#   8. batched-solver smoke     -- the SoA lane solver must produce answers
+#   9. batched-solver smoke     -- the SoA lane solver must produce answers
 #                                  bit-identical to the scalar executor on a
 #                                  small universe (numerics kernel identity +
 #                                  server dispatch identity, by name)
-#   9. cargo doc -D warnings    -- rustdoc must build clean
+#  10. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -108,6 +113,62 @@ wait "$SRV_PID" 2>/dev/null || true
 cleanup
 trap - EXIT
 echo "    kill-and-recover smoke ok (session resumed across SIGKILL)"
+
+echo "==> va-server sketch-query smoke (PERCENTILE + HEAVYHITTERS across SIGKILL)"
+DATA_DIR=$(mktemp -d)
+SRV_LOG=$(mktemp)
+trap cleanup EXIT
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# Subscribe the sketch-guided family and tick, then hang up without QUIT:
+# the sketches themselves are derived state and must never need the journal.
+PRE=$(printf '%s\n%s\n%s\n' \
+  '{"type":"SUBSCRIBE","query":{"kind":"percentile","phi":0.5,"epsilon":0.5},"priority":2}' \
+  '{"type":"SUBSCRIBE","query":{"kind":"heavyhitters","k":3,"epsilon":1.0},"priority":1}' \
+  '{"type":"TICK","rate":0.0583}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$PRE" | grep -q '"type":"SUBSCRIBED"'  || { echo "no SUBSCRIBED: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"shape":"aggregate"'  || { echo "no percentile RESULT: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"shape":"heavy"'      || { echo "no heavyhitters RESULT: $PRE"; exit 1; }
+
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+POST=$(printf '%s\n%s\n%s\n%s\n' \
+  '{"type":"RESUME","session":1}' \
+  '{"type":"RESUME","session":2}' \
+  '{"type":"TICK","rate":0.0584}' \
+  '{"type":"QUIT"}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$POST" | grep -q '"type":"RESUMED"'         || { echo "no RESUMED: $POST"; exit 1; }
+echo "$POST" | grep -q '"operator":"percentile"'  || { echo "percentile session lost: $POST"; exit 1; }
+echo "$POST" | grep -q '"operator":"heavyhitters"' || { echo "heavyhitters session lost: $POST"; exit 1; }
+echo "$POST" | grep -q '"shape":"aggregate"'      || { echo "no post-recovery percentile RESULT: $POST"; exit 1; }
+echo "$POST" | grep -q '"shape":"heavy"'          || { echo "no post-recovery heavyhitters RESULT: $POST"; exit 1; }
+grep -q "recovered from" "$SRV_LOG"               || { echo "no recovery line"; cat "$SRV_LOG"; exit 1; }
+
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+cleanup
+trap - EXIT
+echo "    sketch-query smoke ok (percentile + heavyhitters resumed across SIGKILL)"
 
 echo "==> va-server compaction smoke (--snapshot-every 4, bounded dir across SIGKILL)"
 DATA_DIR=$(mktemp -d)
