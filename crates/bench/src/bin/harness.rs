@@ -18,9 +18,9 @@ use std::time::Instant;
 use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, batch_scaling,
     compaction_growth, fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold,
-    max_table_traced, parallel_scaling, recovery_comparison, selection_sweep_traced,
-    server_scaling, sketch_scaling, tick_amortization, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES,
-    SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
+    frontend_scaling, max_table_traced, parallel_scaling, recovery_comparison,
+    selection_sweep_traced, server_scaling, sketch_scaling, tick_amortization, CONNECTION_COUNTS,
+    HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -65,7 +65,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|parallel-scaling|batch-scaling|sketch-scaling|recovery|compaction|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|frontend-scaling|parallel-scaling|batch-scaling|sketch-scaling|recovery|compaction|all]..."
                 );
                 std::process::exit(0);
             }
@@ -387,6 +387,54 @@ fn main() {
             );
         }
         t.write_csv(&args.out.join("server_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "frontend-scaling") {
+        println!("-- Extension: nonblocking front-end connection sweep --");
+        let rows = frontend_scaling(&lab, &CONNECTION_COUNTS);
+        let mut t = Table::new(&[
+            "connections",
+            "ticks",
+            "results",
+            "payloads",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "identical",
+        ]);
+        for r in &rows {
+            // Plain integers so the CSV stays machine-parseable.
+            t.row(vec![
+                r.connections.to_string(),
+                r.ticks.to_string(),
+                r.results.to_string(),
+                r.payloads.to_string(),
+                r.p50.as_micros().to_string(),
+                r.p99.as_micros().to_string(),
+                r.max.as_micros().to_string(),
+                r.identical.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{} connections diverged from the serial golden run",
+                r.connections
+            );
+        }
+        if let Some(last) = rows.last() {
+            println!(
+                "  {} subscribers: {} RESULT lines from {} serialized payloads ({}x fan-out amortization)",
+                last.connections,
+                last.results,
+                last.payloads,
+                last.results / last.payloads.max(1)
+            );
+        }
+        t.write_csv(&args.out.join("frontend_scaling.csv"))
             .expect("write csv");
         println!();
     }

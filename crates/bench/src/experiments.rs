@@ -1256,6 +1256,148 @@ pub fn sketch_scaling(lab: &Lab, epsilon: f64) -> Vec<SketchScalingRow> {
         .collect()
 }
 
+/// The connection-count sweep of the `frontend-scaling` experiment. The
+/// top counts prove the acceptance bar: ≥ 50 concurrent subscribers on
+/// one query shape, bit-identical to the serial golden run.
+pub const CONNECTION_COUNTS: [usize; 6] = [1, 4, 8, 16, 32, 64];
+
+/// One point of the front-end connection sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendScalingRow {
+    /// Concurrent loopback subscribers, all on the same query shape.
+    pub connections: usize,
+    /// Rate ticks driven through the stream.
+    pub ticks: usize,
+    /// `RESULT` lines the front-end delivered across all connections.
+    pub results: u64,
+    /// Result payloads it serialized — one per (tick, shape) group, so
+    /// `results / payloads` is the fan-out amortization factor.
+    pub payloads: u64,
+    /// Median tick-to-RESULT latency across (connection, tick) samples.
+    pub p50: Duration,
+    /// 99th-percentile tick-to-RESULT latency.
+    pub p99: Duration,
+    /// Worst tick-to-RESULT latency.
+    pub max: Duration,
+    /// Every delivered line matched the serial golden run byte-for-byte.
+    pub identical: bool,
+}
+
+/// Drives N concurrent loopback clients through the nonblocking
+/// front-end and measures tick-to-`RESULT` delivery latency per client
+/// per tick, comparing every line byte-for-byte against a serial
+/// in-process golden run.
+///
+/// The sweep runs on a dedicated 32-bond universe rather than the lab's:
+/// pricing cost is orthogonal to connection scaling (the same single
+/// shared tick serves every subscriber), and small unbudgeted ticks keep
+/// the latency samples dominated by the front-end, which is what this
+/// experiment measures.
+pub fn frontend_scaling(lab: &Lab, counts: &[usize]) -> Vec<FrontendScalingRow> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use bondlab::{BondUniverse, RateSeries};
+    use va_server::{net::FrontEnd, proto, Server, ServerConfig};
+    use va_stream::relation::BondRelation;
+
+    let universe = BondUniverse::generate(32, 1994);
+    let relation = BondRelation::from_universe(&universe);
+    let rates: Vec<f64> = RateSeries::january_1994().daily_opens()[..12].to_vec();
+    let subscribe = r#"{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.05}}"#;
+
+    let mut rows = Vec::new();
+    for &count in counts {
+        // Serial golden run: same universe, same registrations, same
+        // rates, rendered with the same protocol serializers.
+        let mut golden = Server::new(lab.pricer, relation.clone(), ServerConfig::default());
+        for _ in 0..count {
+            golden
+                .subscribe(va_stream::Query::Max { epsilon: 0.05 }, 1)
+                .expect("golden subscribe");
+        }
+        let mut expected: Vec<(Vec<String>, String)> = Vec::new();
+        for &rate in &rates {
+            let res = golden.tick(rate).expect("golden tick");
+            let lines = res
+                .answers
+                .iter()
+                .map(|(id, a)| proto::result(res.tick, res.rate, *id, a))
+                .collect();
+            expected.push((lines, proto::tick_done(&res, golden.shed_ticks())));
+        }
+
+        // Wire run: the front-end on its own thread, N blocking clients
+        // here. Connect/subscribe sequentially so session ids (and thus
+        // the golden mapping) are deterministic.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let rel = relation.clone();
+        let pricer = lab.pricer;
+        let handle = std::thread::spawn(move || {
+            let mut server = Server::new(pricer, rel, ServerConfig::default());
+            let mut front = FrontEnd::default();
+            front
+                .run(&listener, &mut server, &flag)
+                .expect("readiness loop");
+            front.stats()
+        });
+
+        let mut writers: Vec<TcpStream> = Vec::new();
+        let mut readers: Vec<BufReader<TcpStream>> = Vec::new();
+        for _ in 0..count {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("read timeout");
+            writers.push(stream.try_clone().expect("clone"));
+            let mut reader = BufReader::new(stream);
+            writeln!(writers.last_mut().expect("writer"), "{subscribe}").expect("subscribe");
+            let mut ack = String::new();
+            reader.read_line(&mut ack).expect("subscribed ack");
+            assert!(ack.contains("\"type\":\"SUBSCRIBED\""), "{ack}");
+            readers.push(reader);
+        }
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut identical = true;
+        for (ti, &rate) in rates.iter().enumerate() {
+            let sent = Instant::now();
+            writeln!(writers[0], "{{\"type\":\"TICK\",\"rate\":{rate}}}").expect("tick");
+            for (ci, reader) in readers.iter_mut().enumerate() {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("result line");
+                samples.push(sent.elapsed());
+                identical &= line.trim_end() == expected[ti].0[ci];
+            }
+            let mut done = String::new();
+            readers[0].read_line(&mut done).expect("tick_done line");
+            identical &= done.trim_end() == expected[ti].1;
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        let stats = handle.join().expect("front-end thread");
+
+        samples.sort();
+        let at = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+        rows.push(FrontendScalingRow {
+            connections: count,
+            ticks: rates.len(),
+            results: stats.results_delivered,
+            payloads: stats.payloads_serialized,
+            p50: at(0.50),
+            p99: at(0.99),
+            max: *samples.last().expect("nonempty samples"),
+            identical,
+        });
+    }
+    rows
+}
+
 /// Runs the traditional selection for completeness/answer checking
 /// (its work is query-independent; see [`Lab::traditional_work`]).
 pub fn traditional_selection_answer(lab: &Lab, op: CmpOp, constant: f64) -> Vec<usize> {

@@ -24,12 +24,18 @@
 //! check. `--client` flips the binary into a line-pipe client: stdin lines
 //! go to the server, reply lines to stdout — which is how the CI
 //! kill-and-recover smoke drives a server across a SIGKILL.
+//!
+//! The server multiplexes any number of concurrent clients through one
+//! nonblocking readiness loop (`va_server::net::FrontEnd`); `QUIT` closes
+//! only the issuing connection. SIGTERM/SIGINT stop the loop cleanly and
+//! write the final snapshot, so a signal-terminated durable server
+//! restarts with zero journal replay.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 
 use bondlab::{BondPricer, BondUniverse};
-use va_server::{net, Server, ServerConfig};
+use va_server::{net, poll, Server, ServerConfig};
 use va_stream::BondRelation;
 
 struct Args {
@@ -185,10 +191,28 @@ fn main() {
         args.workers,
         args.data_dir.as_deref().unwrap_or("none")
     );
-    if let Err(e) = net::serve(&listener, &mut server) {
+    // SIGTERM/SIGINT arm the stop flag; the readiness loop notices and
+    // returns so the final snapshot below runs as part of a clean exit.
+    let stop = poll::stop_on_terminate();
+    let mut front = net::FrontEnd::default();
+    if let Err(e) = front.run(&listener, &mut server, stop) {
         eprintln!("va-server: {e}");
         std::process::exit(1);
     }
+    // Listener shutdown owns the zero-replay final snapshot (client QUITs
+    // are connection-scoped and never flush shared durable state).
+    if let Err(e) = server.shutdown() {
+        eprintln!("va-server: shutdown flush: {e}");
+        std::process::exit(1);
+    }
+    let stats = front.stats();
+    eprintln!(
+        "va-server: stopped after {} ticks ({} connections served, {} slow evictions, {} io drops)",
+        server.ticks(),
+        stats.accepted,
+        stats.evicted_slow,
+        stats.dropped_io
+    );
 }
 
 /// Line-pipe client mode: forwards stdin lines to the server at `addr` and

@@ -24,9 +24,10 @@
 //!   answer, and bursty tick arrivals coalesce to the newest rate.
 //!
 //! The front-end is a newline-delimited JSON protocol over
-//! `std::net::TcpListener` (see [`net`], [`proto`] and `docs/SERVER.md`);
-//! the in-process [`Server`] API underneath is what the tests and the
-//! bench harness drive directly.
+//! `std::net::TcpListener`, served by a nonblocking multi-client
+//! readiness loop (see [`net::FrontEnd`], [`poll`], [`proto`] and
+//! `docs/SERVER.md`); the in-process [`Server`] API underneath is what
+//! the tests and the bench harness drive directly.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,6 +37,7 @@ pub mod demand;
 pub mod error;
 pub mod json;
 pub mod net;
+pub mod poll;
 pub mod pool;
 pub mod proto;
 mod sched;
@@ -44,8 +46,9 @@ pub mod session;
 
 pub use answer::Answer;
 pub use error::ServerError;
+pub use net::{FrontEnd, FrontEndConfig, FrontEndStats};
 pub use pool::SharedPool;
 pub use server::{
     durability_fingerprint, Server, ServerConfig, TickResult, DEFAULT_SNAPSHOT_EVERY,
 };
-pub use session::{Session, SessionId, SessionRegistry};
+pub use session::{Broadcast, Session, SessionId, SessionRegistry};

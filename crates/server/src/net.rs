@@ -1,103 +1,596 @@
-//! The TCP front-end: the line protocol over `std::net`, one connection at
-//! a time (the scheduler itself is single-threaded and deterministic; see
-//! ROADMAP for the multi-threaded pool-iteration follow-up).
+//! The TCP front-end: a nonblocking multi-client readiness loop over the
+//! newline-JSON protocol.
+//!
+//! One [`FrontEnd`] serves any number of concurrent connections against
+//! the single deterministic [`Server`]: every socket is nonblocking, a
+//! [`PollSet`] wait picks the ready ones each turn,
+//! and per-connection read/write buffers reassemble lines and absorb
+//! backpressure. The scheduler itself stays single-threaded — concurrency
+//! lives entirely at the socket layer, so answers are bit-identical to a
+//! serial run.
+//!
+//! Three properties the loop guarantees:
+//!
+//! * **Connection errors are connection-local.** A client that dies
+//!   mid-write (or mid-read) is logged, dropped and forgotten; the accept
+//!   loop and every other connection keep going.
+//! * **Slow clients never stall the tick loop.** Results are queued to a
+//!   bounded per-connection write buffer and flushed as the socket
+//!   drains; a connection whose buffer overflows
+//!   ([`FrontEndConfig::max_write_buffer`]) is evicted, not waited on.
+//! * **Fan-out is batched per query shape.** A tick's answers are grouped
+//!   by [`broadcast_groups`](crate::session::SessionRegistry::broadcast_groups):
+//!   sessions sharing a query shape share one serialized payload, and the
+//!   per-session `RESULT` line is a cheap prefix wrap around it.
+//!
+//! `QUIT` is connection-scoped: it closes that connection (after its
+//! replies flush) and leaves the server — and every other client —
+//! running. The durable final snapshot now belongs to listener shutdown
+//! (see [`Server::shutdown`] and the `va-server` binary's SIGTERM
+//! handling), not to whichever client happens to hang up first.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::poll::{self, PollSet};
 use crate::proto::{self, Request};
-use crate::server::Server;
+use crate::server::{Server, TickResult};
+use crate::session::SessionId;
 
-/// Serves connections from `listener` forever (each to completion, in
-/// accept order). Server state — sessions, tick counter, statistics —
-/// persists across connections.
-pub fn serve(listener: &TcpListener, server: &mut Server) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        serve_connection(stream?, server)?;
-    }
-    Ok(())
+/// Front-end tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontEndConfig {
+    /// Eviction threshold for a connection's pending write bytes. A
+    /// client that stops reading while results accumulate past this is
+    /// dropped rather than allowed to wedge the loop or grow the heap.
+    pub max_write_buffer: usize,
+    /// Maximum bytes of one request line; a connection exceeding it gets
+    /// an `ERROR` and is closed (a stream that never sends `\n` would
+    /// otherwise grow the read buffer forever).
+    pub max_line_bytes: usize,
+    /// Poll timeout per loop turn. Bounds how stale the stop-flag check
+    /// can get when no socket is active.
+    pub poll_timeout_ms: i32,
 }
 
-/// Serves one client connection until `QUIT` or EOF.
-pub fn serve_connection(stream: TcpStream, server: &mut Server) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        Self {
+            max_write_buffer: 1 << 20,
+            max_line_bytes: 1 << 20,
+            poll_timeout_ms: 50,
         }
-        match proto::parse_request(&line) {
-            Err(msg) => writeln!(writer, "{}", proto::error(&msg))?,
-            Ok(Request::Quit) => {
-                // Flush durable state first so a clean shutdown recovers
-                // with zero journal replay; a flush failure is reported but
-                // still ends the connection.
-                if let Err(e) = server.shutdown() {
-                    writeln!(writer, "{}", proto::error(&e.to_string()))?;
+    }
+}
+
+/// Lifetime counters for one front-end, exposed for tests and the
+/// `frontend-scaling` harness target.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontEndStats {
+    /// Connections accepted (or adopted).
+    pub accepted: u64,
+    /// Connections fully closed and reaped, for any reason.
+    pub closed: u64,
+    /// Connections evicted because their write buffer overflowed.
+    pub evicted_slow: u64,
+    /// Connections dropped on a read/write IO error.
+    pub dropped_io: u64,
+    /// `RESULT` lines queued to connections.
+    pub results_delivered: u64,
+    /// Result payloads serialized — one per (tick, query shape) group,
+    /// however many sessions and connections received it.
+    pub payloads_serialized: u64,
+}
+
+/// One live client connection.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    /// Unparsed request bytes (a partial trailing line between turns).
+    rbuf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket.
+    wbuf: VecDeque<u8>,
+    /// Sessions attached to this connection (subscribed or resumed here);
+    /// their `RESULT` lines are delivered here. Front-end state only —
+    /// sessions themselves outlive the connection (a client that hangs up
+    /// and later `RESUME`s is the recovery story ci.sh exercises).
+    sessions: Vec<SessionId>,
+    /// No more requests will arrive (EOF, `QUIT`, or an oversize line);
+    /// the connection closes once `wbuf` drains.
+    read_closed: bool,
+    /// Drop without further IO at the next reap.
+    dead: bool,
+}
+
+/// The nonblocking multi-client readiness loop.
+#[derive(Debug, Default)]
+pub struct FrontEnd {
+    config: FrontEndConfig,
+    conns: Vec<Conn>,
+    stats: FrontEndStats,
+}
+
+impl FrontEnd {
+    /// A front-end with explicit tuning knobs.
+    #[must_use]
+    pub fn new(config: FrontEndConfig) -> Self {
+        Self {
+            config,
+            conns: Vec::new(),
+            stats: FrontEndStats::default(),
+        }
+    }
+
+    /// Lifetime counters so far.
+    #[must_use]
+    pub fn stats(&self) -> FrontEndStats {
+        self.stats
+    }
+
+    /// Live connections right now.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Serves `listener` until `stop` is set, multiplexing every accepted
+    /// connection through the readiness loop. Returns only on a fatal
+    /// poll-layer error or a set stop flag — per-connection IO errors are
+    /// handled connection-locally and never propagate here. The caller
+    /// owns the clean-shutdown snapshot ([`Server::shutdown`]) after this
+    /// returns.
+    pub fn run(
+        &mut self,
+        listener: &TcpListener,
+        server: &mut Server,
+        stop: &AtomicBool,
+    ) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !stop.load(Ordering::SeqCst) {
+            self.turn(Some(listener), server)?;
+        }
+        Ok(())
+    }
+
+    /// Takes ownership of an already-connected stream, as if it had been
+    /// accepted from the listener.
+    pub fn adopt(&mut self, stream: TcpStream) -> std::io::Result<()> {
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+        self.adopt_from(stream, peer)
+    }
+
+    fn adopt_from(&mut self, stream: TcpStream, peer: String) -> std::io::Result<()> {
+        stream.set_nonblocking(true)?;
+        self.stats.accepted += 1;
+        self.conns.push(Conn {
+            stream,
+            peer,
+            rbuf: Vec::new(),
+            wbuf: VecDeque::new(),
+            sessions: Vec::new(),
+            read_closed: false,
+            dead: false,
+        });
+        Ok(())
+    }
+
+    /// One readiness turn: wait for socket events, accept, read and
+    /// dispatch ready requests, flush pending replies, reap finished
+    /// connections. Public so embedders (the bench harness, the compat
+    /// wrappers below) can drive the loop under their own control flow.
+    pub fn turn(
+        &mut self,
+        listener: Option<&TcpListener>,
+        server: &mut Server,
+    ) -> std::io::Result<()> {
+        let mut set = PollSet::new();
+        let listener_slot = listener.map(|l| set.push(l, poll::READABLE));
+        let conn_slots: Vec<usize> = self
+            .conns
+            .iter()
+            .map(|c| {
+                let mut interest = 0;
+                if !c.read_closed {
+                    interest |= poll::READABLE;
                 }
-                writeln!(writer, "{}", proto::bye())?;
-                return Ok(());
+                if !c.wbuf.is_empty() {
+                    interest |= poll::WRITABLE;
+                }
+                set.push(&c.stream, interest)
+            })
+            .collect();
+        set.wait(self.config.poll_timeout_ms)?;
+
+        if let (Some(l), Some(slot)) = (listener, listener_slot) {
+            if set.readable(slot) {
+                self.accept_ready(l);
             }
-            Ok(req) => handle(req, server, &mut writer)?,
         }
+        // `accept_ready` only appends, so slot i still maps to conn i.
+        for (i, &slot) in conn_slots.iter().enumerate() {
+            if set.readable(slot) && !self.conns[i].dead && !self.conns[i].read_closed {
+                self.read_ready(i, server);
+            }
+        }
+        // Flush everything with pending output, not just conns whose slot
+        // reported writable: replies queued by this turn's dispatches
+        // postdate the poll, and a spurious write attempt is a cheap
+        // `WouldBlock`.
+        for i in 0..self.conns.len() {
+            if !self.conns[i].dead && !self.conns[i].wbuf.is_empty() {
+                self.flush(i);
+            }
+        }
+        self.reap();
+        Ok(())
+    }
+
+    /// Drains the accept queue. Transient accept errors (a connection
+    /// aborted between poll and accept, fd pressure) are logged and
+    /// skipped — the listener must survive any client's behavior.
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Err(e) = self.adopt_from(stream, peer.to_string()) {
+                        eprintln!("va-server: setup {peer}: {e}");
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("va-server: accept: {e}");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Reads everything the socket has, then dispatches each complete
+    /// line. IO errors kill only this connection.
+    fn read_ready(&mut self, i: usize, server: &mut Server) {
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.conns[i].stream.read(&mut buf) {
+                Ok(0) => {
+                    // Half-close: lines already buffered still dispatch
+                    // below and their replies still flush — the `--client`
+                    // driver shuts down its write side and reads to EOF.
+                    self.conns[i].read_closed = true;
+                    break;
+                }
+                Ok(n) => self.conns[i].rbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("va-server: read {}: {e}", self.conns[i].peer);
+                    self.conns[i].dead = true;
+                    self.stats.dropped_io += 1;
+                    return;
+                }
+            }
+        }
+        while let Some(pos) = self.conns[i].rbuf.iter().position(|&b| b == b'\n') {
+            let rest = self.conns[i].rbuf.split_off(pos + 1);
+            let mut raw = std::mem::replace(&mut self.conns[i].rbuf, rest);
+            raw.pop();
+            if raw.last() == Some(&b'\r') {
+                raw.pop();
+            }
+            let line = String::from_utf8_lossy(&raw).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.conns[i].dead || !self.dispatch(i, &line, server) {
+                // `QUIT` (or an eviction mid-dispatch): pipelined input
+                // after it is discarded, matching the old front-end.
+                self.conns[i].rbuf.clear();
+                break;
+            }
+        }
+        if !self.conns[i].read_closed && self.conns[i].rbuf.len() > self.config.max_line_bytes {
+            let msg = format!("request line exceeds {} bytes", self.config.max_line_bytes);
+            self.queue(i, &proto::error(&msg));
+            self.conns[i].rbuf.clear();
+            self.conns[i].read_closed = true;
+        }
+    }
+
+    /// Handles one parsed request on connection `i`. Returns `false` when
+    /// the connection accepts no further input (`QUIT`).
+    fn dispatch(&mut self, i: usize, line: &str, server: &mut Server) -> bool {
+        let req = match proto::parse_request(line) {
+            Ok(req) => req,
+            Err(msg) => {
+                self.queue(i, &proto::error(&msg));
+                return true;
+            }
+        };
+        match req {
+            Request::Quit => {
+                // Connection-scoped: say goodbye and stop reading. The
+                // server — and every other client — keeps running; the
+                // durable final snapshot belongs to listener shutdown.
+                self.queue(i, &proto::bye());
+                self.conns[i].read_closed = true;
+                return false;
+            }
+            Request::Subscribe { query, priority } => {
+                let query = query.into_query(server.relation().bonds().len());
+                match server.subscribe(query, priority) {
+                    Ok(id) => {
+                        self.conns[i].sessions.push(id);
+                        self.queue(i, &proto::subscribed(id));
+                    }
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::Unsubscribe { session } => {
+                let id = SessionId(session);
+                match server.unsubscribe(id) {
+                    Ok(()) => {
+                        for conn in &mut self.conns {
+                            conn.sessions.retain(|&s| s != id);
+                        }
+                        self.queue(i, &proto::unsubscribed(session));
+                    }
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::Resume { session } => {
+                let id = SessionId(session);
+                match server.resume(id) {
+                    Ok((sess, answer)) => {
+                        let line = proto::resumed(sess, server.ticks(), answer);
+                        // Re-attach: future RESULTs for the session are
+                        // delivered here.
+                        if !self.conns[i].sessions.contains(&id) {
+                            self.conns[i].sessions.push(id);
+                        }
+                        self.queue(i, &line);
+                    }
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::Tick { rate } => match server.tick(rate) {
+                Ok(res) => self.broadcast(server, &res, i),
+                Err(e) => self.queue(i, &proto::error(&e.to_string())),
+            },
+            Request::Ticks { rates } => {
+                // The parser rejects an empty rates array, so the queue is
+                // guaranteed nonempty here.
+                for rate in rates {
+                    server.offer_tick(rate);
+                }
+                match server.run_queued() {
+                    Some(Ok(res)) => self.broadcast(server, &res, i),
+                    Some(Err(e)) => self.queue(i, &proto::error(&e.to_string())),
+                    None => self.queue(i, &proto::error("no ticks offered")),
+                }
+            }
+            Request::Stats => {
+                let line = proto::stats(server);
+                self.queue(i, &line);
+            }
+        }
+        true
+    }
+
+    /// Fans a tick's answers out to every attached connection, one
+    /// serialized payload per query shape, and the `TICK_DONE` trailer to
+    /// the connection that drove the tick.
+    fn broadcast(&mut self, server: &Server, res: &TickResult, origin: usize) {
+        for group in server.broadcast_groups(&res.answers) {
+            let payload = proto::result_payload(res.tick, res.rate, group.answer);
+            self.stats.payloads_serialized += 1;
+            for &sid in &group.sessions {
+                let line = proto::result_line(sid, &payload);
+                let receivers: Vec<usize> = self
+                    .conns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.dead && c.sessions.contains(&sid))
+                    .map(|(ci, _)| ci)
+                    .collect();
+                for ci in receivers {
+                    self.queue(ci, &line);
+                    self.stats.results_delivered += 1;
+                }
+            }
+        }
+        let done = proto::tick_done(res, server.shed_ticks());
+        self.queue(origin, &done);
+    }
+
+    /// Appends one reply line to a connection's write buffer, evicting
+    /// the connection instead of growing past the configured bound.
+    fn queue(&mut self, i: usize, line: &str) {
+        let conn = &mut self.conns[i];
+        if conn.dead {
+            return;
+        }
+        conn.wbuf.extend(line.as_bytes());
+        conn.wbuf.push_back(b'\n');
+        if conn.wbuf.len() > self.config.max_write_buffer {
+            eprintln!(
+                "va-server: evicting slow client {} ({} bytes pending)",
+                conn.peer,
+                conn.wbuf.len()
+            );
+            conn.dead = true;
+            self.stats.evicted_slow += 1;
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts right now.
+    fn flush(&mut self, i: usize) {
+        loop {
+            let conn = &mut self.conns[i];
+            let (head, _) = conn.wbuf.as_slices();
+            if head.is_empty() {
+                break;
+            }
+            match conn.stream.write(head) {
+                Ok(0) => {
+                    conn.dead = true;
+                    self.stats.dropped_io += 1;
+                    break;
+                }
+                Ok(n) => {
+                    conn.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("va-server: write {}: {e}", conn.peer);
+                    conn.dead = true;
+                    self.stats.dropped_io += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drops finished connections: dead ones immediately, half-closed
+    /// ones once their replies have flushed.
+    fn reap(&mut self) {
+        let before = self.conns.len();
+        self.conns
+            .retain(|c| !(c.dead || (c.read_closed && c.wbuf.is_empty())));
+        self.stats.closed += (before - self.conns.len()) as u64;
+    }
+}
+
+/// Serves connections from `listener` until the process ends, with
+/// default tuning. Connection errors are connection-local; this only
+/// returns on a poll-layer failure. See [`FrontEnd::run`] for a
+/// stoppable loop.
+pub fn serve(listener: &TcpListener, server: &mut Server) -> std::io::Result<()> {
+    FrontEnd::default().run(listener, server, &AtomicBool::new(false))
+}
+
+/// Serves one already-accepted connection to completion (`QUIT` or EOF,
+/// plus reply flush) — the single-client entry the loopback tests and the
+/// `--smoke` exchange use.
+pub fn serve_connection(stream: TcpStream, server: &mut Server) -> std::io::Result<()> {
+    let mut front = FrontEnd::default();
+    front.adopt(stream)?;
+    while front.connections() > 0 {
+        front.turn(None, server)?;
     }
     Ok(())
 }
 
-fn handle(req: Request, server: &mut Server, writer: &mut TcpStream) -> std::io::Result<()> {
-    match req {
-        Request::Subscribe { query, priority } => {
-            let query = query.into_query(server.relation().bonds().len());
-            match server.subscribe(query, priority) {
-                Ok(id) => writeln!(writer, "{}", proto::subscribed(id)),
-                Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
-            }
-        }
-        Request::Unsubscribe { session } => {
-            match server.unsubscribe(crate::session::SessionId(session)) {
-                Ok(()) => writeln!(writer, "{}", proto::unsubscribed(session)),
-                Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
-            }
-        }
-        Request::Resume { session } => match server.resume(crate::session::SessionId(session)) {
-            Ok((sess, answer)) => {
-                writeln!(writer, "{}", proto::resumed(sess, server.ticks(), answer))
-            }
-            Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
-        },
-        Request::Tick { rate } => run_tick(server, rate, writer),
-        Request::Ticks { rates } => {
-            // Load shedding: a burst of ticks coalesces to the newest rate
-            // (stale markets are never priced).
-            for rate in rates {
-                server.offer_tick(rate);
-            }
-            match server.run_queued() {
-                None => writeln!(writer, "{}", proto::error("no ticks offered")),
-                Some(Ok(res)) => write_tick(server, &res, writer),
-                Some(Err(e)) => writeln!(writer, "{}", proto::error(&e.to_string())),
-            }
-        }
-        Request::Stats => writeln!(writer, "{}", proto::stats(server)),
-        Request::Quit => unreachable!("handled by the caller"),
-    }
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::{BondPricer, BondUniverse};
+    use va_stream::BondRelation;
 
-fn run_tick(server: &mut Server, rate: f64, writer: &mut TcpStream) -> std::io::Result<()> {
-    match server.tick(rate) {
-        Ok(res) => write_tick(server, &res, writer),
-        Err(e) => writeln!(writer, "{}", proto::error(&e.to_string())),
+    fn tiny_server() -> Server {
+        let universe = BondUniverse::generate(4, 7);
+        let relation = BondRelation::from_universe(&universe);
+        Server::new(
+            BondPricer::default(),
+            relation,
+            crate::ServerConfig::default(),
+        )
     }
-}
 
-fn write_tick(
-    server: &Server,
-    res: &crate::server::TickResult,
-    writer: &mut TcpStream,
-) -> std::io::Result<()> {
-    for (id, answer) in &res.answers {
-        writeln!(writer, "{}", proto::result(res.tick, res.rate, *id, answer))?;
+    /// A loopback pair with the server side adopted by a front-end.
+    fn adopted(front: &mut FrontEnd) -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        front.adopt(server_side).expect("adopt");
+        client
     }
-    writeln!(writer, "{}", proto::tick_done(res, server.shed_ticks()))
+
+    #[test]
+    fn overflowing_the_write_buffer_evicts_the_connection() {
+        let mut front = FrontEnd::new(FrontEndConfig {
+            max_write_buffer: 64,
+            ..FrontEndConfig::default()
+        });
+        let _client = adopted(&mut front);
+        front.queue(0, &"x".repeat(100));
+        assert_eq!(front.stats().evicted_slow, 1);
+        assert!(front.conns[0].dead);
+        // Queueing to an evicted connection is a no-op, not a panic.
+        front.queue(0, "more");
+        front.reap();
+        assert_eq!(front.connections(), 0);
+        assert_eq!(front.stats().closed, 1);
+    }
+
+    #[test]
+    fn oversize_request_line_errors_and_closes() {
+        let mut front = FrontEnd::new(FrontEndConfig {
+            max_line_bytes: 32,
+            ..FrontEndConfig::default()
+        });
+        let mut client = adopted(&mut front);
+        let mut server = tiny_server();
+        client
+            .write_all(&[b'a'; 100])
+            .expect("write oversize prefix");
+        // The guard closes the connection once the replies flush, so the
+        // loop drains on its own.
+        for _ in 0..200 {
+            if front.connections() == 0 {
+                break;
+            }
+            front.turn(None, &mut server).expect("turn");
+        }
+        assert_eq!(front.connections(), 0, "oversize line closes the conn");
+        let mut reply = String::new();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        std::io::BufRead::read_line(
+            &mut std::io::BufReader::new(client.try_clone().expect("clone")),
+            &mut reply,
+        )
+        .expect("read error line");
+        assert!(reply.contains("\"type\":\"ERROR\""), "{reply}");
+        assert!(reply.contains("exceeds 32 bytes"), "{reply}");
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_are_tolerated() {
+        let mut front = FrontEnd::default();
+        let mut client = adopted(&mut front);
+        let mut server = tiny_server();
+        client
+            .write_all(b"\r\n{\"type\":\"STATS\"}\r\n\n")
+            .expect("write");
+        // Half-close like the `--client` driver: the front-end must still
+        // dispatch the buffered line and flush its reply before closing.
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        for _ in 0..200 {
+            if front.connections() == 0 {
+                break;
+            }
+            front.turn(None, &mut server).expect("turn");
+        }
+        assert_eq!(front.connections(), 0);
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let mut reply = String::new();
+        std::io::BufRead::read_line(
+            &mut std::io::BufReader::new(client.try_clone().expect("clone")),
+            &mut reply,
+        )
+        .expect("read stats line");
+        assert!(reply.contains("\"type\":\"STATS\""), "{reply}");
+    }
 }

@@ -1,0 +1,285 @@
+//! Readiness primitives for the nonblocking front-end: a thin `poll(2)`
+//! shim over raw FFI on unix (no external crates — the workspace builds
+//! offline), a portable sleep-and-scan fallback elsewhere, and the
+//! process-wide stop flag the `va-server` binary arms on SIGTERM/SIGINT.
+//!
+//! This is the only module in the crate that needs `unsafe` (the
+//! `poll`/`signal` FFI calls); everything above it speaks the safe
+//! [`PollSet`] API. The shim is deliberately level-triggered and
+//! allocation-light: the front-end rebuilds the set every loop turn from
+//! its live connections, waits once, and reads per-slot readiness back.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+#[cfg(not(unix))]
+use std::os::raw::c_int as RawFd;
+
+/// Interest/readiness bit: the fd has bytes to read (or hit EOF/error —
+/// reads observe both, so hangups surface as a zero-byte read).
+pub const READABLE: u8 = 0b01;
+/// Interest/readiness bit: the fd can accept writes without blocking.
+pub const WRITABLE: u8 = 0b10;
+
+/// A set of file descriptors to wait on, rebuilt each loop turn.
+///
+/// Push every fd with the events you care about, [`PollSet::wait`] once,
+/// then query per-slot readiness. Error/hangup conditions are folded into
+/// both readiness bits so the caller's next nonblocking read/write
+/// observes them directly.
+#[derive(Debug, Default)]
+pub struct PollSet {
+    fds: Vec<RawFd>,
+    interests: Vec<u8>,
+    readiness: Vec<u8>,
+}
+
+impl PollSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `fd` with an interest mask (`READABLE` / `WRITABLE` bits;
+    /// zero is allowed — hangup and error conditions are still reported).
+    /// Returns the slot to query after [`PollSet::wait`].
+    #[cfg(unix)]
+    pub fn push(&mut self, fd: &impl AsRawFd, interest: u8) -> usize {
+        self.push_raw(fd.as_raw_fd(), interest)
+    }
+
+    /// Non-unix variant of [`PollSet::push`]: readiness is simulated, so
+    /// only the interest mask matters and the handle itself is unused.
+    #[cfg(not(unix))]
+    pub fn push<T>(&mut self, _fd: &T, interest: u8) -> usize {
+        self.push_raw(0, interest)
+    }
+
+    fn push_raw(&mut self, fd: RawFd, interest: u8) -> usize {
+        self.fds.push(fd);
+        self.interests.push(interest);
+        self.readiness.push(0);
+        self.fds.len() - 1
+    }
+
+    /// Number of registered fds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses, or a signal interrupts the wait (reported as success with
+    /// no readiness — the caller's loop re-checks its stop flag and waits
+    /// again). `timeout_ms < 0` waits indefinitely on unix and is clamped
+    /// to a short sleep on the fallback.
+    pub fn wait(&mut self, timeout_ms: i32) -> io::Result<()> {
+        for r in &mut self.readiness {
+            *r = 0;
+        }
+        sys::wait(self, timeout_ms)
+    }
+
+    /// Whether the fd at `slot` reported read readiness (data, EOF, error
+    /// or hangup) on the last [`PollSet::wait`].
+    #[must_use]
+    pub fn readable(&self, slot: usize) -> bool {
+        self.readiness[slot] & READABLE != 0
+    }
+
+    /// Whether the fd at `slot` reported write readiness (or an
+    /// error/hangup a write would observe) on the last [`PollSet::wait`].
+    #[must_use]
+    pub fn writable(&self, slot: usize) -> bool {
+        self.readiness[slot] & WRITABLE != 0
+    }
+}
+
+/// The process-wide stop flag [`stop_on_terminate`] arms.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that arm the returned stop flag, so
+/// the serve loop can exit cleanly (flushing a final snapshot) instead of
+/// dying mid-write. The handlers only store to an atomic —
+/// async-signal-safe by construction. `poll(2)` is never restarted after
+/// a signal (see `signal(7)`), so the wait returns immediately with
+/// `EINTR` (mapped to an empty readiness set) and the loop observes the
+/// flag on its next turn.
+///
+/// On non-unix targets this returns the same flag without installing any
+/// handler; the loop then only stops when the embedding code sets it.
+#[cfg(unix)]
+pub fn stop_on_terminate() -> &'static AtomicBool {
+    use std::os::raw::c_int;
+
+    extern "C" fn arm_stop(_signum: c_int) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+    unsafe {
+        signal(SIGTERM, arm_stop);
+        signal(SIGINT, arm_stop);
+    }
+    &STOP
+}
+
+/// Non-unix fallback: the flag exists but no signal handler is installed.
+#[cfg(not(unix))]
+pub fn stop_on_terminate() -> &'static AtomicBool {
+    let _ = Ordering::SeqCst; // keep the import shape identical across cfgs
+    &STOP
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{PollSet, READABLE, WRITABLE};
+    use std::io;
+    use std::os::raw::{c_int, c_short};
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    #[cfg(target_os = "linux")]
+    type NFds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+    }
+
+    pub fn wait(set: &mut PollSet, timeout_ms: i32) -> io::Result<()> {
+        let mut fds: Vec<PollFd> = set
+            .fds
+            .iter()
+            .zip(&set.interests)
+            .map(|(&fd, &interest)| PollFd {
+                fd,
+                events: (if interest & READABLE != 0 { POLLIN } else { 0 })
+                    | (if interest & WRITABLE != 0 { POLLOUT } else { 0 }),
+                revents: 0,
+            })
+            .collect();
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                // Signal during the wait: report no readiness so the serve
+                // loop re-checks its stop flag.
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (slot, f) in fds.iter().enumerate() {
+            let mut ready = 0u8;
+            // Errors and hangups wake both directions: the next read sees
+            // EOF/ECONNRESET, the next write sees EPIPE — either way the
+            // connection is handled (and dropped) connection-locally.
+            if f.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0 {
+                ready |= READABLE;
+            }
+            if f.revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0 {
+                ready |= WRITABLE;
+            }
+            set.readiness[slot] = ready;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollSet;
+    use std::io;
+    use std::time::Duration;
+
+    /// Portable fallback: no readiness syscall, so after a short sleep
+    /// every registered interest is reported ready. The front-end's
+    /// nonblocking reads/writes treat spurious readiness as `WouldBlock`
+    /// no-ops, so this degrades to a throttled scan loop, not a bug.
+    pub fn wait(set: &mut PollSet, timeout_ms: i32) -> io::Result<()> {
+        let ms = if timeout_ms < 0 {
+            10
+        } else {
+            timeout_ms.min(10)
+        };
+        std::thread::sleep(Duration::from_millis(ms as u64));
+        set.readiness.copy_from_slice(&set.interests);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn reports_read_readiness_when_bytes_arrive() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+
+        // Nothing sent yet: the wait times out with no read readiness.
+        let mut set = PollSet::new();
+        let slot = set.push(&server_side, READABLE);
+        set.wait(20).expect("wait");
+        #[cfg(unix)]
+        assert!(!set.readable(slot), "no bytes yet");
+
+        client.write_all(b"ping\n").expect("write");
+        let mut set = PollSet::new();
+        let slot = set.push(&server_side, READABLE);
+        set.wait(1000).expect("wait");
+        assert!(set.readable(slot), "bytes arrived");
+    }
+
+    #[test]
+    fn reports_write_readiness_on_an_idle_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        let mut set = PollSet::new();
+        let slot = set.push(&server_side, WRITABLE);
+        set.wait(1000).expect("wait");
+        assert!(set.writable(slot), "fresh socket has buffer space");
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn stop_flag_is_a_stable_singleton() {
+        let a = stop_on_terminate();
+        let b = stop_on_terminate();
+        assert!(std::ptr::eq(a, b));
+        assert!(!a.load(Ordering::SeqCst));
+    }
+}

@@ -201,6 +201,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .iter()
                 .map(|r| finite(r.as_f64(), "rates"))
                 .collect::<Result<Vec<f64>, String>>()?;
+            // Validated at parse time, like the query params: an empty
+            // burst is a malformed request, not a runtime condition.
+            if rates.is_empty() {
+                return Err("\"rates\" must not be empty".to_string());
+            }
             Ok(Request::Ticks { rates })
         }
         "STATS" => Ok(Request::Stats),
@@ -416,20 +421,38 @@ pub fn bye() -> String {
     "{\"type\":\"BYE\"}".to_string()
 }
 
-/// One `RESULT` line for one session's answer on one tick.
+/// The session-independent fragment of a `RESULT` line: everything after
+/// the `"session"` field. The broadcast fan-out serializes this once per
+/// (tick, query shape) group and wraps it per session with
+/// [`result_line`], so N subscribers on one shape cost one
+/// serialization, not N.
 #[must_use]
-pub fn result(tick: u64, rate: f64, session: SessionId, answer: &Answer) -> String {
+pub fn result_payload(tick: u64, rate: f64, answer: &Answer) -> String {
     match answer {
         Answer::Final(out) => format!(
-            "{{\"type\":\"RESULT\",\"session\":{session},\"tick\":{tick},\"rate\":{rate},\"status\":\"final\",\"output\":{}}}",
+            "\"tick\":{tick},\"rate\":{rate},\"status\":\"final\",\"output\":{}",
             output_json(out)
         ),
         Answer::Partial { bounds } => format!(
-            "{{\"type\":\"RESULT\",\"session\":{session},\"tick\":{tick},\"rate\":{rate},\"status\":\"partial\",\"bounds\":{{\"lo\":{},\"hi\":{}}}}}",
+            "\"tick\":{tick},\"rate\":{rate},\"status\":\"partial\",\"bounds\":{{\"lo\":{},\"hi\":{}}}",
             bounds.lo(),
             bounds.hi()
         ),
     }
+}
+
+/// Wraps a [`result_payload`] fragment into one session's `RESULT` line.
+#[must_use]
+pub fn result_line(session: SessionId, payload: &str) -> String {
+    format!("{{\"type\":\"RESULT\",\"session\":{session},{payload}}}")
+}
+
+/// One `RESULT` line for one session's answer on one tick — the
+/// composition of [`result_payload`] and [`result_line`], byte-identical
+/// to what the broadcast path emits.
+#[must_use]
+pub fn result(tick: u64, rate: f64, session: SessionId, answer: &Answer) -> String {
+    result_line(session, &result_payload(tick, rate, answer))
 }
 
 /// `TICK_DONE` trailer after a tick's `RESULT` lines.
@@ -652,6 +675,11 @@ mod tests {
         assert!(parse_request(r#"{"type":"WARP"}"#).is_err());
         assert!(parse_request(r#"{"type":"TICK"}"#).is_err());
         assert!(parse_request(r#"{"type":"TICK","rate":"fast"}"#).is_err());
+        assert_eq!(
+            parse_request(r#"{"type":"TICKS","rates":[]}"#),
+            Err("\"rates\" must not be empty".to_string()),
+            "an empty burst is rejected at parse time"
+        );
         assert!(parse_request(r#"{"type":"SUBSCRIBE","query":{"kind":"sum"}}"#).is_err());
         assert!(parse_request(
             r#"{"type":"SUBSCRIBE","query":{"kind":"selection","op":"=","constant":1}}"#
@@ -704,6 +732,24 @@ mod tests {
         for req in &reqs {
             let line = render_request(req);
             assert_eq!(&parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn result_lines_compose_from_shared_payloads() {
+        let partial = Answer::Partial {
+            bounds: Bounds::new(1.0, 2.5),
+        };
+        let fin = Answer::Final(QueryOutput::Count { lo: 2, hi: 2 });
+        for answer in [&partial, &fin] {
+            let payload = result_payload(7, 0.0584, answer);
+            for session in [SessionId(1), SessionId(40)] {
+                assert_eq!(
+                    result_line(session, &payload),
+                    result(7, 0.0584, session, answer),
+                    "broadcast wrap must stay byte-identical to the direct line"
+                );
+            }
         }
     }
 

@@ -492,10 +492,26 @@ impl Server {
         Ok((sess, answer))
     }
 
+    /// Groups the answers of one tick by query shape for broadcast
+    /// fan-out (see
+    /// [`SessionRegistry::broadcast_groups`]): the front-end serializes
+    /// one payload per group instead of one per session.
+    #[must_use]
+    pub fn broadcast_groups<'a>(
+        &self,
+        answers: &'a [(SessionId, Answer)],
+    ) -> Vec<crate::session::Broadcast<'a>> {
+        self.registry.broadcast_groups(answers)
+    }
+
     /// Flushes durable state for a clean shutdown: appends a snapshot
     /// marker and writes a final snapshot covering it, so the next
     /// [`Server::open_durable`] recovers with zero journal replay. A no-op
     /// for in-memory servers.
+    ///
+    /// This belongs to *listener* shutdown (SIGTERM/SIGINT, end of the
+    /// serve loop) — a `QUIT` from one client is connection-scoped and
+    /// does not reach here.
     pub fn shutdown(&mut self) -> Result<(), ServerError> {
         if self.durability.is_some() {
             self.write_snapshot()?;

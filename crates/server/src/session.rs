@@ -4,6 +4,8 @@
 
 use va_stream::Query;
 
+use crate::answer::Answer;
+
 /// Identifies one registered query for its lifetime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(pub u64);
@@ -135,6 +137,53 @@ impl SessionRegistry {
     pub fn is_empty(&self) -> bool {
         self.sessions.is_empty()
     }
+
+    /// Groups a tick's answers for broadcast fan-out: sessions whose
+    /// queries have the same shape share one group — and, because the
+    /// shared pool executes deterministically, the same answer — so the
+    /// front-end serializes each group's payload exactly once however
+    /// many sessions (and connections) receive it. Groups and the
+    /// sessions within them keep first-occurrence (registration) order.
+    #[must_use]
+    pub fn broadcast_groups<'a>(&self, answers: &'a [(SessionId, Answer)]) -> Vec<Broadcast<'a>> {
+        let mut groups: Vec<(Option<&Query>, Broadcast<'a>)> = Vec::new();
+        for (id, answer) in answers {
+            let query = self.get(*id).map(|s| &s.query);
+            let existing =
+                query.and_then(|q| groups.iter_mut().find(|(gq, _)| gq.is_some_and(|g| g == q)));
+            match existing {
+                Some((_, group)) => {
+                    debug_assert_eq!(
+                        group.answer, answer,
+                        "same query shape must share one deterministic answer"
+                    );
+                    group.sessions.push(*id);
+                }
+                // An answer for a session the registry no longer knows
+                // (or a unique shape) gets its own group.
+                None => groups.push((
+                    query,
+                    Broadcast {
+                        sessions: vec![*id],
+                        answer,
+                    },
+                )),
+            }
+        }
+        groups.into_iter().map(|(_, g)| g).collect()
+    }
+}
+
+/// One broadcast fan-out group from
+/// [`SessionRegistry::broadcast_groups`]: every session that shares this
+/// answer, so the serialized payload can be rendered once for all of
+/// them.
+#[derive(Debug)]
+pub struct Broadcast<'a> {
+    /// Sessions receiving this payload, in registration order.
+    pub sessions: Vec<SessionId>,
+    /// The answer they share.
+    pub answer: &'a Answer,
 }
 
 #[cfg(test)]
@@ -182,5 +231,35 @@ mod tests {
         let mut reg = SessionRegistry::new();
         let id = reg.register(Query::Max { epsilon: 0.1 }, 0);
         assert_eq!(reg.get(id).unwrap().priority, 1);
+    }
+
+    #[test]
+    fn broadcast_groups_share_payloads_by_query_shape() {
+        use vao::Bounds;
+
+        let mut reg = SessionRegistry::new();
+        let a = reg.register(Query::Max { epsilon: 0.1 }, 1);
+        let b = reg.register(Query::Min { epsilon: 0.1 }, 1);
+        let c = reg.register(Query::Max { epsilon: 0.1 }, 3);
+        let shared = Answer::Partial {
+            bounds: Bounds::new(1.0, 2.0),
+        };
+        let other = Answer::Partial {
+            bounds: Bounds::new(0.0, 1.0),
+        };
+        let answers = vec![(a, shared.clone()), (b, other.clone()), (c, shared.clone())];
+        let groups = reg.broadcast_groups(&answers);
+        assert_eq!(groups.len(), 2, "two distinct shapes, two groups");
+        assert_eq!(groups[0].sessions, vec![a, c], "same shape coalesces");
+        assert_eq!(groups[0].answer, &shared);
+        assert_eq!(groups[1].sessions, vec![b]);
+        assert_eq!(groups[1].answer, &other);
+
+        // An answer for a session the registry no longer tracks still gets
+        // delivered — as its own group.
+        reg.deregister(c);
+        let groups = reg.broadcast_groups(&answers);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[2].sessions, vec![c]);
     }
 }

@@ -1,0 +1,280 @@
+//! Multi-client integration tests for the nonblocking front-end: many
+//! concurrent subscribers over real loopback sockets against one
+//! deterministic server, compared byte-for-byte to a serial golden run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bondlab::{BondPricer, BondUniverse, RateSeries};
+use va_server::{net::FrontEnd, proto, FrontEndStats, Server, ServerConfig, SessionId};
+use va_stream::{BondRelation, Query};
+
+const BONDS: usize = 12;
+const SEED: u64 = 1994;
+
+fn fresh_server() -> Server {
+    let universe = BondUniverse::generate(BONDS, SEED);
+    let relation = BondRelation::from_universe(&universe);
+    Server::new(BondPricer::default(), relation, ServerConfig::default())
+}
+
+/// A front-end serving a fresh server on an ephemeral port, on its own
+/// thread, until [`Harness::stop`].
+struct Harness {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(Server, FrontEndStats)>,
+}
+
+impl Harness {
+    fn spawn() -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut server = fresh_server();
+            let mut front = FrontEnd::default();
+            front
+                .run(&listener, &mut server, &flag)
+                .expect("readiness loop");
+            (server, front.stats())
+        });
+        Self { addr, stop, handle }
+    }
+
+    fn stop(self) -> (Server, FrontEndStats) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join().expect("front-end thread")
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Self {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("write request");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read reply");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    fn subscribe_max(&mut self) -> u64 {
+        self.send(r#"{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.05}}"#);
+        let reply = self.recv();
+        assert!(reply.contains("\"type\":\"SUBSCRIBED\""), "{reply}");
+        let tail = reply.split("\"session\":").nth(1).expect("session field");
+        tail.trim_end_matches('}').parse().expect("session id")
+    }
+}
+
+/// The serial golden run: the same subscription/tick sequence as the wire
+/// test, driven in-process, rendered to protocol lines with the same
+/// serializers the front-end composes from.
+struct Golden {
+    server: Server,
+}
+
+impl Golden {
+    fn new() -> Self {
+        Self {
+            server: fresh_server(),
+        }
+    }
+
+    fn subscribe_max(&mut self) -> SessionId {
+        self.server
+            .subscribe(Query::Max { epsilon: 0.05 }, 1)
+            .expect("golden subscribe")
+    }
+
+    /// Ticks once and returns (per-session RESULT lines, TICK_DONE line).
+    fn tick(&mut self, rate: f64) -> (Vec<(SessionId, String)>, String) {
+        let res = self.server.tick(rate).expect("golden tick");
+        let lines = res
+            .answers
+            .iter()
+            .map(|(id, a)| (*id, proto::result(res.tick, res.rate, *id, a)))
+            .collect();
+        (lines, proto::tick_done(&res, self.server.shed_ticks()))
+    }
+}
+
+#[test]
+fn many_subscribers_get_bit_identical_broadcasts() {
+    let harness = Harness::spawn();
+    let rates: Vec<f64> = RateSeries::january_1994().daily_opens()[..8].to_vec();
+
+    // Five clients subscribe the same query shape, in a fixed order so the
+    // golden run can mirror the session ids.
+    let mut clients: Vec<Client> = Vec::new();
+    let mut sessions: Vec<u64> = Vec::new();
+    for _ in 0..5 {
+        let mut c = Client::connect(harness.addr);
+        sessions.push(c.subscribe_max());
+        clients.push(c);
+    }
+    assert_eq!(sessions, vec![1, 2, 3, 4, 5]);
+
+    let mut golden = Golden::new();
+    for _ in 0..5 {
+        golden.subscribe_max();
+    }
+
+    // First half of the stream: client 0 drives, everyone receives.
+    for &rate in &rates[..4] {
+        let (expected, expected_done) = golden.tick(rate);
+        clients[0].send(&format!("{{\"type\":\"TICK\",\"rate\":{rate}}}"));
+        for (ci, client) in clients.iter_mut().enumerate() {
+            let line = client.recv();
+            let want = &expected[ci].1;
+            assert_eq!(&line, want, "client {ci} diverged from the golden run");
+        }
+        assert_eq!(clients[0].recv(), expected_done, "driver's trailer");
+    }
+
+    // One client hangs up mid-stream (no QUIT — the rude way), and a new
+    // one connects between ticks and subscribes the same shape.
+    let dropped = clients.remove(2);
+    drop(dropped);
+    let mut late = Client::connect(harness.addr);
+    assert_eq!(late.subscribe_max(), 6);
+    golden.subscribe_max();
+    clients.push(late);
+
+    for &rate in &rates[4..] {
+        let (expected, expected_done) = golden.tick(rate);
+        clients[0].send(&format!("{{\"type\":\"TICK\",\"rate\":{rate}}}"));
+        // Clients 0,1 hold sessions 1,2; the survivors after the removal
+        // hold 4,5; the late joiner holds 6. Session 3's answers still
+        // exist in the golden run but have no attached connection.
+        let held = [0usize, 1, 3, 4, 5];
+        for (client, &gi) in clients.iter_mut().zip(&held) {
+            let line = client.recv();
+            let want = &expected[gi].1;
+            assert_eq!(&line, want, "post-churn divergence (golden row {gi})");
+        }
+        assert_eq!(clients[0].recv(), expected_done);
+    }
+
+    let (server, stats) = harness.stop();
+    assert_eq!(server.ticks(), rates.len() as u64);
+    assert_eq!(server.sessions().len(), 6, "sessions survive disconnects");
+    // The whole point of shape-grouped fan-out: one serialized payload per
+    // tick served every subscriber on the shape.
+    assert!(
+        stats.payloads_serialized < stats.results_delivered,
+        "expected payload sharing: {stats:?}"
+    );
+    assert_eq!(stats.accepted, 6);
+}
+
+#[test]
+fn dead_client_mid_tick_keeps_the_listener_serving() {
+    let harness = Harness::spawn();
+    let mut driver = Client::connect(harness.addr);
+    driver.subscribe_max();
+
+    // A second subscriber vanishes without ceremony.
+    let mut doomed = Client::connect(harness.addr);
+    doomed.subscribe_max();
+    drop(doomed);
+
+    // The tick still completes for the surviving client...
+    driver.send(r#"{"type":"TICK","rate":0.0583}"#);
+    let result = driver.recv();
+    assert!(result.contains("\"type\":\"RESULT\""), "{result}");
+    assert!(driver.recv().contains("\"type\":\"TICK_DONE\""));
+
+    // ...and the accept loop is still alive for new clients.
+    let mut fresh = Client::connect(harness.addr);
+    assert_eq!(fresh.subscribe_max(), 3);
+
+    let (server, stats) = harness.stop();
+    assert_eq!(server.ticks(), 1);
+    assert_eq!(stats.accepted, 3);
+}
+
+#[test]
+fn wedged_client_neither_stalls_ticks_nor_kills_accepts() {
+    let harness = Harness::spawn();
+    let mut driver = Client::connect(harness.addr);
+    driver.subscribe_max();
+
+    // The wedge: subscribed to the same shape, sends half a request line,
+    // then never reads and never finishes writing.
+    let mut wedge = Client::connect(harness.addr);
+    wedge.subscribe_max();
+    wedge
+        .writer
+        .write_all(b"{\"type\":\"TICK\",")
+        .expect("partial write");
+
+    // The driver's ticks keep flowing while the wedge sits there.
+    for i in 1..=3u64 {
+        driver.send(r#"{"type":"TICK","rate":0.0583}"#);
+        assert!(driver.recv().contains("\"type\":\"RESULT\""));
+        let done = driver.recv();
+        assert!(done.contains(&format!("\"tick\":{i}")), "{done}");
+    }
+
+    // And new clients still get in past it.
+    let mut fresh = Client::connect(harness.addr);
+    assert_eq!(fresh.subscribe_max(), 3);
+
+    let (server, _) = harness.stop();
+    assert_eq!(server.ticks(), 3);
+}
+
+#[test]
+fn quit_is_scoped_to_the_issuing_connection() {
+    let harness = Harness::spawn();
+    let mut stayer = Client::connect(harness.addr);
+    stayer.subscribe_max();
+
+    let mut quitter = Client::connect(harness.addr);
+    let quit_session = quitter.subscribe_max();
+    quitter.send(r#"{"type":"QUIT"}"#);
+    assert!(quitter.recv().contains("\"type\":\"BYE\""));
+
+    // The server — and the other client — are unaffected.
+    stayer.send(r#"{"type":"TICK","rate":0.0583}"#);
+    assert!(stayer.recv().contains("\"type\":\"RESULT\""));
+    assert!(stayer.recv().contains("\"type\":\"TICK_DONE\""));
+
+    // The quitter's session outlives its connection and can be resumed
+    // elsewhere (the reconnect story QUIT used to break by flushing and
+    // shutting down shared durable state).
+    stayer.send(&format!(
+        "{{\"type\":\"RESUME\",\"session\":{quit_session}}}"
+    ));
+    let resumed = stayer.recv();
+    assert!(resumed.contains("\"type\":\"RESUMED\""), "{resumed}");
+    assert!(resumed.contains("\"status\":\"final\""), "{resumed}");
+
+    let (server, stats) = harness.stop();
+    assert_eq!(server.ticks(), 1);
+    assert_eq!(server.sessions().len(), 2);
+    assert!(stats.closed >= 1);
+}

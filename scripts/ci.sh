@@ -4,7 +4,7 @@
 #
 #   ./scripts/ci.sh
 #
-# Ten stages, all mandatory:
+# Eleven stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
@@ -27,11 +27,18 @@
 #                                  assert the data dir holds only the tail
 #                                  segments and two snapshots, then restart
 #                                  and RESUME as in stage 6
-#   9. batched-solver smoke     -- the SoA lane solver must produce answers
+#   9. connection-churn soak   -- 20 clients subscribe/tick across the run
+#                                  while every fourth is SIGKILLed
+#                                  mid-connection and a wedged client parks
+#                                  on an open socket the whole time; then
+#                                  SIGKILL the server mid-churn, restart,
+#                                  and assert the RESUMEd session line is
+#                                  bit-identical before and after the crash
+#  10. batched-solver smoke    -- the SoA lane solver must produce answers
 #                                  bit-identical to the scalar executor on a
 #                                  small universe (numerics kernel identity +
 #                                  server dispatch identity, by name)
-#  10. cargo doc -D warnings    -- rustdoc must build clean
+#  11. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -226,6 +233,91 @@ wait "$SRV_PID" 2>/dev/null || true
 cleanup
 trap - EXIT
 echo "    compaction smoke ok (bounded data dir, session resumed across SIGKILL)"
+
+echo "==> va-server connection-churn soak (20 clients, rude kills, SIGKILL mid-churn)"
+DATA_DIR=$(mktemp -d)
+SRV_LOG=$(mktemp)
+WEDGE_PID=0
+KILLED=""
+cleanup_churn() {
+  kill -9 "${SRV_PID:-0}" "${WEDGE_PID:-0}" $KILLED 2>/dev/null || true
+  rm -rf "$DATA_DIR" "$SRV_LOG"
+}
+trap cleanup_churn EXIT
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# Session 1 is the one resumed across the crash; its owner hangs up rudely.
+SETUP=$(printf '%s\n%s\n' \
+  '{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.5},"priority":2}' \
+  '{"type":"TICK","rate":0.0583}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$SETUP" | grep -q '"type":"SUBSCRIBED"' || { echo "no SUBSCRIBED: $SETUP"; exit 1; }
+echo "$SETUP" | grep -q '"type":"RESULT"'     || { echo "no RESULT: $SETUP"; exit 1; }
+
+# A wedge client parks on an open connection for the whole soak: it must
+# neither stall the churn below nor interfere with the crash recovery.
+sleep 30 | "$VA_SERVER" --client "$ADDR" >/dev/null 2>&1 &
+WEDGE_PID=$!
+
+# Twenty churn clients; every fourth is killed -9 mid-connection (after its
+# SUBSCRIBE is in flight, before it finishes), the rest subscribe, tick once
+# and hang up without QUIT.
+for i in $(seq 1 20); do
+  if [ $((i % 4)) -eq 0 ]; then
+    { printf '{"type":"SUBSCRIBE","query":{"kind":"ave","epsilon":0.5}}\n'; sleep 10; } \
+      | "$VA_SERVER" --client "$ADDR" >/dev/null 2>&1 &
+    KILLED="$KILLED $!"
+  else
+    OUT=$(printf '{"type":"SUBSCRIBE","query":{"kind":"ave","epsilon":0.5}}\n{"type":"TICK","rate":0.058%d}\n' $((i % 10)) \
+      | "$VA_SERVER" --client "$ADDR")
+    echo "$OUT" | grep -q '"type":"SUBSCRIBED"' || { echo "churn client $i: $OUT"; exit 1; }
+    echo "$OUT" | grep -q '"type":"TICK_DONE"'  || { echo "churn client $i lost its tick: $OUT"; exit 1; }
+  fi
+done
+for pid in $KILLED; do kill -9 "$pid" 2>/dev/null || true; done
+
+# What session 1 looks like just before the crash...
+PRE=$(printf '{"type":"RESUME","session":1}\n' | "$VA_SERVER" --client "$ADDR")
+PRE_LINE=$(echo "$PRE" | grep '"type":"RESUMED"') || { echo "no pre-kill RESUMED: $PRE"; exit 1; }
+
+# ...SIGKILL mid-churn, with the wedge still parked on its connection...
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+kill -9 "$WEDGE_PID" 2>/dev/null || true
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# ...and after recovery the same RESUME must produce the same bytes.
+POST=$(printf '{"type":"RESUME","session":1}\n{"type":"QUIT"}\n' | "$VA_SERVER" --client "$ADDR")
+POST_LINE=$(echo "$POST" | grep '"type":"RESUMED"') || { echo "no post-kill RESUMED: $POST"; exit 1; }
+[ "$PRE_LINE" = "$POST_LINE" ] || {
+  echo "recovery diverged:"
+  echo "  pre:  $PRE_LINE"
+  echo "  post: $POST_LINE"
+  exit 1
+}
+grep -q "recovered from" "$SRV_LOG" || { echo "no recovery line"; cat "$SRV_LOG"; exit 1; }
+
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+cleanup_churn
+trap - EXIT
+echo "    connection-churn soak ok (20-client churn + wedge survived, RESUME bit-identical across SIGKILL)"
 
 echo "==> batched SoA solver == scalar executor smoke"
 cargo test -q -p va-numerics --lib tridiag::tests::batched_solve_is_bit_identical_to_scalar_lanes
