@@ -19,8 +19,9 @@ use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, batch_scaling,
     compaction_growth, fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold,
     frontend_scaling, max_table_traced, parallel_scaling, recovery_comparison,
-    selection_sweep_traced, server_scaling, sketch_scaling, tick_amortization, CONNECTION_COUNTS,
-    HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES, STD_DEVS, WORKER_COUNTS,
+    selection_sweep_traced, server_scaling, sketch_scaling, tenant_scaling, tick_amortization,
+    CONNECTION_COUNTS, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES, STD_DEVS,
+    TENANT_COUNTS, TENANT_SUBSCRIPTIONS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -65,7 +66,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|frontend-scaling|parallel-scaling|batch-scaling|sketch-scaling|recovery|compaction|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|frontend-scaling|parallel-scaling|batch-scaling|sketch-scaling|tenant-scaling|recovery|compaction|all]..."
                 );
                 std::process::exit(0);
             }
@@ -555,6 +556,58 @@ fn main() {
             rows.iter().all(|r| r.contained)
         );
         t.write_csv(&args.out.join("sketch_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "tenant-scaling") {
+        println!(
+            "-- Extension: multi-relation tenancy, shared host vs isolated servers ({} subscriptions/relation) --",
+            TENANT_SUBSCRIPTIONS
+        );
+        let rows = tenant_scaling(&lab, &TENANT_COUNTS, args.seed);
+        let mut t = Table::new(&[
+            "relations",
+            "subscriptions",
+            "shared_wall_ms",
+            "isolated_wall_ms",
+            "shard_speedup",
+            "shared_work",
+            "isolated_work",
+            "budget_exhausted",
+            "identical",
+        ]);
+        for r in &rows {
+            // Plain integers so the CSV stays machine-parseable.
+            t.row(vec![
+                r.relations.to_string(),
+                r.subscriptions.to_string(),
+                format!("{:.1}", r.shared_wall.as_secs_f64() * 1e3),
+                format!("{:.1}", r.isolated_wall.as_secs_f64() * 1e3),
+                format!("{:.2}", r.shard_speedup()),
+                r.shared_work.to_string(),
+                r.isolated_work.to_string(),
+                r.budget_exhausted.to_string(),
+                r.identical.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{} co-hosted relations diverged from their isolated twins",
+                r.relations
+            );
+        }
+        if let Some(last) = rows.last() {
+            println!(
+                "  {} relations on one host: bit-identical to {} isolated servers, {:.2}x wall-clock from sharding",
+                last.relations,
+                last.relations,
+                last.shard_speedup()
+            );
+        }
+        t.write_csv(&args.out.join("tenant_scaling.csv"))
             .expect("write csv");
         println!();
     }

@@ -1324,9 +1324,14 @@ pub fn frontend_scaling(lab: &Lab, counts: &[usize]) -> Vec<FrontendScalingRow> 
             let lines = res
                 .answers
                 .iter()
-                .map(|(id, a)| proto::result(res.tick, res.rate, *id, a))
+                .map(|(id, a)| {
+                    proto::result(va_server::DEFAULT_RELATION, res.tick, res.rate, *id, a)
+                })
                 .collect();
-            expected.push((lines, proto::tick_done(&res, golden.shed_ticks())));
+            expected.push((
+                lines,
+                proto::tick_done(va_server::DEFAULT_RELATION, &res, golden.shed_ticks()),
+            ));
         }
 
         // Wire run: the front-end on its own thread, N blocking clients
@@ -1392,6 +1397,175 @@ pub fn frontend_scaling(lab: &Lab, counts: &[usize]) -> Vec<FrontendScalingRow> 
             p50: at(0.50),
             p99: at(0.99),
             max: *samples.last().expect("nonempty samples"),
+            identical,
+        });
+    }
+    rows
+}
+
+/// Relation counts swept by [`tenant_scaling`].
+pub const TENANT_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Subscriptions registered per relation in the tenant sweep.
+pub const TENANT_SUBSCRIPTIONS: usize = 4;
+
+/// One point of the multi-relation tenancy sweep: `relations` tenants
+/// co-hosted on one server versus the same tenants on isolated
+/// single-relation servers, each isolated server given exactly the budget
+/// slice the shared host's arbitration would grant it.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantScalingRow {
+    /// Co-hosted relations in this round.
+    pub relations: usize,
+    /// Total subscriptions across all relations.
+    pub subscriptions: usize,
+    /// Wall-clock of the shared host's one `tick_multi` (4 shard workers).
+    pub shared_wall: Duration,
+    /// Wall-clock of ticking every isolated server sequentially.
+    pub isolated_wall: Duration,
+    /// Total work units the shared multi-tick cost.
+    pub shared_work: u64,
+    /// Total work units across the isolated servers.
+    pub isolated_work: u64,
+    /// Relations whose budget slice was exhausted (anytime answers).
+    pub budget_exhausted: u64,
+    /// Whether every relation's answers and stats were bit-identical
+    /// between the shared host and its isolated twin.
+    pub identical: bool,
+}
+
+impl TenantScalingRow {
+    /// Shared-host wall-clock speedup from sharding relations across
+    /// workers, relative to the sequential isolated baseline.
+    #[must_use]
+    pub fn shard_speedup(&self) -> f64 {
+        self.isolated_wall.as_secs_f64() / self.shared_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Sweeps co-hosted relation counts: each round builds one shared server
+/// with `count` relations (16 bonds each, distinct universes), registers
+/// [`TENANT_SUBSCRIPTIONS`] queries per relation at a per-tenant priority,
+/// and runs one budgeted `tick_multi` with 4 shard workers. The baseline
+/// runs the same tenants as isolated single-relation servers, each
+/// configured with the exact budget slice
+/// [`va_server::arbitrate_budget`] grants its weight — so the sweep is
+/// also the system-level proof of the tenancy invariant: co-hosting
+/// changes wall-clock, never answers.
+pub fn tenant_scaling(lab: &Lab, counts: &[usize], seed: u64) -> Vec<TenantScalingRow> {
+    use bondlab::BondUniverse;
+    use va_server::{arbitrate_budget, Server, ServerConfig, TickResult};
+    use va_stream::relation::BondRelation;
+
+    const BONDS_PER_RELATION: usize = 16;
+    const BUDGET_PER_RELATION: u64 = 30_000;
+
+    // Everything observable about a tick except wall time (measured, not
+    // derived): the bit-identity key.
+    let key = |res: &TickResult| {
+        let s = &res.stats;
+        format!(
+            "tick={} rate={:?} answers={:?} exhausted={} stats=({:?} {:?} {} {} {} {:?} {:?})",
+            res.tick,
+            res.rate,
+            res.answers,
+            res.budget_exhausted,
+            s.rate,
+            s.work,
+            s.iterations,
+            s.operator,
+            s.objects,
+            s.iter_histogram,
+            s.cpu_est
+        )
+    };
+    let relation = |i: usize| {
+        BondRelation::from_universe(&BondUniverse::generate(
+            BONDS_PER_RELATION,
+            seed + 7 * i as u64 + 1,
+        ))
+    };
+    let priority = |i: usize| (i % 3 + 1) as u32;
+    let rate = |i: usize| lab.rate + i as f64 * 1e-4;
+    let workload = server_workload(BONDS_PER_RELATION, TENANT_SUBSCRIPTIONS);
+
+    let mut rows = Vec::new();
+    for &count in counts {
+        let total_budget = BUDGET_PER_RELATION * count as u64;
+        // The shared host: relation 0 is the bootstrap "default", the rest
+        // are created through the catalog. `batch` is pinned so the worker
+        // count stays a pure wall-clock knob (the schedule is fixed by the
+        // batch size, and sharding runs every relation with inner
+        // workers = 1 anyway).
+        let shared_config = ServerConfig {
+            budget: Some(total_budget),
+            workers: 4,
+            batch: Some(1),
+            ..ServerConfig::default()
+        };
+        let mut shared = Server::new(lab.pricer, relation(0), shared_config);
+        let mut names = vec!["default".to_string()];
+        for i in 1..count {
+            let name = format!("t{i}");
+            shared
+                .create_relation(&name, relation(i), None)
+                .expect("create relation");
+            names.push(name);
+        }
+        for (i, name) in names.iter().enumerate() {
+            for q in &workload {
+                shared
+                    .subscribe_to(name, q.clone(), priority(i))
+                    .expect("subscribe");
+            }
+        }
+        let ticks: Vec<(&str, f64)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), rate(i)))
+            .collect();
+        let t0 = Instant::now();
+        let shared_results = shared.tick_multi(&ticks).expect("shared multi-tick");
+        let shared_wall = t0.elapsed();
+
+        // The isolated baseline: the same per-relation budget slices the
+        // shared host's arbitration produced, recomputed here from the
+        // same priority weights.
+        let weights: Vec<u64> = (0..count)
+            .map(|i| u64::from(priority(i)) * TENANT_SUBSCRIPTIONS as u64)
+            .collect();
+        let slices = arbitrate_budget(Some(total_budget), &weights);
+        let mut identical = true;
+        let mut isolated_work = 0u64;
+        let mut isolated_wall = Duration::ZERO;
+        for i in 0..count {
+            let config = ServerConfig {
+                budget: slices[i],
+                workers: 1,
+                batch: Some(1),
+                ..ServerConfig::default()
+            };
+            let mut isolated = Server::new(lab.pricer, relation(i), config);
+            for q in &workload {
+                isolated
+                    .subscribe(q.clone(), priority(i))
+                    .expect("subscribe");
+            }
+            let t0 = Instant::now();
+            let res = isolated.tick(rate(i)).expect("isolated tick");
+            isolated_wall += t0.elapsed();
+            isolated_work += res.stats.total_work();
+            identical &= key(&res) == key(&shared_results[i]);
+        }
+
+        rows.push(TenantScalingRow {
+            relations: count,
+            subscriptions: count * TENANT_SUBSCRIPTIONS,
+            shared_wall,
+            isolated_wall,
+            shared_work: shared_results.iter().map(|r| r.stats.total_work()).sum(),
+            isolated_work,
+            budget_exhausted: shared_results.iter().filter(|r| r.budget_exhausted).count() as u64,
             identical,
         });
     }

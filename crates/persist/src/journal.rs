@@ -494,7 +494,10 @@ mod tests {
     }
 
     fn ev(session: u64) -> JournalEvent {
-        JournalEvent::Unsubscribe { session }
+        JournalEvent::Unsubscribe {
+            relation: 1,
+            session,
+        }
     }
 
     fn open_fresh(dir: &Path) -> (Journal, JournalLoad) {

@@ -75,6 +75,17 @@ pub enum PersistError {
         /// The fingerprint persisted in the data dir.
         found: u64,
     },
+    /// The data dir's on-disk layout is ambiguous or mixed-generation —
+    /// e.g. a legacy single-relation `meta.json` alongside catalog journal
+    /// events, or a catalog-format dir opened through a legacy bootstrap
+    /// path. Guessing which generation wins could attach journaled state
+    /// to the wrong relation, so the open is refused.
+    Layout {
+        /// The directory (or file) whose layout is ambiguous.
+        path: String,
+        /// What made the layout ambiguous.
+        detail: String,
+    },
 }
 
 impl PersistError {
@@ -111,6 +122,9 @@ impl std::fmt::Display for PersistError {
                  {expected:#018x} (different relation or pricer); refusing \
                  to recover foreign warm state"
             ),
+            PersistError::Layout { path, detail } => {
+                write!(f, "ambiguous data dir layout in {path}: {detail}")
+            }
         }
     }
 }
@@ -167,59 +181,172 @@ impl Recovery {
         self.skipped_snapshots.len() as u64
     }
 
-    /// Folds the recovered warm-start state: the snapshot's per-rate
-    /// entries, then each replayed tick's end-of-tick state replacing the
-    /// entry for its rate. The result is identical to the map an
-    /// uninterrupted server would hold in memory — which is what makes
-    /// post-recovery ticks bit-identical to the golden run.
+    /// Folds the recovered warm-start state, one map per relation: each
+    /// relation's snapshot per-rate entries, then each replayed tick's
+    /// end-of-tick state replacing the entry for its relation and rate.
+    /// The result is identical to the maps an uninterrupted server would
+    /// hold in memory — which is what makes post-recovery ticks
+    /// bit-identical to the golden run.
     #[must_use]
-    pub fn warm_map(&self) -> WarmMap {
-        let mut map = WarmMap::new();
+    pub fn warm_maps(&self) -> BTreeMap<u64, WarmMap> {
+        let mut maps: BTreeMap<u64, WarmMap> = BTreeMap::new();
         if let Some(snap) = &self.snapshot {
-            for entry in &snap.warm {
-                map.insert(entry.rate.to_bits(), entry.objects.clone());
+            for rel in &snap.relations {
+                let map = maps.entry(rel.relation).or_default();
+                for entry in &rel.warm {
+                    map.insert(entry.rate.to_bits(), entry.objects.clone());
+                }
             }
         }
         for ev in &self.tail {
             if let JournalEvent::Tick(t) = ev {
-                map.insert(t.rate.to_bits(), t.warm.clone());
+                maps.entry(t.relation)
+                    .or_default()
+                    .insert(t.rate.to_bits(), t.warm.clone());
             }
         }
-        map
+        maps
     }
 }
 
 /// Name of the fingerprint metadata file inside a data dir.
 pub const META_FILE: &str = "meta.json";
 
-/// Reads the persisted fingerprint, `None` when the file does not exist.
-fn read_meta(path: &Path) -> Result<Option<u64>, PersistError> {
+/// One cached relation binding inside a catalog-format [`Meta::V2`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetaRelation {
+    /// The relation's catalog id.
+    pub relation: u64,
+    /// FNV-1a fingerprint over the pricer *and* this relation's bonds.
+    pub fingerprint: u64,
+}
+
+/// The identity metadata persisted in [`META_FILE`].
+///
+/// Version 1 (PR-4/5 single-relation dirs) binds the whole dir to one
+/// `(pricer, relation)` fingerprint. Version 2 (catalog dirs) records the
+/// pricer fingerprint — strictly validated at open — plus one cached
+/// binding per relation. The per-relation entries are *cached* from the
+/// authoritative journal: a crash between a catalog journal append and
+/// the meta rewrite leaves them stale, and the opener heals them from the
+/// replayed journal rather than refusing the dir.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Meta {
+    /// Legacy single-relation metadata: `{"fingerprint":F}`.
+    V1 {
+        /// The combined pricer + relation fingerprint.
+        fingerprint: u64,
+    },
+    /// Catalog metadata:
+    /// `{"version":2,"pricer":P,"relations":[{"relation":N,"fingerprint":F},..]}`.
+    V2 {
+        /// FNV-1a fingerprint over the pricer configuration alone.
+        pricer: u64,
+        /// Cached per-relation fingerprint bindings, in relation-id order.
+        relations: Vec<MetaRelation>,
+    },
+}
+
+impl Meta {
+    /// Serializes to the on-disk JSON form (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Meta::V1 { fingerprint } => format!("{{\"fingerprint\":{fingerprint}}}"),
+            Meta::V2 { pricer, relations } => {
+                let rels: Vec<String> = relations
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"relation\":{},\"fingerprint\":{}}}",
+                            r.relation, r.fingerprint
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"version\":2,\"pricer\":{pricer},\"relations\":[{}]}}",
+                    rels.join(",")
+                )
+            }
+        }
+    }
+
+    /// Parses either metadata generation.
+    pub fn parse(text: &str) -> Result<Meta, String> {
+        let doc = json::Json::parse(text.trim())?;
+        if doc.get("version").is_some() || doc.get("relations").is_some() {
+            let version = doc
+                .get("version")
+                .and_then(json::Json::as_u64)
+                .ok_or("missing integer \"version\"")?;
+            if version != 2 {
+                return Err(format!("unsupported metadata version {version}"));
+            }
+            let pricer = doc
+                .get("pricer")
+                .and_then(json::Json::as_u64)
+                .ok_or("missing integer \"pricer\"")?;
+            let relations = doc
+                .get("relations")
+                .and_then(json::Json::as_array)
+                .ok_or("missing array \"relations\"")?
+                .iter()
+                .map(|r| {
+                    Ok(MetaRelation {
+                        relation: r
+                            .get("relation")
+                            .and_then(json::Json::as_u64)
+                            .ok_or("missing integer \"relation\"")?,
+                        fingerprint: r
+                            .get("fingerprint")
+                            .and_then(json::Json::as_u64)
+                            .ok_or("missing integer \"fingerprint\"")?,
+                    })
+                })
+                .collect::<Result<Vec<MetaRelation>, String>>()?;
+            Ok(Meta::V2 { pricer, relations })
+        } else {
+            Ok(Meta::V1 {
+                fingerprint: doc
+                    .get("fingerprint")
+                    .and_then(json::Json::as_u64)
+                    .ok_or("missing integer \"fingerprint\"")?,
+            })
+        }
+    }
+}
+
+/// Probes a data dir's identity metadata without opening the store.
+///
+/// `None` means the metadata file does not exist (a fresh dir, or one
+/// never opened durably). Callers use this to route between bootstrap
+/// flavours — a [`Meta::V2`] dir is self-describing and must not have a
+/// relation reimposed from command-line flags — before committing to a
+/// full [`Store::open`] with its journal replay.
+pub fn peek_meta(dir: &Path) -> Result<Option<Meta>, PersistError> {
+    read_meta(&dir.join(META_FILE))
+}
+
+/// Reads the persisted metadata, `None` when the file does not exist.
+fn read_meta(path: &Path) -> Result<Option<Meta>, PersistError> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(PersistError::io(path, &e)),
     };
-    let doc = json::Json::parse(text.trim())
-        .map_err(|e| PersistError::corrupt(path, format!("metadata: {e}")))?;
-    doc.get("fingerprint")
-        .and_then(json::Json::as_u64)
+    Meta::parse(&text)
         .map(Some)
-        .ok_or_else(|| {
-            PersistError::corrupt(
-                path,
-                "metadata: missing integer \"fingerprint\"".to_string(),
-            )
-        })
+        .map_err(|e| PersistError::corrupt(path, format!("metadata: {e}")))
 }
 
-/// Writes the fingerprint metadata atomically (temp file + fsync + rename).
-fn write_meta(dir: &Path, fingerprint: u64) -> Result<(), PersistError> {
+/// Writes the metadata atomically (temp file + fsync + rename).
+fn write_meta(dir: &Path, meta: &Meta) -> Result<(), PersistError> {
     use std::io::Write;
     let path = dir.join(META_FILE);
     let tmp = dir.join("meta.json.tmp");
     {
         let mut file = std::fs::File::create(&tmp).map_err(|e| PersistError::io(&tmp, &e))?;
-        file.write_all(format!("{{\"fingerprint\":{fingerprint}}}\n").as_bytes())
+        file.write_all(format!("{}\n", meta.to_json()).as_bytes())
             .and_then(|()| file.sync_all())
             .map_err(|e| PersistError::io(&tmp, &e))?;
     }
@@ -268,16 +395,15 @@ pub struct Store {
 impl Store {
     /// Opens (creating if needed) the data dir at `dir`, recovering
     /// whatever state it holds: newest valid snapshot, journal tail,
-    /// torn-record report.
+    /// torn-record report, and whatever [`Meta`] generation the dir
+    /// carries (`None` on a fresh dir).
     ///
-    /// `fingerprint` binds the data dir to the caller's relation and
-    /// pricer: a fresh dir records it in [`META_FILE`], and every later
-    /// open must present the same value. Journaled warm bounds are only
-    /// meaningful for the exact universe that produced them, so a
-    /// mismatch — the operator pointed a differently-configured server at
-    /// an old dir — refuses to open with [`PersistError::Mismatch`]
-    /// instead of silently recovering foreign state.
-    pub fn open(dir: &Path, fingerprint: u64) -> Result<(Store, Recovery), PersistError> {
+    /// Identity *policy* — which fingerprints must match, which metadata
+    /// generation is acceptable, when a legacy dir migrates — lives in the
+    /// server layer, which knows the pricer and the catalog. This layer
+    /// only reports what is on disk; callers that accept the dir should
+    /// persist their verdict with [`Store::write_meta`].
+    pub fn open(dir: &Path) -> Result<(Store, Recovery, Option<Meta>), PersistError> {
         std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, &e))?;
         let swept_tmp_files = sweep_tmp(dir)?;
         let snapshots = snapshot::load(dir)?;
@@ -291,32 +417,7 @@ impl Store {
             None => Coverage::Events(s.journal_events),
         });
         let (journal, load) = Journal::open(dir, coverage.as_ref())?;
-        let meta_path = dir.join(META_FILE);
-        let fresh =
-            snapshots.newest.is_none() && snapshots.skipped.is_empty() && journal.events() == 0;
-        match read_meta(&meta_path)? {
-            Some(found) if found != fingerprint => {
-                return Err(PersistError::Mismatch {
-                    path: meta_path.display().to_string(),
-                    expected: fingerprint,
-                    found,
-                });
-            }
-            Some(_) => {}
-            // A fresh dir (or one where a crash landed between creating
-            // the empty journal and the meta write) adopts the caller's
-            // fingerprint; state with no fingerprint to check it against
-            // is unusable.
-            None if fresh => {
-                write_meta(dir, fingerprint)?;
-            }
-            None => {
-                return Err(PersistError::corrupt(
-                    &meta_path,
-                    "metadata file missing from a non-empty data dir".to_string(),
-                ));
-            }
-        }
+        let meta = read_meta(&dir.join(META_FILE))?;
         // The next snapshot seq must clear every seq still on disk —
         // including an unparseable newest — or the write would collide
         // with the corpse.
@@ -342,7 +443,14 @@ impl Store {
                 skipped_snapshots,
                 swept_tmp_files,
             },
+            meta,
         ))
+    }
+
+    /// Persists `meta` atomically (temp file + fsync + rename + dir sync),
+    /// replacing any previous metadata generation.
+    pub fn write_meta(&self, meta: &Meta) -> Result<(), PersistError> {
+        write_meta(&self.dir, meta)
     }
 
     /// Appends one event durably (fsync'd before return).
@@ -437,11 +545,12 @@ mod tests {
         dir
     }
 
-    /// The fingerprint these tests open their stores with.
+    /// The fingerprint these tests stamp into legacy metadata.
     const FP: u64 = 0xFEED_FACE_CAFE_BEEF;
 
     fn tick_event(tick: u64, rate: f64, lo: f64) -> JournalEvent {
         JournalEvent::Tick(Box::new(record::TickRecord {
+            relation: 1,
             tick,
             rate,
             shed: 0,
@@ -468,11 +577,27 @@ mod tests {
         }))
     }
 
+    /// A single-relation (id 1) snapshot section with the given counters.
+    fn relation_section(ticks: u64, warm: Vec<record::WarmRateRecord>) -> record::RelationSnapshot {
+        record::RelationSnapshot {
+            relation: 1,
+            def: None,
+            next_session_id: 1,
+            ticks,
+            shed: 0,
+            sessions: Vec::new(),
+            history: Vec::new(),
+            warm,
+            answers: Vec::new(),
+        }
+    }
+
     #[test]
     fn fresh_dir_recovers_nothing() {
         let dir = tmp_dir("fresh");
-        let (store, rec) = Store::open(&dir, FP).unwrap();
+        let (store, rec, meta) = Store::open(&dir).unwrap();
         assert!(rec.is_fresh());
+        assert!(meta.is_none(), "fresh dirs carry no metadata yet");
         assert_eq!(rec.replayed_events(), 0);
         assert_eq!(rec.snapshot_seq(), None);
         assert_eq!(store.journal_events(), 0);
@@ -484,7 +609,7 @@ mod tests {
     fn snapshot_skips_covered_events_on_recovery() {
         let dir = tmp_dir("skip");
         {
-            let (mut store, _) = Store::open(&dir, FP).unwrap();
+            let (mut store, _, _) = Store::open(&dir).unwrap();
             store.append(&tick_event(1, 0.05, 10.0)).unwrap();
             store.append(&tick_event(2, 0.06, 20.0)).unwrap();
             store
@@ -495,76 +620,83 @@ mod tests {
                     seq: 1,
                     journal_events: store.journal_events(),
                     coverage: Some(store.journal_position()),
-                    next_session_id: 1,
-                    ticks: 2,
-                    shed: 0,
-                    sessions: Vec::new(),
-                    history: Vec::new(),
-                    warm: vec![record::WarmRateRecord {
-                        rate: 0.05,
-                        objects: vec![record::WarmObjectRecord {
-                            lo: 10.0,
-                            hi: 11.0,
-                            converged: false,
-                            iters: 1,
-                            cost: 10,
+                    next_relation_id: 2,
+                    relations: vec![relation_section(
+                        2,
+                        vec![record::WarmRateRecord {
+                            rate: 0.05,
+                            objects: vec![record::WarmObjectRecord {
+                                lo: 10.0,
+                                hi: 11.0,
+                                converged: false,
+                                iters: 1,
+                                cost: 10,
+                            }],
                         }],
-                    }],
-                    answers: Vec::new(),
+                    )],
                 })
                 .unwrap();
             store.append(&tick_event(3, 0.05, 30.0)).unwrap();
         }
-        let (store, rec) = Store::open(&dir, FP).unwrap();
+        let (store, rec, _) = Store::open(&dir).unwrap();
         assert_eq!(rec.snapshot_seq(), Some(1));
         assert_eq!(rec.replayed_events(), 1, "only the post-snapshot tick");
         assert_eq!(store.next_snapshot_seq(), 2);
         // The replayed tick's warm state replaces the snapshot's for 0.05.
-        let warm = rec.warm_map();
+        let warm = &rec.warm_maps()[&1];
         assert_eq!(warm.len(), 1, "only rate 0.05 present");
         assert_eq!(warm[&0.05f64.to_bits()][0].lo, 30.0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn warm_map_folds_snapshot_then_tail() {
+    fn warm_maps_fold_snapshot_then_tail_per_relation() {
+        let mut second = tick_event(5, 0.05, 7.0);
+        if let JournalEvent::Tick(t) = &mut second {
+            t.relation = 2;
+        }
         let rec = Recovery {
             snapshot: Some(SnapshotRecord {
                 seq: 1,
                 journal_events: 0,
                 coverage: None,
-                next_session_id: 1,
-                ticks: 0,
-                shed: 0,
-                sessions: Vec::new(),
-                history: Vec::new(),
-                warm: vec![
-                    record::WarmRateRecord {
-                        rate: 0.05,
-                        objects: vec![record::WarmObjectRecord {
-                            lo: 1.0,
-                            hi: 2.0,
-                            converged: true,
-                            iters: 4,
-                            cost: 40,
-                        }],
-                    },
-                    record::WarmRateRecord {
-                        rate: 0.07,
-                        objects: Vec::new(),
-                    },
-                ],
-                answers: Vec::new(),
+                next_relation_id: 3,
+                relations: vec![relation_section(
+                    0,
+                    vec![
+                        record::WarmRateRecord {
+                            rate: 0.05,
+                            objects: vec![record::WarmObjectRecord {
+                                lo: 1.0,
+                                hi: 2.0,
+                                converged: true,
+                                iters: 4,
+                                cost: 40,
+                            }],
+                        },
+                        record::WarmRateRecord {
+                            rate: 0.07,
+                            objects: Vec::new(),
+                        },
+                    ],
+                )],
             }),
-            tail: vec![tick_event(5, 0.05, 99.0)],
+            tail: vec![tick_event(5, 0.05, 99.0), second],
             truncated_bytes: 0,
             skipped_snapshots: Vec::new(),
             swept_tmp_files: 0,
         };
-        let warm = rec.warm_map();
+        let maps = rec.warm_maps();
+        assert_eq!(maps.len(), 2, "relation 2 appears from its tail tick");
+        let warm = &maps[&1];
         assert_eq!(warm.len(), 2);
         assert_eq!(warm[&0.05f64.to_bits()][0].lo, 99.0, "tail wins");
         assert!(warm[&0.07f64.to_bits()].is_empty(), "snapshot entry kept");
+        assert_eq!(
+            maps[&2][&0.05f64.to_bits()][0].lo,
+            7.0,
+            "relations never share warm state"
+        );
     }
 
     /// A minimal snapshot carrying the store's current coverage.
@@ -573,13 +705,8 @@ mod tests {
             seq: store.next_snapshot_seq(),
             journal_events: store.journal_events(),
             coverage: Some(store.journal_position()),
-            next_session_id: 1,
-            ticks,
-            shed: 0,
-            sessions: Vec::new(),
-            history: Vec::new(),
-            warm: Vec::new(),
-            answers: Vec::new(),
+            next_relation_id: 2,
+            relations: vec![relation_section(ticks, Vec::new())],
         }
     }
 
@@ -587,7 +714,7 @@ mod tests {
     fn snapshot_covering_missing_events_is_corrupt() {
         let dir = tmp_dir("missing");
         {
-            let (mut store, _) = Store::open(&dir, FP).unwrap();
+            let (mut store, _, _) = Store::open(&dir).unwrap();
             store.append(&tick_event(1, 0.05, 1.0)).unwrap();
             store
                 .append(&JournalEvent::SnapshotMarker { seq: 1 })
@@ -598,7 +725,7 @@ mod tests {
         // Empty out the covered segment: its fsync'd history vanished.
         fs::write(dir.join(journal::segment_file(1)), b"").unwrap();
         assert!(matches!(
-            Store::open(&dir, FP),
+            Store::open(&dir),
             Err(PersistError::Corrupt { .. })
         ));
         fs::remove_dir_all(&dir).unwrap();
@@ -607,7 +734,7 @@ mod tests {
     #[test]
     fn mismatched_snapshot_seq_is_corrupt_in_release_builds_too() {
         let dir = tmp_dir("seq");
-        let (mut store, _) = Store::open(&dir, FP).unwrap();
+        let (mut store, _, _) = Store::open(&dir).unwrap();
         let mut snap = plain_snapshot(&store, 0);
         snap.seq = 7; // store expects 1
         match store.write_snapshot(&snap) {
@@ -626,13 +753,13 @@ mod tests {
     fn stale_tmp_files_are_swept_at_open() {
         let dir = tmp_dir("sweep");
         {
-            let _ = Store::open(&dir, FP).unwrap();
+            let _ = Store::open(&dir).unwrap();
         }
         fs::write(dir.join("meta.json.tmp"), b"{half").unwrap();
         fs::write(dir.join("snapshot-3.json.tmp"), b"{half").unwrap();
         // A foreign file is not ours to delete.
         fs::write(dir.join("notes.tmp"), b"keep me").unwrap();
-        let (_, rec) = Store::open(&dir, FP).unwrap();
+        let (_, rec, _) = Store::open(&dir).unwrap();
         assert_eq!(rec.swept_tmp_files, 2);
         assert!(!dir.join("meta.json.tmp").exists());
         assert!(!dir.join("snapshot-3.json.tmp").exists());
@@ -644,7 +771,7 @@ mod tests {
     fn corrupt_newest_snapshot_is_surfaced_and_never_collides() {
         let dir = tmp_dir("skipped");
         {
-            let (mut store, _) = Store::open(&dir, FP).unwrap();
+            let (mut store, _, _) = Store::open(&dir).unwrap();
             store.append(&tick_event(1, 0.05, 1.0)).unwrap();
             store
                 .append(&JournalEvent::SnapshotMarker { seq: 1 })
@@ -655,7 +782,7 @@ mod tests {
         }
         // A corrupt snapshot newer than the good one.
         fs::write(dir.join("snapshot-2.json"), b"{garbage").unwrap();
-        let (mut store, rec) = Store::open(&dir, FP).unwrap();
+        let (mut store, rec, _) = Store::open(&dir).unwrap();
         assert_eq!(rec.snapshot_seq(), Some(1), "fell back to the older one");
         assert_eq!(rec.skipped_snapshot_count(), 1);
         assert!(
@@ -676,7 +803,7 @@ mod tests {
         assert!(!dir.join("snapshot-2.json").exists());
         assert!(dir.join("snapshot-1.json").exists());
         assert!(dir.join("snapshot-3.json").exists());
-        let (_, rec) = Store::open(&dir, FP).unwrap();
+        let (_, rec, _) = Store::open(&dir).unwrap();
         assert_eq!(rec.snapshot_seq(), Some(3));
         assert_eq!(rec.skipped_snapshot_count(), 0);
         fs::remove_dir_all(&dir).unwrap();
@@ -685,7 +812,7 @@ mod tests {
     #[test]
     fn compaction_bounds_the_journal_to_recent_segments() {
         let dir = tmp_dir("bounded");
-        let (mut store, _) = Store::open(&dir, FP).unwrap();
+        let (mut store, _, _) = Store::open(&dir).unwrap();
         let mut reclaimed = 0u64;
         for round in 1..=6u64 {
             for i in 0..4u64 {
@@ -709,7 +836,7 @@ mod tests {
         }
         assert!(reclaimed > 0, "compaction reclaimed nothing");
         // Recovery replays only the tail, not all 30 events.
-        let (_, rec) = Store::open(&dir, FP).unwrap();
+        let (_, rec, _) = Store::open(&dir).unwrap();
         assert_eq!(rec.snapshot_seq(), Some(6));
         assert_eq!(rec.replayed_events(), 0);
         fs::remove_dir_all(&dir).unwrap();
@@ -731,25 +858,23 @@ mod tests {
             lines.push('\n');
         }
         fs::write(dir.join(journal::LEGACY_JOURNAL_FILE), lines).unwrap();
-        let legacy_snap = SnapshotRecord {
-            seq: 1,
-            journal_events: 2,
-            coverage: None,
-            next_session_id: 1,
-            ticks: 1,
-            shed: 0,
-            sessions: Vec::new(),
-            history: Vec::new(),
-            warm: Vec::new(),
-            answers: Vec::new(),
-        };
-        fs::write(dir.join("snapshot-1.json"), legacy_snap.to_json()).unwrap();
+        // A v1 snapshot exactly as a PR-4 server serialized it.
+        fs::write(
+            dir.join("snapshot-1.json"),
+            r#"{"seq":1,"journal_events":2,"next_session_id":1,"ticks":1,"shed":0,"sessions":[],"history":[],"warm":[],"answers":[]}"#,
+        )
+        .unwrap();
         fs::write(dir.join(META_FILE), format!("{{\"fingerprint\":{FP}}}\n")).unwrap();
 
-        let (mut store, rec) = Store::open(&dir, FP).unwrap();
+        let (mut store, rec, meta) = Store::open(&dir).unwrap();
+        assert_eq!(
+            meta,
+            Some(Meta::V1 { fingerprint: FP }),
+            "legacy metadata is surfaced, not silently upgraded"
+        );
         assert_eq!(rec.snapshot_seq(), Some(1));
         assert_eq!(rec.replayed_events(), 1, "only the post-snapshot tick");
-        assert_eq!(rec.warm_map()[&0.06f64.to_bits()][0].lo, 2.0);
+        assert_eq!(rec.warm_maps()[&1][&0.06f64.to_bits()][0].lo, 2.0);
         assert!(!dir.join(journal::LEGACY_JOURNAL_FILE).exists());
         assert!(dir.join(journal::segment_file(1)).exists());
         // The dir now participates in segmentation: snapshots carry
@@ -770,63 +895,71 @@ mod tests {
         let snap = plain_snapshot(&store, 3);
         let report = store.write_snapshot(&snap).unwrap();
         assert!(report.segments_deleted > 0, "now the old segments can go");
-        let (_, rec) = Store::open(&dir, FP).unwrap();
+        let (_, rec, _) = Store::open(&dir).unwrap();
         assert_eq!(rec.snapshot_seq(), Some(3));
         assert_eq!(rec.replayed_events(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn mismatched_fingerprint_refuses_to_open() {
-        let dir = tmp_dir("mismatch");
-        {
-            let (mut store, _) = Store::open(&dir, FP).unwrap();
-            store.append(&tick_event(1, 0.05, 10.0)).unwrap();
-        }
-        match Store::open(&dir, FP + 1) {
-            Err(PersistError::Mismatch {
-                expected, found, ..
-            }) => {
-                assert_eq!(expected, FP + 1);
-                assert_eq!(found, FP);
-            }
-            other => panic!("expected Mismatch, got {other:?}"),
-        }
-        // The refusal changed nothing: the original fingerprint still opens.
-        let (_, rec) = Store::open(&dir, FP).unwrap();
-        assert_eq!(rec.replayed_events(), 1);
-        fs::remove_dir_all(&dir).unwrap();
+    fn both_meta_generations_round_trip() {
+        let v1 = Meta::V1 { fingerprint: FP };
+        assert_eq!(v1.to_json(), format!("{{\"fingerprint\":{FP}}}"));
+        assert_eq!(Meta::parse(&v1.to_json()).unwrap(), v1);
+
+        let v2 = Meta::V2 {
+            pricer: 77,
+            relations: vec![
+                MetaRelation {
+                    relation: 1,
+                    fingerprint: FP,
+                },
+                MetaRelation {
+                    relation: 3,
+                    fingerprint: FP + 9,
+                },
+            ],
+        };
+        assert_eq!(Meta::parse(&v2.to_json()).unwrap(), v2);
+        let empty = Meta::V2 {
+            pricer: 77,
+            relations: Vec::new(),
+        };
+        assert_eq!(Meta::parse(&empty.to_json()).unwrap(), empty);
     }
 
     #[test]
-    fn fingerprint_is_pinned_from_the_first_open() {
-        // Even before any event is journaled, the dir belongs to the
-        // fingerprint that created it — an operator who redirects a
-        // reconfigured server at it should learn immediately, not after
-        // state has accumulated.
-        let dir = tmp_dir("pinned");
-        {
-            let _ = Store::open(&dir, FP).unwrap();
-        }
-        match Store::open(&dir, FP + 1) {
-            Err(PersistError::Mismatch { .. }) => {}
-            other => panic!("expected Mismatch even when empty, got {other:?}"),
-        }
-        fs::remove_dir_all(&dir).unwrap();
+    fn meta_rejects_malformed_or_future_generations() {
+        assert!(Meta::parse("not json").is_err());
+        assert!(Meta::parse("{}").is_err(), "neither generation's fields");
+        assert!(
+            Meta::parse(r#"{"version":3,"pricer":1,"relations":[]}"#).is_err(),
+            "future versions are refused, not guessed at"
+        );
+        assert!(
+            Meta::parse(r#"{"version":2,"relations":[]}"#).is_err(),
+            "v2 requires the pricer fingerprint"
+        );
+        assert!(Meta::parse(r#"{"version":2,"pricer":1,"relations":[{"relation":1}]}"#).is_err());
     }
 
     #[test]
-    fn missing_meta_on_a_nonempty_dir_is_corrupt() {
-        let dir = tmp_dir("nometa");
-        {
-            let (mut store, _) = Store::open(&dir, FP).unwrap();
-            store.append(&tick_event(1, 0.05, 10.0)).unwrap();
-        }
-        fs::remove_file(dir.join(META_FILE)).unwrap();
-        assert!(matches!(
-            Store::open(&dir, FP),
-            Err(PersistError::Corrupt { .. })
-        ));
+    fn write_meta_replaces_the_previous_generation_atomically() {
+        let dir = tmp_dir("meta-rewrite");
+        let (store, _, meta) = Store::open(&dir).unwrap();
+        assert!(meta.is_none());
+        store.write_meta(&Meta::V1 { fingerprint: FP }).unwrap();
+        let v2 = Meta::V2 {
+            pricer: 5,
+            relations: vec![MetaRelation {
+                relation: 1,
+                fingerprint: FP,
+            }],
+        };
+        store.write_meta(&v2).unwrap();
+        let (_, _, meta) = Store::open(&dir).unwrap();
+        assert_eq!(meta, Some(v2));
+        assert!(!dir.join("meta.json.tmp").exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -850,5 +983,12 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("fingerprint mismatch"), "{text}");
         assert!(text.contains("0x0000000000000002"), "{text}");
+        let e = PersistError::Layout {
+            path: "d".to_string(),
+            detail: "mixed generations".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("ambiguous data dir layout"), "{text}");
+        assert!(text.contains("mixed generations"), "{text}");
     }
 }

@@ -24,11 +24,33 @@ use vao::Bounds;
 use crate::json::{escape, Json};
 
 /// One control-plane event in the write-ahead journal.
+///
+/// Every data-plane event is namespaced by a relation id. Events written
+/// before the catalog existed carry no `relation` field and parse as
+/// relation `1` (the id legacy single-relation dirs migrate onto).
 #[derive(Clone, Debug, PartialEq)]
 pub enum JournalEvent {
+    /// A relation was created in the catalog: its full definition rides in
+    /// the journal so a data dir is self-describing on recovery. Boxed —
+    /// the definition carries every bond.
+    CreateRelation(Box<RelationRecord>),
+    /// A relation was dropped from the catalog (its id is never reused).
+    DropRelation {
+        /// The dropped relation's id.
+        relation: u64,
+    },
+    /// A bond was appended to a relation's definition.
+    AddBond {
+        /// The relation the bond was appended to.
+        relation: u64,
+        /// The appended bond.
+        bond: BondRecord,
+    },
     /// A session was admitted (validated) with this id.
     Subscribe {
-        /// The id the registry assigned.
+        /// The relation the session subscribes against.
+        relation: u64,
+        /// The id the registry assigned (per-relation id space).
         session: u64,
         /// Scheduling priority (already clamped ≥ 1).
         priority: u32,
@@ -37,6 +59,8 @@ pub enum JournalEvent {
     },
     /// A session was removed.
     Unsubscribe {
+        /// The relation the session belonged to.
+        relation: u64,
         /// The id that was deregistered.
         session: u64,
     },
@@ -52,10 +76,48 @@ pub enum JournalEvent {
     },
 }
 
+/// A journaled relation definition plus its catalog id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationRecord {
+    /// The catalog id assigned (monotone, never reused).
+    pub relation: u64,
+    /// The full definition.
+    pub def: RelationDefRecord,
+}
+
+/// A relation's complete self-describing definition: recovery rebuilds
+/// the in-memory relation from this record alone, with zero flag-based
+/// reconstruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationDefRecord {
+    /// Catalog name (unique among live relations).
+    pub name: String,
+    /// The universe-generator seed the bonds came from, if any (kept for
+    /// provenance / operator display; the `bonds` list is authoritative).
+    pub seed: Option<u64>,
+    /// Every bond, in relation order.
+    pub bonds: Vec<BondRecord>,
+}
+
+/// One persisted bond.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BondRecord {
+    /// Bond id within its relation.
+    pub id: u32,
+    /// Annual coupon rate (fraction of face).
+    pub coupon: f64,
+    /// Years to maturity.
+    pub maturity: f64,
+    /// Face value.
+    pub face: f64,
+}
+
 /// The outcome of one executed tick.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TickRecord {
-    /// Tick counter after this tick (1-based).
+    /// The relation the tick executed against.
+    pub relation: u64,
+    /// The relation's tick counter after this tick (1-based).
     pub tick: u64,
     /// The rate that was priced.
     pub rate: f64,
@@ -163,6 +225,14 @@ pub struct SegmentPosition {
 }
 
 /// A point-in-time capture of the whole server control plane.
+///
+/// Written as a version-2 document: one section per catalog relation,
+/// each carrying its definition (snapshots must be self-contained —
+/// compaction may delete the `create_relation` journal events that
+/// originally defined a relation). A version-1 document (written before
+/// the catalog existed, no `"relations"` key) parses as one relation-`1`
+/// section with no definition; the recovery fold attaches the migrated
+/// definition separately.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SnapshotRecord {
     /// Snapshot sequence number (monotone per data dir).
@@ -175,6 +245,22 @@ pub struct SnapshotRecord {
     /// recovery then falls back to skipping `journal_events` events from
     /// the front of the whole journal.
     pub coverage: Option<SegmentPosition>,
+    /// The catalog's next relation id (high-water mark + 1). Never
+    /// decreases, even when relations are dropped.
+    pub next_relation_id: u64,
+    /// Per-relation control-plane state, ascending by relation id.
+    pub relations: Vec<RelationSnapshot>,
+}
+
+/// One relation's control-plane state as captured by a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationSnapshot {
+    /// Catalog relation id.
+    pub relation: u64,
+    /// The relation's definition. `None` only for the synthetic section a
+    /// legacy (version-1) snapshot parses into, where the definition lives
+    /// outside the snapshot.
+    pub def: Option<RelationDefRecord>,
     /// The registry's next session id (high-water mark + 1). Never
     /// decreases, even when sessions unsubscribe.
     pub next_session_id: u64,
@@ -389,6 +475,33 @@ fn warm_objects_json(objs: &[WarmObjectRecord]) -> String {
     format!("[{}]", rows.join(","))
 }
 
+fn bond_json(b: &BondRecord) -> String {
+    format!(
+        "{{\"id\":{},\"coupon\":{},\"maturity\":{},\"face\":{}}}",
+        b.id,
+        num(b.coupon),
+        num(b.maturity),
+        num(b.face)
+    )
+}
+
+fn bonds_json(bonds: &[BondRecord]) -> String {
+    let rows: Vec<String> = bonds.iter().map(bond_json).collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Serializes a relation definition (without its catalog id).
+#[must_use]
+pub fn relation_def_json(def: &RelationDefRecord) -> String {
+    let seed = def.seed.map_or(String::new(), |s| format!("\"seed\":{s},"));
+    format!(
+        "{{\"name\":\"{}\",{}\"bonds\":{}}}",
+        escape(&def.name),
+        seed,
+        bonds_json(&def.bonds)
+    )
+}
+
 fn stats_json(s: &StatsRecord) -> String {
     let hist: Vec<String> = s.hist.iter().map(u64::to_string).collect();
     format!(
@@ -414,16 +527,29 @@ impl JournalEvent {
     #[must_use]
     pub fn to_line(&self) -> String {
         match self {
+            JournalEvent::CreateRelation(r) => format!(
+                "{{\"ev\":\"create_relation\",\"relation\":{},\"def\":{}}}",
+                r.relation,
+                relation_def_json(&r.def)
+            ),
+            JournalEvent::DropRelation { relation } => {
+                format!("{{\"ev\":\"drop_relation\",\"relation\":{relation}}}")
+            }
+            JournalEvent::AddBond { relation, bond } => format!(
+                "{{\"ev\":\"add_bond\",\"relation\":{relation},\"bond\":{}}}",
+                bond_json(bond)
+            ),
             JournalEvent::Subscribe {
+                relation,
                 session,
                 priority,
                 query,
             } => format!(
-                "{{\"ev\":\"subscribe\",\"session\":{session},\"priority\":{priority},\"query\":{}}}",
+                "{{\"ev\":\"subscribe\",\"relation\":{relation},\"session\":{session},\"priority\":{priority},\"query\":{}}}",
                 query_json(query)
             ),
-            JournalEvent::Unsubscribe { session } => {
-                format!("{{\"ev\":\"unsubscribe\",\"session\":{session}}}")
+            JournalEvent::Unsubscribe { relation, session } => {
+                format!("{{\"ev\":\"unsubscribe\",\"relation\":{relation},\"session\":{session}}}")
             }
             JournalEvent::Tick(t) => {
                 let sessions: Vec<String> = t
@@ -437,7 +563,8 @@ impl JournalEvent {
                     })
                     .collect();
                 format!(
-                    "{{\"ev\":\"tick\",\"tick\":{},\"rate\":{},\"shed\":{},\"budget_exhausted\":{},\"stats\":{},\"sessions\":[{}],\"answers\":{},\"warm\":{}}}",
+                    "{{\"ev\":\"tick\",\"relation\":{},\"tick\":{},\"rate\":{},\"shed\":{},\"budget_exhausted\":{},\"stats\":{},\"sessions\":[{}],\"answers\":{},\"warm\":{}}}",
+                    t.relation,
                     t.tick,
                     num(t.rate),
                     t.shed,
@@ -455,50 +582,64 @@ impl JournalEvent {
     }
 }
 
+fn relation_snapshot_json(r: &RelationSnapshot) -> String {
+    let sessions: Vec<String> = r
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"session\":{},\"priority\":{},\"finals\":{},\"partials\":{},\"driven\":{},\"query\":{}}}",
+                s.session, s.priority, s.finals, s.partials, s.driven,
+                query_json(&s.query)
+            )
+        })
+        .collect();
+    let history: Vec<String> = r.history.iter().map(stats_json).collect();
+    let warm: Vec<String> = r
+        .warm
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"rate\":{},\"objects\":{}}}",
+                num(w.rate),
+                warm_objects_json(&w.objects)
+            )
+        })
+        .collect();
+    let def = r.def.as_ref().map_or(String::new(), |d| {
+        format!("\"def\":{},", relation_def_json(d))
+    });
+    format!(
+        "{{\"relation\":{},{}\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}}}",
+        r.relation,
+        def,
+        r.next_session_id,
+        r.ticks,
+        r.shed,
+        sessions.join(","),
+        history.join(","),
+        warm.join(","),
+        answer_entries_json(&r.answers),
+    )
+}
+
 impl SnapshotRecord {
-    /// Serializes the snapshot to one JSON document.
+    /// Serializes the snapshot to one JSON document (always version 2).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let sessions: Vec<String> = self
-            .sessions
-            .iter()
-            .map(|s| {
-                format!(
-                    "{{\"session\":{},\"priority\":{},\"finals\":{},\"partials\":{},\"driven\":{},\"query\":{}}}",
-                    s.session, s.priority, s.finals, s.partials, s.driven,
-                    query_json(&s.query)
-                )
-            })
-            .collect();
-        let history: Vec<String> = self.history.iter().map(stats_json).collect();
-        let warm: Vec<String> = self
-            .warm
-            .iter()
-            .map(|w| {
-                format!(
-                    "{{\"rate\":{},\"objects\":{}}}",
-                    num(w.rate),
-                    warm_objects_json(&w.objects)
-                )
-            })
-            .collect();
         // Coverage rides as two extra fields so legacy parsers (and legacy
         // files, which simply omit them) stay compatible.
         let coverage = self.coverage.map_or(String::new(), |p| {
             format!("\"segment\":{},\"segment_bytes\":{},", p.segment, p.bytes)
         });
+        let relations: Vec<String> = self.relations.iter().map(relation_snapshot_json).collect();
         format!(
-            "{{\"seq\":{},\"journal_events\":{},{}\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}}}",
+            "{{\"seq\":{},\"journal_events\":{},{}\"next_relation_id\":{},\"relations\":[{}]}}",
             self.seq,
             self.journal_events,
             coverage,
-            self.next_session_id,
-            self.ticks,
-            self.shed,
-            sessions.join(","),
-            history.join(","),
-            warm.join(","),
-            answer_entries_json(&self.answers),
+            self.next_relation_id,
+            relations.join(","),
         )
     }
 }
@@ -515,6 +656,15 @@ fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
     doc.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing integer \"{key}\""))
+}
+
+/// An integer field that legacy (pre-catalog) records simply omit.
+/// Present-but-malformed is still an error; absent yields `default`.
+fn u64_field_or(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| format!("non-integer \"{key}\"")),
+    }
 }
 
 fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
@@ -711,6 +861,31 @@ fn parse_warm_objects(items: &[Json]) -> Result<Vec<WarmObjectRecord>, String> {
     items.iter().map(parse_warm_object).collect()
 }
 
+fn parse_bond(doc: &Json) -> Result<BondRecord, String> {
+    Ok(BondRecord {
+        id: u32::try_from(u64_field(doc, "id")?).map_err(|e| e.to_string())?,
+        coupon: f64_field(doc, "coupon")?,
+        maturity: f64_field(doc, "maturity")?,
+        face: f64_field(doc, "face")?,
+    })
+}
+
+/// Parses a relation definition from its `{"name":...}` object shape.
+pub fn parse_relation_def(doc: &Json) -> Result<RelationDefRecord, String> {
+    let seed = match doc.get("seed") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or("non-integer \"seed\"")?),
+    };
+    Ok(RelationDefRecord {
+        name: str_field(doc, "name")?.to_string(),
+        seed,
+        bonds: arr_field(doc, "bonds")?
+            .iter()
+            .map(parse_bond)
+            .collect::<Result<Vec<BondRecord>, String>>()?,
+    })
+}
+
 fn parse_stats(doc: &Json) -> Result<StatsRecord, String> {
     let work = doc.get("work").ok_or("missing \"work\"")?;
     let cpu = doc.get("cpu").ok_or("missing \"cpu\"")?;
@@ -751,15 +926,29 @@ impl JournalEvent {
     pub fn parse(line: &str) -> Result<JournalEvent, String> {
         let doc = Json::parse(line)?;
         match str_field(&doc, "ev")? {
+            "create_relation" => Ok(JournalEvent::CreateRelation(Box::new(RelationRecord {
+                relation: u64_field(&doc, "relation")?,
+                def: parse_relation_def(doc.get("def").ok_or("missing \"def\"")?)?,
+            }))),
+            "drop_relation" => Ok(JournalEvent::DropRelation {
+                relation: u64_field(&doc, "relation")?,
+            }),
+            "add_bond" => Ok(JournalEvent::AddBond {
+                relation: u64_field(&doc, "relation")?,
+                bond: parse_bond(doc.get("bond").ok_or("missing \"bond\"")?)?,
+            }),
             "subscribe" => Ok(JournalEvent::Subscribe {
+                relation: u64_field_or(&doc, "relation", 1)?,
                 session: u64_field(&doc, "session")?,
                 priority: u32::try_from(u64_field(&doc, "priority")?).map_err(|e| e.to_string())?,
                 query: parse_query(doc.get("query").ok_or("missing \"query\"")?)?,
             }),
             "unsubscribe" => Ok(JournalEvent::Unsubscribe {
+                relation: u64_field_or(&doc, "relation", 1)?,
                 session: u64_field(&doc, "session")?,
             }),
             "tick" => Ok(JournalEvent::Tick(Box::new(TickRecord {
+                relation: u64_field_or(&doc, "relation", 1)?,
                 tick: u64_field(&doc, "tick")?,
                 rate: f64_field(&doc, "rate")?,
                 shed: u64_field(&doc, "shed")?,
@@ -786,8 +975,54 @@ impl JournalEvent {
     }
 }
 
+/// Parses the per-relation body fields shared by a v2 relation section
+/// and (at the document's top level) a legacy v1 snapshot.
+fn parse_relation_body(doc: &Json, relation: u64) -> Result<RelationSnapshot, String> {
+    let def = match doc.get("def") {
+        None => None,
+        Some(d) => Some(parse_relation_def(d)?),
+    };
+    Ok(RelationSnapshot {
+        relation,
+        def,
+        next_session_id: u64_field(doc, "next_session_id")?,
+        ticks: u64_field(doc, "ticks")?,
+        shed: u64_field(doc, "shed")?,
+        sessions: arr_field(doc, "sessions")?
+            .iter()
+            .map(|s| {
+                Ok(SessionSnapshot {
+                    session: u64_field(s, "session")?,
+                    priority: u32::try_from(u64_field(s, "priority")?)
+                        .map_err(|e| e.to_string())?,
+                    finals: u64_field(s, "finals")?,
+                    partials: u64_field(s, "partials")?,
+                    driven: u64_field(s, "driven")?,
+                    query: parse_query(s.get("query").ok_or("missing \"query\"")?)?,
+                })
+            })
+            .collect::<Result<Vec<SessionSnapshot>, String>>()?,
+        history: arr_field(doc, "history")?
+            .iter()
+            .map(parse_stats)
+            .collect::<Result<Vec<StatsRecord>, String>>()?,
+        warm: arr_field(doc, "warm")?
+            .iter()
+            .map(|w| {
+                Ok(WarmRateRecord {
+                    rate: f64_field(w, "rate")?,
+                    objects: parse_warm_objects(arr_field(w, "objects")?)?,
+                })
+            })
+            .collect::<Result<Vec<WarmRateRecord>, String>>()?,
+        answers: parse_answer_entries(arr_field(doc, "answers")?)?,
+    })
+}
+
 impl SnapshotRecord {
-    /// Parses a snapshot document.
+    /// Parses a snapshot document — version 2 (`"relations"` present) or
+    /// legacy version 1, which becomes a single relation-`1` section with
+    /// no inline definition.
     pub fn parse(text: &str) -> Result<SnapshotRecord, String> {
         let doc = Json::parse(text)?;
         let coverage = match (doc.get("segment"), doc.get("segment_bytes")) {
@@ -803,41 +1038,27 @@ impl SnapshotRecord {
                 )
             }
         };
+        let seq = u64_field(&doc, "seq")?;
+        let journal_events = u64_field(&doc, "journal_events")?;
+        let (next_relation_id, relations) = match doc.get("relations") {
+            Some(items) => (
+                u64_field(&doc, "next_relation_id")?,
+                items
+                    .as_array()
+                    .ok_or("non-array \"relations\"")?
+                    .iter()
+                    .map(|r| parse_relation_body(r, u64_field(r, "relation")?))
+                    .collect::<Result<Vec<RelationSnapshot>, String>>()?,
+            ),
+            // Legacy (v1) snapshot: one implicit relation with id 1.
+            None => (2, vec![parse_relation_body(&doc, 1)?]),
+        };
         Ok(SnapshotRecord {
-            seq: u64_field(&doc, "seq")?,
-            journal_events: u64_field(&doc, "journal_events")?,
+            seq,
+            journal_events,
             coverage,
-            next_session_id: u64_field(&doc, "next_session_id")?,
-            ticks: u64_field(&doc, "ticks")?,
-            shed: u64_field(&doc, "shed")?,
-            sessions: arr_field(&doc, "sessions")?
-                .iter()
-                .map(|s| {
-                    Ok(SessionSnapshot {
-                        session: u64_field(s, "session")?,
-                        priority: u32::try_from(u64_field(s, "priority")?)
-                            .map_err(|e| e.to_string())?,
-                        finals: u64_field(s, "finals")?,
-                        partials: u64_field(s, "partials")?,
-                        driven: u64_field(s, "driven")?,
-                        query: parse_query(s.get("query").ok_or("missing \"query\"")?)?,
-                    })
-                })
-                .collect::<Result<Vec<SessionSnapshot>, String>>()?,
-            history: arr_field(&doc, "history")?
-                .iter()
-                .map(parse_stats)
-                .collect::<Result<Vec<StatsRecord>, String>>()?,
-            warm: arr_field(&doc, "warm")?
-                .iter()
-                .map(|w| {
-                    Ok(WarmRateRecord {
-                        rate: f64_field(w, "rate")?,
-                        objects: parse_warm_objects(arr_field(w, "objects")?)?,
-                    })
-                })
-                .collect::<Result<Vec<WarmRateRecord>, String>>()?,
-            answers: parse_answer_entries(arr_field(&doc, "answers")?)?,
+            next_relation_id,
+            relations,
         })
     }
 }
@@ -927,6 +1148,7 @@ mod tests {
 
     fn sample_tick() -> TickRecord {
         TickRecord {
+            relation: 1,
             tick: 7,
             rate: 0.0583,
             shed: 2,
@@ -980,10 +1202,54 @@ mod tests {
         }
     }
 
+    fn sample_def() -> RelationDefRecord {
+        RelationDefRecord {
+            name: "energy".to_string(),
+            seed: Some(1994),
+            bonds: vec![
+                BondRecord {
+                    id: 0,
+                    coupon: 0.05,
+                    maturity: 7.5,
+                    face: 100.0,
+                },
+                BondRecord {
+                    id: 1,
+                    coupon: 0.0325,
+                    maturity: 30.0,
+                    face: 1_000.0,
+                },
+            ],
+        }
+    }
+
     #[test]
     fn every_journal_event_round_trips() {
         let events = [
+            JournalEvent::CreateRelation(Box::new(RelationRecord {
+                relation: 2,
+                def: sample_def(),
+            })),
+            JournalEvent::CreateRelation(Box::new(RelationRecord {
+                relation: 3,
+                def: RelationDefRecord {
+                    name: "weird \"name\"\n".to_string(),
+                    seed: None,
+                    bonds: Vec::new(),
+                },
+            })),
+            JournalEvent::DropRelation { relation: 2 },
+            JournalEvent::AddBond {
+                relation: 3,
+                bond: BondRecord {
+                    id: 7,
+                    coupon: 0.041,
+                    maturity: 12.0,
+                    face: 250.0,
+                },
+            },
             JournalEvent::Subscribe {
+                relation: 1,
                 session: 4,
                 priority: 2,
                 query: Query::Sum {
@@ -992,6 +1258,7 @@ mod tests {
                 },
             },
             JournalEvent::Subscribe {
+                relation: 2,
                 session: 5,
                 priority: 1,
                 query: Query::Selection {
@@ -1000,6 +1267,7 @@ mod tests {
                 },
             },
             JournalEvent::Subscribe {
+                relation: 1,
                 session: 6,
                 priority: 3,
                 query: Query::Count {
@@ -1009,21 +1277,27 @@ mod tests {
                 },
             },
             JournalEvent::Subscribe {
+                relation: 1,
                 session: 7,
                 priority: 1,
                 query: Query::TopK { k: 5, epsilon: 1.0 },
             },
             JournalEvent::Subscribe {
+                relation: 1,
                 session: 8,
                 priority: 1,
                 query: Query::Ave { epsilon: 0.5 },
             },
             JournalEvent::Subscribe {
+                relation: 1,
                 session: 9,
                 priority: 1,
                 query: Query::Min { epsilon: 0.25 },
             },
-            JournalEvent::Unsubscribe { session: 4 },
+            JournalEvent::Unsubscribe {
+                relation: 1,
+                session: 4,
+            },
             JournalEvent::Tick(Box::new(sample_tick())),
             JournalEvent::SnapshotMarker { seq: 12 },
         ];
@@ -1033,6 +1307,28 @@ mod tests {
             let back = JournalEvent::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(&back, ev, "{line}");
         }
+    }
+
+    #[test]
+    fn legacy_events_without_relation_default_to_relation_one() {
+        let sub = JournalEvent::parse(
+            r#"{"ev":"subscribe","session":4,"priority":2,"query":{"kind":"max","epsilon":0.5}}"#,
+        )
+        .unwrap();
+        match sub {
+            JournalEvent::Subscribe { relation, .. } => assert_eq!(relation, 1),
+            other => panic!("{other:?}"),
+        }
+        let unsub = JournalEvent::parse(r#"{"ev":"unsubscribe","session":4}"#).unwrap();
+        assert_eq!(
+            unsub,
+            JournalEvent::Unsubscribe {
+                relation: 1,
+                session: 4
+            }
+        );
+        // Catalog events are new-format only: relation is required there.
+        assert!(JournalEvent::parse(r#"{"ev":"drop_relation"}"#).is_err());
     }
 
     #[test]
@@ -1072,26 +1368,48 @@ mod tests {
                 segment: 4,
                 bytes: 1_234,
             }),
-            next_session_id: 9,
-            ticks: 12,
-            shed: 1,
-            sessions: vec![SessionSnapshot {
-                session: 2,
-                priority: 4,
-                finals: 10,
-                partials: 2,
-                driven: 4_021,
-                query: Query::Max { epsilon: 0.0101 },
-            }],
-            history: vec![sample_stats(), sample_stats()],
-            warm: vec![WarmRateRecord {
-                rate: 0.0583,
-                objects: sample_tick().warm,
-            }],
-            answers: vec![AnswerEntry {
-                session: 2,
-                answer: AnswerRecord::Partial { lo: 1.0, hi: 2.0 },
-            }],
+            next_relation_id: 3,
+            relations: vec![
+                RelationSnapshot {
+                    relation: 1,
+                    def: Some(RelationDefRecord {
+                        name: "default".to_string(),
+                        seed: Some(42),
+                        bonds: sample_def().bonds,
+                    }),
+                    next_session_id: 9,
+                    ticks: 12,
+                    shed: 1,
+                    sessions: vec![SessionSnapshot {
+                        session: 2,
+                        priority: 4,
+                        finals: 10,
+                        partials: 2,
+                        driven: 4_021,
+                        query: Query::Max { epsilon: 0.0101 },
+                    }],
+                    history: vec![sample_stats(), sample_stats()],
+                    warm: vec![WarmRateRecord {
+                        rate: 0.0583,
+                        objects: sample_tick().warm,
+                    }],
+                    answers: vec![AnswerEntry {
+                        session: 2,
+                        answer: AnswerRecord::Partial { lo: 1.0, hi: 2.0 },
+                    }],
+                },
+                RelationSnapshot {
+                    relation: 2,
+                    def: Some(sample_def()),
+                    next_session_id: 1,
+                    ticks: 0,
+                    shed: 0,
+                    sessions: Vec::new(),
+                    history: Vec::new(),
+                    warm: Vec::new(),
+                    answers: Vec::new(),
+                },
+            ],
         };
         let text = snap.to_json();
         let back = SnapshotRecord::parse(&text).unwrap();
@@ -1099,22 +1417,21 @@ mod tests {
     }
 
     #[test]
-    fn legacy_snapshot_without_coverage_round_trips_as_none() {
-        let snap = SnapshotRecord {
-            seq: 1,
-            journal_events: 7,
-            coverage: None,
-            next_session_id: 1,
-            ticks: 0,
-            shed: 0,
-            sessions: Vec::new(),
-            history: Vec::new(),
-            warm: Vec::new(),
-            answers: Vec::new(),
-        };
-        let text = snap.to_json();
-        assert!(!text.contains("segment"), "{text}");
-        assert_eq!(SnapshotRecord::parse(&text).unwrap(), snap);
+    fn legacy_v1_snapshot_parses_as_a_single_default_relation_shell() {
+        // A snapshot exactly as PR-4/5 servers wrote it: flat fields, no
+        // "relations" array, no coverage.
+        let text = r#"{"seq":1,"journal_events":7,"next_session_id":3,"ticks":2,"shed":0,"sessions":[],"history":[],"warm":[],"answers":[]}"#;
+        let snap = SnapshotRecord::parse(text).unwrap();
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.journal_events, 7);
+        assert_eq!(snap.coverage, None);
+        assert_eq!(snap.next_relation_id, 2);
+        assert_eq!(snap.relations.len(), 1);
+        let rel = &snap.relations[0];
+        assert_eq!(rel.relation, 1);
+        assert_eq!(rel.def, None, "v1 snapshots carry no inline definition");
+        assert_eq!(rel.next_session_id, 3);
+        assert_eq!(rel.ticks, 2);
     }
 
     #[test]

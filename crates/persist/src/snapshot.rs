@@ -147,13 +147,18 @@ mod tests {
                 segment: seq,
                 bytes: seq * 100,
             }),
-            next_session_id: 3,
-            ticks: seq,
-            shed: 0,
-            sessions: Vec::new(),
-            history: Vec::new(),
-            warm: Vec::new(),
-            answers: Vec::new(),
+            next_relation_id: 2,
+            relations: vec![crate::record::RelationSnapshot {
+                relation: 1,
+                def: None,
+                next_session_id: 3,
+                ticks: seq,
+                shed: 0,
+                sessions: Vec::new(),
+                history: Vec::new(),
+                warm: Vec::new(),
+                answers: Vec::new(),
+            }],
         }
     }
 

@@ -11,8 +11,6 @@ use proptest::prelude::*;
 use va_persist::record::{JournalEvent, SnapshotRecord};
 use va_persist::Store;
 
-const FP: u64 = 0x1994;
-
 /// A fresh scratch directory, unique per proptest case.
 fn scratch() -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -27,13 +25,8 @@ fn snapshot_now(store: &Store) -> SnapshotRecord {
         seq: store.next_snapshot_seq(),
         journal_events: store.journal_events(),
         coverage: Some(store.journal_position()),
-        next_session_id: 1,
-        ticks: 0,
-        shed: 0,
-        sessions: Vec::new(),
-        history: Vec::new(),
-        warm: Vec::new(),
-        answers: Vec::new(),
+        next_relation_id: 2,
+        relations: Vec::new(),
     }
 }
 
@@ -50,11 +43,11 @@ proptest! {
 
         let mut appended = Vec::new();
         {
-            let (mut store, recovery) = Store::open(&dir, FP).expect("fresh open");
+            let (mut store, recovery, _) = Store::open(&dir).expect("fresh open");
             prop_assert!(recovery.is_fresh());
             let mut since_snapshot = 0u64;
             for session in 1..=events {
-                let ev = JournalEvent::Unsubscribe { session };
+                let ev = JournalEvent::Unsubscribe { relation: 1, session };
                 store.append(&ev).expect("append");
                 appended.push(ev);
                 since_snapshot += 1;
@@ -72,7 +65,7 @@ proptest! {
             }
         } // crash: plain drop, no shutdown snapshot
 
-        let (_store, recovery) = Store::open(&dir, FP).expect("reopen");
+        let (_store, recovery, _) = Store::open(&dir).expect("reopen");
         prop_assert_eq!(recovery.truncated_bytes, 0);
         let covered = recovery.snapshot.as_ref().map_or(0, |s| s.journal_events);
         prop_assert_eq!(

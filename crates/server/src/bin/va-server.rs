@@ -3,7 +3,7 @@
 //! ```text
 //! va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W]
 //!           [--workers N] [--data-dir PATH] [--snapshot-every N]
-//!           [--smoke] [--client HOST:PORT]
+//!           [--catalog] [--smoke] [--client HOST:PORT]
 //! ```
 //!
 //! `--budget` sets the per-tick work budget in deterministic work units
@@ -17,7 +17,16 @@
 //! in-memory one). `--snapshot-every` sets how many journaled ticks elapse
 //! between snapshots (default 64); smaller values bound recovery replay —
 //! and, with segmented journal compaction, on-disk journal size — more
-//! tightly at the cost of more frequent snapshot writes. `--smoke` runs a
+//! tightly at the cost of more frequent snapshot writes.
+//!
+//! A data dir already in the catalog layout (version-2 metadata) is
+//! self-describing: every relation definition is replayed from the
+//! journal and `--bonds`/`--seed` are ignored on reopen. `--catalog`
+//! bootstraps a *fresh* data dir that way — it starts empty and
+//! relations are created over the protocol (`CREATE_RELATION`) instead
+//! of from flags. Without `--catalog`, a fresh or legacy dir opens with
+//! the flag-built `"default"` relation (legacy single-relation dirs are
+//! migrated to the catalog layout in place). `--smoke` runs a
 //! self-contained loopback exchange —
 //! subscribe, tick, stats, quit against an ephemeral port — and exits
 //! nonzero on any protocol failure; CI uses it as a two-second end-to-end
@@ -46,6 +55,7 @@ struct Args {
     workers: usize,
     data_dir: Option<String>,
     snapshot_every: u64,
+    catalog: bool,
     smoke: bool,
     client: Option<String>,
 }
@@ -59,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 1,
         data_dir: None,
         snapshot_every: va_server::DEFAULT_SNAPSHOT_EVERY,
+        catalog: false,
         smoke: false,
         client: None,
     };
@@ -101,11 +112,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--snapshot-every must be at least 1".to_string());
                 }
             }
+            "--catalog" => args.catalog = true,
             "--smoke" => args.smoke = true,
             "--client" => args.client = Some(value("--client")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--workers N] [--data-dir PATH] [--snapshot-every N] [--smoke] [--client HOST:PORT]"
+                    "usage: va-server [--addr HOST:PORT] [--bonds N] [--seed S] [--budget W] [--workers N] [--data-dir PATH] [--snapshot-every N] [--catalog] [--smoke] [--client HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -116,37 +128,53 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn build_server(args: &Args) -> Result<Server, String> {
-    let universe = BondUniverse::generate(args.bonds, args.seed);
-    let relation = BondRelation::from_universe(&universe);
     let config = ServerConfig {
         budget: args.budget,
         workers: args.workers,
         snapshot_every: args.snapshot_every,
         ..ServerConfig::default()
     };
-    match &args.data_dir {
-        None => Ok(Server::new(BondPricer::default(), relation, config)),
-        Some(dir) => {
-            let srv = Server::open_durable(
-                BondPricer::default(),
-                relation,
-                config,
-                std::path::Path::new(dir),
-            )
-            .map_err(|e| format!("open {dir}: {e}"))?;
-            if let Some(rec) = srv.last_recovery() {
-                eprintln!(
-                    "va-server: recovered from {dir} (snapshot {:?}, {} events replayed, {} torn bytes truncated, {} corrupt snapshots skipped, {} tmp files swept)",
-                    rec.snapshot_seq,
-                    rec.replayed_events,
-                    rec.truncated_bytes,
-                    rec.skipped_snapshots,
-                    rec.swept_tmp_files
-                );
-            }
-            Ok(srv)
+    let Some(dir) = &args.data_dir else {
+        if args.catalog {
+            return Err("--catalog requires --data-dir (the catalog lives in the journal)".into());
         }
+        let universe = BondUniverse::generate(args.bonds, args.seed);
+        let relation = BondRelation::from_universe(&universe);
+        return Ok(Server::new(BondPricer::default(), relation, config));
+    };
+    let path = std::path::Path::new(dir);
+    // Route on the dir's own metadata before opening it: a catalog dir
+    // (version-2 metadata) is self-describing, so the relation flags must
+    // not reimpose a universe on it. Fresh dirs follow `--catalog`;
+    // legacy version-1 dirs take the migration path through
+    // `open_durable` with the flag-built bootstrap relation.
+    let self_describing =
+        match va_persist::peek_meta(path).map_err(|e| format!("probe {dir}: {e}"))? {
+            Some(va_persist::Meta::V2 { .. }) => true,
+            Some(va_persist::Meta::V1 { .. }) => false,
+            None => args.catalog,
+        };
+    let srv = if self_describing {
+        Server::open_durable_catalog(BondPricer::default(), config, path)
+            .map_err(|e| format!("open {dir}: {e}"))?
+    } else {
+        let universe = BondUniverse::generate(args.bonds, args.seed);
+        let relation = BondRelation::from_universe(&universe);
+        Server::open_durable(BondPricer::default(), relation, config, path)
+            .map_err(|e| format!("open {dir}: {e}"))?
+    };
+    if let Some(rec) = srv.last_recovery() {
+        eprintln!(
+            "va-server: recovered from {dir} ({} relations, snapshot {:?}, {} events replayed, {} torn bytes truncated, {} corrupt snapshots skipped, {} tmp files swept)",
+            srv.catalog().len(),
+            rec.snapshot_seq,
+            rec.replayed_events,
+            rec.truncated_bytes,
+            rec.skipped_snapshots,
+            rec.swept_tmp_files
+        );
     }
+    Ok(srv)
 }
 
 fn main() {
@@ -284,6 +312,23 @@ fn smoke(server: &mut Server) {
         // A burst coalesces to the newest rate.
         ask(r#"{"type":"TICKS","rates":[0.0584,0.0585,0.0586]}"#, 3);
         ask(r#"{"type":"STATS"}"#, 1);
+        // Catalog control plane: create a second relation, subscribe to
+        // it, then tick both tenants in one request.
+        ask(
+            r#"{"type":"CREATE_RELATION","name":"alt","seed":7,"count":16}"#,
+            1,
+        );
+        ask(
+            r#"{"type":"SUBSCRIBE","relation":"alt","query":{"kind":"min","epsilon":0.1}}"#,
+            1,
+        );
+        // Two RESULTs + TICK_DONE for "default", one RESULT + TICK_DONE
+        // for "alt", in caller order.
+        ask(
+            r#"{"type":"TICK_MULTI","ticks":[{"relation":"default","rate":0.0587},{"relation":"alt","rate":0.05}]}"#,
+            5,
+        );
+        ask(r#"{"type":"RELATIONS"}"#, 1);
         ask(r#"{"type":"QUIT"}"#, 1);
         replies
     });
@@ -310,7 +355,22 @@ fn smoke(server: &mut Server) {
     expect(7, "\"shed\":2");
     expect(8, "\"type\":\"STATS\"");
     expect(8, "\"ticks\":2");
-    expect(9, "\"type\":\"BYE\"");
-    assert_eq!(server.ticks(), 2);
+    expect(9, "\"type\":\"CREATED\"");
+    expect(9, "\"relation\":\"alt\"");
+    expect(10, "\"type\":\"SUBSCRIBED\"");
+    expect(10, "\"relation\":\"alt\"");
+    expect(11, "\"type\":\"RESULT\"");
+    expect(11, "\"relation\":\"default\"");
+    expect(12, "\"type\":\"RESULT\"");
+    expect(13, "\"type\":\"TICK_DONE\"");
+    expect(13, "\"relation\":\"default\"");
+    expect(14, "\"type\":\"RESULT\"");
+    expect(14, "\"relation\":\"alt\"");
+    expect(15, "\"type\":\"TICK_DONE\"");
+    expect(15, "\"relation\":\"alt\"");
+    expect(16, "\"type\":\"RELATIONS\"");
+    expect(16, "\"name\":\"alt\"");
+    expect(17, "\"type\":\"BYE\"");
+    assert_eq!(server.ticks(), 3);
     println!("va-server smoke: {} replies ok over {addr}", replies.len());
 }

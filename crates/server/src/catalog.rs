@@ -1,0 +1,465 @@
+//! The relation catalog: first-class multi-relation tenancy.
+//!
+//! A [`Catalog`] holds one [`Tenant`] per relation the server hosts. Every
+//! piece of state that used to be implicitly global on the single-relation
+//! server — the session registry, tick/shed counters, stats history, last
+//! answers, and the per-rate warm-start cache — lives *inside* its tenant,
+//! so two relations can never observe each other through shared state.
+//! That containment is what makes the tenancy bit-identity guarantee hold:
+//! a tenant ticked with budget `B` inside a shared server computes exactly
+//! what an isolated single-relation server with budget `B` would.
+//!
+//! Relation *definitions* are control-plane events (`CREATE RELATION`,
+//! `ADD BOND`, `DROP RELATION`) journaled by the server before the catalog
+//! commits them, which is what makes a catalog data dir self-describing on
+//! recovery: the journal fold rebuilds every tenant, definitions included,
+//! with zero flag-based reconstruction. During that fold, events may
+//! reference a relation whose `CREATE` lives in an earlier, already-folded
+//! span — `Catalog::shell` materializes an *undefined* tenant that the
+//! definition attaches to later, keeping the fold idempotent across crash
+//! windows.
+
+use bondlab::Bond;
+use va_persist::record::{BondRecord, RelationDefRecord};
+use va_persist::WarmMap;
+use va_stream::{BondRelation, TickStats};
+
+use crate::answer::Answer;
+use crate::error::ServerError;
+use crate::session::{SessionId, SessionRegistry};
+
+/// The name every single-relation compatibility path resolves: servers
+/// built with [`crate::Server::new`] or bootstrapped from `--bonds/--seed`
+/// flags host exactly one relation with this name.
+pub const DEFAULT_RELATION: &str = "default";
+
+/// A catalog-assigned relation identifier. Ids are allocated monotonically
+/// and never reused — a dropped relation's id stays burned, so journaled
+/// events can never attach to a later relation that recycled the id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(pub u64);
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One hosted relation and all of its formerly-global server state.
+///
+/// Session ids are per-tenant: each registry issues from 1, exactly as an
+/// isolated single-relation server would, so a tenant's journaled session
+/// ids are bit-identical to the isolated run's. The wire protocol
+/// disambiguates with the `(relation, session)` pair.
+#[derive(Debug)]
+pub struct Tenant {
+    pub(crate) id: RelationId,
+    pub(crate) name: String,
+    pub(crate) relation: BondRelation,
+    pub(crate) seed: Option<u64>,
+    /// Whether a definition (`CREATE RELATION` or a snapshot `def`) has
+    /// attached. Recovery shells start undefined; serving an undefined
+    /// tenant would price an empty phantom universe, so the server refuses
+    /// to finish an open that leaves one behind.
+    pub(crate) defined: bool,
+    pub(crate) registry: SessionRegistry,
+    pub(crate) history: Vec<TickStats>,
+    pub(crate) ticks: u64,
+    pub(crate) queued: Option<f64>,
+    pub(crate) shed: u64,
+    pub(crate) last_answers: Vec<(SessionId, Answer)>,
+    /// Per-rate warm-start state journaled by this tenant's ticks. Keyed
+    /// inside the tenant (not globally) so relations never warm-start from
+    /// each other's bounds.
+    pub(crate) warm: WarmMap,
+}
+
+impl Tenant {
+    fn empty(id: RelationId, name: String, relation: BondRelation, seed: Option<u64>) -> Self {
+        Self {
+            id,
+            name,
+            relation,
+            seed,
+            defined: false,
+            registry: SessionRegistry::new(),
+            history: Vec::new(),
+            ticks: 0,
+            queued: None,
+            shed: 0,
+            last_answers: Vec::new(),
+            warm: WarmMap::new(),
+        }
+    }
+
+    /// The catalog id.
+    #[must_use]
+    pub fn id(&self) -> RelationId {
+        self.id
+    }
+
+    /// The relation's name (empty on a recovery shell that has not seen
+    /// its definition yet).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bond relation this tenant prices.
+    #[must_use]
+    pub fn relation(&self) -> &BondRelation {
+        &self.relation
+    }
+
+    /// The universe seed, when the relation was generated rather than
+    /// defined bond-by-bond.
+    #[must_use]
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// The tenant's live session registry.
+    #[must_use]
+    pub fn sessions(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// Ticks this tenant has processed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Ticks shed by coalescing for this tenant.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Whether a definition has attached (recovery shells start without
+    /// one).
+    #[must_use]
+    pub fn is_defined(&self) -> bool {
+        self.defined
+    }
+
+    /// The persisted definition record for this tenant: name, seed, and
+    /// every bond, in relation order. Journaled by `CREATE RELATION` and
+    /// embedded in snapshots so the data dir stays self-describing.
+    #[must_use]
+    pub fn def_record(&self) -> RelationDefRecord {
+        RelationDefRecord {
+            name: self.name.clone(),
+            seed: self.seed,
+            bonds: self
+                .relation
+                .bonds()
+                .iter()
+                .map(|b| BondRecord {
+                    id: b.id,
+                    coupon: b.coupon,
+                    maturity: b.years_to_maturity,
+                    face: b.face,
+                })
+                .collect(),
+        }
+    }
+
+    /// Attaches a definition to this tenant (a replayed `CREATE RELATION`
+    /// or a snapshot's embedded `def`). Bonds are revalidated on the way
+    /// in: a journal record damaged in a way that still parses must fail
+    /// the open, not panic in [`Bond::new`].
+    pub(crate) fn define(&mut self, def: &RelationDefRecord) -> Result<(), ServerError> {
+        let mut bonds = Vec::with_capacity(def.bonds.len());
+        for b in &def.bonds {
+            bonds.push(
+                try_bond(b.id, b.coupon, b.maturity, b.face).map_err(|detail| {
+                    ServerError::Persist {
+                        detail: format!(
+                            "corrupt relation definition \"{}\": bond {}: {detail}",
+                            def.name, b.id
+                        ),
+                    }
+                })?,
+            );
+        }
+        self.name.clone_from(&def.name);
+        self.seed = def.seed;
+        self.relation = BondRelation::from_bonds(bonds);
+        self.defined = true;
+        Ok(())
+    }
+}
+
+/// The set of relations one server hosts, addressed by name (protocol) or
+/// id (journal).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// Next relation id to allocate; monotone, never reused.
+    next: u64,
+    /// Live tenants in id order (ids are allocated monotonically and the
+    /// recovery fold inserts in sorted order, so a `Vec` stays ordered).
+    tenants: Vec<Tenant>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            next: 1,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The id the next [`Catalog::create`] will assign.
+    #[must_use]
+    pub fn next_id(&self) -> RelationId {
+        RelationId(self.next)
+    }
+
+    /// Raises the allocation high-water mark (recovery: snapshots persist
+    /// `next_relation_id` so dropped relations stay burned).
+    pub(crate) fn reserve_through(&mut self, next: u64) {
+        self.next = self.next.max(next);
+    }
+
+    /// Creates a defined relation, refusing duplicate live names — names
+    /// are the protocol's addressing scheme, so a duplicate would shadow
+    /// an existing tenant's sessions.
+    pub fn create(
+        &mut self,
+        name: &str,
+        relation: BondRelation,
+        seed: Option<u64>,
+    ) -> Result<RelationId, ServerError> {
+        if self.by_name(name).is_some() {
+            return Err(ServerError::RelationExists(name.to_string()));
+        }
+        let id = RelationId(self.next);
+        self.next += 1;
+        let mut t = Tenant::empty(id, name.to_string(), relation, seed);
+        t.defined = true;
+        self.tenants.push(t);
+        Ok(id)
+    }
+
+    /// Removes a tenant by id, returning it. The id stays burned.
+    pub(crate) fn remove(&mut self, id: RelationId) -> Option<Tenant> {
+        let at = self.tenants.iter().position(|t| t.id == id)?;
+        Some(self.tenants.remove(at))
+    }
+
+    /// The tenant with catalog id `id`.
+    #[must_use]
+    pub fn get(&self, id: RelationId) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Mutable access by id.
+    pub(crate) fn get_mut(&mut self, id: RelationId) -> Option<&mut Tenant> {
+        self.tenants.iter_mut().find(|t| t.id == id)
+    }
+
+    /// The *defined* tenant named `name`. Recovery shells (no definition
+    /// yet) have no name and are never addressable from the protocol.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.defined && t.name == name)
+    }
+
+    /// The index of the defined tenant named `name` in [`Catalog::tenants`].
+    pub(crate) fn index_of_name(&self, name: &str) -> Option<usize> {
+        self.tenants
+            .iter()
+            .position(|t| t.defined && t.name == name)
+    }
+
+    /// Gets or creates the tenant for `relation`, materializing an
+    /// *undefined* shell when the id is new. Recovery only: journal events
+    /// may reference a relation whose `CREATE` was folded into an earlier
+    /// snapshot span, and the shell gives their state somewhere to land
+    /// until the definition attaches.
+    pub(crate) fn shell(&mut self, relation: u64) -> &mut Tenant {
+        self.reserve_through(relation + 1);
+        let at = match self.tenants.iter().position(|t| t.id.0 >= relation) {
+            Some(i) if self.tenants[i].id.0 == relation => i,
+            Some(i) => {
+                self.tenants.insert(
+                    i,
+                    Tenant::empty(
+                        RelationId(relation),
+                        String::new(),
+                        BondRelation::from_bonds(Vec::new()),
+                        None,
+                    ),
+                );
+                i
+            }
+            None => {
+                self.tenants.push(Tenant::empty(
+                    RelationId(relation),
+                    String::new(),
+                    BondRelation::from_bonds(Vec::new()),
+                    None,
+                ));
+                self.tenants.len() - 1
+            }
+        };
+        &mut self.tenants[at]
+    }
+
+    /// The hosted tenants, in relation-id order.
+    #[must_use]
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Mutable access to every tenant (the multi-relation tick path shards
+    /// disjoint `&mut Tenant` borrows across worker threads from this).
+    pub(crate) fn tenants_mut(&mut self) -> &mut [Tenant] {
+        &mut self.tenants
+    }
+
+    /// Number of hosted relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the catalog hosts no relations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+/// Validates bond economics without panicking: [`Bond::new`] asserts on
+/// nonsense (its callers are generators and tests), but catalog bonds
+/// arrive over the wire or from a journal, where bad data must surface as
+/// a protocol `ERROR` or a [`ServerError::Persist`], never a server abort.
+pub fn try_bond(id: u32, coupon: f64, maturity: f64, face: f64) -> Result<Bond, String> {
+    if !(coupon.is_finite() && coupon > 0.0 && coupon < 1.0) {
+        return Err(format!("coupon must be a rate in (0, 1), got {coupon}"));
+    }
+    if !(maturity.is_finite() && maturity > 0.0) {
+        return Err(format!("maturity must be positive, got {maturity}"));
+    }
+    if !(face.is_finite() && face > 0.0) {
+        return Err(format!("face must be positive, got {face}"));
+    }
+    Ok(Bond::new(id, coupon, maturity, face))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bondlab::BondUniverse;
+
+    fn rel(seed: u64) -> BondRelation {
+        BondRelation::from_universe(&BondUniverse::generate(4, seed))
+    }
+
+    #[test]
+    fn create_assigns_monotone_ids_and_refuses_duplicates() {
+        let mut c = Catalog::new();
+        let a = c.create("rates", rel(1), Some(1)).unwrap();
+        let b = c.create("credit", rel(2), Some(2)).unwrap();
+        assert_eq!(a, RelationId(1));
+        assert_eq!(b, RelationId(2));
+        assert!(matches!(
+            c.create("rates", rel(3), None),
+            Err(ServerError::RelationExists(n)) if n == "rates"
+        ));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.by_name("rates").unwrap().id(), a);
+        assert_eq!(c.get(b).unwrap().name(), "credit");
+        assert!(c.by_name("missing").is_none());
+    }
+
+    #[test]
+    fn dropped_ids_stay_burned() {
+        let mut c = Catalog::new();
+        let a = c.create("rates", rel(1), None).unwrap();
+        c.remove(a).unwrap();
+        assert!(c.by_name("rates").is_none());
+        // Re-creating the name allocates a fresh id.
+        let b = c.create("rates", rel(1), None).unwrap();
+        assert_eq!(b, RelationId(2));
+        assert!(c.get(a).is_none());
+    }
+
+    #[test]
+    fn shells_materialize_undefined_and_accept_a_late_definition() {
+        let mut c = Catalog::new();
+        let t = c.shell(5);
+        assert!(!t.is_defined());
+        assert_eq!(t.id(), RelationId(5));
+        t.ticks = 7;
+        // Idempotent: the same id returns the same tenant.
+        assert_eq!(c.shell(5).ticks, 7);
+        // Shell ids raise the allocation floor.
+        assert_eq!(c.next_id(), RelationId(6));
+        // Shells are not addressable by (empty) name.
+        assert!(c.by_name("").is_none());
+        // Attaching the definition makes the tenant live.
+        let def = {
+            let mut probe = Tenant::empty(RelationId(9), "x".into(), rel(3), Some(3));
+            probe.defined = true;
+            probe.def_record()
+        };
+        c.shell(5).define(&def).unwrap();
+        let t = c.by_name("x").unwrap();
+        assert!(t.is_defined());
+        assert_eq!(t.relation().len(), 4);
+        assert_eq!(t.seed(), Some(3));
+        assert_eq!(t.ticks(), 7, "shell state survives the definition");
+        // Shells insert in id order even out of order.
+        c.shell(2);
+        let ids: Vec<u64> = c.tenants().iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+
+    #[test]
+    fn def_records_round_trip_through_define() {
+        let mut c = Catalog::new();
+        let id = c.create("rates", rel(7), Some(7)).unwrap();
+        let def = c.get(id).unwrap().def_record();
+        assert_eq!(def.name, "rates");
+        assert_eq!(def.seed, Some(7));
+        assert_eq!(def.bonds.len(), 4);
+        let mut other = Catalog::new();
+        other.shell(id.0).define(&def).unwrap();
+        let t = other.by_name("rates").unwrap();
+        assert_eq!(t.relation().bonds(), c.get(id).unwrap().relation().bonds());
+    }
+
+    #[test]
+    fn define_refuses_corrupt_bond_economics() {
+        let mut def = {
+            let mut c = Catalog::new();
+            let id = c.create("r", rel(1), None).unwrap();
+            c.get(id).unwrap().def_record()
+        };
+        def.bonds[0].coupon = f64::NAN;
+        let mut c = Catalog::new();
+        match c.shell(1).define(&def) {
+            Err(ServerError::Persist { detail }) => {
+                assert!(detail.contains("corrupt relation definition"), "{detail}");
+            }
+            other => panic!("expected Persist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_bond_mirrors_the_constructor_contract() {
+        assert!(try_bond(0, 0.07, 10.0, 100.0).is_ok());
+        assert!(try_bond(0, 0.0, 10.0, 100.0).is_err());
+        assert!(try_bond(0, 1.0, 10.0, 100.0).is_err());
+        assert!(try_bond(0, f64::NAN, 10.0, 100.0).is_err());
+        assert!(try_bond(0, 0.07, 0.0, 100.0).is_err());
+        assert!(try_bond(0, 0.07, f64::INFINITY, 100.0).is_err());
+        assert!(try_bond(0, 0.07, 10.0, 0.0).is_err());
+        assert!(try_bond(0, 0.07, 10.0, -5.0).is_err());
+    }
+}

@@ -10,6 +10,19 @@ pub enum ServerError {
     Vao(VaoError),
     /// A request referenced a session id that is not registered.
     UnknownSession(u64),
+    /// A request named a relation the catalog does not hold (never
+    /// created, or already dropped). Surfaced as a protocol `ERROR`
+    /// instead of panicking or silently falling back to another relation.
+    UnknownRelation(String),
+    /// `CREATE RELATION` named a relation that already exists. Relation
+    /// names are the protocol's addressing scheme, so duplicates are
+    /// refused rather than shadowed.
+    RelationExists(String),
+    /// `ADD BOND` (or an inline `CREATE RELATION` bond list) carried a
+    /// field the pricing model rejects — non-finite, coupon outside
+    /// (0, 1), or a non-positive maturity/face. Refused at the protocol
+    /// boundary so `Bond::new`'s assertions can never fire on wire input.
+    InvalidBond(String),
     /// The server's relation (or the shared pool derived from it) has no
     /// bonds, so extreme/top-k queries have no answer to bound. Raised at
     /// subscribe and tick time instead of panicking deep in the
@@ -45,6 +58,11 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Vao(e) => write!(f, "operator error: {e}"),
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::UnknownRelation(name) => write!(f, "unknown relation \"{name}\""),
+            ServerError::RelationExists(name) => {
+                write!(f, "relation \"{name}\" already exists")
+            }
+            ServerError::InvalidBond(detail) => write!(f, "invalid bond: {detail}"),
             ServerError::EmptyRelation => {
                 write!(f, "empty relation: no bonds to price or bound")
             }
@@ -84,6 +102,15 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(ServerError::UnknownSession(7).to_string().contains('7'));
+        assert!(ServerError::UnknownRelation("energy".into())
+            .to_string()
+            .contains("unknown relation \"energy\""));
+        assert!(ServerError::RelationExists("energy".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(ServerError::InvalidBond("coupon must be in (0, 1)".into())
+            .to_string()
+            .contains("invalid bond: coupon"));
         assert!(ServerError::Stalled { limit: 10 }
             .to_string()
             .contains("10"));

@@ -33,6 +33,7 @@
 #![deny(unsafe_code)]
 
 pub mod answer;
+pub mod catalog;
 pub mod demand;
 pub mod error;
 pub mod json;
@@ -45,10 +46,13 @@ pub mod server;
 pub mod session;
 
 pub use answer::Answer;
+pub use catalog::{try_bond, Catalog, RelationId, Tenant, DEFAULT_RELATION};
 pub use error::ServerError;
 pub use net::{FrontEnd, FrontEndConfig, FrontEndStats};
 pub use pool::SharedPool;
+pub use sched::arbitrate_budget;
 pub use server::{
-    durability_fingerprint, Server, ServerConfig, TickResult, DEFAULT_SNAPSHOT_EVERY,
+    durability_fingerprint, pricer_fingerprint, Server, ServerConfig, TickResult,
+    DEFAULT_SNAPSHOT_EVERY,
 };
 pub use session::{Broadcast, Session, SessionId, SessionRegistry};

@@ -34,8 +34,12 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use bondlab::BondUniverse;
+use va_stream::BondRelation;
+
+use crate::catalog::{try_bond, DEFAULT_RELATION};
 use crate::poll::{self, PollSet};
-use crate::proto::{self, Request};
+use crate::proto::{self, RelationSpec, Request};
 use crate::server::{Server, TickResult};
 use crate::session::SessionId;
 
@@ -93,11 +97,16 @@ struct Conn {
     rbuf: Vec<u8>,
     /// Reply bytes not yet accepted by the socket.
     wbuf: VecDeque<u8>,
-    /// Sessions attached to this connection (subscribed or resumed here);
-    /// their `RESULT` lines are delivered here. Front-end state only —
-    /// sessions themselves outlive the connection (a client that hangs up
-    /// and later `RESUME`s is the recovery story ci.sh exercises).
-    sessions: Vec<SessionId>,
+    /// The relation selected by `USE`, applied to data-plane requests that
+    /// omit an explicit `"relation"` field (`None` → `"default"`).
+    use_relation: Option<String>,
+    /// Sessions attached to this connection (subscribed or resumed here),
+    /// keyed `(relation id, session id)` — session id spaces are
+    /// per-relation, so the pair is the global identity. Front-end state
+    /// only — sessions themselves outlive the connection (a client that
+    /// hangs up and later `RESUME`s is the recovery story ci.sh
+    /// exercises).
+    sessions: Vec<(u64, SessionId)>,
     /// No more requests will arrive (EOF, `QUIT`, or an oversize line);
     /// the connection closes once `wbuf` drains.
     read_closed: bool,
@@ -172,6 +181,7 @@ impl FrontEnd {
             peer,
             rbuf: Vec::new(),
             wbuf: VecDeque::new(),
+            use_relation: None,
             sessions: Vec::new(),
             read_closed: false,
             dead: false,
@@ -320,73 +330,187 @@ impl FrontEnd {
                 self.conns[i].read_closed = true;
                 return false;
             }
-            Request::Subscribe { query, priority } => {
-                let query = query.into_query(server.relation().bonds().len());
-                match server.subscribe(query, priority) {
+            Request::Subscribe {
+                relation,
+                query,
+                priority,
+            } => {
+                let name = self.resolve(i, relation);
+                let Some(tenant) = server.catalog().by_name(&name) else {
+                    self.unknown(i, &name);
+                    return true;
+                };
+                let (rel_id, n) = (tenant.id().0, tenant.relation().len());
+                let query = query.into_query(n);
+                match server.subscribe_to(&name, query, priority) {
                     Ok(id) => {
-                        self.conns[i].sessions.push(id);
-                        self.queue(i, &proto::subscribed(id));
+                        self.conns[i].sessions.push((rel_id, id));
+                        self.queue(i, &proto::subscribed(&name, id));
                     }
                     Err(e) => self.queue(i, &proto::error(&e.to_string())),
                 }
             }
-            Request::Unsubscribe { session } => {
+            Request::Unsubscribe { relation, session } => {
+                let name = self.resolve(i, relation);
                 let id = SessionId(session);
-                match server.unsubscribe(id) {
+                let rel_id = server.catalog().by_name(&name).map(|t| t.id().0);
+                match server.unsubscribe_in(&name, id) {
                     Ok(()) => {
+                        let key = (rel_id.expect("unsubscribe resolved"), id);
                         for conn in &mut self.conns {
-                            conn.sessions.retain(|&s| s != id);
+                            conn.sessions.retain(|&s| s != key);
                         }
-                        self.queue(i, &proto::unsubscribed(session));
+                        self.queue(i, &proto::unsubscribed(&name, session));
                     }
                     Err(e) => self.queue(i, &proto::error(&e.to_string())),
                 }
             }
-            Request::Resume { session } => {
+            Request::Resume { relation, session } => {
+                let name = self.resolve(i, relation);
                 let id = SessionId(session);
-                match server.resume(id) {
+                let ticks = server
+                    .catalog()
+                    .by_name(&name)
+                    .map(|t| (t.id().0, t.ticks()));
+                match server.resume_in(&name, id) {
                     Ok((sess, answer)) => {
-                        let line = proto::resumed(sess, server.ticks(), answer);
+                        let (rel_id, ticks) = ticks.expect("resume resolved");
+                        let line = proto::resumed(&name, sess, ticks, answer);
                         // Re-attach: future RESULTs for the session are
                         // delivered here.
-                        if !self.conns[i].sessions.contains(&id) {
-                            self.conns[i].sessions.push(id);
+                        if !self.conns[i].sessions.contains(&(rel_id, id)) {
+                            self.conns[i].sessions.push((rel_id, id));
                         }
                         self.queue(i, &line);
                     }
                     Err(e) => self.queue(i, &proto::error(&e.to_string())),
                 }
             }
-            Request::Tick { rate } => match server.tick(rate) {
-                Ok(res) => self.broadcast(server, &res, i),
-                Err(e) => self.queue(i, &proto::error(&e.to_string())),
-            },
-            Request::Ticks { rates } => {
+            Request::Tick { relation, rate } => {
+                let name = self.resolve(i, relation);
+                match server.tick_relation(&name, rate) {
+                    Ok(res) => self.broadcast(server, &name, &res, i),
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::Ticks { relation, rates } => {
+                let name = self.resolve(i, relation);
                 // The parser rejects an empty rates array, so the queue is
                 // guaranteed nonempty here.
-                for rate in rates {
-                    server.offer_tick(rate);
+                for &rate in &rates {
+                    if let Err(e) = server.offer_tick_in(&name, rate) {
+                        self.queue(i, &proto::error(&e.to_string()));
+                        return true;
+                    }
                 }
-                match server.run_queued() {
-                    Some(Ok(res)) => self.broadcast(server, &res, i),
+                match server.run_queued_in(&name) {
+                    Some(Ok(res)) => self.broadcast(server, &name, &res, i),
                     Some(Err(e)) => self.queue(i, &proto::error(&e.to_string())),
                     None => self.queue(i, &proto::error("no ticks offered")),
                 }
             }
-            Request::Stats => {
-                let line = proto::stats(server);
+            Request::TickMulti { ticks } => {
+                let pairs: Vec<(&str, f64)> = ticks.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+                match server.tick_multi(&pairs) {
+                    Ok(results) => {
+                        for (res, (name, _)) in results.iter().zip(&ticks) {
+                            self.broadcast(server, name, res, i);
+                        }
+                    }
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::Stats { relation } => {
+                let name = self.resolve(i, relation);
+                if server.catalog().by_name(&name).is_none() {
+                    self.unknown(i, &name);
+                    return true;
+                }
+                let line = proto::stats(server, &name);
+                self.queue(i, &line);
+            }
+            Request::CreateRelation { name, spec } => {
+                let (relation, seed) = match build_relation(&spec) {
+                    Ok(pair) => pair,
+                    Err(msg) => {
+                        self.queue(i, &proto::error(&msg));
+                        return true;
+                    }
+                };
+                let bonds = relation.len();
+                match server.create_relation(&name, relation, seed) {
+                    Ok(id) => self.queue(i, &proto::created(&name, id.0, bonds)),
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::DropRelation { name } => match server.drop_relation(&name) {
+                Ok(id) => {
+                    // Sessions under the dropped relation are gone; stop
+                    // tracking them on every connection.
+                    for conn in &mut self.conns {
+                        conn.sessions.retain(|&(rel, _)| rel != id.0);
+                    }
+                    self.queue(i, &proto::dropped(&name, id.0));
+                }
+                Err(e) => self.queue(i, &proto::error(&e.to_string())),
+            },
+            Request::AddBond { relation, bond } => {
+                let name = self.resolve(i, relation);
+                match server.add_bond(&name, bond.coupon, bond.maturity, bond.face) {
+                    Ok(bond_id) => {
+                        let bonds = server
+                            .catalog()
+                            .by_name(&name)
+                            .map_or(0, |t| t.relation().len());
+                        self.queue(i, &proto::bond_added(&name, bond_id, bonds));
+                    }
+                    Err(e) => self.queue(i, &proto::error(&e.to_string())),
+                }
+            }
+            Request::Use { name } => {
+                if server.catalog().by_name(&name).is_none() {
+                    self.unknown(i, &name);
+                    return true;
+                }
+                self.conns[i].use_relation = Some(name.clone());
+                self.queue(i, &proto::using(&name));
+            }
+            Request::Relations => {
+                let line = proto::relations(server);
                 self.queue(i, &line);
             }
         }
         true
     }
 
-    /// Fans a tick's answers out to every attached connection, one
-    /// serialized payload per query shape, and the `TICK_DONE` trailer to
-    /// the connection that drove the tick.
-    fn broadcast(&mut self, server: &Server, res: &TickResult, origin: usize) {
-        for group in server.broadcast_groups(&res.answers) {
-            let payload = proto::result_payload(res.tick, res.rate, group.answer);
+    /// Resolves the relation a data-plane request addresses: its explicit
+    /// `"relation"` field, else the connection's `USE` selection, else
+    /// `"default"`.
+    fn resolve(&self, i: usize, explicit: Option<String>) -> String {
+        explicit.unwrap_or_else(|| {
+            self.conns[i]
+                .use_relation
+                .clone()
+                .unwrap_or_else(|| DEFAULT_RELATION.to_string())
+        })
+    }
+
+    /// Queues the typed unknown-relation `ERROR` line.
+    fn unknown(&mut self, i: usize, name: &str) {
+        let e = crate::error::ServerError::UnknownRelation(name.to_string());
+        self.queue(i, &proto::error(&e.to_string()));
+    }
+
+    /// Fans one relation's tick answers out to every attached connection,
+    /// one serialized payload per query shape, and the `TICK_DONE` trailer
+    /// to the connection that drove the tick.
+    fn broadcast(&mut self, server: &Server, name: &str, res: &TickResult, origin: usize) {
+        let rel_id = res.relation.0;
+        let groups = server
+            .broadcast_groups_in(name, &res.answers)
+            .unwrap_or_default();
+        for group in groups {
+            let payload = proto::result_payload(name, res.tick, res.rate, group.answer);
             self.stats.payloads_serialized += 1;
             for &sid in &group.sessions {
                 let line = proto::result_line(sid, &payload);
@@ -394,7 +518,7 @@ impl FrontEnd {
                     .conns
                     .iter()
                     .enumerate()
-                    .filter(|(_, c)| !c.dead && c.sessions.contains(&sid))
+                    .filter(|(_, c)| !c.dead && c.sessions.contains(&(rel_id, sid)))
                     .map(|(ci, _)| ci)
                     .collect();
                 for ci in receivers {
@@ -403,7 +527,8 @@ impl FrontEnd {
                 }
             }
         }
-        let done = proto::tick_done(res, server.shed_ticks());
+        let shed = server.catalog().by_name(name).map_or(0, |t| t.shed());
+        let done = proto::tick_done(name, res, shed);
         self.queue(origin, &done);
     }
 
@@ -463,6 +588,32 @@ impl FrontEnd {
         self.conns
             .retain(|c| !(c.dead || (c.read_closed && c.wbuf.is_empty())));
         self.stats.closed += (before - self.conns.len()) as u64;
+    }
+}
+
+/// Materializes a `CREATE_RELATION` spec into a relation, validating
+/// wire bonds so a malformed bond is a protocol `ERROR`, never a panic
+/// inside `Bond::new`. Returns the provenance seed for seeded specs.
+fn build_relation(spec: &RelationSpec) -> Result<(BondRelation, Option<u64>), String> {
+    match spec {
+        RelationSpec::Seeded { seed, count } => {
+            let count = usize::try_from(*count).map_err(|_| "\"count\" out of range")?;
+            Ok((
+                BondRelation::from_universe(&BondUniverse::generate(count, *seed)),
+                Some(*seed),
+            ))
+        }
+        RelationSpec::Bonds(bonds) => {
+            let mut out = Vec::with_capacity(bonds.len());
+            for (idx, b) in bonds.iter().enumerate() {
+                let id = u32::try_from(idx).map_err(|_| "too many bonds".to_string())?;
+                out.push(
+                    try_bond(id, b.coupon, b.maturity, b.face)
+                        .map_err(|detail| format!("invalid bond: {detail}"))?,
+                );
+            }
+            Ok((BondRelation::from_bonds(out), None))
+        }
     }
 }
 
@@ -560,6 +711,99 @@ mod tests {
         .expect("read error line");
         assert!(reply.contains("\"type\":\"ERROR\""), "{reply}");
         assert!(reply.contains("exceeds 32 bytes"), "{reply}");
+    }
+
+    #[test]
+    fn catalog_commands_round_trip_over_loopback() {
+        let mut front = FrontEnd::default();
+        let mut client = adopted(&mut front);
+        let mut server = tiny_server();
+        client
+            .write_all(
+                concat!(
+                    "{\"type\":\"CREATE_RELATION\",\"name\":\"energy\",\"seed\":7,\"count\":4}\n",
+                    "{\"type\":\"USE\",\"name\":\"energy\"}\n",
+                    "{\"type\":\"SUBSCRIBE\",\"query\":{\"kind\":\"max\",\"epsilon\":0.5}}\n",
+                    "{\"type\":\"TICK\",\"rate\":0.0583}\n",
+                    "{\"type\":\"RELATIONS\"}\n",
+                    "{\"type\":\"SUBSCRIBE\",\"relation\":\"nope\",\"query\":{\"kind\":\"max\",\"epsilon\":0.5}}\n",
+                    "{\"type\":\"ADD_BOND\",\"bond\":{\"coupon\":1.5,\"maturity\":10,\"face\":100}}\n",
+                    "{\"type\":\"DROP_RELATION\",\"name\":\"energy\"}\n",
+                    "{\"type\":\"STATS\"}\n",
+                )
+                .as_bytes(),
+            )
+            .expect("write");
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        for _ in 0..400 {
+            if front.connections() == 0 {
+                break;
+            }
+            front.turn(None, &mut server).expect("turn");
+        }
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let mut reader = std::io::BufReader::new(client);
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            if std::io::BufRead::read_line(&mut reader, &mut line).expect("read") == 0 {
+                break;
+            }
+            lines.push(line);
+        }
+        assert!(
+            lines[0].contains("\"type\":\"CREATED\"") && lines[0].contains("\"bonds\":4"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"type\":\"USING\""), "{}", lines[1]);
+        assert!(
+            lines[2].contains("\"type\":\"SUBSCRIBED\"")
+                && lines[2].contains("\"relation\":\"energy\""),
+            "{}",
+            lines[2]
+        );
+        // The USE-selected tick answers against "energy", not "default".
+        assert!(
+            lines[3].contains("\"type\":\"RESULT\"")
+                && lines[3].contains("\"relation\":\"energy\""),
+            "{}",
+            lines[3]
+        );
+        assert!(lines[4].contains("\"type\":\"TICK_DONE\""), "{}", lines[4]);
+        assert!(
+            lines[5].contains("\"type\":\"RELATIONS\"")
+                && lines[5].contains("\"name\":\"default\"")
+                && lines[5].contains("\"name\":\"energy\""),
+            "{}",
+            lines[5]
+        );
+        assert!(
+            lines[6].contains("\"type\":\"ERROR\"")
+                && lines[6].contains("unknown relation \\\"nope\\\""),
+            "{}",
+            lines[6]
+        );
+        assert!(
+            lines[7].contains("\"type\":\"ERROR\"") && lines[7].contains("invalid bond"),
+            "{}",
+            lines[7]
+        );
+        assert!(lines[8].contains("\"type\":\"DROPPED\""), "{}", lines[8]);
+        // STATS falls back to "default" once the USE'd relation is gone?
+        // No — the USE selection still names "energy", which is now
+        // unknown: a typed ERROR, never a panic or a silent fallback.
+        assert!(
+            lines[9].contains("\"type\":\"ERROR\"")
+                && lines[9].contains("unknown relation \\\"energy\\\""),
+            "{}",
+            lines[9]
+        );
+        assert_eq!(lines.len(), 10, "{lines:?}");
     }
 
     #[test]

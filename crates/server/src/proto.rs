@@ -3,11 +3,19 @@
 //!
 //! Every request and response is one JSON object per line. Requests carry a
 //! `"type"` tag (`SUBSCRIBE`, `UNSUBSCRIBE`, `RESUME`, `TICK`, `TICKS`,
-//! `STATS`, `QUIT`); the server answers with `SUBSCRIBED`, `UNSUBSCRIBED`,
-//! `RESUMED`, one `RESULT` per session plus a `TICK_DONE` per processed
-//! tick, `STATS`, `BYE`, or `ERROR`. Parsing is strict about shapes (a
-//! malformed request yields `ERROR` without killing the connection) and
-//! numbers ride as JSON numbers, never strings.
+//! `TICK_MULTI`, `STATS`, `QUIT`, plus the catalog control plane:
+//! `CREATE_RELATION`, `DROP_RELATION`, `ADD_BOND`, `USE`, `RELATIONS`);
+//! the server answers with `SUBSCRIBED`, `UNSUBSCRIBED`, `RESUMED`, one
+//! `RESULT` per session plus a `TICK_DONE` per processed tick, `STATS`,
+//! `CREATED`, `DROPPED`, `BOND_ADDED`, `USING`, `RELATIONS`, `BYE`, or
+//! `ERROR`. Parsing is strict about shapes (a malformed request yields
+//! `ERROR` without killing the connection) and numbers ride as JSON
+//! numbers, never strings.
+//!
+//! Data-plane requests carry an optional `"relation"` field naming the
+//! relation they address; when omitted, the connection's `USE` selection
+//! applies, falling back to `"default"`. Responses echo the resolved
+//! relation so multiplexed clients can demux.
 
 use va_stream::{Query, QueryOutput};
 use vao::ops::selection::CmpOp;
@@ -22,6 +30,8 @@ use crate::session::SessionId;
 pub enum Request {
     /// Register a query at a priority.
     Subscribe {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
         /// The query, with SUM weights still optional.
         query: WireQuery,
         /// Scheduling priority (defaults to 1 on the wire).
@@ -29,6 +39,8 @@ pub enum Request {
     },
     /// Remove a session.
     Unsubscribe {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
         /// The session to remove.
         session: u64,
     },
@@ -36,23 +48,89 @@ pub enum Request {
     /// restart from a data dir) and get its registration plus its most
     /// recent answer back.
     Resume {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
         /// The session to re-attach to.
         session: u64,
     },
     /// Process one rate tick.
     Tick {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
         /// The new 10-year rate.
         rate: f64,
     },
     /// Offer a burst of ticks; the server coalesces to the newest.
     Ticks {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
         /// Rates in arrival order.
         rates: Vec<f64>,
     },
-    /// Report run statistics.
-    Stats,
+    /// Process one tick across several relations under one arbitrated
+    /// budget.
+    TickMulti {
+        /// `(relation, rate)` pairs, one per relation (no duplicates).
+        ticks: Vec<(String, f64)>,
+    },
+    /// Report run statistics for one relation.
+    Stats {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
+    },
+    /// Create a relation in the catalog.
+    CreateRelation {
+        /// New relation's name.
+        name: String,
+        /// Where its bonds come from.
+        spec: RelationSpec,
+    },
+    /// Drop a relation and everything namespaced under it.
+    DropRelation {
+        /// The relation to drop.
+        name: String,
+    },
+    /// Append one bond to a relation.
+    AddBond {
+        /// Relation addressed (`None` → the connection's `USE` selection).
+        relation: Option<String>,
+        /// The bond to append (id is assigned by the server).
+        bond: WireBond,
+    },
+    /// Select the connection's default relation for subsequent requests.
+    Use {
+        /// The relation to select.
+        name: String,
+    },
+    /// List the catalog.
+    Relations,
     /// Close the connection.
     Quit,
+}
+
+/// How `CREATE RELATION` sources its bonds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelationSpec {
+    /// Generate `count` bonds from the deterministic universe generator.
+    Seeded {
+        /// Generator seed.
+        seed: u64,
+        /// Number of bonds.
+        count: u64,
+    },
+    /// Explicit bonds shipped on the wire (ids assigned in order).
+    Bonds(Vec<WireBond>),
+}
+
+/// One bond as it rides the wire (the id is always server-assigned).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireBond {
+    /// Annual coupon fraction.
+    pub coupon: f64,
+    /// Years to maturity.
+    pub maturity: f64,
+    /// Face value.
+    pub face: f64,
 }
 
 /// A query as it appears on the wire: identical to [`Query`] except SUM
@@ -165,6 +243,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .get("type")
         .and_then(Json::as_str)
         .ok_or("missing \"type\"")?;
+    let relation = || match doc.get("relation") {
+        None => Ok(None),
+        Some(r) => r
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| "\"relation\" must be a string".to_string()),
+    };
+    let name = || {
+        doc.get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "missing \"name\"".to_string())
+    };
     match kind {
         "SUBSCRIBE" => {
             let query = parse_query(doc.get("query").ok_or("missing \"query\"")?)?;
@@ -176,21 +267,28 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 )
                 .map_err(|_| "\"priority\" out of range".to_string())?,
             };
-            Ok(Request::Subscribe { query, priority })
+            Ok(Request::Subscribe {
+                relation: relation()?,
+                query,
+                priority,
+            })
         }
         "UNSUBSCRIBE" => Ok(Request::Unsubscribe {
+            relation: relation()?,
             session: doc
                 .get("session")
                 .and_then(Json::as_u64)
                 .ok_or("missing \"session\"")?,
         }),
         "RESUME" => Ok(Request::Resume {
+            relation: relation()?,
             session: doc
                 .get("session")
                 .and_then(Json::as_u64)
                 .ok_or("missing \"session\"")?,
         }),
         "TICK" => Ok(Request::Tick {
+            relation: relation()?,
             rate: finite(doc.get("rate").and_then(Json::as_f64), "rate")?,
         }),
         "TICKS" => {
@@ -206,12 +304,81 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if rates.is_empty() {
                 return Err("\"rates\" must not be empty".to_string());
             }
-            Ok(Request::Ticks { rates })
+            Ok(Request::Ticks {
+                relation: relation()?,
+                rates,
+            })
         }
-        "STATS" => Ok(Request::Stats),
+        "TICK_MULTI" => {
+            let ticks = doc
+                .get("ticks")
+                .and_then(Json::as_array)
+                .ok_or("missing \"ticks\"")?
+                .iter()
+                .map(|t| {
+                    let rel = t
+                        .get("relation")
+                        .and_then(Json::as_str)
+                        .ok_or("each tick needs a \"relation\"")?;
+                    let rate = finite(t.get("rate").and_then(Json::as_f64), "rate")?;
+                    Ok((rel.to_string(), rate))
+                })
+                .collect::<Result<Vec<(String, f64)>, String>>()?;
+            if ticks.is_empty() {
+                return Err("\"ticks\" must not be empty".to_string());
+            }
+            Ok(Request::TickMulti { ticks })
+        }
+        "STATS" => Ok(Request::Stats {
+            relation: relation()?,
+        }),
+        "CREATE_RELATION" => {
+            let name = name()?;
+            let spec = match (doc.get("bonds"), doc.get("seed"), doc.get("count")) {
+                (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+                    return Err("specify either \"bonds\" or \"seed\"/\"count\", not both".into())
+                }
+                (Some(bonds), None, None) => {
+                    let bonds = bonds
+                        .as_array()
+                        .ok_or("\"bonds\" must be an array")?
+                        .iter()
+                        .map(parse_bond)
+                        .collect::<Result<Vec<WireBond>, String>>()?;
+                    if bonds.is_empty() {
+                        return Err("\"bonds\" must not be empty".to_string());
+                    }
+                    RelationSpec::Bonds(bonds)
+                }
+                (None, seed, count) => {
+                    let seed = seed.and_then(Json::as_u64).ok_or("missing \"seed\"")?;
+                    let count = count.and_then(Json::as_u64).ok_or("missing \"count\"")?;
+                    if count == 0 {
+                        return Err("\"count\" must be positive".to_string());
+                    }
+                    RelationSpec::Seeded { seed, count }
+                }
+            };
+            Ok(Request::CreateRelation { name, spec })
+        }
+        "DROP_RELATION" => Ok(Request::DropRelation { name: name()? }),
+        "ADD_BOND" => Ok(Request::AddBond {
+            relation: relation()?,
+            bond: parse_bond(doc.get("bond").ok_or("missing \"bond\"")?)?,
+        }),
+        "USE" => Ok(Request::Use { name: name()? }),
+        "RELATIONS" => Ok(Request::Relations),
         "QUIT" => Ok(Request::Quit),
         other => Err(format!("unknown request type \"{other}\"")),
     }
+}
+
+fn parse_bond(doc: &Json) -> Result<WireBond, String> {
+    Ok(WireBond {
+        coupon: finite(doc.get("coupon").and_then(Json::as_f64), "coupon")?,
+        maturity: finite(doc.get("maturity").and_then(Json::as_f64), "maturity")?,
+        face: finite(doc.get("face").and_then(Json::as_f64), "face")?,
+    })
 }
 
 fn finite(v: Option<f64>, field: &str) -> Result<f64, String> {
@@ -351,46 +518,180 @@ pub fn query_json(q: &WireQuery) -> String {
 /// property tests pin down.
 #[must_use]
 pub fn render_request(req: &Request) -> String {
+    let rel = |relation: &Option<String>| match relation {
+        None => String::new(),
+        Some(name) => format!(",\"relation\":\"{}\"", escape(name)),
+    };
     match req {
-        Request::Subscribe { query, priority } => format!(
-            "{{\"type\":\"SUBSCRIBE\",\"query\":{},\"priority\":{priority}}}",
-            query_json(query)
+        Request::Subscribe {
+            relation,
+            query,
+            priority,
+        } => format!(
+            "{{\"type\":\"SUBSCRIBE\",\"query\":{},\"priority\":{priority}{}}}",
+            query_json(query),
+            rel(relation)
         ),
-        Request::Unsubscribe { session } => {
-            format!("{{\"type\":\"UNSUBSCRIBE\",\"session\":{session}}}")
+        Request::Unsubscribe { relation, session } => {
+            format!(
+                "{{\"type\":\"UNSUBSCRIBE\",\"session\":{session}{}}}",
+                rel(relation)
+            )
         }
-        Request::Resume { session } => {
-            format!("{{\"type\":\"RESUME\",\"session\":{session}}}")
+        Request::Resume { relation, session } => {
+            format!(
+                "{{\"type\":\"RESUME\",\"session\":{session}{}}}",
+                rel(relation)
+            )
         }
-        Request::Tick { rate } => format!("{{\"type\":\"TICK\",\"rate\":{rate}}}"),
-        Request::Ticks { rates } => {
+        Request::Tick { relation, rate } => {
+            format!("{{\"type\":\"TICK\",\"rate\":{rate}{}}}", rel(relation))
+        }
+        Request::Ticks { relation, rates } => {
             let items: Vec<String> = rates.iter().map(|r| format!("{r}")).collect();
-            format!("{{\"type\":\"TICKS\",\"rates\":[{}]}}", items.join(","))
+            format!(
+                "{{\"type\":\"TICKS\",\"rates\":[{}]{}}}",
+                items.join(","),
+                rel(relation)
+            )
         }
-        Request::Stats => "{\"type\":\"STATS\"}".to_string(),
+        Request::TickMulti { ticks } => {
+            let items: Vec<String> = ticks
+                .iter()
+                .map(|(name, rate)| {
+                    format!("{{\"relation\":\"{}\",\"rate\":{rate}}}", escape(name))
+                })
+                .collect();
+            format!("{{\"type\":\"TICK_MULTI\",\"ticks\":[{}]}}", items.join(","))
+        }
+        Request::Stats { relation } => format!("{{\"type\":\"STATS\"{}}}", rel(relation)),
+        Request::CreateRelation { name, spec } => match spec {
+            RelationSpec::Seeded { seed, count } => format!(
+                "{{\"type\":\"CREATE_RELATION\",\"name\":\"{}\",\"seed\":{seed},\"count\":{count}}}",
+                escape(name)
+            ),
+            RelationSpec::Bonds(bonds) => {
+                let items: Vec<String> = bonds.iter().map(bond_json).collect();
+                format!(
+                    "{{\"type\":\"CREATE_RELATION\",\"name\":\"{}\",\"bonds\":[{}]}}",
+                    escape(name),
+                    items.join(",")
+                )
+            }
+        },
+        Request::DropRelation { name } => {
+            format!("{{\"type\":\"DROP_RELATION\",\"name\":\"{}\"}}", escape(name))
+        }
+        Request::AddBond { relation, bond } => format!(
+            "{{\"type\":\"ADD_BOND\",\"bond\":{}{}}}",
+            bond_json(bond),
+            rel(relation)
+        ),
+        Request::Use { name } => format!("{{\"type\":\"USE\",\"name\":\"{}\"}}", escape(name)),
+        Request::Relations => "{\"type\":\"RELATIONS\"}".to_string(),
         Request::Quit => "{\"type\":\"QUIT\"}".to_string(),
     }
 }
 
+/// Serializes a [`WireBond`] to the object shape [`parse_request`] accepts.
+#[must_use]
+pub fn bond_json(b: &WireBond) -> String {
+    format!(
+        "{{\"coupon\":{},\"maturity\":{},\"face\":{}}}",
+        b.coupon, b.maturity, b.face
+    )
+}
+
 // ------------------------------------------------------------- responses
 
-/// `SUBSCRIBED` response line.
+/// `SUBSCRIBED` response line, echoing the resolved relation.
 #[must_use]
-pub fn subscribed(id: SessionId) -> String {
-    format!("{{\"type\":\"SUBSCRIBED\",\"session\":{id}}}")
+pub fn subscribed(relation: &str, id: SessionId) -> String {
+    format!(
+        "{{\"type\":\"SUBSCRIBED\",\"relation\":\"{}\",\"session\":{id}}}",
+        escape(relation)
+    )
 }
 
 /// `UNSUBSCRIBED` response line.
 #[must_use]
-pub fn unsubscribed(id: u64) -> String {
-    format!("{{\"type\":\"UNSUBSCRIBED\",\"session\":{id}}}")
+pub fn unsubscribed(relation: &str, id: u64) -> String {
+    format!(
+        "{{\"type\":\"UNSUBSCRIBED\",\"relation\":\"{}\",\"session\":{id}}}",
+        escape(relation)
+    )
+}
+
+/// `CREATED` response line after `CREATE_RELATION`.
+#[must_use]
+pub fn created(relation: &str, id: u64, bonds: usize) -> String {
+    format!(
+        "{{\"type\":\"CREATED\",\"relation\":\"{}\",\"id\":{id},\"bonds\":{bonds}}}",
+        escape(relation)
+    )
+}
+
+/// `DROPPED` response line after `DROP_RELATION`.
+#[must_use]
+pub fn dropped(relation: &str, id: u64) -> String {
+    format!(
+        "{{\"type\":\"DROPPED\",\"relation\":\"{}\",\"id\":{id}}}",
+        escape(relation)
+    )
+}
+
+/// `BOND_ADDED` response line after `ADD_BOND`.
+#[must_use]
+pub fn bond_added(relation: &str, bond: u32, bonds: usize) -> String {
+    format!(
+        "{{\"type\":\"BOND_ADDED\",\"relation\":\"{}\",\"bond\":{bond},\"bonds\":{bonds}}}",
+        escape(relation)
+    )
+}
+
+/// `USING` response line after `USE`.
+#[must_use]
+pub fn using(relation: &str) -> String {
+    format!(
+        "{{\"type\":\"USING\",\"relation\":\"{}\"}}",
+        escape(relation)
+    )
+}
+
+/// `RELATIONS` response line listing the catalog.
+#[must_use]
+pub fn relations(server: &Server) -> String {
+    let rows: Vec<String> = server
+        .catalog()
+        .tenants()
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"name\":\"{}\",\"id\":{},\"bonds\":{},\"sessions\":{},\"ticks\":{}}}",
+                escape(t.name()),
+                t.id().0,
+                t.relation().len(),
+                t.sessions().sessions().len(),
+                t.ticks()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"RELATIONS\",\"relations\":[{}]}}",
+        rows.join(",")
+    )
 }
 
 /// `RESUMED` response line: the session's registration, its lifetime
-/// counters, the server's tick counter, and — when the session has been
+/// counters, the relation's tick counter, and — when the session has been
 /// answered at least once — its most recent answer.
 #[must_use]
-pub fn resumed(sess: &crate::session::Session, tick: u64, answer: Option<&Answer>) -> String {
+pub fn resumed(
+    relation: &str,
+    sess: &crate::session::Session,
+    tick: u64,
+    answer: Option<&Answer>,
+) -> String {
     let answer_field = match answer {
         None => String::new(),
         Some(Answer::Final(out)) => format!(
@@ -404,8 +705,8 @@ pub fn resumed(sess: &crate::session::Session, tick: u64, answer: Option<&Answer
         ),
     };
     format!(
-        "{{\"type\":\"RESUMED\",\"session\":{},\"operator\":\"{}\",\"priority\":{},\"finals\":{},\"partials\":{},\"tick\":{}{answer_field}}}",
-        sess.id, sess.query.operator_name(), sess.priority, sess.finals, sess.partials, tick
+        "{{\"type\":\"RESUMED\",\"relation\":\"{}\",\"session\":{},\"operator\":\"{}\",\"priority\":{},\"finals\":{},\"partials\":{},\"tick\":{}{answer_field}}}",
+        escape(relation), sess.id, sess.query.operator_name(), sess.priority, sess.finals, sess.partials, tick
     )
 }
 
@@ -423,18 +724,19 @@ pub fn bye() -> String {
 
 /// The session-independent fragment of a `RESULT` line: everything after
 /// the `"session"` field. The broadcast fan-out serializes this once per
-/// (tick, query shape) group and wraps it per session with
+/// (relation, tick, query shape) group and wraps it per session with
 /// [`result_line`], so N subscribers on one shape cost one
 /// serialization, not N.
 #[must_use]
-pub fn result_payload(tick: u64, rate: f64, answer: &Answer) -> String {
+pub fn result_payload(relation: &str, tick: u64, rate: f64, answer: &Answer) -> String {
+    let rel = escape(relation);
     match answer {
         Answer::Final(out) => format!(
-            "\"tick\":{tick},\"rate\":{rate},\"status\":\"final\",\"output\":{}",
+            "\"relation\":\"{rel}\",\"tick\":{tick},\"rate\":{rate},\"status\":\"final\",\"output\":{}",
             output_json(out)
         ),
         Answer::Partial { bounds } => format!(
-            "\"tick\":{tick},\"rate\":{rate},\"status\":\"partial\",\"bounds\":{{\"lo\":{},\"hi\":{}}}",
+            "\"relation\":\"{rel}\",\"tick\":{tick},\"rate\":{rate},\"status\":\"partial\",\"bounds\":{{\"lo\":{},\"hi\":{}}}",
             bounds.lo(),
             bounds.hi()
         ),
@@ -451,15 +753,16 @@ pub fn result_line(session: SessionId, payload: &str) -> String {
 /// composition of [`result_payload`] and [`result_line`], byte-identical
 /// to what the broadcast path emits.
 #[must_use]
-pub fn result(tick: u64, rate: f64, session: SessionId, answer: &Answer) -> String {
-    result_line(session, &result_payload(tick, rate, answer))
+pub fn result(relation: &str, tick: u64, rate: f64, session: SessionId, answer: &Answer) -> String {
+    result_line(session, &result_payload(relation, tick, rate, answer))
 }
 
 /// `TICK_DONE` trailer after a tick's `RESULT` lines.
 #[must_use]
-pub fn tick_done(res: &TickResult, shed: u64) -> String {
+pub fn tick_done(relation: &str, res: &TickResult, shed: u64) -> String {
     format!(
-        "{{\"type\":\"TICK_DONE\",\"tick\":{},\"rate\":{},\"work_units\":{},\"iterations\":{},\"budget_exhausted\":{},\"shed\":{shed}}}",
+        "{{\"type\":\"TICK_DONE\",\"relation\":\"{}\",\"tick\":{},\"rate\":{},\"work_units\":{},\"iterations\":{},\"budget_exhausted\":{},\"shed\":{shed}}}",
+        escape(relation),
         res.tick,
         res.rate,
         res.stats.total_work(),
@@ -468,10 +771,19 @@ pub fn tick_done(res: &TickResult, shed: u64) -> String {
     )
 }
 
-/// `STATS` response line summarizing the run so far.
+/// `STATS` response line summarizing one relation's run so far. The
+/// caller has already resolved `relation` (an unknown name is an `ERROR`
+/// before this builder runs).
 #[must_use]
-pub fn stats(server: &Server) -> String {
-    let summary = server.summary();
+pub fn stats(server: &Server, relation: &str) -> String {
+    let summary = server
+        .summary_in(relation)
+        .expect("caller resolved the relation");
+    let shed = server
+        .catalog()
+        .by_name(relation)
+        .expect("caller resolved the relation")
+        .shed();
     let sessions: Vec<String> = summary
         .per_query
         .iter()
@@ -483,9 +795,10 @@ pub fn stats(server: &Server) -> String {
         })
         .collect();
     format!(
-        "{{\"type\":\"STATS\",\"ticks\":{},\"shed_ticks\":{},\"work_units\":{},\"iterations\":{},\"sessions\":[{}]}}",
+        "{{\"type\":\"STATS\",\"relation\":\"{}\",\"ticks\":{},\"shed_ticks\":{},\"work_units\":{},\"iterations\":{},\"sessions\":[{}]}}",
+        escape(relation),
         summary.ticks,
-        server.shed_ticks(),
+        shed,
         summary.work.total(),
         summary.iterations,
         sessions.join(",")
@@ -559,26 +872,43 @@ mod tests {
     fn parses_every_request_type() {
         assert_eq!(
             parse_request(r#"{"type":"TICK","rate":0.0583}"#).unwrap(),
-            Request::Tick { rate: 0.0583 }
+            Request::Tick {
+                relation: None,
+                rate: 0.0583
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"TICK","rate":0.0583,"relation":"energy"}"#).unwrap(),
+            Request::Tick {
+                relation: Some("energy".to_string()),
+                rate: 0.0583
+            }
         );
         assert_eq!(
             parse_request(r#"{"type":"TICKS","rates":[0.05,0.06]}"#).unwrap(),
             Request::Ticks {
+                relation: None,
                 rates: vec![0.05, 0.06]
             }
         );
         assert_eq!(
             parse_request(r#"{"type":"UNSUBSCRIBE","session":3}"#).unwrap(),
-            Request::Unsubscribe { session: 3 }
+            Request::Unsubscribe {
+                relation: None,
+                session: 3
+            }
         );
         assert_eq!(
             parse_request(r#"{"type":"STATS"}"#).unwrap(),
-            Request::Stats
+            Request::Stats { relation: None }
         );
         assert_eq!(parse_request(r#"{"type":"QUIT"}"#).unwrap(), Request::Quit);
         assert_eq!(
             parse_request(r#"{"type":"RESUME","session":9}"#).unwrap(),
-            Request::Resume { session: 9 }
+            Request::Resume {
+                relation: None,
+                session: 9
+            }
         );
         let sub = parse_request(
             r#"{"type":"SUBSCRIBE","query":{"kind":"topk","k":3,"epsilon":0.1},"priority":4}"#,
@@ -587,10 +917,93 @@ mod tests {
         assert_eq!(
             sub,
             Request::Subscribe {
+                relation: None,
                 query: WireQuery::TopK { k: 3, epsilon: 0.1 },
                 priority: 4
             }
         );
+    }
+
+    #[test]
+    fn parses_catalog_requests() {
+        assert_eq!(
+            parse_request(r#"{"type":"CREATE_RELATION","name":"energy","seed":7,"count":16}"#)
+                .unwrap(),
+            Request::CreateRelation {
+                name: "energy".to_string(),
+                spec: RelationSpec::Seeded { seed: 7, count: 16 }
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"type":"CREATE_RELATION","name":"fx","bonds":[{"coupon":0.05,"maturity":10,"face":100}]}"#
+            )
+            .unwrap(),
+            Request::CreateRelation {
+                name: "fx".to_string(),
+                spec: RelationSpec::Bonds(vec![WireBond {
+                    coupon: 0.05,
+                    maturity: 10.0,
+                    face: 100.0
+                }])
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"DROP_RELATION","name":"fx"}"#).unwrap(),
+            Request::DropRelation {
+                name: "fx".to_string()
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"type":"ADD_BOND","relation":"fx","bond":{"coupon":0.06,"maturity":5,"face":100}}"#
+            )
+            .unwrap(),
+            Request::AddBond {
+                relation: Some("fx".to_string()),
+                bond: WireBond {
+                    coupon: 0.06,
+                    maturity: 5.0,
+                    face: 100.0
+                }
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"USE","name":"fx"}"#).unwrap(),
+            Request::Use {
+                name: "fx".to_string()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"RELATIONS"}"#).unwrap(),
+            Request::Relations
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"type":"TICK_MULTI","ticks":[{"relation":"default","rate":0.05},{"relation":"fx","rate":0.06}]}"#
+            )
+            .unwrap(),
+            Request::TickMulti {
+                ticks: vec![
+                    ("default".to_string(), 0.05),
+                    ("fx".to_string(), 0.06)
+                ]
+            }
+        );
+        // Malformed catalog requests are parse errors, not panics.
+        assert!(parse_request(r#"{"type":"CREATE_RELATION","name":"x"}"#).is_err());
+        assert!(parse_request(
+            r#"{"type":"CREATE_RELATION","name":"x","seed":1,"count":4,"bonds":[]}"#
+        )
+        .is_err());
+        assert!(
+            parse_request(r#"{"type":"CREATE_RELATION","name":"x","seed":1,"count":0}"#).is_err()
+        );
+        assert!(parse_request(r#"{"type":"CREATE_RELATION","name":"x","bonds":[]}"#).is_err());
+        assert!(parse_request(r#"{"type":"ADD_BOND","bond":{"coupon":0.05}}"#).is_err());
+        assert!(parse_request(r#"{"type":"USE"}"#).is_err());
+        assert!(parse_request(r#"{"type":"TICK_MULTI","ticks":[]}"#).is_err());
+        assert!(parse_request(r#"{"type":"TICK","rate":0.05,"relation":7}"#).is_err());
     }
 
     #[test]
@@ -691,6 +1104,7 @@ mod tests {
     fn rendered_requests_parse_back() {
         let reqs = [
             Request::Subscribe {
+                relation: None,
                 query: WireQuery::Sum {
                     weights: None,
                     epsilon: 2.5,
@@ -698,6 +1112,7 @@ mod tests {
                 priority: 3,
             },
             Request::Subscribe {
+                relation: Some("energy".to_string()),
                 query: WireQuery::Count {
                     op: CmpOp::Ge,
                     constant: 101.25,
@@ -706,10 +1121,12 @@ mod tests {
                 priority: 1,
             },
             Request::Subscribe {
+                relation: None,
                 query: WireQuery::Median { epsilon: 0.05 },
                 priority: 1,
             },
             Request::Subscribe {
+                relation: None,
                 query: WireQuery::Percentile {
                     phi: 0.95,
                     epsilon: 0.25,
@@ -717,16 +1134,67 @@ mod tests {
                 priority: 2,
             },
             Request::Subscribe {
+                relation: None,
                 query: WireQuery::HeavyHitters { k: 3, epsilon: 0.5 },
                 priority: 1,
             },
-            Request::Unsubscribe { session: 12 },
-            Request::Resume { session: 12 },
-            Request::Tick { rate: 0.0583 },
+            Request::Unsubscribe {
+                relation: Some("fx".to_string()),
+                session: 12,
+            },
+            Request::Resume {
+                relation: None,
+                session: 12,
+            },
+            Request::Tick {
+                relation: Some("energy".to_string()),
+                rate: 0.0583,
+            },
             Request::Ticks {
+                relation: None,
                 rates: vec![0.05, 0.0625],
             },
-            Request::Stats,
+            Request::TickMulti {
+                ticks: vec![("default".to_string(), 0.05), ("fx".to_string(), 0.06)],
+            },
+            Request::Stats {
+                relation: Some("fx".to_string()),
+            },
+            Request::CreateRelation {
+                name: "energy".to_string(),
+                spec: RelationSpec::Seeded { seed: 7, count: 16 },
+            },
+            Request::CreateRelation {
+                name: "fx".to_string(),
+                spec: RelationSpec::Bonds(vec![
+                    WireBond {
+                        coupon: 0.05,
+                        maturity: 10.0,
+                        face: 100.0,
+                    },
+                    WireBond {
+                        coupon: 0.0625,
+                        maturity: 30.0,
+                        face: 1000.0,
+                    },
+                ]),
+            },
+            Request::DropRelation {
+                name: "fx".to_string(),
+            },
+            Request::AddBond {
+                relation: None,
+                bond: WireBond {
+                    coupon: 0.07,
+                    maturity: 2.5,
+                    face: 100.0,
+                },
+            },
+            Request::Use {
+                name: "energy".to_string(),
+            },
+            Request::Relations,
+            Request::Stats { relation: None },
             Request::Quit,
         ];
         for req in &reqs {
@@ -742,11 +1210,11 @@ mod tests {
         };
         let fin = Answer::Final(QueryOutput::Count { lo: 2, hi: 2 });
         for answer in [&partial, &fin] {
-            let payload = result_payload(7, 0.0584, answer);
+            let payload = result_payload("default", 7, 0.0584, answer);
             for session in [SessionId(1), SessionId(40)] {
                 assert_eq!(
                     result_line(session, &payload),
-                    result(7, 0.0584, session, answer),
+                    result("default", 7, 0.0584, session, answer),
                     "broadcast wrap must stay byte-identical to the direct line"
                 );
             }
@@ -763,18 +1231,19 @@ mod tests {
             partials: 1,
             driven_iterations: 90,
         };
-        let none = resumed(&sess, 8, None);
+        let none = resumed("default", &sess, 8, None);
         assert!(Json::parse(&none).is_ok(), "{none}");
         assert!(!none.contains("\"answer\""));
         assert!(none.contains("\"operator\":\"max\""));
+        assert!(none.contains("\"relation\":\"default\""));
         let partial = Answer::Partial {
             bounds: Bounds::new(1.0, 2.0),
         };
-        let line = resumed(&sess, 8, Some(&partial));
+        let line = resumed("default", &sess, 8, Some(&partial));
         assert!(Json::parse(&line).is_ok(), "{line}");
         assert!(line.contains("\"status\":\"partial\""));
         let fin = Answer::Final(QueryOutput::Count { lo: 3, hi: 3 });
-        let line = resumed(&sess, 8, Some(&fin));
+        let line = resumed("default", &sess, 8, Some(&fin));
         assert!(line.contains("\"status\":\"final\""));
         assert!(line.contains("\"shape\":\"count\""));
     }
@@ -782,11 +1251,16 @@ mod tests {
     #[test]
     fn responses_are_single_line_json() {
         let lines = [
-            subscribed(SessionId(7)),
-            unsubscribed(7),
+            subscribed("default", SessionId(7)),
+            unsubscribed("default", 7),
+            created("energy", 2, 16),
+            dropped("energy", 2),
+            bond_added("default", 8, 9),
+            using("energy"),
             error("bad \"thing\"\nhappened"),
             bye(),
             result(
+                "default",
                 3,
                 0.0583,
                 SessionId(1),
@@ -815,6 +1289,6 @@ mod tests {
             let parsed = Json::parse(line);
             assert!(parsed.is_ok(), "{line}: {parsed:?}");
         }
-        assert!(lines[4].contains("\"status\":\"partial\""));
+        assert!(lines[8].contains("\"status\":\"partial\""));
     }
 }

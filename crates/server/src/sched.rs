@@ -64,6 +64,57 @@ pub(crate) struct TickOutcome {
     pub budget_exhausted: bool,
 }
 
+/// Splits one per-tick work budget across relations, proportionally to
+/// their demand weights (the §5 priority sums of their live sessions),
+/// with largest-remainder rounding so the slices always sum to exactly the
+/// total. Ties and the all-zero-weight case degrade deterministically:
+/// remainder ties go to the lower-indexed relation, and when no relation
+/// carries any weight the budget splits evenly.
+///
+/// The slices are the cross-tenant arbitration contract: a shared server
+/// ticking relation `i` with slice `out[i]` computes bit-identically to an
+/// isolated single-relation server configured with budget `out[i]`,
+/// because the slice is the *only* channel through which co-hosted
+/// relations influence each other. `None` (unbudgeted) passes through as
+/// `None` for everyone.
+#[must_use]
+pub fn arbitrate_budget(total: Option<Work>, weights: &[u64]) -> Vec<Option<Work>> {
+    let Some(total) = total else {
+        return vec![None; weights.len()];
+    };
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let sum: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    let (weights, sum): (Vec<u128>, u128) = if sum == 0 {
+        (vec![1; weights.len()], weights.len() as u128)
+    } else {
+        (weights.iter().map(|&w| u128::from(w)).collect(), sum)
+    };
+    let total_wide = u128::from(total);
+    // u128 intermediates: budget × weight cannot overflow even at u64::MAX
+    // each, so the proportional shares are exact.
+    let shares: Vec<(u128, u128)> = weights
+        .iter()
+        .map(|&w| {
+            let scaled = total_wide * w;
+            (scaled / sum, scaled % sum)
+        })
+        .collect();
+    let assigned: u128 = shares.iter().map(|&(base, _)| base).sum();
+    let leftover = usize::try_from(total_wide - assigned).expect("leftover < relation count");
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| shares[b].1.cmp(&shares[a].1).then(a.cmp(&b)));
+    let mut out: Vec<u64> = shares
+        .iter()
+        .map(|&(base, _)| u64::try_from(base).expect("share <= total"))
+        .collect();
+    for &i in order.iter().take(leftover) {
+        out[i] += 1;
+    }
+    out.into_iter().map(Some).collect()
+}
+
 /// One executed iteration, resolved back into pick order.
 struct IterDone {
     before: Bounds,
@@ -582,4 +633,46 @@ fn run_batch_lanes(
             })
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::arbitrate_budget;
+
+    #[test]
+    fn slices_are_proportional_and_sum_exactly() {
+        let out = arbitrate_budget(Some(100), &[1, 1, 2]);
+        assert_eq!(out, vec![Some(25), Some(25), Some(50)]);
+        let out = arbitrate_budget(Some(10), &[1, 1, 1]);
+        assert_eq!(out.iter().map(|b| b.unwrap()).sum::<u64>(), 10);
+        // Largest remainder first; the tie between equal remainders goes
+        // to the lower-indexed relation.
+        assert_eq!(out, vec![Some(4), Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn zero_weight_relations_get_nothing_while_others_carry_weight() {
+        let out = arbitrate_budget(Some(90), &[0, 2, 1]);
+        assert_eq!(out, vec![Some(0), Some(60), Some(30)]);
+    }
+
+    #[test]
+    fn all_zero_weights_split_evenly() {
+        let out = arbitrate_budget(Some(7), &[0, 0, 0]);
+        assert_eq!(out, vec![Some(3), Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn unbudgeted_passes_none_through() {
+        assert_eq!(arbitrate_budget(None, &[3, 4]), vec![None, None]);
+        assert!(arbitrate_budget(Some(5), &[]).is_empty());
+    }
+
+    #[test]
+    fn extreme_weights_do_not_overflow() {
+        let out = arbitrate_budget(Some(u64::MAX), &[u64::MAX, u64::MAX, 1]);
+        let total: u64 = out.iter().map(|b| b.unwrap()).sum();
+        assert_eq!(total, u64::MAX);
+        assert!(out[0] >= out[2]);
+    }
 }

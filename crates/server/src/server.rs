@@ -1,17 +1,26 @@
-//! The in-process server: session registry + shared pool + budgeted
-//! scheduler behind one API. The TCP front-end in [`crate::net`] is a thin
-//! line-protocol shell over this type, so everything here is testable
-//! without sockets.
+//! The in-process server: relation catalog, per-tenant session registries
+//! and the budgeted scheduler behind one API. The TCP front-end in
+//! [`crate::net`] is a thin line-protocol shell over this type, so
+//! everything here is testable without sockets.
+//!
+//! A server hosts one or more relations ([`crate::catalog::Catalog`]).
+//! Single-relation construction paths ([`Server::new`],
+//! [`Server::open_durable`]) host exactly one relation named
+//! [`DEFAULT_RELATION`], and the relation-unqualified methods
+//! ([`Server::subscribe`], [`Server::tick`], …) resolve it — existing
+//! callers see the historical single-relation behavior unchanged, down to
+//! the bit.
 
 use std::path::Path;
 use std::time::Instant;
 
 use bondlab::BondPricer;
 use va_persist::record::{
-    AnswerEntry, AnswerRecord, JournalEvent, SessionSnapshot, SessionTickRecord, SnapshotRecord,
-    StatsRecord, TickRecord, WarmObjectRecord, WarmRateRecord,
+    AnswerEntry, AnswerRecord, BondRecord, JournalEvent, RelationDefRecord, RelationRecord,
+    RelationSnapshot, SessionSnapshot, SessionTickRecord, SnapshotRecord, StatsRecord, TickRecord,
+    WarmObjectRecord, WarmRateRecord,
 };
-use va_persist::{Store, WarmMap};
+use va_persist::{Meta, MetaRelation, PersistError, Recovery, Store, META_FILE};
 use va_stream::{BondRelation, Query, QueryRunRow, RunSummary, TickObserver, TickStats};
 use vao::adapters::WarmStart;
 use vao::cost::{Work, WorkMeter};
@@ -24,6 +33,7 @@ use vao::trace::{
 use vao::{Bounds, PrecisionConstraint};
 
 use crate::answer::Answer;
+use crate::catalog::{Catalog, RelationId, Tenant, DEFAULT_RELATION};
 use crate::error::ServerError;
 use crate::pool::SharedPool;
 use crate::sched;
@@ -34,14 +44,17 @@ use crate::session::{Session, SessionId, SessionRegistry};
 pub struct ServerConfig {
     /// Per-tick work budget in deterministic work units (model invocation
     /// and refinement draw from the same allowance). `None` runs every tick
-    /// to full convergence.
+    /// to full convergence. On a multi-relation tick the budget is
+    /// arbitrated across the ticked relations by
+    /// [`crate::sched::arbitrate_budget`].
     pub budget: Option<Work>,
     /// Defensive cap on scheduler iterations per tick.
     pub iteration_limit: u64,
-    /// Worker threads used to execute an admitted batch. Workers never
+    /// Worker threads used to execute an admitted batch (and, on a
+    /// multi-relation tick, to shard independent relations). Workers never
     /// change *what* the scheduler computes — only how an already-chosen
     /// batch is executed — so any worker count produces bit-identical
-    /// answers for a fixed [`ServerConfig::batch`]. Clamped to ≥ 1.
+    /// answers for a fixed [`ServerConfig::batch`].  Clamped to ≥ 1.
     pub workers: usize,
     /// Objects selected per scheduling round (`None` → 1 when `workers`
     /// is 1, else `2 × workers`: a queue deeper than the worker pool keeps
@@ -120,7 +133,9 @@ impl ServerConfig {
 /// Everything one processed tick produced.
 #[derive(Clone, Debug)]
 pub struct TickResult {
-    /// 1-based tick sequence number.
+    /// The relation this tick priced.
+    pub relation: RelationId,
+    /// 1-based tick sequence number, *per relation*.
     pub tick: u64,
     /// The rate the pool was priced at.
     pub rate: f64,
@@ -132,24 +147,18 @@ pub struct TickResult {
     pub budget_exhausted: bool,
 }
 
-/// A multi-query continuous-query server over one bond relation.
+/// A multi-query, multi-relation continuous-query server.
 ///
-/// Register queries with [`Server::subscribe`], feed rate ticks with
-/// [`Server::tick`], and every registered session gets an answer per tick —
-/// exact when the scheduler converged it within budget, anytime bounds
-/// otherwise.
+/// Register queries with [`Server::subscribe_to`], feed rate ticks with
+/// [`Server::tick_relation`] or [`Server::tick_multi`], and every
+/// registered session gets an answer per tick — exact when the scheduler
+/// converged it within budget, anytime bounds otherwise.
 #[derive(Debug)]
 pub struct Server {
     pricer: BondPricer,
-    relation: BondRelation,
     config: ServerConfig,
-    registry: SessionRegistry,
-    history: Vec<TickStats>,
-    ticks: u64,
-    queued: Option<f64>,
-    shed: u64,
+    catalog: Catalog,
     durability: Option<Durability>,
-    last_answers: Vec<(SessionId, Answer)>,
     recovery: Option<RecoveryRecord>,
     recovery_emitted: bool,
     /// Compactions that happened since the last observed tick. Snapshot
@@ -159,18 +168,18 @@ pub struct Server {
     pending_compactions: Vec<CompactionRecord>,
 }
 
-/// The durable half of a server opened with [`Server::open_durable`]: the
-/// on-disk store plus the in-memory per-rate warm cache that mirrors what
-/// the journal would fold to.
+/// The durable half of a server opened with [`Server::open_durable`] or
+/// [`Server::open_durable_catalog`]: the on-disk store plus snapshot
+/// cadence bookkeeping. (Per-rate warm caches live in each
+/// [`Tenant`], not here — warm state is relation-scoped.)
 #[derive(Debug)]
 struct Durability {
     store: Store,
-    warm: WarmMap,
     snapshot_every: u64,
     events_at_last_snapshot: u64,
 }
 
-/// FNV-1a accumulator for [`durability_fingerprint`].
+/// FNV-1a accumulator for the fingerprint functions.
 struct Fnv(u64);
 
 impl Fnv {
@@ -190,23 +199,7 @@ impl Fnv {
     }
 }
 
-/// A stable fingerprint of everything that determines what journaled warm
-/// bounds *mean*: the bond universe (cardinality and every bond's fields)
-/// and the pricer configuration (short-rate model and result-object
-/// construction parameters). Persisted in the data dir on first open;
-/// recovery refuses a dir whose fingerprint disagrees, because converged
-/// bounds from a different universe that happen to overlap this one's
-/// would otherwise be served as final answers.
-#[must_use]
-pub fn durability_fingerprint(pricer: &BondPricer, relation: &BondRelation) -> u64 {
-    let mut h = Fnv::new();
-    h.eat_u64(relation.bonds().len() as u64);
-    for b in relation.bonds() {
-        h.eat_u64(u64::from(b.id));
-        h.eat_f64(b.coupon);
-        h.eat_f64(b.years_to_maturity);
-        h.eat_f64(b.face);
-    }
+fn eat_pricer(h: &mut Fnv, pricer: &BondPricer) {
     let m = &pricer.model;
     h.eat_f64(m.sigma);
     h.eat_f64(m.kappa);
@@ -220,61 +213,149 @@ pub fn durability_fingerprint(pricer: &BondPricer, relation: &BondRelation) -> u
     h.eat_f64(v.min_width);
     h.eat_f64(v.safety);
     h.eat_u64(v.solver.max_cells);
+}
+
+/// A stable fingerprint of everything that determines what journaled warm
+/// bounds *mean* for one relation: the bond universe (cardinality and
+/// every bond's fields) and the pricer configuration (short-rate model and
+/// result-object construction parameters). Persisted per relation in the
+/// data dir metadata; recovery refuses a binding whose fingerprint
+/// disagrees, because converged bounds from a different universe that
+/// happen to overlap this one's would otherwise be served as final
+/// answers.
+#[must_use]
+pub fn durability_fingerprint(pricer: &BondPricer, relation: &BondRelation) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_u64(relation.bonds().len() as u64);
+    for b in relation.bonds() {
+        h.eat_u64(u64::from(b.id));
+        h.eat_f64(b.coupon);
+        h.eat_f64(b.years_to_maturity);
+        h.eat_f64(b.face);
+    }
+    eat_pricer(&mut h, pricer);
     h.0
 }
 
-impl Server {
-    /// A server over `relation`, pricing with `pricer`.
-    #[must_use]
-    pub fn new(pricer: BondPricer, relation: BondRelation, config: ServerConfig) -> Self {
-        Self {
-            pricer,
-            relation,
-            config,
-            registry: SessionRegistry::new(),
-            history: Vec::new(),
-            ticks: 0,
-            queued: None,
-            shed: 0,
-            durability: None,
-            last_answers: Vec::new(),
-            recovery: None,
-            recovery_emitted: false,
-            pending_compactions: Vec::new(),
+/// The pricer-only fingerprint stored in catalog metadata: the same FNV
+/// tail [`durability_fingerprint`] feeds after the relation, so a legacy
+/// combined fingerprint and the catalog's `(pricer, per-relation)` split
+/// bind exactly the same facts between them.
+#[must_use]
+pub fn pricer_fingerprint(pricer: &BondPricer) -> u64 {
+    let mut h = Fnv::new();
+    eat_pricer(&mut h, pricer);
+    h.0
+}
+
+/// The definition record a bootstrap (`--bonds`/`--seed`) relation
+/// journals when it first lands in a catalog.
+fn bootstrap_def(relation: &BondRelation) -> RelationDefRecord {
+    RelationDefRecord {
+        name: DEFAULT_RELATION.to_string(),
+        seed: None,
+        bonds: relation
+            .bonds()
+            .iter()
+            .map(|b| BondRecord {
+                id: b.id,
+                coupon: b.coupon,
+                maturity: b.years_to_maturity,
+                face: b.face,
+            })
+            .collect(),
+    }
+}
+
+/// The catalog metadata this server would persist right now: the pricer
+/// fingerprint plus one cached binding per defined relation.
+fn catalog_meta(pricer: &BondPricer, catalog: &Catalog) -> Meta {
+    Meta::V2 {
+        pricer: pricer_fingerprint(pricer),
+        relations: catalog
+            .tenants()
+            .iter()
+            .filter(|t| t.is_defined())
+            .map(|t| MetaRelation {
+                relation: t.id().0,
+                fingerprint: durability_fingerprint(pricer, t.relation()),
+            })
+            .collect(),
+    }
+}
+
+fn mismatch(dir: &Path, expected: u64, found: u64) -> ServerError {
+    PersistError::Mismatch {
+        path: dir.join(META_FILE).display().to_string(),
+        expected,
+        found,
+    }
+    .into()
+}
+
+fn layout(dir: &Path, detail: &str) -> ServerError {
+    PersistError::Layout {
+        path: dir.display().to_string(),
+        detail: detail.to_string(),
+    }
+    .into()
+}
+
+/// Refuses recovered state that references a relation under legacy (V1)
+/// metadata that a single-relation dir cannot legitimately contain. The
+/// one tolerated catalog event is `CreateRelation` for relation 1 — the
+/// footprint of a migration that crashed between the journal append and
+/// the metadata rewrite; its definition is fingerprint-checked by the
+/// caller.
+fn check_legacy_layout(recovered: &Recovery, dir: &Path) -> Result<(), ServerError> {
+    if let Some(snap) = &recovered.snapshot {
+        for rel in &snap.relations {
+            if rel.relation != 1 {
+                return Err(layout(
+                    dir,
+                    "snapshot defines additional relations under legacy single-relation metadata \
+                     (mixed generations)",
+                ));
+            }
         }
     }
+    for ev in &recovered.tail {
+        let foreign = match ev {
+            JournalEvent::CreateRelation(rec) => rec.relation != 1,
+            JournalEvent::DropRelation { .. } | JournalEvent::AddBond { .. } => true,
+            JournalEvent::Subscribe { relation, .. }
+            | JournalEvent::Unsubscribe { relation, .. } => *relation != 1,
+            JournalEvent::Tick(t) => t.relation != 1,
+            JournalEvent::SnapshotMarker { .. } => false,
+        };
+        if foreign {
+            return Err(layout(
+                dir,
+                "catalog journal events under legacy single-relation metadata (mixed generations)",
+            ));
+        }
+    }
+    Ok(())
+}
 
-    /// A durable server backed by the data dir at `dir`, recovering any
-    /// state a previous incarnation journaled there.
-    ///
-    /// Recovery loads the newest valid snapshot, replays the journal tail
-    /// on top (pure bookkeeping — journal events carry executed *outcomes*,
-    /// so replay never re-prices anything), and seeds the per-rate warm
-    /// cache so the next tick at a recovered rate re-admits objects at
-    /// their achieved accuracy. A torn final journal record is truncated
-    /// and reported (see [`Server::last_recovery`]); anything worse is a
-    /// hard [`ServerError::Persist`].
-    ///
-    /// The data dir is bound to the `(pricer, relation)` pair that created
-    /// it via a persisted fingerprint: opening it with a different
-    /// universe or pricer configuration is refused, since journaled warm
-    /// bounds describe *those* bonds and recovering them here would serve
-    /// another universe's prices as this one's answers.
-    pub fn open_durable(
-        pricer: BondPricer,
-        relation: BondRelation,
-        config: ServerConfig,
-        dir: &Path,
-    ) -> Result<Self, ServerError> {
-        let fingerprint = durability_fingerprint(&pricer, &relation);
-        let (store, recovered) = Store::open(dir, fingerprint)?;
-        let mut srv = Self::new(pricer, relation, config);
-
-        if let Some(snap) = &recovered.snapshot {
-            srv.registry
-                .reserve_through(SessionId(snap.next_session_id.saturating_sub(1)));
-            for s in &snap.sessions {
-                srv.registry.restore(Session {
+/// Replays recovered state into a catalog: the snapshot's per-relation
+/// sections, then the journal tail, then the folded warm maps. Events may
+/// reference relations whose `CREATE` was already folded into the snapshot
+/// span — [`Catalog::shell`] gives their state somewhere to land, and the
+/// caller decides whether a still-undefined shell is acceptable.
+fn fold_into_catalog(catalog: &mut Catalog, recovered: &Recovery) -> Result<(), ServerError> {
+    if let Some(snap) = &recovered.snapshot {
+        catalog.reserve_through(snap.next_relation_id);
+        for rel in &snap.relations {
+            let tenant = catalog.shell(rel.relation);
+            if let Some(def) = &rel.def {
+                tenant.define(def)?;
+            }
+            tenant
+                .registry
+                .reserve_through(SessionId(rel.next_session_id.saturating_sub(1)));
+            for s in &rel.sessions {
+                tenant.registry.restore(Session {
                     id: SessionId(s.session),
                     query: s.query.clone(),
                     priority: s.priority,
@@ -283,84 +364,315 @@ impl Server {
                     driven_iterations: s.driven,
                 });
             }
-            srv.ticks = snap.ticks;
-            srv.shed = snap.shed;
-            srv.history = snap.history.iter().map(StatsRecord::to_stats).collect();
-            srv.last_answers = restore_answers(&snap.answers)?;
+            tenant.ticks = rel.ticks;
+            tenant.shed = rel.shed;
+            tenant.history = rel.history.iter().map(StatsRecord::to_stats).collect();
+            tenant.last_answers = restore_answers(&rel.answers)?;
         }
-        for ev in &recovered.tail {
-            match ev {
-                JournalEvent::Subscribe {
-                    session,
-                    priority,
-                    query,
-                } => {
-                    srv.registry.restore(Session {
-                        id: SessionId(*session),
-                        query: query.clone(),
-                        priority: *priority,
-                        finals: 0,
-                        partials: 0,
-                        driven_iterations: 0,
-                    });
-                }
-                JournalEvent::Unsubscribe { session } => {
-                    // The id stays burned: the Subscribe replay (or the
-                    // snapshot's high-water mark) already advanced `next`.
-                    srv.registry.deregister(SessionId(*session));
-                }
-                JournalEvent::Tick(t) => {
-                    srv.ticks = t.tick;
-                    srv.shed = t.shed;
-                    srv.history.push(t.stats.to_stats());
-                    for delta in &t.sessions {
-                        if let Some(sess) = srv
-                            .registry
-                            .sessions_mut()
-                            .iter_mut()
-                            .find(|s| s.id.0 == delta.session)
-                        {
-                            if delta.is_final {
-                                sess.finals += 1;
-                            } else {
-                                sess.partials += 1;
-                            }
-                            sess.driven_iterations += delta.driven;
+    }
+    for ev in &recovered.tail {
+        match ev {
+            JournalEvent::CreateRelation(rec) => {
+                catalog.shell(rec.relation).define(&rec.def)?;
+            }
+            JournalEvent::DropRelation { relation } => {
+                catalog.remove(RelationId(*relation));
+            }
+            JournalEvent::AddBond { relation, bond } => {
+                let b = crate::catalog::try_bond(bond.id, bond.coupon, bond.maturity, bond.face)
+                    .map_err(|detail| ServerError::Persist {
+                        detail: format!("corrupt journaled bond {}: {detail}", bond.id),
+                    })?;
+                catalog.shell(*relation).relation.push(b);
+            }
+            JournalEvent::Subscribe {
+                relation,
+                session,
+                priority,
+                query,
+            } => {
+                catalog.shell(*relation).registry.restore(Session {
+                    id: SessionId(*session),
+                    query: query.clone(),
+                    priority: *priority,
+                    finals: 0,
+                    partials: 0,
+                    driven_iterations: 0,
+                });
+            }
+            JournalEvent::Unsubscribe { relation, session } => {
+                // The id stays burned: the Subscribe replay (or the
+                // snapshot's high-water mark) already advanced `next`.
+                catalog
+                    .shell(*relation)
+                    .registry
+                    .deregister(SessionId(*session));
+            }
+            JournalEvent::Tick(t) => {
+                let tenant = catalog.shell(t.relation);
+                tenant.ticks = t.tick;
+                tenant.shed = t.shed;
+                tenant.history.push(t.stats.to_stats());
+                for delta in &t.sessions {
+                    if let Some(sess) = tenant
+                        .registry
+                        .sessions_mut()
+                        .iter_mut()
+                        .find(|s| s.id.0 == delta.session)
+                    {
+                        if delta.is_final {
+                            sess.finals += 1;
+                        } else {
+                            sess.partials += 1;
                         }
+                        sess.driven_iterations += delta.driven;
                     }
-                    srv.last_answers = restore_answers(&t.answers)?;
                 }
-                JournalEvent::SnapshotMarker { .. } => {}
+                tenant.last_answers = restore_answers(&t.answers)?;
+            }
+            JournalEvent::SnapshotMarker { .. } => {}
+        }
+    }
+    for (relation, warm) in recovered.warm_maps() {
+        if let Some(tenant) = catalog.get_mut(RelationId(relation)) {
+            tenant.warm = warm;
+        }
+    }
+    Ok(())
+}
+
+/// Refuses a fold that left a tenant without a definition: its `CREATE
+/// RELATION` is missing from the journal, so every event that referenced
+/// it is attached to a phantom.
+fn refuse_undefined_shells(catalog: &Catalog, dir: &Path) -> Result<(), ServerError> {
+    for t in catalog.tenants() {
+        if !t.is_defined() {
+            return Err(PersistError::Corrupt {
+                path: dir.display().to_string(),
+                detail: format!(
+                    "journal references relation {} but no definition was recovered",
+                    t.id()
+                ),
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
+impl Server {
+    /// An in-memory server hosting `relation` as the single
+    /// [`DEFAULT_RELATION`], pricing with `pricer`.
+    #[must_use]
+    pub fn new(pricer: BondPricer, relation: BondRelation, config: ServerConfig) -> Self {
+        let mut catalog = Catalog::new();
+        catalog
+            .create(DEFAULT_RELATION, relation, None)
+            .expect("empty catalog cannot collide");
+        Self {
+            pricer,
+            config,
+            catalog,
+            durability: None,
+            recovery: None,
+            recovery_emitted: false,
+            pending_compactions: Vec::new(),
+        }
+    }
+
+    /// A durable server backed by the data dir at `dir`, hosting
+    /// `relation` as [`DEFAULT_RELATION`] and recovering any state a
+    /// previous incarnation journaled there.
+    ///
+    /// Recovery loads the newest valid snapshot, replays the journal tail
+    /// on top (pure bookkeeping — journal events carry executed *outcomes*,
+    /// so replay never re-prices anything), and seeds each relation's
+    /// per-rate warm cache so the next tick at a recovered rate re-admits
+    /// objects at their achieved accuracy. A torn final journal record is
+    /// truncated and reported (see [`Server::last_recovery`]); anything
+    /// worse is a hard [`ServerError::Persist`].
+    ///
+    /// Identity is checked per generation. A fresh dir is bootstrapped:
+    /// the relation definition is journaled as a `CreateRelation` event
+    /// and catalog metadata is written, making the dir self-describing
+    /// from its first byte. A legacy single-relation dir (PR-4/5
+    /// `meta.json`) is verified against its combined fingerprint and then
+    /// migrated in place to the catalog layout. A catalog dir is verified
+    /// against the pricer fingerprint and its journaled `"default"`
+    /// definition — which must match `relation`, since the caller is
+    /// asserting this universe. Mixed or ambiguous layouts are refused
+    /// with a typed [`PersistError::Layout`].
+    pub fn open_durable(
+        pricer: BondPricer,
+        relation: BondRelation,
+        config: ServerConfig,
+        dir: &Path,
+    ) -> Result<Self, ServerError> {
+        let (mut store, recovered, meta) = Store::open(dir)?;
+        let mut catalog = Catalog::new();
+        match &meta {
+            None => {
+                if !recovered.is_fresh() {
+                    return Err(PersistError::Corrupt {
+                        path: dir.join(META_FILE).display().to_string(),
+                        detail: "metadata file missing from a non-empty data dir".to_string(),
+                    }
+                    .into());
+                }
+                bootstrap_default(&mut store, &mut catalog, &pricer, relation, true)?;
+            }
+            Some(Meta::V1 { fingerprint }) => {
+                let expected = durability_fingerprint(&pricer, &relation);
+                if *fingerprint != expected {
+                    return Err(mismatch(dir, expected, *fingerprint));
+                }
+                check_legacy_layout(&recovered, dir)?;
+                fold_into_catalog(&mut catalog, &recovered)?;
+                let tenant = catalog.shell(1);
+                if tenant.is_defined() {
+                    // A migration that crashed after journaling the
+                    // definition: accept it only if it describes exactly
+                    // the bootstrap relation.
+                    let found = durability_fingerprint(&pricer, tenant.relation());
+                    if found != expected {
+                        return Err(mismatch(dir, expected, found));
+                    }
+                } else {
+                    let def = bootstrap_def(&relation);
+                    store.append(&JournalEvent::CreateRelation(Box::new(RelationRecord {
+                        relation: 1,
+                        def: def.clone(),
+                    })))?;
+                    catalog.shell(1).define(&def)?;
+                }
+                store.write_meta(&catalog_meta(&pricer, &catalog))?;
+            }
+            Some(Meta::V2 { pricer: stored, .. }) => {
+                let ours = pricer_fingerprint(&pricer);
+                if *stored != ours {
+                    return Err(mismatch(dir, ours, *stored));
+                }
+                fold_into_catalog(&mut catalog, &recovered)?;
+                if catalog.is_empty() && recovered.is_fresh() {
+                    // A fresh bootstrap that crashed after writing catalog
+                    // metadata but before journaling its CreateRelation.
+                    bootstrap_default(&mut store, &mut catalog, &pricer, relation, false)?;
+                } else {
+                    refuse_undefined_shells(&catalog, dir)?;
+                    let expected = durability_fingerprint(&pricer, &relation);
+                    let found = match catalog.by_name(DEFAULT_RELATION) {
+                        Some(t) => durability_fingerprint(&pricer, t.relation()),
+                        None => {
+                            return Err(layout(
+                                dir,
+                                "catalog data dir has no \"default\" relation; open it with \
+                                 open_durable_catalog instead of a bootstrap relation",
+                            ))
+                        }
+                    };
+                    if found != expected {
+                        return Err(mismatch(dir, expected, found));
+                    }
+                    // Heal stale cached bindings (a crash between a catalog
+                    // journal append and the metadata rewrite): the journal
+                    // is authoritative, the metadata is a cache.
+                    let want = catalog_meta(&pricer, &catalog);
+                    if meta.as_ref() != Some(&want) {
+                        store.write_meta(&want)?;
+                    }
+                }
             }
         }
+        Ok(Self::finish_durable(
+            pricer, config, store, &recovered, catalog,
+        ))
+    }
 
+    /// A durable server over a *self-describing* catalog data dir: every
+    /// relation definition comes from the journal, none from flags. A
+    /// fresh dir opens with an empty catalog (create relations over the
+    /// protocol); a legacy single-relation dir is refused with
+    /// [`PersistError::Layout`] — open it once via [`Server::open_durable`]
+    /// with its original bootstrap relation to migrate it.
+    pub fn open_durable_catalog(
+        pricer: BondPricer,
+        config: ServerConfig,
+        dir: &Path,
+    ) -> Result<Self, ServerError> {
+        let (store, recovered, meta) = Store::open(dir)?;
+        let mut catalog = Catalog::new();
+        match &meta {
+            None => {
+                if !recovered.is_fresh() {
+                    return Err(PersistError::Corrupt {
+                        path: dir.join(META_FILE).display().to_string(),
+                        detail: "metadata file missing from a non-empty data dir".to_string(),
+                    }
+                    .into());
+                }
+                store.write_meta(&Meta::V2 {
+                    pricer: pricer_fingerprint(&pricer),
+                    relations: Vec::new(),
+                })?;
+            }
+            Some(Meta::V1 { .. }) => {
+                return Err(layout(
+                    dir,
+                    "legacy single-relation data dir; open it once with its bootstrap relation \
+                     (--bonds/--seed) to migrate it to the catalog layout",
+                ));
+            }
+            Some(Meta::V2 { pricer: stored, .. }) => {
+                let ours = pricer_fingerprint(&pricer);
+                if *stored != ours {
+                    return Err(mismatch(dir, ours, *stored));
+                }
+                fold_into_catalog(&mut catalog, &recovered)?;
+                refuse_undefined_shells(&catalog, dir)?;
+                let want = catalog_meta(&pricer, &catalog);
+                if meta.as_ref() != Some(&want) {
+                    store.write_meta(&want)?;
+                }
+            }
+        }
+        Ok(Self::finish_durable(
+            pricer, config, store, &recovered, catalog,
+        ))
+    }
+
+    fn finish_durable(
+        pricer: BondPricer,
+        config: ServerConfig,
+        store: Store,
+        recovered: &Recovery,
+        catalog: Catalog,
+    ) -> Self {
         let events_at_last_snapshot = recovered.snapshot.as_ref().map_or(0, |s| s.journal_events);
-        srv.recovery = Some(RecoveryRecord {
-            snapshot_seq: recovered.snapshot_seq(),
-            replayed_events: recovered.replayed_events(),
-            truncated_bytes: recovered.truncated_bytes,
-            skipped_snapshots: recovered.skipped_snapshot_count(),
-            swept_tmp_files: recovered.swept_tmp_files,
-        });
-        srv.durability = Some(Durability {
-            warm: recovered.warm_map(),
-            store,
-            snapshot_every: config.snapshot_every.max(1),
-            events_at_last_snapshot,
-        });
-        Ok(srv)
+        Self {
+            pricer,
+            config,
+            catalog,
+            durability: Some(Durability {
+                store,
+                snapshot_every: config.snapshot_every.max(1),
+                events_at_last_snapshot,
+            }),
+            recovery: Some(RecoveryRecord {
+                snapshot_seq: recovered.snapshot_seq(),
+                replayed_events: recovered.replayed_events(),
+                truncated_bytes: recovered.truncated_bytes,
+                skipped_snapshots: recovered.skipped_snapshot_count(),
+                swept_tmp_files: recovered.swept_tmp_files,
+            }),
+            recovery_emitted: false,
+            pending_compactions: Vec::new(),
+        }
     }
 
-    /// The relation the server prices.
+    /// The relation catalog this server hosts.
     #[must_use]
-    pub fn relation(&self) -> &BondRelation {
-        &self.relation
-    }
-
-    /// The live session registry.
-    #[must_use]
-    pub fn sessions(&self) -> &SessionRegistry {
-        &self.registry
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
     /// The active configuration.
@@ -369,96 +681,10 @@ impl Server {
         &self.config
     }
 
-    /// Registers a query. Structural validation (ε positive and finite,
-    /// weight count, k range, finite constants) happens here so a malformed
-    /// subscription fails fast; the `minWidth` floor checks run per tick
-    /// against the live pool.
-    pub fn subscribe(&mut self, query: Query, priority: u32) -> Result<SessionId, ServerError> {
-        let n = self.relation.bonds().len();
-        if n == 0 {
-            return Err(ServerError::EmptyRelation);
-        }
-        match &query {
-            Query::Selection { constant, .. } | Query::Count { constant, .. } => {
-                if !constant.is_finite() {
-                    return Err(VaoError::NonFiniteConstant { value: *constant }.into());
-                }
-            }
-            Query::Sum { weights, epsilon } => {
-                PrecisionConstraint::new(*epsilon)?;
-                if weights.len() != n {
-                    return Err(VaoError::WeightCountMismatch {
-                        objects: n,
-                        weights: weights.len(),
-                    }
-                    .into());
-                }
-                for (index, &weight) in weights.iter().enumerate() {
-                    if !(weight.is_finite() && weight >= 0.0) {
-                        return Err(VaoError::InvalidWeight { index, weight }.into());
-                    }
-                }
-            }
-            Query::Ave { epsilon } | Query::Max { epsilon } | Query::Min { epsilon } => {
-                PrecisionConstraint::new(*epsilon)?;
-            }
-            Query::TopK { k, epsilon } => {
-                PrecisionConstraint::new(*epsilon)?;
-                if *k == 0 || *k > n {
-                    return Err(VaoError::EmptyInput.into());
-                }
-            }
-            Query::Median { epsilon } => {
-                PrecisionConstraint::new(*epsilon)?;
-            }
-            Query::Percentile { phi, epsilon } => {
-                PrecisionConstraint::new(*epsilon)?;
-                if !phi.is_finite() || !(0.0..=1.0).contains(phi) {
-                    return Err(VaoError::InvalidQuantile { phi: *phi }.into());
-                }
-            }
-            Query::HeavyHitters { k, epsilon } => {
-                // ε is the cell width here, but the same positivity and
-                // finiteness rules apply.
-                PrecisionConstraint::new(*epsilon)?;
-                if *k == 0 {
-                    return Err(VaoError::EmptyInput.into());
-                }
-            }
-        }
-        // Write-ahead order: the admission is journaled (and fsync'd)
-        // before the registry commits it, so a crash can lose an
-        // unacknowledged subscription but never acknowledge one it lost.
-        if let Some(d) = &mut self.durability {
-            d.store.append(&JournalEvent::Subscribe {
-                session: self.registry.next_id(),
-                priority: priority.max(1),
-                query: query.clone(),
-            })?;
-        }
-        let id = self.registry.register(query, priority);
-        self.maybe_snapshot()?;
-        Ok(id)
-    }
-
-    /// Removes a session.
-    pub fn unsubscribe(&mut self, id: SessionId) -> Result<(), ServerError> {
-        if self.registry.get(id).is_none() {
-            return Err(ServerError::UnknownSession(id.0));
-        }
-        if let Some(d) = &mut self.durability {
-            d.store
-                .append(&JournalEvent::Unsubscribe { session: id.0 })?;
-        }
-        self.registry.deregister(id);
-        self.maybe_snapshot()?;
-        Ok(())
-    }
-
-    /// The recovery report from [`Server::open_durable`], if this server
-    /// was opened durably: which snapshot seeded it, how many journal
-    /// events replayed on top, and whether a torn final record was
-    /// truncated. `None` for in-memory servers.
+    /// The recovery report from a durable open, if this server was opened
+    /// durably: which snapshot seeded it, how many journal events replayed
+    /// on top, and whether a torn final record was truncated. `None` for
+    /// in-memory servers.
     #[must_use]
     pub fn last_recovery(&self) -> Option<RecoveryRecord> {
         self.recovery
@@ -470,21 +696,194 @@ impl Server {
         self.durability.is_some()
     }
 
-    /// The answer each session received on the most recent tick (or, after
-    /// recovery, on the last journaled tick), in registration order.
-    #[must_use]
-    pub fn last_answers(&self) -> &[(SessionId, Answer)] {
-        &self.last_answers
+    fn tenant(&self, name: &str) -> Result<&Tenant, ServerError> {
+        self.catalog
+            .by_name(name)
+            .ok_or_else(|| ServerError::UnknownRelation(name.to_string()))
     }
 
-    /// Looks up a session for `RESUME`: the live session plus its most
-    /// recent answer, if it has been answered at all.
-    pub fn resume(&self, id: SessionId) -> Result<(&Session, Option<&Answer>), ServerError> {
-        let sess = self
+    fn tenant_index(&self, name: &str) -> Result<usize, ServerError> {
+        self.catalog
+            .index_of_name(name)
+            .ok_or_else(|| ServerError::UnknownRelation(name.to_string()))
+    }
+
+    fn default_tenant(&self) -> &Tenant {
+        self.catalog
+            .by_name(DEFAULT_RELATION)
+            .expect("server has no \"default\" relation")
+    }
+
+    /// Persists the current catalog metadata; no-op on in-memory servers.
+    fn rewrite_meta(&self) -> Result<(), ServerError> {
+        if let Some(d) = &self.durability {
+            d.store
+                .write_meta(&catalog_meta(&self.pricer, &self.catalog))?;
+        }
+        Ok(())
+    }
+
+    /// Creates (and, when durable, journals) a new relation. The
+    /// definition is journaled *before* the catalog commits it, and the
+    /// metadata cache is rewritten after — a crash between the two leaves
+    /// a stale cache that the next open heals from the journal.
+    pub fn create_relation(
+        &mut self,
+        name: &str,
+        relation: BondRelation,
+        seed: Option<u64>,
+    ) -> Result<RelationId, ServerError> {
+        if self.catalog.by_name(name).is_some() {
+            return Err(ServerError::RelationExists(name.to_string()));
+        }
+        let id = self.catalog.next_id();
+        if let Some(d) = &mut self.durability {
+            let def = RelationDefRecord {
+                name: name.to_string(),
+                seed,
+                bonds: relation
+                    .bonds()
+                    .iter()
+                    .map(|b| BondRecord {
+                        id: b.id,
+                        coupon: b.coupon,
+                        maturity: b.years_to_maturity,
+                        face: b.face,
+                    })
+                    .collect(),
+            };
+            d.store
+                .append(&JournalEvent::CreateRelation(Box::new(RelationRecord {
+                    relation: id.0,
+                    def,
+                })))?;
+        }
+        let created = self.catalog.create(name, relation, seed)?;
+        debug_assert_eq!(created, id);
+        self.rewrite_meta()?;
+        self.maybe_snapshot()?;
+        Ok(id)
+    }
+
+    /// Drops a relation and everything namespaced under it (sessions,
+    /// warm state, history). The relation id stays burned.
+    pub fn drop_relation(&mut self, name: &str) -> Result<RelationId, ServerError> {
+        let id = self.tenant(name)?.id();
+        if let Some(d) = &mut self.durability {
+            d.store
+                .append(&JournalEvent::DropRelation { relation: id.0 })?;
+        }
+        self.catalog.remove(id);
+        self.rewrite_meta()?;
+        self.maybe_snapshot()?;
+        Ok(id)
+    }
+
+    /// Appends one bond to a relation, assigning the next id in relation
+    /// order. Existing warm state for the relation keys to the old
+    /// cardinality and is discarded lazily by the alignment filter at the
+    /// next tick; `SUM` subscriptions whose weight vectors were sized for
+    /// the old cardinality will fail their per-tick validation until
+    /// resubscribed.
+    pub fn add_bond(
+        &mut self,
+        name: &str,
+        coupon: f64,
+        maturity: f64,
+        face: f64,
+    ) -> Result<u32, ServerError> {
+        let idx = self.tenant_index(name)?;
+        let bond_id =
+            u32::try_from(self.catalog.tenants()[idx].relation().len()).map_err(|_| {
+                ServerError::Internal {
+                    detail: "relation grew past u32 bond ids",
+                }
+            })?;
+        let bond = crate::catalog::try_bond(bond_id, coupon, maturity, face)
+            .map_err(ServerError::InvalidBond)?;
+        if let Some(d) = &mut self.durability {
+            d.store.append(&JournalEvent::AddBond {
+                relation: self.catalog.tenants()[idx].id().0,
+                bond: BondRecord {
+                    id: bond.id,
+                    coupon: bond.coupon,
+                    maturity: bond.years_to_maturity,
+                    face: bond.face,
+                },
+            })?;
+        }
+        self.catalog.tenants_mut()[idx].relation.push(bond);
+        self.rewrite_meta()?;
+        self.maybe_snapshot()?;
+        Ok(bond_id)
+    }
+
+    /// Registers a query against the named relation. Structural validation
+    /// (ε positive and finite, weight count, k range, finite constants)
+    /// happens here so a malformed subscription fails fast; the `minWidth`
+    /// floor checks run per tick against the live pool.
+    pub fn subscribe_to(
+        &mut self,
+        name: &str,
+        query: Query,
+        priority: u32,
+    ) -> Result<SessionId, ServerError> {
+        let idx = self.tenant_index(name)?;
+        let n = self.catalog.tenants()[idx].relation().len();
+        if n == 0 {
+            return Err(ServerError::EmptyRelation);
+        }
+        validate_query_structure(&query, n)?;
+        // Write-ahead order: the admission is journaled (and fsync'd)
+        // before the registry commits it, so a crash can lose an
+        // unacknowledged subscription but never acknowledge one it lost.
+        if let Some(d) = &mut self.durability {
+            let tenant = &self.catalog.tenants()[idx];
+            d.store.append(&JournalEvent::Subscribe {
+                relation: tenant.id().0,
+                session: tenant.sessions().next_id(),
+                priority: priority.max(1),
+                query: query.clone(),
+            })?;
+        }
+        let id = self.catalog.tenants_mut()[idx]
             .registry
+            .register(query, priority);
+        self.maybe_snapshot()?;
+        Ok(id)
+    }
+
+    /// Removes a session from the named relation.
+    pub fn unsubscribe_in(&mut self, name: &str, id: SessionId) -> Result<(), ServerError> {
+        let idx = self.tenant_index(name)?;
+        if self.catalog.tenants()[idx].sessions().get(id).is_none() {
+            return Err(ServerError::UnknownSession(id.0));
+        }
+        if let Some(d) = &mut self.durability {
+            d.store.append(&JournalEvent::Unsubscribe {
+                relation: self.catalog.tenants()[idx].id().0,
+                session: id.0,
+            })?;
+        }
+        self.catalog.tenants_mut()[idx].registry.deregister(id);
+        self.maybe_snapshot()?;
+        Ok(())
+    }
+
+    /// Looks up a session in the named relation for `RESUME`: the live
+    /// session plus its most recent answer, if it has been answered at
+    /// all.
+    pub fn resume_in(
+        &self,
+        name: &str,
+        id: SessionId,
+    ) -> Result<(&Session, Option<&Answer>), ServerError> {
+        let tenant = self.tenant(name)?;
+        let sess = tenant
+            .sessions()
             .get(id)
             .ok_or(ServerError::UnknownSession(id.0))?;
-        let answer = self
+        let answer = tenant
             .last_answers
             .iter()
             .find(|(aid, _)| *aid == id)
@@ -492,49 +891,71 @@ impl Server {
         Ok((sess, answer))
     }
 
-    /// Groups the answers of one tick by query shape for broadcast
-    /// fan-out (see
-    /// [`SessionRegistry::broadcast_groups`]): the front-end serializes
-    /// one payload per group instead of one per session.
-    #[must_use]
-    pub fn broadcast_groups<'a>(
+    /// Groups one relation's tick answers by query shape for broadcast
+    /// fan-out (see [`SessionRegistry::broadcast_groups`]): the front-end
+    /// serializes one payload per group instead of one per session.
+    pub fn broadcast_groups_in<'a>(
         &self,
+        name: &str,
         answers: &'a [(SessionId, Answer)],
-    ) -> Vec<crate::session::Broadcast<'a>> {
-        self.registry.broadcast_groups(answers)
+    ) -> Result<Vec<crate::session::Broadcast<'a>>, ServerError> {
+        Ok(self.tenant(name)?.sessions().broadcast_groups(answers))
     }
 
-    /// Flushes durable state for a clean shutdown: appends a snapshot
-    /// marker and writes a final snapshot covering it, so the next
-    /// [`Server::open_durable`] recovers with zero journal replay. A no-op
-    /// for in-memory servers.
-    ///
-    /// This belongs to *listener* shutdown (SIGTERM/SIGINT, end of the
-    /// serve loop) — a `QUIT` from one client is connection-scoped and
-    /// does not reach here.
-    pub fn shutdown(&mut self) -> Result<(), ServerError> {
-        if self.durability.is_some() {
-            self.write_snapshot()?;
+    /// Run-level accounting for one relation: the fold of every processed
+    /// tick's stats plus one [`QueryRunRow`] per live session.
+    pub fn summary_in(&self, name: &str) -> Result<RunSummary, ServerError> {
+        let tenant = self.tenant(name)?;
+        let rows: Vec<QueryRunRow> = tenant
+            .sessions()
+            .sessions()
+            .iter()
+            .map(|s| QueryRunRow {
+                session: s.id.0,
+                operator: s.query.operator_name(),
+                priority: s.priority,
+                finals: s.finals,
+                partials: s.partials,
+                driven_iterations: s.driven_iterations,
+            })
+            .collect();
+        Ok(RunSummary::from_ticks(&tenant.history).with_per_query(rows))
+    }
+
+    /// Queues a tick for the named relation (see [`Server::offer_tick`]).
+    pub fn offer_tick_in(&mut self, name: &str, rate: f64) -> Result<(), ServerError> {
+        let idx = self.tenant_index(name)?;
+        let tenant = &mut self.catalog.tenants_mut()[idx];
+        if tenant.queued.replace(rate).is_some() {
+            tenant.shed += 1;
         }
         Ok(())
     }
 
-    /// Processes one rate tick for every registered session.
-    pub fn tick(&mut self, rate: f64) -> Result<TickResult, ServerError> {
-        self.tick_with_observer(rate, &mut NoopObserver)
+    /// Runs the named relation's queued tick, if any.
+    pub fn run_queued_in(&mut self, name: &str) -> Option<Result<TickResult, ServerError>> {
+        let idx = self.tenant_index(name).ok()?;
+        let rate = self.catalog.tenants_mut()[idx].queued.take()?;
+        Some(self.tick_relation(name, rate))
     }
 
-    /// Like [`Server::tick`], additionally streaming scheduler trace events
-    /// (choices, iterations, budget exhaustion) to `observer` — this is how
-    /// the bench harness lands server runs in the JSONL trace.
-    pub fn tick_with_observer<O: ExecObserver>(
+    /// Processes one rate tick for every session of the named relation,
+    /// with the full configured budget (a lone tick has no co-tenants to
+    /// arbitrate against).
+    pub fn tick_relation(&mut self, name: &str, rate: f64) -> Result<TickResult, ServerError> {
+        self.tick_relation_with_observer(name, rate, &mut NoopObserver)
+    }
+
+    /// Like [`Server::tick_relation`], additionally streaming scheduler
+    /// trace events (choices, iterations, budget exhaustion) to `observer`
+    /// — this is how the bench harness lands server runs in the JSONL
+    /// trace.
+    pub fn tick_relation_with_observer<O: ExecObserver>(
         &mut self,
+        name: &str,
         rate: f64,
         observer: &mut O,
     ) -> Result<TickResult, ServerError> {
-        if self.relation.bonds().is_empty() {
-            return Err(ServerError::EmptyRelation);
-        }
         // Surface the recovery report (once) into the same trace stream the
         // tick lands in, so a JSONL trace of a recovered run shows *why*
         // its first tick starts warm.
@@ -554,202 +975,202 @@ impl Server {
                 observer.on_compaction(&c);
             }
         }
-        let start = Instant::now();
-        let mut meter = WorkMeter::new();
-
-        // A durable server that has journaled a tick at this exact rate
-        // re-admits every object at its achieved accuracy. The warm cache
-        // is a deterministic fold of the journal, so an uninterrupted
-        // server and a crashed-and-recovered one seed identical pools —
-        // which is what makes their subsequent ticks bit-identical.
-        // A prior that is not aligned with the relation (a journal record
-        // damaged in a way that still parses) is discarded wholesale, both
-        // for seeding and for the per-object accumulation below.
-        let warm_prior: Option<Vec<WarmObjectRecord>> = self
-            .durability
-            .as_ref()
-            .and_then(|d| d.warm.get(&rate.to_bits()))
-            .filter(|p| p.len() == self.relation.bonds().len())
-            .cloned();
-        let mut pool = match &warm_prior {
-            Some(objs) => {
-                let seeds = warm_seeds(objs)?;
-                SharedPool::invoke_warm(&self.pricer, &self.relation, rate, &seeds, &mut meter)
-            }
-            None => SharedPool::invoke(&self.pricer, &self.relation, rate, &mut meter),
-        };
-        self.validate_against(&pool)?;
-
-        let driven_before: Vec<u64> = self
-            .registry
-            .sessions()
-            .iter()
-            .map(|s| s.driven_iterations)
-            .collect();
-
-        let mut tick_obs = TickObserver::new();
-        let mut fan = Fanout(&mut tick_obs, observer);
-        let outcome = sched::run_tick(
-            &mut self.registry,
-            &mut pool,
-            &self.relation,
+        let idx = self.tenant_index(name)?;
+        let durable = self.durability.is_some();
+        let exec = execute_tenant_tick(
+            &self.pricer,
+            &self.config,
+            &mut self.catalog.tenants_mut()[idx],
+            rate,
             self.config.budget,
-            self.config.iteration_limit,
             self.config.workers,
-            self.config.effective_batch(),
-            self.config.batch_solver,
-            &mut meter,
-            &mut fan,
+            durable,
+            observer,
         )?;
-
-        let stats = TickStats {
-            rate,
-            work: meter.breakdown(),
-            wall: start.elapsed(),
-            iterations: meter.iterations(),
-            operator: OperatorKind::SharedPool.name(),
-            objects: tick_obs.objects(),
-            iter_histogram: tick_obs.histogram(),
-            cpu_est: tick_obs.cpu_estimation(),
-        };
-
-        if let Some(d) = &mut self.durability {
-            // End-of-tick object state, with lifetime counters accumulated
-            // across warm re-admissions at this rate.
-            let warm_now: Vec<WarmObjectRecord> = (0..pool.len())
-                .map(|i| {
-                    let b = pool.bounds(i);
-                    WarmObjectRecord {
-                        lo: b.lo(),
-                        hi: b.hi(),
-                        converged: pool.converged(i),
-                        iters: warm_prior.as_ref().map_or(0, |p| p[i].iters)
-                            + outcome.per_object_iterations[i],
-                        cost: pool.cumulative_cost(i),
-                    }
-                })
-                .collect();
-            let sessions: Vec<SessionTickRecord> = self
-                .registry
-                .sessions()
-                .iter()
-                .zip(&driven_before)
-                .zip(&outcome.answers)
-                .map(|((s, &before), (_, ans))| SessionTickRecord {
-                    session: s.id.0,
-                    is_final: ans.is_final(),
-                    driven: s.driven_iterations - before,
-                })
-                .collect();
-            let record = TickRecord {
-                tick: self.ticks + 1,
-                rate,
-                shed: self.shed,
-                budget_exhausted: outcome.budget_exhausted,
-                stats: StatsRecord::from_stats(&stats),
-                sessions,
-                answers: outcome
-                    .answers
-                    .iter()
-                    .map(|(id, a)| AnswerEntry {
-                        session: id.0,
-                        answer: answer_record(a),
-                    })
-                    .collect(),
-                warm: warm_now.clone(),
-            };
-            d.store.append(&JournalEvent::Tick(Box::new(record)))?;
-            d.warm.insert(rate.to_bits(), warm_now);
-        }
-
-        self.history.push(stats);
-        self.ticks += 1;
-        self.last_answers = outcome.answers.clone();
+        let result = self.commit_tick(idx, rate, exec)?;
         self.maybe_snapshot()?;
-        Ok(TickResult {
-            tick: self.ticks,
-            rate,
-            answers: outcome.answers,
+        Ok(result)
+    }
+
+    /// Journals (durable servers) and commits one executed tick into its
+    /// tenant. Write-ahead order: the tick record is fsync'd before the
+    /// tenant's counters move, matching the single-relation contract.
+    fn commit_tick(
+        &mut self,
+        idx: usize,
+        rate: f64,
+        exec: TickExec,
+    ) -> Result<TickResult, ServerError> {
+        let TickExec {
+            answers,
             stats,
-            budget_exhausted: outcome.budget_exhausted,
+            budget_exhausted,
+            warm_now,
+            record,
+        } = exec;
+        if let Some(d) = &mut self.durability {
+            if let Some(record) = record {
+                d.store.append(&JournalEvent::Tick(record))?;
+            }
+        }
+        let tenant = &mut self.catalog.tenants_mut()[idx];
+        if let Some(warm) = warm_now {
+            tenant.warm.insert(rate.to_bits(), warm);
+        }
+        tenant.history.push(stats);
+        tenant.ticks += 1;
+        tenant.last_answers = answers.clone();
+        Ok(TickResult {
+            relation: tenant.id,
+            tick: tenant.ticks,
+            rate,
+            answers,
+            stats,
+            budget_exhausted,
         })
     }
 
-    /// Queues a tick for [`Server::run_queued`], coalescing: when a tick is
-    /// already waiting, the stale rate is shed (only the newest matters —
-    /// the paper's continuous queries answer against the *current* market)
-    /// and the shed counter grows.
-    pub fn offer_tick(&mut self, rate: f64) {
-        if self.queued.replace(rate).is_some() {
-            self.shed += 1;
+    /// Processes one tick across several relations under **one** work
+    /// budget: [`crate::sched::arbitrate_budget`] splits
+    /// [`ServerConfig::budget`] across the listed relations in proportion
+    /// to their §5 demand weight (the sum of their sessions' priorities),
+    /// and each relation then runs an ordinary tick inside its slice.
+    ///
+    /// Independent relations are sharded across the scoped worker threads
+    /// when `workers > 1`; each shard executes with an inner worker count
+    /// of 1 while the batch size stays [`ServerConfig::effective_batch`],
+    /// so sharding never changes any relation's schedule — per-relation
+    /// results are bit-identical to the sequential path, and to N isolated
+    /// single-relation servers given the same per-relation budgets.
+    ///
+    /// Journal appends happen after execution, in the caller's tick order,
+    /// so the journal stays deterministic regardless of sharding.
+    pub fn tick_multi(&mut self, ticks: &[(&str, f64)]) -> Result<Vec<TickResult>, ServerError> {
+        // Resolve everything up front: an unknown or duplicate relation
+        // fails the whole request before any relation executes.
+        let mut indices = Vec::with_capacity(ticks.len());
+        for (name, _) in ticks {
+            let idx = self.tenant_index(name)?;
+            if indices.contains(&idx) {
+                return Err(ServerError::Internal {
+                    detail: "duplicate relation in a multi-relation tick",
+                });
+            }
+            if self.catalog.tenants()[idx].relation().is_empty() {
+                return Err(ServerError::EmptyRelation);
+            }
+            indices.push(idx);
         }
-    }
-
-    /// Runs the queued tick, if any.
-    pub fn run_queued(&mut self) -> Option<Result<TickResult, ServerError>> {
-        let rate = self.queued.take()?;
-        Some(self.tick(rate))
-    }
-
-    /// Ticks shed by coalescing so far.
-    #[must_use]
-    pub fn shed_ticks(&self) -> u64 {
-        self.shed
-    }
-
-    /// Ticks processed so far.
-    #[must_use]
-    pub fn ticks(&self) -> u64 {
-        self.ticks
-    }
-
-    /// Run-level accounting: the fold of every processed tick's stats plus
-    /// one [`QueryRunRow`] per live session.
-    #[must_use]
-    pub fn summary(&self) -> RunSummary {
-        let rows: Vec<QueryRunRow> = self
-            .registry
-            .sessions()
+        let weights: Vec<u64> = indices
             .iter()
-            .map(|s| QueryRunRow {
-                session: s.id.0,
-                operator: s.query.operator_name(),
-                priority: s.priority,
-                finals: s.finals,
-                partials: s.partials,
-                driven_iterations: s.driven_iterations,
+            .map(|&i| {
+                self.catalog.tenants()[i]
+                    .sessions()
+                    .sessions()
+                    .iter()
+                    .map(|s| u64::from(s.priority))
+                    .sum()
             })
             .collect();
-        RunSummary::from_ticks(&self.history).with_per_query(rows)
+        let budgets = sched::arbitrate_budget(self.config.budget, &weights);
+        let durable = self.durability.is_some();
+        let workers = self.config.workers.max(1);
+
+        let mut execs: Vec<Option<Result<TickExec, ServerError>>> =
+            (0..ticks.len()).map(|_| None).collect();
+        if workers <= 1 || indices.len() == 1 {
+            for (slot, &idx) in indices.iter().enumerate() {
+                execs[slot] = Some(execute_tenant_tick(
+                    &self.pricer,
+                    &self.config,
+                    &mut self.catalog.tenants_mut()[idx],
+                    ticks[slot].1,
+                    budgets[slot],
+                    workers,
+                    durable,
+                    &mut NoopObserver,
+                ));
+            }
+        } else {
+            // Shard independent relations across the scoped worker pool.
+            // Each shard executes with workers = 1, which cannot change
+            // results: the schedule is fixed by the (unchanged) batch
+            // size, and workers only decide who runs an admitted batch.
+            let mut slot_of = vec![None; self.catalog.len()];
+            for (slot, &idx) in indices.iter().enumerate() {
+                slot_of[idx] = Some(slot);
+            }
+            let pricer = &self.pricer;
+            let config = &self.config;
+            let budgets = &budgets;
+            let mut jobs: Vec<(usize, &mut Tenant, f64)> = self
+                .catalog
+                .tenants_mut()
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, t)| slot_of[i].map(|slot| (slot, t, ticks[slot].1)))
+                .collect();
+            let threads = workers.min(jobs.len()).max(1);
+            let chunk = jobs.len().div_ceil(threads);
+            // One sharded tenant tick outcome, tagged with its `ticks` slot.
+            type ShardOutcome = (usize, Result<TickExec, ServerError>);
+            let joined: Result<Vec<Vec<ShardOutcome>>, _> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                while !jobs.is_empty() {
+                    let take = chunk.min(jobs.len());
+                    let mine: Vec<_> = jobs.drain(..take).collect();
+                    handles.push(scope.spawn(move || {
+                        mine.into_iter()
+                            .map(|(slot, tenant, rate)| {
+                                let exec = execute_tenant_tick(
+                                    pricer,
+                                    config,
+                                    tenant,
+                                    rate,
+                                    budgets[slot],
+                                    1,
+                                    durable,
+                                    &mut NoopObserver,
+                                );
+                                (slot, exec)
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            let joined = joined.map_err(|_| ServerError::Internal {
+                detail: "worker thread panicked during a multi-relation tick",
+            })?;
+            for shard in joined {
+                for (slot, exec) in shard {
+                    execs[slot] = Some(exec);
+                }
+            }
+        }
+
+        // Commit in the caller's tick order: journal appends, then tenant
+        // state, one relation at a time.
+        let mut out = Vec::with_capacity(ticks.len());
+        for (slot, &idx) in indices.iter().enumerate() {
+            let exec = execs[slot].take().expect("every slot executed")?;
+            out.push(self.commit_tick(idx, ticks[slot].1, exec)?);
+        }
+        self.maybe_snapshot()?;
+        Ok(out)
     }
 
-    /// Per-tick ε floor checks against the live pool (footnote 10: ε below
-    /// the achievable `minWidth` floor is an error, not a hang).
-    fn validate_against(&self, pool: &SharedPool) -> Result<(), ServerError> {
-        for sess in self.registry.sessions() {
-            match &sess.query {
-                Query::Selection { .. } | Query::Count { .. } => {}
-                Query::Sum { weights, epsilon } => {
-                    PrecisionConstraint::new(*epsilon)?
-                        .validate_weighted(pool.objects(), weights)?;
-                }
-                Query::Ave { epsilon } => {
-                    let uniform = vec![1.0 / pool.len() as f64; pool.len()];
-                    PrecisionConstraint::new(*epsilon)?
-                        .validate_weighted(pool.objects(), &uniform)?;
-                }
-                Query::Max { epsilon }
-                | Query::Min { epsilon }
-                | Query::TopK { epsilon, .. }
-                | Query::Median { epsilon }
-                | Query::Percentile { epsilon, .. } => {
-                    PrecisionConstraint::new(*epsilon)?.validate_single_object(pool.objects())?;
-                }
-                // HEAVYHITTERS' ε is a cell width, not an output precision:
-                // objects converge at the minWidth floor and resolve to
-                // their midpoint cell, so no floor check applies.
-                Query::HeavyHitters { .. } => {}
-            }
+    /// Flushes durable state for a clean shutdown: appends a snapshot
+    /// marker and writes a final snapshot covering it, so the next durable
+    /// open recovers with zero journal replay. A no-op for in-memory
+    /// servers.
+    ///
+    /// This belongs to *listener* shutdown (SIGTERM/SIGINT, end of the
+    /// serve loop) — a `QUIT` from one client is connection-scoped and
+    /// does not reach here.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        if self.durability.is_some() {
+            self.write_snapshot()?;
         }
         Ok(())
     }
@@ -768,7 +1189,9 @@ impl Server {
     }
 
     /// Appends a snapshot marker, then writes a snapshot covering it (so
-    /// recovery from this snapshot replays nothing).
+    /// recovery from this snapshot replays nothing). The snapshot embeds
+    /// every relation's definition, so a snapshot-seeded recovery is as
+    /// self-describing as a journal fold.
     fn write_snapshot(&mut self) -> Result<(), ServerError> {
         let seq = match &self.durability {
             Some(d) => d.store.next_snapshot_seq(),
@@ -785,37 +1208,47 @@ impl Server {
                 // Coverage ends exactly where the journal does right now
                 // (the marker just appended is the last covered byte).
                 coverage: Some(d.store.journal_position()),
-                next_session_id: self.registry.next_id(),
-                ticks: self.ticks,
-                shed: self.shed,
-                sessions: self
-                    .registry
-                    .sessions()
+                next_relation_id: self.catalog.next_id().0,
+                relations: self
+                    .catalog
+                    .tenants()
                     .iter()
-                    .map(|s| SessionSnapshot {
-                        session: s.id.0,
-                        priority: s.priority,
-                        finals: s.finals,
-                        partials: s.partials,
-                        driven: s.driven_iterations,
-                        query: s.query.clone(),
-                    })
-                    .collect(),
-                history: self.history.iter().map(StatsRecord::from_stats).collect(),
-                warm: d
-                    .warm
-                    .iter()
-                    .map(|(&bits, objects)| WarmRateRecord {
-                        rate: f64::from_bits(bits),
-                        objects: objects.clone(),
-                    })
-                    .collect(),
-                answers: self
-                    .last_answers
-                    .iter()
-                    .map(|(id, a)| AnswerEntry {
-                        session: id.0,
-                        answer: answer_record(a),
+                    .map(|t| RelationSnapshot {
+                        relation: t.id().0,
+                        def: t.is_defined().then(|| t.def_record()),
+                        next_session_id: t.sessions().next_id(),
+                        ticks: t.ticks,
+                        shed: t.shed,
+                        sessions: t
+                            .sessions()
+                            .sessions()
+                            .iter()
+                            .map(|s| SessionSnapshot {
+                                session: s.id.0,
+                                priority: s.priority,
+                                finals: s.finals,
+                                partials: s.partials,
+                                driven: s.driven_iterations,
+                                query: s.query.clone(),
+                            })
+                            .collect(),
+                        history: t.history.iter().map(StatsRecord::from_stats).collect(),
+                        warm: t
+                            .warm
+                            .iter()
+                            .map(|(&bits, objects)| WarmRateRecord {
+                                rate: f64::from_bits(bits),
+                                objects: objects.clone(),
+                            })
+                            .collect(),
+                        answers: t
+                            .last_answers
+                            .iter()
+                            .map(|(id, a)| AnswerEntry {
+                                session: id.0,
+                                answer: answer_record(a),
+                            })
+                            .collect(),
                     })
                     .collect(),
             }
@@ -833,6 +1266,376 @@ impl Server {
         }
         Ok(())
     }
+
+    // --- single-relation compatibility surface -------------------------
+    //
+    // Every method below resolves the relation named "default", which the
+    // single-relation construction paths always create. They keep PR-1..8
+    // callers (bench harness, experiments, tests) source-compatible and
+    // bit-identical.
+
+    /// The default relation the server prices.
+    ///
+    /// # Panics
+    /// When the server hosts no relation named `"default"` (catalog-only
+    /// servers); use [`Server::catalog`] there.
+    #[must_use]
+    pub fn relation(&self) -> &BondRelation {
+        self.default_tenant().relation()
+    }
+
+    /// The default relation's live session registry (panics like
+    /// [`Server::relation`] on catalog-only servers).
+    #[must_use]
+    pub fn sessions(&self) -> &SessionRegistry {
+        self.default_tenant().sessions()
+    }
+
+    /// Registers a query against the default relation.
+    pub fn subscribe(&mut self, query: Query, priority: u32) -> Result<SessionId, ServerError> {
+        self.subscribe_to(DEFAULT_RELATION, query, priority)
+    }
+
+    /// Removes a session from the default relation.
+    pub fn unsubscribe(&mut self, id: SessionId) -> Result<(), ServerError> {
+        self.unsubscribe_in(DEFAULT_RELATION, id)
+    }
+
+    /// Looks up a session in the default relation for `RESUME`.
+    pub fn resume(&self, id: SessionId) -> Result<(&Session, Option<&Answer>), ServerError> {
+        self.resume_in(DEFAULT_RELATION, id)
+    }
+
+    /// The answer each default-relation session received on the most
+    /// recent tick (or, after recovery, on the last journaled tick), in
+    /// registration order.
+    #[must_use]
+    pub fn last_answers(&self) -> &[(SessionId, Answer)] {
+        &self.default_tenant().last_answers
+    }
+
+    /// Groups the default relation's tick answers by query shape for
+    /// broadcast fan-out.
+    #[must_use]
+    pub fn broadcast_groups<'a>(
+        &self,
+        answers: &'a [(SessionId, Answer)],
+    ) -> Vec<crate::session::Broadcast<'a>> {
+        self.default_tenant().sessions().broadcast_groups(answers)
+    }
+
+    /// Processes one rate tick for the default relation.
+    pub fn tick(&mut self, rate: f64) -> Result<TickResult, ServerError> {
+        self.tick_relation(DEFAULT_RELATION, rate)
+    }
+
+    /// Like [`Server::tick`], streaming scheduler trace events to
+    /// `observer`.
+    pub fn tick_with_observer<O: ExecObserver>(
+        &mut self,
+        rate: f64,
+        observer: &mut O,
+    ) -> Result<TickResult, ServerError> {
+        self.tick_relation_with_observer(DEFAULT_RELATION, rate, observer)
+    }
+
+    /// Queues a tick for the default relation, coalescing: when a tick is
+    /// already waiting, the stale rate is shed (only the newest matters —
+    /// the paper's continuous queries answer against the *current* market)
+    /// and the shed counter grows.
+    pub fn offer_tick(&mut self, rate: f64) {
+        self.offer_tick_in(DEFAULT_RELATION, rate)
+            .expect("server has no \"default\" relation");
+    }
+
+    /// Runs the default relation's queued tick, if any.
+    pub fn run_queued(&mut self) -> Option<Result<TickResult, ServerError>> {
+        self.run_queued_in(DEFAULT_RELATION)
+    }
+
+    /// Ticks shed by coalescing on the default relation so far.
+    #[must_use]
+    pub fn shed_ticks(&self) -> u64 {
+        self.default_tenant().shed()
+    }
+
+    /// Ticks the default relation has processed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.default_tenant().ticks()
+    }
+
+    /// Run-level accounting for the default relation.
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        self.summary_in(DEFAULT_RELATION)
+            .expect("server has no \"default\" relation")
+    }
+}
+
+/// Bootstraps a fresh catalog dir around one `"default"` relation. The
+/// initial empty-catalog metadata (when requested) types the dir *before*
+/// the first journal byte; the definition is then journaled and the
+/// metadata rewritten with its binding. Every crash window in between
+/// reopens cleanly: empty-meta + empty journal resumes here, journaled
+/// definition + stale meta heals at the next open.
+fn bootstrap_default(
+    store: &mut Store,
+    catalog: &mut Catalog,
+    pricer: &BondPricer,
+    relation: BondRelation,
+    write_initial_meta: bool,
+) -> Result<(), ServerError> {
+    if write_initial_meta {
+        store.write_meta(&Meta::V2 {
+            pricer: pricer_fingerprint(pricer),
+            relations: Vec::new(),
+        })?;
+    }
+    let def = bootstrap_def(&relation);
+    store.append(&JournalEvent::CreateRelation(Box::new(RelationRecord {
+        relation: catalog.next_id().0,
+        def,
+    })))?;
+    catalog.create(DEFAULT_RELATION, relation, None)?;
+    store.write_meta(&catalog_meta(pricer, catalog))?;
+    Ok(())
+}
+
+/// Everything [`execute_tenant_tick`] produced, before the commit:
+/// answers and stats for the caller, plus (durable servers) the journal
+/// record and end-of-tick warm state. Committing — journal append, then
+/// tenant counters — is the caller's job, preserving write-ahead order
+/// across both the single- and multi-relation tick paths.
+struct TickExec {
+    answers: Vec<(SessionId, Answer)>,
+    stats: TickStats,
+    budget_exhausted: bool,
+    warm_now: Option<Vec<WarmObjectRecord>>,
+    record: Option<Box<TickRecord>>,
+}
+
+/// Executes one relation's tick: pool invocation (warm-seeded when the
+/// tenant has journaled this rate), floor validation, the budgeted
+/// scheduler, and stats/record assembly. Mutates only `tenant` — never
+/// the journal or another relation — so independent tenants can execute
+/// on separate threads.
+#[allow(clippy::too_many_arguments)] // two call sites; the knobs are the API
+fn execute_tenant_tick<O: ExecObserver>(
+    pricer: &BondPricer,
+    config: &ServerConfig,
+    tenant: &mut Tenant,
+    rate: f64,
+    budget: Option<Work>,
+    workers: usize,
+    durable: bool,
+    observer: &mut O,
+) -> Result<TickExec, ServerError> {
+    if tenant.relation.bonds().is_empty() {
+        return Err(ServerError::EmptyRelation);
+    }
+    let start = Instant::now();
+    let mut meter = WorkMeter::new();
+
+    // A durable server that has journaled a tick at this exact rate
+    // re-admits every object at its achieved accuracy. The warm cache
+    // is a deterministic fold of the journal, so an uninterrupted
+    // server and a crashed-and-recovered one seed identical pools —
+    // which is what makes their subsequent ticks bit-identical.
+    // A prior that is not aligned with the relation (a journal record
+    // damaged in a way that still parses) is discarded wholesale, both
+    // for seeding and for the per-object accumulation below.
+    let warm_prior: Option<Vec<WarmObjectRecord>> = if durable {
+        tenant
+            .warm
+            .get(&rate.to_bits())
+            .filter(|p| p.len() == tenant.relation.bonds().len())
+            .cloned()
+    } else {
+        None
+    };
+    let mut pool = match &warm_prior {
+        Some(objs) => {
+            let seeds = warm_seeds(objs)?;
+            SharedPool::invoke_warm(pricer, &tenant.relation, rate, &seeds, &mut meter)
+        }
+        None => SharedPool::invoke(pricer, &tenant.relation, rate, &mut meter),
+    };
+    validate_floor(&tenant.registry, &pool)?;
+
+    let driven_before: Vec<u64> = tenant
+        .registry
+        .sessions()
+        .iter()
+        .map(|s| s.driven_iterations)
+        .collect();
+
+    let mut tick_obs = TickObserver::new();
+    let mut fan = Fanout(&mut tick_obs, observer);
+    let outcome = sched::run_tick(
+        &mut tenant.registry,
+        &mut pool,
+        &tenant.relation,
+        budget,
+        config.iteration_limit,
+        workers,
+        config.effective_batch(),
+        config.batch_solver,
+        &mut meter,
+        &mut fan,
+    )?;
+
+    let stats = TickStats {
+        rate,
+        work: meter.breakdown(),
+        wall: start.elapsed(),
+        iterations: meter.iterations(),
+        operator: OperatorKind::SharedPool.name(),
+        objects: tick_obs.objects(),
+        iter_histogram: tick_obs.histogram(),
+        cpu_est: tick_obs.cpu_estimation(),
+    };
+
+    let (warm_now, record) = if durable {
+        // End-of-tick object state, with lifetime counters accumulated
+        // across warm re-admissions at this rate.
+        let warm_now: Vec<WarmObjectRecord> = (0..pool.len())
+            .map(|i| {
+                let b = pool.bounds(i);
+                WarmObjectRecord {
+                    lo: b.lo(),
+                    hi: b.hi(),
+                    converged: pool.converged(i),
+                    iters: warm_prior.as_ref().map_or(0, |p| p[i].iters)
+                        + outcome.per_object_iterations[i],
+                    cost: pool.cumulative_cost(i),
+                }
+            })
+            .collect();
+        let sessions: Vec<SessionTickRecord> = tenant
+            .registry
+            .sessions()
+            .iter()
+            .zip(&driven_before)
+            .zip(&outcome.answers)
+            .map(|((s, &before), (_, ans))| SessionTickRecord {
+                session: s.id.0,
+                is_final: ans.is_final(),
+                driven: s.driven_iterations - before,
+            })
+            .collect();
+        let record = TickRecord {
+            relation: tenant.id.0,
+            tick: tenant.ticks + 1,
+            rate,
+            shed: tenant.shed,
+            budget_exhausted: outcome.budget_exhausted,
+            stats: StatsRecord::from_stats(&stats),
+            sessions,
+            answers: outcome
+                .answers
+                .iter()
+                .map(|(id, a)| AnswerEntry {
+                    session: id.0,
+                    answer: answer_record(a),
+                })
+                .collect(),
+            warm: warm_now.clone(),
+        };
+        (Some(warm_now), Some(Box::new(record)))
+    } else {
+        (None, None)
+    };
+
+    Ok(TickExec {
+        answers: outcome.answers,
+        stats,
+        budget_exhausted: outcome.budget_exhausted,
+        warm_now,
+        record,
+    })
+}
+
+/// Structural subscription validation against a relation of `n` bonds.
+fn validate_query_structure(query: &Query, n: usize) -> Result<(), ServerError> {
+    match query {
+        Query::Selection { constant, .. } | Query::Count { constant, .. } => {
+            if !constant.is_finite() {
+                return Err(VaoError::NonFiniteConstant { value: *constant }.into());
+            }
+        }
+        Query::Sum { weights, epsilon } => {
+            PrecisionConstraint::new(*epsilon)?;
+            if weights.len() != n {
+                return Err(VaoError::WeightCountMismatch {
+                    objects: n,
+                    weights: weights.len(),
+                }
+                .into());
+            }
+            for (index, &weight) in weights.iter().enumerate() {
+                if !(weight.is_finite() && weight >= 0.0) {
+                    return Err(VaoError::InvalidWeight { index, weight }.into());
+                }
+            }
+        }
+        Query::Ave { epsilon } | Query::Max { epsilon } | Query::Min { epsilon } => {
+            PrecisionConstraint::new(*epsilon)?;
+        }
+        Query::TopK { k, epsilon } => {
+            PrecisionConstraint::new(*epsilon)?;
+            if *k == 0 || *k > n {
+                return Err(VaoError::EmptyInput.into());
+            }
+        }
+        Query::Median { epsilon } => {
+            PrecisionConstraint::new(*epsilon)?;
+        }
+        Query::Percentile { phi, epsilon } => {
+            PrecisionConstraint::new(*epsilon)?;
+            if !phi.is_finite() || !(0.0..=1.0).contains(phi) {
+                return Err(VaoError::InvalidQuantile { phi: *phi }.into());
+            }
+        }
+        Query::HeavyHitters { k, epsilon } => {
+            // ε is the cell width here, but the same positivity and
+            // finiteness rules apply.
+            PrecisionConstraint::new(*epsilon)?;
+            if *k == 0 {
+                return Err(VaoError::EmptyInput.into());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-tick ε floor checks against the live pool (footnote 10: ε below
+/// the achievable `minWidth` floor is an error, not a hang).
+fn validate_floor(registry: &SessionRegistry, pool: &SharedPool) -> Result<(), ServerError> {
+    for sess in registry.sessions() {
+        match &sess.query {
+            Query::Selection { .. } | Query::Count { .. } => {}
+            Query::Sum { weights, epsilon } => {
+                PrecisionConstraint::new(*epsilon)?.validate_weighted(pool.objects(), weights)?;
+            }
+            Query::Ave { epsilon } => {
+                let uniform = vec![1.0 / pool.len() as f64; pool.len()];
+                PrecisionConstraint::new(*epsilon)?.validate_weighted(pool.objects(), &uniform)?;
+            }
+            Query::Max { epsilon }
+            | Query::Min { epsilon }
+            | Query::TopK { epsilon, .. }
+            | Query::Median { epsilon }
+            | Query::Percentile { epsilon, .. } => {
+                PrecisionConstraint::new(*epsilon)?.validate_single_object(pool.objects())?;
+            }
+            // HEAVYHITTERS' ε is a cell width, not an output precision:
+            // objects converge at the minWidth floor and resolve to
+            // their midpoint cell, so no floor check applies.
+            Query::HeavyHitters { .. } => {}
+        }
+    }
+    Ok(())
 }
 
 /// Converts a delivered [`Answer`] into its persisted form.
@@ -874,7 +1677,6 @@ fn warm_seeds(objs: &[WarmObjectRecord]) -> Result<Vec<WarmStart>, ServerError> 
         })
         .collect()
 }
-
 /// Fans trace events out to the server's internal [`TickObserver`] and the
 /// caller's observer in one pass.
 struct Fanout<'a, A: ExecObserver, B: ExecObserver>(&'a mut A, &'a mut B);
@@ -972,6 +1774,10 @@ mod tests {
         BondRelation::from_universe(&BondUniverse::generate(8, 42))
     }
 
+    fn relation_of(count: usize, seed: u64) -> BondRelation {
+        BondRelation::from_universe(&BondUniverse::generate(count, seed))
+    }
+
     /// A unique scratch dir per call; removed by the caller where it
     /// matters, otherwise left to the OS temp cleaner.
     fn scratch_dir(tag: &str) -> std::path::PathBuf {
@@ -1034,6 +1840,7 @@ mod tests {
         let rate = RateSeries::january_1994().opening_rate();
         let res = srv.tick(rate).unwrap();
         assert_eq!(res.tick, 1);
+        assert_eq!(res.relation, RelationId(1));
         assert_eq!(res.answers.len(), 2);
         assert!(!res.budget_exhausted);
         assert_eq!(res.stats.operator, "shared_pool");
@@ -1101,6 +1908,216 @@ mod tests {
     }
 
     #[test]
+    fn unknown_relation_is_a_typed_error() {
+        let mut srv = small_server(ServerConfig::default());
+        assert!(matches!(
+            srv.subscribe_to("energy", Query::Max { epsilon: 0.5 }, 1),
+            Err(ServerError::UnknownRelation(name)) if name == "energy"
+        ));
+        assert!(matches!(
+            srv.tick_relation("energy", 0.0583),
+            Err(ServerError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            srv.tick_multi(&[("default", 0.0583), ("energy", 0.0583)]),
+            Err(ServerError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            srv.resume_in("energy", SessionId(1)),
+            Err(ServerError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            srv.drop_relation("energy"),
+            Err(ServerError::UnknownRelation(_))
+        ));
+        // A dropped relation is indistinguishable from one never created.
+        srv.create_relation("energy", relation_of(4, 7), None)
+            .unwrap();
+        srv.subscribe_to("energy", Query::Max { epsilon: 0.5 }, 1)
+            .unwrap();
+        srv.drop_relation("energy").unwrap();
+        assert!(matches!(
+            srv.subscribe_to("energy", Query::Max { epsilon: 0.5 }, 1),
+            Err(ServerError::UnknownRelation(_))
+        ));
+        // Its id stays burned: re-creating the name issues a fresh id.
+        let fresh = srv
+            .create_relation("energy", relation_of(4, 7), None)
+            .unwrap();
+        assert_eq!(fresh, RelationId(3));
+        // Duplicate names are refused, and malformed bonds never panic.
+        assert!(matches!(
+            srv.create_relation("energy", relation_of(4, 7), None),
+            Err(ServerError::RelationExists(_))
+        ));
+        assert!(matches!(
+            srv.add_bond("energy", 1.5, 10.0, 100.0),
+            Err(ServerError::InvalidBond(_))
+        ));
+    }
+
+    #[test]
+    fn co_hosted_relations_match_isolated_servers() {
+        // One host serving two relations under a single arbitrated budget
+        // must produce, per relation, exactly the bytes an isolated
+        // single-relation server produces when given that relation's slice.
+        let rate = RateSeries::january_1994().opening_rate();
+        let total: Work = 60_000;
+        let specs = [
+            (DEFAULT_RELATION, 8_usize, 42_u64, 3_u32),
+            ("energy", 6, 7, 1),
+        ];
+
+        let mut host = Server::new(
+            BondPricer::default(),
+            relation_of(specs[0].1, specs[0].2),
+            ServerConfig::budgeted(total),
+        );
+        host.create_relation("energy", relation_of(specs[1].1, specs[1].2), None)
+            .unwrap();
+        for (name, count, _, prio) in &specs {
+            host.subscribe_to(name, Query::Max { epsilon: 0.1 }, *prio)
+                .unwrap();
+            host.subscribe_to(
+                name,
+                Query::Sum {
+                    weights: vec![1.0; *count],
+                    epsilon: 0.1,
+                },
+                *prio,
+            )
+            .unwrap();
+        }
+        let results = host
+            .tick_multi(&[(specs[0].0, rate), (specs[1].0, rate)])
+            .unwrap();
+
+        let weights: Vec<u64> = specs.iter().map(|s| u64::from(s.3) * 2).collect();
+        let slices = sched::arbitrate_budget(Some(total), &weights);
+        for (i, (name, count, seed, prio)) in specs.iter().enumerate() {
+            let mut iso = Server::new(
+                BondPricer::default(),
+                relation_of(*count, *seed),
+                ServerConfig::budgeted(slices[i].unwrap()),
+            );
+            iso.subscribe(Query::Max { epsilon: 0.1 }, *prio).unwrap();
+            iso.subscribe(
+                Query::Sum {
+                    weights: vec![1.0; *count],
+                    epsilon: 0.1,
+                },
+                *prio,
+            )
+            .unwrap();
+            let alone = iso.tick(rate).unwrap();
+            assert_eq!(
+                results[i].answers, alone.answers,
+                "co-hosted answers for {name} diverged from an isolated server"
+            );
+            assert_eq!(results[i].stats.work, alone.stats.work);
+            assert_eq!(results[i].stats.iterations, alone.stats.iterations);
+            assert_eq!(results[i].budget_exhausted, alone.budget_exhausted);
+        }
+    }
+
+    #[test]
+    fn sharded_multi_tick_is_bit_identical_to_sequential() {
+        // Worker threads shard relations but must never change results:
+        // the batch size (which *does* shape the schedule) is pinned, so
+        // the sequential (workers = 1) and sharded (workers = 4) hosts
+        // must agree bit for bit.
+        let rate = RateSeries::january_1994().opening_rate();
+        let build = |workers: usize| {
+            let config = ServerConfig {
+                budget: Some(40_000),
+                batch: Some(2),
+                workers,
+                ..ServerConfig::default()
+            };
+            let mut srv = Server::new(BondPricer::default(), relation_of(8, 42), config);
+            for (name, count, seed) in [("energy", 6_usize, 7_u64), ("fx", 5, 9)] {
+                srv.create_relation(name, relation_of(count, seed), None)
+                    .unwrap();
+            }
+            for (name, count) in [(DEFAULT_RELATION, 8_usize), ("energy", 6), ("fx", 5)] {
+                srv.subscribe_to(name, Query::Max { epsilon: 0.1 }, 2)
+                    .unwrap();
+                srv.subscribe_to(
+                    name,
+                    Query::Sum {
+                        weights: vec![1.0; count],
+                        epsilon: 0.1,
+                    },
+                    1,
+                )
+                .unwrap();
+            }
+            srv
+        };
+        let ticks = [(DEFAULT_RELATION, rate), ("energy", rate), ("fx", rate)];
+        let mut seq = build(1);
+        let mut shard = build(4);
+        for _ in 0..3 {
+            let a = seq.tick_multi(&ticks).unwrap();
+            let b = shard.tick_multi(&ticks).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.relation, y.relation);
+                assert_eq!(x.answers, y.answers, "sharding changed answers");
+                assert_eq!(x.stats.work, y.stats.work, "sharding changed work");
+                assert_eq!(x.stats.iterations, y.stats.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn thirty_two_relations_match_isolated_servers() {
+        // Acceptance floor: ≥ 32 co-hosted relations, each bit-identical
+        // to its own isolated server. Unbudgeted (every relation runs to
+        // convergence) with a pinned batch so worker sharding is exercised
+        // without perturbing any schedule.
+        let rate = RateSeries::january_1994().opening_rate();
+        let host_config = ServerConfig {
+            batch: Some(1),
+            workers: 4,
+            ..ServerConfig::default()
+        };
+        let mut host = Server::new(BondPricer::default(), relation_of(4, 1), host_config);
+        let mut names: Vec<String> = vec![DEFAULT_RELATION.to_string()];
+        for i in 2..=32_u64 {
+            let name = format!("rel{i}");
+            host.create_relation(&name, relation_of(4, i), None)
+                .unwrap();
+            names.push(name);
+        }
+        for (i, name) in names.iter().enumerate() {
+            host.subscribe_to(name, Query::Max { epsilon: 0.05 }, 1 + (i as u32 % 3))
+                .unwrap();
+        }
+        let ticks: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), rate)).collect();
+        let results = host.tick_multi(&ticks).unwrap();
+        assert_eq!(host.catalog().len(), 32);
+        for (i, name) in names.iter().enumerate() {
+            let iso_config = ServerConfig {
+                batch: Some(1),
+                ..ServerConfig::default()
+            };
+            let mut iso = Server::new(
+                BondPricer::default(),
+                relation_of(4, (i as u64) + 1),
+                iso_config,
+            );
+            iso.subscribe(Query::Max { epsilon: 0.05 }, 1 + (i as u32 % 3))
+                .unwrap();
+            let alone = iso.tick(rate).unwrap();
+            assert_eq!(
+                results[i].answers, alone.answers,
+                "relation {name} diverged from its isolated server"
+            );
+            assert_eq!(results[i].stats.work, alone.stats.work);
+        }
+    }
+
+    #[test]
     fn durable_server_round_trips_through_clean_shutdown() {
         let dir = scratch_dir("clean");
         let rate = RateSeries::january_1994().opening_rate();
@@ -1148,6 +2165,148 @@ mod tests {
             warm.answers[0].1, first.answers[0].1,
             "warm re-admission reproduces the answer"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_catalog_round_trips_through_a_crash() {
+        // A catalog dir is fully self-describing: relations created over
+        // the control plane come back after an unclean stop (no shutdown,
+        // no snapshot) with their definitions, sessions, per-relation tick
+        // counters, and last answers intact — and with no bootstrap
+        // relation or flags supplied at reopen.
+        let dir = scratch_dir("catalog");
+        let rate = RateSeries::january_1994().opening_rate();
+        let pricer = BondPricer::default();
+        let (id_a, id_b, first) = {
+            let mut srv =
+                Server::open_durable_catalog(pricer, ServerConfig::default(), &dir).unwrap();
+            assert!(srv.catalog().is_empty(), "fresh catalog dir starts empty");
+            srv.create_relation("rates", relation_of(8, 42), None)
+                .unwrap();
+            srv.create_relation("energy", relation_of(6, 7), None)
+                .unwrap();
+            srv.create_relation("doomed", relation_of(4, 9), None)
+                .unwrap();
+            let id_a = srv
+                .subscribe_to("rates", Query::Max { epsilon: 0.5 }, 2)
+                .unwrap();
+            let id_b = srv
+                .subscribe_to("energy", Query::Min { epsilon: 0.5 }, 1)
+                .unwrap();
+            // Session id spaces are per relation, exactly like isolated
+            // servers: both tenants issue id 1.
+            assert_eq!(id_a, id_b);
+            srv.add_bond("energy", 0.05, 10.0, 100.0).unwrap();
+            srv.drop_relation("doomed").unwrap();
+            let first = srv
+                .tick_multi(&[("rates", rate), ("energy", rate)])
+                .unwrap();
+            (id_a, id_b, first)
+            // Dropped without shutdown(): recovery folds the journal.
+        };
+
+        let mut srv = Server::open_durable_catalog(pricer, ServerConfig::default(), &dir).unwrap();
+        assert_eq!(srv.catalog().len(), 2);
+        assert!(srv.catalog().by_name("doomed").is_none());
+        let energy = srv.catalog().by_name("energy").unwrap();
+        assert_eq!(energy.relation().len(), 7, "ADD BOND survived recovery");
+        let (sess, ans) = srv.resume_in("rates", id_a).unwrap();
+        assert_eq!(sess.priority, 2);
+        assert_eq!(ans.unwrap(), &first[0].answers[0].1);
+        let (_, ans_b) = srv.resume_in("energy", id_b).unwrap();
+        assert_eq!(ans_b.unwrap(), &first[1].answers[0].1);
+        // A repeat tick on the unmodified relation is warm and
+        // bit-identical; the grown relation's warm state no longer aligns
+        // and falls back to a cold tick without error.
+        let again = srv
+            .tick_multi(&[("rates", rate), ("energy", rate)])
+            .unwrap();
+        assert_eq!(again[0].answers[0].1, first[0].answers[0].1);
+        assert_eq!(again[0].tick, 2);
+        assert!(again[1].answers[0].1.is_final());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_and_mismatched_layouts_are_refused() {
+        // open_durable_catalog refuses a legacy (V1) dir outright.
+        let dir = scratch_dir("v1-refused");
+        let relation = small_relation();
+        let pricer = BondPricer::default();
+        {
+            let fp = durability_fingerprint(&pricer, &relation);
+            let (store, _, _) = va_persist::Store::open(&dir).unwrap();
+            store.write_meta(&Meta::V1 { fingerprint: fp }).unwrap();
+        }
+        match Server::open_durable_catalog(pricer, ServerConfig::default(), &dir) {
+            Err(ServerError::Persist { detail }) => {
+                assert!(detail.contains("ambiguous data dir layout"), "{detail}");
+            }
+            other => panic!("expected Layout refusal, got {other:?}"),
+        }
+        // A V1 dir whose journal already carries catalog-generation events
+        // is a mixed generation: refused by both open paths.
+        {
+            let (mut store, _, _) = va_persist::Store::open(&dir).unwrap();
+            store
+                .append(&JournalEvent::DropRelation { relation: 2 })
+                .unwrap();
+        }
+        match Server::open_durable(pricer, relation.clone(), ServerConfig::default(), &dir) {
+            Err(ServerError::Persist { detail }) => {
+                assert!(detail.contains("ambiguous data dir layout"), "{detail}");
+            }
+            other => panic!("expected Layout refusal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // And a catalog dir with no "default" relation cannot be opened
+        // through the single-relation bootstrap path.
+        let dir2 = scratch_dir("no-default");
+        {
+            let mut srv =
+                Server::open_durable_catalog(pricer, ServerConfig::default(), &dir2).unwrap();
+            srv.create_relation("energy", relation_of(4, 7), None)
+                .unwrap();
+        }
+        match Server::open_durable(pricer, relation, ServerConfig::default(), &dir2) {
+            Err(ServerError::Persist { detail }) => {
+                assert!(detail.contains("no \"default\" relation"), "{detail}");
+            }
+            other => panic!("expected Layout refusal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn legacy_dir_migrates_to_the_catalog_layout() {
+        // A PR-4/5 data dir (V1 meta, bare journal) opens through
+        // open_durable exactly once with its original flags, after which
+        // the dir is self-describing: open_durable_catalog works with no
+        // bootstrap relation at all.
+        let dir = scratch_dir("migrate");
+        let relation = small_relation();
+        let pricer = BondPricer::default();
+        let rate = RateSeries::january_1994().opening_rate();
+        {
+            let fp = durability_fingerprint(&pricer, &relation);
+            let (store, _, _) = va_persist::Store::open(&dir).unwrap();
+            store.write_meta(&Meta::V1 { fingerprint: fp }).unwrap();
+        }
+        let first = {
+            let mut srv =
+                Server::open_durable(pricer, relation.clone(), ServerConfig::default(), &dir)
+                    .unwrap();
+            let t = srv.catalog().by_name(DEFAULT_RELATION).unwrap();
+            assert_eq!(t.id(), RelationId(1));
+            srv.subscribe(Query::Max { epsilon: 0.5 }, 1).unwrap();
+            srv.tick(rate).unwrap()
+        };
+        let mut srv = Server::open_durable_catalog(pricer, ServerConfig::default(), &dir).unwrap();
+        assert_eq!(srv.ticks(), 1);
+        let again = srv.tick(rate).unwrap();
+        assert_eq!(again.answers, first.answers, "migrated dir stays warm");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1240,9 +2399,11 @@ mod tests {
         let rate = RateSeries::january_1994().opening_rate();
         {
             let fp = durability_fingerprint(&pricer, &relation);
-            let (mut store, _) = va_persist::Store::open(&dir, fp).unwrap();
+            let (mut store, _, _) = va_persist::Store::open(&dir).unwrap();
+            store.write_meta(&Meta::V1 { fingerprint: fp }).unwrap();
             store
                 .append(&JournalEvent::Tick(Box::new(TickRecord {
+                    relation: 1,
                     tick: 1,
                     rate,
                     shed: 0,

@@ -115,9 +115,13 @@ impl Golden {
         let lines = res
             .answers
             .iter()
-            .map(|(id, a)| (*id, proto::result(res.tick, res.rate, *id, a)))
+            .map(|(id, a)| {
+                let line = proto::result(va_server::DEFAULT_RELATION, res.tick, res.rate, *id, a);
+                (*id, line)
+            })
             .collect();
-        (lines, proto::tick_done(&res, self.server.shed_ticks()))
+        let done = proto::tick_done(va_server::DEFAULT_RELATION, &res, self.server.shed_ticks());
+        (lines, done)
     }
 }
 

@@ -20,8 +20,10 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use va_server::json::Json;
-use va_server::proto::{self, Request, WireQuery};
-use va_server::{Answer, Server, ServerConfig, Session, SessionId, TickResult};
+use va_server::proto::{self, RelationSpec, Request, WireBond, WireQuery};
+use va_server::{
+    Answer, RelationId, Server, ServerConfig, Session, SessionId, TickResult, DEFAULT_RELATION,
+};
 use va_stream::{BondRelation, IterHistogram, Query, QueryOutput, TickStats};
 use vao::cost::WorkBreakdown;
 use vao::ops::selection::CmpOp;
@@ -110,17 +112,51 @@ proptest! {
         weights in prop::collection::vec(-2.0f64..2.0, 0..6),
         rates in prop::collection::vec(0.0f64..0.2, 1..5),
     ) {
-        let req = match variant % 7 {
+        // Exercise all three relation-addressing modes: omitted (connection
+        // `USE` selection), the bootstrap default, and an arbitrary tenant.
+        let relation = match op % 3 {
+            0 => None,
+            1 => Some(DEFAULT_RELATION.to_string()),
+            _ => Some(format!("tenant-{}", op % 97)),
+        };
+        let bond = WireBond {
+            coupon: epsilon / 100.0,
+            maturity: 1.0 + constant.abs(),
+            face: 100.0 + constant.abs(),
+        };
+        let req = match variant % 13 {
             0 => Request::Subscribe {
+                relation: relation.clone(),
                 query: wire_query(kind, op, constant, slack, epsilon, k, &weights),
                 priority,
             },
-            1 => Request::Unsubscribe { session },
-            2 => Request::Resume { session },
-            3 => Request::Tick { rate: rates[0] },
-            4 => Request::Ticks { rates: rates.clone() },
-            5 => Request::Stats,
-            _ => Request::Quit,
+            1 => Request::Unsubscribe { relation, session },
+            2 => Request::Resume { relation, session },
+            3 => Request::Tick { relation, rate: rates[0] },
+            4 => Request::Ticks { relation, rates: rates.clone() },
+            5 => Request::TickMulti {
+                ticks: rates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| (format!("t{i}"), r))
+                    .collect(),
+            },
+            6 => Request::Stats { relation },
+            7 => Request::CreateRelation {
+                name: format!("seeded-{}", kind % 9),
+                spec: RelationSpec::Seeded { seed: session, count: k as u64 },
+            },
+            8 => Request::CreateRelation {
+                name: format!("explicit-{}", kind % 9),
+                spec: RelationSpec::Bonds(vec![bond; 1 + (slack as usize % 4)]),
+            },
+            9 => Request::DropRelation { name: format!("doomed-{}", kind % 9) },
+            10 => Request::AddBond { relation, bond },
+            11 => Request::Use { name: format!("tenant-{}", kind % 9) },
+            _ => match variant % 2 {
+                0 => Request::Relations,
+                _ => Request::Quit,
+            },
         };
         let line = proto::render_request(&req);
         prop_assert!(!line.contains('\n'), "one request, one line: {}", line);
@@ -149,14 +185,43 @@ proptest! {
             assert_eq!(t.as_str(), Some(expect), "{line}");
         };
 
+        // Every response echoes the resolved relation; use a name that
+        // needs escaping to pin the escape path too.
+        let relation = format!("rel-{}-\"q\"", message_salt % 7);
+        let echoes_relation = |line: &str| {
+            assert_eq!(
+                field(line, "relation").as_str(),
+                Some(relation.as_str()),
+                "{line}"
+            );
+        };
+
         // SUBSCRIBED / UNSUBSCRIBED / BYE.
-        let line = proto::subscribed(SessionId(session));
+        let line = proto::subscribed(&relation, SessionId(session));
         typed(&line, "SUBSCRIBED");
+        echoes_relation(&line);
         prop_assert_eq!(field(&line, "session").as_u64(), Some(session));
-        let line = proto::unsubscribed(session);
+        let line = proto::unsubscribed(&relation, session);
         typed(&line, "UNSUBSCRIBED");
+        echoes_relation(&line);
         prop_assert_eq!(field(&line, "session").as_u64(), Some(session));
         typed(&proto::bye(), "BYE");
+
+        // Catalog responses: CREATED / DROPPED / BOND_ADDED / USING.
+        let line = proto::created(&relation, session % 1000, ids.len());
+        typed(&line, "CREATED");
+        echoes_relation(&line);
+        prop_assert_eq!(field(&line, "id").as_u64(), Some(session % 1000));
+        prop_assert_eq!(field(&line, "bonds").as_u64(), Some(ids.len() as u64));
+        let line = proto::dropped(&relation, session % 1000);
+        typed(&line, "DROPPED");
+        echoes_relation(&line);
+        let line = proto::bond_added(&relation, ids.first().copied().unwrap_or(3), ids.len());
+        typed(&line, "BOND_ADDED");
+        echoes_relation(&line);
+        let line = proto::using(&relation);
+        typed(&line, "USING");
+        echoes_relation(&line);
 
         // ERROR escapes quotes, backslashes and newlines losslessly.
         let message = format!("fail {message_salt} \"quoted\\path\"\nsecond line");
@@ -168,8 +233,15 @@ proptest! {
 
         // RESULT, both statuses, over a random output shape.
         let out = output(shape, lo, hi, &ids);
-        let line = proto::result(tick, rate, SessionId(session), &Answer::Final(out.clone()));
+        let line = proto::result(
+            &relation,
+            tick,
+            rate,
+            SessionId(session),
+            &Answer::Final(out.clone()),
+        );
         typed(&line, "RESULT");
+        echoes_relation(&line);
         let status = field(&line, "status");
         prop_assert_eq!(status.as_str(), Some("final"));
         prop_assert_eq!(field(&line, "tick").as_u64(), Some(tick));
@@ -177,7 +249,13 @@ proptest! {
         let shape_name = field(&line, "output").get("shape").and_then(|s| s.as_str().map(String::from));
         prop_assert_eq!(shape_name.as_deref(), Some(out.shape_name()));
         let bounds = Bounds::new(lo.min(hi), lo.max(hi));
-        let line = proto::result(tick, rate, SessionId(session), &Answer::Partial { bounds });
+        let line = proto::result(
+            &relation,
+            tick,
+            rate,
+            SessionId(session),
+            &Answer::Partial { bounds },
+        );
         let status = field(&line, "status");
         prop_assert_eq!(status.as_str(), Some("partial"));
         prop_assert_eq!(
@@ -195,8 +273,9 @@ proptest! {
             partials,
             driven_iterations: finals + partials,
         };
-        let line = proto::resumed(&sess, tick, None);
+        let line = proto::resumed(&relation, &sess, tick, None);
         typed(&line, "RESUMED");
+        echoes_relation(&line);
         prop_assert_eq!(field(&line, "finals").as_u64(), Some(finals));
         prop_assert_eq!(field(&line, "partials").as_u64(), Some(partials));
         let operator = field(&line, "operator");
@@ -205,7 +284,7 @@ proptest! {
             0 => Answer::Final(out),
             _ => Answer::Partial { bounds },
         };
-        let line = proto::resumed(&sess, tick, Some(&answer));
+        let line = proto::resumed(&relation, &sess, tick, Some(&answer));
         let status = field(&line, "answer").get("status").and_then(|s| s.as_str().map(String::from));
         prop_assert_eq!(
             status.as_deref(),
@@ -220,6 +299,7 @@ proptest! {
             choose_iter: tick % 89,
         };
         let res = TickResult {
+            relation: RelationId(1 + session % 31),
             tick,
             rate,
             answers: Vec::new(),
@@ -235,8 +315,9 @@ proptest! {
             },
             budget_exhausted: answer_sel % 2 == 0,
         };
-        let line = proto::tick_done(&res, session % 11);
+        let line = proto::tick_done(&relation, &res, session % 11);
         typed(&line, "TICK_DONE");
+        echoes_relation(&line);
         prop_assert_eq!(field(&line, "work_units").as_u64(), Some(work.total()));
         prop_assert_eq!(field(&line, "iterations").as_u64(), Some(finals + partials));
         prop_assert_eq!(field(&line, "shed").as_u64(), Some(session % 11));
@@ -254,9 +335,13 @@ fn stats_line_reports_live_counters() {
         .expect("subscribe");
     let res = srv.tick(0.0583).expect("tick");
 
-    let line = proto::stats(&srv);
+    let line = proto::stats(&srv, DEFAULT_RELATION);
     let doc = Json::parse(&line).expect("stats is valid JSON");
     assert_eq!(doc.get("type").and_then(Json::as_str), Some("STATS"));
+    assert_eq!(
+        doc.get("relation").and_then(Json::as_str),
+        Some(DEFAULT_RELATION)
+    );
     assert_eq!(doc.get("ticks").and_then(Json::as_u64), Some(1));
     assert_eq!(
         doc.get("work_units").and_then(Json::as_u64),

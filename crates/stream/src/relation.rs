@@ -24,6 +24,22 @@ impl BondRelation {
         }
     }
 
+    /// Builds the relation from an explicit bond list (catalog-defined
+    /// relations, where bonds arrive over the wire instead of from a
+    /// seeded universe).
+    #[must_use]
+    pub fn from_bonds(bonds: Vec<Bond>) -> Self {
+        Self {
+            schema: Self::schema_def(),
+            bonds,
+        }
+    }
+
+    /// Appends one bond (the catalog's `ADD BOND`).
+    pub fn push(&mut self, bond: Bond) {
+        self.bonds.push(bond);
+    }
+
     /// The relation's schema.
     #[must_use]
     pub fn schema(&self) -> &Schema {

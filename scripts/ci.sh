@@ -4,7 +4,7 @@
 #
 #   ./scripts/ci.sh
 #
-# Eleven stages, all mandatory:
+# Twelve stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
@@ -34,11 +34,17 @@
 #                                  SIGKILL the server mid-churn, restart,
 #                                  and assert the RESUMEd session line is
 #                                  bit-identical before and after the crash
-#  10. batched-solver smoke    -- the SoA lane solver must produce answers
+#  10. multi-relation tenancy   -- CREATE_RELATION/DROP_RELATION/USE over
+#                                  TCP on a --catalog dir, TICK_MULTI across
+#                                  two relations, SIGKILL, restart with *no*
+#                                  relation flags (the dir is
+#                                  self-describing), RESUME both tenants and
+#                                  assert the dropped relation stayed dropped
+#  11. batched-solver smoke    -- the SoA lane solver must produce answers
 #                                  bit-identical to the scalar executor on a
 #                                  small universe (numerics kernel identity +
 #                                  server dispatch identity, by name)
-#  11. cargo doc -D warnings    -- rustdoc must build clean
+#  12. cargo doc -D warnings    -- rustdoc must build clean
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -318,6 +324,76 @@ wait "$SRV_PID" 2>/dev/null || true
 cleanup_churn
 trap - EXIT
 echo "    connection-churn soak ok (20-client churn + wedge survived, RESUME bit-identical across SIGKILL)"
+
+echo "==> va-server multi-relation tenancy smoke (catalog dir, TICK_MULTI, SIGKILL, flagless restart)"
+DATA_DIR=$(mktemp -d)
+SRV_LOG=$(mktemp)
+trap cleanup EXIT
+
+"$VA_SERVER" --addr 127.0.0.1:0 --catalog --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# Build the catalog over the wire: two live relations, one created and
+# dropped (the journal must keep it dead), sessions in both tenants, and
+# one TICK_MULTI across the pair. No QUIT: the journal carries it all.
+PRE=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n%s\n' \
+  '{"type":"CREATE_RELATION","name":"alpha","seed":7,"count":12}' \
+  '{"type":"CREATE_RELATION","name":"beta","seed":9,"count":8}' \
+  '{"type":"CREATE_RELATION","name":"gamma","seed":11,"count":4}' \
+  '{"type":"DROP_RELATION","name":"gamma"}' \
+  '{"type":"USE","name":"alpha"}' \
+  '{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.5},"priority":2}' \
+  '{"type":"SUBSCRIBE","relation":"beta","query":{"kind":"min","epsilon":0.5}}' \
+  '{"type":"TICK_MULTI","ticks":[{"relation":"alpha","rate":0.0583},{"relation":"beta","rate":0.06}]}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$PRE" | grep -q '"type":"CREATED","relation":"alpha"'    || { echo "no CREATED alpha: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"CREATED","relation":"beta"'     || { echo "no CREATED beta: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"DROPPED","relation":"gamma"'    || { echo "no DROPPED gamma: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"USING","relation":"alpha"'      || { echo "no USING alpha: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"SUBSCRIBED","relation":"alpha"' || { echo "USE did not route the subscribe: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"SUBSCRIBED","relation":"beta"'  || { echo "no beta subscribe: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"TICK_DONE","relation":"alpha"'  || { echo "no alpha tick: $PRE"; exit 1; }
+echo "$PRE" | grep -q '"type":"TICK_DONE","relation":"beta"'   || { echo "no beta tick: $PRE"; exit 1; }
+
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+
+# Restart with *no* relation flags: the dir alone must describe both
+# tenants (zero flag-based reconstruction).
+"$VA_SERVER" --addr 127.0.0.1:0 --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+POST=$(printf '%s\n%s\n%s\n%s\n%s\n' \
+  '{"type":"RESUME","relation":"alpha","session":1}' \
+  '{"type":"RESUME","relation":"beta","session":1}' \
+  '{"type":"STATS","relation":"gamma"}' \
+  '{"type":"TICK_MULTI","ticks":[{"relation":"alpha","rate":0.0584},{"relation":"beta","rate":0.061}]}' \
+  '{"type":"QUIT"}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$POST" | grep -q '"type":"RESUMED","relation":"alpha"'  || { echo "alpha session lost: $POST"; exit 1; }
+echo "$POST" | grep -q '"type":"RESUMED","relation":"beta"'   || { echo "beta session lost: $POST"; exit 1; }
+echo "$POST" | grep -q 'unknown relation \\"gamma\\"'         || { echo "dropped relation resurfaced: $POST"; exit 1; }
+echo "$POST" | grep -q '"type":"TICK_DONE","relation":"alpha"' || { echo "no post-recovery alpha tick: $POST"; exit 1; }
+echo "$POST" | grep -q '"type":"TICK_DONE","relation":"beta"'  || { echo "no post-recovery beta tick: $POST"; exit 1; }
+grep -q "recovered from .* (2 relations" "$SRV_LOG"           || { echo "no 2-relation recovery line"; cat "$SRV_LOG"; exit 1; }
+
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+cleanup
+trap - EXIT
+echo "    multi-relation tenancy smoke ok (catalog recovered flag-free across SIGKILL)"
 
 echo "==> batched SoA solver == scalar executor smoke"
 cargo test -q -p va-numerics --lib tridiag::tests::batched_solve_is_bit_identical_to_scalar_lanes
