@@ -17,11 +17,11 @@ use std::time::Instant;
 
 use va_bench::experiments::{
     ablation_choose_cost, ablation_choose_index, ablation_strategies, batch_scaling,
-    compaction_growth, fig10_selection_stress, fig11_max_stress, fig12_sum_hotcold,
-    frontend_scaling, max_table_traced, parallel_scaling, recovery_comparison,
+    calibration_scaling, compaction_growth, fig10_selection_stress, fig11_max_stress,
+    fig12_sum_hotcold, frontend_scaling, max_table_traced, parallel_scaling, recovery_comparison,
     selection_sweep_traced, server_scaling, sketch_scaling, tenant_scaling, tick_amortization,
-    CONNECTION_COUNTS, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES, STD_DEVS,
-    TENANT_COUNTS, TENANT_SUBSCRIPTIONS, WORKER_COUNTS,
+    CALIBRATION_TICKS, CONNECTION_COUNTS, HOT_SHARES, QUERY_COUNTS, ROUND_BATCHES, SELECTIVITIES,
+    STD_DEVS, TENANT_COUNTS, TENANT_SUBSCRIPTIONS, WORKER_COUNTS,
 };
 use va_bench::report::{fmt_speedup, fmt_work, Table, TraceWriter};
 use va_bench::Lab;
@@ -66,7 +66,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: harness [--bonds N] [--seed S] [--out DIR] [--trace PATH] \
-                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|frontend-scaling|parallel-scaling|batch-scaling|sketch-scaling|tenant-scaling|recovery|compaction|all]..."
+                     [fig8|fig9|fig10|fig11|fig12|max-table|ablations|ticks|server-scaling|frontend-scaling|parallel-scaling|batch-scaling|sketch-scaling|tenant-scaling|calibration-scaling|recovery|compaction|all]..."
                 );
                 std::process::exit(0);
             }
@@ -608,6 +608,78 @@ fn main() {
             );
         }
         t.write_csv(&args.out.join("tenant_scaling.csv"))
+            .expect("write csv");
+        println!();
+    }
+
+    if wants(&args, "calibration-scaling") {
+        println!(
+            "-- Extension: cost calibration, budget admission error before vs after ({} ticks) --",
+            CALIBRATION_TICKS
+        );
+        let rows = calibration_scaling(&lab, CALIBRATION_TICKS, args.seed);
+        let mut t = Table::new(&[
+            "tick",
+            "raw_rounds",
+            "raw_abs_error",
+            "raw_mean_error",
+            "raw_partials",
+            "cal_rounds",
+            "cal_abs_error",
+            "cal_mean_error",
+            "cal_partials",
+            "observations",
+            "gain_ppm",
+            "off_identical",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.tick.to_string(),
+                r.raw_rounds.to_string(),
+                r.raw_abs_error.to_string(),
+                format!("{:.3}", r.raw_mean_error()),
+                r.raw_partials.to_string(),
+                r.calibrated_rounds.to_string(),
+                r.calibrated_abs_error.to_string(),
+                format!("{:.3}", r.calibrated_mean_error()),
+                r.calibrated_partials.to_string(),
+                r.observations.to_string(),
+                r.gain_ppm.to_string(),
+                r.off_identical.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        for r in &rows {
+            assert!(
+                r.off_identical,
+                "tick {}: calibrate-off replay diverged from the uncalibrated run",
+                r.tick
+            );
+        }
+        let mean = |err: u64, rounds: u64| err as f64 / rounds.max(1) as f64;
+        let raw_mean = mean(
+            rows.iter().map(|r| r.raw_abs_error).sum(),
+            rows.iter().map(|r| r.raw_rounds).sum(),
+        );
+        let cal_mean = mean(
+            rows.iter().map(|r| r.calibrated_abs_error).sum(),
+            rows.iter().map(|r| r.calibrated_rounds).sum(),
+        );
+        assert!(
+            cal_mean < raw_mean,
+            "calibration failed to lower mean admission error: {cal_mean:.3} vs {raw_mean:.3}"
+        );
+        let raw_partials: u64 = rows.iter().map(|r| r.raw_partials).sum();
+        let cal_partials: u64 = rows.iter().map(|r| r.calibrated_partials).sum();
+        assert!(
+            cal_partials <= raw_partials,
+            "calibration cost answers at fixed budget: {cal_partials} vs {raw_partials} Partials"
+        );
+        println!(
+            "  mean |estCPU - work| per round: {:.3} raw vs {:.3} calibrated ({} vs {} Partial answers)",
+            raw_mean, cal_mean, raw_partials, cal_partials
+        );
+        t.write_csv(&args.out.join("calibration.csv"))
             .expect("write csv");
         println!();
     }

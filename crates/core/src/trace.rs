@@ -317,6 +317,13 @@ pub trait ExecObserver {
         let _ = record;
     }
 
+    /// A calibrated scheduler finished folding one tick's cost
+    /// observations into its model.
+    #[inline]
+    fn on_calibration(&mut self, record: &CalibrationRecord) {
+        let _ = record;
+    }
+
     /// An operator evaluation finished (successfully).
     #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
@@ -373,6 +380,11 @@ impl<O: ExecObserver + ?Sized> ExecObserver for &mut O {
     }
 
     #[inline]
+    fn on_calibration(&mut self, record: &CalibrationRecord) {
+        (**self).on_calibration(record);
+    }
+
+    #[inline]
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
         (**self).on_operator_end(end);
     }
@@ -417,6 +429,9 @@ pub enum TraceEvent {
     Recovery(RecoveryRecord),
     /// A durable server reclaimed journal segments behind a snapshot.
     Compaction(CompactionRecord),
+    /// A calibrated scheduler folded a tick's cost observations into its
+    /// model.
+    Calibration(CalibrationRecord),
     /// An operator evaluation finished.
     OperatorEnd(OperatorEndRecord),
 }
@@ -426,12 +441,40 @@ pub enum TraceEvent {
 pub struct CpuEstimation {
     /// Iterations the statistics cover.
     pub iterations: u64,
+    /// Iterations that contributed to `mean_abs_pct_error` — those with a
+    /// positive measured cost. Zero-cost iterations have no defined
+    /// percentage error and are excluded from the mean (which reports 0.0
+    /// when *no* iteration had positive cost); carrying the eligible count
+    /// here is what lets downstream aggregation re-weight per-tick means
+    /// without re-counting zero-cost iterations.
+    pub pct_iterations: u64,
     /// Mean of `|estCPU − actual|` in work units.
     pub mean_abs_error: f64,
-    /// Mean of `|estCPU − actual| / actual` (skipping zero-cost
-    /// iterations), as a fraction: 0.07 means estimates were off by 7 % on
-    /// average.
+    /// Mean of `|estCPU − actual| / actual` over the `pct_iterations`
+    /// eligible iterations, as a fraction: 0.07 means estimates were off
+    /// by 7 % on average. Defined as 0.0 when `pct_iterations == 0`.
     pub mean_abs_pct_error: f64,
+}
+
+/// One observation folded into the scheduler's online cost calibration.
+///
+/// Emitted by calibrated schedulers once per admitted iteration, right
+/// after the `(est, actual)` pair updates the model, so traces show the
+/// model warming up and the admission gain it currently applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CalibrationRecord {
+    /// Total `(est, actual)` observations folded into the model so far,
+    /// including this one.
+    pub observations: u64,
+    /// Overall learned `actual/est` ratio in parts-per-million
+    /// (1_000_000 = identity / cold model).
+    pub gain_ppm: u64,
+    /// The iteration's raw `estCPU` as the object reported it.
+    pub raw_est: Work,
+    /// Its calibrated `estCPU` — what budget admission actually charged.
+    pub corrected_est: Work,
+    /// Work the iteration actually metered.
+    pub actual: Work,
 }
 
 /// An [`ExecObserver`] that records every event for later inspection.
@@ -527,6 +570,7 @@ impl Recorder {
         }
         CpuEstimation {
             iterations: n,
+            pct_iterations: pct_n,
             mean_abs_error: if n > 0 { abs_sum / n as f64 } else { 0.0 },
             mean_abs_pct_error: if pct_n > 0 {
                 pct_sum / pct_n as f64
@@ -590,6 +634,10 @@ impl ExecObserver for Recorder {
 
     fn on_compaction(&mut self, record: &CompactionRecord) {
         self.events.push(TraceEvent::Compaction(*record));
+    }
+
+    fn on_calibration(&mut self, record: &CalibrationRecord) {
+        self.events.push(TraceEvent::Calibration(*record));
     }
 
     fn on_operator_end(&mut self, end: &OperatorEndRecord) {
@@ -691,6 +739,7 @@ mod tests {
         });
         let est = rec.cpu_estimation();
         assert_eq!(est.iterations, 2);
+        assert_eq!(est.pct_iterations, 2);
         assert!((est.mean_abs_error - 2.0).abs() < 1e-12);
         assert!((est.mean_abs_pct_error - 0.25).abs() < 1e-12);
     }
@@ -705,8 +754,53 @@ mod tests {
         });
         let est = rec.cpu_estimation();
         assert_eq!(est.iterations, 1);
-        assert_eq!(est.mean_abs_pct_error, 0.0);
+        assert_eq!(
+            est.pct_iterations, 0,
+            "zero-cost iterations are pct-ineligible"
+        );
+        assert_eq!(
+            est.mean_abs_pct_error, 0.0,
+            "defined as 0.0 when nothing is eligible"
+        );
         assert!((est.mean_abs_error - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_estimation_counts_pct_eligible_iterations_separately() {
+        let mut rec = Recorder::new();
+        // One eligible (est 10, actual 8 -> pct 0.25), one zero-cost.
+        rec.on_iteration(&iteration(0, 1, b(0.0, 2.0), b(0.5, 1.5)));
+        rec.on_iteration(&IterationRecord {
+            actual_cpu: 0,
+            est_cpu: 4,
+            ..iteration(0, 2, b(0.5, 1.5), b(0.9, 1.1))
+        });
+        let est = rec.cpu_estimation();
+        assert_eq!(est.iterations, 2);
+        assert_eq!(est.pct_iterations, 1);
+        // The mean is over eligible iterations only, not diluted by the
+        // zero-cost one.
+        assert!((est.mean_abs_pct_error - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_captures_calibration_events() {
+        let mut rec = Recorder::new();
+        let record = CalibrationRecord {
+            observations: 42,
+            gain_ppm: 1_250_000,
+            raw_est: 900,
+            corrected_est: 1_125,
+            actual: 1_110,
+        };
+        let mut fwd = &mut rec;
+        ExecObserver::on_calibration(&mut fwd, &record);
+        assert!(matches!(
+            rec.events(),
+            [TraceEvent::Calibration(r)] if *r == record
+        ));
+        // The default hook is a no-op: a NoopObserver accepts it.
+        NoopObserver.on_calibration(&record);
     }
 
     #[test]

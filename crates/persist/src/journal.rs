@@ -129,6 +129,16 @@ pub struct Journal {
     segment: u64,
     segment_bytes: u64,
     events: u64,
+    /// Set when a failed append could not be rolled back: the durable file
+    /// may hold bytes past `segment_bytes`, so further appends would land
+    /// mid-garbage and turn a transient I/O error into permanent
+    /// corruption. A poisoned journal refuses all appends; reopening
+    /// re-derives clean accounting from disk.
+    poisoned: bool,
+    #[cfg(test)]
+    fail_sync_after_write: u32,
+    #[cfg(test)]
+    fail_rollback: bool,
 }
 
 impl std::fmt::Debug for Journal {
@@ -208,6 +218,11 @@ impl Journal {
                 segment: 1,
                 segment_bytes: 0,
                 events: 0,
+                poisoned: false,
+                #[cfg(test)]
+                fail_sync_after_write: 0,
+                #[cfg(test)]
+                fail_rollback: false,
             };
             return Ok((
                 journal,
@@ -336,6 +351,11 @@ impl Journal {
             segment: last,
             segment_bytes,
             events: total_events,
+            poisoned: false,
+            #[cfg(test)]
+            fail_sync_after_write: 0,
+            #[cfg(test)]
+            fail_rollback: false,
         };
         Ok((
             journal,
@@ -348,16 +368,71 @@ impl Journal {
 
     /// Appends one event and makes it durable (`write` + `fdatasync`)
     /// before returning.
+    ///
+    /// On failure the append is rolled back: the file is truncated to the
+    /// last committed byte and the in-memory event/byte accounting is left
+    /// untouched, so [`Journal::position`] keeps matching the durable
+    /// bytes and a later snapshot cannot record coverage that ends inside
+    /// a half-written record. If the rollback itself fails, the journal is
+    /// **poisoned** — every further append fails fast — because appending
+    /// after an unremoved partial write would interleave a new record into
+    /// the middle of garbage and upgrade a transient I/O error into hard
+    /// corruption on the next recovery. Reopening the journal recovers:
+    /// `open` truncates the torn tail and rebuilds accounting from disk.
     pub fn append(&mut self, event: &JournalEvent) -> Result<(), PersistError> {
+        if self.poisoned {
+            return Err(PersistError::io(
+                &self.path,
+                &std::io::Error::other(
+                    "journal is poisoned by an earlier failed append whose rollback \
+                     also failed; reopen the journal to recover",
+                ),
+            ));
+        }
         let mut line = event.to_line();
         line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| PersistError::io(&self.path, &e))?;
-        self.segment_bytes += line.len() as u64;
-        self.events += 1;
-        Ok(())
+        match self.write_durable(line.as_bytes()) {
+            Ok(()) => {
+                self.segment_bytes += line.len() as u64;
+                self.events += 1;
+                Ok(())
+            }
+            Err(e) => {
+                #[allow(unused_mut)]
+                let mut rolled = self
+                    .file
+                    .set_len(self.segment_bytes)
+                    .and_then(|()| self.file.sync_data());
+                #[cfg(test)]
+                if self.fail_rollback {
+                    rolled = Err(std::io::Error::other("injected rollback failure"));
+                }
+                if rolled.is_err() {
+                    self.poisoned = true;
+                }
+                Err(PersistError::io(&self.path, &e))
+            }
+        }
+    }
+
+    /// Whether a failed append rollback has poisoned the journal (see
+    /// [`Journal::append`]).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// One durable write: all bytes, then `fdatasync`. The `#[cfg(test)]`
+    /// hook fails *after* the bytes hit the file but before the sync —
+    /// the exact shape of a mid-append I/O error the rollback must undo.
+    fn write_durable(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)?;
+        #[cfg(test)]
+        if self.fail_sync_after_write > 0 {
+            self.fail_sync_after_write -= 1;
+            return Err(std::io::Error::other("injected sync failure"));
+        }
+        self.file.sync_data()
     }
 
     /// Starts a fresh segment; subsequent appends go there. Called after a
@@ -769,6 +844,72 @@ mod tests {
             Journal::open(&dir, None),
             Err(PersistError::Corrupt { .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_bytes_and_accounting() {
+        let dir = tmp_dir("append-fail");
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            let committed = j.position();
+            let committed_events = j.events();
+
+            // Inject: the next append writes its bytes, then the sync fails.
+            j.fail_sync_after_write = 1;
+            assert!(j.append(&ev(2)).is_err());
+
+            // Accounting did not advance, and the durable file was rolled
+            // back to exactly the committed length — no half-record remains
+            // for a later append to land behind.
+            assert_eq!(j.position(), committed);
+            assert_eq!(j.events(), committed_events);
+            assert_eq!(
+                fs::metadata(dir.join(segment_file(1))).unwrap().len(),
+                committed.bytes
+            );
+            assert!(!j.is_poisoned());
+
+            // The journal keeps working; the retried append lands cleanly.
+            j.append(&ev(3)).unwrap();
+            assert_eq!(j.events(), 2);
+            assert_eq!(
+                fs::metadata(dir.join(segment_file(1))).unwrap().len(),
+                j.position().bytes
+            );
+        }
+        // Reopen: only the committed events exist, nothing torn.
+        let (_, load) = open_fresh(&dir);
+        assert_eq!(load.events, vec![ev(1), ev(3)]);
+        assert_eq!(load.truncated_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rollback_poisons_the_journal() {
+        let dir = tmp_dir("append-poison");
+        {
+            let (mut j, _) = open_fresh(&dir);
+            j.append(&ev(1)).unwrap();
+            j.fail_sync_after_write = 1;
+            j.fail_rollback = true;
+            assert!(j.append(&ev(2)).is_err());
+            assert!(j.is_poisoned());
+            // Accounting still did not advance past the committed state...
+            assert_eq!(j.events(), 1);
+            // ...and every further append fails fast, even with injections
+            // cleared: the file may hold bytes past the accounting.
+            j.fail_rollback = false;
+            let err = j.append(&ev(3)).unwrap_err();
+            assert!(format!("{err}").contains("poisoned"), "{err}");
+            assert_eq!(j.events(), 1);
+        }
+        // Reopen recovers: accounting is re-derived from disk (truncating
+        // any torn tail), and the journal is appendable again.
+        let (mut j, _) = open_fresh(&dir);
+        assert!(!j.is_poisoned());
+        j.append(&ev(4)).unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }
 

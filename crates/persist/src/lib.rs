@@ -574,6 +574,7 @@ mod tests {
                 iters: tick,
                 cost: 10 * tick,
             }],
+            calibration: None,
         }))
     }
 
@@ -589,6 +590,7 @@ mod tests {
             history: Vec::new(),
             warm,
             answers: Vec::new(),
+            calibration: None,
         }
     }
 

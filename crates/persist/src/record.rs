@@ -15,7 +15,7 @@
 
 use va_stream::stats::{IterHistogram, TickStats, ITER_BUCKETS};
 use va_stream::{Query, QueryOutput};
-use vao::cost::WorkBreakdown;
+use vao::cost::{CalCell, WorkBreakdown, CAL_CLASSES};
 use vao::ops::heavy::HeavyCell;
 use vao::ops::selection::CmpOp;
 use vao::trace::CpuEstimation;
@@ -133,6 +133,39 @@ pub struct TickRecord {
     pub answers: Vec<AnswerEntry>,
     /// End-of-tick state of every pool object, aligned with the relation.
     pub warm: Vec<WarmObjectRecord>,
+    /// End-of-tick cost-calibration state, when the relation runs with
+    /// calibration enabled. `None` on legacy (PR 4–9) records and on
+    /// uncalibrated relations — both parse as a cold model.
+    pub calibration: Option<CalibrationState>,
+}
+
+/// Persisted online cost-calibration state: the scheduler's learned
+/// estimated-vs-actual cost model plus the per-predicate pass/fail
+/// frequencies Selection demand ordering learns from. Versioned — the
+/// field is simply absent on records written before calibration existed,
+/// and absent parses as cold/uncalibrated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationState {
+    /// Per-magnitude-class `(observations, est_sum, actual_sum)` cells,
+    /// exactly [`CAL_CLASSES`] of them, aligned with
+    /// [`vao::cost::Calibrator::cells`].
+    pub cells: Vec<CalCell>,
+    /// Learned per-predicate pass/fail counters, ascending by `(op,
+    /// constant)` key order.
+    pub predicates: Vec<PredicateCounterRecord>,
+}
+
+/// One predicate's accumulated pass/fail counts across ticks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredicateCounterRecord {
+    /// The predicate's comparison operator.
+    pub op: CmpOp,
+    /// The predicate's constant (bit-exact through the decimal codec).
+    pub constant: f64,
+    /// Objects observed satisfying the predicate.
+    pub pass: u64,
+    /// Objects observed failing the predicate.
+    pub fail: u64,
 }
 
 /// One session's outcome delta for one tick.
@@ -276,6 +309,9 @@ pub struct RelationSnapshot {
     pub warm: Vec<WarmRateRecord>,
     /// Last delivered answer per session, in registration order.
     pub answers: Vec<AnswerEntry>,
+    /// Cost-calibration state at snapshot time (`None` on legacy snapshots
+    /// and uncalibrated relations; parses as a cold model).
+    pub calibration: Option<CalibrationState>,
 }
 
 /// One registered session as captured by a snapshot.
@@ -505,7 +541,7 @@ pub fn relation_def_json(def: &RelationDefRecord) -> String {
 fn stats_json(s: &StatsRecord) -> String {
     let hist: Vec<String> = s.hist.iter().map(u64::to_string).collect();
     format!(
-        "{{\"rate\":{},\"work\":{{\"exec\":{},\"get\":{},\"store\":{},\"choose\":{}}},\"wall_nanos\":{},\"iterations\":{},\"operator\":\"{}\",\"objects\":{},\"hist\":[{}],\"cpu\":{{\"iterations\":{},\"mae\":{},\"mape\":{}}}}}",
+        "{{\"rate\":{},\"work\":{{\"exec\":{},\"get\":{},\"store\":{},\"choose\":{}}},\"wall_nanos\":{},\"iterations\":{},\"operator\":\"{}\",\"objects\":{},\"hist\":[{}],\"cpu\":{{\"iterations\":{},\"pct_iterations\":{},\"mae\":{},\"mape\":{}}}}}",
         num(s.rate),
         s.work.exec_iter,
         s.work.get_state,
@@ -517,8 +553,43 @@ fn stats_json(s: &StatsRecord) -> String {
         s.objects,
         hist.join(","),
         s.cpu.iterations,
+        s.cpu.pct_iterations,
         num(s.cpu.mean_abs_error),
         num(s.cpu.mean_abs_pct_error),
+    )
+}
+
+/// Serializes calibration state. Cells ride as compact
+/// `[observations, est_sum, actual_sum]` triples; the `"v"` field
+/// versions the object so future layouts can be told apart from this one.
+fn calibration_json(c: &CalibrationState) -> String {
+    let cells: Vec<String> = c
+        .cells
+        .iter()
+        .map(|cell| {
+            format!(
+                "[{},{},{}]",
+                cell.observations, cell.est_sum, cell.actual_sum
+            )
+        })
+        .collect();
+    let preds: Vec<String> = c
+        .predicates
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"op\":\"{}\",\"constant\":{},\"pass\":{},\"fail\":{}}}",
+                cmp_op_str(p.op),
+                num(p.constant),
+                p.pass,
+                p.fail
+            )
+        })
+        .collect();
+    format!(
+        "{{\"v\":1,\"cells\":[{}],\"predicates\":[{}]}}",
+        cells.join(","),
+        preds.join(",")
     )
 }
 
@@ -562,8 +633,11 @@ impl JournalEvent {
                         )
                     })
                     .collect();
+                let calibration = t.calibration.as_ref().map_or(String::new(), |c| {
+                    format!(",\"calibration\":{}", calibration_json(c))
+                });
                 format!(
-                    "{{\"ev\":\"tick\",\"relation\":{},\"tick\":{},\"rate\":{},\"shed\":{},\"budget_exhausted\":{},\"stats\":{},\"sessions\":[{}],\"answers\":{},\"warm\":{}}}",
+                    "{{\"ev\":\"tick\",\"relation\":{},\"tick\":{},\"rate\":{},\"shed\":{},\"budget_exhausted\":{},\"stats\":{},\"sessions\":[{}],\"answers\":{},\"warm\":{}{}}}",
                     t.relation,
                     t.tick,
                     num(t.rate),
@@ -573,6 +647,7 @@ impl JournalEvent {
                     sessions.join(","),
                     answer_entries_json(&t.answers),
                     warm_objects_json(&t.warm),
+                    calibration,
                 )
             }
             JournalEvent::SnapshotMarker { seq } => {
@@ -609,8 +684,11 @@ fn relation_snapshot_json(r: &RelationSnapshot) -> String {
     let def = r.def.as_ref().map_or(String::new(), |d| {
         format!("\"def\":{},", relation_def_json(d))
     });
+    let calibration = r.calibration.as_ref().map_or(String::new(), |c| {
+        format!(",\"calibration\":{}", calibration_json(c))
+    });
     format!(
-        "{{\"relation\":{},{}\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}}}",
+        "{{\"relation\":{},{}\"next_session_id\":{},\"ticks\":{},\"shed\":{},\"sessions\":[{}],\"history\":[{}],\"warm\":[{}],\"answers\":{}{}}}",
         r.relation,
         def,
         r.next_session_id,
@@ -620,6 +698,7 @@ fn relation_snapshot_json(r: &RelationSnapshot) -> String {
         history.join(","),
         warm.join(","),
         answer_entries_json(&r.answers),
+        calibration,
     )
 }
 
@@ -913,12 +992,75 @@ fn parse_stats(doc: &Json) -> Result<StatsRecord, String> {
         operator: str_field(doc, "operator")?.to_string(),
         objects: u64_field(doc, "objects")?,
         hist,
-        cpu: CpuEstimation {
-            iterations: u64_field(cpu, "iterations")?,
-            mean_abs_error: f64_field(cpu, "mae")?,
-            mean_abs_pct_error: f64_field(cpu, "mape")?,
+        cpu: {
+            let iterations = u64_field(cpu, "iterations")?;
+            CpuEstimation {
+                iterations,
+                // Legacy records predate the eligible-iteration count; they
+                // were written when every iteration was weighted equally,
+                // so defaulting to the total preserves their combining math.
+                pct_iterations: u64_field_or(cpu, "pct_iterations", iterations)?,
+                mean_abs_error: f64_field(cpu, "mae")?,
+                mean_abs_pct_error: f64_field(cpu, "mape")?,
+            }
         },
     })
+}
+
+/// Parses persisted calibration state. Only version 1 exists; a record
+/// with an unknown version is from a newer build and refused rather than
+/// silently misread.
+fn parse_calibration(doc: &Json) -> Result<CalibrationState, String> {
+    let version = u64_field_or(doc, "v", 1)?;
+    if version != 1 {
+        return Err(format!("unknown calibration version {version}"));
+    }
+    let cells = arr_field(doc, "cells")?
+        .iter()
+        .map(|c| {
+            let triple = c.as_array().ok_or("non-array calibration cell")?;
+            if triple.len() != 3 {
+                return Err(format!(
+                    "calibration cell needs 3 entries, got {}",
+                    triple.len()
+                ));
+            }
+            let int = |i: usize| -> Result<u64, String> {
+                triple[i]
+                    .as_u64()
+                    .ok_or_else(|| "non-integer calibration cell entry".to_string())
+            };
+            Ok(CalCell {
+                observations: int(0)?,
+                est_sum: int(1)?,
+                actual_sum: int(2)?,
+            })
+        })
+        .collect::<Result<Vec<CalCell>, String>>()?;
+    if cells.len() != CAL_CLASSES {
+        return Err(format!(
+            "calibration needs {CAL_CLASSES} cells, got {}",
+            cells.len()
+        ));
+    }
+    let predicates = arr_field(doc, "predicates")?
+        .iter()
+        .map(|p| {
+            Ok(PredicateCounterRecord {
+                op: parse_cmp_op(p)?,
+                constant: f64_field(p, "constant")?,
+                pass: u64_field(p, "pass")?,
+                fail: u64_field(p, "fail")?,
+            })
+        })
+        .collect::<Result<Vec<PredicateCounterRecord>, String>>()?;
+    Ok(CalibrationState { cells, predicates })
+}
+
+/// The optional `"calibration"` field shared by tick records and snapshot
+/// relation sections: absent (legacy or uncalibrated) parses as `None`.
+fn parse_calibration_opt(doc: &Json) -> Result<Option<CalibrationState>, String> {
+    doc.get("calibration").map(parse_calibration).transpose()
 }
 
 impl JournalEvent {
@@ -966,6 +1108,7 @@ impl JournalEvent {
                     .collect::<Result<Vec<SessionTickRecord>, String>>()?,
                 answers: parse_answer_entries(arr_field(&doc, "answers")?)?,
                 warm: parse_warm_objects(arr_field(&doc, "warm")?)?,
+                calibration: parse_calibration_opt(&doc)?,
             }))),
             "snapshot" => Ok(JournalEvent::SnapshotMarker {
                 seq: u64_field(&doc, "seq")?,
@@ -1016,6 +1159,7 @@ fn parse_relation_body(doc: &Json, relation: u64) -> Result<RelationSnapshot, St
             })
             .collect::<Result<Vec<WarmRateRecord>, String>>()?,
         answers: parse_answer_entries(arr_field(doc, "answers")?)?,
+        calibration: parse_calibration_opt(doc)?,
     })
 }
 
@@ -1140,9 +1284,41 @@ mod tests {
             hist: [1, 2, 3, 4, 5, 6, 7, 8, 9],
             cpu: CpuEstimation {
                 iterations: 319,
+                pct_iterations: 301,
                 mean_abs_error: 12.5,
                 mean_abs_pct_error: 0.03,
             },
+        }
+    }
+
+    fn sample_calibration() -> CalibrationState {
+        let mut cells = vec![CalCell::default(); CAL_CLASSES];
+        cells[7] = CalCell {
+            observations: 41,
+            est_sum: 5_120,
+            actual_sum: 7_730,
+        };
+        cells[9] = CalCell {
+            observations: 3,
+            est_sum: 900,
+            actual_sum: 450,
+        };
+        CalibrationState {
+            cells,
+            predicates: vec![
+                PredicateCounterRecord {
+                    op: CmpOp::Gt,
+                    constant: 100.25,
+                    pass: 18,
+                    fail: 30,
+                },
+                PredicateCounterRecord {
+                    op: CmpOp::Le,
+                    constant: 99.058_300_000_000_01,
+                    pass: 0,
+                    fail: 7,
+                },
+            ],
         }
     }
 
@@ -1199,6 +1375,7 @@ mod tests {
                     cost: 512,
                 },
             ],
+            calibration: Some(sample_calibration()),
         }
     }
 
@@ -1397,6 +1574,7 @@ mod tests {
                         session: 2,
                         answer: AnswerRecord::Partial { lo: 1.0, hi: 2.0 },
                     }],
+                    calibration: Some(sample_calibration()),
                 },
                 RelationSnapshot {
                     relation: 2,
@@ -1408,6 +1586,7 @@ mod tests {
                     history: Vec::new(),
                     warm: Vec::new(),
                     answers: Vec::new(),
+                    calibration: None,
                 },
             ],
         };
@@ -1465,6 +1644,53 @@ mod tests {
         assert_eq!(stats.iter_histogram.buckets(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
         let back = StatsRecord::from_stats(&stats);
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn legacy_tick_without_calibration_or_pct_iterations_parses_cold() {
+        // A tick record exactly as PR 4–9 servers wrote it: no
+        // "calibration" field and a "cpu" object without "pct_iterations".
+        let line = r#"{"ev":"tick","relation":1,"tick":3,"rate":0.05,"shed":0,"budget_exhausted":false,"stats":{"rate":0.05,"work":{"exec":10,"get":1,"store":1,"choose":2},"wall_nanos":5,"iterations":4,"operator":"shared_pool","objects":2,"hist":[1,1,0,0,0,0,0,0,0],"cpu":{"iterations":4,"mae":1.5,"mape":0.2}},"sessions":[],"answers":[],"warm":[]}"#;
+        match JournalEvent::parse(line).unwrap() {
+            JournalEvent::Tick(t) => {
+                assert_eq!(t.calibration, None, "legacy ticks are uncalibrated");
+                assert_eq!(
+                    t.stats.cpu.pct_iterations, 4,
+                    "legacy pct weighting defaults to the total iteration count"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_snapshot_relation_without_calibration_parses_cold() {
+        let text = r#"{"seq":1,"journal_events":0,"next_relation_id":2,"relations":[{"relation":1,"next_session_id":1,"ticks":0,"shed":0,"sessions":[],"history":[],"warm":[],"answers":[]}]}"#;
+        let snap = SnapshotRecord::parse(text).unwrap();
+        assert_eq!(snap.relations[0].calibration, None);
+    }
+
+    #[test]
+    fn malformed_calibration_is_rejected_not_defaulted() {
+        let bad_version = r#"{"seq":1,"journal_events":0,"next_relation_id":2,"relations":[{"relation":1,"next_session_id":1,"ticks":0,"shed":0,"sessions":[],"history":[],"warm":[],"answers":[],"calibration":{"v":9,"cells":[],"predicates":[]}}]}"#;
+        let err = SnapshotRecord::parse(bad_version).unwrap_err();
+        assert!(err.contains("calibration version"), "{err}");
+        let wrong_cells = r#"{"seq":1,"journal_events":0,"next_relation_id":2,"relations":[{"relation":1,"next_session_id":1,"ticks":0,"shed":0,"sessions":[],"history":[],"warm":[],"answers":[],"calibration":{"v":1,"cells":[[1,2,3]],"predicates":[]}}]}"#;
+        let err = SnapshotRecord::parse(wrong_cells).unwrap_err();
+        assert!(err.contains("cells"), "{err}");
+    }
+
+    #[test]
+    fn calibration_state_round_trips_bit_exactly() {
+        let cal = sample_calibration();
+        let text = calibration_json(&cal);
+        let back = parse_calibration(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cal);
+        // The predicate constant is float: assert bit identity explicitly.
+        assert_eq!(
+            back.predicates[1].constant.to_bits(),
+            cal.predicates[1].constant.to_bits()
+        );
     }
 
     #[test]

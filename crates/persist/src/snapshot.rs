@@ -158,6 +158,7 @@ mod tests {
                 history: Vec::new(),
                 warm: Vec::new(),
                 answers: Vec::new(),
+                calibration: None,
             }],
         }
     }

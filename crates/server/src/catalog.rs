@@ -23,8 +23,10 @@ use bondlab::Bond;
 use va_persist::record::{BondRecord, RelationDefRecord};
 use va_persist::WarmMap;
 use va_stream::{BondRelation, TickStats};
+use vao::cost::Calibrator;
 
 use crate::answer::Answer;
+use crate::demand::PredicateStats;
 use crate::error::ServerError;
 use crate::session::{SessionId, SessionRegistry};
 
@@ -72,6 +74,14 @@ pub struct Tenant {
     /// inside the tenant (not globally) so relations never warm-start from
     /// each other's bounds.
     pub(crate) warm: WarmMap,
+    /// The online predicted-vs-actual iteration-cost model (PR 10). Per
+    /// tenant — one relation's cost bias never leaks into another's
+    /// admission. Mutated only when the server runs with calibration
+    /// enabled; stays cold (identity) otherwise.
+    pub(crate) calibrator: Calibrator,
+    /// Learned SELECT/COUNT pass/fail frequencies — the predicate half of
+    /// the calibration state, same enablement rules as `calibrator`.
+    pub(crate) predicates: PredicateStats,
 }
 
 impl Tenant {
@@ -89,6 +99,8 @@ impl Tenant {
             shed: 0,
             last_answers: Vec::new(),
             warm: WarmMap::new(),
+            calibrator: Calibrator::new(),
+            predicates: PredicateStats::new(),
         }
     }
 
@@ -116,6 +128,20 @@ impl Tenant {
     #[must_use]
     pub fn seed(&self) -> Option<u64> {
         self.seed
+    }
+
+    /// Total `(claimed, measured)` cost pairs the tenant's calibrator has
+    /// absorbed (0 on an uncalibrated or fresh tenant).
+    #[must_use]
+    pub fn calibration_observations(&self) -> u64 {
+        self.calibrator.observations()
+    }
+
+    /// The calibrator's pooled measured/claimed cost ratio in parts per
+    /// million (`1_000_000` = identity, i.e. cold or perfectly estimated).
+    #[must_use]
+    pub fn calibration_gain_ppm(&self) -> u64 {
+        self.calibrator.gain_ppm()
     }
 
     /// The tenant's live session registry.

@@ -779,11 +779,11 @@ pub fn stats(server: &Server, relation: &str) -> String {
     let summary = server
         .summary_in(relation)
         .expect("caller resolved the relation");
-    let shed = server
+    let tenant = server
         .catalog()
         .by_name(relation)
-        .expect("caller resolved the relation")
-        .shed();
+        .expect("caller resolved the relation");
+    let shed = tenant.shed();
     let sessions: Vec<String> = summary
         .per_query
         .iter()
@@ -794,13 +794,19 @@ pub fn stats(server: &Server, relation: &str) -> String {
             )
         })
         .collect();
+    // Calibration progress rides STATS so an operator (and the CI smoke
+    // test) can confirm a recovered server kept its learned model without
+    // reading the journal: observation count and the pooled actual/claimed
+    // cost ratio in ppm (1e6 = identity/cold).
     format!(
-        "{{\"type\":\"STATS\",\"relation\":\"{}\",\"ticks\":{},\"shed_ticks\":{},\"work_units\":{},\"iterations\":{},\"sessions\":[{}]}}",
+        "{{\"type\":\"STATS\",\"relation\":\"{}\",\"ticks\":{},\"shed_ticks\":{},\"work_units\":{},\"iterations\":{},\"calibration\":{{\"observations\":{},\"gain_ppm\":{}}},\"sessions\":[{}]}}",
         escape(relation),
         summary.ticks,
         shed,
         summary.work.total(),
         summary.iterations,
+        tenant.calibration_observations(),
+        tenant.calibration_gain_ppm(),
         sessions.join(",")
     )
 }

@@ -32,17 +32,17 @@
 use va_numerics::pde::step_batch;
 use va_stream::BondRelation;
 use vao::batch::{BatchLane, GridShape};
-use vao::cost::{Work, WorkBreakdown, WorkMeter};
+use vao::cost::{Calibrator, Work, WorkBreakdown, WorkMeter};
 use vao::interface::ResultObject;
 use vao::strategy::{Candidate, ChoicePolicy};
 use vao::trace::{
-    BudgetExhaustedRecord, ExecObserver, IterationRecord, OperatorEndRecord, OperatorKind,
-    RoundRecord,
+    BudgetExhaustedRecord, CalibrationRecord, ExecObserver, IterationRecord, OperatorEndRecord,
+    OperatorKind, RoundRecord,
 };
 use vao::Bounds;
 
 use crate::answer::Answer;
-use crate::demand::{self, Demand};
+use crate::demand::{self, Demand, PredicateStats};
 use crate::error::ServerError;
 use crate::pool::SharedPool;
 use crate::session::{SessionId, SessionRegistry};
@@ -115,6 +115,20 @@ pub fn arbitrate_budget(total: Option<Work>, weights: &[u64]) -> Vec<Option<Work
     out.into_iter().map(Some).collect()
 }
 
+/// The tenant's mutable calibration state, threaded through a tick when
+/// the server runs with calibration enabled (`None` reproduces the
+/// uncalibrated schedule bit-identically — no corrected estimates, no
+/// observations, no demand reordering).
+///
+/// `model` corrects `estCPU` before admission and budget accounting and is
+/// fed every `(raw estimate, measured cost)` pair the tick executes;
+/// `predicates` accumulates SELECT/COUNT pass/fail outcomes and reorders
+/// probe demands by the learned correlation.
+pub(crate) struct Calibration<'a> {
+    pub model: &'a mut Calibrator,
+    pub predicates: &'a mut PredicateStats,
+}
+
 /// One executed iteration, resolved back into pick order.
 struct IterDone {
     before: Bounds,
@@ -146,6 +160,7 @@ pub(crate) fn run_tick<O: ExecObserver>(
     workers: usize,
     batch: usize,
     batch_solver: bool,
+    calibration: Option<Calibration<'_>>,
     meter: &mut WorkMeter,
     observer: &mut O,
 ) -> Result<TickOutcome, ServerError> {
@@ -153,6 +168,10 @@ pub(crate) fn run_tick<O: ExecObserver>(
     let entry = meter.snapshot();
     let workers = workers.max(1);
     let batch = batch.max(1);
+    let (mut cal_model, cal_preds) = match calibration {
+        Some(c) => (Some(c.model), Some(c.predicates)),
+        None => (None, None),
+    };
     let mut policy = ChoicePolicy::greedy();
     let mut demands_buf: Vec<Vec<Demand>> =
         registry.sessions().iter().map(|_| Vec::new()).collect();
@@ -195,6 +214,14 @@ pub(crate) fn run_tick<O: ExecObserver>(
                 limit: iteration_limit,
             });
         }
+        // Learned-correlation reordering (calibrated servers only): boost
+        // the probe demands whose estimated bounds lean the way the
+        // predicate historically decides.
+        if let Some(preds) = cal_preds.as_deref() {
+            for (s_idx, sess) in registry.sessions().iter().enumerate() {
+                preds.boost(&sess.query, pool, &mut demands_buf[s_idx]);
+            }
+        }
         let round_snap = meter.snapshot();
 
         // Accumulate priority-weighted benefits per object: the global
@@ -210,13 +237,26 @@ pub(crate) fn run_tick<O: ExecObserver>(
                 demanded[d.object] = true;
             }
         }
+        // Candidates carry the *calibrated* cost when a model is threaded
+        // in: admission, budget accounting and the greedy benefit/cost
+        // ranking all see `corrected = model(estCPU)`. The raw estimates
+        // stay alongside (by candidate position) because the model must be
+        // trained on what the object *claimed*, not on its own correction.
+        let mut raw_ests: Vec<Work> = Vec::new();
         let candidates: Vec<Candidate> = (0..n)
             .filter(|&i| demanded[i])
-            .map(|i| Candidate {
-                index: i,
-                benefit: weighted[i],
-                est_cpu: pool.est_cpu(i),
-                width: pool.bounds(i).width(),
+            .map(|i| {
+                let raw = pool.est_cpu(i);
+                raw_ests.push(raw);
+                Candidate {
+                    index: i,
+                    benefit: weighted[i],
+                    est_cpu: match cal_model.as_deref() {
+                        Some(m) => m.correct(raw),
+                        None => raw,
+                    },
+                    width: pool.bounds(i).width(),
+                }
             })
             .collect();
         meter.charge_choose(candidates.len() as Work);
@@ -335,6 +375,25 @@ pub(crate) fn run_tick<O: ExecObserver>(
                 });
             }
         }
+        // Train the model on this round's (claimed, measured) pairs in
+        // pick order — deterministic, and already effective for the next
+        // round of the same tick — surfacing each observation to the trace.
+        if let Some(m) = cal_model.as_deref_mut() {
+            for (slot, &p) in admitted.iter().enumerate() {
+                let raw = raw_ests[p];
+                let actual = done[slot].work.total();
+                m.observe(raw, actual);
+                if observer.is_enabled() {
+                    observer.on_calibration(&CalibrationRecord {
+                        observations: m.observations(),
+                        gain_ppm: m.gain_ppm(),
+                        raw_est: raw,
+                        corrected_est: candidates[p].est_cpu,
+                        actual,
+                    });
+                }
+            }
+        }
         round += 1;
         if observer.is_enabled() {
             observer.on_round(&RoundRecord {
@@ -345,6 +404,15 @@ pub(crate) fn run_tick<O: ExecObserver>(
                 est_cpu: admitted_est,
                 work: meter.since(&round_snap).total(),
             });
+        }
+    }
+
+    // Tally every SELECT/COUNT predicate's decided outcomes against the
+    // tick's final bounds — the pass/fail frequencies that order probe
+    // demands on later ticks.
+    if let Some(preds) = cal_preds {
+        for sess in registry.sessions() {
+            preds.record_query(&sess.query, pool);
         }
     }
 

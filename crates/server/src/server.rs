@@ -16,14 +16,14 @@ use std::time::Instant;
 
 use bondlab::BondPricer;
 use va_persist::record::{
-    AnswerEntry, AnswerRecord, BondRecord, JournalEvent, RelationDefRecord, RelationRecord,
-    RelationSnapshot, SessionSnapshot, SessionTickRecord, SnapshotRecord, StatsRecord, TickRecord,
-    WarmObjectRecord, WarmRateRecord,
+    AnswerEntry, AnswerRecord, BondRecord, CalibrationState, JournalEvent, PredicateCounterRecord,
+    RelationDefRecord, RelationRecord, RelationSnapshot, SessionSnapshot, SessionTickRecord,
+    SnapshotRecord, StatsRecord, TickRecord, WarmObjectRecord, WarmRateRecord,
 };
 use va_persist::{Meta, MetaRelation, PersistError, Recovery, Store, META_FILE};
 use va_stream::{BondRelation, Query, QueryRunRow, RunSummary, TickObserver, TickStats};
 use vao::adapters::WarmStart;
-use vao::cost::{Work, WorkMeter};
+use vao::cost::{CalCell, Calibrator, Work, WorkMeter, CAL_CLASSES};
 use vao::error::VaoError;
 use vao::ops::DEFAULT_ITERATION_LIMIT;
 use vao::trace::{
@@ -34,6 +34,7 @@ use vao::{Bounds, PrecisionConstraint};
 
 use crate::answer::Answer;
 use crate::catalog::{Catalog, RelationId, Tenant, DEFAULT_RELATION};
+use crate::demand::{PassFail, PredicateStats};
 use crate::error::ServerError;
 use crate::pool::SharedPool;
 use crate::sched;
@@ -77,6 +78,15 @@ pub struct ServerConfig {
     /// trades more frequent snapshot writes for faster restarts and a
     /// smaller data dir.
     pub snapshot_every: u64,
+    /// Whether the scheduler runs with online cost calibration (PR 10):
+    /// admission, budget accounting and cross-tenant arbitration use
+    /// `corrected = model(estCPU)` from a per-tenant
+    /// [`vao::cost::Calibrator`] trained on every executed iteration, and
+    /// SELECT/COUNT probe demands are reordered by learned pass/fail
+    /// correlation. Default **off** — and with it off every code path is
+    /// bit-identical to the uncalibrated server, which is the golden
+    /// contract `--calibrate off` tests pin.
+    pub calibrate: bool,
 }
 
 /// Default for [`ServerConfig::snapshot_every`]: small enough that
@@ -93,6 +103,7 @@ impl Default for ServerConfig {
             batch: None,
             batch_solver: true,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            calibrate: false,
         }
     }
 }
@@ -112,6 +123,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Returns `self` with online cost calibration switched on or off.
+    #[must_use]
+    pub fn with_calibration(mut self, calibrate: bool) -> Self {
+        self.calibrate = calibrate;
         self
     }
 
@@ -338,6 +356,60 @@ fn check_legacy_layout(recovered: &Recovery, dir: &Path) -> Result<(), ServerErr
     Ok(())
 }
 
+/// Captures a tenant's calibration state for persistence, or `None` while
+/// the state is trivially cold. The cold case is deliberately *absent*
+/// rather than serialized: an uncalibrated run's journal bytes are
+/// bit-identical to a pre-calibration server's, and parsing an absent
+/// field already restores cold state.
+fn calibration_state(tenant: &Tenant) -> Option<CalibrationState> {
+    if tenant.calibrator.is_cold() && tenant.predicates.is_empty() {
+        return None;
+    }
+    Some(CalibrationState {
+        cells: tenant.calibrator.cells().to_vec(),
+        predicates: tenant
+            .predicates
+            .entries()
+            .map(|(op, constant, pf)| PredicateCounterRecord {
+                op,
+                constant,
+                pass: pf.pass,
+                fail: pf.fail,
+            })
+            .collect(),
+    })
+}
+
+/// Restores a persisted calibration state into its tenant, replacing
+/// whatever was there (journal replay is last-wins: a later tick's state
+/// supersedes the snapshot's).
+fn restore_calibration(tenant: &mut Tenant, state: &CalibrationState) -> Result<(), ServerError> {
+    let cells: [CalCell; CAL_CLASSES] =
+        state
+            .cells
+            .clone()
+            .try_into()
+            .map_err(|_| ServerError::Persist {
+                detail: format!(
+                    "calibration state has {} cells, expected {CAL_CLASSES}",
+                    state.cells.len()
+                ),
+            })?;
+    tenant.calibrator = Calibrator::from_cells(cells);
+    tenant.predicates = PredicateStats::new();
+    for p in &state.predicates {
+        tenant.predicates.restore_counter(
+            p.op,
+            p.constant,
+            PassFail {
+                pass: p.pass,
+                fail: p.fail,
+            },
+        );
+    }
+    Ok(())
+}
+
 /// Replays recovered state into a catalog: the snapshot's per-relation
 /// sections, then the journal tail, then the folded warm maps. Events may
 /// reference relations whose `CREATE` was already folded into the snapshot
@@ -368,6 +440,9 @@ fn fold_into_catalog(catalog: &mut Catalog, recovered: &Recovery) -> Result<(), 
             tenant.shed = rel.shed;
             tenant.history = rel.history.iter().map(StatsRecord::to_stats).collect();
             tenant.last_answers = restore_answers(&rel.answers)?;
+            if let Some(cal) = &rel.calibration {
+                restore_calibration(tenant, cal)?;
+            }
         }
     }
     for ev in &recovered.tail {
@@ -429,6 +504,9 @@ fn fold_into_catalog(catalog: &mut Catalog, recovered: &Recovery) -> Result<(), 
                     }
                 }
                 tenant.last_answers = restore_answers(&t.answers)?;
+                if let Some(cal) = &t.calibration {
+                    restore_calibration(tenant, cal)?;
+                }
             }
             JournalEvent::SnapshotMarker { .. } => {}
         }
@@ -1064,12 +1142,24 @@ impl Server {
         let weights: Vec<u64> = indices
             .iter()
             .map(|&i| {
-                self.catalog.tenants()[i]
+                let t = &self.catalog.tenants()[i];
+                let base: u64 = t
                     .sessions()
                     .sessions()
                     .iter()
                     .map(|s| u64::from(s.priority))
-                    .sum()
+                    .sum();
+                if self.config.calibrate {
+                    // Calibrated arbitration: a tenant whose iterations
+                    // measure costlier than claimed (gain > 1e6 ppm) draws
+                    // a proportionally larger slice, so its slice buys the
+                    // same *intended* work as its co-tenants'. Cold models
+                    // report exactly 1e6 — identity.
+                    let scaled = u128::from(base) * u128::from(t.calibrator.gain_ppm()) / 1_000_000;
+                    u64::try_from(scaled).unwrap_or(u64::MAX)
+                } else {
+                    base
+                }
             })
             .collect();
         let budgets = sched::arbitrate_budget(self.config.budget, &weights);
@@ -1249,6 +1339,7 @@ impl Server {
                                 answer: answer_record(a),
                             })
                             .collect(),
+                        calibration: calibration_state(t),
                     })
                     .collect(),
             }
@@ -1472,6 +1563,17 @@ fn execute_tenant_tick<O: ExecObserver>(
 
     let mut tick_obs = TickObserver::new();
     let mut fan = Fanout(&mut tick_obs, observer);
+    // Calibration threads the tenant's own model through the scheduler —
+    // `None` (the default) leaves every admission decision bit-identical
+    // to the uncalibrated server.
+    let calibration = if config.calibrate {
+        Some(sched::Calibration {
+            model: &mut tenant.calibrator,
+            predicates: &mut tenant.predicates,
+        })
+    } else {
+        None
+    };
     let outcome = sched::run_tick(
         &mut tenant.registry,
         &mut pool,
@@ -1481,6 +1583,7 @@ fn execute_tenant_tick<O: ExecObserver>(
         workers,
         config.effective_batch(),
         config.batch_solver,
+        calibration,
         &mut meter,
         &mut fan,
     )?;
@@ -1541,6 +1644,7 @@ fn execute_tenant_tick<O: ExecObserver>(
                 })
                 .collect(),
             warm: warm_now.clone(),
+            calibration: calibration_state(tenant),
         };
         (Some(warm_now), Some(Box::new(record)))
     } else {
@@ -1862,6 +1966,89 @@ mod tests {
                 .sum::<u64>()
                 > 0
         );
+    }
+
+    #[test]
+    fn poisoned_downward_calibration_never_frees_admission_for_warm_pools() {
+        use vao::trace::{Recorder, TraceEvent};
+
+        let dir = scratch_dir("poisoned-cal");
+        let rate = RateSeries::january_1994().opening_rate();
+        let config = ServerConfig {
+            budget: Some(6_000),
+            batch: Some(2),
+            ..ServerConfig::default()
+        }
+        .with_calibration(true);
+
+        let mut srv = Server::open_durable(BondPricer::default(), relation_of(8, 42), config, &dir)
+            .expect("open durable server");
+        srv.subscribe(Query::Max { epsilon: 1.0 }, 1).unwrap();
+        srv.subscribe(
+            Query::Selection {
+                op: vao::ops::selection::CmpOp::Gt,
+                constant: 100.0,
+            },
+            1,
+        )
+        .unwrap();
+        // Repeat the rate until the loose sessions converge: the warm
+        // state a restart re-admits for free.
+        let mut pre = None;
+        for _ in 0..4 {
+            pre = Some(srv.tick(rate).expect("pre-crash tick"));
+        }
+        let pre = pre.expect("at least one tick");
+        assert!(
+            pre.answers.iter().any(|(_, a)| a.is_final()),
+            "warm state must contain at least one converged session"
+        );
+        drop(srv);
+
+        let mut recovered =
+            Server::open_durable(BondPricer::default(), relation_of(8, 42), config, &dir)
+                .expect("reopen durable server");
+        // Corrupt the recovered model into claiming every iteration is
+        // nearly free (`actual ≈ 0` in every warm class). The `.max(1)`
+        // clamp in `Calibrator::correct` is the guard under test: a
+        // positive raw estimate must never correct to zero, or budget
+        // admission would become free and a recovered warm pool could
+        // re-admit objects past their achieved accuracy without bound.
+        let poisoned = [CalCell {
+            observations: 64,
+            est_sum: 1 << 16,
+            actual_sum: 0,
+        }; CAL_CLASSES];
+        recovered
+            .catalog
+            .get_mut(RelationId(1))
+            .expect("default tenant")
+            .calibrator = Calibrator::from_cells(poisoned);
+
+        let mut rec = Recorder::new();
+        let res = recovered
+            .tick_with_observer(rate, &mut rec)
+            .expect("poisoned tick");
+        for e in rec.events() {
+            if let TraceEvent::Round(r) = e {
+                assert!(
+                    r.est_cpu >= r.admitted as u64,
+                    "admission went free: {} objects admitted for estCPU {}",
+                    r.admitted,
+                    r.est_cpu
+                );
+            }
+        }
+        // Converged sessions answer from warm state at their achieved
+        // accuracy — the poisoned model must not degrade them.
+        for ((pid, pa), (rid, ra)) in pre.answers.iter().zip(&res.answers) {
+            assert_eq!(pid, rid);
+            if pa.is_final() {
+                assert_eq!(pa, ra, "session {pid} lost its converged answer");
+            }
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -2427,6 +2614,7 @@ mod tests {
                         iters: 3,
                         cost: 5,
                     }],
+                    calibration: None,
                 })))
                 .unwrap();
         }

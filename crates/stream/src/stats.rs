@@ -194,12 +194,19 @@ impl RunSummary {
             s.objects += t.objects;
             s.iter_histogram.merge(&t.iter_histogram);
             s.cpu_est.iterations += t.cpu_est.iterations;
+            s.cpu_est.pct_iterations += t.cpu_est.pct_iterations;
             abs_sum += t.cpu_est.mean_abs_error * t.cpu_est.iterations as f64;
-            pct_sum += t.cpu_est.mean_abs_pct_error * t.cpu_est.iterations as f64;
+            // Each tick's mape averages only its pct-eligible (positive
+            // measured cost) iterations, so it must be re-weighted by that
+            // count — weighting by the total iteration count would let
+            // zero-cost iterations dilute the run-level percentage.
+            pct_sum += t.cpu_est.mean_abs_pct_error * t.cpu_est.pct_iterations as f64;
         }
         if s.cpu_est.iterations > 0 {
             s.cpu_est.mean_abs_error = abs_sum / s.cpu_est.iterations as f64;
-            s.cpu_est.mean_abs_pct_error = pct_sum / s.cpu_est.iterations as f64;
+        }
+        if s.cpu_est.pct_iterations > 0 {
+            s.cpu_est.mean_abs_pct_error = pct_sum / s.cpu_est.pct_iterations as f64;
         }
         s
     }
@@ -282,6 +289,7 @@ impl TickObserver {
     pub fn cpu_estimation(&self) -> CpuEstimation {
         CpuEstimation {
             iterations: self.cpu_iters,
+            pct_iterations: self.cpu_pct_iters,
             mean_abs_error: if self.cpu_iters > 0 {
                 self.cpu_abs_sum / self.cpu_iters as f64
             } else {
@@ -352,6 +360,7 @@ mod tests {
             iter_histogram: hist,
             cpu_est: CpuEstimation {
                 iterations: 5,
+                pct_iterations: 5,
                 mean_abs_error: 2.0,
                 mean_abs_pct_error: 0.1,
             },
@@ -374,8 +383,46 @@ mod tests {
         assert_eq!(s.iter_histogram.buckets()[0], 2);
         assert_eq!(s.iter_histogram.buckets()[3], 2);
         assert_eq!(s.cpu_est.iterations, 10);
+        assert_eq!(s.cpu_est.pct_iterations, 10);
         assert!((s.cpu_est.mean_abs_error - 2.0).abs() < 1e-12);
         assert!((s.cpu_est.mean_abs_pct_error - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_mape_weights_by_pct_eligible_iterations_only() {
+        // Tick A: 10 iterations, all at zero measured cost -> mape 0.0 over
+        // 0 eligible iterations. Tick B: 10 iterations with positive cost,
+        // mape 0.5 over all 10. The run-level mape is 0.5 — tick A has no
+        // defined percentage error and must not dilute it to 0.25 (the
+        // pre-fix behavior, which weighted by total iterations).
+        let zero_cost = TickStats {
+            cpu_est: CpuEstimation {
+                iterations: 10,
+                pct_iterations: 0,
+                mean_abs_error: 3.0,
+                mean_abs_pct_error: 0.0,
+            },
+            ..tick(100)
+        };
+        let biased = TickStats {
+            cpu_est: CpuEstimation {
+                iterations: 10,
+                pct_iterations: 10,
+                mean_abs_error: 5.0,
+                mean_abs_pct_error: 0.5,
+            },
+            ..tick(100)
+        };
+        let s = RunSummary::from_ticks(&[zero_cost, biased]);
+        assert_eq!(s.cpu_est.iterations, 20);
+        assert_eq!(s.cpu_est.pct_iterations, 10);
+        assert!((s.cpu_est.mean_abs_pct_error - 0.5).abs() < 1e-12);
+        // mae still weights by total iterations: (10*3 + 10*5) / 20 = 4.
+        assert!((s.cpu_est.mean_abs_error - 4.0).abs() < 1e-12);
+        // All-zero-cost runs report mape 0.0, never NaN.
+        let s = RunSummary::from_ticks(&[zero_cost]);
+        assert_eq!(s.cpu_est.mean_abs_pct_error, 0.0);
+        assert!(s.cpu_est.mean_abs_pct_error.is_finite());
     }
 
     #[test]

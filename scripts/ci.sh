@@ -4,7 +4,7 @@
 #
 #   ./scripts/ci.sh
 #
-# Twelve stages, all mandatory:
+# Fourteen stages, all mandatory:
 #   1. cargo fmt --check        -- formatting drift fails the gate
 #   2. cargo clippy -D warnings -- lints are errors, across all targets
 #   3. cargo test -q            -- the full workspace test suite
@@ -18,6 +18,14 @@
 #   6. kill-and-recover smoke   -- start a --data-dir server, subscribe and
 #                                  tick over TCP, SIGKILL it, restart on the
 #                                  same dir, RESUME the session and tick again
+#   6b. calibration gate        -- the cost-calibration tests by name, then
+#                                  the calibration-scaling harness target
+#                                  (which asserts a strict admission-error
+#                                  improvement and off-mode bit-identity)
+#   6c. calibrated recovery     -- stage 6 again with --calibrate on: the
+#                                  STATS calibration counters must be
+#                                  bit-identical across the SIGKILL before
+#                                  any post-restart tick
 #   7. sketch-query smoke       -- SUBSCRIBE PERCENTILE and HEAVYHITTERS over
 #                                  TCP, tick, SIGKILL, restart on the same
 #                                  dir, RESUME both sessions and tick again
@@ -126,6 +134,82 @@ wait "$SRV_PID" 2>/dev/null || true
 cleanup
 trap - EXIT
 echo "    kill-and-recover smoke ok (session resumed across SIGKILL)"
+
+echo "==> cost-calibration tests + harness (strict admission-error improvement)"
+cargo test -q -p vao --lib cost::
+cargo test -q -p va-persist --test calibration_roundtrip
+cargo test -q -p va-server --test calibration
+cargo test -q -p va-server --lib server::tests::poisoned_downward_calibration_never_frees_admission_for_warm_pools
+CAL_OUT=$(mktemp -d)
+cargo run -q -p va-bench --bin harness -- --bonds 24 --seed 7 --out "$CAL_OUT" calibration-scaling
+[ -s "$CAL_OUT/calibration.csv" ] || { echo "harness wrote no calibration.csv"; ls "$CAL_OUT"; exit 1; }
+rm -rf "$CAL_OUT"
+
+echo "==> va-server calibrated kill-and-recover smoke (--calibrate on, model survives SIGKILL)"
+DATA_DIR=$(mktemp -d)
+SRV_LOG=$(mktemp)
+trap cleanup EXIT
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --budget 9000 --calibrate on --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# Two ticks warm the cost model; STATS exports its counters. Hang up
+# without QUIT so only the journal carries the model across the kill.
+PRE=$(printf '%s\n%s\n%s\n%s\n' \
+  '{"type":"SUBSCRIBE","query":{"kind":"max","epsilon":0.5},"priority":2}' \
+  '{"type":"TICK","rate":0.0583}' \
+  '{"type":"TICK","rate":0.0601}' \
+  '{"type":"STATS"}' \
+  | "$VA_SERVER" --client "$ADDR")
+echo "$PRE" | grep -q '"type":"RESULT"' || { echo "no RESULT: $PRE"; exit 1; }
+PRE_CAL=$(echo "$PRE" | sed -n 's/.*"calibration":{\([^}]*\)}.*/\1/p')
+[ -n "$PRE_CAL" ] || { echo "no calibration object in STATS: $PRE"; exit 1; }
+if echo "$PRE_CAL" | grep -q '"observations":0,'; then
+  echo "calibrated ticks left the model cold: $PRE_CAL"; exit 1
+fi
+
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+
+"$VA_SERVER" --addr 127.0.0.1:0 --bonds 24 --seed 42 --budget 9000 --calibrate on --data-dir "$DATA_DIR" >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^va-server listening on \([0-9.:]*\) .*/\1/p' "$SRV_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted server never printed its address"; cat "$SRV_LOG"; exit 1; }
+
+# STATS *before* any post-restart tick: the counters must come from the
+# journal, bit-identical to the pre-kill model, and the session resumes.
+POST=$(printf '%s\n%s\n%s\n%s\n' \
+  '{"type":"STATS"}' \
+  '{"type":"RESUME","session":1}' \
+  '{"type":"TICK","rate":0.0584}' \
+  '{"type":"QUIT"}' \
+  | "$VA_SERVER" --client "$ADDR")
+POST_CAL=$(echo "$POST" | sed -n 's/.*"calibration":{\([^}]*\)}.*/\1/p')
+[ "$PRE_CAL" = "$POST_CAL" ] || {
+  echo "calibration state diverged across SIGKILL:"
+  echo "  pre:  $PRE_CAL"
+  echo "  post: $POST_CAL"
+  exit 1
+}
+echo "$POST" | grep -q '"type":"RESUMED"' || { echo "no RESUMED: $POST"; exit 1; }
+echo "$POST" | grep -q '"type":"RESULT"'  || { echo "no post-recovery RESULT: $POST"; exit 1; }
+grep -q "recovered from" "$SRV_LOG"       || { echo "no recovery line"; cat "$SRV_LOG"; exit 1; }
+
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+cleanup
+trap - EXIT
+echo "    calibrated kill-and-recover smoke ok (cost model bit-identical across SIGKILL)"
 
 echo "==> va-server sketch-query smoke (PERCENTILE + HEAVYHITTERS across SIGKILL)"
 DATA_DIR=$(mktemp -d)
